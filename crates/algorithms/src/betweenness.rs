@@ -1,0 +1,201 @@
+//! Betweenness centrality (Brandes) — part of Ligra's original application
+//! suite, included to exercise the frontier engine's forward/backward
+//! phases on top of the same primitives Julienne extends.
+//!
+//! Forward: BFS levels accumulating shortest-path counts σ. Backward: walk
+//! the levels in reverse accumulating dependencies
+//! δ(v) = Σ_{w : v→w on a shortest path} σ(v)/σ(w) · (1 + δ(w)).
+//! This implementation computes single-source BC contributions from a set
+//! of sample sources (exact when all vertices are sampled).
+
+use julienne_graph::csr::Csr;
+use julienne_graph::VertexId;
+use julienne_primitives::atomics::cas_u32;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Atomic f64 add via CAS on the bit pattern.
+fn atomic_f64_add(cell: &AtomicU64, x: f64) {
+    let mut cur = cell.load(Ordering::SeqCst);
+    loop {
+        let new = f64::from_bits(cur) + x;
+        match cell.compare_exchange(cur, new.to_bits(), Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Betweenness centrality from `sources` (exact if `sources` = all).
+pub fn betweenness(g: &Csr<()>, sources: &[VertexId]) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut bc = vec![0.0f64; n];
+    for &s in sources {
+        let delta = brandes_from(g, s);
+        bc.par_iter_mut()
+            .zip(delta.par_iter())
+            .enumerate()
+            .for_each(|(v, (b, &d))| {
+                if v as u32 != s {
+                    *b += d;
+                }
+            });
+    }
+    bc
+}
+
+/// Single-source Brandes: forward σ accumulation + backward dependency.
+pub fn brandes_from(g: &Csr<()>, src: VertexId) -> Vec<f64> {
+    let n = g.num_vertices();
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let sigma: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let in_next: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    level[src as usize].store(0, Ordering::SeqCst);
+    sigma[src as usize].store(1, Ordering::SeqCst);
+
+    let mut levels: Vec<Vec<VertexId>> = vec![vec![src]];
+    let mut depth = 0u32;
+    loop {
+        depth += 1;
+        let cur = levels.last().unwrap();
+        // σ accumulation: every shortest edge u→v with v on the new level.
+        cur.par_iter().for_each(|&u| {
+            let su = sigma[u as usize].load(Ordering::SeqCst);
+            for &v in g.neighbors(u) {
+                // Claim v for the next level if unvisited.
+                let lv = level[v as usize].load(Ordering::SeqCst);
+                if lv == u32::MAX {
+                    if cas_u32(&level[v as usize], u32::MAX, depth) {
+                        in_next[v as usize].store(1, Ordering::SeqCst);
+                    }
+                }
+                if level[v as usize].load(Ordering::SeqCst) == depth {
+                    sigma[v as usize].fetch_add(su, Ordering::SeqCst);
+                }
+            }
+        });
+        let next: Vec<VertexId> = julienne_primitives::filter::pack_index(n, |v| {
+            in_next[v].swap(0, Ordering::SeqCst) == 1
+        })
+        .into_iter()
+        .collect();
+        if next.is_empty() {
+            break;
+        }
+        levels.push(next);
+    }
+
+    // Backward phase: dependencies per level, deepest first.
+    let delta: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+    for lv in (1..levels.len()).rev() {
+        levels[lv].par_iter().for_each(|&w| {
+            let sw = sigma[w as usize].load(Ordering::SeqCst) as f64;
+            let dw = f64::from_bits(delta[w as usize].load(Ordering::SeqCst));
+            let contrib_per_sigma = (1.0 + dw) / sw;
+            for &v in g.neighbors(w) {
+                if level[v as usize].load(Ordering::SeqCst) == lv as u32 - 1 {
+                    let sv = sigma[v as usize].load(Ordering::SeqCst) as f64;
+                    atomic_f64_add(&delta[v as usize], sv * contrib_per_sigma);
+                }
+            }
+        });
+    }
+    delta
+        .into_iter()
+        .map(|d| f64::from_bits(d.into_inner()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use julienne_graph::builder::from_pairs_symmetric;
+    use julienne_graph::generators::erdos_renyi;
+
+    /// Sequential reference Brandes (textbook).
+    fn brandes_seq(g: &Csr<()>, src: VertexId) -> Vec<f64> {
+        let n = g.num_vertices();
+        let mut dist = vec![i64::MAX; n];
+        let mut sigma = vec![0u64; n];
+        let mut order: Vec<VertexId> = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        dist[src as usize] = 0;
+        sigma[src as usize] = 1;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == i64::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v as usize] == dist[u as usize] + 1 {
+                    sigma[v as usize] += sigma[u as usize];
+                }
+            }
+        }
+        let mut delta = vec![0.0f64; n];
+        for &w in order.iter().rev() {
+            for &v in g.neighbors(w) {
+                if dist[v as usize] + 1 == dist[w as usize] {
+                    delta[v as usize] +=
+                        sigma[v as usize] as f64 / sigma[w as usize] as f64
+                            * (1.0 + delta[w as usize]);
+                }
+            }
+        }
+        delta
+    }
+
+    fn close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-9, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn path_graph_centralities() {
+        // Path 0-1-2-3: from source 0, δ(1)=2 (lies on paths to 2,3),
+        // δ(2)=1, δ(3)=0.
+        let g = from_pairs_symmetric(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = brandes_from(&g, 0);
+        assert_eq!(d, vec![3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn matches_sequential_on_random() {
+        for seed in 0..3 {
+            let g = erdos_renyi(200, 1_500, seed, true);
+            for src in [0u32, 7, 99] {
+                close(&brandes_from(&g, src), &brandes_seq(&g, src));
+            }
+        }
+    }
+
+    #[test]
+    fn star_center_has_max_betweenness() {
+        let pairs: Vec<(u32, u32)> = (1..12).map(|i| (0, i)).collect();
+        let g = from_pairs_symmetric(12, &pairs);
+        let all: Vec<u32> = (0..12).collect();
+        let bc = betweenness(&g, &all);
+        for v in 1..12 {
+            assert!(bc[0] > bc[v], "center must dominate");
+        }
+        // Leaves lie on no shortest path between others.
+        for v in 1..12 {
+            assert!(bc[v].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampled_subset_is_partial_sum() {
+        let g = erdos_renyi(150, 1_000, 4, true);
+        let all: Vec<u32> = (0..150).collect();
+        let full = betweenness(&g, &all);
+        let half = betweenness(&g, &all[..75]);
+        for v in 0..150 {
+            assert!(half[v] <= full[v] + 1e-9);
+        }
+    }
+}

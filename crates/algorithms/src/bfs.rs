@@ -1,0 +1,140 @@
+//! Breadth-first search — the one-bucket special case of bucketing (the
+//! paper's canonical frontier-based algorithm), used by examples and the
+//! edgeMap ablation.
+
+use julienne_graph::csr::{Csr, Weight};
+use julienne_graph::VertexId;
+use julienne_ligra::edge_map::{edge_map, EdgeMapOptions, Mode};
+use julienne_ligra::subset::VertexSubset;
+use julienne_primitives::atomics::cas_u32;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Parent of unreached vertices.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// BFS result: parent pointers and hop distances.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    /// Parent of each vertex in the BFS tree (`NO_PARENT` if unreached;
+    /// the source is its own parent).
+    pub parent: Vec<u32>,
+    /// Hop distance from the source (`u32::MAX` if unreached).
+    pub level: Vec<u32>,
+    /// Number of frontier rounds (= eccentricity of the source + 1).
+    pub rounds: u64,
+}
+
+/// Direction-optimized BFS from `src`.
+pub fn bfs<W: Weight>(g: &Csr<W>, src: VertexId) -> BfsResult {
+    bfs_with_mode(g, src, Mode::Auto)
+}
+
+/// BFS with a forced traversal mode (for the A3 ablation).
+pub fn bfs_with_mode<W: Weight>(g: &Csr<W>, src: VertexId, mode: Mode) -> BfsResult {
+    let n = g.num_vertices();
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    parent[src as usize].store(src, Ordering::SeqCst);
+    level[src as usize].store(0, Ordering::SeqCst);
+
+    let mut frontier = VertexSubset::single(n, src);
+    let mut rounds = 0u64;
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        rounds += 1;
+        depth += 1;
+        frontier = edge_map(
+            g,
+            &frontier,
+            |u, v, _| {
+                if cas_u32(&parent[v as usize], NO_PARENT, u) {
+                    level[v as usize].store(depth, Ordering::SeqCst);
+                    true
+                } else {
+                    false
+                }
+            },
+            |v| parent[v as usize].load(Ordering::SeqCst) == NO_PARENT,
+            EdgeMapOptions {
+                mode,
+                ..Default::default()
+            },
+        );
+    }
+
+    BfsResult {
+        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
+        level: level.into_iter().map(AtomicU32::into_inner).collect(),
+        rounds,
+    }
+}
+
+/// Sequential reference BFS (queue-based), used as the test oracle.
+pub fn bfs_seq<W: Weight>(g: &Csr<W>, src: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut level = vec![u32::MAX; n];
+    level[src as usize] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if level[v as usize] == u32::MAX {
+                level[v as usize] = level[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use julienne_graph::builder::from_pairs_symmetric;
+    use julienne_graph::generators::{erdos_renyi, grid2d};
+
+    #[test]
+    fn levels_match_sequential_on_grid() {
+        let g = grid2d(20, 30);
+        let par = bfs(&g, 0);
+        let seq = bfs_seq(&g, 0);
+        assert_eq!(par.level, seq);
+        // Eccentricity of corner = rows+cols-2 = 48; rounds = 49.
+        assert_eq!(par.rounds, 49);
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let g = erdos_renyi(500, 4000, 7, true);
+        let seq = bfs_seq(&g, 3);
+        for mode in [Mode::Sparse, Mode::Dense, Mode::Auto] {
+            let r = bfs_with_mode(&g, 3, mode);
+            assert_eq!(r.level, seq, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn parents_form_a_valid_tree() {
+        let g = erdos_renyi(300, 2000, 5, true);
+        let r = bfs(&g, 0);
+        for v in 0..300u32 {
+            let p = r.parent[v as usize];
+            if p == NO_PARENT {
+                assert_eq!(r.level[v as usize], u32::MAX);
+            } else if v == 0 {
+                assert_eq!(p, 0);
+            } else {
+                // Parent is one level closer and adjacent.
+                assert_eq!(r.level[p as usize] + 1, r.level[v as usize]);
+                assert!(g.neighbors(p).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_component_unreached() {
+        let g = from_pairs_symmetric(4, &[(0, 1), (2, 3)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.level, vec![0, 1, u32::MAX, u32::MAX]);
+    }
+}

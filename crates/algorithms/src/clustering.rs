@@ -1,0 +1,172 @@
+//! Clustering coefficients — exact local and global (transitivity),
+//! computed on the triangle substrate of [`crate::triangles`], plus
+//! closeness/harmonic centrality via multi-BFS.
+
+use crate::bfs::bfs_seq;
+use crate::triangles::{edge_support, EdgeIndex};
+use julienne_graph::csr::Csr;
+use julienne_graph::VertexId;
+use rayon::prelude::*;
+
+/// Per-vertex local clustering coefficient:
+/// `C(v) = 2·T(v) / (deg(v)·(deg(v)−1))`, where `T(v)` counts triangles
+/// through `v` (0 for degree < 2).
+pub fn local_clustering(g: &Csr<()>) -> Vec<f64> {
+    assert!(g.is_symmetric());
+    let idx = EdgeIndex::new(g);
+    let support = edge_support(g, &idx);
+    // T(v) = ½ Σ_{e ∋ v} support(e): each triangle through v contributes to
+    // exactly two of v's incident edges.
+    let n = g.num_vertices();
+    let mut tri_twice = vec![0u64; n];
+    for (e, &(u, v)) in idx.endpoints.iter().enumerate() {
+        tri_twice[u as usize] += support[e] as u64;
+        tri_twice[v as usize] += support[e] as u64;
+    }
+    (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let d = g.degree(v as VertexId) as u64;
+            if d < 2 {
+                0.0
+            } else {
+                (tri_twice[v] / 2) as f64 / ((d * (d - 1) / 2) as f64)
+            }
+        })
+        .collect()
+}
+
+/// Global transitivity: `3·triangles / wedges`.
+pub fn transitivity(g: &Csr<()>) -> f64 {
+    assert!(g.is_symmetric());
+    let triangles = crate::triangles::triangle_count(g);
+    let wedges: u64 = (0..g.num_vertices() as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+/// Closeness centrality of `sources` (normalised by reachable count):
+/// `C(v) = (r−1) / Σ_u dist(v,u)` over the r reachable vertices.
+pub fn closeness(g: &Csr<()>, sources: &[VertexId]) -> Vec<f64> {
+    sources
+        .par_iter()
+        .map(|&s| {
+            let levels = bfs_seq(g, s);
+            let mut sum = 0u64;
+            let mut reached = 0u64;
+            for &l in &levels {
+                if l != u32::MAX && l > 0 {
+                    sum += l as u64;
+                    reached += 1;
+                }
+            }
+            if sum == 0 {
+                0.0
+            } else {
+                reached as f64 / sum as f64
+            }
+        })
+        .collect()
+}
+
+/// Harmonic centrality of `sources`: `H(v) = Σ_{u≠v} 1/dist(v,u)` —
+/// well-defined on disconnected graphs.
+pub fn harmonic(g: &Csr<()>, sources: &[VertexId]) -> Vec<f64> {
+    sources
+        .par_iter()
+        .map(|&s| {
+            let levels = bfs_seq(g, s);
+            levels
+                .iter()
+                .filter(|&&l| l != u32::MAX && l > 0)
+                .map(|&l| 1.0 / l as f64)
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use julienne_graph::builder::from_pairs_symmetric;
+    use julienne_graph::generators::{erdos_renyi, grid2d};
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = from_pairs_symmetric(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(local_clustering(&g), vec![1.0, 1.0, 1.0]);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let pairs: Vec<(u32, u32)> = (1..8).map(|i| (0, i)).collect();
+        let g = from_pairs_symmetric(8, &pairs);
+        assert!(local_clustering(&g).iter().all(|&c| c == 0.0));
+        assert_eq!(transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn local_matches_brute_force() {
+        let g = erdos_renyi(150, 1_800, 5, true);
+        let got = local_clustering(&g);
+        for v in 0..150u32 {
+            let nbrs = g.neighbors(v);
+            let d = nbrs.len();
+            let mut tri = 0usize;
+            for i in 0..d {
+                for j in (i + 1)..d {
+                    if g.neighbors(nbrs[i]).contains(&nbrs[j]) {
+                        tri += 1;
+                    }
+                }
+            }
+            let want = if d < 2 {
+                0.0
+            } else {
+                tri as f64 / (d * (d - 1) / 2) as f64
+            };
+            assert!(
+                (got[v as usize] - want).abs() < 1e-9,
+                "vertex {v}: {} vs {want}",
+                got[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn grid_is_triangle_free() {
+        let g = grid2d(10, 10);
+        assert!(local_clustering(&g).iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn path_centralities() {
+        // Path 0-1-2: center is closest to everything.
+        let g = from_pairs_symmetric(3, &[(0, 1), (1, 2)]);
+        let all = vec![0, 1, 2];
+        let close = closeness(&g, &all);
+        assert!(close[1] > close[0]);
+        assert!((close[1] - 2.0 / 2.0).abs() < 1e-12); // (3−1)/… = 2/2
+        let h = harmonic(&g, &all);
+        assert!((h[1] - 2.0).abs() < 1e-12); // 1/1 + 1/1
+        assert!((h[0] - 1.5).abs() < 1e-12); // 1/1 + 1/2
+    }
+
+    #[test]
+    fn harmonic_handles_disconnection() {
+        let g = from_pairs_symmetric(4, &[(0, 1), (2, 3)]);
+        let h = harmonic(&g, &[0, 2]);
+        assert!((h[0] - 1.0).abs() < 1e-12);
+        assert!((h[1] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,362 @@
+//! Δ-stepping and wBFS (Section 4.2, Algorithm 2).
+//!
+//! Buckets partition vertices by distance annulus `[i·Δ, (i+1)·Δ)`. Each
+//! round extracts the closest unfinished annulus and relaxes its out-edges;
+//! the visit protocol (flag CAS, then `writeMin`) guarantees exactly one
+//! relaxer per target per round captures the round-start distance, which
+//! `Reset` uses to compute the bucket move via `getBucket`.
+//!
+//! * [`delta_stepping`] — the plain Algorithm 2.
+//! * [`wbfs`] — Δ = 1 with integral weights: O(r_src + m) expected work and
+//!   O(r_src log n) depth w.h.p. (Theorem 4.2).
+//! * [`delta_stepping_light_heavy`] — the Meyer–Sanders light/heavy edge
+//!   split the paper implemented but found unhelpful on its inputs (kept
+//!   for the A2 ablation).
+
+use crate::bellman_ford::SsspResult;
+use crate::INF;
+use julienne::bucket::{BucketId, Buckets, Order, NULL_BKT};
+use julienne_graph::builder::EdgeList;
+use julienne_graph::csr::Csr;
+use julienne_graph::VertexId;
+use julienne_ligra::edge_map::edge_map_sparse_data;
+use julienne_ligra::traits::OutEdges;
+use julienne_ligra::vertex_ops::vertex_map_data;
+use julienne_primitives::atomics::write_min_u64;
+use julienne_primitives::bitset::AtomicBitSet;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Δ-stepping SSSP result with bucket-structure counters.
+#[derive(Clone, Debug)]
+pub struct DeltaResult {
+    /// Shortest distance from the source (INF if unreachable).
+    pub dist: Vec<u64>,
+    /// Buckets extracted (the paper's round count).
+    pub rounds: u64,
+    /// Edge relaxations attempted.
+    pub relaxations: u64,
+    /// Identifiers physically moved inside the bucket structure.
+    pub identifiers_moved: u64,
+}
+
+impl From<DeltaResult> for SsspResult {
+    fn from(d: DeltaResult) -> SsspResult {
+        SsspResult {
+            dist: d.dist,
+            rounds: d.rounds,
+            relaxations: d.relaxations,
+        }
+    }
+}
+
+#[inline]
+fn annulus(dist: u64, delta: u64) -> BucketId {
+    let b = dist / delta;
+    debug_assert!(b < NULL_BKT as u64, "distance overflows bucket id space");
+    b as BucketId
+}
+
+/// Δ-stepping from `src` with bucket width `delta` (Algorithm 2).
+///
+/// Generic over the out-edge backend, so it runs unmodified on plain CSR
+/// and on Ligra+-style byte-compressed weighted graphs.
+pub fn delta_stepping<G: OutEdges<W = u32>>(g: &G, src: VertexId, delta: u64) -> DeltaResult {
+    delta_stepping_opts(g, src, delta, julienne::bucket::DEFAULT_OPEN_BUCKETS)
+}
+
+/// [`delta_stepping`] with an explicit number of open buckets.
+pub fn delta_stepping_opts<G: OutEdges<W = u32>>(
+    g: &G,
+    src: VertexId,
+    delta: u64,
+    num_open: usize,
+) -> DeltaResult {
+    assert!(delta >= 1);
+    let n = g.num_vertices();
+    let sp: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    sp[src as usize].store(0, Ordering::SeqCst);
+    let flags = AtomicBitSet::new(n);
+
+    // D: the current annulus of each vertex (nullbkt while unreached).
+    let d_fun = |v: u32| {
+        let s = sp[v as usize].load(Ordering::SeqCst);
+        if s == INF {
+            NULL_BKT
+        } else {
+            annulus(s, delta)
+        }
+    };
+    let mut buckets = Buckets::with_open_buckets(n, d_fun, Order::Increasing, num_open);
+
+    let mut rounds = 0u64;
+    let mut relaxations = 0u64;
+    while let Some((_bkt, ids)) = buckets.next_bucket() {
+        rounds += 1;
+        relaxations += ids.par_iter().map(|&v| g.out_degree(v) as u64).sum::<u64>();
+
+        // Update (Algorithm 2, lines 4–10): relax, with the flag CAS
+        // electing the unique visitor that captures the round-start
+        // distance.
+        let moved = edge_map_sparse_data(
+            g,
+            &ids,
+            |u, v, w| {
+                let nd = sp[u as usize].load(Ordering::SeqCst) + w as u64;
+                let od = sp[v as usize].load(Ordering::SeqCst);
+                if nd < od {
+                    if flags.set(v as usize) {
+                        write_min_u64(&sp[v as usize], nd);
+                        return Some(od);
+                    }
+                    write_min_u64(&sp[v as usize], nd);
+                }
+                None
+            },
+            |_| true,
+        );
+
+        // Reset (lines 11–13): clear the flag and compute the bucket move
+        // from the round-start annulus to the new one.
+        let new_buckets = vertex_map_data(&moved, |v, old_dist| {
+            flags.clear(v as usize);
+            let new_dist = sp[v as usize].load(Ordering::SeqCst);
+            let prev = if old_dist == INF {
+                NULL_BKT
+            } else {
+                annulus(old_dist, delta)
+            };
+            Some(buckets.get_bucket(prev, annulus(new_dist, delta)))
+        });
+        buckets.update_buckets(new_buckets.entries());
+    }
+
+    let identifiers_moved = buckets.stats().identifiers_moved;
+    drop(buckets); // releases the D closure's borrow of `sp`
+    DeltaResult {
+        dist: sp.into_iter().map(AtomicU64::into_inner).collect(),
+        rounds,
+        relaxations,
+        identifiers_moved,
+    }
+}
+
+/// Weighted BFS: Δ-stepping with Δ = 1 (Theorem 4.2).
+pub fn wbfs<G: OutEdges<W = u32>>(g: &G, src: VertexId) -> DeltaResult {
+    delta_stepping(g, src, 1)
+}
+
+/// Δ-stepping with the Meyer–Sanders light/heavy edge split: light edges
+/// (w ≤ Δ) are relaxed repeatedly inside the current annulus, heavy edges
+/// once per settled vertex when the annulus completes.
+pub fn delta_stepping_light_heavy(g: &Csr<u32>, src: VertexId, delta: u64) -> DeltaResult {
+    assert!(delta >= 1);
+    let n = g.num_vertices();
+
+    // Split into light/heavy subgraphs once (the paper: "two graphs, one
+    // containing just the light edges and the other just the heavy edges").
+    let mut light: EdgeList<u32> = EdgeList::new(n);
+    let mut heavy: EdgeList<u32> = EdgeList::new(n);
+    for u in 0..n as VertexId {
+        for (v, w) in g.edges_of(u) {
+            if w as u64 <= delta {
+                light.push(u, v, w);
+            } else {
+                heavy.push(u, v, w);
+            }
+        }
+    }
+    let light = light.build(false);
+    let heavy = heavy.build(false);
+
+    let sp: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    sp[src as usize].store(0, Ordering::SeqCst);
+    let flags = AtomicBitSet::new(n);
+    let d_fun = |v: u32| {
+        let s = sp[v as usize].load(Ordering::SeqCst);
+        if s == INF {
+            NULL_BKT
+        } else {
+            annulus(s, delta)
+        }
+    };
+    let mut buckets = Buckets::new(n, d_fun, Order::Increasing);
+
+    let mut rounds = 0u64;
+    let mut relaxations = 0u64;
+
+    // One relaxation pass over `graph` from `ids`, returning bucket moves.
+    let relax = |graph: &Csr<u32>,
+                 ids: &[VertexId],
+                 buckets: &Buckets<_>,
+                 relaxations: &mut u64|
+     -> Vec<(u32, julienne::bucket::BucketDest)> {
+        *relaxations += ids.par_iter().map(|&v| graph.degree(v) as u64).sum::<u64>();
+        let moved = edge_map_sparse_data(
+            graph,
+            ids,
+            |u, v, w| {
+                let nd = sp[u as usize].load(Ordering::SeqCst) + w as u64;
+                let od = sp[v as usize].load(Ordering::SeqCst);
+                if nd < od {
+                    if flags.set(v as usize) {
+                        write_min_u64(&sp[v as usize], nd);
+                        return Some(od);
+                    }
+                    write_min_u64(&sp[v as usize], nd);
+                }
+                None
+            },
+            |_| true,
+        );
+        let dests = vertex_map_data(&moved, |v, old_dist| {
+            flags.clear(v as usize);
+            let new_dist = sp[v as usize].load(Ordering::SeqCst);
+            let prev = if old_dist == INF {
+                NULL_BKT
+            } else {
+                annulus(old_dist, delta)
+            };
+            Some(buckets.get_bucket(prev, annulus(new_dist, delta)))
+        });
+        dests.into_entries()
+    };
+
+    while let Some((_bkt, first)) = buckets.next_bucket() {
+        rounds += 1;
+        let mut settled: Vec<VertexId> = Vec::new();
+        let mut cur = first;
+        // Light phase: drain the current annulus to a fixed point.
+        loop {
+            settled.extend_from_slice(&cur);
+            let moves = relax(&light, &cur, &buckets, &mut relaxations);
+            buckets.update_buckets(&moves);
+            match buckets.try_next_in_current() {
+                Some(more) => cur = more,
+                None => break,
+            }
+        }
+        // Heavy phase: each settled vertex relaxes its heavy edges once.
+        let moves = relax(&heavy, &settled, &buckets, &mut relaxations);
+        buckets.update_buckets(&moves);
+    }
+
+    let identifiers_moved = buckets.stats().identifiers_moved;
+    drop(buckets); // releases the D closure's borrow of `sp`
+    DeltaResult {
+        dist: sp.into_iter().map(AtomicU64::into_inner).collect(),
+        rounds,
+        relaxations,
+        identifiers_moved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use julienne_graph::generators::{erdos_renyi, grid2d, rmat, RmatParams};
+    use julienne_graph::transform::{assign_weights, wbfs_weight_range};
+
+    fn weighted_er(seed: u64, lo: u32, hi: u32) -> Csr<u32> {
+        assign_weights(&erdos_renyi(400, 3200, seed, true), lo, hi, seed + 100)
+    }
+
+    #[test]
+    fn wbfs_matches_dijkstra_small_weights() {
+        for seed in 0..3 {
+            let (lo, hi) = wbfs_weight_range(400);
+            let g = weighted_er(seed, lo, hi);
+            let r = wbfs(&g, 0);
+            assert_eq!(r.dist, dijkstra(&g, 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn delta_stepping_matches_dijkstra_large_weights() {
+        for seed in 0..3 {
+            let g = weighted_er(seed, 1, 100_000);
+            for delta in [1u64, 1000, 32768, 1 << 40] {
+                let r = delta_stepping(&g, 0, delta);
+                assert_eq!(r.dist, dijkstra(&g, 0), "seed {seed} delta {delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn huge_delta_equals_bellman_ford_semantics() {
+        // Δ = ∞ → one bucket → Bellman–Ford behaviour, still correct.
+        let g = weighted_er(9, 1, 1000);
+        let r = delta_stepping(&g, 5, u64::MAX / 4);
+        assert_eq!(r.dist, dijkstra(&g, 5));
+    }
+
+    #[test]
+    fn light_heavy_matches_plain() {
+        for seed in 0..2 {
+            let g = weighted_er(seed + 20, 1, 10_000);
+            let plain = delta_stepping(&g, 0, 512);
+            let lh = delta_stepping_light_heavy(&g, 0, 512);
+            assert_eq!(plain.dist, lh.dist, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn grid_high_diameter_correct() {
+        let g = assign_weights(&grid2d(30, 30), 1, 20, 4);
+        let r = delta_stepping(&g, 0, 8);
+        assert_eq!(r.dist, dijkstra(&g, 0));
+        assert!(r.rounds > 10, "grid should need many annuli");
+    }
+
+    #[test]
+    fn directed_rmat_correct() {
+        let g = assign_weights(&rmat(10, 8, RmatParams::default(), 7, false), 1, 50, 8);
+        let r = delta_stepping(&g, 0, 64);
+        assert_eq!(r.dist, dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn wbfs_work_bound_holds() {
+        // Theorem 4.2: each edge causes at most one insertion; moves ≤ m.
+        let (lo, hi) = wbfs_weight_range(1 << 10);
+        let g = assign_weights(&rmat(10, 8, RmatParams::default(), 2, true), lo, hi, 3);
+        let r = wbfs(&g, 0);
+        assert!(
+            r.identifiers_moved <= g.num_edges() as u64,
+            "moved {} > m {}",
+            r.identifiers_moved,
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn unreachable_inf_and_source_zero() {
+        use julienne_graph::builder::EdgeList;
+        let mut el: EdgeList<u32> = EdgeList::new(5);
+        el.push(0, 1, 7);
+        el.push(1, 2, 7);
+        let g = el.build(false);
+        let r = delta_stepping(&g, 0, 4);
+        assert_eq!(r.dist, vec![0, 7, 14, INF, INF]);
+    }
+
+    #[test]
+    fn wbfs_on_compressed_weighted_graph() {
+        use julienne_graph::compress::CompressedWGraph;
+        let (lo, hi) = wbfs_weight_range(1 << 11);
+        let g = assign_weights(&rmat(11, 8, RmatParams::default(), 13, true), lo, hi, 14);
+        let cg = CompressedWGraph::from_csr(&g);
+        let plain = wbfs(&g, 0);
+        let compressed = wbfs(&cg, 0);
+        assert_eq!(plain.dist, compressed.dist);
+        assert_eq!(plain.dist, dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn small_open_buckets_still_correct() {
+        let g = weighted_er(31, 1, 100_000);
+        let r = delta_stepping_opts(&g, 0, 1024, 2);
+        assert_eq!(r.dist, dijkstra(&g, 0));
+    }
+}

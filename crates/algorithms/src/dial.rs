@@ -1,0 +1,106 @@
+//! Dial's algorithm (1969) — the sequential bucket-queue SSSP the paper
+//! cites as the origin of wBFS ([18]: "Algorithm 360: shortest-path forest
+//! with topological ordering").
+//!
+//! Distances are kept in a circular array of C·1 buckets (C = max edge
+//! weight); the scan pointer only moves forward, so the total work is
+//! O(m + dist_max). This is the natural *sequential* baseline for wBFS:
+//! the Julienne version parallelises exactly this structure.
+
+use crate::INF;
+use julienne_graph::csr::Csr;
+use julienne_graph::VertexId;
+
+/// Sequential Dial SSSP. Requires integer weights ≥ 1; the bucket ring has
+/// `max_weight + 1` slots.
+pub fn dial(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    dist[src as usize] = 0;
+    if n == 0 {
+        return dist;
+    }
+    let max_w = g.weights().iter().copied().max().unwrap_or(1).max(1) as usize;
+    let ring = max_w + 1;
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); ring];
+    buckets[0].push(src);
+    let mut remaining = 1usize;
+    let mut cur = 0u64;
+
+    while remaining > 0 {
+        let slot = (cur % ring as u64) as usize;
+        if buckets[slot].is_empty() {
+            cur += 1;
+            continue;
+        }
+        let batch = std::mem::take(&mut buckets[slot]);
+        for v in batch {
+            remaining -= 1;
+            if dist[v as usize] != cur {
+                continue; // stale entry (lazy decrease-key)
+            }
+            for (u, w) in g.edges_of(v) {
+                let nd = cur + w as u64;
+                if nd < dist[u as usize] {
+                    // `remaining` counts queue entries (stale copies stay
+                    // counted until popped and skipped).
+                    remaining += 1;
+                    dist[u as usize] = nd;
+                    buckets[(nd % ring as u64) as usize].push(u);
+                }
+            }
+        }
+        // Re-check the same slot: relaxations with w == ring would wrap to
+        // it, but w ≤ max_w < ring, so advancing is safe.
+        cur += 1;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use julienne_graph::generators::{erdos_renyi, grid2d};
+    use julienne_graph::transform::assign_weights;
+
+    #[test]
+    fn matches_dijkstra_small_weights() {
+        for seed in 0..3 {
+            let g = assign_weights(&erdos_renyi(500, 4_000, seed, true), 1, 12, seed);
+            assert_eq!(dial(&g, 0), dijkstra(&g, 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_grid() {
+        let g = assign_weights(&grid2d(30, 30), 1, 30, 7);
+        assert_eq!(dial(&g, 5), dijkstra(&g, 5));
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_bfs() {
+        use crate::bfs::bfs_seq;
+        let base = erdos_renyi(800, 6_000, 9, true);
+        let g = assign_weights(&base, 1, 2, 1); // all weights exactly 1
+        let d = dial(&g, 0);
+        let levels = bfs_seq(&base, 0);
+        for v in 0..800 {
+            let want = if levels[v] == u32::MAX {
+                INF
+            } else {
+                levels[v] as u64
+            };
+            assert_eq!(d[v], want, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn handles_unreachable() {
+        use julienne_graph::builder::EdgeList;
+        let mut el: EdgeList<u32> = EdgeList::new(4);
+        el.push(0, 1, 3);
+        let g = el.build(false);
+        assert_eq!(dial(&g, 0), vec![0, 3, INF, INF]);
+    }
+}

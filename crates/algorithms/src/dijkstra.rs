@@ -1,0 +1,109 @@
+//! Sequential Dijkstra (binary heap) — the stand-in for the DIMACS
+//! shortest-path challenge solver in Table 3, and the correctness oracle
+//! for every parallel SSSP implementation.
+
+use crate::INF;
+use julienne_graph::csr::Csr;
+use julienne_graph::VertexId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Single-source shortest paths with nonnegative integer weights.
+/// O((m + n) log n) with a binary heap and lazy deletion.
+pub fn dijkstra(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    dist[src as usize] = 0;
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (v, w) in g.edges_of(u) {
+            let nd = d + w as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Sequential Bellman–Ford (queue-based SPFA variant) — a second oracle
+/// used to cross-check Dijkstra in the property tests.
+pub fn bellman_ford_seq(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    dist[src as usize] = 0;
+    let mut in_queue = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(src);
+    in_queue[src as usize] = true;
+    while let Some(u) = queue.pop_front() {
+        in_queue[u as usize] = false;
+        let du = dist[u as usize];
+        for (v, w) in g.edges_of(u) {
+            let nd = du + w as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                if !in_queue[v as usize] {
+                    in_queue[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use julienne_graph::builder::EdgeList;
+    use julienne_graph::generators::erdos_renyi;
+    use julienne_graph::transform::assign_weights;
+
+    fn diamond() -> Csr<u32> {
+        // 0 →1(1)→3(1): dist 2 beats 0→2(5)→3(1): 6 and 0→3(10).
+        let mut el: EdgeList<u32> = EdgeList::new(4);
+        el.push(0, 1, 1);
+        el.push(1, 3, 1);
+        el.push(0, 2, 5);
+        el.push(2, 3, 1);
+        el.push(0, 3, 10);
+        el.build(false)
+    }
+
+    #[test]
+    fn shortest_path_through_middle() {
+        let d = dijkstra(&diamond(), 0);
+        assert_eq!(d, vec![0, 1, 5, 2]);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let mut el: EdgeList<u32> = EdgeList::new(3);
+        el.push(0, 1, 2);
+        let g = el.build(false);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0, 2, INF]);
+    }
+
+    #[test]
+    fn dijkstra_and_spfa_agree_on_random() {
+        for seed in 0..3 {
+            let g = assign_weights(&erdos_renyi(300, 2500, seed, false), 1, 100, seed);
+            let a = dijkstra(&g, 0);
+            let b = bellman_ford_seq(&g, 0);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn source_distance_zero() {
+        let g = assign_weights(&erdos_renyi(50, 200, 1, true), 1, 9, 2);
+        assert_eq!(dijkstra(&g, 17)[17], 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! k-core / coreness (Section 4.1).
+//!
+//! * [`coreness_julienne`] — Algorithm 1: the first work-efficient parallel
+//!   coreness algorithm with non-trivial parallelism. O(m + n) expected
+//!   work, O(ρ log n) depth w.h.p., where ρ is the peeling complexity.
+//! * [`coreness_ligra`] — the work-inefficient Ligra-style peeling that
+//!   scans **all remaining vertices** every core value:
+//!   O(k_max·n + m) work (the Table 3 / Figure 2 comparator).
+//! * [`coreness_bz_seq`] — the sequential Batagelj–Zaversnik bucket-sort
+//!   algorithm (the "well-tuned sequential baseline").
+//!
+//! All three return identical coreness values; the tests check them against
+//! each other and against hand-computed graphs.
+
+use julienne::bucket::{Buckets, Order};
+use julienne_graph::csr::Csr;
+use julienne_graph::VertexId;
+use julienne_ligra::edge_map_reduce::{edge_map_sum_with_scratch, SumScratch};
+use julienne_ligra::traits::OutEdges;
+use julienne_primitives::filter::pack_index;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Result of a coreness computation, with the work counters used by the
+/// Table 1 / EXPERIMENTS.md work-efficiency checks.
+#[derive(Clone, Debug)]
+pub struct KcoreResult {
+    /// λ(v) for every vertex.
+    pub coreness: Vec<u32>,
+    /// Number of `nextBucket` rounds (= the measured peeling complexity ρ
+    /// for the Julienne implementation).
+    pub rounds: u64,
+    /// Total vertices scanned across rounds (extracted, for Julienne; all
+    /// remaining vertices per scan, for the work-inefficient variant).
+    pub vertices_scanned: u64,
+    /// Total edges traversed.
+    pub edges_traversed: u64,
+    /// Identifiers physically moved by the bucket structure (0 for
+    /// non-bucketed variants).
+    pub identifiers_moved: u64,
+}
+
+/// Work-efficient coreness (Algorithm 1) over any out-edge backend — plain
+/// CSR or byte-compressed. The graph must be symmetric.
+pub fn coreness_julienne<G: OutEdges>(g: &G) -> KcoreResult {
+    coreness_julienne_opts(g, julienne::bucket::DEFAULT_OPEN_BUCKETS)
+}
+
+/// [`coreness_julienne`] with an explicit number of open buckets (for the
+/// nB ablation).
+pub fn coreness_julienne_opts<G: OutEdges>(g: &G, num_open: usize) -> KcoreResult {
+    let n = g.num_vertices();
+    // D holds the induced degree of live vertices and, once extracted, the
+    // final coreness. It doubles as the bucket map.
+    let degrees: Vec<AtomicU32> = (0..n)
+        .map(|v| AtomicU32::new(g.out_degree(v as VertexId) as u32))
+        .collect();
+    let d = |i: u32| degrees[i as usize].load(Ordering::SeqCst);
+    let mut buckets = Buckets::with_open_buckets(n, d, Order::Increasing, num_open);
+    // Persistent per-neighbor counters for edgeMapSum (cleared per round in
+    // work proportional to the touched vertices, preserving O(m + n)).
+    let scratch = SumScratch::new(n);
+
+    let mut finished = 0usize;
+    let mut rounds = 0u64;
+    let mut vertices_scanned = 0u64;
+    let mut edges_traversed = 0u64;
+
+    while finished < n {
+        let (k, ids) = buckets
+            .next_bucket()
+            .expect("bucket structure exhausted before all vertices finished");
+        finished += ids.len();
+        rounds += 1;
+        vertices_scanned += ids.len() as u64;
+        edges_traversed += ids
+            .par_iter()
+            .map(|&v| g.out_degree(v) as u64)
+            .sum::<u64>();
+
+        // Update (Algorithm 1, lines 3–10): for each neighbor v of the
+        // peeled set, subtract the number of removed edges, clamping at k,
+        // and compute its bucket destination.
+        let moved = edge_map_sum_with_scratch(
+            g,
+            &ids,
+            |v, edges_removed| {
+                let induced = degrees[v as usize].load(Ordering::SeqCst);
+                if induced > k {
+                    let new_d = induced.saturating_sub(edges_removed).max(k);
+                    degrees[v as usize].store(new_d, Ordering::SeqCst);
+                    let dest = buckets.get_bucket(induced, new_d);
+                    if dest.is_null() {
+                        None
+                    } else {
+                        Some(dest)
+                    }
+                } else {
+                    None
+                }
+            },
+            |v| degrees[v as usize].load(Ordering::SeqCst) > k,
+            &scratch,
+        );
+        buckets.update_buckets(moved.entries());
+    }
+
+    let identifiers_moved = buckets.stats().identifiers_moved;
+    KcoreResult {
+        coreness: degrees.into_iter().map(AtomicU32::into_inner).collect(),
+        rounds,
+        vertices_scanned,
+        edges_traversed,
+        identifiers_moved,
+    }
+}
+
+/// Work-inefficient Ligra-style coreness: for each core value k, repeatedly
+/// scans **all remaining vertices** for those with induced degree ≤ k.
+/// O(k_max·n + m) work — the comparator the paper beats by 2.6–9.2×.
+pub fn coreness_ligra(g: &Csr<()>) -> KcoreResult {
+    let n = g.num_vertices();
+    let degrees: Vec<AtomicU32> = g.degrees().into_iter().map(AtomicU32::new).collect();
+    let alive: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(1)).collect();
+    let coreness: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+
+    let mut finished = 0usize;
+    let mut k = 0u32;
+    let mut rounds = 0u64;
+    let mut vertices_scanned = 0u64;
+    let mut edges_traversed = 0u64;
+
+    while finished < n {
+        // Scan all remaining vertices — the work-inefficiency.
+        vertices_scanned += (n - finished) as u64;
+        rounds += 1;
+        let peel: Vec<VertexId> = pack_index(n, |v| {
+            alive[v].load(Ordering::SeqCst) == 1 && degrees[v].load(Ordering::SeqCst) <= k
+        });
+        if peel.is_empty() {
+            k += 1;
+            continue;
+        }
+        finished += peel.len();
+        peel.par_iter().for_each(|&v| {
+            alive[v as usize].store(0, Ordering::SeqCst);
+            coreness[v as usize].store(k, Ordering::SeqCst);
+        });
+        edges_traversed += peel.par_iter().map(|&v| g.degree(v) as u64).sum::<u64>();
+        peel.par_iter().for_each(|&v| {
+            for &u in g.neighbors(v) {
+                if alive[u as usize].load(Ordering::SeqCst) == 1 {
+                    degrees[u as usize].fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        });
+    }
+
+    KcoreResult {
+        coreness: coreness.into_iter().map(AtomicU32::into_inner).collect(),
+        rounds,
+        vertices_scanned,
+        edges_traversed,
+        identifiers_moved: 0,
+    }
+}
+
+/// Sequential Batagelj–Zaversnik coreness: bucket sort by degree, repeatedly
+/// delete the minimum-degree vertex, moving each affected neighbor down one
+/// bucket per removed edge. O(m + n) work, fully sequential.
+pub fn coreness_bz_seq(g: &Csr<()>) -> KcoreResult {
+    let n = g.num_vertices();
+    let mut deg: Vec<u32> = g.degrees();
+    let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+
+    // bin[d] = start index of degree-d vertices in `vert`.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bin[d as usize + 1] += 1;
+    }
+    for i in 1..bin.len() {
+        bin[i] += bin[i - 1];
+    }
+    let mut start = bin.clone(); // running start of each degree class
+    let mut vert = vec![0 as VertexId; n];
+    let mut pos = vec![0usize; n];
+    for v in 0..n {
+        let d = deg[v] as usize;
+        pos[v] = start[d];
+        vert[pos[v]] = v as VertexId;
+        start[d] += 1;
+    }
+
+    let mut edges_traversed = 0u64;
+    for i in 0..n {
+        let v = vert[i] as usize;
+        edges_traversed += g.degree(v as VertexId) as u64;
+        for &u in g.neighbors(v as VertexId) {
+            let u = u as usize;
+            if deg[u] > deg[v] {
+                // Swap u to the front of its degree class and shrink it.
+                let du = deg[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    pos[u] = pw;
+                    pos[w] = pu;
+                    vert[pu] = w as VertexId;
+                    vert[pw] = u as VertexId;
+                }
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+
+    KcoreResult {
+        coreness: deg,
+        rounds: n as u64,
+        vertices_scanned: n as u64,
+        edges_traversed,
+        identifiers_moved: 0,
+    }
+}
+
+/// Extracts the vertices of the k-core (coreness ≥ k) from a coreness
+/// vector — the paper's footnote 1: the k-core is the induced subgraph over
+/// these vertices.
+pub fn kcore_vertices(coreness: &[u32], k: u32) -> Vec<VertexId> {
+    pack_index(coreness.len(), |v| coreness[v] >= k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use julienne_graph::builder::from_pairs_symmetric;
+    use julienne_graph::generators::{erdos_renyi, rmat, RmatParams};
+
+    /// A graph with known coreness: a 4-clique with a pendant path.
+    /// clique {0,1,2,3} → coreness 3; path 3-4-5 → coreness 1.
+    fn clique_with_tail() -> Csr<()> {
+        from_pairs_symmetric(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
+        )
+    }
+
+    #[test]
+    fn known_coreness_julienne() {
+        let g = clique_with_tail();
+        let r = coreness_julienne(&g);
+        assert_eq!(r.coreness, vec![3, 3, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn known_coreness_ligra() {
+        let g = clique_with_tail();
+        let r = coreness_ligra(&g);
+        assert_eq!(r.coreness, vec![3, 3, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn known_coreness_bz() {
+        let g = clique_with_tail();
+        let r = coreness_bz_seq(&g);
+        assert_eq!(r.coreness, vec![3, 3, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn all_three_agree_on_random_graphs() {
+        for seed in 0..3 {
+            let g = erdos_renyi(400, 3200, seed, true);
+            let a = coreness_julienne(&g);
+            let b = coreness_ligra(&g);
+            let c = coreness_bz_seq(&g);
+            assert_eq!(a.coreness, c.coreness, "julienne vs BZ, seed {seed}");
+            assert_eq!(b.coreness, c.coreness, "ligra vs BZ, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agree_on_heavy_tailed_graph() {
+        let g = rmat(10, 8, RmatParams::default(), 3, true);
+        let a = coreness_julienne(&g);
+        let c = coreness_bz_seq(&g);
+        assert_eq!(a.coreness, c.coreness);
+    }
+
+    #[test]
+    fn julienne_work_efficiency_counters() {
+        // Julienne scans each vertex exactly once; the Ligra variant scans
+        // the remaining set every round.
+        let g = rmat(10, 8, RmatParams::default(), 5, true);
+        let a = coreness_julienne(&g);
+        let b = coreness_ligra(&g);
+        assert_eq!(a.vertices_scanned, g.num_vertices() as u64);
+        assert!(
+            b.vertices_scanned > 4 * a.vertices_scanned,
+            "inefficient {} vs efficient {}",
+            b.vertices_scanned,
+            a.vertices_scanned
+        );
+        // Bucket moves are bounded by 2m (each removed edge causes at most
+        // one move request).
+        assert!(a.identifiers_moved <= 2 * g.num_edges() as u64);
+    }
+
+    #[test]
+    fn compressed_graph_gives_same_coreness() {
+        use julienne_graph::compress::CompressedGraph;
+        let g = erdos_renyi(300, 2400, 9, true);
+        let c = CompressedGraph::from_csr(&g);
+        let a = coreness_julienne(&g);
+        let b = coreness_julienne(&c);
+        assert_eq!(a.coreness, b.coreness);
+    }
+
+    #[test]
+    fn isolated_vertices_have_coreness_zero() {
+        let g = from_pairs_symmetric(5, &[(0, 1)]);
+        let r = coreness_julienne(&g);
+        assert_eq!(r.coreness, vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn cycle_has_coreness_two() {
+        let pairs: Vec<(u32, u32)> = (0..10).map(|i| (i, (i + 1) % 10)).collect();
+        let g = from_pairs_symmetric(10, &pairs);
+        let r = coreness_julienne(&g);
+        assert!(r.coreness.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn kcore_vertices_extraction() {
+        let g = clique_with_tail();
+        let r = coreness_julienne(&g);
+        assert_eq!(kcore_vertices(&r.coreness, 3), vec![0, 1, 2, 3]);
+        assert_eq!(kcore_vertices(&r.coreness, 4), Vec::<u32>::new());
+        assert_eq!(kcore_vertices(&r.coreness, 1).len(), 6);
+    }
+
+    #[test]
+    fn small_open_bucket_count_still_correct() {
+        let g = rmat(9, 8, RmatParams::default(), 11, true);
+        let a = coreness_julienne_opts(&g, 2);
+        let c = coreness_bz_seq(&g);
+        assert_eq!(a.coreness, c.coreness);
+    }
+}

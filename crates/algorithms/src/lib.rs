@@ -1,0 +1,38 @@
+//! Bucketing-based graph algorithms (Section 4) and their baselines
+//! (Section 5 comparators).
+//!
+//! Each Julienne application follows the paper's pseudocode closely and is
+//! paired with the comparators used in Table 3:
+//!
+//! | problem | Julienne (work-efficient) | baselines |
+//! |---------|---------------------------|-----------|
+//! | coreness | [`kcore::coreness_julienne`] | Ligra-style work-inefficient ([`kcore::coreness_ligra`]), sequential Batagelj–Zaversnik ([`kcore::coreness_bz_seq`]) |
+//! | SSSP | [`delta_stepping::delta_stepping`] / [`delta_stepping::wbfs`] | Ligra Bellman–Ford ([`bellman_ford`]), sequential Dijkstra ([`dijkstra`]), GAP-style bin Δ-stepping ([`gap_delta`]) |
+//! | set cover | [`setcover::set_cover_julienne`] | PBBS-style non-rebucketing ([`setcover_baselines::set_cover_pbbs_style`]), sequential greedy ([`setcover_baselines::set_cover_greedy_seq`]) |
+//!
+//! [`bfs`] provides the plain frontier-based BFS (the one-bucket special
+//! case) and [`stats`] the workload statistics (peeling complexity ρ,
+//! eccentricity estimates) reported in Table 2.
+
+pub mod bellman_ford;
+pub mod betweenness;
+pub mod clustering;
+pub mod components;
+pub mod bfs;
+pub mod degeneracy;
+pub mod dial;
+pub mod delta_stepping;
+pub mod dijkstra;
+pub mod gap_delta;
+pub mod kcore;
+pub mod ktruss;
+pub mod mis;
+pub mod pagerank;
+pub mod setcover;
+pub mod setcover_baselines;
+pub mod setcover_weighted;
+pub mod stats;
+pub mod triangles;
+
+/// Distance value for unreachable vertices.
+pub const INF: u64 = u64::MAX;

@@ -1,0 +1,333 @@
+//! Weighted approximate set cover — the extension the paper notes
+//! ("we describe our algorithm for unweighted set cover, and note that it
+//! can be easily modified for the weighted case", §4.3).
+//!
+//! Following Blelloch–Simhadri–Tangwongsan, sets are bucketed by
+//! **normalized cost** `c(S) / D[S]` (cost per still-uncovered element)
+//! into `⌊log_{1+ε}·⌋` buckets and processed from cheapest to costliest —
+//! an *increasing* bucket traversal, the mirror image of the unweighted
+//! decreasing one. Covering elements only shrinks `D`, so normalized cost
+//! only grows, satisfying the structure's monotonicity contract. An active
+//! set is chosen when the elements it wins keep its realized cost-per-won
+//! element within the current bucket's range.
+
+use julienne::bucket::{BucketDest, BucketId, Buckets, Order, NULL_BKT};
+use julienne_graph::generators::SetCoverInstance;
+use julienne_graph::packed::PackedGraph;
+use julienne_graph::VertexId;
+use julienne_ligra::edge_map_filter::{edge_map_filter_count, edge_map_filter_pack, edge_map_packed};
+use julienne_primitives::atomics::write_min_u32;
+use julienne_primitives::bitset::AtomicBitSet;
+use julienne_primitives::filter::filter_map;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const IN_COVER: u32 = u32::MAX;
+const UNRESERVED: u32 = u32::MAX;
+
+/// Result of a weighted set-cover computation.
+#[derive(Clone, Debug)]
+pub struct WeightedCoverResult {
+    /// Chosen set ids.
+    pub cover: Vec<VertexId>,
+    /// Total cost of the chosen sets.
+    pub cost: f64,
+    /// For each element, the chosen set covering it.
+    pub assignment: Vec<u32>,
+    /// Bucket rounds executed.
+    pub rounds: u64,
+}
+
+struct NormalizedBuckets {
+    inv_log1p_eps: f64,
+    /// Key offset so the cheapest initial normalized cost maps to bucket 0.
+    offset: i64,
+}
+
+impl NormalizedBuckets {
+    fn new(costs: &[f64], init_deg: &[u32], eps: f64) -> Self {
+        let inv = 1.0 / (1.0 + eps).ln();
+        let offset = costs
+            .iter()
+            .zip(init_deg)
+            .filter(|&(_, &d)| d > 0)
+            .map(|(&c, &d)| ((c / d as f64).ln() * inv).floor() as i64)
+            .min()
+            .unwrap_or(0);
+        NormalizedBuckets {
+            inv_log1p_eps: inv,
+            offset,
+        }
+    }
+
+    /// Bucket of a set with cost `c` and `d` uncovered elements.
+    fn bucket(&self, c: f64, d: u32) -> BucketId {
+        if d == 0 || d == IN_COVER {
+            return NULL_BKT;
+        }
+        let raw = ((c / d as f64).ln() * self.inv_log1p_eps).floor() as i64 - self.offset;
+        debug_assert!(raw >= 0, "normalized cost fell below the initial minimum");
+        raw.max(0) as BucketId
+    }
+
+    /// Upper edge of bucket `b` in normalized-cost space.
+    fn upper(&self, b: BucketId, eps: f64) -> f64 {
+        (1.0 + eps).powi((b as i64 + self.offset + 1) as i32)
+    }
+}
+
+/// Weighted approximate set cover: `costs[s] > 0` is the cost of set `s`.
+pub fn set_cover_weighted_julienne(
+    inst: &SetCoverInstance,
+    costs: &[f64],
+    eps: f64,
+) -> WeightedCoverResult {
+    assert!(eps > 0.0);
+    assert_eq!(costs.len(), inst.num_sets);
+    assert!(costs.iter().all(|&c| c > 0.0), "costs must be positive");
+    let num_sets = inst.num_sets;
+    let num_elements = inst.num_elements;
+
+    let mut packed = PackedGraph::from_csr(&inst.graph);
+    let el: Vec<AtomicU32> = (0..num_elements).map(|_| AtomicU32::new(UNRESERVED)).collect();
+    let covered = AtomicBitSet::new(num_elements);
+    let d: Vec<AtomicU32> = (0..num_sets)
+        .map(|s| AtomicU32::new(inst.graph.degree(s as VertexId) as u32))
+        .collect();
+    let init_deg: Vec<u32> = (0..num_sets)
+        .map(|s| inst.graph.degree(s as VertexId) as u32)
+        .collect();
+    let nb = NormalizedBuckets::new(costs, &init_deg, eps);
+
+    let elem_idx = |e: VertexId| (e as usize) - num_sets;
+    let d_fun = |s: u32| nb.bucket(costs[s as usize], d[s as usize].load(Ordering::SeqCst));
+    let mut buckets = Buckets::new(num_sets, d_fun, Order::Increasing);
+
+    let mut rounds = 0u64;
+    while let Some((b, sets)) = buckets.next_bucket() {
+        rounds += 1;
+
+        // Refresh degrees (pack covered elements) and keep the sets whose
+        // normalized cost is still inside bucket b active.
+        let sets_d = edge_map_filter_pack(&mut packed, &sets, |_s, e| !covered.get(elem_idx(e)));
+        sets_d.entries().par_iter().for_each(|&(s, new_deg)| {
+            d[s as usize].store(new_deg, Ordering::SeqCst);
+        });
+        let active: Vec<VertexId> = filter_map(sets_d.entries(), |&(s, deg)| {
+            (nb.bucket(costs[s as usize], deg) == b).then_some(s)
+        });
+
+        if !active.is_empty() {
+            // MaNIS step: reserve uncovered elements (smallest set id wins).
+            edge_map_packed(
+                &packed,
+                &active,
+                |s, e| {
+                    write_min_u32(&el[elem_idx(e)], s);
+                },
+                |e| !covered.get(elem_idx(e)),
+            );
+            let counts = edge_map_filter_count(&packed, &active, |s, e| {
+                el[elem_idx(e)].load(Ordering::SeqCst) == s
+            });
+            // Chosen iff cost per won element stays within this bucket.
+            let upper = nb.upper(b, eps);
+            counts.entries().par_iter().for_each(|&(s, won)| {
+                if won > 0 && costs[s as usize] / won as f64 <= upper {
+                    d[s as usize].store(IN_COVER, Ordering::SeqCst);
+                }
+            });
+            edge_map_packed(
+                &packed,
+                &active,
+                |s, e| {
+                    let ei = elem_idx(e);
+                    if el[ei].load(Ordering::SeqCst) == s {
+                        if d[s as usize].load(Ordering::SeqCst) == IN_COVER {
+                            covered.set(ei);
+                        } else {
+                            el[ei].store(UNRESERVED, Ordering::SeqCst);
+                        }
+                    }
+                },
+                |_| true,
+            );
+        }
+
+        // Rebucket the extracted sets that were not chosen.
+        let rebucket: Vec<(u32, BucketDest)> = filter_map(&sets, |&s| {
+            let deg = d[s as usize].load(Ordering::SeqCst);
+            if deg == IN_COVER {
+                return None;
+            }
+            Some((s, buckets.get_bucket(b, nb.bucket(costs[s as usize], deg))))
+        });
+        buckets.update_buckets(&rebucket);
+    }
+
+    let cover: Vec<VertexId> = filter_map(&(0..num_sets as u32).collect::<Vec<_>>(), |&s| {
+        (d[s as usize].load(Ordering::SeqCst) == IN_COVER).then_some(s)
+    });
+    let cost = cover.iter().map(|&s| costs[s as usize]).sum();
+    WeightedCoverResult {
+        cover,
+        cost,
+        assignment: el.into_iter().map(AtomicU32::into_inner).collect(),
+        rounds,
+    }
+}
+
+/// Sequential weighted greedy (Chvátal): repeatedly choose the set with
+/// the smallest cost per uncovered element. Hₙ-approximate. Lazy-heap
+/// implementation: normalized costs only increase, so a stale pop is
+/// re-keyed.
+pub fn set_cover_weighted_greedy_seq(
+    inst: &SetCoverInstance,
+    costs: &[f64],
+) -> WeightedCoverResult {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Key(f64);
+    impl Eq for Key {}
+    impl PartialOrd for Key {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Key {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        }
+    }
+
+    let num_sets = inst.num_sets;
+    let num_elements = inst.num_elements;
+    let mut covered = vec![false; num_elements];
+    let mut assignment = vec![u32::MAX; num_elements];
+    let mut cover = Vec::new();
+    let mut cost_total = 0.0;
+    let mut left = num_elements;
+
+    let mut heap: BinaryHeap<(Reverse<Key>, u32, u32)> = (0..num_sets as u32)
+        .filter(|&s| inst.graph.degree(s) > 0)
+        .map(|s| {
+            let deg = inst.graph.degree(s) as u32;
+            (Reverse(Key(costs[s as usize] / deg as f64)), s, deg)
+        })
+        .collect();
+
+    while left > 0 {
+        let (Reverse(Key(_ratio)), s, claimed) =
+            heap.pop().expect("uncovered elements but heap empty");
+        let actual = inst
+            .graph
+            .neighbors(s)
+            .iter()
+            .filter(|&&e| !covered[(e as usize) - num_sets])
+            .count() as u32;
+        if actual == 0 {
+            continue;
+        }
+        if actual < claimed {
+            heap.push((Reverse(Key(costs[s as usize] / actual as f64)), s, actual));
+            continue;
+        }
+        cover.push(s);
+        cost_total += costs[s as usize];
+        for &e in inst.graph.neighbors(s) {
+            let ei = (e as usize) - num_sets;
+            if !covered[ei] {
+                covered[ei] = true;
+                assignment[ei] = s;
+                left -= 1;
+            }
+        }
+    }
+
+    WeightedCoverResult {
+        cover,
+        cost: cost_total,
+        assignment,
+        rounds: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setcover::verify_cover;
+    use julienne_graph::generators::set_cover_instance;
+    use julienne_primitives::rng::SplitMix64;
+
+    fn random_costs(n: usize, seed: u64, lo: f64, hi: f64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| lo + (hi - lo) * (rng.next_u64() as f64 / u64::MAX as f64))
+            .collect()
+    }
+
+    #[test]
+    fn weighted_cover_is_valid() {
+        for seed in 0..3 {
+            let inst = set_cover_instance(60, 3_000, 3, seed);
+            let costs = random_costs(60, seed + 1, 1.0, 20.0);
+            let r = set_cover_weighted_julienne(&inst, &costs, 0.05);
+            assert!(verify_cover(&inst, &r.cover), "seed {seed}");
+            let check: f64 = r.cover.iter().map(|&s| costs[s as usize]).sum();
+            assert!((check - r.cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unit_costs_match_unweighted_validity() {
+        let inst = set_cover_instance(100, 5_000, 3, 7);
+        let costs = vec![1.0; 100];
+        let w = set_cover_weighted_julienne(&inst, &costs, 0.01);
+        assert!(verify_cover(&inst, &w.cover));
+        let g = set_cover_weighted_greedy_seq(&inst, &costs);
+        assert!(verify_cover(&inst, &g.cover));
+        // Both near the unweighted greedy size.
+        let ratio = w.cost / g.cost;
+        assert!(ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cost_within_factor_of_greedy() {
+        let inst = set_cover_instance(150, 8_000, 4, 9);
+        let costs = random_costs(150, 3, 0.5, 50.0);
+        let w = set_cover_weighted_julienne(&inst, &costs, 0.05);
+        let g = set_cover_weighted_greedy_seq(&inst, &costs);
+        assert!(verify_cover(&inst, &w.cover));
+        assert!(verify_cover(&inst, &g.cover));
+        assert!(
+            w.cost <= 2.5 * g.cost,
+            "weighted cost {} vs greedy {}",
+            w.cost,
+            g.cost
+        );
+    }
+
+    #[test]
+    fn prefers_cheap_sets() {
+        // Two identical sets, one far cheaper: the cheap one must be chosen.
+        use julienne_graph::builder::EdgeList;
+        use julienne_graph::generators::SetCoverInstance;
+        // sets {0,1}, elements {2,3,4}: both sets cover all elements.
+        let mut el: EdgeList<()> = EdgeList::new(5);
+        for e in 2..5u32 {
+            el.push_undirected(0, e, ());
+            el.push_undirected(1, e, ());
+        }
+        let inst = SetCoverInstance {
+            graph: el.build(true),
+            num_sets: 2,
+            num_elements: 3,
+        };
+        let costs = vec![100.0, 1.0];
+        let r = set_cover_weighted_julienne(&inst, &costs, 0.1);
+        assert_eq!(r.cover, vec![1]);
+        assert!((r.cost - 1.0).abs() < 1e-9);
+    }
+}

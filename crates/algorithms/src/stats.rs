@@ -1,0 +1,153 @@
+//! Workload statistics for Table 2: graph sizes, peeling complexity ρ, and
+//! eccentricity estimates.
+
+use crate::bfs::bfs_seq;
+use crate::kcore::coreness_julienne;
+use julienne_graph::csr::{Csr, Weight};
+use julienne_graph::VertexId;
+
+/// Table 2-style statistics of an input graph.
+#[derive(Clone, Debug)]
+pub struct GraphStats {
+    /// |V|.
+    pub num_vertices: usize,
+    /// |E| (directed edge count).
+    pub num_edges: usize,
+    /// Peeling complexity ρ: rounds of the bucketed peeling process
+    /// (symmetric graphs only — `None` for directed, matching the paper's
+    /// "–" entries).
+    pub rho: Option<u64>,
+    /// Largest coreness k_max (symmetric graphs only).
+    pub k_max: Option<u32>,
+    /// Maximum out-degree.
+    pub max_degree: u32,
+    /// BFS eccentricity of vertex 0 (hop radius estimate r_src).
+    pub eccentricity_from_zero: u32,
+}
+
+/// Computes the statistics. ρ and k_max run the work-efficient peeling and
+/// are only defined for symmetric graphs.
+pub fn graph_stats<W: Weight>(g: &Csr<W>) -> GraphStats {
+    let (rho, k_max) = if g.is_symmetric() {
+        // Peel on an unweighted view (weights are irrelevant to coreness).
+        let unweighted: Csr<()> = Csr::from_parts(
+            g.offsets().to_vec(),
+            g.targets().to_vec(),
+            vec![],
+            true,
+        );
+        let r = coreness_julienne(&unweighted);
+        let k_max = r.coreness.iter().copied().max().unwrap_or(0);
+        (Some(r.rounds), Some(k_max))
+    } else {
+        (None, None)
+    };
+    let levels = bfs_seq(g, 0);
+    let ecc = levels
+        .iter()
+        .copied()
+        .filter(|&l| l != u32::MAX)
+        .max()
+        .unwrap_or(0);
+    let max_degree = (0..g.num_vertices() as VertexId)
+        .map(|v| g.degree(v) as u32)
+        .max()
+        .unwrap_or(0);
+    GraphStats {
+        num_vertices: g.num_vertices(),
+        num_edges: g.num_edges(),
+        rho,
+        k_max,
+        max_degree,
+        eccentricity_from_zero: ecc,
+    }
+}
+
+/// Lower-bounds the diameter by running BFS from `samples` pseudo-random
+/// start vertices (restricted to non-isolated ones) and taking the largest
+/// finite eccentricity seen — the standard multi-BFS estimator.
+pub fn estimate_diameter<W: Weight>(g: &Csr<W>, samples: usize, seed: u64) -> u32 {
+    use julienne_primitives::rng::hash_range;
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0u32;
+    let mut tried = 0usize;
+    let mut i = 0u64;
+    while tried < samples && (i as usize) < 8 * samples + n {
+        let v = hash_range(seed, i, n as u64) as VertexId;
+        i += 1;
+        if g.degree(v) == 0 {
+            continue;
+        }
+        tried += 1;
+        let levels = bfs_seq(g, v);
+        let ecc = levels
+            .iter()
+            .copied()
+            .filter(|&l| l != u32::MAX)
+            .max()
+            .unwrap_or(0);
+        best = best.max(ecc);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use julienne_graph::builder::from_pairs_symmetric;
+    use julienne_graph::generators::grid2d;
+
+    #[test]
+    fn grid_stats() {
+        let g = grid2d(10, 10);
+        let s = graph_stats(&g);
+        assert_eq!(s.num_vertices, 100);
+        assert_eq!(s.num_edges, 360);
+        assert_eq!(s.k_max, Some(2));
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.eccentricity_from_zero, 18);
+        assert!(s.rho.unwrap() >= 2);
+    }
+
+    #[test]
+    fn directed_graph_has_no_rho() {
+        use julienne_graph::builder::from_pairs;
+        let g = from_pairs(4, &[(0, 1), (1, 2)]);
+        let s = graph_stats(&g);
+        assert!(s.rho.is_none());
+        assert!(s.k_max.is_none());
+        assert_eq!(s.eccentricity_from_zero, 2);
+    }
+
+    #[test]
+    fn diameter_estimate_bounds() {
+        // Grid diameter = rows + cols - 2; the estimate is a lower bound
+        // that reaches at least the eccentricity of some sampled vertex,
+        // which on a path-like graph is ≥ half the diameter.
+        let g = grid2d(1, 50); // a path: diameter 49
+        let est = estimate_diameter(&g, 8, 3);
+        assert!(est >= 25 && est <= 49, "estimate {est}");
+        // On a star, every eccentricity is ≤ 2.
+        let pairs: Vec<(u32, u32)> = (1..20).map(|i| (0, i)).collect();
+        let star = from_pairs_symmetric(20, &pairs);
+        assert!(estimate_diameter(&star, 5, 1) <= 2);
+    }
+
+    #[test]
+    fn clique_rho_is_one() {
+        // A clique peels in one round.
+        let mut pairs = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                pairs.push((i, j));
+            }
+        }
+        let g = from_pairs_symmetric(5, &pairs);
+        let s = graph_stats(&g);
+        assert_eq!(s.rho, Some(1));
+        assert_eq!(s.k_max, Some(4));
+    }
+}

@@ -1,0 +1,37 @@
+//! Ablation A2 (Section 4.2): Δ sensitivity — the trade-off between
+//! Dijkstra-like work-efficiency (small Δ) and Bellman–Ford-like
+//! parallelism (large Δ) — plus the light/heavy edge split the paper
+//! implemented but found unhelpful.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use julienne_algorithms::delta_stepping::{delta_stepping, delta_stepping_light_heavy};
+use julienne_graph::generators::{rmat, RmatParams};
+use julienne_graph::transform::assign_weights;
+
+fn bench_delta_sensitivity(c: &mut Criterion) {
+    let g = assign_weights(&rmat(13, 12, RmatParams::default(), 0xDE17A, true), 1, 100_000, 3);
+    let mut group = c.benchmark_group("ablation_delta_sensitivity");
+    group.sample_size(10);
+    for &delta in &[1u64, 1 << 10, 1 << 15, 1 << 17, 1 << 40] {
+        group.bench_with_input(BenchmarkId::new("delta", delta), &delta, |b, &d| {
+            b.iter(|| delta_stepping(&g, 0, d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_light_heavy(c: &mut Criterion) {
+    let g = assign_weights(&rmat(13, 12, RmatParams::default(), 0xDE17B, true), 1, 100_000, 4);
+    let mut group = c.benchmark_group("ablation_light_heavy");
+    group.sample_size(10);
+    group.bench_function("plain_delta_32768", |b| {
+        b.iter(|| delta_stepping(&g, 0, 32768))
+    });
+    group.bench_function("light_heavy_delta_32768", |b| {
+        b.iter(|| delta_stepping_light_heavy(&g, 0, 32768))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta_sensitivity, bench_light_heavy);
+criterion_main!(benches);

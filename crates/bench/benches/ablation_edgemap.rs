@@ -1,0 +1,62 @@
+//! Ablation A3 (Section 2.1): edgeMap traversal strategies (sparse push /
+//! dense pull / auto switching) on BFS, and the two edgeMapSum
+//! implementations (semisort aggregation vs. persistent atomic counters).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use julienne_algorithms::bfs::bfs_with_mode;
+use julienne_graph::generators::{rmat, RmatParams};
+use julienne_ligra::edge_map::Mode;
+use julienne_ligra::edge_map_reduce::{edge_map_sum, edge_map_sum_with_scratch, SumScratch};
+
+fn bench_bfs_modes(c: &mut Criterion) {
+    let g = rmat(13, 16, RmatParams::default(), 0xED6E, true);
+    let mut group = c.benchmark_group("ablation_edgemap_direction");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("sparse_push", Mode::Sparse),
+        ("dense_pull", Mode::Dense),
+        ("auto_threshold", Mode::Auto),
+    ] {
+        group.bench_function(name, |b| b.iter(|| bfs_with_mode(&g, 0, mode)));
+    }
+    group.finish();
+}
+
+fn bench_edge_map_sum(c: &mut Criterion) {
+    let g = rmat(13, 16, RmatParams::default(), 0xED6F, true);
+    let frontier: Vec<u32> = (0..(g.num_vertices() as u32) / 4).collect();
+    let scratch = SumScratch::new(g.num_vertices());
+    let mut group = c.benchmark_group("ablation_edge_map_sum");
+    group.sample_size(10);
+    group.bench_function("semisort_aggregation", |b| {
+        b.iter(|| edge_map_sum(&g, &frontier, |_, c| Some(c), |_| true))
+    });
+    group.bench_function("atomic_counter_scratch", |b| {
+        b.iter(|| edge_map_sum_with_scratch(&g, &frontier, |_, c| Some(c), |_| true, &scratch))
+    });
+    group.finish();
+}
+
+fn bench_hub_sort_locality(c: &mut Criterion) {
+    use julienne_algorithms::kcore::coreness_julienne;
+    use julienne_graph::transform::hub_sort;
+    let g = rmat(13, 16, RmatParams::default(), 0xED70, true);
+    let (sorted, _) = hub_sort(&g);
+    let mut group = c.benchmark_group("ablation_hub_sort_locality");
+    group.sample_size(10);
+    group.bench_function("kcore_original_labels", |b| {
+        b.iter(|| coreness_julienne(&g))
+    });
+    group.bench_function("kcore_hub_sorted", |b| {
+        b.iter(|| coreness_julienne(&sorted))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bfs_modes,
+    bench_edge_map_sum,
+    bench_hub_sort_locality
+);
+criterion_main!(benches);

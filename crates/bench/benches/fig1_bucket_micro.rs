@@ -1,0 +1,22 @@
+//! Figure 1 (Criterion form): bucket-structure throughput on the Section
+//! 3.4 microbenchmark, for each initial bucket count b ∈ {128, 256, 512,
+//! 1024}. Criterion reports time per drain; identifiers/second =
+//! (extracted + moved) / time, printed by the `fig1` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use julienne_bench::micro::bucket_microbenchmark;
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_bucket_micro");
+    group.sample_size(10);
+    let n = 1usize << 16;
+    for &b in &[128u32, 256, 512, 1024] {
+        group.bench_with_input(BenchmarkId::new("buckets", b), &b, |bench, &b| {
+            bench.iter(|| bucket_microbenchmark(n, b, 128, 0xF16, false));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 3 / Figure 2 (Criterion form): k-core — Julienne work-efficient
+//! vs. Ligra work-inefficient vs. sequential Batagelj–Zaversnik, on a
+//! heavy-tailed R-MAT graph and on the compressed representation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use julienne_algorithms::kcore;
+use julienne_graph::compress::CompressedGraph;
+use julienne_graph::generators::{rmat, RmatParams};
+
+fn bench_kcore(c: &mut Criterion) {
+    let g = rmat(13, 16, RmatParams::default(), 0xC04E, true);
+    let mut group = c.benchmark_group("tab3_kcore");
+    group.sample_size(10);
+    group.bench_function("julienne_work_efficient", |b| {
+        b.iter(|| kcore::coreness_julienne(&g))
+    });
+    group.bench_function("ligra_work_inefficient", |b| {
+        b.iter(|| kcore::coreness_ligra(&g))
+    });
+    group.bench_function("bz_sequential", |b| b.iter(|| kcore::coreness_bz_seq(&g)));
+    let cg = CompressedGraph::from_csr(&g);
+    group.bench_function("julienne_on_compressed", |b| {
+        b.iter(|| kcore::coreness_julienne(&cg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kcore);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 3 / Figure 5 (Criterion form): approximate set cover — Julienne
+//! (rebucketing) vs. PBBS-style (carry-over) vs. sequential greedy, ε = 0.01.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use julienne_algorithms::setcover::set_cover_julienne;
+use julienne_algorithms::setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style};
+use julienne_graph::generators::set_cover_instance;
+
+fn bench_setcover(c: &mut Criterion) {
+    let inst = set_cover_instance(1 << 9, 1 << 14, 4, 0x5E7C);
+    let mut group = c.benchmark_group("tab3_setcover");
+    group.sample_size(10);
+    group.bench_function("julienne_work_efficient", |b| {
+        b.iter(|| set_cover_julienne(&inst, 0.01))
+    });
+    group.bench_function("pbbs_style_carry_over", |b| {
+        b.iter(|| set_cover_pbbs_style(&inst, 0.01))
+    });
+    group.bench_function("greedy_sequential", |b| {
+        b.iter(|| set_cover_greedy_seq(&inst))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_setcover);
+criterion_main!(benches);

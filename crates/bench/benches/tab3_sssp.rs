@@ -1,0 +1,47 @@
+//! Table 3 / Figures 3–4 (Criterion form): SSSP — Julienne wBFS and
+//! Δ-stepping vs. Bellman–Ford (Ligra), GAP-style bins, and sequential
+//! Dijkstra, on light-weighted ([1, log n)) and heavy-weighted ([1, 1e5))
+//! R-MAT graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use julienne_algorithms::{bellman_ford, delta_stepping, dijkstra, gap_delta};
+use julienne_graph::generators::{rmat, RmatParams};
+use julienne_graph::transform::{assign_weights, wbfs_weight_range};
+
+fn bench_wbfs(c: &mut Criterion) {
+    let base = rmat(13, 16, RmatParams::default(), 0x55B1, true);
+    let (lo, hi) = wbfs_weight_range(base.num_vertices());
+    let g = assign_weights(&base, lo, hi, 1);
+    let mut group = c.benchmark_group("tab3_wbfs_light_weights");
+    group.sample_size(10);
+    group.bench_function("julienne_wbfs", |b| b.iter(|| delta_stepping::wbfs(&g, 0)));
+    group.bench_function("ligra_bellman_ford", |b| {
+        b.iter(|| bellman_ford::bellman_ford(&g, 0))
+    });
+    group.bench_function("gap_style_bins", |b| {
+        b.iter(|| gap_delta::gap_delta_stepping(&g, 0, 1))
+    });
+    group.bench_function("dijkstra_sequential", |b| b.iter(|| dijkstra::dijkstra(&g, 0)));
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let base = rmat(13, 16, RmatParams::default(), 0x55B2, true);
+    let g = assign_weights(&base, 1, 100_000, 2);
+    let mut group = c.benchmark_group("tab3_delta_heavy_weights");
+    group.sample_size(10);
+    group.bench_function("julienne_delta_32768", |b| {
+        b.iter(|| delta_stepping::delta_stepping(&g, 0, 32768))
+    });
+    group.bench_function("ligra_bellman_ford", |b| {
+        b.iter(|| bellman_ford::bellman_ford(&g, 0))
+    });
+    group.bench_function("gap_style_bins_32768", |b| {
+        b.iter(|| gap_delta::gap_delta_stepping(&g, 0, 32768))
+    });
+    group.bench_function("dijkstra_sequential", |b| b.iter(|| dijkstra::dijkstra(&g, 0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_wbfs, bench_delta);
+criterion_main!(benches);

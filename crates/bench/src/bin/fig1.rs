@@ -1,0 +1,107 @@
+//! Figure 1: bucket-structure throughput vs. average identifiers per round,
+//! for b ∈ {128, 256, 512, 1024} initial buckets, plus the application
+//! points (k-core, wBFS, Δ-stepping, set cover).
+//!
+//! Usage: `cargo run -p julienne-bench --release --bin fig1 [scale]`
+
+use julienne_algorithms::{delta_stepping, kcore, setcover};
+use julienne_bench::micro::bucket_microbenchmark;
+use julienne_bench::report::Table;
+use julienne_bench::suite;
+use julienne_bench::timing::{scale_arg, time};
+
+fn main() {
+    let scale = scale_arg(20);
+    let mut csv = Table::new(
+        "fig1",
+        &["series", "identifiers", "rounds", "ids_per_round", "throughput"],
+    );
+    println!("# Figure 1: bucketing microbenchmark (Section 3.4)");
+    println!("# throughput = (extracted + moved) identifiers / second; nullbkt requests excluded");
+    println!(
+        "{:<10} {:>12} {:>10} {:>16} {:>16}",
+        "buckets", "identifiers", "rounds", "ids/round", "throughput(id/s)"
+    );
+    for &b in &[128u32, 256, 512, 1024] {
+        // Vary n to generate the x-axis points, as in the paper.
+        let mut exp = 12u32;
+        while exp <= scale {
+            let n = 1usize << exp;
+            let r = bucket_microbenchmark(n, b, 128, 0xF16_1 + b as u64, false);
+            println!(
+                "{:<10} {:>12} {:>10} {:>16.1} {:>16.3e}",
+                b,
+                n,
+                r.rounds,
+                r.ids_per_round(),
+                r.throughput()
+            );
+            csv.rowf(&[
+                &format!("{b}-buckets"),
+                &n,
+                &r.rounds,
+                &r.ids_per_round(),
+                &r.throughput(),
+            ]);
+            exp += 2;
+        }
+    }
+
+    println!("\n# Application points (throughput of the bucket structure inside each app)");
+    println!(
+        "{:<14} {:>12} {:>10} {:>16} {:>16}",
+        "app", "graph-n", "rounds", "ids/round", "throughput(id/s)"
+    );
+    let app_scale = scale.min(16);
+
+    // k-core on an RMAT graph.
+    let g = &suite::symmetric_suite(app_scale)[0].graph;
+    let (r, secs) = time(|| kcore::coreness_julienne(g));
+    let ops = r.vertices_scanned + r.identifiers_moved;
+    println!(
+        "{:<14} {:>12} {:>10} {:>16.1} {:>16.3e}",
+        "k-core",
+        g.num_vertices(),
+        r.rounds,
+        ops as f64 / r.rounds as f64,
+        ops as f64 / secs
+    );
+
+    // wBFS and Δ-stepping.
+    for (name, heavy, delta) in [("w-BFS", false, 1u64), ("delta-step", true, 32768)] {
+        let (gname, wg) = &suite::weighted_suite(app_scale, heavy)[0];
+        let _ = gname;
+        let (r, secs) = time(|| delta_stepping::delta_stepping(wg, 0, delta));
+        let extracted_plus_moved = r.identifiers_moved + r.rounds; // moves dominate
+        let ops = extracted_plus_moved.max(1);
+        println!(
+            "{:<14} {:>12} {:>10} {:>16.1} {:>16.3e}",
+            name,
+            wg.num_vertices(),
+            r.rounds,
+            ops as f64 / r.rounds.max(1) as f64,
+            ops as f64 / secs
+        );
+    }
+
+    // Set cover.
+    let (_, inst) = &suite::setcover_suite(app_scale)[0];
+    let (r, secs) = time(|| setcover::set_cover_julienne(inst, 0.01));
+    let ops = r.edges_examined.max(1);
+    println!(
+        "{:<14} {:>12} {:>10} {:>16.1} {:>16.3e}",
+        "setcover",
+        inst.num_sets + inst.num_elements,
+        r.rounds,
+        ops as f64 / r.rounds.max(1) as f64,
+        ops as f64 / secs
+    );
+
+    println!("\n# Expected shape: throughput rises with ids/round and saturates;");
+    println!("# more initial buckets => more rounds => fewer ids/round => lower throughput.");
+    let _ = std::fs::create_dir_all("results");
+    let out = std::path::Path::new("results/fig1.csv");
+    if csv.write_csv(out).is_ok() {
+        println!("# (wrote {})", out.display());
+    }
+}

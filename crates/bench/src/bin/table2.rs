@@ -1,0 +1,61 @@
+//! Table 2: the input-graph inventory — n, m, peeling complexity ρ, k_max,
+//! max degree and hop eccentricity for every suite graph.
+//!
+//! Usage: `cargo run -p julienne-bench --release --bin table2 [scale]`
+
+use julienne_algorithms::stats::graph_stats;
+use julienne_bench::suite::{setcover_suite, strip_weights, symmetric_suite, weighted_suite, DEFAULT_SCALE};
+use julienne_bench::timing::scale_arg;
+
+fn main() {
+    let scale = scale_arg(DEFAULT_SCALE);
+    println!("# Table 2: input graphs (synthetic stand-ins; see DESIGN.md §3)");
+    println!(
+        "{:<16} {:<26} {:>10} {:>12} {:>8} {:>7} {:>8} {:>6}",
+        "name", "stands in for", "vertices", "edges", "rho", "k_max", "max_deg", "ecc"
+    );
+    for named in symmetric_suite(scale) {
+        let s = graph_stats(&named.graph);
+        println!(
+            "{:<16} {:<26} {:>10} {:>12} {:>8} {:>7} {:>8} {:>6}",
+            named.name,
+            named.stands_in_for,
+            s.num_vertices,
+            s.num_edges,
+            s.rho.map(|r| r.to_string()).unwrap_or("-".into()),
+            s.k_max.map(|k| k.to_string()).unwrap_or("-".into()),
+            s.max_degree,
+            s.eccentricity_from_zero
+        );
+    }
+    for (name, g) in weighted_suite(scale, true) {
+        let s = graph_stats(&strip_weights(&g));
+        println!(
+            "{:<16} {:<26} {:>10} {:>12} {:>8} {:>7} {:>8} {:>6}",
+            name,
+            "(weighted SSSP input)",
+            s.num_vertices,
+            s.num_edges,
+            s.rho.map(|r| r.to_string()).unwrap_or("-".into()),
+            s.k_max.map(|k| k.to_string()).unwrap_or("-".into()),
+            s.max_degree,
+            s.eccentricity_from_zero
+        );
+    }
+    for (name, inst) in setcover_suite(scale) {
+        println!(
+            "{:<16} {:<26} {:>10} {:>12} {:>8} {:>7} {:>8} {:>6}",
+            name,
+            "(bipartite cover instance)",
+            inst.num_sets + inst.num_elements,
+            inst.graph.num_edges(),
+            "-",
+            "-",
+            (0..inst.num_sets as u32)
+                .map(|s| inst.graph.degree(s))
+                .max()
+                .unwrap_or(0),
+            "-"
+        );
+    }
+}

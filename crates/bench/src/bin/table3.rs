@@ -1,0 +1,151 @@
+//! Table 3: running times of every implementation on every suite input —
+//! the paper's headline comparison. Reports 1-thread time, max-thread time
+//! and self-relative speedup for each (application, implementation) pair.
+//!
+//! Usage: `cargo run -p julienne-bench --release --bin table3 [scale] [kcore|wbfs|delta|setcover|all]`
+
+use julienne_algorithms::{
+    bellman_ford, delta_stepping, dial, dijkstra, gap_delta, kcore,
+    setcover::{set_cover_julienne, verify_cover},
+    setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style},
+};
+use julienne_bench::suite::{setcover_suite, symmetric_suite, weighted_suite, DEFAULT_SCALE};
+use julienne_bench::report::Table;
+use julienne_bench::sweep::with_threads;
+use julienne_bench::timing::time;
+use std::sync::Mutex;
+
+// Collected rows for the CSV artifact written at exit.
+static CSV: Mutex<Vec<(String, String, f64, f64)>> = Mutex::new(Vec::new());
+
+fn max_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+fn row(app: &str, graph: &str, t1: f64, tp: f64) {
+    println!(
+        "{:<28} {:<14} {:>9.3} {:>9.3} {:>7.2}",
+        app,
+        graph,
+        t1,
+        tp,
+        t1 / tp
+    );
+    CSV.lock()
+        .unwrap()
+        .push((app.to_string(), graph.to_string(), t1, tp));
+}
+
+fn header() {
+    println!(
+        "{:<28} {:<14} {:>9} {:>9} {:>7}",
+        "application", "graph", "T(1)", "T(max)", "SU"
+    );
+}
+
+fn run_kcore(scale: u32) {
+    println!("\n## k-core (coreness)");
+    header();
+    let tmax = max_threads();
+    for named in symmetric_suite(scale) {
+        let g = &named.graph;
+        let (_, j1) = with_threads(1, || time(|| kcore::coreness_julienne(g)));
+        let (_, jp) = with_threads(tmax, || time(|| kcore::coreness_julienne(g)));
+        row("k-core (Julienne)", named.name, j1, jp);
+        let (_, l1) = with_threads(1, || time(|| kcore::coreness_ligra(g)));
+        let (_, lp) = with_threads(tmax, || time(|| kcore::coreness_ligra(g)));
+        row("k-core (Ligra, work-ineff)", named.name, l1, lp);
+        let (_, bz) = time(|| kcore::coreness_bz_seq(g));
+        row("k-core (BZ, sequential)", named.name, bz, bz);
+    }
+}
+
+fn run_sssp(scale: u32, heavy: bool) {
+    let (title, delta) = if heavy {
+        ("Δ-stepping (weights [1,1e5), Δ=32768)", 32768u64)
+    } else {
+        ("wBFS (weights [1,log n), Δ=1)", 1u64)
+    };
+    println!("\n## {title}");
+    header();
+    let tmax = max_threads();
+    for (name, g) in weighted_suite(scale, heavy) {
+        let oracle = dijkstra::dijkstra(&g, 0);
+        let (rj, j1) = with_threads(1, || time(|| delta_stepping::delta_stepping(&g, 0, delta)));
+        assert_eq!(rj.dist, oracle);
+        let (_, jp) = with_threads(tmax, || time(|| delta_stepping::delta_stepping(&g, 0, delta)));
+        row("SSSP (Julienne)", name, j1, jp);
+        let (rb, b1) = with_threads(1, || time(|| bellman_ford::bellman_ford(&g, 0)));
+        assert_eq!(rb.dist, oracle);
+        let (_, bp) = with_threads(tmax, || time(|| bellman_ford::bellman_ford(&g, 0)));
+        row("Bellman-Ford (Ligra)", name, b1, bp);
+        let (rg, g1) = with_threads(1, || time(|| gap_delta::gap_delta_stepping(&g, 0, delta)));
+        assert_eq!(rg.dist, oracle);
+        let (_, gp) = with_threads(tmax, || time(|| gap_delta::gap_delta_stepping(&g, 0, delta)));
+        row("SSSP (GAP-style bins)", name, g1, gp);
+        let (_, d1) = time(|| dijkstra::dijkstra(&g, 0));
+        row("Dijkstra (DIMACS, seq)", name, d1, d1);
+        if !heavy {
+            // Dial's bucket-queue solver (Alg. 360) — the sequential wBFS.
+            let (rd, t) = time(|| dial::dial(&g, 0));
+            assert_eq!(rd, oracle);
+            row("Dial (seq bucket queue)", name, t, t);
+        }
+    }
+}
+
+fn run_setcover(scale: u32) {
+    println!("\n## Approximate set cover (ε = 0.01)");
+    header();
+    let tmax = max_threads();
+    for (name, inst) in setcover_suite(scale) {
+        let (rj, j1) = with_threads(1, || time(|| set_cover_julienne(&inst, 0.01)));
+        assert!(verify_cover(&inst, &rj.cover));
+        let (_, jp) = with_threads(tmax, || time(|| set_cover_julienne(&inst, 0.01)));
+        row("Set Cover (Julienne)", name, j1, jp);
+        let (rp, p1) = with_threads(1, || time(|| set_cover_pbbs_style(&inst, 0.01)));
+        assert!(verify_cover(&inst, &rp.cover));
+        let (_, pp) = with_threads(tmax, || time(|| set_cover_pbbs_style(&inst, 0.01)));
+        row("Set Cover (PBBS-style)", name, p1, pp);
+        let (rg, g1) = time(|| set_cover_greedy_seq(&inst));
+        row("Set Cover (greedy, seq)", name, g1, g1);
+        println!(
+            "   cover sizes: julienne={} pbbs={} greedy={}",
+            rj.cover.len(),
+            rp.cover.len(),
+            rg.cover.len()
+        );
+    }
+}
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE);
+    let which = std::env::args().nth(2).unwrap_or_else(|| "all".into());
+    println!("# Table 3 reproduction (scale = {scale}, max threads = {})", max_threads());
+    let csv_path = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(csv_path);
+    match which.as_str() {
+        "kcore" => run_kcore(scale),
+        "wbfs" => run_sssp(scale, false),
+        "delta" => run_sssp(scale, true),
+        "setcover" => run_setcover(scale),
+        _ => {
+            run_kcore(scale);
+            run_sssp(scale, false);
+            run_sssp(scale, true);
+            run_setcover(scale);
+        }
+    }
+    // Machine-readable artifact.
+    let mut table = Table::new("table3", &["application", "graph", "t1_seconds", "tmax_seconds"]);
+    for (app, graph, t1, tp) in CSV.lock().unwrap().iter() {
+        table.rowf(&[app, graph, t1, tp]);
+    }
+    let out = csv_path.join("table3.csv");
+    if table.write_csv(&out).is_ok() {
+        println!("\n(wrote {})", out.display());
+    }
+}

@@ -1,0 +1,55 @@
+//! Thread-count sweeps (Figures 2–5) via per-run Rayon pools.
+
+/// Runs `f` inside a dedicated pool of `threads` workers.
+pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build thread pool")
+        .install(f)
+}
+
+/// The thread counts to sweep: powers of two up to the machine's
+/// parallelism, always including 1 and the maximum.
+pub fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize];
+    let mut t = 2;
+    while t < max {
+        counts.push(t);
+        t *= 2;
+    }
+    if max > 1 {
+        counts.push(max);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_respects_thread_count() {
+        let inside = with_threads(1, || rayon::current_num_threads());
+        assert_eq!(inside, 1);
+    }
+
+    #[test]
+    fn sweep_includes_one_and_max() {
+        let c = thread_counts();
+        assert_eq!(c[0], 1);
+        assert!(!c.is_empty());
+        let max = std::thread::available_parallelism().unwrap().get();
+        assert_eq!(*c.last().unwrap(), max.max(1));
+    }
+
+    #[test]
+    fn work_completes_in_pool() {
+        let sum: u64 = with_threads(1, || (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+}

@@ -1,0 +1,54 @@
+//! Wall-clock helpers for the harness binaries.
+
+use std::time::Instant;
+
+/// Times `f`, returning `(result, seconds)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Runs `f` `reps` times and returns the result of the last run plus the
+/// minimum time (the standard noise-robust statistic for batch kernels).
+pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let (r, s) = time(&mut f);
+        best = best.min(s);
+        out = Some(r);
+    }
+    (out.unwrap(), best)
+}
+
+/// Parses the first CLI argument as a scale exponent, with a default.
+pub fn scale_arg(default: u32) -> u32 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_result() {
+        let (v, s) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn time_best_picks_min() {
+        let mut calls = 0;
+        let (_, s) = time_best(3, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 3);
+        assert!(s >= 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal dependency-free argument parsing: `key=value` pairs after a
+//! subcommand, with typed getters and unknown-key detection.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `key=value` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    opts: BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Errors produced while parsing or validating arguments.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// An argument was not of the form `key=value`.
+    Malformed(String),
+    /// A required option was absent.
+    MissingOption(String),
+    /// An option failed to parse as the requested type.
+    BadValue(String, String),
+    /// Options that no getter consumed (typo protection).
+    UnknownOptions(Vec<String>),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::Malformed(a) => write!(f, "malformed argument {a:?}; expected key=value"),
+            ArgError::MissingOption(k) => write!(f, "missing required option {k}="),
+            ArgError::BadValue(k, v) => write!(f, "option {k}={v:?} has the wrong type"),
+            ArgError::UnknownOptions(ks) => write!(f, "unknown options: {}", ks.join(", ")),
+        }
+    }
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut opts = BTreeMap::new();
+        for raw in it {
+            let (k, v) = raw
+                .split_once('=')
+                .ok_or_else(|| ArgError::Malformed(raw.clone()))?;
+            opts.insert(k.to_string(), v.to_string());
+        }
+        Ok(Args {
+            command,
+            opts,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    fn raw(&self, key: &str) -> Option<&str> {
+        let v = self.opts.get(key).map(String::as_str);
+        if v.is_some() {
+            self.consumed.borrow_mut().push(key.to_string());
+        }
+        v
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<String, ArgError> {
+        self.raw(key)
+            .map(str::to_string)
+            .ok_or_else(|| ArgError::MissingOption(key.to_string()))
+    }
+
+    /// An optional string option with default.
+    pub fn string_or(&self, key: &str, default: &str) -> String {
+        self.raw(key).unwrap_or(default).to_string()
+    }
+
+    /// An optional typed option with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.raw(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue(key.to_string(), v.to_string())),
+        }
+    }
+
+    /// Rejects any options no getter touched.
+    pub fn finish(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        let unknown: Vec<String> = self
+            .opts
+            .keys()
+            .filter(|k| !consumed.contains(k))
+            .cloned()
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgError::UnknownOptions(unknown))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(argv("gen kind=rmat scale=10")).unwrap();
+        assert_eq!(a.command, "gen");
+        assert_eq!(a.require("kind").unwrap(), "rmat");
+        assert_eq!(a.get_or("scale", 0u32).unwrap(), 10);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(argv("stats")).unwrap();
+        assert_eq!(a.get_or("scale", 14u32).unwrap(), 14);
+        assert_eq!(a.string_or("out", "-"), "-");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_command() {
+        assert_eq!(Args::parse(Vec::new()).unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn malformed_option() {
+        let e = Args::parse(argv("gen oops")).unwrap_err();
+        assert!(matches!(e, ArgError::Malformed(_)));
+    }
+
+    #[test]
+    fn missing_required() {
+        let a = Args::parse(argv("gen")).unwrap();
+        assert!(matches!(a.require("kind"), Err(ArgError::MissingOption(_))));
+    }
+
+    #[test]
+    fn bad_typed_value() {
+        let a = Args::parse(argv("gen scale=abc")).unwrap();
+        assert!(matches!(a.get_or("scale", 1u32), Err(ArgError::BadValue(_, _))));
+    }
+
+    #[test]
+    fn unknown_options_rejected() {
+        let a = Args::parse(argv("gen kind=er tpyo=1")).unwrap();
+        let _ = a.require("kind");
+        assert!(matches!(a.finish(), Err(ArgError::UnknownOptions(_))));
+    }
+}

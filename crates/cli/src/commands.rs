@@ -1,0 +1,449 @@
+//! CLI subcommand implementations. Each returns its report as a `String`
+//! so commands are unit-testable without capturing stdout.
+
+use crate::args::Args;
+use crate::io_util::{load, save};
+use julienne_algorithms::clustering::{local_clustering, transitivity};
+use julienne_algorithms::components::{connected_components, num_components};
+use julienne_algorithms::degeneracy::densest_subgraph;
+use julienne_algorithms::kcore;
+use julienne_algorithms::ktruss::ktruss_julienne;
+use julienne_algorithms::pagerank::pagerank;
+use julienne_algorithms::triangles::{triangle_count, EdgeIndex};
+use julienne_algorithms::setcover::{set_cover_julienne, verify_cover};
+use julienne_algorithms::stats::graph_stats;
+use julienne_algorithms::{bellman_ford, delta_stepping, dijkstra};
+use julienne_graph::generators::{chung_lu, erdos_renyi, grid2d, random_regular, rmat, RmatParams};
+use julienne_graph::transform::{assign_weights, symmetrize, wbfs_weight_range};
+use julienne_graph::{Csr, Graph};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+type CmdResult = Result<String, String>;
+
+/// `julienne gen kind=<rmat|er|chunglu|grid|regular> out=<file> [scale=14]
+/// [edge_factor=16] [seed=1] [symmetric=true] [weights=none|log|heavy]`
+pub fn cmd_gen(a: &Args) -> CmdResult {
+    let kind = a.require("kind").map_err(|e| e.to_string())?;
+    let out = PathBuf::from(a.require("out").map_err(|e| e.to_string())?);
+    let scale: u32 = a.get_or("scale", 14).map_err(|e| e.to_string())?;
+    let ef: usize = a.get_or("edge_factor", 16).map_err(|e| e.to_string())?;
+    let seed: u64 = a.get_or("seed", 1).map_err(|e| e.to_string())?;
+    let symmetric: bool = a.get_or("symmetric", true).map_err(|e| e.to_string())?;
+    let weights = a.string_or("weights", "none");
+    a.finish().map_err(|e| e.to_string())?;
+
+    let n = 1usize << scale;
+    let g: Graph = match kind.as_str() {
+        "rmat" => rmat(scale, ef, RmatParams::default(), seed, symmetric),
+        "er" => erdos_renyi(n, ef * n, seed, symmetric),
+        "chunglu" => chung_lu(n, ef * n, 2.2, seed, symmetric),
+        "regular" => random_regular(n, ef, seed, symmetric),
+        "grid" => {
+            let side = (n as f64).sqrt() as usize;
+            grid2d(side, side)
+        }
+        other => return Err(format!("unknown generator {other:?}")),
+    };
+    let mut report = format!(
+        "generated {kind}: n={} m={} symmetric={}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        g.is_symmetric()
+    );
+    match weights.as_str() {
+        "none" => save(&g, &out)?,
+        "log" => {
+            let (lo, hi) = wbfs_weight_range(g.num_vertices());
+            save(&assign_weights(&g, lo, hi, seed ^ 0xF00D), &out)?;
+            let _ = writeln!(report, "weights: uniform [{lo}, {hi})");
+        }
+        "heavy" => {
+            save(&assign_weights(&g, 1, 100_000, seed ^ 0xF00D), &out)?;
+            let _ = writeln!(report, "weights: uniform [1, 100000)");
+        }
+        other => return Err(format!("unknown weights mode {other:?}")),
+    }
+    let _ = writeln!(report, "wrote {}", out.display());
+    Ok(report)
+}
+
+/// `julienne stats in=<file> [weighted=false]`
+pub fn cmd_stats(a: &Args) -> CmdResult {
+    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let weighted: bool = a.get_or("weighted", false).map_err(|e| e.to_string())?;
+    a.finish().map_err(|e| e.to_string())?;
+    let s = if weighted {
+        graph_stats(&load::<u32>(&input)?)
+    } else {
+        graph_stats(&load::<()>(&input)?)
+    };
+    Ok(format!(
+        "n={} m={} rho={} k_max={} max_degree={} ecc(0)={}\n",
+        s.num_vertices,
+        s.num_edges,
+        s.rho.map(|x| x.to_string()).unwrap_or("-".into()),
+        s.k_max.map(|x| x.to_string()).unwrap_or("-".into()),
+        s.max_degree,
+        s.eccentricity_from_zero
+    ))
+}
+
+/// `julienne convert in=<file> out=<file> [weighted=false] [symmetrize=false]`
+pub fn cmd_convert(a: &Args) -> CmdResult {
+    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let out = PathBuf::from(a.require("out").map_err(|e| e.to_string())?);
+    let weighted: bool = a.get_or("weighted", false).map_err(|e| e.to_string())?;
+    let make_sym: bool = a.get_or("symmetrize", false).map_err(|e| e.to_string())?;
+    a.finish().map_err(|e| e.to_string())?;
+    if weighted {
+        let mut g: Csr<u32> = load(&input)?;
+        if make_sym {
+            g = symmetrize(&g);
+        }
+        save(&g, &out)?;
+        Ok(format!("converted {} -> {} (weighted, m={})\n", input.display(), out.display(), g.num_edges()))
+    } else {
+        let mut g: Graph = load(&input)?;
+        if make_sym {
+            g = symmetrize(&g);
+        }
+        save(&g, &out)?;
+        Ok(format!("converted {} -> {} (m={})\n", input.display(), out.display(), g.num_edges()))
+    }
+}
+
+/// `julienne kcore in=<file> [top=10]`
+pub fn cmd_kcore(a: &Args) -> CmdResult {
+    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let top: usize = a.get_or("top", 10).map_err(|e| e.to_string())?;
+    a.finish().map_err(|e| e.to_string())?;
+    let g: Graph = load(&input)?;
+    if !g.is_symmetric() {
+        return Err("k-core requires a symmetric graph (use convert symmetrize=true)".into());
+    }
+    let r = kcore::coreness_julienne(&g);
+    let k_max = r.coreness.iter().copied().max().unwrap_or(0);
+    let mut by_core: Vec<(u32, u32)> = r
+        .coreness
+        .iter()
+        .enumerate()
+        .map(|(v, &c)| (c, v as u32))
+        .collect();
+    by_core.sort_unstable_by(|a, b| b.cmp(a));
+    let mut out = format!("k_max={k_max} rounds={} moves={}\n", r.rounds, r.identifiers_moved);
+    let _ = writeln!(out, "top vertices by coreness:");
+    for (c, v) in by_core.into_iter().take(top) {
+        let _ = writeln!(out, "  v{v}: coreness {c}");
+    }
+    Ok(out)
+}
+
+/// `julienne sssp in=<weighted file> [src=0] [delta=32768] [algo=delta|wbfs|bellman|dijkstra]`
+pub fn cmd_sssp(a: &Args) -> CmdResult {
+    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let src: u32 = a.get_or("src", 0).map_err(|e| e.to_string())?;
+    let delta: u64 = a.get_or("delta", 32768).map_err(|e| e.to_string())?;
+    let algo = a.string_or("algo", "delta");
+    a.finish().map_err(|e| e.to_string())?;
+    let g: Csr<u32> = load(&input)?;
+    if src as usize >= g.num_vertices() {
+        return Err(format!("src {src} out of range (n = {})", g.num_vertices()));
+    }
+    let (dist, rounds) = match algo.as_str() {
+        "delta" => {
+            let r = delta_stepping::delta_stepping(&g, src, delta);
+            (r.dist, r.rounds)
+        }
+        "wbfs" => {
+            let r = delta_stepping::wbfs(&g, src);
+            (r.dist, r.rounds)
+        }
+        "bellman" => {
+            let r = bellman_ford::bellman_ford(&g, src);
+            (r.dist, r.rounds)
+        }
+        "dijkstra" => (dijkstra::dijkstra(&g, src), 0),
+        other => return Err(format!("unknown algo {other:?}")),
+    };
+    let reached = dist.iter().filter(|&&d| d != u64::MAX).count();
+    let max = dist.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap_or(0);
+    Ok(format!(
+        "algo={algo} src={src} reached={reached}/{} max_dist={max} rounds={rounds}\n",
+        g.num_vertices()
+    ))
+}
+
+/// `julienne components in=<file>`
+pub fn cmd_components(a: &Args) -> CmdResult {
+    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    a.finish().map_err(|e| e.to_string())?;
+    let g: Graph = load(&input)?;
+    if !g.is_symmetric() {
+        return Err("components requires a symmetric graph".into());
+    }
+    let r = connected_components(&g);
+    Ok(format!(
+        "components={} rounds={}\n",
+        num_components(&r.label),
+        r.rounds
+    ))
+}
+
+/// `julienne densest in=<file>`
+pub fn cmd_densest(a: &Args) -> CmdResult {
+    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    a.finish().map_err(|e| e.to_string())?;
+    let g: Graph = load(&input)?;
+    if !g.is_symmetric() {
+        return Err("densest requires a symmetric graph".into());
+    }
+    let ds = densest_subgraph(&g);
+    Ok(format!(
+        "densest subgraph: {} vertices, density {:.3}\n",
+        ds.vertices.len(),
+        ds.density
+    ))
+}
+
+/// `julienne triangles in=<file>`
+pub fn cmd_triangles(a: &Args) -> CmdResult {
+    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    a.finish().map_err(|e| e.to_string())?;
+    let g: Graph = load(&input)?;
+    if !g.is_symmetric() {
+        return Err("triangle counting requires a symmetric graph".into());
+    }
+    Ok(format!("triangles={}\n", triangle_count(&g)))
+}
+
+/// `julienne truss in=<file> [top=5]`
+pub fn cmd_truss(a: &Args) -> CmdResult {
+    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let top: usize = a.get_or("top", 5).map_err(|e| e.to_string())?;
+    a.finish().map_err(|e| e.to_string())?;
+    let g: Graph = load(&input)?;
+    if !g.is_symmetric() {
+        return Err("k-truss requires a symmetric graph".into());
+    }
+    let idx = EdgeIndex::new(&g);
+    let r = ktruss_julienne(&g);
+    let mut out = format!(
+        "edges={} max_truss={} rounds={}\n",
+        r.trussness.len(),
+        r.max_truss,
+        r.rounds
+    );
+    let mut by_truss: Vec<(u32, usize)> = r.trussness.iter().copied().map(|t| (t, 1)).fold(
+        std::collections::BTreeMap::new(),
+        |mut m: std::collections::BTreeMap<u32, usize>, (t, c)| {
+            *m.entry(t).or_default() += c;
+            m
+        },
+    ).into_iter().collect();
+    by_truss.reverse();
+    let _ = writeln!(out, "edges per trussness (top {top} levels):");
+    for (t, c) in by_truss.into_iter().take(top) {
+        let _ = writeln!(out, "  trussness {t}: {c} edges");
+    }
+    let _ = idx;
+    Ok(out)
+}
+
+/// `julienne clustering in=<file>`
+pub fn cmd_clustering(a: &Args) -> CmdResult {
+    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    a.finish().map_err(|e| e.to_string())?;
+    let g: Graph = load(&input)?;
+    if !g.is_symmetric() {
+        return Err("clustering requires a symmetric graph".into());
+    }
+    let local = local_clustering(&g);
+    let avg = local.iter().sum::<f64>() / local.len().max(1) as f64;
+    Ok(format!(
+        "transitivity={:.6} avg_local_clustering={:.6}\n",
+        transitivity(&g),
+        avg
+    ))
+}
+
+/// `julienne pagerank in=<file> [damping=0.85] [iters=100]`
+pub fn cmd_pagerank(a: &Args) -> CmdResult {
+    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let damping: f64 = a.get_or("damping", 0.85).map_err(|e| e.to_string())?;
+    let iters: u32 = a.get_or("iters", 100).map_err(|e| e.to_string())?;
+    a.finish().map_err(|e| e.to_string())?;
+    let g: Graph = load(&input)?;
+    let r = pagerank(&g, damping, 1e-9, iters);
+    let mut top: Vec<(usize, f64)> = r.rank.iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let mut out = format!("iterations={}\n", r.iterations);
+    let _ = writeln!(out, "top vertices by rank:");
+    for (v, score) in top.into_iter().take(5) {
+        let _ = writeln!(out, "  v{v}: {score:.6}");
+    }
+    Ok(out)
+}
+
+/// `julienne setcover sets=<n> elements=<n> [mult=4] [eps=0.01] [seed=1]`
+pub fn cmd_setcover(a: &Args) -> CmdResult {
+    let sets: usize = a.get_or("sets", 256).map_err(|e| e.to_string())?;
+    let elements: usize = a.get_or("elements", 16_384).map_err(|e| e.to_string())?;
+    let mult: usize = a.get_or("mult", 4).map_err(|e| e.to_string())?;
+    let eps: f64 = a.get_or("eps", 0.01).map_err(|e| e.to_string())?;
+    let seed: u64 = a.get_or("seed", 1).map_err(|e| e.to_string())?;
+    a.finish().map_err(|e| e.to_string())?;
+    let inst = julienne_graph::generators::set_cover_instance(sets, elements, mult, seed);
+    let r = set_cover_julienne(&inst, eps);
+    if !verify_cover(&inst, &r.cover) {
+        return Err("internal error: produced cover is invalid".into());
+    }
+    Ok(format!(
+        "cover: {}/{sets} sets over {elements} elements, rounds={}, valid=yes\n",
+        r.cover.len(),
+        r.rounds
+    ))
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "julienne — work-efficient bucketing for parallel graph algorithms (SPAA'17 reproduction)
+
+USAGE: julienne <command> [key=value ...]
+
+COMMANDS:
+  gen         kind=<rmat|er|chunglu|grid|regular> out=<file.{adj,el,gr,bin}>
+              [scale=14] [edge_factor=16] [seed=1] [symmetric=true] [weights=none|log|heavy]
+  stats       in=<file> [weighted=false]
+  convert     in=<file> out=<file> [weighted=false] [symmetrize=false]
+  kcore       in=<file> [top=10]
+  sssp        in=<weighted file> [src=0] [delta=32768] [algo=delta|wbfs|bellman|dijkstra]
+  components  in=<file>
+  densest     in=<file>
+  triangles   in=<file>
+  truss       in=<file> [top=5]
+  clustering  in=<file>
+  pagerank    in=<file> [damping=0.85] [iters=100]
+  setcover    [sets=256] [elements=16384] [mult=4] [eps=0.01] [seed=1]
+  help
+"
+    .to_string()
+}
+
+/// Dispatches a parsed command.
+pub fn dispatch(a: &Args) -> CmdResult {
+    match a.command.as_str() {
+        "gen" => cmd_gen(a),
+        "stats" => cmd_stats(a),
+        "convert" => cmd_convert(a),
+        "kcore" => cmd_kcore(a),
+        "sssp" => cmd_sssp(a),
+        "components" => cmd_components(a),
+        "densest" => cmd_densest(a),
+        "triangles" => cmd_triangles(a),
+        "truss" => cmd_truss(a),
+        "clustering" => cmd_clustering(a),
+        "pagerank" => cmd_pagerank(a),
+        "setcover" => cmd_setcover(a),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &str) -> CmdResult {
+        let argv: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        let a = Args::parse(argv).map_err(|e| e.to_string())?;
+        dispatch(&a)
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("julienne-cli-{}-{name}", std::process::id()))
+            .display()
+            .to_string()
+    }
+
+    #[test]
+    fn gen_stats_kcore_pipeline() {
+        let f = tmp("a.bin");
+        let r = run(&format!("gen kind=rmat scale=10 out={f}")).unwrap();
+        assert!(r.contains("generated rmat"));
+        let s = run(&format!("stats in={f}")).unwrap();
+        assert!(s.contains("n=1024"));
+        let k = run(&format!("kcore in={f} top=3")).unwrap();
+        assert!(k.contains("k_max="));
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn weighted_sssp_pipeline() {
+        let f = tmp("w.bin");
+        run(&format!("gen kind=er scale=9 edge_factor=8 weights=log out={f}")).unwrap();
+        for algo in ["delta", "wbfs", "bellman", "dijkstra"] {
+            let out = run(&format!("sssp in={f} algo={algo} weighted=x"));
+            // weighted=x is an unknown option: must be rejected.
+            assert!(out.is_err(), "{algo}");
+            let out = run(&format!("sssp in={f} algo={algo}")).unwrap();
+            assert!(out.contains("reached="), "{algo}");
+        }
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn components_and_densest() {
+        let f = tmp("c.bin");
+        run(&format!("gen kind=grid scale=10 out={f}")).unwrap();
+        let c = run(&format!("components in={f}")).unwrap();
+        assert!(c.contains("components=1"));
+        let d = run(&format!("densest in={f}")).unwrap();
+        assert!(d.contains("density"));
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn setcover_runs_standalone() {
+        let out = run("setcover sets=32 elements=1000 seed=3").unwrap();
+        assert!(out.contains("valid=yes"));
+    }
+
+    #[test]
+    fn convert_symmetrize() {
+        let f1 = tmp("d.bin");
+        let f2 = tmp("d.adj");
+        run(&format!("gen kind=rmat scale=8 symmetric=false out={f1}")).unwrap();
+        let out = run(&format!("convert in={f1} out={f2} symmetrize=true")).unwrap();
+        assert!(out.contains("converted"));
+        std::fs::remove_file(f1).ok();
+        std::fs::remove_file(f2).ok();
+    }
+
+    #[test]
+    fn triangles_truss_pagerank_pipeline() {
+        let f = tmp("t.bin");
+        run(&format!("gen kind=rmat scale=9 edge_factor=12 out={f}")).unwrap();
+        let t = run(&format!("triangles in={f}")).unwrap();
+        assert!(t.contains("triangles="));
+        let k = run(&format!("truss in={f}")).unwrap();
+        assert!(k.contains("max_truss="));
+        let p = run(&format!("pagerank in={f}")).unwrap();
+        assert!(p.contains("iterations="));
+        let c = run(&format!("clustering in={f}")).unwrap();
+        assert!(c.contains("transitivity="));
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let e = run("frobnicate").unwrap_err();
+        assert!(e.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_works() {
+        assert!(run("help").unwrap().contains("COMMANDS"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Format-dispatching graph load/save for the CLI.
+
+use julienne_graph::csr::{Csr, Weight};
+use julienne_graph::io;
+use std::io::Error;
+use std::path::Path;
+
+/// Supported on-disk formats, inferred from the file extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Ligra `AdjacencyGraph` text (`.adj`).
+    Adjacency,
+    /// Whitespace edge list (`.el`, `.txt`).
+    EdgeList,
+    /// DIMACS shortest-path (`.gr`) — weighted only.
+    Dimacs,
+    /// Fast binary (`.bin`).
+    Binary,
+    /// METIS (`.metis`, `.graph`) — undirected only.
+    Metis,
+}
+
+/// Infers the format from a path's extension.
+pub fn infer_format(path: &Path) -> Result<Format, String> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("adj") => Ok(Format::Adjacency),
+        Some("el") | Some("txt") => Ok(Format::EdgeList),
+        Some("gr") => Ok(Format::Dimacs),
+        Some("bin") => Ok(Format::Binary),
+        Some("metis") | Some("graph") => Ok(Format::Metis),
+        other => Err(format!(
+            "cannot infer graph format from extension {other:?} (use .adj/.el/.gr/.bin/.metis)"
+        )),
+    }
+}
+
+/// Loads a graph with weight type `W` from `path`.
+pub fn load<W: Weight>(path: &Path) -> Result<Csr<W>, String> {
+    let fmt = infer_format(path)?;
+    let res: Result<Csr<W>, Error> = match fmt {
+        Format::Adjacency => io::read_adjacency_graph(path),
+        Format::EdgeList => io::read_edge_list(path, None, false),
+        Format::Binary => io::read_binary(path),
+        Format::Metis => io::read_metis(path),
+        Format::Dimacs => {
+            if W::IS_UNIT {
+                return Err("DIMACS files are weighted; use a weighted command".into());
+            }
+            // Round-trip through u64 encoding to reuse the typed reader.
+            return io::read_dimacs(path)
+                .map_err(|e| e.to_string())
+                .map(|g| {
+                    Csr::from_parts(
+                        g.offsets().to_vec(),
+                        g.targets().to_vec(),
+                        g.weights().iter().map(|&w| W::from_u64(w as u64)).collect(),
+                        g.is_symmetric(),
+                    )
+                });
+        }
+    };
+    res.map_err(|e| format!("loading {}: {e}", path.display()))
+}
+
+/// Saves a graph to `path` in the extension-inferred format.
+pub fn save<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), String> {
+    let fmt = infer_format(path)?;
+    let res: Result<(), Error> = match fmt {
+        Format::Adjacency => io::write_adjacency_graph(g, path),
+        Format::EdgeList => io::write_edge_list(g, path),
+        Format::Binary => io::write_binary(g, path),
+        Format::Metis => io::write_metis(g, path),
+        Format::Dimacs => {
+            if W::IS_UNIT {
+                return Err("DIMACS output requires a weighted graph".into());
+            }
+            let wg: Csr<u32> = Csr::from_parts(
+                g.offsets().to_vec(),
+                g.targets().to_vec(),
+                g.weights().iter().map(|w| w.to_u64() as u32).collect(),
+                g.is_symmetric(),
+            );
+            io::write_dimacs(&wg, path)
+        }
+    };
+    res.map_err(|e| format!("saving {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use julienne_graph::generators::erdos_renyi;
+    use julienne_graph::transform::assign_weights;
+
+    #[test]
+    fn format_inference() {
+        assert_eq!(infer_format(Path::new("a.adj")).unwrap(), Format::Adjacency);
+        assert_eq!(infer_format(Path::new("a.el")).unwrap(), Format::EdgeList);
+        assert_eq!(infer_format(Path::new("a.gr")).unwrap(), Format::Dimacs);
+        assert_eq!(infer_format(Path::new("a.bin")).unwrap(), Format::Binary);
+        assert_eq!(infer_format(Path::new("a.metis")).unwrap(), Format::Metis);
+        assert_eq!(infer_format(Path::new("a.graph")).unwrap(), Format::Metis);
+        assert!(infer_format(Path::new("a.xyz")).is_err());
+    }
+
+    #[test]
+    fn load_save_roundtrip_every_format() {
+        let dir = std::env::temp_dir().join(format!("julienne-cli-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = erdos_renyi(100, 500, 1, false);
+        for name in ["g.adj", "g.el", "g.bin"] {
+            let p = dir.join(name);
+            save(&g, &p).unwrap();
+            let h: Csr<()> = load(&p).unwrap();
+            assert_eq!(h.num_edges(), g.num_edges(), "{name}");
+        }
+        let wg = assign_weights(&g, 1, 9, 2);
+        let p = dir.join("g.gr");
+        save(&wg, &p).unwrap();
+        let h: Csr<u32> = load(&p).unwrap();
+        assert_eq!(h.weights(), wg.weights());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metis_roundtrip_via_dispatch() {
+        let dir = std::env::temp_dir().join(format!("julienne-cli-metis-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = erdos_renyi(80, 400, 2, true);
+        let p = dir.join("g.metis");
+        save(&g, &p).unwrap();
+        let h: Csr<()> = load(&p).unwrap();
+        assert_eq!(h.num_edges(), g.num_edges());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dimacs_rejects_unweighted() {
+        let g = erdos_renyi(10, 30, 1, false);
+        assert!(save(&g, Path::new("/tmp/x.gr")).is_err());
+    }
+}

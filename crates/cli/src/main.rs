@@ -1,0 +1,32 @@
+//! `julienne` — command-line front-end for the SPAA'17 reproduction:
+//! generate/convert/analyze graphs and run the bucketing-based algorithms.
+//!
+//! Run `julienne help` for usage.
+
+mod args;
+mod commands;
+mod io_util;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print!("{}", commands::usage());
+        std::process::exit(2);
+    }
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

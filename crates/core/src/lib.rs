@@ -1,0 +1,43 @@
+//! # Julienne: work-efficient parallel bucketing
+//!
+//! This crate implements the primary contribution of *"Julienne: A Framework
+//! for Parallel Graph Algorithms using Work-efficient Bucketing"* (Dhulipala,
+//! Blelloch, Shun — SPAA 2017): a dynamic map from integer **identifiers** to
+//! **bucket ids** with efficient inverse access, supporting
+//!
+//! * [`bucket::Buckets::next_bucket`] — extract the next non-empty bucket in
+//!   increasing or decreasing order,
+//! * [`bucket::Buckets::get_bucket`] — compute an opaque destination for an
+//!   identifier moving between buckets (enabling the overflow-range
+//!   optimization of Section 3.3 without an internal id→bucket map),
+//! * [`bucket::Buckets::update_buckets`] — move many identifiers at once,
+//!   work-efficiently and in low depth.
+//!
+//! The parallel structure [`bucket::Buckets`] implements the Section 3.3
+//! optimizations: only `nB` *open* buckets (default 128) are represented,
+//! identifiers logically beyond the open range live in an overflow bucket
+//! that is redistributed when the range is exhausted, and `updateBuckets`
+//! uses the blocked-histogram scatter (M = 2048) rather than a semisort.
+//! The semisort-based variant of Section 3.2 and a sequential reference
+//! implementation are also provided, for the ablation benchmarks and as
+//! property-test oracles.
+//!
+//! The `prelude` re-exports the framework surface (Ligra engine + buckets)
+//! that the application crate builds on, mirroring how Julienne extends
+//! Ligra.
+
+pub mod bucket;
+
+pub mod prelude {
+    //! Everything an application needs: graph types, the Ligra engine, and
+    //! the bucket structure.
+    pub use crate::bucket::{
+        BucketDest, BucketId, Buckets, Identifier, Order, SeqBuckets, NULL_BKT,
+    };
+    pub use julienne_graph::{Csr, Graph, VertexId, WGraph, Weight};
+    pub use julienne_ligra::{
+        edge_map, edge_map_data, edge_map_filter_count, edge_map_filter_pack, edge_map_packed,
+        edge_map_sum, vertex_filter, vertex_map, vertex_map_data, EdgeMapOptions, Mode,
+        VertexSubset, VertexSubsetData,
+    };
+}

@@ -1,0 +1,160 @@
+//! Edge-list ingestion: sort, dedup, self-loop removal, CSR construction.
+
+use crate::csr::{Csr, Weight};
+use crate::VertexId;
+use julienne_primitives::scan::prefix_sums;
+use rayon::prelude::*;
+
+/// A raw edge list; the staging representation all generators and readers
+/// produce before CSR construction.
+#[derive(Clone, Debug)]
+pub struct EdgeList<W: Weight> {
+    /// Number of vertices (ids must be `< n`).
+    pub n: usize,
+    /// Directed edges `(src, dst, weight)`.
+    pub edges: Vec<(VertexId, VertexId, W)>,
+}
+
+impl<W: Weight> EdgeList<W> {
+    /// Creates an edge list over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        EdgeList {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds one directed edge.
+    pub fn push(&mut self, u: VertexId, v: VertexId, w: W) {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        self.edges.push((u, v, w));
+    }
+
+    /// Adds both directions of an undirected edge.
+    pub fn push_undirected(&mut self, u: VertexId, v: VertexId, w: W) {
+        self.push(u, v, w);
+        self.push(v, u, w);
+    }
+
+    /// Mirrors every edge, making the list symmetric.
+    pub fn symmetrize(&mut self) {
+        let mirrored: Vec<_> = self
+            .edges
+            .par_iter()
+            .map(|&(u, v, w)| (v, u, w))
+            .collect();
+        self.edges.extend(mirrored);
+    }
+
+    /// Builds a CSR: sorts by `(src, dst)`, removes self-loops and duplicate
+    /// edges (keeping the first weight), per the paper's no-self-edge /
+    /// no-duplicate assumption.
+    pub fn build(mut self, symmetric: bool) -> Csr<W> {
+        let n = self.n;
+        self.edges
+            .par_sort_unstable_by_key(|&(u, v, _)| ((u as u64) << 32) | v as u64);
+        self.edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+        self.edges.retain(|&(u, v, _)| u != v);
+
+        let mut counts = vec![0usize; n + 1];
+        for &(u, _, _) in &self.edges {
+            counts[u as usize] += 1;
+        }
+        counts[n] = 0;
+        let m = prefix_sums(&mut counts[..]);
+        debug_assert_eq!(m, self.edges.len());
+        let mut offsets = vec![0u64; n + 1];
+        for i in 0..n {
+            offsets[i] = counts[i] as u64;
+        }
+        offsets[n] = m as u64;
+
+        let targets: Vec<VertexId> = self.edges.par_iter().map(|&(_, v, _)| v).collect();
+        let weights: Vec<W> = self.edges.par_iter().map(|&(_, _, w)| w).collect();
+        Csr::from_parts(offsets, targets, weights, symmetric)
+    }
+
+    /// Builds a symmetric CSR by first mirroring all edges.
+    pub fn build_symmetric(mut self) -> Csr<W> {
+        self.symmetrize();
+        self.build(true)
+    }
+}
+
+/// Convenience: builds an unweighted directed CSR from `(u, v)` pairs.
+pub fn from_pairs(n: usize, pairs: &[(VertexId, VertexId)]) -> Csr<()> {
+    let mut el = EdgeList::new(n);
+    for &(u, v) in pairs {
+        el.push(u, v, ());
+    }
+    el.build(false)
+}
+
+/// Convenience: builds an unweighted symmetric CSR from `(u, v)` pairs.
+pub fn from_pairs_symmetric(n: usize, pairs: &[(VertexId, VertexId)]) -> Csr<()> {
+    let mut el = EdgeList::new(n);
+    for &(u, v) in pairs {
+        el.push(u, v, ());
+    }
+    el.build_symmetric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let g = from_pairs(4, &[(0, 1), (0, 1), (1, 1), (2, 0), (0, 2)]);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn symmetric_build_mirrors() {
+        let g = from_pairs_symmetric(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_symmetric());
+        assert!(g.validate().is_ok());
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn weighted_build_keeps_first_weight() {
+        let mut el: EdgeList<u32> = EdgeList::new(2);
+        el.push(0, 1, 5);
+        el.push(0, 1, 9); // duplicate: dropped
+        let g = el.build(false);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.weights_of(0), &[5]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let g = from_pairs(10, &[(0, 9)]);
+        assert_eq!(g.num_vertices(), 10);
+        for v in 1..9 {
+            assert_eq!(g.degree(v), 0);
+        }
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_pairs(5, &[]);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn push_undirected_adds_both() {
+        let mut el: EdgeList<()> = EdgeList::new(3);
+        el.push_undirected(0, 2, ());
+        let g = el.build(true);
+        assert_eq!(g.neighbors(0), &[2]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+}

@@ -1,0 +1,60 @@
+//! 2-D grid (mesh) graphs: high-diameter, bounded-degree — the stand-in for
+//! the road networks on which the paper notes synchronous Δ-stepping loses
+//! to asynchronous schedulers.
+
+use crate::builder::EdgeList;
+use crate::csr::Csr;
+use crate::VertexId;
+
+/// A `rows × cols` 4-neighbor grid, symmetric. Diameter is
+/// `rows + cols − 2`.
+pub fn grid2d(rows: usize, cols: usize) -> Csr<()> {
+    assert!(rows >= 1 && cols >= 1);
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut el: EdgeList<()> = EdgeList::new(n);
+    el.edges.reserve(4 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                el.push_undirected(id(r, c), id(r, c + 1), ());
+            }
+            if r + 1 < rows {
+                el.push_undirected(id(r, c), id(r + 1, c), ());
+            }
+        }
+    }
+    el.build(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_structure() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // Edge count: horizontal 3*3 + vertical 2*4 = 17 undirected = 34 directed.
+        assert_eq!(g.num_edges(), 34);
+        assert!(g.validate().is_ok());
+        // Corner has degree 2, interior 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn single_row_is_a_path() {
+        let g = grid2d(1, 5);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn single_cell() {
+        let g = grid2d(1, 1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Synthetic graph generators.
+//!
+//! These stand in for the paper's real-world inputs (Table 2) at laptop
+//! scale — see DESIGN.md §3. All generators are deterministic in their seed
+//! and parallel in their sampling.
+
+mod bipartite;
+mod er;
+mod grid;
+mod powerlaw;
+mod regular;
+mod rmat;
+
+pub use bipartite::{set_cover_instance, SetCoverInstance};
+pub use er::erdos_renyi;
+pub use grid::grid2d;
+pub use powerlaw::chung_lu;
+pub use regular::random_regular;
+pub use rmat::{rmat, RmatParams};

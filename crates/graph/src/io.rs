@@ -1,0 +1,525 @@
+//! Graph I/O: Ligra adjacency text format, edge lists, DIMACS `.gr`, and a
+//! fast length-prefixed binary format.
+
+use crate::builder::EdgeList;
+use crate::csr::{Csr, Weight};
+use crate::VertexId;
+use bytes::{Buf, BufMut};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write as _};
+use std::path::Path;
+
+/// Writes `g` in Ligra's `AdjacencyGraph` / `WeightedAdjacencyGraph` text
+/// format.
+pub fn write_adjacency_graph<W: Weight>(g: &Csr<W>, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    if W::IS_UNIT {
+        writeln!(out, "AdjacencyGraph")?;
+    } else {
+        writeln!(out, "WeightedAdjacencyGraph")?;
+    }
+    writeln!(out, "{}", g.num_vertices())?;
+    writeln!(out, "{}", g.num_edges())?;
+    for v in 0..g.num_vertices() {
+        writeln!(out, "{}", g.offsets()[v])?;
+    }
+    for &t in g.targets() {
+        writeln!(out, "{t}")?;
+    }
+    if !W::IS_UNIT {
+        for &w in g.weights() {
+            writeln!(out, "{}", w.to_u64())?;
+        }
+    }
+    out.flush()
+}
+
+/// Reads a Ligra `AdjacencyGraph` / `WeightedAdjacencyGraph` text file.
+pub fn read_adjacency_graph<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let mut next = |what: &str| -> io::Result<String> {
+        lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, what.to_string()))?
+    };
+    let header = next("header")?;
+    let weighted = match header.trim() {
+        "AdjacencyGraph" => false,
+        "WeightedAdjacencyGraph" => true,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown header {other:?}"),
+            ))
+        }
+    };
+    if weighted == W::IS_UNIT {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "weightedness of file does not match requested graph type",
+        ));
+    }
+    let parse_err = |e: std::num::ParseIntError| {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    };
+    let n: usize = next("n")?.trim().parse().map_err(parse_err)?;
+    let m: usize = next("m")?.trim().parse().map_err(parse_err)?;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..n {
+        offsets.push(next("offset")?.trim().parse::<u64>().map_err(parse_err)?);
+    }
+    offsets.push(m as u64);
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        targets.push(next("edge")?.trim().parse::<VertexId>().map_err(parse_err)?);
+    }
+    let mut weights = Vec::with_capacity(if weighted { m } else { 0 });
+    if weighted {
+        for _ in 0..m {
+            let w: u64 = next("weight")?.trim().parse().map_err(parse_err)?;
+            weights.push(W::from_u64(w));
+        }
+    }
+    Ok(Csr::from_parts(offsets, targets, weights, false))
+}
+
+/// Writes a whitespace edge list (`u v` or `u v w` per line).
+pub fn write_edge_list<W: Weight>(g: &Csr<W>, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for u in 0..g.num_vertices() as VertexId {
+        for (v, w) in g.edges_of(u) {
+            if W::IS_UNIT {
+                writeln!(out, "{u} {v}")?;
+            } else {
+                writeln!(out, "{u} {v} {}", w.to_u64())?;
+            }
+        }
+    }
+    out.flush()
+}
+
+/// Reads a whitespace edge list; lines starting with `#` or `%` are
+/// comments. `n` is inferred as `1 + max id` unless given.
+pub fn read_edge_list<W: Weight>(
+    path: &Path,
+    n: Option<usize>,
+    symmetric: bool,
+) -> io::Result<Csr<W>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut edges: Vec<(VertexId, VertexId, W)> = Vec::new();
+    let mut max_id = 0u32;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let bad = || io::Error::new(io::ErrorKind::InvalidData, "bad edge line");
+        let u: VertexId = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let v: VertexId = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let w = if W::IS_UNIT {
+            W::default()
+        } else {
+            let raw: u64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            W::from_u64(raw)
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    let n = n.unwrap_or(max_id as usize + 1);
+    let mut el = EdgeList::new(n);
+    el.edges = edges;
+    Ok(if symmetric {
+        el.build_symmetric()
+    } else {
+        el.build(false)
+    })
+}
+
+/// Writes a DIMACS shortest-path challenge `.gr` file (1-indexed, weighted).
+pub fn write_dimacs(g: &Csr<u32>, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "c generated by julienne-graph")?;
+    writeln!(out, "p sp {} {}", g.num_vertices(), g.num_edges())?;
+    for u in 0..g.num_vertices() as VertexId {
+        for (v, w) in g.edges_of(u) {
+            writeln!(out, "a {} {} {w}", u + 1, v + 1)?;
+        }
+    }
+    out.flush()
+}
+
+/// Reads a DIMACS `.gr` file.
+pub fn read_dimacs(path: &Path) -> io::Result<Csr<u32>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut n = 0usize;
+    let mut edges: Vec<(VertexId, VertexId, u32)> = Vec::new();
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    for line in reader.lines() {
+        let line = line?;
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("c") | None => {}
+            Some("p") => {
+                let _sp = it.next();
+                n = it
+                    .next()
+                    .ok_or_else(|| bad("p line"))?
+                    .parse()
+                    .map_err(|_| bad("p n"))?;
+            }
+            Some("a") => {
+                let u: u32 = it
+                    .next()
+                    .ok_or_else(|| bad("a u"))?
+                    .parse()
+                    .map_err(|_| bad("a u"))?;
+                let v: u32 = it
+                    .next()
+                    .ok_or_else(|| bad("a v"))?
+                    .parse()
+                    .map_err(|_| bad("a v"))?;
+                let w: u32 = it
+                    .next()
+                    .ok_or_else(|| bad("a w"))?
+                    .parse()
+                    .map_err(|_| bad("a w"))?;
+                if u == 0 || v == 0 {
+                    return Err(bad("DIMACS ids are 1-indexed"));
+                }
+                edges.push((u - 1, v - 1, w));
+            }
+            Some(_) => {}
+        }
+    }
+    let mut el = EdgeList::new(n);
+    el.edges = edges;
+    Ok(el.build(false))
+}
+
+/// Writes a METIS graph file (1-indexed adjacency lines; header
+/// `n m [fmt]`, where undirected edges are listed from both endpoints).
+/// Requires a symmetric graph; weighted graphs use fmt `001` (edge
+/// weights).
+pub fn write_metis<W: Weight>(g: &Csr<W>, path: &Path) -> io::Result<()> {
+    if !g.is_symmetric() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "METIS files describe undirected graphs; symmetrize first",
+        ));
+    }
+    let mut out = BufWriter::new(File::create(path)?);
+    let m_und = g.num_edges() / 2;
+    if W::IS_UNIT {
+        writeln!(out, "{} {}", g.num_vertices(), m_und)?;
+    } else {
+        writeln!(out, "{} {} 001", g.num_vertices(), m_und)?;
+    }
+    for v in 0..g.num_vertices() as VertexId {
+        let mut first = true;
+        for (u, w) in g.edges_of(v) {
+            if !first {
+                write!(out, " ")?;
+            }
+            first = false;
+            if W::IS_UNIT {
+                write!(out, "{}", u + 1)?;
+            } else {
+                write!(out, "{} {}", u + 1, w.to_u64())?;
+            }
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Reads a METIS graph file (plain or `001` edge-weighted).
+pub fn read_metis<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
+    let reader = BufReader::new(File::open(path)?);
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let mut lines = reader.lines().filter(|l| {
+        // Comment lines start with '%'.
+        !matches!(l, Ok(s) if s.trim_start().starts_with('%'))
+    });
+    let header = lines.next().ok_or_else(|| bad("empty file"))??;
+    let mut hp = header.split_whitespace();
+    let n: usize = hp
+        .next()
+        .ok_or_else(|| bad("header n"))?
+        .parse()
+        .map_err(|_| bad("header n"))?;
+    let m_und: usize = hp
+        .next()
+        .ok_or_else(|| bad("header m"))?
+        .parse()
+        .map_err(|_| bad("header m"))?;
+    let fmt = hp.next().unwrap_or("0");
+    let weighted = fmt.ends_with('1');
+    if weighted == W::IS_UNIT {
+        return Err(bad("weightedness of METIS file does not match graph type"));
+    }
+    let mut el = EdgeList::new(n);
+    for (v, line) in lines.enumerate() {
+        if v >= n {
+            break;
+        }
+        let line = line?;
+        let mut it = line.split_whitespace();
+        loop {
+            let Some(tok) = it.next() else { break };
+            let u: usize = tok.parse().map_err(|_| bad("neighbor id"))?;
+            if u == 0 || u > n {
+                return Err(bad("METIS ids are 1-indexed and ≤ n"));
+            }
+            let w = if weighted {
+                let raw: u64 = it
+                    .next()
+                    .ok_or_else(|| bad("missing edge weight"))?
+                    .parse()
+                    .map_err(|_| bad("edge weight"))?;
+                W::from_u64(raw)
+            } else {
+                W::default()
+            };
+            el.push(v as VertexId, (u - 1) as VertexId, w);
+        }
+    }
+    let g = el.build(true);
+    if g.num_edges() != 2 * m_und {
+        // Tolerate duplicate/self-loop cleanup shrinking the count.
+        if g.num_edges() > 2 * m_und {
+            return Err(bad("more edges than the header promised"));
+        }
+    }
+    Ok(g)
+}
+
+const BINARY_MAGIC: u64 = 0x4A55_4C49_454E_4E45; // "JULIENNE"
+
+/// Writes the fast binary format (little-endian, length-prefixed arrays).
+pub fn write_binary<W: Weight>(g: &Csr<W>, path: &Path) -> io::Result<()> {
+    let mut buf: Vec<u8> = Vec::with_capacity(32 + 8 * g.num_vertices() + 4 * g.num_edges());
+    buf.put_u64_le(BINARY_MAGIC);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    buf.put_u8(u8::from(g.is_symmetric()));
+    buf.put_u8(u8::from(!W::IS_UNIT));
+    for &o in g.offsets() {
+        buf.put_u64_le(o);
+    }
+    for &t in g.targets() {
+        buf.put_u32_le(t);
+    }
+    if !W::IS_UNIT {
+        for &w in g.weights() {
+            buf.put_u64_le(w.to_u64());
+        }
+    }
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(&buf)?;
+    out.flush()
+}
+
+/// Reads the fast binary format.
+pub fn read_binary<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    let mut buf: &[u8] = &raw;
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if buf.remaining() < 26 || buf.get_u64_le() != BINARY_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let n = buf.get_u64_le() as usize;
+    let m = buf.get_u64_le() as usize;
+    let symmetric = buf.get_u8() != 0;
+    let weighted = buf.get_u8() != 0;
+    if weighted == W::IS_UNIT {
+        return Err(bad("weightedness mismatch"));
+    }
+    let need = 8 * (n + 1) + 4 * m + if weighted { 8 * m } else { 0 };
+    if buf.remaining() < need {
+        return Err(bad("truncated file"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le());
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        targets.push(buf.get_u32_le());
+    }
+    let mut weights = Vec::with_capacity(if weighted { m } else { 0 });
+    if weighted {
+        for _ in 0..m {
+            weights.push(W::from_u64(buf.get_u64_le()));
+        }
+    }
+    Ok(Csr::from_parts(offsets, targets, weights, symmetric))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+    use crate::transform::assign_weights;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("julienne-io-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn same_graph<W: Weight>(a: &Csr<W>, b: &Csr<W>) {
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.offsets(), b.offsets());
+        assert_eq!(a.targets(), b.targets());
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn adjacency_roundtrip_unweighted() {
+        let g = erdos_renyi(200, 1000, 1, false);
+        let p = tmp("adj");
+        write_adjacency_graph(&g, &p).unwrap();
+        let h: Csr<()> = read_adjacency_graph(&p).unwrap();
+        same_graph(&g, &h);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn adjacency_roundtrip_weighted() {
+        let g = assign_weights(&erdos_renyi(100, 500, 2, false), 1, 50, 3);
+        let p = tmp("wadj");
+        write_adjacency_graph(&g, &p).unwrap();
+        let h: Csr<u32> = read_adjacency_graph(&p).unwrap();
+        same_graph(&g, &h);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = erdos_renyi(150, 700, 4, false);
+        let p = tmp("el");
+        write_edge_list(&g, &p).unwrap();
+        let h: Csr<()> = read_edge_list(&p, Some(150), false).unwrap();
+        same_graph(&g, &h);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = assign_weights(&erdos_renyi(80, 400, 5, false), 1, 1000, 6);
+        let p = tmp("gr");
+        write_dimacs(&g, &p).unwrap();
+        let h = read_dimacs(&p).unwrap();
+        same_graph(&g, &h);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn metis_roundtrip_unweighted_and_weighted() {
+        let g = erdos_renyi(150, 900, 3, true);
+        let p = tmp("metis");
+        write_metis(&g, &p).unwrap();
+        let h: Csr<()> = read_metis(&p).unwrap();
+        same_graph(&g, &h);
+        std::fs::remove_file(&p).ok();
+
+        let wg = assign_weights(&g, 1, 50, 4);
+        let pw = tmp("wmetis");
+        write_metis(&wg, &pw).unwrap();
+        let hw: Csr<u32> = read_metis(&pw).unwrap();
+        same_graph(&wg, &hw);
+        std::fs::remove_file(pw).ok();
+    }
+
+    #[test]
+    fn metis_rejects_directed_and_mismatch() {
+        let directed = erdos_renyi(20, 60, 1, false);
+        assert!(write_metis(&directed, &tmp("md")).is_err());
+        let g = erdos_renyi(20, 60, 1, true);
+        let p = tmp("mm");
+        write_metis(&g, &p).unwrap();
+        assert!(read_metis::<u32>(&p).is_err()); // weighted read of plain file
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn binary_roundtrip_both() {
+        let g = erdos_renyi(300, 2000, 7, true);
+        let p = tmp("bin");
+        write_binary(&g, &p).unwrap();
+        let h: Csr<()> = read_binary(&p).unwrap();
+        same_graph(&g, &h);
+        assert!(h.is_symmetric());
+        std::fs::remove_file(&p).ok();
+
+        let gw = assign_weights(&erdos_renyi(300, 2000, 8, false), 1, 9, 9);
+        let pw = tmp("binw");
+        write_binary(&gw, &pw).unwrap();
+        let hw: Csr<u32> = read_binary(&pw).unwrap();
+        same_graph(&gw, &hw);
+        std::fs::remove_file(pw).ok();
+    }
+
+    #[test]
+    fn weightedness_mismatch_rejected() {
+        let g = erdos_renyi(10, 20, 1, false);
+        let p = tmp("mismatch");
+        write_binary(&g, &p).unwrap();
+        assert!(read_binary::<u32>(&p).is_err());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_not_panicked() {
+        let cases: Vec<(&str, &str)> = vec![
+            ("bad-header", "NotAGraph\n3\n0\n"),
+            ("truncated-adj", "AdjacencyGraph\n3\n5\n0\n1\n"),
+            ("garbage-counts", "AdjacencyGraph\nxyz\n0\n"),
+        ];
+        for (name, body) in cases {
+            let p = tmp(name);
+            std::fs::write(&p, body).unwrap();
+            assert!(
+                read_adjacency_graph::<()>(&p).is_err(),
+                "{name} should fail cleanly"
+            );
+            std::fs::remove_file(p).ok();
+        }
+        // DIMACS with 0-indexed ids must error.
+        let p = tmp("dimacs-zero");
+        std::fs::write(&p, "p sp 2 1\na 0 1 5\n").unwrap();
+        assert!(read_dimacs(&p).is_err());
+        std::fs::remove_file(p).ok();
+        // Edge list with a non-numeric token.
+        let p = tmp("el-bad");
+        std::fs::write(&p, "0 1\nfoo bar\n").unwrap();
+        assert!(read_edge_list::<()>(&p, None, false).is_err());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn binary_detects_truncation() {
+        let g = erdos_renyi(50, 200, 2, false);
+        let p = tmp("trunc");
+        write_binary(&g, &p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(read_binary::<()>(&p).is_err());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn comments_skipped_in_edge_list() {
+        let p = tmp("comments");
+        std::fs::write(&p, "# header\n0 1\n% other\n1 2\n").unwrap();
+        let g: Csr<()> = read_edge_list(&p, None, false).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -1,0 +1,30 @@
+//! Graph substrate for the Julienne reproduction.
+//!
+//! Provides the Ligra/Ligra+-equivalent graph layer the paper builds on:
+//!
+//! * [`csr`] — compressed-sparse-row graphs, generic over edge weights
+//!   (`()` for unweighted, `u32` for the paper's integral weights),
+//! * [`builder`] — edge-list ingestion (sort, dedup, self-loop removal),
+//! * [`transform`] — symmetrisation, transposition, weight assignment,
+//! * [`generators`] — the synthetic workloads standing in for the paper's
+//!   real-world inputs (see DESIGN.md §3),
+//! * [`io`] — Ligra adjacency text format, edge lists, DIMACS `.gr`, and a
+//!   fast binary format,
+//! * [`compress`] — Ligra+-style byte-code delta compression of adjacency
+//!   lists,
+//! * [`packed`] — mutable-adjacency graphs supporting `edgeMapFilter`'s
+//!   `Pack` option (needed by approximate set cover).
+
+pub mod builder;
+pub mod compress;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod packed;
+pub mod transform;
+
+pub use csr::{Csr, Graph, WGraph, Weight};
+
+/// Vertex identifier. 32 bits suffice for all laptop-scale inputs and halve
+/// the memory traffic of the hot loops relative to `usize`.
+pub type VertexId = u32;

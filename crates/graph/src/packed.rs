@@ -1,0 +1,189 @@
+//! Packable adjacency: a graph whose per-vertex neighbor lists can be
+//! compacted ("packed") in parallel, mutating the graph.
+//!
+//! `edgeMapFilter(…, Pack)` in Section 4.3 removes edges to covered
+//! elements from each set's adjacency list and updates its degree. The
+//! arena layout keeps each vertex's (possibly shrunken) list inside its
+//! original CSR slice, so packing never allocates; the live length is
+//! tracked per vertex.
+
+use crate::csr::{Csr, Weight};
+use crate::VertexId;
+use julienne_primitives::unsafe_write::DisjointWriter;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A graph with mutable (shrinkable) adjacency lists.
+pub struct PackedGraph {
+    n: usize,
+    original_m: usize,
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    /// Live neighbor count of each vertex (≤ original degree).
+    live: Vec<AtomicU32>,
+}
+
+impl PackedGraph {
+    /// Builds a packable copy of `g`.
+    pub fn from_csr<W: Weight>(g: &Csr<W>) -> Self {
+        PackedGraph {
+            n: g.num_vertices(),
+            original_m: g.num_edges(),
+            offsets: g.offsets().to_vec(),
+            targets: g.targets().to_vec(),
+            live: g
+                .degrees()
+                .into_iter()
+                .map(AtomicU32::new)
+                .collect(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges in the original (unpacked) graph.
+    pub fn original_num_edges(&self) -> usize {
+        self.original_m
+    }
+
+    /// Current (live) degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.live[v as usize].load(Ordering::Relaxed) as usize
+    }
+
+    /// Live neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let start = self.offsets[v as usize] as usize;
+        &self.targets[start..start + self.degree(v)]
+    }
+
+    /// Packs the adjacency lists of every vertex in `vs`: keeps only
+    /// neighbors satisfying `pred`, compacts them to the front of the
+    /// vertex's slice, and updates the live degree. Returns the new degree
+    /// of each vertex, parallel to `vs`.
+    ///
+    /// Different vertices pack concurrently; each vertex's slice is touched
+    /// by exactly one task. `pred` must not read the adjacency lists being
+    /// packed.
+    pub fn pack<P>(&mut self, vs: &[VertexId], pred: P) -> Vec<u32>
+    where
+        P: Fn(VertexId, VertexId) -> bool + Send + Sync,
+    {
+        let offsets = &self.offsets;
+        let live = &self.live;
+        let writer = DisjointWriter::new(&mut self.targets);
+        vs.par_iter()
+            .map(|&v| {
+                let start = offsets[v as usize] as usize;
+                let deg = live[v as usize].load(Ordering::Relaxed) as usize;
+                // Collect survivors locally, then write back to the front of
+                // the slice (each vertex owns its slice exclusively).
+                let mut kept: Vec<VertexId> = Vec::with_capacity(deg);
+                for k in 0..deg {
+                    // SAFETY: only this task touches [start, start+deg).
+                    let u = unsafe { writer.read(start + k) };
+                    if pred(v, u) {
+                        kept.push(u);
+                    }
+                }
+                for (k, &u) in kept.iter().enumerate() {
+                    // SAFETY: disjoint per-vertex slices.
+                    unsafe { writer.write(start + k, u) };
+                }
+                let new_deg = kept.len() as u32;
+                live[v as usize].store(new_deg, Ordering::Relaxed);
+                new_deg
+            })
+            .collect()
+    }
+
+    /// Counts, for each vertex in `vs`, its neighbors satisfying `pred`
+    /// without mutating the graph (the non-`Pack` flavour of
+    /// `edgeMapFilter`).
+    pub fn count_neighbors<P>(&self, vs: &[VertexId], pred: P) -> Vec<u32>
+    where
+        P: Fn(VertexId, VertexId) -> bool + Send + Sync,
+    {
+        vs.par_iter()
+            .map(|&v| {
+                self.neighbors(v)
+                    .iter()
+                    .filter(|&&u| pred(v, u))
+                    .count() as u32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_pairs_symmetric;
+
+    fn star() -> PackedGraph {
+        // center 0 connected to 1..=5
+        let pairs: Vec<(u32, u32)> = (1..=5).map(|i| (0, i)).collect();
+        PackedGraph::from_csr(&from_pairs_symmetric(6, &pairs))
+    }
+
+    #[test]
+    fn pack_removes_filtered_neighbors() {
+        let mut g = star();
+        assert_eq!(g.degree(0), 5);
+        let new_degs = g.pack(&[0], |_, u| u % 2 == 1); // keep odd
+        assert_eq!(new_degs, vec![3]);
+        let mut nbrs = g.neighbors(0).to_vec();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![1, 3, 5]);
+        // Other vertices untouched.
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn pack_is_idempotent_under_true() {
+        let mut g = star();
+        let before = g.neighbors(0).to_vec();
+        g.pack(&[0], |_, _| true);
+        assert_eq!(g.neighbors(0), &before[..]);
+    }
+
+    #[test]
+    fn repeated_packs_shrink_monotonically() {
+        let mut g = star();
+        g.pack(&[0], |_, u| u <= 4);
+        assert_eq!(g.degree(0), 4);
+        g.pack(&[0], |_, u| u <= 2);
+        assert_eq!(g.degree(0), 2);
+        g.pack(&[0], |_, _| false);
+        assert_eq!(g.degree(0), 0);
+        assert!(g.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn count_neighbors_matches_manual() {
+        let g = star();
+        let counts = g.count_neighbors(&[0, 1], |_, u| u > 2);
+        assert_eq!(counts[0], 3); // 3,4,5
+        assert_eq!(counts[1], 0); // neighbor of 1 is 0
+    }
+
+    #[test]
+    fn parallel_pack_many_vertices() {
+        // Each vertex i in a cycle of 1000 keeps neighbors < 500.
+        let pairs: Vec<(u32, u32)> = (0..1000).map(|i| (i, (i + 1) % 1000)).collect();
+        let mut g = PackedGraph::from_csr(&from_pairs_symmetric(1000, &pairs));
+        let vs: Vec<u32> = (0..1000).collect();
+        let degs = g.pack(&vs, |_, u| u < 500);
+        for v in 0..1000u32 {
+            let want = g.neighbors(v).iter().all(|&u| u < 500);
+            assert!(want);
+            assert_eq!(degs[v as usize] as usize, g.degree(v));
+        }
+        assert_eq!(g.original_num_edges(), 2000);
+    }
+}

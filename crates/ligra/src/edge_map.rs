@@ -1,0 +1,490 @@
+//! Direction-optimized `edgeMap` (Section 2.1).
+//!
+//! `edgeMap(G, U, F, C)` applies `F` to edges `(u, v)` with `u ∈ U` and
+//! `C(v) = true`, returning the vertices for which `F` returned `true`.
+//! Two traversal strategies:
+//!
+//! * **sparse (push)** — iterate the out-edges of the frontier; output is
+//!   built with the scan–scatter–filter pattern so the traversal "only
+//!   writes to an amount of memory proportional to the size of the output
+//!   frontier" (the optimization the paper credits for its fast 1-thread
+//!   SSSP times);
+//! * **dense (pull)** — iterate in-edges of every vertex with `C(v)` true,
+//!   breaking early once `C(v)` flips; chosen when
+//!   `|U| + Σ out-deg(U) > m / 20` (Ligra's threshold).
+
+use crate::subset::{VertexSubset, VertexSubsetData};
+use crate::traits::OutEdges;
+use julienne_graph::csr::{Csr, Weight};
+use julienne_graph::VertexId;
+use julienne_primitives::bitset::AtomicBitSet;
+use julienne_primitives::filter::filter_map;
+use julienne_primitives::scan::prefix_sums;
+use julienne_primitives::unsafe_write::DisjointWriter;
+use rayon::prelude::*;
+
+/// Traversal strategy selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Always push from the frontier.
+    Sparse,
+    /// Always pull over all vertices (requires an in-adjacency view).
+    Dense,
+    /// Ligra's threshold rule.
+    #[default]
+    Auto,
+}
+
+/// Options for [`edge_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeMapOptions {
+    /// Strategy selection.
+    pub mode: Mode,
+    /// Deduplicate the sparse output with an atomic bitset. Unnecessary when
+    /// the update function already guarantees at-most-one success per target
+    /// (e.g. via CAS), which all applications in this repo do.
+    pub remove_duplicates: bool,
+    /// Dense threshold denominator: go dense when
+    /// `|U| + Σ out-deg(U) > m / dense_threshold_div`.
+    pub dense_threshold_div: usize,
+}
+
+impl Default for EdgeMapOptions {
+    fn default() -> Self {
+        EdgeMapOptions {
+            mode: Mode::Auto,
+            remove_duplicates: false,
+            dense_threshold_div: 20,
+        }
+    }
+}
+
+fn choose_dense<W: Weight>(
+    g: &Csr<W>,
+    frontier_ids: &[VertexId],
+    opts: &EdgeMapOptions,
+) -> bool {
+    match opts.mode {
+        Mode::Sparse => false,
+        Mode::Dense => true,
+        Mode::Auto => {
+            if !g.has_in_view() {
+                return false;
+            }
+            let out_sum = g.out_degrees_sum(frontier_ids);
+            frontier_ids.len() + out_sum > g.num_edges() / opts.dense_threshold_div.max(1)
+        }
+    }
+}
+
+/// Direction-optimized `edgeMap` over a CSR graph.
+///
+/// `update(u, v, w)` is applied to live edges and must return `true` at most
+/// once per target `v` per call (use CAS/writeMin), unless
+/// `opts.remove_duplicates` is set. `cond(v)` gates targets.
+///
+/// ```
+/// use julienne_ligra::{edge_map, EdgeMapOptions, VertexSubset};
+/// use julienne_graph::builder::from_pairs_symmetric;
+/// use julienne_primitives::atomics::{atomic_u32_filled, cas_u32};
+/// use std::sync::atomic::Ordering;
+///
+/// // One BFS step from {0} on a path 0-1-2.
+/// let g = from_pairs_symmetric(3, &[(0, 1), (1, 2)]);
+/// let parent = atomic_u32_filled(3, u32::MAX);
+/// parent[0].store(0, Ordering::SeqCst);
+/// let next = edge_map(
+///     &g,
+///     &VertexSubset::single(3, 0),
+///     |u, v, _| cas_u32(&parent[v as usize], u32::MAX, u),
+///     |v| parent[v as usize].load(Ordering::SeqCst) == u32::MAX,
+///     EdgeMapOptions::default(),
+/// );
+/// assert_eq!(next.to_vertices(), vec![1]);
+/// ```
+pub fn edge_map<W, Fu, Fc>(
+    g: &Csr<W>,
+    frontier: &VertexSubset,
+    update: Fu,
+    cond: Fc,
+    opts: EdgeMapOptions,
+) -> VertexSubset
+where
+    W: Weight,
+    Fu: Fn(VertexId, VertexId, W) -> bool + Send + Sync,
+    Fc: Fn(VertexId) -> bool + Send + Sync,
+{
+    let ids = frontier.to_vertices();
+    if choose_dense(g, &ids, &opts) {
+        edge_map_dense(g, frontier, update, cond)
+    } else {
+        edge_map_sparse(g, &ids, update, cond, opts.remove_duplicates)
+    }
+}
+
+/// Sparse (push) `edgeMap` over any out-edge backend.
+pub fn edge_map_sparse<G, Fu, Fc>(
+    g: &G,
+    frontier_ids: &[VertexId],
+    update: Fu,
+    cond: Fc,
+    remove_duplicates: bool,
+) -> VertexSubset
+where
+    G: OutEdges,
+    Fu: Fn(VertexId, VertexId, G::W) -> bool + Send + Sync,
+    Fc: Fn(VertexId) -> bool + Send + Sync,
+{
+    const SENTINEL: VertexId = VertexId::MAX;
+    let n = g.num_vertices();
+    let mut offsets: Vec<usize> = frontier_ids
+        .par_iter()
+        .map(|&u| g.out_degree(u))
+        .collect();
+    let total = prefix_sums(&mut offsets);
+
+    let mut out: Vec<VertexId> = vec![SENTINEL; total];
+    let dedup = if remove_duplicates {
+        Some(AtomicBitSet::new(n))
+    } else {
+        None
+    };
+    {
+        let writer = DisjointWriter::new(&mut out);
+        frontier_ids
+            .par_iter()
+            .zip(offsets.par_iter())
+            .for_each(|(&u, &base)| {
+                let mut k = base;
+                g.for_each_out(u, |v, w| {
+                    if cond(v) && update(u, v, w) {
+                        let emit = match &dedup {
+                            Some(bs) => bs.set(v as usize),
+                            None => true,
+                        };
+                        if emit {
+                            // SAFETY: slot k lies in u's private range.
+                            unsafe { writer.write(k, v) };
+                        }
+                    }
+                    k += 1;
+                });
+            });
+    }
+    let result = filter_map(&out, |&v| if v == SENTINEL { None } else { Some(v) });
+    VertexSubset::from_vertices(n, result)
+}
+
+/// Dense (pull) `edgeMap`. Requires an in-adjacency view.
+fn edge_map_dense<W, Fu, Fc>(
+    g: &Csr<W>,
+    frontier: &VertexSubset,
+    update: Fu,
+    cond: Fc,
+) -> VertexSubset
+where
+    W: Weight,
+    Fu: Fn(VertexId, VertexId, W) -> bool + Send + Sync,
+    Fc: Fn(VertexId) -> bool + Send + Sync,
+{
+    let n = g.num_vertices();
+    let in_view = g
+        .in_view()
+        .expect("dense edgeMap requires a symmetric graph or attached transpose");
+    let frontier_bits = frontier.to_bitset();
+    let out = AtomicBitSet::new(n);
+    (0..n as VertexId).into_par_iter().for_each(|v| {
+        if !cond(v) {
+            return;
+        }
+        for (u, w) in in_view.edges_of(v) {
+            if frontier_bits.get(u as usize) && update(u, v, w) {
+                out.set(v as usize);
+            }
+            // Ligra's dense early exit: once the target no longer wants
+            // updates, stop scanning its in-edges.
+            if !cond(v) {
+                break;
+            }
+        }
+    });
+    VertexSubset::from_bitset(out.into_bitset())
+}
+
+/// `edgeMap` returning per-vertex data: `update(u, v, w)` yields `Some(t)`
+/// for targets to include. Must yield `Some` at most once per target per
+/// call (CAS discipline), like the flag-guarded Update of Algorithm 2.
+pub fn edge_map_data<W, T, Fu, Fc>(
+    g: &Csr<W>,
+    frontier: &VertexSubset,
+    update: Fu,
+    cond: Fc,
+    opts: EdgeMapOptions,
+) -> VertexSubsetData<T>
+where
+    W: Weight,
+    T: Copy + Send + Sync,
+    Fu: Fn(VertexId, VertexId, W) -> Option<T> + Send + Sync,
+    Fc: Fn(VertexId) -> bool + Send + Sync,
+{
+    let ids = frontier.to_vertices();
+    if choose_dense(g, &ids, &opts) {
+        edge_map_dense_data(g, frontier, update, cond)
+    } else {
+        edge_map_sparse_data(g, &ids, update, cond)
+    }
+}
+
+/// Sparse (push) data-carrying `edgeMap` over any out-edge backend.
+pub fn edge_map_sparse_data<G, T, Fu, Fc>(
+    g: &G,
+    frontier_ids: &[VertexId],
+    update: Fu,
+    cond: Fc,
+) -> VertexSubsetData<T>
+where
+    G: OutEdges,
+    T: Copy + Send + Sync,
+    Fu: Fn(VertexId, VertexId, G::W) -> Option<T> + Send + Sync,
+    Fc: Fn(VertexId) -> bool + Send + Sync,
+{
+    let n = g.num_vertices();
+    let mut offsets: Vec<usize> = frontier_ids
+        .par_iter()
+        .map(|&u| g.out_degree(u))
+        .collect();
+    let total = prefix_sums(&mut offsets);
+
+    let mut out: Vec<Option<(VertexId, T)>> = vec![None; total];
+    {
+        let writer = DisjointWriter::new(&mut out);
+        frontier_ids
+            .par_iter()
+            .zip(offsets.par_iter())
+            .for_each(|(&u, &base)| {
+                let mut k = base;
+                g.for_each_out(u, |v, w| {
+                    if cond(v) {
+                        if let Some(t) = update(u, v, w) {
+                            // SAFETY: slot k lies in u's private range.
+                            unsafe { writer.write(k, Some((v, t))) };
+                        }
+                    }
+                    k += 1;
+                });
+            });
+    }
+    let entries = filter_map(&out, |slot| *slot);
+    VertexSubsetData::from_entries(n, entries)
+}
+
+/// Dense (pull) data-carrying `edgeMap`.
+fn edge_map_dense_data<W, T, Fu, Fc>(
+    g: &Csr<W>,
+    frontier: &VertexSubset,
+    update: Fu,
+    cond: Fc,
+) -> VertexSubsetData<T>
+where
+    W: Weight,
+    T: Copy + Send + Sync,
+    Fu: Fn(VertexId, VertexId, W) -> Option<T> + Send + Sync,
+    Fc: Fn(VertexId) -> bool + Send + Sync,
+{
+    let n = g.num_vertices();
+    let in_view = g
+        .in_view()
+        .expect("dense edgeMap requires a symmetric graph or attached transpose");
+    let frontier_bits = frontier.to_bitset();
+    let per_vertex: Vec<Option<(VertexId, T)>> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            if !cond(v) {
+                return None;
+            }
+            let mut got: Option<(VertexId, T)> = None;
+            for (u, w) in in_view.edges_of(v) {
+                if frontier_bits.get(u as usize) {
+                    if let Some(t) = update(u, v, w) {
+                        got = Some((v, t));
+                    }
+                }
+                if !cond(v) {
+                    break;
+                }
+            }
+            got
+        })
+        .collect();
+    let entries = filter_map(&per_vertex, |slot| *slot);
+    VertexSubsetData::from_entries(n, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use julienne_graph::builder::{from_pairs, from_pairs_symmetric};
+    use julienne_primitives::atomics::{atomic_u32_filled, cas_u32};
+    use std::sync::atomic::Ordering;
+
+    /// One BFS step from {0} on a small graph, in each mode.
+    fn bfs_step(mode: Mode) -> Vec<VertexId> {
+        let g = from_pairs_symmetric(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let parent = atomic_u32_filled(6, u32::MAX);
+        parent[0].store(0, Ordering::Relaxed);
+        let frontier = VertexSubset::single(6, 0);
+        let out = edge_map(
+            &g,
+            &frontier,
+            |u, v, _| cas_u32(&parent[v as usize], u32::MAX, u),
+            |v| parent[v as usize].load(Ordering::Relaxed) == u32::MAX,
+            EdgeMapOptions {
+                mode,
+                ..Default::default()
+            },
+        );
+        let mut ids = out.to_vertices();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        assert_eq!(bfs_step(Mode::Sparse), vec![1, 2]);
+        assert_eq!(bfs_step(Mode::Dense), vec![1, 2]);
+        assert_eq!(bfs_step(Mode::Auto), vec![1, 2]);
+    }
+
+    #[test]
+    fn cond_gates_targets() {
+        let g = from_pairs(4, &[(0, 1), (0, 2), (0, 3)]);
+        let frontier = VertexSubset::single(4, 0);
+        let out = edge_map(
+            &g,
+            &frontier,
+            |_, _, _| true,
+            |v| v != 2,
+            EdgeMapOptions {
+                mode: Mode::Sparse,
+                ..Default::default()
+            },
+        );
+        let mut ids = out.to_vertices();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn duplicate_removal() {
+        // Both 0 and 1 point at 2; update always true would emit 2 twice.
+        let g = from_pairs(3, &[(0, 2), (1, 2)]);
+        let frontier = VertexSubset::from_vertices(3, vec![0, 1]);
+        let with = edge_map(
+            &g,
+            &frontier,
+            |_, _, _| true,
+            |_| true,
+            EdgeMapOptions {
+                mode: Mode::Sparse,
+                remove_duplicates: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(with.to_vertices(), vec![2]);
+        let without = edge_map(
+            &g,
+            &frontier,
+            |_, _, _| true,
+            |_| true,
+            EdgeMapOptions {
+                mode: Mode::Sparse,
+                ..Default::default()
+            },
+        );
+        assert_eq!(without.len(), 2); // duplicates kept
+    }
+
+    #[test]
+    fn data_map_carries_values() {
+        let g: Csr<u32> = {
+            use julienne_graph::builder::EdgeList;
+            let mut el = EdgeList::new(3);
+            el.push(0, 1, 10);
+            el.push(0, 2, 20);
+            el.build(false)
+        };
+        let frontier = VertexSubset::single(3, 0);
+        let out = edge_map_data(
+            &g,
+            &frontier,
+            |_, _, w| if w >= 20 { Some(w * 2) } else { None },
+            |_| true,
+            EdgeMapOptions {
+                mode: Mode::Sparse,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.entries(), &[(2, 40)]);
+    }
+
+    #[test]
+    fn dense_data_map_agrees_with_sparse() {
+        let g = from_pairs_symmetric(8, &[(0, 1), (0, 2), (1, 3), (2, 4), (4, 5), (5, 6)]);
+        let visited = atomic_u32_filled(8, 0);
+        let frontier = VertexSubset::from_vertices(8, vec![0, 4]);
+        let run = |mode: Mode| {
+            // reset
+            for a in &visited {
+                a.store(0, Ordering::Relaxed);
+            }
+            let out = edge_map_data(
+                &g,
+                &frontier,
+                |u, v, _| {
+                    if cas_u32(&visited[v as usize], 0, 1) {
+                        Some(u)
+                    } else {
+                        None
+                    }
+                },
+                |v| visited[v as usize].load(Ordering::Relaxed) == 0,
+                EdgeMapOptions {
+                    mode,
+                    ..Default::default()
+                },
+            );
+            let mut e: Vec<VertexId> = out.entries().iter().map(|&(v, _)| v).collect();
+            e.sort_unstable();
+            e
+        };
+        assert_eq!(run(Mode::Sparse), run(Mode::Dense));
+    }
+
+    #[test]
+    fn empty_frontier_empty_result() {
+        let g = from_pairs(3, &[(0, 1)]);
+        let out = edge_map(
+            &g,
+            &VertexSubset::empty(3),
+            |_, _, _| true,
+            |_| true,
+            EdgeMapOptions::default(),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn auto_stays_sparse_without_in_view() {
+        // Directed graph with no transpose: Auto must not panic even with a
+        // full frontier.
+        let g = from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let out = edge_map(
+            &g,
+            &VertexSubset::all(4),
+            |_, _, _| true,
+            |_| true,
+            EdgeMapOptions::default(),
+        );
+        assert_eq!(out.len(), 4);
+    }
+}

@@ -1,0 +1,122 @@
+//! `edgeMapFilter` with the optional `Pack` (Section 2.1, used by set
+//! cover), plus a side-effect-only `edgeMap` over packable graphs.
+
+use crate::subset::{VertexSubset, VertexSubsetData};
+use julienne_graph::packed::PackedGraph;
+use julienne_graph::VertexId;
+use rayon::prelude::*;
+
+/// `edgeMapFilter(G, U, P)`: counts, for each `u ∈ U`, the neighbors
+/// satisfying `P(u, v)`, without mutating the graph.
+pub fn edge_map_filter_count<P>(
+    g: &PackedGraph,
+    frontier_ids: &[VertexId],
+    pred: P,
+) -> VertexSubsetData<u32>
+where
+    P: Fn(VertexId, VertexId) -> bool + Send + Sync,
+{
+    let counts = g.count_neighbors(frontier_ids, pred);
+    VertexSubsetData::from_entries(
+        g.num_vertices(),
+        frontier_ids.iter().copied().zip(counts).collect(),
+    )
+}
+
+/// `edgeMapFilter(G, U, P, Pack)`: removes the edges of each `u ∈ U` whose
+/// targets fail `P`, mutating `G`, and returns each vertex with its new
+/// degree.
+pub fn edge_map_filter_pack<P>(
+    g: &mut PackedGraph,
+    frontier_ids: &[VertexId],
+    pred: P,
+) -> VertexSubsetData<u32>
+where
+    P: Fn(VertexId, VertexId) -> bool + Send + Sync,
+{
+    let new_degrees = g.pack(frontier_ids, pred);
+    VertexSubsetData::from_entries(
+        g.num_vertices(),
+        frontier_ids.iter().copied().zip(new_degrees).collect(),
+    )
+}
+
+/// Side-effect `edgeMap` over a packable graph: applies `update(u, v)` to
+/// each live edge of the frontier whose target satisfies `cond`. The result
+/// subset is not needed by set cover, so none is built.
+pub fn edge_map_packed<Fu, Fc>(g: &PackedGraph, frontier_ids: &[VertexId], update: Fu, cond: Fc)
+where
+    Fu: Fn(VertexId, VertexId) + Send + Sync,
+    Fc: Fn(VertexId) -> bool + Send + Sync,
+{
+    frontier_ids.par_iter().for_each(|&u| {
+        for &v in g.neighbors(u) {
+            if cond(v) {
+                update(u, v);
+            }
+        }
+    });
+}
+
+/// Projection helper: the id list of a data subset (order preserved).
+pub fn ids_of<T: Send + Sync>(d: &VertexSubsetData<T>) -> Vec<VertexId> {
+    d.entries().iter().map(|&(v, _)| v).collect()
+}
+
+/// Projection helper: a plain subset view of a data subset.
+pub fn subset_of<T: Send + Sync>(d: &VertexSubsetData<T>) -> VertexSubset {
+    d.to_subset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use julienne_graph::builder::from_pairs_symmetric;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn bipartite() -> PackedGraph {
+        // sets {0,1}, elements {2,3,4}: 0-{2,3,4}, 1-{3,4}
+        let pairs = [(0, 2), (0, 3), (0, 4), (1, 3), (1, 4)];
+        PackedGraph::from_csr(&from_pairs_symmetric(5, &pairs))
+    }
+
+    #[test]
+    fn count_then_pack() {
+        let mut g = bipartite();
+        // Pretend elements 3 is covered.
+        let covered = |_s: VertexId, e: VertexId| e != 3;
+        let counts = edge_map_filter_count(&g, &[0, 1], covered);
+        assert_eq!(counts.entries(), &[(0, 2), (1, 1)]);
+        // Graph untouched by count.
+        assert_eq!(g.degree(0), 3);
+        let packed = edge_map_filter_pack(&mut g, &[0, 1], covered);
+        assert_eq!(packed.entries(), &[(0, 2), (1, 1)]);
+        assert_eq!(g.degree(0), 2);
+        assert!(!g.neighbors(0).contains(&3));
+        assert_eq!(g.neighbors(1), &[4]);
+    }
+
+    #[test]
+    fn packed_edge_map_side_effects() {
+        let g = bipartite();
+        let visits: Vec<AtomicU32> = (0..5).map(|_| AtomicU32::new(0)).collect();
+        edge_map_packed(
+            &g,
+            &[0, 1],
+            |_, v| {
+                visits[v as usize].fetch_add(1, Ordering::Relaxed);
+            },
+            |v| v != 2,
+        );
+        assert_eq!(visits[2].load(Ordering::Relaxed), 0); // cond excluded
+        assert_eq!(visits[3].load(Ordering::Relaxed), 2); // from 0 and 1
+        assert_eq!(visits[4].load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn projections() {
+        let d = VertexSubsetData::from_entries(5, vec![(3, 9u32), (1, 2)]);
+        assert_eq!(ids_of(&d), vec![3, 1]);
+        assert!(subset_of(&d).contains(1));
+    }
+}

@@ -1,0 +1,319 @@
+//! `vertexSubset` and `vertexSubsetData<T>` (Section 2.1).
+//!
+//! A subset of the vertices, stored sparse (an id array) or dense (a
+//! bitset). Ligra's engine converts between the two depending on traversal
+//! direction; conversion is O(n)/O(|S|) and parallel.
+
+use julienne_graph::VertexId;
+use julienne_primitives::bitset::BitSet;
+use julienne_primitives::filter::pack_index;
+
+/// The two physical representations of a vertex subset.
+#[derive(Clone, Debug)]
+pub enum Repr {
+    /// Vertex ids, no duplicates, order unspecified.
+    Sparse(Vec<VertexId>),
+    /// One bit per vertex.
+    Dense(BitSet),
+}
+
+/// A subset of `0..n` vertices.
+#[derive(Clone, Debug)]
+pub struct VertexSubset {
+    n: usize,
+    repr: Repr,
+}
+
+impl VertexSubset {
+    /// The empty subset over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        VertexSubset {
+            n,
+            repr: Repr::Sparse(Vec::new()),
+        }
+    }
+
+    /// The singleton `{v}`.
+    pub fn single(n: usize, v: VertexId) -> Self {
+        debug_assert!((v as usize) < n);
+        VertexSubset {
+            n,
+            repr: Repr::Sparse(vec![v]),
+        }
+    }
+
+    /// The full vertex set `0..n`.
+    pub fn all(n: usize) -> Self {
+        VertexSubset {
+            n,
+            repr: Repr::Sparse((0..n as VertexId).collect()),
+        }
+    }
+
+    /// A sparse subset from an id list (caller guarantees no duplicates).
+    pub fn from_vertices(n: usize, vs: Vec<VertexId>) -> Self {
+        debug_assert!(vs.iter().all(|&v| (v as usize) < n));
+        VertexSubset {
+            n,
+            repr: Repr::Sparse(vs),
+        }
+    }
+
+    /// A dense subset from a bitset of length `n`.
+    pub fn from_bitset(bs: BitSet) -> Self {
+        VertexSubset {
+            n: bs.len(),
+            repr: Repr::Dense(bs),
+        }
+    }
+
+    /// The universe size `n`.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(v) => v.len(),
+            Repr::Dense(b) => b.count_ones(),
+        }
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            Repr::Sparse(v) => v.is_empty(),
+            Repr::Dense(b) => b.count_ones() == 0,
+        }
+    }
+
+    /// Whether the physical representation is sparse.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse(_))
+    }
+
+    /// Membership test (O(1) dense, O(|S|) sparse — use on dense or small).
+    pub fn contains(&self, v: VertexId) -> bool {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.contains(&v),
+            Repr::Dense(b) => b.get(v as usize),
+        }
+    }
+
+    /// Borrows the id list if sparse.
+    pub fn as_sparse(&self) -> Option<&[VertexId]> {
+        match &self.repr {
+            Repr::Sparse(v) => Some(v),
+            Repr::Dense(_) => None,
+        }
+    }
+
+    /// Borrows the bitset if dense.
+    pub fn as_dense(&self) -> Option<&BitSet> {
+        match &self.repr {
+            Repr::Dense(b) => Some(b),
+            Repr::Sparse(_) => None,
+        }
+    }
+
+    /// Materialises the id list (cheap if already sparse).
+    pub fn to_vertices(&self) -> Vec<VertexId> {
+        match &self.repr {
+            Repr::Sparse(v) => v.clone(),
+            Repr::Dense(b) => b.to_indices(),
+        }
+    }
+
+    /// Materialises a bitset (cheap if already dense).
+    pub fn to_bitset(&self) -> BitSet {
+        match &self.repr {
+            Repr::Sparse(v) => BitSet::from_indices(self.n, v),
+            Repr::Dense(b) => b.clone(),
+        }
+    }
+
+    /// Converts the representation in place to sparse.
+    pub fn make_sparse(&mut self) {
+        if let Repr::Dense(b) = &self.repr {
+            self.repr = Repr::Sparse(b.to_indices());
+        }
+    }
+
+    /// Converts the representation in place to dense.
+    pub fn make_dense(&mut self) {
+        if let Repr::Sparse(v) = &self.repr {
+            self.repr = Repr::Dense(BitSet::from_indices(self.n, v));
+        }
+    }
+}
+
+/// A sparse subset whose members carry a value of type `T` — the paper's
+/// `vertexSubsetData<T>` ("we add a function call operator to vertexSubset
+/// which returns a (vertex, data) pair").
+#[derive(Clone, Debug)]
+pub struct VertexSubsetData<T> {
+    n: usize,
+    entries: Vec<(VertexId, T)>,
+}
+
+impl<T: Send + Sync> VertexSubsetData<T> {
+    /// The empty data-subset over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        VertexSubsetData {
+            n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds from `(vertex, value)` pairs (no duplicate vertices).
+    pub fn from_entries(n: usize, entries: Vec<(VertexId, T)>) -> Self {
+        debug_assert!(entries.iter().all(|&(v, _)| (v as usize) < n));
+        VertexSubsetData { n, entries }
+    }
+
+    /// The universe size `n`.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(vertex, value)` pairs.
+    pub fn entries(&self) -> &[(VertexId, T)] {
+        &self.entries
+    }
+
+    /// Consumes into the pair list.
+    pub fn into_entries(self) -> Vec<(VertexId, T)> {
+        self.entries
+    }
+
+    /// Drops the values, yielding a plain subset (a `vertexSubsetData` "can
+    /// be supplied to any function that accepts a vertexSubset").
+    pub fn to_subset(&self) -> VertexSubset {
+        VertexSubset::from_vertices(self.n, self.entries.iter().map(|&(v, _)| v).collect())
+    }
+}
+
+impl VertexSubset {
+    /// Union of two subsets over the same universe.
+    pub fn union(&self, other: &VertexSubset) -> VertexSubset {
+        assert_eq!(self.n, other.n);
+        let (a, b) = (self.to_bitset(), other.to_bitset());
+        subset_from_pred(self.n, |i| a.get(i) || b.get(i))
+    }
+
+    /// Intersection of two subsets over the same universe.
+    pub fn intersection(&self, other: &VertexSubset) -> VertexSubset {
+        assert_eq!(self.n, other.n);
+        let (a, b) = (self.to_bitset(), other.to_bitset());
+        subset_from_pred(self.n, |i| a.get(i) && b.get(i))
+    }
+
+    /// Members of `self` not in `other`.
+    pub fn difference(&self, other: &VertexSubset) -> VertexSubset {
+        assert_eq!(self.n, other.n);
+        let (a, b) = (self.to_bitset(), other.to_bitset());
+        subset_from_pred(self.n, |i| a.get(i) && !b.get(i))
+    }
+
+    /// The complement within the universe.
+    pub fn complement(&self) -> VertexSubset {
+        let a = self.to_bitset();
+        subset_from_pred(self.n, |i| !a.get(i))
+    }
+}
+
+/// Packs the indices of `0..n` satisfying `pred` into a sparse subset.
+pub fn subset_from_pred<F>(n: usize, pred: F) -> VertexSubset
+where
+    F: Fn(usize) -> bool + Send + Sync,
+{
+    VertexSubset::from_vertices(n, pack_index(n, pred))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_dense_roundtrip() {
+        let s = VertexSubset::from_vertices(100, vec![3, 50, 99]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(50));
+        assert!(!s.contains(51));
+        let mut d = s.clone();
+        d.make_dense();
+        assert!(!d.is_sparse());
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(99));
+        let mut back = d.clone();
+        back.make_sparse();
+        let mut ids = back.to_vertices();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![3, 50, 99]);
+    }
+
+    #[test]
+    fn empty_single_all() {
+        assert!(VertexSubset::empty(10).is_empty());
+        let s = VertexSubset::single(10, 7);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(7));
+        assert_eq!(VertexSubset::all(5).len(), 5);
+    }
+
+    #[test]
+    fn data_subset_projects() {
+        let d = VertexSubsetData::from_entries(10, vec![(1, "a"), (4, "b")]);
+        assert_eq!(d.len(), 2);
+        let s = d.to_subset();
+        assert!(s.contains(1) && s.contains(4) && !s.contains(2));
+        assert_eq!(d.into_entries(), vec![(1, "a"), (4, "b")]);
+    }
+
+    #[test]
+    fn subset_from_pred_packs() {
+        let s = subset_from_pred(20, |i| i % 5 == 0);
+        let mut ids = s.to_vertices();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 5, 10, 15]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = VertexSubset::from_vertices(10, vec![1, 2, 3, 4]);
+        let mut b = VertexSubset::from_vertices(10, vec![3, 4, 5]);
+        b.make_dense(); // exercise mixed representations
+        assert_eq!(a.union(&b).to_vertices(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(a.intersection(&b).to_vertices(), vec![3, 4]);
+        assert_eq!(a.difference(&b).to_vertices(), vec![1, 2]);
+        assert_eq!(b.difference(&a).to_vertices(), vec![5]);
+        let comp = a.complement();
+        assert_eq!(comp.len(), 6);
+        assert!(comp.contains(0) && comp.contains(9) && !comp.contains(1));
+        // Universe identities.
+        assert_eq!(a.union(&a.complement()).len(), 10);
+        assert!(a.intersection(&a.complement()).is_empty());
+    }
+
+    #[test]
+    fn bitset_constructor() {
+        let mut bs = BitSet::new(8);
+        bs.set(2);
+        bs.set(6);
+        let s = VertexSubset::from_bitset(bs);
+        assert_eq!(s.universe(), 8);
+        assert_eq!(s.len(), 2);
+        assert!(s.as_dense().is_some());
+    }
+}

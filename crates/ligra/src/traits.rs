@@ -1,0 +1,151 @@
+//! Out-edge access abstraction.
+//!
+//! Sparse (push) traversals only need per-vertex out-edge iteration, so they
+//! are written once against this trait and work over plain CSR graphs,
+//! Ligra+ byte-compressed graphs, and packable graphs alike — mirroring how
+//! Julienne runs unmodified on compressed inputs.
+
+use julienne_graph::compress::CompressedGraph;
+use julienne_graph::csr::{Csr, Weight};
+use julienne_graph::packed::PackedGraph;
+use julienne_graph::VertexId;
+
+/// Read access to a graph's out-adjacency.
+pub trait OutEdges: Sync {
+    /// Edge weight type.
+    type W: Weight;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of (directed) edges currently in the graph.
+    fn num_edges(&self) -> usize;
+
+    /// Out-degree of `v`.
+    fn out_degree(&self, v: VertexId) -> usize;
+
+    /// Visits each out-edge `(target, weight)` of `v`.
+    fn for_each_out<F: FnMut(VertexId, Self::W)>(&self, v: VertexId, f: F);
+}
+
+impl<W: Weight> OutEdges for Csr<W> {
+    type W = W;
+
+    fn num_vertices(&self) -> usize {
+        Csr::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        Csr::num_edges(self)
+    }
+
+    #[inline]
+    fn out_degree(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn for_each_out<F: FnMut(VertexId, W)>(&self, v: VertexId, mut f: F) {
+        for (u, w) in self.edges_of(v) {
+            f(u, w);
+        }
+    }
+}
+
+impl OutEdges for CompressedGraph {
+    type W = ();
+
+    fn num_vertices(&self) -> usize {
+        CompressedGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        CompressedGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn out_degree(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn for_each_out<F: FnMut(VertexId, ())>(&self, v: VertexId, mut f: F) {
+        self.for_each_neighbor(v, |u| f(u, ()));
+    }
+}
+
+impl OutEdges for julienne_graph::compress::CompressedWGraph {
+    type W = u32;
+
+    fn num_vertices(&self) -> usize {
+        julienne_graph::compress::CompressedWGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        julienne_graph::compress::CompressedWGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn out_degree(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn for_each_out<F: FnMut(VertexId, u32)>(&self, v: VertexId, f: F) {
+        self.for_each_edge(v, f);
+    }
+}
+
+impl OutEdges for PackedGraph {
+    type W = ();
+
+    fn num_vertices(&self) -> usize {
+        PackedGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        self.original_num_edges()
+    }
+
+    #[inline]
+    fn out_degree(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn for_each_out<F: FnMut(VertexId, ())>(&self, v: VertexId, mut f: F) {
+        for &u in self.neighbors(v) {
+            f(u, ());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use julienne_graph::builder::from_pairs;
+    use julienne_graph::compress::CompressedGraph;
+
+    fn collect<G: OutEdges>(g: &G, v: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        g.for_each_out(v, |u, _| out.push(u));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn all_backends_agree() {
+        let g = from_pairs(6, &[(0, 1), (0, 3), (0, 5), (2, 4)]);
+        let c = CompressedGraph::from_csr(&g);
+        let p = PackedGraph::from_csr(&g);
+        for v in 0..6u32 {
+            let want = collect(&g, v);
+            assert_eq!(collect(&c, v), want, "compressed vertex {v}");
+            assert_eq!(collect(&p, v), want, "packed vertex {v}");
+            assert_eq!(g.out_degree(v), c.out_degree(v));
+            assert_eq!(g.out_degree(v), p.out_degree(v));
+        }
+        assert_eq!(OutEdges::num_edges(&g), 4);
+        assert_eq!(OutEdges::num_vertices(&c), 6);
+    }
+}

@@ -1,0 +1,205 @@
+//! Plain and atomic bitsets, used for the dense representation of
+//! `vertexSubset` and for duplicate removal in `edgeMap`.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-length bitset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An all-zero bitset of length `len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Builds a bitset with the given indices set.
+    pub fn from_indices(len: usize, indices: &[u32]) -> Self {
+        let mut bs = BitSet::new(len);
+        for &i in indices {
+            bs.set(i as usize);
+        }
+        bs
+    }
+
+    /// Logical length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Number of set bits (parallel popcount).
+    pub fn count_ones(&self) -> usize {
+        if self.words.len() < 4096 {
+            self.words.iter().map(|w| w.count_ones() as usize).sum()
+        } else {
+            self.words
+                .par_iter()
+                .map(|w| w.count_ones() as usize)
+                .sum()
+        }
+    }
+
+    /// Collects the set indices in increasing order.
+    pub fn to_indices(&self) -> Vec<u32> {
+        crate::filter::pack_index(self.len, |i| self.get(i))
+    }
+
+    /// Iterates over set bits of one word-aligned block; used by dense
+    /// traversals.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// A fixed-length bitset supporting concurrent `set` with a "did I win"
+/// result — the test-and-set used to deduplicate `edgeMap` outputs.
+pub struct AtomicBitSet {
+    len: usize,
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicBitSet {
+    /// An all-zero atomic bitset of length `len`.
+    pub fn new(len: usize) -> Self {
+        AtomicBitSet {
+            len,
+            words: (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Logical length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Atomically sets bit `i`; returns `true` iff this call flipped it from
+    /// 0 to 1 (i.e. the caller "won" the bit).
+    #[inline]
+    pub fn set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        let prev = self.words[i / 64].fetch_or(mask, Ordering::SeqCst);
+        prev & mask == 0
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64].load(Ordering::SeqCst) >> (i % 64)) & 1 == 1
+    }
+
+    /// Atomically clears bit `i` (used to reset per-round visit flags).
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        debug_assert!(i < self.len);
+        let mask = !(1u64 << (i % 64));
+        self.words[i / 64].fetch_and(mask, Ordering::SeqCst);
+    }
+
+    /// Freezes into a plain [`BitSet`].
+    pub fn into_bitset(self) -> BitSet {
+        BitSet {
+            len: self.len,
+            words: self.words.into_iter().map(AtomicU64::into_inner).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bs = BitSet::new(130);
+        assert!(!bs.get(0));
+        bs.set(0);
+        bs.set(64);
+        bs.set(129);
+        assert!(bs.get(0) && bs.get(64) && bs.get(129));
+        assert!(!bs.get(1) && !bs.get(63) && !bs.get(128));
+        assert_eq!(bs.count_ones(), 3);
+        bs.clear(64);
+        assert!(!bs.get(64));
+        assert_eq!(bs.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_and_to_indices_roundtrip() {
+        let idx = vec![3u32, 7, 64, 65, 127];
+        let bs = BitSet::from_indices(128, &idx);
+        assert_eq!(bs.to_indices(), idx);
+    }
+
+    #[test]
+    fn atomic_set_reports_winner_once() {
+        use rayon::prelude::*;
+        let bs = AtomicBitSet::new(1000);
+        let wins: usize = (0..10_000usize)
+            .into_par_iter()
+            .map(|i| usize::from(bs.set(i % 1000)))
+            .sum();
+        assert_eq!(wins, 1000);
+        let frozen = bs.into_bitset();
+        assert_eq!(frozen.count_ones(), 1000);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let bs = BitSet::new(0);
+        assert!(bs.is_empty());
+        assert_eq!(bs.count_ones(), 0);
+        let abs = AtomicBitSet::new(0);
+        assert!(abs.is_empty());
+        assert_eq!(abs.len(), 0);
+    }
+
+    #[test]
+    fn large_parallel_popcount() {
+        let n = 64 * 5000; // force parallel path
+        let mut bs = BitSet::new(n);
+        for i in (0..n).step_by(3) {
+            bs.set(i);
+        }
+        assert_eq!(bs.count_ones(), n.div_ceil(3));
+    }
+}

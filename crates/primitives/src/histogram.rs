@@ -1,0 +1,220 @@
+//! The blocked-histogram kernel of Section 3.3.
+//!
+//! The paper's practical `updateBuckets` avoids the semisort's shuffle: it
+//! splits the update array into blocks of length M (= 2048), counts per-block
+//! how many identifiers go to each destination slot, scans those counts with
+//! a stride of `num_slots` (column-major: slot-major, block-minor) so each
+//! (block, slot) pair owns a private destination range, and finally scatters.
+//! Depth is O(M + log n); work is linear.
+
+use crate::scan::prefix_sums;
+use rayon::prelude::*;
+
+/// Paper value: block length for the blocked histogram.
+pub const BLOCK_SIZE: usize = 2048;
+
+/// The result of the counting phase: per-slot totals plus per-(block, slot)
+/// exclusive offsets *within* each slot, ready for a disjoint scatter.
+pub struct BlockedHistogram {
+    /// Number of destination slots.
+    pub num_slots: usize,
+    /// Number of blocks the input was split into.
+    pub num_blocks: usize,
+    /// Block length used.
+    pub block_size: usize,
+    /// `slot_totals[s]` = number of items destined for slot `s`.
+    pub slot_totals: Vec<usize>,
+    /// `offsets[b * num_slots + s]` = exclusive start, within slot `s`'s
+    /// destination array, of block `b`'s items for that slot.
+    pub offsets: Vec<usize>,
+}
+
+/// Counts, per block, how many of the `n` items map to each slot.
+/// `slot_of(i)` returns the destination slot of item `i`, or `None` for
+/// items that should be ignored (the paper's `nullbkt` requests, which must
+/// not incur random writes).
+pub fn blocked_histogram<F>(n: usize, num_slots: usize, slot_of: F) -> BlockedHistogram
+where
+    F: Fn(usize) -> Option<usize> + Send + Sync,
+{
+    blocked_histogram_with(n, num_slots, BLOCK_SIZE, slot_of)
+}
+
+/// As [`blocked_histogram`] with an explicit block size (exposed for the
+/// ablation benchmarks).
+pub fn blocked_histogram_with<F>(
+    n: usize,
+    num_slots: usize,
+    block_size: usize,
+    slot_of: F,
+) -> BlockedHistogram
+where
+    F: Fn(usize) -> Option<usize> + Send + Sync,
+{
+    assert!(block_size > 0);
+    let num_blocks = n.div_ceil(block_size).max(1);
+
+    // Per-block counting (each block is sequential, blocks run in parallel).
+    let block_counts: Vec<Vec<usize>> = (0..num_blocks)
+        .into_par_iter()
+        .map(|b| {
+            let s = b * block_size;
+            let e = ((b + 1) * block_size).min(n);
+            let mut counts = vec![0usize; num_slots];
+            for i in s..e {
+                if let Some(slot) = slot_of(i) {
+                    debug_assert!(slot < num_slots);
+                    counts[slot] += 1;
+                }
+            }
+            counts
+        })
+        .collect();
+
+    // Strided (column-major) exclusive scan: order (slot 0, blocks 0..B),
+    // (slot 1, blocks 0..B), …
+    let mut flat: Vec<usize> = Vec::with_capacity(num_slots * num_blocks);
+    for s in 0..num_slots {
+        for bc in &block_counts {
+            flat.push(bc[s]);
+        }
+    }
+    prefix_sums(&mut flat);
+
+    // Slot totals and per-(block,slot) offsets *within* each slot.
+    let mut slot_totals = vec![0usize; num_slots];
+    let mut offsets = vec![0usize; num_blocks * num_slots];
+    for s in 0..num_slots {
+        let base = flat[s * num_blocks]; // global start of slot s
+        let mut total = 0usize;
+        for b in 0..num_blocks {
+            offsets[b * num_slots + s] = flat[s * num_blocks + b] - base;
+            total += block_counts[b][s];
+        }
+        slot_totals[s] = total;
+    }
+
+    BlockedHistogram {
+        num_slots,
+        num_blocks,
+        block_size,
+        slot_totals,
+        offsets,
+    }
+}
+
+impl BlockedHistogram {
+    /// Runs the scatter phase: for each block in parallel, walks its items
+    /// again and calls `write(slot, position_within_slot, item_index)` for
+    /// each non-ignored item, at a position unique within that slot.
+    ///
+    /// `slot_of` must return the same answers as in the counting phase.
+    pub fn scatter<F, W>(&self, n: usize, slot_of: F, write: W)
+    where
+        F: Fn(usize) -> Option<usize> + Send + Sync,
+        W: Fn(usize, usize, usize) + Send + Sync,
+    {
+        let num_slots = self.num_slots;
+        let block_size = self.block_size;
+        (0..self.num_blocks).into_par_iter().for_each(|b| {
+            let s = b * block_size;
+            let e = ((b + 1) * block_size).min(n);
+            let mut cursor = vec![0usize; num_slots];
+            let base = &self.offsets[b * num_slots..(b + 1) * num_slots];
+            for i in s..e {
+                if let Some(slot) = slot_of(i) {
+                    let pos = base[slot] + cursor[slot];
+                    cursor[slot] += 1;
+                    write(slot, pos, i);
+                }
+            }
+        });
+    }
+}
+
+/// Dense histogram convenience: counts occurrences of each key `< num_slots`.
+pub fn histogram_dense(keys: &[u32], num_slots: usize) -> Vec<usize> {
+    blocked_histogram(keys.len(), num_slots, |i| Some(keys[i] as usize)).slot_totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn dense_histogram_matches_reference() {
+        let mut rng = SplitMix64::new(11);
+        let keys: Vec<u32> = (0..100_000).map(|_| rng.next_u32() % 129).collect();
+        let got = histogram_dense(&keys, 129);
+        let mut want = vec![0usize; 129];
+        for &k in &keys {
+            want[k as usize] += 1;
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scatter_positions_are_unique_and_complete() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let mut rng = SplitMix64::new(13);
+        let n = 50_000;
+        let num_slots = 64;
+        let keys: Vec<Option<u32>> = (0..n)
+            .map(|_| {
+                let k = rng.next_u32() % 80;
+                if k < 64 {
+                    Some(k)
+                } else {
+                    None // ~20% ignored (nullbkt)
+                }
+            })
+            .collect();
+        let slot_of = |i: usize| keys[i].map(|k| k as usize);
+        let h = blocked_histogram(n, num_slots, slot_of);
+
+        // Destination arrays sized by slot_totals, filled with sentinel.
+        let dests: Vec<Vec<AtomicU32>> = h
+            .slot_totals
+            .iter()
+            .map(|&t| (0..t).map(|_| AtomicU32::new(u32::MAX)).collect())
+            .collect();
+        h.scatter(n, slot_of, |slot, pos, i| {
+            let prev = dests[slot][pos].swap(i as u32, Ordering::Relaxed);
+            assert_eq!(prev, u32::MAX, "position written twice");
+        });
+        // Every slot fully populated with items of the right key.
+        for (s, d) in dests.iter().enumerate() {
+            for a in d {
+                let i = a.load(Ordering::Relaxed);
+                assert_ne!(i, u32::MAX, "hole in slot {s}");
+                assert_eq!(keys[i as usize], Some(s as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn small_block_size_still_correct() {
+        let keys: Vec<u32> = (0..1000).map(|i| (i % 7) as u32).collect();
+        let h = blocked_histogram_with(keys.len(), 7, 16, |i| Some(keys[i] as usize));
+        let mut want = vec![0usize; 7];
+        for &k in &keys {
+            want[k as usize] += 1;
+        }
+        assert_eq!(h.slot_totals, want);
+        assert_eq!(h.num_blocks, 1000usize.div_ceil(16));
+    }
+
+    #[test]
+    fn empty_input() {
+        let h = blocked_histogram(0, 4, |_| Some(0));
+        assert_eq!(h.slot_totals, vec![0; 4]);
+        h.scatter(0, |_| Some(0), |_, _, _| panic!("no items"));
+    }
+
+    #[test]
+    fn all_ignored() {
+        let h = blocked_histogram(10_000, 8, |_| None);
+        assert_eq!(h.slot_totals, vec![0; 8]);
+    }
+}

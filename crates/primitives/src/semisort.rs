@@ -1,0 +1,224 @@
+//! Semisort: reorder elements so equal keys become contiguous (Section 2).
+//!
+//! The theoretical algorithm of Gu et al. runs in O(n) expected work and
+//! O(log n) depth w.h.p.; since our keys are dense 32-bit integers we realise
+//! the same bounds with the stable parallel radix sort (constant passes for
+//! bounded keys), which additionally orders the groups — a strictly stronger
+//! guarantee that the callers don't rely on.
+
+use crate::sort::radix_sort_by_key;
+
+/// A contiguous group of equal keys inside a semisorted array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyGroup {
+    /// The shared key.
+    pub key: u32,
+    /// Start index of the group.
+    pub start: usize,
+    /// Number of elements in the group.
+    pub len: usize,
+}
+
+/// Semisorts `items` in place by `key` (keys must be `<= max_key`) and
+/// returns the group boundaries, one per distinct key, in key order.
+pub fn semisort_by_key<T, F>(items: &mut Vec<T>, max_key: u32, key: F) -> Vec<KeyGroup>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u32 + Send + Sync,
+{
+    radix_sort_by_key(items, max_key, &key);
+    group_boundaries(items, key)
+}
+
+/// Computes the group boundaries of an already key-contiguous array.
+///
+/// This is the "map an indicator over starts, pack" step of the paper's
+/// parallel `updateBuckets` (Section 3.2).
+pub fn group_boundaries<T, F>(items: &[T], key: F) -> Vec<KeyGroup>
+where
+    T: Sync,
+    F: Fn(&T) -> u32 + Send + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Pack the indices that start a new group…
+    let starts = crate::filter::pack_index(n, |i| i == 0 || key(&items[i]) != key(&items[i - 1]));
+    // …then pair each start with the next start to get lengths.
+    let mut groups = Vec::with_capacity(starts.len());
+    for (gi, &s) in starts.iter().enumerate() {
+        let s = s as usize;
+        let e = starts.get(gi + 1).map(|&x| x as usize).unwrap_or(n);
+        groups.push(KeyGroup {
+            key: key(&items[s]),
+            start: s,
+            len: e - s,
+        });
+    }
+    groups
+}
+
+/// Hash-bucket semisort in the spirit of Gu–Shun–Sun–Blelloch (SPAA'15):
+/// scatter elements into ~n/256 buckets by a hash of the key (blocked
+/// histogram, one pass), then group each expected-O(1)-sized bucket locally.
+/// O(n) expected work; groups come out in hash order, which is all the
+/// semisort contract promises — unlike [`semisort_by_key`], which happens
+/// to fully sort. Kept as the second implementation for the A1 ablation.
+pub fn semisort_by_key_hashed<T, F>(items: &mut Vec<T>, key: F) -> Vec<KeyGroup>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u32 + Send + Sync,
+{
+    use crate::histogram::blocked_histogram;
+    use crate::rng::hash64;
+    use crate::unsafe_write::DisjointWriter;
+
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let num_buckets = (n / 256).max(1).next_power_of_two();
+    let mask = (num_buckets - 1) as u64;
+    let slot_of = |k: usize| Some((hash64(0x5E44, key(&items[k]) as u64) & mask) as usize);
+
+    let hist = blocked_histogram(n, num_buckets, slot_of);
+    let mut starts = hist.slot_totals.clone();
+    let total = crate::scan::prefix_sums(&mut starts);
+    debug_assert_eq!(total, n);
+
+    let mut scattered: Vec<T> = Vec::with_capacity(n);
+    {
+        let w = DisjointWriter::new(scattered.spare_capacity_mut());
+        hist.scatter(n, slot_of, |slot, pos, k| {
+            // SAFETY: (slot, pos) pairs are unique; starts gives disjoint
+            // bucket ranges.
+            unsafe { w.write(starts[slot] + pos, std::mem::MaybeUninit::new(items[k])) };
+        });
+    }
+    // SAFETY: all n slots written exactly once.
+    unsafe { scattered.set_len(n) };
+
+    // Group each bucket locally (stable key sort within the bucket).
+    let mut bucket_ranges: Vec<(usize, usize)> = Vec::with_capacity(num_buckets);
+    for (s, &start) in starts.iter().enumerate() {
+        bucket_ranges.push((start, start + hist.slot_totals[s]));
+    }
+    for &(s, e) in &bucket_ranges {
+        scattered[s..e].sort_by_key(|t| key(t));
+    }
+
+    *items = scattered;
+    group_boundaries(items, key)
+}
+
+/// Counts occurrences of each distinct key via semisort; returns
+/// `(key, count)` pairs in increasing key order. This is the sparse
+/// histogram used by the histogram-based `edgeMapSum` ablation.
+pub fn count_by_key(mut keys: Vec<u32>, max_key: u32) -> Vec<(u32, usize)> {
+    let groups = semisort_by_key(&mut keys, max_key, |&k| k);
+    groups.into_iter().map(|g| (g.key, g.len)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use std::collections::HashMap;
+
+    #[test]
+    fn groups_cover_input_exactly() {
+        let mut rng = SplitMix64::new(31);
+        let mut items: Vec<(u32, u64)> = (0..50_000)
+            .map(|i| (rng.next_u32() % 300, i))
+            .collect();
+        let groups = semisort_by_key(&mut items, 299, |p| p.0);
+        // Groups tile [0, n).
+        let mut pos = 0;
+        for g in &groups {
+            assert_eq!(g.start, pos);
+            assert!(g.len > 0);
+            for t in &items[g.start..g.start + g.len] {
+                assert_eq!(t.0, g.key);
+            }
+            pos += g.len;
+        }
+        assert_eq!(pos, items.len());
+        // Distinct keys.
+        for w in groups.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+    }
+
+    #[test]
+    fn count_by_key_matches_hashmap() {
+        let mut rng = SplitMix64::new(77);
+        let keys: Vec<u32> = (0..30_000).map(|_| rng.next_u32() % 97).collect();
+        let mut want: HashMap<u32, usize> = HashMap::new();
+        for &k in &keys {
+            *want.entry(k).or_default() += 1;
+        }
+        let got = count_by_key(keys, 96);
+        assert_eq!(got.len(), want.len());
+        for (k, c) in got {
+            assert_eq!(want[&k], c);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut empty: Vec<u32> = vec![];
+        assert!(semisort_by_key(&mut empty, 0, |&k| k).is_empty());
+        let mut one = vec![5u32];
+        let g = semisort_by_key(&mut one, 5, |&k| k);
+        assert_eq!(g, vec![KeyGroup { key: 5, start: 0, len: 1 }]);
+    }
+
+    #[test]
+    fn hashed_semisort_groups_match_radix_semisort() {
+        let mut rng = SplitMix64::new(55);
+        let items: Vec<(u32, u64)> = (0..40_000)
+            .map(|i| (rng.next_u32() % 500, i))
+            .collect();
+        let mut a = items.clone();
+        let mut b = items.clone();
+        let ga = semisort_by_key(&mut a, 499, |p| p.0);
+        let gb = semisort_by_key_hashed(&mut b, |p| p.0);
+        // Same multiset of elements.
+        let mut sa = a.clone();
+        let mut sb = b.clone();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb);
+        // Same groups (key, size) regardless of group order.
+        let mut ka: Vec<(u32, usize)> = ga.iter().map(|g| (g.key, g.len)).collect();
+        let mut kb: Vec<(u32, usize)> = gb.iter().map(|g| (g.key, g.len)).collect();
+        ka.sort_unstable();
+        kb.sort_unstable();
+        assert_eq!(ka, kb);
+        // Hashed output is key-contiguous per group.
+        for g in &gb {
+            for t in &b[g.start..g.start + g.len] {
+                assert_eq!(t.0, g.key);
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_semisort_empty_and_tiny() {
+        let mut empty: Vec<u32> = vec![];
+        assert!(semisort_by_key_hashed(&mut empty, |&k| k).is_empty());
+        let mut two = vec![9u32, 9];
+        let g = semisort_by_key_hashed(&mut two, |&k| k);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].len, 2);
+    }
+
+    #[test]
+    fn all_equal_keys_single_group() {
+        let mut items = vec![7u32; 10_000];
+        let g = semisort_by_key(&mut items, 7, |&k| k);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].len, 10_000);
+    }
+}

@@ -1,0 +1,179 @@
+//! A parallel LSD radix sort for 32-bit keys.
+//!
+//! This is the comparison-free workhorse behind [`crate::semisort`] and the
+//! sparse histogram. Each pass is a stable parallel counting sort on an
+//! 8-bit digit: per-chunk 256-entry histograms, a column-major exclusive
+//! scan (digit-major, chunk-minor) to assign every (chunk, digit) pair a
+//! private destination range, then a disjoint parallel scatter. O(n) work
+//! per pass and O(log n) depth, with ⌈bits/8⌉ passes.
+
+use crate::scan::prefix_sums;
+use crate::unsafe_write::DisjointWriter;
+use crate::{chunk_bounds, num_chunks};
+use rayon::prelude::*;
+
+const RADIX_BITS: u32 = 8;
+const RADIX: usize = 1 << RADIX_BITS;
+
+/// Sorts `items` stably and in place by `key(&item)`, where all keys are
+/// `<= max_key`. Runs only as many digit passes as `max_key` needs.
+pub fn radix_sort_by_key<T, F>(items: &mut Vec<T>, max_key: u32, key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u32 + Send + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    let bits = 32 - max_key.leading_zeros();
+    let passes = bits.div_ceil(RADIX_BITS).max(1);
+
+    let mut src = std::mem::take(items);
+    let mut dst: Vec<T> = Vec::with_capacity(n);
+    // SAFETY: every slot of `dst` is written by the first scatter pass
+    // before any read; `T: Copy` so no drops of uninitialised data occur.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        dst.set_len(n)
+    };
+
+    for pass in 0..passes {
+        let shift = pass * RADIX_BITS;
+        counting_sort_pass(&src, &mut dst, |t| ((key(t) >> shift) as usize) & (RADIX - 1));
+        std::mem::swap(&mut src, &mut dst);
+    }
+    *items = src;
+}
+
+/// Sorts a `Vec<u32>` of keys in place.
+pub fn radix_sort_u32(keys: &mut Vec<u32>) {
+    let max = crate::reduce::max_u32(keys);
+    radix_sort_by_key(keys, max, |&k| k);
+}
+
+/// One stable counting-sort pass from `src` into `dst` by `digit(&item)`,
+/// which must return values `< RADIX`.
+fn counting_sort_pass<T, D>(src: &[T], dst: &mut [T], digit: D)
+where
+    T: Copy + Send + Sync,
+    D: Fn(&T) -> usize + Send + Sync,
+{
+    let n = src.len();
+    let chunks = num_chunks(n);
+
+    // Per-chunk digit histograms.
+    let histos: Vec<[usize; RADIX]> = (0..chunks)
+        .into_par_iter()
+        .map(|c| {
+            let (s, e) = chunk_bounds(n, chunks, c);
+            let mut h = [0usize; RADIX];
+            for t in &src[s..e] {
+                h[digit(t)] += 1;
+            }
+            h
+        })
+        .collect();
+
+    // Column-major (digit-major, chunk-minor) exclusive scan: stability
+    // requires all of digit d's chunk-0 elements to precede its chunk-1
+    // elements, and all of digit d to precede digit d+1.
+    let mut offsets = vec![0usize; RADIX * chunks];
+    {
+        let mut flat: Vec<usize> = Vec::with_capacity(RADIX * chunks);
+        for d in 0..RADIX {
+            for h in &histos {
+                flat.push(h[d]);
+            }
+        }
+        let total = prefix_sums(&mut flat);
+        debug_assert_eq!(total, n);
+        for d in 0..RADIX {
+            for c in 0..chunks {
+                offsets[c * RADIX + d] = flat[d * chunks + c];
+            }
+        }
+    }
+
+    // Scatter: each (chunk, digit) pair owns a private destination range.
+    let writer = DisjointWriter::new(dst);
+    offsets
+        .par_chunks(RADIX)
+        .enumerate()
+        .for_each(|(c, chunk_offsets)| {
+            let (s, e) = chunk_bounds(n, chunks, c);
+            let mut cursor = [0usize; RADIX];
+            for t in &src[s..e] {
+                let d = digit(t);
+                let pos = chunk_offsets[d] + cursor[d];
+                cursor[d] += 1;
+                // SAFETY: destination positions are unique across all
+                // (chunk, digit) pairs by the exclusive scan.
+                unsafe { writer.write(pos, *t) };
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn sorts_random_u32() {
+        let mut rng = SplitMix64::new(42);
+        for n in [0usize, 1, 2, 100, 4096, 100_000] {
+            let mut xs: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
+            let mut want = xs.clone();
+            want.sort_unstable();
+            radix_sort_u32(&mut xs);
+            assert_eq!(xs, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_small_key_range_with_few_passes() {
+        let mut rng = SplitMix64::new(7);
+        let mut xs: Vec<u32> = (0..50_000).map(|_| rng.next_u32() % 200).collect();
+        let mut want = xs.clone();
+        want.sort_unstable();
+        radix_sort_by_key(&mut xs, 199, |&k| k);
+        assert_eq!(xs, want);
+    }
+
+    #[test]
+    fn stable_on_pairs() {
+        // Pairs (key, original_index); after a stable sort, equal keys keep
+        // index order.
+        let mut rng = SplitMix64::new(99);
+        let n = 30_000usize;
+        let mut xs: Vec<(u32, u32)> = (0..n)
+            .map(|i| (rng.next_u32() % 64, i as u32))
+            .collect();
+        radix_sort_by_key(&mut xs, 63, |p| p.0);
+        for w in xs.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_full_range_keys() {
+        let mut xs = vec![u32::MAX, 0, u32::MAX - 1, 1, 1 << 31];
+        radix_sort_u32(&mut xs);
+        assert_eq!(xs, vec![0, 1, 1 << 31, u32::MAX - 1, u32::MAX]);
+    }
+
+    #[test]
+    fn already_sorted_and_reverse() {
+        let mut a: Vec<u32> = (0..10_000).collect();
+        let want = a.clone();
+        radix_sort_u32(&mut a);
+        assert_eq!(a, want);
+        let mut b: Vec<u32> = (0..10_000).rev().collect();
+        radix_sort_u32(&mut b);
+        assert_eq!(b, want);
+    }
+}

@@ -1,0 +1,121 @@
+//! A scoped cell permitting *disjoint* parallel writes into a slice.
+//!
+//! Scatter phases (radix sort, the bucket structure's `updateBuckets`) write
+//! each element of an output buffer exactly once, from positions computed by
+//! a prior scan, so the writes are disjoint by construction. Safe Rust cannot
+//! express "many threads write disjoint, dynamically-computed indices of one
+//! slice", so this module confines the one required `unsafe` idiom of the
+//! whole workspace to a single audited type.
+
+use std::cell::UnsafeCell;
+
+/// A wrapper around `&mut [T]` that can be shared across threads and written
+/// through a shared reference.
+///
+/// # Safety contract
+///
+/// Callers of [`DisjointWriter::write`] must guarantee that no index is
+/// written by more than one thread during the lifetime of the writer, and
+/// that no reads of written slots occur until the writer is dropped. The
+/// typical pattern (exclusive destination offsets produced by a scan)
+/// satisfies this.
+pub struct DisjointWriter<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: writes are disjoint per the documented contract; UnsafeCell makes
+// the aliasing explicit to the compiler.
+unsafe impl<T: Send> Send for DisjointWriter<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointWriter<'_, T> {}
+
+impl<'a, T> DisjointWriter<'a, T> {
+    /// Wraps a mutable slice for scoped disjoint writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`, so a
+        // `&mut [T]` can be viewed as `&[UnsafeCell<T>]` while the original
+        // borrow is held (we keep exclusive access through `'a`).
+        let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        DisjointWriter { data }
+    }
+
+    /// Number of writable slots.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds and must not be concurrently written by any
+    /// other thread, nor read until the writer is dropped.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.data.len());
+        *self.data[index].get() = value;
+    }
+
+    /// Reads the value at `index` (owner-local read for read-modify-write
+    /// patterns such as in-place packing).
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds and the slot must not be concurrently
+    /// written by any other thread.
+    #[inline]
+    pub unsafe fn read(&self, index: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(index < self.data.len());
+        *self.data[index].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn parallel_disjoint_writes_land() {
+        let n = 10_000;
+        let mut out = vec![0u32; n];
+        {
+            let w = DisjointWriter::new(&mut out);
+            (0..n).into_par_iter().for_each(|i| {
+                // Each index written exactly once: contract satisfied.
+                unsafe { w.write(i, (i * 2) as u32) };
+            });
+        }
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * 2) as u32);
+        }
+    }
+
+    #[test]
+    fn permuted_disjoint_writes_land() {
+        let n = 4096;
+        let mut out = vec![0usize; n];
+        {
+            let w = DisjointWriter::new(&mut out);
+            assert_eq!(w.len(), n);
+            assert!(!w.is_empty());
+            (0..n).into_par_iter().for_each(|i| {
+                let dest = (i * 2654435761) % n; // not a permutation in general…
+                let dest = if dest < n { dest } else { dest % n };
+                let _ = dest;
+                // write a permutation instead: reverse
+                unsafe { w.write(n - 1 - i, i) };
+            });
+        }
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, n - 1 - i);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a graph, run all four bucketing-based algorithms, and
+//! print the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use julienne_repro::algorithms::{delta_stepping, kcore, setcover};
+use julienne_repro::graph::generators::{rmat, set_cover_instance, RmatParams};
+use julienne_repro::graph::transform::assign_weights;
+
+fn main() {
+    // 1. A heavy-tailed social-network-like graph: 2^14 vertices, ~16 edges
+    //    per vertex, symmetrized.
+    let g = rmat(14, 16, RmatParams::default(), 42, true);
+    println!(
+        "graph: n = {}, m = {} (symmetric R-MAT)",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // 2. Coreness via work-efficient bucketed peeling (Algorithm 1).
+    let cores = kcore::coreness_julienne(&g);
+    let k_max = cores.coreness.iter().copied().max().unwrap();
+    println!(
+        "k-core:  k_max = {k_max}, peeling rounds (rho) = {}, vertices in the {k_max}-core: {}",
+        cores.rounds,
+        kcore::kcore_vertices(&cores.coreness, k_max).len()
+    );
+
+    // 3. wBFS (Δ-stepping with Δ = 1) on small integer weights.
+    let wg = assign_weights(&g, 1, 14, 7);
+    let sssp = delta_stepping::wbfs(&wg, 0);
+    let reached = sssp.dist.iter().filter(|&&d| d != u64::MAX).count();
+    println!(
+        "wBFS:    reached {reached} vertices from source 0 in {} bucket rounds",
+        sssp.rounds
+    );
+
+    // 4. Δ-stepping with a coarser Δ on heavy weights.
+    let hg = assign_weights(&g, 1, 100_000, 9);
+    let ds = delta_stepping::delta_stepping(&hg, 0, 32768);
+    println!(
+        "Δ-step:  max finite distance = {}, rounds = {}",
+        ds.dist.iter().filter(|&&d| d != u64::MAX).max().unwrap(),
+        ds.rounds
+    );
+
+    // 5. Approximate set cover on a bipartite instance.
+    let inst = set_cover_instance(256, 1 << 14, 4, 3);
+    let cover = setcover::set_cover_julienne(&inst, 0.01);
+    assert!(setcover::verify_cover(&inst, &cover.cover));
+    println!(
+        "cover:   {} of {} sets cover all {} elements ({} rounds)",
+        cover.cover.len(),
+        inst.num_sets,
+        inst.num_elements,
+        cover.rounds
+    );
+}

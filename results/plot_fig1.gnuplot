@@ -1,0 +1,15 @@
+# Re-plots Figure 1 from the CSV the fig1 binary drops here:
+#   cargo run -p julienne-bench --release --bin fig1 -- 20
+#   gnuplot results/plot_fig1.gnuplot
+# Produces fig1.png: log-log throughput vs identifiers/round, one series
+# per initial bucket count, matching the paper's axes.
+set terminal pngcairo size 900,600
+set output "results/fig1.png"
+set datafile separator ","
+set logscale xy
+set xlabel "average number of identifiers / round"
+set ylabel "throughput (identifiers / second)"
+set key bottom right
+plot for [b in "128 256 512 1024"] \
+    "results/fig1.csv" using 4:($1 eq b."-buckets" ? $5 : 1/0) \
+    with linespoints title b." buckets"

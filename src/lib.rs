@@ -1,0 +1,28 @@
+//! # julienne-repro
+//!
+//! A from-scratch Rust reproduction of *"Julienne: A Framework for Parallel
+//! Graph Algorithms using Work-efficient Bucketing"* (Dhulipala, Blelloch,
+//! Shun — SPAA 2017).
+//!
+//! This façade crate re-exports the whole stack; the runnable examples under
+//! `examples/` and the integration tests under `tests/` are built against
+//! it. See README.md for a tour and DESIGN.md for the system inventory.
+//!
+//! ```
+//! use julienne_repro::prelude::*;
+//! use julienne_repro::algorithms::kcore;
+//!
+//! // Coreness of a 4-cycle: every vertex is in the 2-core.
+//! let g = julienne_repro::graph::builder::from_pairs_symmetric(
+//!     4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! let result = kcore::coreness_julienne(&g);
+//! assert_eq!(result.coreness, vec![2, 2, 2, 2]);
+//! ```
+
+pub use julienne as core;
+pub use julienne_algorithms as algorithms;
+pub use julienne_graph as graph;
+pub use julienne_ligra as ligra;
+pub use julienne_primitives as primitives;
+
+pub use julienne::prelude;

@@ -1,0 +1,123 @@
+//! Cross-crate integration for the extension algorithms: k-truss,
+//! PageRank, connected components, weighted set cover, and the
+//! hub-sort/relabel transform — each checked against an independent oracle
+//! or invariant.
+
+use julienne_repro::algorithms::components::{
+    connected_components, connected_components_seq, num_components,
+};
+use julienne_repro::algorithms::degeneracy::{
+    degeneracy_order, densest_subgraph, densest_subgraph_approx, induced_density,
+};
+use julienne_repro::algorithms::kcore::coreness_julienne;
+use julienne_repro::algorithms::ktruss::{ktruss_julienne, ktruss_seq};
+use julienne_repro::algorithms::pagerank::pagerank;
+use julienne_repro::algorithms::setcover::verify_cover;
+use julienne_repro::algorithms::setcover_weighted::{
+    set_cover_weighted_greedy_seq, set_cover_weighted_julienne,
+};
+use julienne_repro::algorithms::triangles::triangle_count;
+use julienne_repro::graph::generators::{
+    chung_lu, erdos_renyi, rmat, set_cover_instance, RmatParams,
+};
+use julienne_repro::graph::transform::hub_sort;
+use julienne_repro::primitives::rng::SplitMix64;
+
+#[test]
+fn truss_oracle_across_families() {
+    for (name, g) in [
+        ("er", erdos_renyi(200, 2_400, 1, true)),
+        ("rmat", rmat(9, 10, RmatParams::default(), 2, true)),
+        ("chunglu", chung_lu(300, 3_000, 2.3, 3, true)),
+    ] {
+        let par = ktruss_julienne(&g);
+        let seq = ktruss_seq(&g);
+        assert_eq!(par.trussness, seq.trussness, "{name}");
+    }
+}
+
+#[test]
+fn truss_relates_to_core_and_triangles() {
+    let g = rmat(10, 12, RmatParams::default(), 7, true);
+    let truss = ktruss_julienne(&g);
+    let core = coreness_julienne(&g);
+    let k_max = core.coreness.iter().copied().max().unwrap();
+    // Classic relation: max trussness ≤ degeneracy + 1 (each edge of the
+    // t-truss lies in a (t−1)-core).
+    assert!(
+        truss.max_truss <= k_max + 1,
+        "t_max {} vs k_max {}",
+        truss.max_truss,
+        k_max
+    );
+    // Triangle-free ⇒ all trussness 2 (contrapositive check).
+    if triangle_count(&g) > 0 {
+        assert!(truss.max_truss >= 3);
+    }
+}
+
+#[test]
+fn relabeling_preserves_all_peeling_invariants() {
+    let g = rmat(10, 8, RmatParams::default(), 11, true);
+    let (sorted, perm) = hub_sort(&g);
+    // Coreness is permutation-equivariant.
+    let orig = coreness_julienne(&g).coreness;
+    let relab = coreness_julienne(&sorted).coreness;
+    for v in 0..g.num_vertices() {
+        assert_eq!(orig[v], relab[perm[v] as usize], "vertex {v}");
+    }
+    // Triangle count is invariant.
+    assert_eq!(triangle_count(&g), triangle_count(&sorted));
+    // Degeneracy is invariant.
+    assert_eq!(
+        degeneracy_order(&g).degeneracy,
+        degeneracy_order(&sorted).degeneracy
+    );
+}
+
+#[test]
+fn components_oracle_and_pagerank_mass() {
+    let g = erdos_renyi(2_000, 3_000, 5, true); // sparse: several components
+    let par = connected_components(&g);
+    assert_eq!(par.label, connected_components_seq(&g));
+    assert!(num_components(&par.label) > 1);
+
+    let pr = pagerank(&g, 0.85, 1e-10, 200);
+    let total: f64 = pr.rank.iter().sum();
+    assert!((total - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn weighted_cover_tracks_cost_structure() {
+    let inst = set_cover_instance(120, 6_000, 4, 17);
+    let mut rng = SplitMix64::new(99);
+    let costs: Vec<f64> = (0..120)
+        .map(|_| 1.0 + rng.next_range(100) as f64)
+        .collect();
+    let par = set_cover_weighted_julienne(&inst, &costs, 0.05);
+    let greedy = set_cover_weighted_greedy_seq(&inst, &costs);
+    assert!(verify_cover(&inst, &par.cover));
+    assert!(verify_cover(&inst, &greedy.cover));
+    assert!(
+        par.cost <= 3.0 * greedy.cost,
+        "cost {} vs greedy {}",
+        par.cost,
+        greedy.cost
+    );
+    // Neither cover can cost more than taking every set (it may equal it
+    // when every set uniquely covers some element, which this skewed
+    // family often forces).
+    let all: f64 = costs.iter().sum();
+    assert!(greedy.cost <= all + 1e-9);
+    assert!(par.cost <= 3.0 * all);
+}
+
+#[test]
+fn densest_subgraph_variants_agree_up_to_guarantee() {
+    let g = chung_lu(3_000, 30_000, 2.2, 23, true);
+    let exact = densest_subgraph(&g);
+    let approx = densest_subgraph_approx(&g, 0.2);
+    assert!(approx.density * 2.0 * 1.2 + 1e-9 >= exact.density);
+    assert!((induced_density(&g, &exact.vertices) - exact.density).abs() < 1e-6);
+    assert!((induced_density(&g, &approx.vertices) - approx.density).abs() < 1e-6);
+}

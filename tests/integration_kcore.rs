@@ -1,0 +1,98 @@
+//! Cross-crate integration: all coreness implementations agree across every
+//! graph family and backend, and the work counters witness the paper's
+//! efficiency separation.
+
+use julienne_repro::algorithms::kcore::{
+    coreness_bz_seq, coreness_julienne, coreness_julienne_opts, coreness_ligra,
+};
+use julienne_repro::graph::compress::CompressedGraph;
+use julienne_repro::graph::generators::{chung_lu, erdos_renyi, grid2d, rmat, RmatParams};
+use julienne_repro::graph::Graph;
+
+fn families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("er", erdos_renyi(2_000, 16_000, 1, true)),
+        ("rmat", rmat(11, 8, RmatParams::default(), 2, true)),
+        ("chunglu", chung_lu(2_000, 16_000, 2.2, 3, true)),
+        ("grid", grid2d(40, 50)),
+    ]
+}
+
+#[test]
+fn all_implementations_agree_on_all_families() {
+    for (name, g) in families() {
+        let oracle = coreness_bz_seq(&g);
+        let jul = coreness_julienne(&g);
+        assert_eq!(jul.coreness, oracle.coreness, "julienne vs BZ on {name}");
+        let lig = coreness_ligra(&g);
+        assert_eq!(lig.coreness, oracle.coreness, "ligra vs BZ on {name}");
+        let cg = CompressedGraph::from_csr(&g);
+        let comp = coreness_julienne(&cg);
+        assert_eq!(comp.coreness, oracle.coreness, "compressed vs BZ on {name}");
+    }
+}
+
+#[test]
+fn open_bucket_count_is_semantically_invisible() {
+    let g = rmat(11, 8, RmatParams::default(), 9, true);
+    let reference = coreness_julienne(&g).coreness;
+    for nb in [1usize, 2, 7, 64, 4096] {
+        assert_eq!(
+            coreness_julienne_opts(&g, nb).coreness,
+            reference,
+            "nB = {nb}"
+        );
+    }
+}
+
+#[test]
+fn work_efficiency_separation_grows_with_kmax() {
+    // The Ligra implementation's scans grow with k_max · n; Julienne's stay
+    // at n. A denser graph (higher k_max) must widen the ratio.
+    let sparse = rmat(11, 4, RmatParams::default(), 5, true);
+    let dense = rmat(11, 32, RmatParams::default(), 5, true);
+    let ratio = |g: &Graph| {
+        let j = coreness_julienne(g);
+        let l = coreness_ligra(g);
+        assert_eq!(j.coreness, l.coreness);
+        l.vertices_scanned as f64 / j.vertices_scanned as f64
+    };
+    let r_sparse = ratio(&sparse);
+    let r_dense = ratio(&dense);
+    assert!(
+        r_dense > r_sparse,
+        "dense ratio {r_dense:.1} should exceed sparse ratio {r_sparse:.1}"
+    );
+}
+
+#[test]
+fn coreness_is_a_fixed_point() {
+    // λ(v) ≥ k iff v has ≥ k neighbors with λ ≥ k: verify the defining
+    // property on a midsize graph.
+    let g = rmat(10, 8, RmatParams::default(), 11, true);
+    let cores = coreness_julienne(&g).coreness;
+    for v in 0..g.num_vertices() as u32 {
+        let k = cores[v as usize];
+        if k == 0 {
+            continue;
+        }
+        let strong = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| cores[u as usize] >= k)
+            .count();
+        assert!(
+            strong >= k as usize,
+            "vertex {v} claims coreness {k} but has only {strong} strong neighbors"
+        );
+    }
+}
+
+#[test]
+fn star_graph_coreness() {
+    use julienne_repro::graph::builder::from_pairs_symmetric;
+    let pairs: Vec<(u32, u32)> = (1..100).map(|i| (0, i)).collect();
+    let g = from_pairs_symmetric(100, &pairs);
+    let r = coreness_julienne(&g);
+    assert!(r.coreness.iter().all(|&c| c == 1));
+}

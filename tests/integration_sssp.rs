@@ -1,0 +1,102 @@
+//! Cross-crate integration: every SSSP implementation agrees with Dijkstra
+//! on every graph family, weight range, Δ, and source.
+
+use julienne_repro::algorithms::bellman_ford::bellman_ford;
+use julienne_repro::algorithms::delta_stepping::{
+    delta_stepping, delta_stepping_light_heavy, wbfs,
+};
+use julienne_repro::algorithms::dijkstra::{bellman_ford_seq, dijkstra};
+use julienne_repro::algorithms::gap_delta::gap_delta_stepping;
+use julienne_repro::graph::generators::{erdos_renyi, grid2d, rmat, RmatParams};
+use julienne_repro::graph::transform::{assign_weights, wbfs_weight_range};
+use julienne_repro::graph::WGraph;
+
+fn weighted_families(heavy: bool) -> Vec<(&'static str, WGraph)> {
+    let (lo, hi) = if heavy { (1, 100_000) } else { wbfs_weight_range(2048) };
+    vec![
+        ("er-sym", assign_weights(&erdos_renyi(2_000, 16_000, 1, true), lo, hi, 11)),
+        ("rmat-dir", assign_weights(&rmat(11, 8, RmatParams::default(), 2, false), lo, hi, 12)),
+        ("grid", assign_weights(&grid2d(45, 45), lo, hi, 13)),
+    ]
+}
+
+#[test]
+fn every_parallel_sssp_matches_dijkstra() {
+    for heavy in [false, true] {
+        for (name, g) in weighted_families(heavy) {
+            let oracle = dijkstra(&g, 0);
+            assert_eq!(bellman_ford_seq(&g, 0), oracle, "spfa {name}");
+            assert_eq!(bellman_ford(&g, 0).dist, oracle, "bf {name}");
+            assert_eq!(wbfs(&g, 0).dist, oracle, "wbfs {name}");
+            for delta in [1u64, 64, 32768] {
+                assert_eq!(
+                    delta_stepping(&g, 0, delta).dist,
+                    oracle,
+                    "delta {delta} {name}"
+                );
+                assert_eq!(
+                    gap_delta_stepping(&g, 0, delta).dist,
+                    oracle,
+                    "gap {delta} {name}"
+                );
+            }
+            assert_eq!(
+                delta_stepping_light_heavy(&g, 0, 64).dist,
+                oracle,
+                "light/heavy {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multiple_sources_agree() {
+    let g = assign_weights(&rmat(11, 8, RmatParams::default(), 7, true), 1, 500, 9);
+    for src in [0u32, 13, 999, (g.num_vertices() - 1) as u32] {
+        let oracle = dijkstra(&g, src);
+        assert_eq!(delta_stepping(&g, src, 128).dist, oracle, "src {src}");
+        assert_eq!(wbfs(&g, src).dist, oracle, "src {src}");
+    }
+}
+
+#[test]
+fn triangle_inequality_holds_on_output() {
+    let g = assign_weights(&erdos_renyi(1_500, 12_000, 3, true), 1, 1000, 5);
+    let dist = delta_stepping(&g, 0, 256).dist;
+    for u in 0..g.num_vertices() as u32 {
+        if dist[u as usize] == u64::MAX {
+            continue;
+        }
+        for (v, w) in g.edges_of(u) {
+            assert!(
+                dist[v as usize] <= dist[u as usize] + w as u64,
+                "edge ({u},{v},{w}) violates settled distances"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_trade_off_visible_in_rounds() {
+    // Smaller Δ → more, finer annuli (rounds up); larger Δ → fewer rounds.
+    let g = assign_weights(&grid2d(60, 60), 1, 100, 8);
+    let fine = delta_stepping(&g, 0, 4);
+    let coarse = delta_stepping(&g, 0, 4096);
+    assert_eq!(fine.dist, coarse.dist);
+    assert!(
+        fine.rounds > coarse.rounds,
+        "fine {} vs coarse {}",
+        fine.rounds,
+        coarse.rounds
+    );
+}
+
+#[test]
+fn zero_degree_source() {
+    use julienne_repro::graph::builder::EdgeList;
+    let mut el: EdgeList<u32> = EdgeList::new(3);
+    el.push(1, 2, 5);
+    let g = el.build(false);
+    let r = delta_stepping(&g, 0, 16);
+    assert_eq!(r.dist, vec![0, u64::MAX, u64::MAX]);
+}

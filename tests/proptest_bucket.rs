@@ -1,0 +1,151 @@
+//! Property tests: the parallel bucket structure must produce exactly the
+//! same extraction sequence as the sequential reference (Section 3.2)
+//! under arbitrary initial bucketings and random monotone update streams,
+//! in both orders and at any number of open buckets.
+
+use julienne::bucket::{BucketDest, Buckets, Order, SeqBuckets, NULL_BKT};
+use julienne_primitives::rng::SplitMix64;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+
+/// Drives both implementations through the same workload and asserts
+/// identical (bucket, sorted members) extraction sequences.
+fn drive(initial: Vec<u32>, order: Order, num_open: usize, update_seed: u64) {
+    let n = initial.len();
+    let d_par: Vec<AtomicU32> = initial.iter().map(|&x| AtomicU32::new(x)).collect();
+    let d_seq: Vec<AtomicU32> = initial.iter().map(|&x| AtomicU32::new(x)).collect();
+
+    let mut par = Buckets::with_open_buckets(
+        n,
+        |i: u32| d_par[i as usize].load(AtomicOrdering::SeqCst),
+        order,
+        num_open,
+    );
+    let mut seq = SeqBuckets::new(
+        n,
+        |i: u32| d_seq[i as usize].load(AtomicOrdering::SeqCst),
+        order,
+    );
+
+    let mut rng = SplitMix64::new(update_seed);
+    let mut extracted = vec![false; n];
+    let mut safety = 0;
+    loop {
+        safety += 1;
+        assert!(safety < 10_000, "extraction did not terminate");
+        let p = par.next_bucket();
+        let s = seq.next_bucket();
+        match (p, s) {
+            (None, None) => break,
+            (Some((pb, mut pids)), Some((sb, mut sids))) => {
+                pids.sort_unstable();
+                sids.sort_unstable();
+                assert_eq!(pb, sb, "bucket ids diverge");
+                assert_eq!(pids, sids, "members diverge in bucket {pb}");
+                for &i in &pids {
+                    extracted[i as usize] = true;
+                }
+
+                // Random monotone updates: move some unextracted ids to a
+                // bucket at-or-after the current one (toward cur for
+                // Increasing, like k-core's clamping; away from the initial
+                // max is forbidden for Decreasing).
+                let cur = pb;
+                let mut moves_par: Vec<(u32, BucketDest)> = Vec::new();
+                let mut moves_seq: Vec<(u32, BucketDest)> = Vec::new();
+                for i in 0..n as u32 {
+                    if extracted[i as usize] || rng.next_range(4) != 0 {
+                        continue;
+                    }
+                    let old = d_par[i as usize].load(AtomicOrdering::SeqCst);
+                    if old == NULL_BKT {
+                        continue;
+                    }
+                    let new = match order {
+                        Order::Increasing => {
+                            // Anywhere in [cur, old] (only meaningful if it
+                            // moves toward cur), occasionally past old.
+                            if old > cur {
+                                cur + rng.next_range((old - cur + 1) as u64) as u32
+                            } else {
+                                continue;
+                            }
+                        }
+                        Order::Decreasing => {
+                            // Decreasing: buckets shrink; move into
+                            // (cur is upper now) [?, cur] i.e. id ≤ cur.
+                            if old == 0 || old > cur {
+                                continue;
+                            }
+                            rng.next_range((old.min(cur) + 1) as u64) as u32
+                        }
+                    };
+                    if new == old {
+                        continue;
+                    }
+                    d_par[i as usize].store(new, AtomicOrdering::SeqCst);
+                    d_seq[i as usize].store(new, AtomicOrdering::SeqCst);
+                    moves_par.push((i, par.get_bucket(old, new)));
+                    moves_seq.push((i, seq.get_bucket(old, new)));
+                }
+                par.update_buckets(&moves_par);
+                seq.update_buckets(&moves_seq);
+            }
+            other => panic!("one structure drained early: {other:?}"),
+        }
+    }
+    // Everything initially bucketed must have been extracted.
+    for i in 0..n {
+        if initial[i] != NULL_BKT {
+            assert!(extracted[i], "id {i} (bucket {}) never extracted", initial[i]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn increasing_matches_sequential(
+        initial in prop::collection::vec(
+            prop_oneof![4 => 0u32..300, 1 => Just(NULL_BKT)], 1..120),
+        num_open in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        drive(initial, Order::Increasing, num_open, seed);
+    }
+
+    #[test]
+    fn decreasing_matches_sequential(
+        initial in prop::collection::vec(
+            prop_oneof![4 => 0u32..300, 1 => Just(NULL_BKT)], 1..120),
+        num_open in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        drive(initial, Order::Decreasing, num_open, seed);
+    }
+
+    #[test]
+    fn static_drain_increasing(
+        initial in prop::collection::vec(0u32..50_000, 1..200),
+        num_open in 1usize..200,
+    ) {
+        // No updates at all: extraction must equal a stable sort by bucket.
+        let n = initial.len();
+        let d: Vec<AtomicU32> = initial.iter().map(|&x| AtomicU32::new(x)).collect();
+        let mut b = Buckets::with_open_buckets(
+            n, |i: u32| d[i as usize].load(AtomicOrdering::SeqCst),
+            Order::Increasing, num_open);
+        let mut got: Vec<(u32, u32)> = Vec::new();
+        while let Some((k, ids)) = b.next_bucket() {
+            for i in ids {
+                got.push((k, i));
+            }
+        }
+        let mut want: Vec<(u32, u32)> =
+            initial.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

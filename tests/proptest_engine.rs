@@ -1,0 +1,121 @@
+//! Property tests over the Ligra engine: for arbitrary random graphs and
+//! frontiers, sparse push and dense pull traversals must produce identical
+//! results, and the aggregation primitives must match brute-force oracles.
+
+use julienne_repro::graph::builder::EdgeList;
+use julienne_repro::graph::{Csr, Graph};
+use julienne_repro::ligra::edge_map::{edge_map, EdgeMapOptions, Mode};
+use julienne_repro::ligra::edge_map_reduce::{
+    edge_map_sum, edge_map_sum_with_scratch, SumScratch,
+};
+use julienne_repro::ligra::subset::VertexSubset;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..150, prop::collection::vec((any::<u32>(), any::<u32>()), 0..900)).prop_map(
+        |(n, raw)| {
+            let mut el: EdgeList<()> = EdgeList::new(n);
+            for (a, b) in raw {
+                el.push(a % n as u32, b % n as u32, ());
+            }
+            el.build_symmetric()
+        },
+    )
+}
+
+fn arb_frontier(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0u32..n as u32, 0..n.min(60)).prop_map(|s| s.into_iter().collect())
+}
+
+/// Brute-force: the set of vertices with cond true reachable by one hop
+/// from the frontier (update ≡ first-touch).
+fn one_hop_oracle(g: &Csr<()>, frontier: &[u32], cond: impl Fn(u32) -> bool) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    for &u in frontier {
+        for &v in g.neighbors(u) {
+            if cond(v) && !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sparse_and_dense_one_hop_agree((g, seedbits) in arb_graph().prop_flat_map(|g| {
+        let n = g.num_vertices();
+        (Just(g), arb_frontier(n))
+    })) {
+        let n = g.num_vertices();
+        let frontier_ids = seedbits;
+        let frontier = VertexSubset::from_vertices(n, frontier_ids.clone());
+        let cond = |v: u32| v % 3 != 1;
+        let run = |mode: Mode| {
+            let out = edge_map(
+                &g,
+                &frontier,
+                |_, _, _| true,
+                cond,
+                EdgeMapOptions { mode, remove_duplicates: true, ..Default::default() },
+            );
+            let mut ids = out.to_vertices();
+            ids.sort_unstable();
+            ids
+        };
+        let want = one_hop_oracle(&g, &frontier_ids, cond);
+        prop_assert_eq!(run(Mode::Sparse), want.clone());
+        prop_assert_eq!(run(Mode::Dense), want.clone());
+        prop_assert_eq!(run(Mode::Auto), want);
+    }
+
+    #[test]
+    fn edge_map_sum_matches_hash_map_oracle((g, frontier) in arb_graph().prop_flat_map(|g| {
+        let n = g.num_vertices();
+        (Just(g), arb_frontier(n))
+    })) {
+        let mut oracle: HashMap<u32, u32> = HashMap::new();
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if v % 2 == 0 {
+                    *oracle.entry(v).or_default() += 1;
+                }
+            }
+        }
+        let got = edge_map_sum(&g, &frontier, |_, c| Some(c), |v| v % 2 == 0);
+        let mut got: Vec<(u32, u32)> = got.into_entries();
+        got.sort_unstable();
+        let mut want: Vec<(u32, u32)> = oracle.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(&got, &want);
+
+        // The scratch variant must agree and leave the scratch clean.
+        let scratch = SumScratch::new(g.num_vertices());
+        let scratch_out =
+            edge_map_sum_with_scratch(&g, &frontier, |_, c| Some(c), |v| v % 2 == 0, &scratch);
+        let mut got2: Vec<(u32, u32)> = scratch_out.into_entries();
+        got2.sort_unstable();
+        prop_assert_eq!(got2, want);
+    }
+
+    #[test]
+    fn remove_duplicates_yields_set_semantics((g, frontier) in arb_graph().prop_flat_map(|g| {
+        let n = g.num_vertices();
+        (Just(g), arb_frontier(n))
+    })) {
+        let fs = VertexSubset::from_vertices(g.num_vertices(), frontier);
+        let out = edge_map(
+            &g, &fs, |_, _, _| true, |_| true,
+            EdgeMapOptions { mode: Mode::Sparse, remove_duplicates: true, ..Default::default() },
+        );
+        let mut ids = out.to_vertices();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "duplicates leaked");
+    }
+}
