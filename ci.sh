@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full CI gate: build, test, format, and lint the workspace in both feature
+# shapes (default = telemetry on; --no-default-features = telemetry compiled
+# out to a zero-sized no-op). Run locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+# --- default features (telemetry on) ---------------------------------------
+run cargo build --release --workspace
+run cargo test -q --workspace
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+
+# --- telemetry compiled out ------------------------------------------------
+run cargo build --release --workspace --no-default-features
+run cargo test -q --workspace --no-default-features
+run cargo clippy --workspace --all-targets --no-default-features -- -D warnings
+
+echo "ci.sh: all checks passed"

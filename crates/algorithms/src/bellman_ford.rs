@@ -8,7 +8,7 @@
 use crate::INF;
 use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
-use julienne_ligra::edge_map::{edge_map, EdgeMapOptions};
+use julienne_ligra::edge_map::EdgeMap;
 use julienne_ligra::subset::VertexSubset;
 use julienne_primitives::atomics::write_min_u64;
 use julienne_primitives::bitset::AtomicBitSet;
@@ -42,9 +42,8 @@ pub fn bellman_ford(g: &Csr<u32>, src: VertexId) -> SsspResult {
             rounds <= n as u64,
             "negative cycle or bug: more rounds than vertices"
         );
-        relaxations += g.out_degrees_sum(&frontier.to_vertices()) as u64;
-        let next = edge_map(
-            g,
+        relaxations += frontier.iter().map(|v| g.degree(v) as u64).sum::<u64>();
+        let next = EdgeMap::new(g).run(
             &frontier,
             |u, v, w| {
                 let nd = dist[u as usize].load(Ordering::SeqCst) + w as u64;
@@ -55,10 +54,9 @@ pub fn bellman_ford(g: &Csr<u32>, src: VertexId) -> SsspResult {
                 false
             },
             |_| true,
-            EdgeMapOptions::default(),
         );
         // Reset flags of the new frontier for the next round.
-        for &v in &next.to_vertices() {
+        for v in &next {
             flags.clear(v as usize);
         }
         frontier = next;

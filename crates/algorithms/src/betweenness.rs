@@ -64,10 +64,8 @@ pub fn brandes_from(g: &Csr<()>, src: VertexId) -> Vec<f64> {
             for &v in g.neighbors(u) {
                 // Claim v for the next level if unvisited.
                 let lv = level[v as usize].load(Ordering::SeqCst);
-                if lv == u32::MAX {
-                    if cas_u32(&level[v as usize], u32::MAX, depth) {
-                        in_next[v as usize].store(1, Ordering::SeqCst);
-                    }
+                if lv == u32::MAX && cas_u32(&level[v as usize], u32::MAX, depth) {
+                    in_next[v as usize].store(1, Ordering::SeqCst);
                 }
                 if level[v as usize].load(Ordering::SeqCst) == depth {
                     sigma[v as usize].fetch_add(su, Ordering::SeqCst);
@@ -138,9 +136,8 @@ mod tests {
         for &w in order.iter().rev() {
             for &v in g.neighbors(w) {
                 if dist[v as usize] + 1 == dist[w as usize] {
-                    delta[v as usize] +=
-                        sigma[v as usize] as f64 / sigma[w as usize] as f64
-                            * (1.0 + delta[w as usize]);
+                    delta[v as usize] += sigma[v as usize] as f64 / sigma[w as usize] as f64
+                        * (1.0 + delta[w as usize]);
                 }
             }
         }
@@ -183,8 +180,8 @@ mod tests {
             assert!(bc[0] > bc[v], "center must dominate");
         }
         // Leaves lie on no shortest path between others.
-        for v in 1..12 {
-            assert!(bc[v].abs() < 1e-12);
+        for leaf in &bc[1..12] {
+            assert!(leaf.abs() < 1e-12);
         }
     }
 

@@ -4,7 +4,7 @@
 
 use julienne_graph::csr::{Csr, Weight};
 use julienne_graph::VertexId;
-use julienne_ligra::edge_map::{edge_map, EdgeMapOptions, Mode};
+use julienne_ligra::edge_map::{EdgeMap, Mode};
 use julienne_ligra::subset::VertexSubset;
 use julienne_primitives::atomics::cas_u32;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -43,8 +43,7 @@ pub fn bfs_with_mode<W: Weight>(g: &Csr<W>, src: VertexId, mode: Mode) -> BfsRes
     while !frontier.is_empty() {
         rounds += 1;
         depth += 1;
-        frontier = edge_map(
-            g,
+        frontier = EdgeMap::new(g).mode(mode).run(
             &frontier,
             |u, v, _| {
                 if cas_u32(&parent[v as usize], NO_PARENT, u) {
@@ -55,10 +54,6 @@ pub fn bfs_with_mode<W: Weight>(g: &Csr<W>, src: VertexId, mode: Mode) -> BfsRes
                 }
             },
             |v| parent[v as usize].load(Ordering::SeqCst) == NO_PARENT,
-            EdgeMapOptions {
-                mode,
-                ..Default::default()
-            },
         );
     }
 

@@ -4,7 +4,7 @@
 //! union-find oracle.
 
 use julienne_graph::csr::{Csr, Weight};
-use julienne_ligra::edge_map::{edge_map, EdgeMapOptions};
+use julienne_ligra::edge_map::EdgeMap;
 use julienne_ligra::subset::VertexSubset;
 use julienne_primitives::atomics::write_min_u32;
 use julienne_primitives::bitset::AtomicBitSet;
@@ -36,8 +36,7 @@ pub fn connected_components<W: Weight>(g: &Csr<W>) -> ComponentsResult {
     let mut rounds = 0u64;
     while !frontier.is_empty() {
         rounds += 1;
-        let next = edge_map(
-            g,
+        let next = EdgeMap::new(g).run(
             &frontier,
             |u, v, _| {
                 let lu = label[u as usize].load(Ordering::SeqCst);
@@ -47,9 +46,8 @@ pub fn connected_components<W: Weight>(g: &Csr<W>) -> ComponentsResult {
                 false
             },
             |_| true,
-            EdgeMapOptions::default(),
         );
-        for &v in &next.to_vertices() {
+        for v in &next {
             flags.clear(v as usize);
         }
         frontier = next;

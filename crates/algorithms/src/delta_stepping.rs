@@ -15,13 +15,15 @@
 
 use crate::bellman_ford::SsspResult;
 use crate::INF;
-use julienne::bucket::{BucketId, Buckets, Order, NULL_BKT};
+use julienne::bucket::{BucketId, Order, NULL_BKT};
+use julienne::engine::Engine;
+use julienne::telemetry::{Counter, RoundRecord, TraversalKind};
 use julienne_graph::builder::EdgeList;
 use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
-use julienne_ligra::edge_map::edge_map_sparse_data;
 use julienne_ligra::traits::OutEdges;
 use julienne_ligra::vertex_ops::vertex_map_data;
+use julienne_ligra::EdgeMap;
 use julienne_primitives::atomics::write_min_u64;
 use julienne_primitives::bitset::AtomicBitSet;
 use rayon::prelude::*;
@@ -62,7 +64,7 @@ fn annulus(dist: u64, delta: u64) -> BucketId {
 /// Generic over the out-edge backend, so it runs unmodified on plain CSR
 /// and on Ligra+-style byte-compressed weighted graphs.
 pub fn delta_stepping<G: OutEdges<W = u32>>(g: &G, src: VertexId, delta: u64) -> DeltaResult {
-    delta_stepping_opts(g, src, delta, julienne::bucket::DEFAULT_OPEN_BUCKETS)
+    delta_stepping_with(g, src, delta, &Engine::default())
 }
 
 /// [`delta_stepping`] with an explicit number of open buckets.
@@ -71,6 +73,22 @@ pub fn delta_stepping_opts<G: OutEdges<W = u32>>(
     src: VertexId,
     delta: u64,
     num_open: usize,
+) -> DeltaResult {
+    delta_stepping_with(
+        g,
+        src,
+        delta,
+        &Engine::builder().open_buckets(num_open).build(),
+    )
+}
+
+/// [`delta_stepping`] against an [`Engine`]: bucket window and telemetry
+/// sink come from the engine; each annulus round emits a [`RoundRecord`].
+pub fn delta_stepping_with<G: OutEdges<W = u32>>(
+    g: &G,
+    src: VertexId,
+    delta: u64,
+    engine: &Engine,
 ) -> DeltaResult {
     assert!(delta >= 1);
     let n = g.num_vertices();
@@ -87,19 +105,25 @@ pub fn delta_stepping_opts<G: OutEdges<W = u32>>(
             annulus(s, delta)
         }
     };
-    let mut buckets = Buckets::with_open_buckets(n, d_fun, Order::Increasing, num_open);
+    let mut buckets = engine.buckets(n, d_fun, Order::Increasing);
+    let telemetry = engine.telemetry();
+    let em = engine.edge_map(g);
 
     let mut rounds = 0u64;
     let mut relaxations = 0u64;
-    while let Some((_bkt, ids)) = buckets.next_bucket() {
+    loop {
+        let span = telemetry.span();
+        let Some((bkt, ids)) = buckets.next_bucket() else {
+            break;
+        };
         rounds += 1;
-        relaxations += ids.par_iter().map(|&v| g.out_degree(v) as u64).sum::<u64>();
+        let round_edges = ids.par_iter().map(|&v| g.out_degree(v) as u64).sum::<u64>();
+        relaxations += round_edges;
 
         // Update (Algorithm 2, lines 4–10): relax, with the flag CAS
         // electing the unique visitor that captures the round-start
         // distance.
-        let moved = edge_map_sparse_data(
-            g,
+        let moved = em.run_sparse_data(
             &ids,
             |u, v, w| {
                 let nd = sp[u as usize].load(Ordering::SeqCst) + w as u64;
@@ -129,6 +153,18 @@ pub fn delta_stepping_opts<G: OutEdges<W = u32>>(
             Some(buckets.get_bucket(prev, annulus(new_dist, delta)))
         });
         buckets.update_buckets(new_buckets.entries());
+        telemetry.incr(Counter::Rounds);
+        if telemetry.is_enabled() {
+            telemetry.record_round(RoundRecord {
+                round: (rounds - 1) as u32,
+                bucket: bkt,
+                frontier: ids.len(),
+                edges_scanned: round_edges,
+                edges_relaxed: new_buckets.entries().len() as u64,
+                mode: TraversalKind::Sparse,
+                elapsed_us: span.elapsed_us(),
+            });
+        }
     }
 
     let identifiers_moved = buckets.stats().identifiers_moved;
@@ -180,7 +216,7 @@ pub fn delta_stepping_light_heavy(g: &Csr<u32>, src: VertexId, delta: u64) -> De
             annulus(s, delta)
         }
     };
-    let mut buckets = Buckets::new(n, d_fun, Order::Increasing);
+    let mut buckets = julienne::bucket::BucketsBuilder::new(n, d_fun, Order::Increasing).build();
 
     let mut rounds = 0u64;
     let mut relaxations = 0u64;
@@ -188,12 +224,11 @@ pub fn delta_stepping_light_heavy(g: &Csr<u32>, src: VertexId, delta: u64) -> De
     // One relaxation pass over `graph` from `ids`, returning bucket moves.
     let relax = |graph: &Csr<u32>,
                  ids: &[VertexId],
-                 buckets: &Buckets<_>,
+                 buckets: &julienne::bucket::Buckets<_>,
                  relaxations: &mut u64|
      -> Vec<(u32, julienne::bucket::BucketDest)> {
         *relaxations += ids.par_iter().map(|&v| graph.degree(v) as u64).sum::<u64>();
-        let moved = edge_map_sparse_data(
-            graph,
+        let moved = EdgeMap::new(graph).run_sparse_data(
             ids,
             |u, v, w| {
                 let nd = sp[u as usize].load(Ordering::SeqCst) + w as u64;

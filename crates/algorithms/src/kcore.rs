@@ -12,7 +12,9 @@
 //! All three return identical coreness values; the tests check them against
 //! each other and against hand-computed graphs.
 
-use julienne::bucket::{Buckets, Order};
+use julienne::bucket::Order;
+use julienne::engine::Engine;
+use julienne::telemetry::{Counter, RoundRecord, TraversalKind};
 use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
 use julienne_ligra::edge_map_reduce::{edge_map_sum_with_scratch, SumScratch};
@@ -43,12 +45,18 @@ pub struct KcoreResult {
 /// Work-efficient coreness (Algorithm 1) over any out-edge backend — plain
 /// CSR or byte-compressed. The graph must be symmetric.
 pub fn coreness_julienne<G: OutEdges>(g: &G) -> KcoreResult {
-    coreness_julienne_opts(g, julienne::bucket::DEFAULT_OPEN_BUCKETS)
+    coreness_julienne_with(g, &Engine::default())
 }
 
 /// [`coreness_julienne`] with an explicit number of open buckets (for the
 /// nB ablation).
 pub fn coreness_julienne_opts<G: OutEdges>(g: &G, num_open: usize) -> KcoreResult {
+    coreness_julienne_with(g, &Engine::builder().open_buckets(num_open).build())
+}
+
+/// [`coreness_julienne`] against an [`Engine`]: bucket window and telemetry
+/// sink come from the engine; each peeling round emits a [`RoundRecord`].
+pub fn coreness_julienne_with<G: OutEdges>(g: &G, engine: &Engine) -> KcoreResult {
     let n = g.num_vertices();
     // D holds the induced degree of live vertices and, once extracted, the
     // final coreness. It doubles as the bucket map.
@@ -56,7 +64,8 @@ pub fn coreness_julienne_opts<G: OutEdges>(g: &G, num_open: usize) -> KcoreResul
         .map(|v| AtomicU32::new(g.out_degree(v as VertexId) as u32))
         .collect();
     let d = |i: u32| degrees[i as usize].load(Ordering::SeqCst);
-    let mut buckets = Buckets::with_open_buckets(n, d, Order::Increasing, num_open);
+    let mut buckets = engine.buckets(n, d, Order::Increasing);
+    let telemetry = engine.telemetry();
     // Persistent per-neighbor counters for edgeMapSum (cleared per round in
     // work proportional to the touched vertices, preserving O(m + n)).
     let scratch = SumScratch::new(n);
@@ -67,16 +76,15 @@ pub fn coreness_julienne_opts<G: OutEdges>(g: &G, num_open: usize) -> KcoreResul
     let mut edges_traversed = 0u64;
 
     while finished < n {
+        let span = telemetry.span();
         let (k, ids) = buckets
             .next_bucket()
             .expect("bucket structure exhausted before all vertices finished");
         finished += ids.len();
         rounds += 1;
         vertices_scanned += ids.len() as u64;
-        edges_traversed += ids
-            .par_iter()
-            .map(|&v| g.out_degree(v) as u64)
-            .sum::<u64>();
+        let round_edges = ids.par_iter().map(|&v| g.out_degree(v) as u64).sum::<u64>();
+        edges_traversed += round_edges;
 
         // Update (Algorithm 1, lines 3–10): for each neighbor v of the
         // peeled set, subtract the number of removed edges, clamping at k,
@@ -102,7 +110,23 @@ pub fn coreness_julienne_opts<G: OutEdges>(g: &G, num_open: usize) -> KcoreResul
             |v| degrees[v as usize].load(Ordering::SeqCst) > k,
             &scratch,
         );
+        let relaxed = moved.entries().len() as u64;
         buckets.update_buckets(moved.entries());
+        telemetry.incr(Counter::Rounds);
+        telemetry.add(Counter::VerticesScanned, ids.len() as u64);
+        telemetry.add(Counter::EdgesScanned, round_edges);
+        telemetry.add(Counter::EdgesRelaxed, relaxed);
+        if telemetry.is_enabled() {
+            telemetry.record_round(RoundRecord {
+                round: (rounds - 1) as u32,
+                bucket: k,
+                frontier: ids.len(),
+                edges_scanned: round_edges,
+                edges_relaxed: relaxed,
+                mode: TraversalKind::Sparse,
+                elapsed_us: span.elapsed_us(),
+            });
+        }
     }
 
     let identifiers_moved = buckets.stats().identifiers_moved;

@@ -14,7 +14,7 @@
 //! minimum-id peeled edge is the designated owner of the decrements.
 
 use crate::triangles::{edge_support, EdgeIndex};
-use julienne::bucket::{BucketDest, Buckets, Order};
+use julienne::bucket::{BucketDest, BucketsBuilder, Order};
 use julienne_graph::csr::Csr;
 use julienne_primitives::bitset::AtomicBitSet;
 use rayon::prelude::*;
@@ -55,7 +55,7 @@ pub fn ktruss_julienne(g: &Csr<()>) -> KtrussResult {
     let round_peel = AtomicBitSet::new(m);
 
     let d = |e: u32| support[e as usize].load(Ordering::SeqCst);
-    let mut buckets = Buckets::new(m, d, Order::Increasing);
+    let mut buckets = BucketsBuilder::new(m, d, Order::Increasing).build();
 
     let mut finished = 0usize;
     let mut rounds = 0u64;

@@ -16,12 +16,12 @@
 
 pub mod bellman_ford;
 pub mod betweenness;
+pub mod bfs;
 pub mod clustering;
 pub mod components;
-pub mod bfs;
 pub mod degeneracy;
-pub mod dial;
 pub mod delta_stepping;
+pub mod dial;
 pub mod dijkstra;
 pub mod gap_delta;
 pub mod kcore;

@@ -16,11 +16,15 @@
 //! always wins all of its elements and is chosen, so every round makes
 //! progress while the per-bucket (1+ε) approximation factor is preserved.
 
-use julienne::bucket::{BucketDest, BucketId, Buckets, Order, NULL_BKT};
+use julienne::bucket::{BucketDest, BucketId, Order, NULL_BKT};
+use julienne::engine::Engine;
+use julienne::telemetry::{Counter, RoundRecord, TraversalKind};
 use julienne_graph::generators::SetCoverInstance;
 use julienne_graph::packed::PackedGraph;
 use julienne_graph::VertexId;
-use julienne_ligra::edge_map_filter::{edge_map_filter_count, edge_map_filter_pack, edge_map_packed};
+use julienne_ligra::edge_map_filter::{
+    edge_map_filter_count, edge_map_filter_pack, edge_map_packed,
+};
 use julienne_primitives::atomics::write_min_u32;
 use julienne_primitives::bitset::AtomicBitSet;
 use julienne_primitives::filter::filter_map;
@@ -60,6 +64,16 @@ fn bucket_num(d: u32, inv_log1p_eps: f64) -> BucketId {
 /// Work-efficient approximate set cover (Algorithm 3) with parameter `eps`
 /// (the paper's experiments use ε = 0.01).
 pub fn set_cover_julienne(inst: &SetCoverInstance, eps: f64) -> SetCoverResult {
+    set_cover_julienne_with(inst, eps, &Engine::default())
+}
+
+/// [`set_cover_julienne`] against an [`Engine`]: bucket window and telemetry
+/// sink come from the engine; each bucket round emits a [`RoundRecord`].
+pub fn set_cover_julienne_with(
+    inst: &SetCoverInstance,
+    eps: f64,
+    engine: &Engine,
+) -> SetCoverResult {
     assert!(eps > 0.0);
     let num_sets = inst.num_sets;
     let num_elements = inst.num_elements;
@@ -68,7 +82,9 @@ pub fn set_cover_julienne(inst: &SetCoverInstance, eps: f64) -> SetCoverResult {
 
     let mut packed = PackedGraph::from_csr(&inst.graph);
     // El: element → reserving set (offset by num_sets in vertex space).
-    let el: Vec<AtomicU32> = (0..num_elements).map(|_| AtomicU32::new(UNRESERVED)).collect();
+    let el: Vec<AtomicU32> = (0..num_elements)
+        .map(|_| AtomicU32::new(UNRESERVED))
+        .collect();
     let covered = AtomicBitSet::new(num_elements);
     // D: remaining uncovered elements per set; IN_COVER once chosen.
     let d: Vec<AtomicU32> = (0..num_sets)
@@ -77,14 +93,23 @@ pub fn set_cover_julienne(inst: &SetCoverInstance, eps: f64) -> SetCoverResult {
 
     let elem_idx = |e: VertexId| (e as usize) - num_sets;
     let d_fun = |s: u32| bucket_num(d[s as usize].load(Ordering::SeqCst), inv_log1p_eps);
-    let mut buckets = Buckets::new(num_sets, d_fun, Order::Decreasing);
+    let mut buckets = engine.buckets(num_sets, d_fun, Order::Decreasing);
+    let telemetry = engine.telemetry();
 
     let mut rounds = 0u64;
     let mut edges_examined = 0u64;
 
-    while let Some((b, sets)) = buckets.next_bucket() {
+    loop {
+        let span = telemetry.span();
+        let Some((b, sets)) = buckets.next_bucket() else {
+            break;
+        };
         rounds += 1;
-        edges_examined += sets.par_iter().map(|&s| packed.degree(s) as u64).sum::<u64>();
+        let round_edges = sets
+            .par_iter()
+            .map(|&s| packed.degree(s) as u64)
+            .sum::<u64>();
+        edges_examined += round_edges;
 
         // Phase 1 (lines 25–27): pack out covered elements, refresh D, and
         // keep the sets still above this bucket's threshold active.
@@ -152,18 +177,30 @@ pub fn set_cover_julienne(inst: &SetCoverInstance, eps: f64) -> SetCoverResult {
             Some((s, buckets.get_bucket(b, bucket_num(deg, inv_log1p_eps))))
         });
         buckets.update_buckets(&rebucket);
+        telemetry.incr(Counter::Rounds);
+        telemetry.add(Counter::VerticesScanned, sets.len() as u64);
+        telemetry.add(Counter::EdgesScanned, round_edges);
+        if telemetry.is_enabled() {
+            telemetry.record_round(RoundRecord {
+                round: (rounds - 1) as u32,
+                bucket: b,
+                frontier: sets.len(),
+                edges_scanned: round_edges,
+                // Sets that joined the cover this round.
+                edges_relaxed: (sets.len() - rebucket.len()) as u64,
+                mode: TraversalKind::Sparse,
+                elapsed_us: span.elapsed_us(),
+            });
+        }
     }
 
-    let cover: Vec<VertexId> = filter_map(
-        &(0..num_sets as u32).collect::<Vec<_>>(),
-        |&s| {
-            if d[s as usize].load(Ordering::SeqCst) == IN_COVER {
-                Some(s)
-            } else {
-                None
-            }
-        },
-    );
+    let cover: Vec<VertexId> = filter_map(&(0..num_sets as u32).collect::<Vec<_>>(), |&s| {
+        if d[s as usize].load(Ordering::SeqCst) == IN_COVER {
+            Some(s)
+        } else {
+            None
+        }
+    });
     let assignment: Vec<u32> = el.into_iter().map(AtomicU32::into_inner).collect();
 
     SetCoverResult {
@@ -231,12 +268,12 @@ mod tests {
         let in_cover: std::collections::HashSet<u32> = r.cover.iter().copied().collect();
         for (e, &s) in r.assignment.iter().enumerate() {
             if s != u32::MAX {
-                assert!(in_cover.contains(&s), "element {e} assigned to non-cover set {s}");
+                assert!(
+                    in_cover.contains(&s),
+                    "element {e} assigned to non-cover set {s}"
+                );
                 // s really contains e.
-                assert!(inst
-                    .graph
-                    .neighbors(s)
-                    .contains(&inst.element_vertex(e)));
+                assert!(inst.graph.neighbors(s).contains(&inst.element_vertex(e)));
             }
         }
         // Every element must be assigned (instance guarantees coverage).

@@ -77,7 +77,9 @@ pub fn set_cover_pbbs_style(inst: &SetCoverInstance, eps: f64) -> SetCoverResult
     let num_sets = inst.num_sets;
     let num_elements = inst.num_elements;
     let mut packed = PackedGraph::from_csr(&inst.graph);
-    let el: Vec<AtomicU32> = (0..num_elements).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let el: Vec<AtomicU32> = (0..num_elements)
+        .map(|_| AtomicU32::new(u32::MAX))
+        .collect();
     let covered = AtomicBitSet::new(num_elements);
     let decided: Vec<AtomicU32> = (0..num_sets).map(|_| AtomicU32::new(0)).collect();
     let elem_idx = |e: VertexId| (e as usize) - num_sets;
@@ -112,8 +114,18 @@ pub fn set_cover_pbbs_style(inst: &SetCoverInstance, eps: f64) -> SetCoverResult
         let new_degs = packed.pack(&undecided, |_s, e| !covered.get(elem_idx(e)));
         let threshold_active = (1.0 + eps).powi(b as i32).ceil() as u32;
         let active: Vec<VertexId> = filter_map(
-            &undecided.iter().copied().zip(new_degs.iter().copied()).collect::<Vec<_>>(),
-            |&(s, deg)| if deg >= threshold_active { Some(s) } else { None },
+            &undecided
+                .iter()
+                .copied()
+                .zip(new_degs.iter().copied())
+                .collect::<Vec<_>>(),
+            |&(s, deg)| {
+                if deg >= threshold_active {
+                    Some(s)
+                } else {
+                    None
+                }
+            },
         );
         // Sets with no uncovered elements left are decided (not in cover).
         undecided.par_iter().for_each(|&s| {
@@ -160,8 +172,7 @@ pub fn set_cover_pbbs_style(inst: &SetCoverInstance, eps: f64) -> SetCoverResult
         });
     }
 
-    let cover: Vec<VertexId> =
-        pack_index(num_sets, |s| decided[s].load(Ordering::SeqCst) == 1);
+    let cover: Vec<VertexId> = pack_index(num_sets, |s| decided[s].load(Ordering::SeqCst) == 1);
     SetCoverResult {
         cover,
         assignment: el.into_iter().map(AtomicU32::into_inner).collect(),

@@ -11,11 +11,13 @@
 //! set is chosen when the elements it wins keep its realized cost-per-won
 //! element within the current bucket's range.
 
-use julienne::bucket::{BucketDest, BucketId, Buckets, Order, NULL_BKT};
+use julienne::bucket::{BucketDest, BucketId, BucketsBuilder, Order, NULL_BKT};
 use julienne_graph::generators::SetCoverInstance;
 use julienne_graph::packed::PackedGraph;
 use julienne_graph::VertexId;
-use julienne_ligra::edge_map_filter::{edge_map_filter_count, edge_map_filter_pack, edge_map_packed};
+use julienne_ligra::edge_map_filter::{
+    edge_map_filter_count, edge_map_filter_pack, edge_map_packed,
+};
 use julienne_primitives::atomics::write_min_u32;
 use julienne_primitives::bitset::AtomicBitSet;
 use julienne_primitives::filter::filter_map;
@@ -89,7 +91,9 @@ pub fn set_cover_weighted_julienne(
     let num_elements = inst.num_elements;
 
     let mut packed = PackedGraph::from_csr(&inst.graph);
-    let el: Vec<AtomicU32> = (0..num_elements).map(|_| AtomicU32::new(UNRESERVED)).collect();
+    let el: Vec<AtomicU32> = (0..num_elements)
+        .map(|_| AtomicU32::new(UNRESERVED))
+        .collect();
     let covered = AtomicBitSet::new(num_elements);
     let d: Vec<AtomicU32> = (0..num_sets)
         .map(|s| AtomicU32::new(inst.graph.degree(s as VertexId) as u32))
@@ -101,7 +105,7 @@ pub fn set_cover_weighted_julienne(
 
     let elem_idx = |e: VertexId| (e as usize) - num_sets;
     let d_fun = |s: u32| nb.bucket(costs[s as usize], d[s as usize].load(Ordering::SeqCst));
-    let mut buckets = Buckets::new(num_sets, d_fun, Order::Increasing);
+    let mut buckets = BucketsBuilder::new(num_sets, d_fun, Order::Increasing).build();
 
     let mut rounds = 0u64;
     while let Some((b, sets)) = buckets.next_bucket() {
@@ -198,7 +202,9 @@ pub fn set_cover_weighted_greedy_seq(
     }
     impl Ord for Key {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+            self.0
+                .partial_cmp(&other.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
         }
     }
 

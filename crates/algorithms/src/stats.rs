@@ -30,12 +30,8 @@ pub struct GraphStats {
 pub fn graph_stats<W: Weight>(g: &Csr<W>) -> GraphStats {
     let (rho, k_max) = if g.is_symmetric() {
         // Peel on an unweighted view (weights are irrelevant to coreness).
-        let unweighted: Csr<()> = Csr::from_parts(
-            g.offsets().to_vec(),
-            g.targets().to_vec(),
-            vec![],
-            true,
-        );
+        let unweighted: Csr<()> =
+            Csr::from_parts(g.offsets().to_vec(), g.targets().to_vec(), vec![], true);
         let r = coreness_julienne(&unweighted);
         let k_max = r.coreness.iter().copied().max().unwrap_or(0);
         (Some(r.rounds), Some(k_max))
@@ -129,7 +125,7 @@ mod tests {
         // which on a path-like graph is ≥ half the diameter.
         let g = grid2d(1, 50); // a path: diameter 49
         let est = estimate_diameter(&g, 8, 3);
-        assert!(est >= 25 && est <= 49, "estimate {est}");
+        assert!((25..=49).contains(&est), "estimate {est}");
         // On a star, every eccentricity is ≤ 2.
         let pairs: Vec<(u32, u32)> = (1..20).map(|i| (0, i)).collect();
         let star = from_pairs_symmetric(20, &pairs);

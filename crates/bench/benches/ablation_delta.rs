@@ -9,7 +9,12 @@ use julienne_graph::generators::{rmat, RmatParams};
 use julienne_graph::transform::assign_weights;
 
 fn bench_delta_sensitivity(c: &mut Criterion) {
-    let g = assign_weights(&rmat(13, 12, RmatParams::default(), 0xDE17A, true), 1, 100_000, 3);
+    let g = assign_weights(
+        &rmat(13, 12, RmatParams::default(), 0xDE17A, true),
+        1,
+        100_000,
+        3,
+    );
     let mut group = c.benchmark_group("ablation_delta_sensitivity");
     group.sample_size(10);
     for &delta in &[1u64, 1 << 10, 1 << 15, 1 << 17, 1 << 40] {
@@ -21,7 +26,12 @@ fn bench_delta_sensitivity(c: &mut Criterion) {
 }
 
 fn bench_light_heavy(c: &mut Criterion) {
-    let g = assign_weights(&rmat(13, 12, RmatParams::default(), 0xDE17B, true), 1, 100_000, 4);
+    let g = assign_weights(
+        &rmat(13, 12, RmatParams::default(), 0xDE17B, true),
+        1,
+        100_000,
+        4,
+    );
     let mut group = c.benchmark_group("ablation_light_heavy");
     group.sample_size(10);
     group.bench_function("plain_delta_32768", |b| {

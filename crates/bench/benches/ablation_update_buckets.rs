@@ -58,7 +58,7 @@ fn bench_semisort_impls(c: &mut Criterion) {
 /// the internal id→bucket map (which the paper measured ~30% slower due to
 /// an extra random read+write per moved identifier).
 fn bench_getbucket_interface(c: &mut Criterion) {
-    use julienne::bucket::{BucketDest, Buckets, MappedBuckets, Order};
+    use julienne::bucket::{BucketDest, BucketsBuilder, MappedBuckets, Order};
     use julienne_primitives::rng::hash_range;
     use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -73,7 +73,12 @@ fn bench_getbucket_interface(c: &mut Criterion) {
     group.bench_function("two_argument_getbucket", |bench| {
         bench.iter(|| {
             let d: Vec<AtomicU32> = init.iter().map(|&x| AtomicU32::new(x)).collect();
-            let mut bk = Buckets::new(n, |i: u32| d[i as usize].load(Ordering::SeqCst), Order::Increasing);
+            let mut bk = BucketsBuilder::new(
+                n,
+                |i: u32| d[i as usize].load(Ordering::SeqCst),
+                Order::Increasing,
+            )
+            .build();
             while let Some((cur, ids)) = bk.next_bucket() {
                 let mut moves: Vec<(u32, BucketDest)> = Vec::with_capacity(ids.len());
                 for &i in &ids {
@@ -93,8 +98,11 @@ fn bench_getbucket_interface(c: &mut Criterion) {
     group.bench_function("internal_map_getbucket", |bench| {
         bench.iter(|| {
             let d: Vec<AtomicU32> = init.iter().map(|&x| AtomicU32::new(x)).collect();
-            let mut bk =
-                MappedBuckets::new(n, |i: u32| d[i as usize].load(Ordering::SeqCst), Order::Increasing);
+            let mut bk = MappedBuckets::new(
+                n,
+                |i: u32| d[i as usize].load(Ordering::SeqCst),
+                Order::Increasing,
+            );
             while let Some((cur, ids)) = bk.next_bucket() {
                 let mut moves: Vec<(u32, BucketDest)> = Vec::with_capacity(ids.len());
                 for &i in &ids {

@@ -21,7 +21,9 @@ fn bench_wbfs(c: &mut Criterion) {
     group.bench_function("gap_style_bins", |b| {
         b.iter(|| gap_delta::gap_delta_stepping(&g, 0, 1))
     });
-    group.bench_function("dijkstra_sequential", |b| b.iter(|| dijkstra::dijkstra(&g, 0)));
+    group.bench_function("dijkstra_sequential", |b| {
+        b.iter(|| dijkstra::dijkstra(&g, 0))
+    });
     group.finish();
 }
 
@@ -39,7 +41,9 @@ fn bench_delta(c: &mut Criterion) {
     group.bench_function("gap_style_bins_32768", |b| {
         b.iter(|| gap_delta::gap_delta_stepping(&g, 0, 32768))
     });
-    group.bench_function("dijkstra_sequential", |b| b.iter(|| dijkstra::dijkstra(&g, 0)));
+    group.bench_function("dijkstra_sequential", |b| {
+        b.iter(|| dijkstra::dijkstra(&g, 0))
+    });
     group.finish();
 }
 

@@ -14,7 +14,13 @@ fn main() {
     let scale = scale_arg(20);
     let mut csv = Table::new(
         "fig1",
-        &["series", "identifiers", "rounds", "ids_per_round", "throughput"],
+        &[
+            "series",
+            "identifiers",
+            "rounds",
+            "ids_per_round",
+            "throughput",
+        ],
     );
     println!("# Figure 1: bucketing microbenchmark (Section 3.4)");
     println!("# throughput = (extracted + moved) identifiers / second; nullbkt requests excluded");
@@ -27,7 +33,7 @@ fn main() {
         let mut exp = 12u32;
         while exp <= scale {
             let n = 1usize << exp;
-            let r = bucket_microbenchmark(n, b, 128, 0xF16_1 + b as u64, false);
+            let r = bucket_microbenchmark(n, b, 128, 0xF161 + b as u64, false);
             println!(
                 "{:<10} {:>12} {:>10} {:>16.1} {:>16.3e}",
                 b,

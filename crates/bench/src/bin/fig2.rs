@@ -43,7 +43,10 @@ fn main() {
         }
         let (seq, ts) = time(|| kcore::coreness_bz_seq(g));
         let _ = seq;
-        println!("{:>8} {:>18.3}s  (sequential Batagelj–Zaversnik baseline)", "BZ-seq", ts);
+        println!(
+            "{:>8} {:>18.3}s  (sequential Batagelj–Zaversnik baseline)",
+            "BZ-seq", ts
+        );
     }
     println!("\n# Expected shape: Julienne below Ligra at every thread count;");
     println!("# the gap widens with the graph's peeling complexity.");

@@ -28,7 +28,10 @@ fn main() {
             assert_eq!(rg.dist, oracle, "gap wrong");
             println!("{:>8} {:>13.3}s {:>15.3}s {:>13.3}s", t, tj, tb, tg);
         }
-        println!("{:>8} {:>13.3}s  (sequential Dijkstra / DIMACS stand-in)", "seq", tseq);
+        println!(
+            "{:>8} {:>13.3}s  (sequential Dijkstra / DIMACS stand-in)",
+            "seq", tseq
+        );
     }
     println!("\n# Expected shape: wBFS ≤ Bellman–Ford everywhere (fewer relaxations);");
     println!("# Bellman–Ford suffers most on the high-diameter grid.");

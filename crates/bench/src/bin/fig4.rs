@@ -27,14 +27,16 @@ fn main() {
             let (rj, tj) =
                 with_threads(t, || time(|| delta_stepping::delta_stepping(&g, 0, DELTA)));
             let (rb, tb) = with_threads(t, || time(|| bellman_ford::bellman_ford(&g, 0)));
-            let (rg, tg) =
-                with_threads(t, || time(|| gap_delta::gap_delta_stepping(&g, 0, DELTA)));
+            let (rg, tg) = with_threads(t, || time(|| gap_delta::gap_delta_stepping(&g, 0, DELTA)));
             assert_eq!(rj.dist, oracle, "delta-stepping wrong");
             assert_eq!(rb.dist, oracle, "bellman-ford wrong");
             assert_eq!(rg.dist, oracle, "gap wrong");
             println!("{:>8} {:>15.3}s {:>15.3}s {:>13.3}s", t, tj, tb, tg);
         }
-        println!("{:>8} {:>15.3}s  (sequential Dijkstra / DIMACS stand-in)", "seq", tseq);
+        println!(
+            "{:>8} {:>15.3}s  (sequential Dijkstra / DIMACS stand-in)",
+            "seq", tseq
+        );
     }
     println!("\n# Expected shape: Julienne ≤ GAP-style (no duplicate bin entries)");
     println!("# and well below Bellman–Ford on heavy-tailed graphs.");

@@ -4,7 +4,9 @@
 //! Usage: `cargo run -p julienne-bench --release --bin table2 [scale]`
 
 use julienne_algorithms::stats::graph_stats;
-use julienne_bench::suite::{setcover_suite, strip_weights, symmetric_suite, weighted_suite, DEFAULT_SCALE};
+use julienne_bench::suite::{
+    setcover_suite, strip_weights, symmetric_suite, weighted_suite, DEFAULT_SCALE,
+};
 use julienne_bench::timing::scale_arg;
 
 fn main() {

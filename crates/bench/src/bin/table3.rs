@@ -4,22 +4,35 @@
 //!
 //! Usage: `cargo run -p julienne-bench --release --bin table3 [scale] [kcore|wbfs|delta|setcover|all]`
 
+use julienne::prelude::Engine;
 use julienne_algorithms::{
     bellman_ford, delta_stepping, dial, dijkstra, gap_delta, kcore,
-    setcover::{set_cover_julienne, verify_cover},
+    setcover::{set_cover_julienne_with, verify_cover},
     setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style},
 };
-use julienne_bench::suite::{setcover_suite, symmetric_suite, weighted_suite, DEFAULT_SCALE};
 use julienne_bench::report::Table;
+use julienne_bench::suite::{setcover_suite, symmetric_suite, weighted_suite, DEFAULT_SCALE};
 use julienne_bench::sweep::with_threads;
 use julienne_bench::timing::time;
 use std::sync::Mutex;
 
 // Collected rows for the CSV artifact written at exit.
 static CSV: Mutex<Vec<(String, String, f64, f64)>> = Mutex::new(Vec::new());
+// Per-run telemetry JSON objects (Julienne implementations, max threads).
+static TRACES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+fn trace(engine: &Engine, algorithm: &str, graph: &str) {
+    TRACES
+        .lock()
+        .unwrap()
+        .push(engine.snapshot().to_json(&format!("{algorithm}/{graph}")));
+    engine.reset_telemetry();
+}
 
 fn max_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 fn row(app: &str, graph: &str, t1: f64, tp: f64) {
@@ -50,7 +63,9 @@ fn run_kcore(scale: u32) {
     for named in symmetric_suite(scale) {
         let g = &named.graph;
         let (_, j1) = with_threads(1, || time(|| kcore::coreness_julienne(g)));
-        let (_, jp) = with_threads(tmax, || time(|| kcore::coreness_julienne(g)));
+        let engine = Engine::builder().telemetry(true).build();
+        let (_, jp) = with_threads(tmax, || time(|| kcore::coreness_julienne_with(g, &engine)));
+        trace(&engine, "kcore", named.name);
         row("k-core (Julienne)", named.name, j1, jp);
         let (_, l1) = with_threads(1, || time(|| kcore::coreness_ligra(g)));
         let (_, lp) = with_threads(tmax, || time(|| kcore::coreness_ligra(g)));
@@ -73,7 +88,11 @@ fn run_sssp(scale: u32, heavy: bool) {
         let oracle = dijkstra::dijkstra(&g, 0);
         let (rj, j1) = with_threads(1, || time(|| delta_stepping::delta_stepping(&g, 0, delta)));
         assert_eq!(rj.dist, oracle);
-        let (_, jp) = with_threads(tmax, || time(|| delta_stepping::delta_stepping(&g, 0, delta)));
+        let engine = Engine::builder().telemetry(true).build();
+        let (_, jp) = with_threads(tmax, || {
+            time(|| delta_stepping::delta_stepping_with(&g, 0, delta, &engine))
+        });
+        trace(&engine, if heavy { "delta" } else { "wbfs" }, name);
         row("SSSP (Julienne)", name, j1, jp);
         let (rb, b1) = with_threads(1, || time(|| bellman_ford::bellman_ford(&g, 0)));
         assert_eq!(rb.dist, oracle);
@@ -81,7 +100,9 @@ fn run_sssp(scale: u32, heavy: bool) {
         row("Bellman-Ford (Ligra)", name, b1, bp);
         let (rg, g1) = with_threads(1, || time(|| gap_delta::gap_delta_stepping(&g, 0, delta)));
         assert_eq!(rg.dist, oracle);
-        let (_, gp) = with_threads(tmax, || time(|| gap_delta::gap_delta_stepping(&g, 0, delta)));
+        let (_, gp) = with_threads(tmax, || {
+            time(|| gap_delta::gap_delta_stepping(&g, 0, delta))
+        });
         row("SSSP (GAP-style bins)", name, g1, gp);
         let (_, d1) = time(|| dijkstra::dijkstra(&g, 0));
         row("Dijkstra (DIMACS, seq)", name, d1, d1);
@@ -99,9 +120,16 @@ fn run_setcover(scale: u32) {
     header();
     let tmax = max_threads();
     for (name, inst) in setcover_suite(scale) {
-        let (rj, j1) = with_threads(1, || time(|| set_cover_julienne(&inst, 0.01)));
+        let default_engine = Engine::default();
+        let (rj, j1) = with_threads(1, || {
+            time(|| set_cover_julienne_with(&inst, 0.01, &default_engine))
+        });
         assert!(verify_cover(&inst, &rj.cover));
-        let (_, jp) = with_threads(tmax, || time(|| set_cover_julienne(&inst, 0.01)));
+        let engine = Engine::builder().telemetry(true).build();
+        let (_, jp) = with_threads(tmax, || {
+            time(|| set_cover_julienne_with(&inst, 0.01, &engine))
+        });
+        trace(&engine, "setcover", name);
         row("Set Cover (Julienne)", name, j1, jp);
         let (rp, p1) = with_threads(1, || time(|| set_cover_pbbs_style(&inst, 0.01)));
         assert!(verify_cover(&inst, &rp.cover));
@@ -124,7 +152,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SCALE);
     let which = std::env::args().nth(2).unwrap_or_else(|| "all".into());
-    println!("# Table 3 reproduction (scale = {scale}, max threads = {})", max_threads());
+    println!(
+        "# Table 3 reproduction (scale = {scale}, max threads = {})",
+        max_threads()
+    );
     let csv_path = std::path::Path::new("results");
     let _ = std::fs::create_dir_all(csv_path);
     match which.as_str() {
@@ -140,12 +171,28 @@ fn main() {
         }
     }
     // Machine-readable artifact.
-    let mut table = Table::new("table3", &["application", "graph", "t1_seconds", "tmax_seconds"]);
+    let mut table = Table::new(
+        "table3",
+        &["application", "graph", "t1_seconds", "tmax_seconds"],
+    );
     for (app, graph, t1, tp) in CSV.lock().unwrap().iter() {
         table.rowf(&[app, graph, t1, tp]);
     }
     let out = csv_path.join("table3.csv");
     if table.write_csv(&out).is_ok() {
         println!("\n(wrote {})", out.display());
+    }
+    let json_out = csv_path.join("table3.json");
+    if table.write_json(&json_out).is_ok() {
+        println!("(wrote {})", json_out.display());
+    }
+    // Per-round telemetry traces of every Julienne run, one object per run.
+    let traces = TRACES.lock().unwrap();
+    if !traces.is_empty() {
+        let body = format!("[{}]", traces.join(","));
+        let tr_out = csv_path.join("table3_traces.json");
+        if std::fs::write(&tr_out, body).is_ok() {
+            println!("(wrote {})", tr_out.display());
+        }
     }
 }

@@ -11,7 +11,7 @@
 //! Throughput = (identifiers extracted + identifiers moved) / seconds,
 //! with `nullbkt` requests excluded, exactly as the paper counts it.
 
-use julienne::bucket::{BucketDest, Buckets, Order, NULL_BKT};
+use julienne::bucket::{BucketDest, BucketsBuilder, Order, NULL_BKT};
 use julienne_graph::generators::random_regular;
 use julienne_ligra::traits::OutEdges;
 use julienne_primitives::rng::hash_range;
@@ -65,12 +65,13 @@ pub fn bucket_microbenchmark(
         .collect();
 
     let start = Instant::now();
-    let mut buckets = Buckets::with_open_buckets(
+    let mut buckets = BucketsBuilder::new(
         n,
         |i: u32| d[i as usize].load(Ordering::SeqCst),
         Order::Increasing,
-        num_open,
-    );
+    )
+    .open_buckets(num_open)
+    .build();
     let mut rounds = 0u64;
     while let Some((cur, ids)) = buckets.next_bucket() {
         rounds += 1;
@@ -100,12 +101,7 @@ pub fn bucket_microbenchmark(
                         } else {
                             // Retire: never reinserted (null request).
                             if d[v as usize]
-                                .compare_exchange(
-                                    dv,
-                                    NULL_BKT,
-                                    Ordering::SeqCst,
-                                    Ordering::SeqCst,
-                                )
+                                .compare_exchange(dv, NULL_BKT, Ordering::SeqCst, Ordering::SeqCst)
                                 .is_ok()
                             {
                                 local.push((v, BucketDest::NULL));

@@ -1,7 +1,10 @@
 //! Structured result reporting for the harness binaries: aligned console
-//! tables plus machine-readable CSV next to them, so figure data can be
-//! re-plotted without scraping stdout.
+//! tables plus machine-readable CSV and JSON next to them, so figure data
+//! can be re-plotted without scraping stdout. Telemetry snapshots from an
+//! [`Engine`](julienne::prelude::Engine) run serialise via
+//! [`telemetry_json`].
 
+use julienne::telemetry::TelemetrySnapshot;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -82,7 +85,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -98,6 +105,47 @@ impl Table {
     pub fn write_csv(&self, path: &Path) -> io::Result<()> {
         std::fs::write(path, self.to_csv())
     }
+
+    /// Serialises as a JSON object `{"title": .., "columns": [..],
+    /// "rows": [[..], ..]}` with every cell a string.
+    pub fn to_json(&self) -> String {
+        let esc = julienne::telemetry::json_escape;
+        let cols = self
+            .columns
+            .iter()
+            .map(|c| format!("\"{}\"", esc(c)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "[{}]",
+                    r.iter()
+                        .map(|c| format!("\"{}\"", esc(c)))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"title\":\"{}\",\"columns\":[{cols}],\"rows\":[{rows}]}}",
+            esc(&self.title)
+        )
+    }
+
+    /// Writes the JSON form to `path`.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Serialises a telemetry snapshot alongside a bench table: one JSON object
+/// per benchmarked run, in the same shape `julienne-cli --stats json` emits.
+pub fn telemetry_json(algorithm: &str, snapshot: &TelemetrySnapshot) -> String {
+    snapshot.to_json(algorithm)
 }
 
 #[cfg(test)]
@@ -136,6 +184,27 @@ mod tests {
         let body = std::fs::read_to_string(&p).unwrap();
         assert_eq!(body, "k,v\n1,2.5\n");
         std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut t = Table::new("a \"b\"", &["k", "v"]);
+        t.row(&["x,y".into(), "1".into()]);
+        let j = t.to_json();
+        assert!(j.starts_with("{\"title\":\"a \\\"b\\\"\""), "{j}");
+        assert!(j.contains("\"columns\":[\"k\",\"v\"]"));
+        assert!(j.contains("\"rows\":[[\"x,y\",\"1\"]]"));
+    }
+
+    #[test]
+    fn telemetry_snapshot_roundtrip() {
+        use julienne::prelude::*;
+        let engine = Engine::builder().telemetry(true).build();
+        engine.telemetry().add(Counter::EdgesScanned, 7);
+        let j = telemetry_json("bench", &engine.snapshot());
+        assert!(j.contains("\"algorithm\":\"bench\""));
+        #[cfg(feature = "telemetry")]
+        assert!(j.contains("\"edges_scanned\":7"), "{j}");
     }
 
     #[test]

@@ -41,7 +41,13 @@ pub fn symmetric_suite(scale: u32) -> Vec<NamedGraph> {
         NamedGraph {
             name: "rmat-dense-sym",
             stands_in_for: "Hyperlink-Host-Sym",
-            graph: rmat(scale.saturating_sub(1), 32, RmatParams::default(), 0xACE3, true),
+            graph: rmat(
+                scale.saturating_sub(1),
+                32,
+                RmatParams::default(),
+                0xACE3,
+                true,
+            ),
         },
     ]
 }
@@ -60,7 +66,12 @@ pub fn weighted_suite(scale: u32, heavy_weights: bool) -> Vec<(&'static str, WGr
     vec![
         (
             "rmat-sym",
-            assign_weights(&rmat(scale, 16, RmatParams::default(), 0xBEE1, true), lo, hi, 1),
+            assign_weights(
+                &rmat(scale, 16, RmatParams::default(), 0xBEE1, true),
+                lo,
+                hi,
+                1,
+            ),
         ),
         (
             "rmat-dir",
@@ -71,10 +82,7 @@ pub fn weighted_suite(scale: u32, heavy_weights: bool) -> Vec<(&'static str, WGr
                 2,
             ),
         ),
-        (
-            "grid-road",
-            assign_weights(&grid2d(side, side), lo, hi, 3),
-        ),
+        ("grid-road", assign_weights(&grid2d(side, side), lo, hi, 3)),
     ]
 }
 

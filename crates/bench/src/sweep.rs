@@ -34,7 +34,7 @@ mod tests {
 
     #[test]
     fn pool_respects_thread_count() {
-        let inside = with_threads(1, || rayon::current_num_threads());
+        let inside = with_threads(1, rayon::current_num_threads);
         assert_eq!(inside, 1);
     }
 

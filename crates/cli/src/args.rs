@@ -1,5 +1,6 @@
-//! Minimal dependency-free argument parsing: `key=value` pairs after a
-//! subcommand, with typed getters and unknown-key detection.
+//! Minimal dependency-free argument parsing: `key=value`, `--key=value`,
+//! and `--key value` options after a subcommand, with typed getters and
+//! unknown-key detection.
 
 use std::collections::BTreeMap;
 
@@ -40,16 +41,26 @@ impl std::fmt::Display for ArgError {
 }
 
 impl Args {
-    /// Parses `argv` (without the program name).
+    /// Parses `argv` (without the program name). Options may be spelled
+    /// `key=value`, `--key=value`, or `--key value`.
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
         let mut it = argv.into_iter();
         let command = it.next().ok_or(ArgError::MissingCommand)?;
         let mut opts = BTreeMap::new();
-        for raw in it {
-            let (k, v) = raw
-                .split_once('=')
-                .ok_or_else(|| ArgError::Malformed(raw.clone()))?;
-            opts.insert(k.to_string(), v.to_string());
+        while let Some(raw) = it.next() {
+            if let Some(flag) = raw.strip_prefix("--") {
+                if let Some((k, v)) = flag.split_once('=') {
+                    opts.insert(k.to_string(), v.to_string());
+                } else {
+                    let v = it.next().ok_or_else(|| ArgError::Malformed(raw.clone()))?;
+                    opts.insert(flag.to_string(), v);
+                }
+            } else {
+                let (k, v) = raw
+                    .split_once('=')
+                    .ok_or_else(|| ArgError::Malformed(raw.clone()))?;
+                opts.insert(k.to_string(), v.to_string());
+            }
         }
         Ok(Args {
             command,
@@ -132,12 +143,30 @@ mod tests {
 
     #[test]
     fn missing_command() {
-        assert_eq!(Args::parse(Vec::new()).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            Args::parse(Vec::new()).unwrap_err(),
+            ArgError::MissingCommand
+        );
     }
 
     #[test]
     fn malformed_option() {
         let e = Args::parse(argv("gen oops")).unwrap_err();
+        assert!(matches!(e, ArgError::Malformed(_)));
+    }
+
+    #[test]
+    fn double_dash_forms() {
+        let a = Args::parse(argv("kcore --in g.bin --stats=json --top 3")).unwrap();
+        assert_eq!(a.require("in").unwrap(), "g.bin");
+        assert_eq!(a.string_or("stats", "none"), "json");
+        assert_eq!(a.get_or("top", 0usize).unwrap(), 3);
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn dangling_flag_rejected() {
+        let e = Args::parse(argv("kcore --stats")).unwrap_err();
         assert!(matches!(e, ArgError::Malformed(_)));
     }
 
@@ -150,7 +179,10 @@ mod tests {
     #[test]
     fn bad_typed_value() {
         let a = Args::parse(argv("gen scale=abc")).unwrap();
-        assert!(matches!(a.get_or("scale", 1u32), Err(ArgError::BadValue(_, _))));
+        assert!(matches!(
+            a.get_or("scale", 1u32),
+            Err(ArgError::BadValue(_, _))
+        ));
     }
 
     #[test]

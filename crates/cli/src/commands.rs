@@ -3,15 +3,16 @@
 
 use crate::args::Args;
 use crate::io_util::{load, save};
+use julienne::prelude::Engine;
 use julienne_algorithms::clustering::{local_clustering, transitivity};
 use julienne_algorithms::components::{connected_components, num_components};
 use julienne_algorithms::degeneracy::densest_subgraph;
 use julienne_algorithms::kcore;
 use julienne_algorithms::ktruss::ktruss_julienne;
 use julienne_algorithms::pagerank::pagerank;
-use julienne_algorithms::triangles::{triangle_count, EdgeIndex};
-use julienne_algorithms::setcover::{set_cover_julienne, verify_cover};
+use julienne_algorithms::setcover::verify_cover;
 use julienne_algorithms::stats::graph_stats;
+use julienne_algorithms::triangles::{triangle_count, EdgeIndex};
 use julienne_algorithms::{bellman_ford, delta_stepping, dijkstra};
 use julienne_graph::generators::{chung_lu, erdos_renyi, grid2d, random_regular, rmat, RmatParams};
 use julienne_graph::transform::{assign_weights, symmetrize, wbfs_weight_range};
@@ -20,6 +21,18 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 type CmdResult = Result<String, String>;
+
+/// Parses the `stats=<none|json>` option shared by the algorithm commands
+/// and returns an [`Engine`] with telemetry enabled iff JSON traces were
+/// requested (plus the flag itself).
+fn stats_engine(a: &Args) -> Result<(Engine, bool), String> {
+    let stats = a.string_or("stats", "none");
+    match stats.as_str() {
+        "none" => Ok((Engine::default(), false)),
+        "json" => Ok((Engine::builder().telemetry(true).build(), true)),
+        other => Err(format!("unknown stats mode {other:?} (expected none|json)")),
+    }
+}
 
 /// `julienne gen kind=<rmat|er|chunglu|grid|regular> out=<file> [scale=14]
 /// [edge_factor=16] [seed=1] [symmetric=true] [weights=none|log|heavy]`
@@ -102,27 +115,38 @@ pub fn cmd_convert(a: &Args) -> CmdResult {
             g = symmetrize(&g);
         }
         save(&g, &out)?;
-        Ok(format!("converted {} -> {} (weighted, m={})\n", input.display(), out.display(), g.num_edges()))
+        Ok(format!(
+            "converted {} -> {} (weighted, m={})\n",
+            input.display(),
+            out.display(),
+            g.num_edges()
+        ))
     } else {
         let mut g: Graph = load(&input)?;
         if make_sym {
             g = symmetrize(&g);
         }
         save(&g, &out)?;
-        Ok(format!("converted {} -> {} (m={})\n", input.display(), out.display(), g.num_edges()))
+        Ok(format!(
+            "converted {} -> {} (m={})\n",
+            input.display(),
+            out.display(),
+            g.num_edges()
+        ))
     }
 }
 
-/// `julienne kcore in=<file> [top=10]`
+/// `julienne kcore in=<file> [top=10] [stats=none|json]`
 pub fn cmd_kcore(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
     let top: usize = a.get_or("top", 10).map_err(|e| e.to_string())?;
+    let (engine, emit_json) = stats_engine(a)?;
     a.finish().map_err(|e| e.to_string())?;
     let g: Graph = load(&input)?;
     if !g.is_symmetric() {
         return Err("k-core requires a symmetric graph (use convert symmetrize=true)".into());
     }
-    let r = kcore::coreness_julienne(&g);
+    let r = kcore::coreness_julienne_with(&g, &engine);
     let k_max = r.coreness.iter().copied().max().unwrap_or(0);
     let mut by_core: Vec<(u32, u32)> = r
         .coreness
@@ -131,20 +155,28 @@ pub fn cmd_kcore(a: &Args) -> CmdResult {
         .map(|(v, &c)| (c, v as u32))
         .collect();
     by_core.sort_unstable_by(|a, b| b.cmp(a));
-    let mut out = format!("k_max={k_max} rounds={} moves={}\n", r.rounds, r.identifiers_moved);
+    let mut out = format!(
+        "k_max={k_max} rounds={} moves={}\n",
+        r.rounds, r.identifiers_moved
+    );
     let _ = writeln!(out, "top vertices by coreness:");
     for (c, v) in by_core.into_iter().take(top) {
         let _ = writeln!(out, "  v{v}: coreness {c}");
     }
+    if emit_json {
+        let _ = writeln!(out, "{}", engine.snapshot().to_json("kcore"));
+    }
     Ok(out)
 }
 
-/// `julienne sssp in=<weighted file> [src=0] [delta=32768] [algo=delta|wbfs|bellman|dijkstra]`
+/// `julienne sssp in=<weighted file> [src=0] [delta=32768]
+/// [algo=delta|wbfs|bellman|dijkstra] [stats=none|json]`
 pub fn cmd_sssp(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
     let src: u32 = a.get_or("src", 0).map_err(|e| e.to_string())?;
     let delta: u64 = a.get_or("delta", 32768).map_err(|e| e.to_string())?;
     let algo = a.string_or("algo", "delta");
+    let (engine, emit_json) = stats_engine(a)?;
     a.finish().map_err(|e| e.to_string())?;
     let g: Csr<u32> = load(&input)?;
     if src as usize >= g.num_vertices() {
@@ -152,11 +184,11 @@ pub fn cmd_sssp(a: &Args) -> CmdResult {
     }
     let (dist, rounds) = match algo.as_str() {
         "delta" => {
-            let r = delta_stepping::delta_stepping(&g, src, delta);
+            let r = delta_stepping::delta_stepping_with(&g, src, delta, &engine);
             (r.dist, r.rounds)
         }
         "wbfs" => {
-            let r = delta_stepping::wbfs(&g, src);
+            let r = delta_stepping::delta_stepping_with(&g, src, 1, &engine);
             (r.dist, r.rounds)
         }
         "bellman" => {
@@ -167,11 +199,24 @@ pub fn cmd_sssp(a: &Args) -> CmdResult {
         other => return Err(format!("unknown algo {other:?}")),
     };
     let reached = dist.iter().filter(|&&d| d != u64::MAX).count();
-    let max = dist.iter().filter(|&&d| d != u64::MAX).max().copied().unwrap_or(0);
-    Ok(format!(
+    let max = dist
+        .iter()
+        .filter(|&&d| d != u64::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    let mut out = format!(
         "algo={algo} src={src} reached={reached}/{} max_dist={max} rounds={rounds}\n",
         g.num_vertices()
-    ))
+    );
+    if emit_json {
+        let _ = writeln!(
+            out,
+            "{}",
+            engine.snapshot().to_json(&format!("sssp_{algo}"))
+        );
+    }
+    Ok(out)
 }
 
 /// `julienne components in=<file>`
@@ -234,13 +279,20 @@ pub fn cmd_truss(a: &Args) -> CmdResult {
         r.max_truss,
         r.rounds
     );
-    let mut by_truss: Vec<(u32, usize)> = r.trussness.iter().copied().map(|t| (t, 1)).fold(
-        std::collections::BTreeMap::new(),
-        |mut m: std::collections::BTreeMap<u32, usize>, (t, c)| {
-            *m.entry(t).or_default() += c;
-            m
-        },
-    ).into_iter().collect();
+    let mut by_truss: Vec<(u32, usize)> = r
+        .trussness
+        .iter()
+        .copied()
+        .map(|t| (t, 1))
+        .fold(
+            std::collections::BTreeMap::new(),
+            |mut m: std::collections::BTreeMap<u32, usize>, (t, c)| {
+                *m.entry(t).or_default() += c;
+                m
+            },
+        )
+        .into_iter()
+        .collect();
     by_truss.reverse();
     let _ = writeln!(out, "edges per trussness (top {top} levels):");
     for (t, c) in by_truss.into_iter().take(top) {
@@ -285,24 +337,30 @@ pub fn cmd_pagerank(a: &Args) -> CmdResult {
     Ok(out)
 }
 
-/// `julienne setcover sets=<n> elements=<n> [mult=4] [eps=0.01] [seed=1]`
+/// `julienne setcover sets=<n> elements=<n> [mult=4] [eps=0.01] [seed=1]
+/// [stats=none|json]`
 pub fn cmd_setcover(a: &Args) -> CmdResult {
     let sets: usize = a.get_or("sets", 256).map_err(|e| e.to_string())?;
     let elements: usize = a.get_or("elements", 16_384).map_err(|e| e.to_string())?;
     let mult: usize = a.get_or("mult", 4).map_err(|e| e.to_string())?;
     let eps: f64 = a.get_or("eps", 0.01).map_err(|e| e.to_string())?;
     let seed: u64 = a.get_or("seed", 1).map_err(|e| e.to_string())?;
+    let (engine, emit_json) = stats_engine(a)?;
     a.finish().map_err(|e| e.to_string())?;
     let inst = julienne_graph::generators::set_cover_instance(sets, elements, mult, seed);
-    let r = set_cover_julienne(&inst, eps);
+    let r = julienne_algorithms::setcover::set_cover_julienne_with(&inst, eps, &engine);
     if !verify_cover(&inst, &r.cover) {
         return Err("internal error: produced cover is invalid".into());
     }
-    Ok(format!(
+    let mut out = format!(
         "cover: {}/{sets} sets over {elements} elements, rounds={}, valid=yes\n",
         r.cover.len(),
         r.rounds
-    ))
+    );
+    if emit_json {
+        let _ = writeln!(out, "{}", engine.snapshot().to_json("setcover"));
+    }
+    Ok(out)
 }
 
 /// Usage text.
@@ -316,16 +374,22 @@ COMMANDS:
               [scale=14] [edge_factor=16] [seed=1] [symmetric=true] [weights=none|log|heavy]
   stats       in=<file> [weighted=false]
   convert     in=<file> out=<file> [weighted=false] [symmetrize=false]
-  kcore       in=<file> [top=10]
+  kcore       in=<file> [top=10] [stats=none|json]
   sssp        in=<weighted file> [src=0] [delta=32768] [algo=delta|wbfs|bellman|dijkstra]
+              [stats=none|json]
   components  in=<file>
   densest     in=<file>
   triangles   in=<file>
   truss       in=<file> [top=5]
   clustering  in=<file>
   pagerank    in=<file> [damping=0.85] [iters=100]
-  setcover    [sets=256] [elements=16384] [mult=4] [eps=0.01] [seed=1]
+  setcover    [sets=256] [elements=16384] [mult=4] [eps=0.01] [seed=1] [stats=none|json]
   help
+
+Options may be written key=value, --key=value, or --key value.
+stats=json appends one JSON object per run: accumulated counters plus a
+per-round trace (round, bucket, frontier, edges scanned/relaxed,
+sparse-vs-dense choice, elapsed microseconds).
 "
     .to_string()
 }
@@ -382,7 +446,10 @@ mod tests {
     #[test]
     fn weighted_sssp_pipeline() {
         let f = tmp("w.bin");
-        run(&format!("gen kind=er scale=9 edge_factor=8 weights=log out={f}")).unwrap();
+        run(&format!(
+            "gen kind=er scale=9 edge_factor=8 weights=log out={f}"
+        ))
+        .unwrap();
         for algo in ["delta", "wbfs", "bellman", "dijkstra"] {
             let out = run(&format!("sssp in={f} algo={algo} weighted=x"));
             // weighted=x is an unknown option: must be rejected.
@@ -408,6 +475,34 @@ mod tests {
     fn setcover_runs_standalone() {
         let out = run("setcover sets=32 elements=1000 seed=3").unwrap();
         assert!(out.contains("valid=yes"));
+    }
+
+    #[test]
+    fn stats_json_traces_for_all_bucketed_algorithms() {
+        let f = tmp("j.bin");
+        let fw = tmp("jw.bin");
+        run(&format!("gen kind=rmat scale=9 out={f}")).unwrap();
+        run(&format!("gen kind=rmat scale=9 weights=log out={fw}")).unwrap();
+        let k = run(&format!("kcore in={f} --stats json")).unwrap();
+        assert!(k.contains("\"algorithm\":\"kcore\""), "{k}");
+        assert!(k.contains("\"rounds\":["), "{k}");
+        let s = run(&format!("sssp in={fw} algo=delta --stats=json")).unwrap();
+        assert!(s.contains("\"algorithm\":\"sssp_delta\""), "{s}");
+        let c = run("setcover sets=32 elements=1000 seed=3 stats=json").unwrap();
+        assert!(c.contains("\"algorithm\":\"setcover\""), "{c}");
+        // Per-round trace contents exist only when telemetry is compiled in;
+        // a no-default-features build still emits the (empty) JSON envelope.
+        #[cfg(feature = "telemetry")]
+        {
+            assert!(k.contains("\"edges_scanned\""), "{k}");
+            assert!(s.contains("\"mode\":\"sparse\""), "{s}");
+            assert!(c.contains("\"elapsed_us\""), "{c}");
+        }
+        // stats=none (default) emits no JSON.
+        let plain = run(&format!("kcore in={f}")).unwrap();
+        assert!(!plain.contains("\"algorithm\""));
+        std::fs::remove_file(f).ok();
+        std::fs::remove_file(fw).ok();
     }
 
     #[test]

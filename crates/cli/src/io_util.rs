@@ -47,16 +47,14 @@ pub fn load<W: Weight>(path: &Path) -> Result<Csr<W>, String> {
                 return Err("DIMACS files are weighted; use a weighted command".into());
             }
             // Round-trip through u64 encoding to reuse the typed reader.
-            return io::read_dimacs(path)
-                .map_err(|e| e.to_string())
-                .map(|g| {
-                    Csr::from_parts(
-                        g.offsets().to_vec(),
-                        g.targets().to_vec(),
-                        g.weights().iter().map(|&w| W::from_u64(w as u64)).collect(),
-                        g.is_symmetric(),
-                    )
-                });
+            return io::read_dimacs(path).map_err(|e| e.to_string()).map(|g| {
+                Csr::from_parts(
+                    g.offsets().to_vec(),
+                    g.targets().to_vec(),
+                    g.weights().iter().map(|&w| W::from_u64(w as u64)).collect(),
+                    g.is_symmetric(),
+                )
+            });
         }
     };
     res.map_err(|e| format!("loading {}: {e}", path.display()))

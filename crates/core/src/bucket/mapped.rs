@@ -132,10 +132,7 @@ impl<D: Fn(Identifier) -> BucketId + Sync> MappedBuckets<D> {
     /// `updateBuckets` with internal map maintenance (the extra random
     /// write per identifier).
     pub fn update_buckets(&mut self, moves: &[(Identifier, BucketDest)]) {
-        self.moved += moves
-            .par_iter()
-            .filter(|(_, dest)| !dest.is_null())
-            .count() as u64;
+        self.moved += moves.par_iter().filter(|(_, dest)| !dest.is_null()).count() as u64;
         // Maintain the map (the measured overhead).
         moves.par_iter().for_each(|&(i, dest)| {
             if !dest.is_null() {
@@ -165,7 +162,7 @@ impl<D: Fn(Identifier) -> BucketId + Sync> MappedBuckets<D> {
             return;
         }
         let num_slots = self.num_open + 1;
-        let hist = blocked_histogram(len, num_slots, |k| slot_of(k));
+        let hist = blocked_histogram(len, num_slots, slot_of);
         let mut old_lens = Vec::with_capacity(num_slots);
         for (s, total) in hist.slot_totals.iter().enumerate() {
             let b = if s == self.num_open {
@@ -187,7 +184,7 @@ impl<D: Fn(Identifier) -> BucketId + Sync> MappedBuckets<D> {
                 let start = old_lens[s];
                 writers.push(DisjointWriter::new(&mut b[start..]));
             }
-            hist.scatter(len, |k| slot_of(k), |slot, pos, k| {
+            hist.scatter(len, slot_of, |slot, pos, k| {
                 // SAFETY: unique (slot, pos) per item.
                 unsafe { writers[slot].write(pos, id_of(k)) };
             });
@@ -260,9 +257,12 @@ impl<D: Fn(Identifier) -> BucketId + Sync> MappedBuckets<D> {
             })
             .collect();
         // Map maintenance on redistribution too.
-        keyed.par_iter().zip(slots.par_iter()).for_each(|(&(i, _), &s)| {
-            self.location[i as usize].store(s as u32, AtomicOrdering::SeqCst);
-        });
+        keyed
+            .par_iter()
+            .zip(slots.par_iter())
+            .for_each(|(&(i, _), &s)| {
+                self.location[i as usize].store(s as u32, AtomicOrdering::SeqCst);
+            });
         self.insert_with(keyed.len(), &|k| Some(slots[k]), |k| keyed[k].0);
         true
     }
@@ -275,7 +275,7 @@ impl<D: Fn(Identifier) -> BucketId + Sync> MappedBuckets<D> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::{Buckets, Order};
+    use super::super::Order;
     use super::*;
 
     #[test]
@@ -286,8 +286,17 @@ mod tests {
         let init: Vec<u32> = (0..n).map(|_| rng.next_u32() % 400).collect();
         let a: Vec<AtomicU32> = init.iter().map(|&x| AtomicU32::new(x)).collect();
         let b: Vec<AtomicU32> = init.iter().map(|&x| AtomicU32::new(x)).collect();
-        let mut two = Buckets::new(n, |i: u32| a[i as usize].load(AtomicOrdering::SeqCst), Order::Increasing);
-        let mut one = MappedBuckets::new(n, |i: u32| b[i as usize].load(AtomicOrdering::SeqCst), Order::Increasing);
+        let mut two = crate::bucket::BucketsBuilder::new(
+            n,
+            |i: u32| a[i as usize].load(AtomicOrdering::SeqCst),
+            Order::Increasing,
+        )
+        .build();
+        let mut one = MappedBuckets::new(
+            n,
+            |i: u32| b[i as usize].load(AtomicOrdering::SeqCst),
+            Order::Increasing,
+        );
         let mut extracted = vec![false; n];
         loop {
             let x = two.next_bucket();

@@ -19,13 +19,14 @@
 //! moving one forward mid-stream:
 //!
 //! ```
-//! use julienne::bucket::{Buckets, Order, NULL_BKT};
+//! use julienne::bucket::{BucketsBuilder, Order, NULL_BKT};
 //! use std::sync::atomic::{AtomicU32, Ordering};
 //!
 //! // D: identifier -> bucket (shared state the algorithm mutates).
 //! let d: Vec<AtomicU32> = [2u32, 0, 2].into_iter().map(AtomicU32::new).collect();
-//! let mut b = Buckets::new(3, |i: u32| d[i as usize].load(Ordering::SeqCst),
-//!                          Order::Increasing);
+//! let mut b = BucketsBuilder::new(3, |i: u32| d[i as usize].load(Ordering::SeqCst),
+//!                                 Order::Increasing)
+//!     .build();
 //!
 //! assert_eq!(b.next_bucket(), Some((0, vec![1])));
 //! // Move identifier 0 from bucket 2 to bucket 1.
@@ -53,7 +54,7 @@ mod par;
 mod seq;
 
 pub use mapped::MappedBuckets;
-pub use par::{BucketStats, Buckets, DEFAULT_OPEN_BUCKETS};
+pub use par::{BucketStats, Buckets, BucketsBuilder, DEFAULT_OPEN_BUCKETS};
 pub use seq::SeqBuckets;
 
 /// A bucketed object's unique integer id (the paper's `identifier`).

@@ -25,6 +25,7 @@ use super::{BucketDest, BucketId, Identifier, Order, NULL_BKT};
 use julienne_primitives::filter::filter_map;
 use julienne_primitives::histogram::blocked_histogram;
 use julienne_primitives::semisort::semisort_by_key;
+use julienne_primitives::telemetry::{Counter, Telemetry};
 use julienne_primitives::unsafe_write::DisjointWriter;
 use rayon::prelude::*;
 
@@ -72,16 +73,67 @@ pub struct Buckets<D> {
     /// The overflow bucket.
     overflow: Vec<Identifier>,
     stats: BucketStats,
+    telemetry: Telemetry,
 }
 
-impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
-    /// `makeBuckets(n, D, O)` with the default 128 open buckets.
+/// Builder for [`Buckets`] — the single construction path replacing the
+/// historical `Buckets::new` / `Buckets::with_open_buckets` pair.
+///
+/// ```
+/// use julienne::bucket::{BucketsBuilder, Order};
+/// let d = vec![2u32, 0, 1];
+/// let mut b = BucketsBuilder::new(3, |i| d[i as usize], Order::Increasing)
+///     .open_buckets(64)
+///     .build();
+/// assert_eq!(b.next_bucket().unwrap(), (0, vec![1]));
+/// ```
+pub struct BucketsBuilder<D> {
+    n: usize,
+    d: D,
+    order: Order,
+    num_open: usize,
+    telemetry: Telemetry,
+}
+
+impl<D: Fn(Identifier) -> BucketId + Sync> BucketsBuilder<D> {
+    /// Starts a builder for `makeBuckets(n, D, O)` with the paper's default
+    /// window of 128 open buckets and no telemetry.
     pub fn new(n: usize, d: D, order: Order) -> Self {
-        Self::with_open_buckets(n, d, order, DEFAULT_OPEN_BUCKETS)
+        BucketsBuilder {
+            n,
+            d,
+            order,
+            num_open: DEFAULT_OPEN_BUCKETS,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
-    /// `makeBuckets` with an explicit number of open buckets `nB`.
-    pub fn with_open_buckets(n: usize, d: D, order: Order, num_open: usize) -> Self {
+    /// Sets the open-bucket window size `nB`.
+    ///
+    /// # Panics
+    /// `build` panics if `nB == 0`.
+    pub fn open_buckets(mut self, num_open: usize) -> Self {
+        self.num_open = num_open;
+        self
+    }
+
+    /// Attaches a telemetry sink; bucket operations will record moved /
+    /// extracted identifier counts and overflow redistributions.
+    pub fn telemetry(mut self, sink: &Telemetry) -> Self {
+        self.telemetry = sink.clone();
+        self
+    }
+
+    /// Builds the structure and performs the initial insertion of every
+    /// identifier `i in 0..n` with `D(i) != NULL_BKT`.
+    pub fn build(self) -> Buckets<D> {
+        let BucketsBuilder {
+            n,
+            d,
+            order,
+            num_open,
+            telemetry,
+        } = self;
         assert!(num_open >= 1);
         let flip_base = match order {
             Order::Increasing => 0,
@@ -107,6 +159,7 @@ impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
             open: (0..num_open).map(|_| Vec::new()).collect(),
             overflow: Vec::new(),
             stats: BucketStats::default(),
+            telemetry,
         };
         // Initial insertion of every bucketed identifier, via the same
         // blocked-histogram machinery as updateBuckets. Slots are computed
@@ -130,6 +183,22 @@ impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
             .collect();
         this.insert_with(n, &|k| slots[k], |k| k as Identifier);
         this
+    }
+}
+
+impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
+    /// `makeBuckets(n, D, O)` with the default 128 open buckets.
+    #[deprecated(note = "use BucketsBuilder::new(n, d, order).build()")]
+    pub fn new(n: usize, d: D, order: Order) -> Self {
+        BucketsBuilder::new(n, d, order).build()
+    }
+
+    /// `makeBuckets` with an explicit number of open buckets `nB`.
+    #[deprecated(note = "use BucketsBuilder::new(n, d, order).open_buckets(nB).build()")]
+    pub fn with_open_buckets(n: usize, d: D, order: Order, num_open: usize) -> Self {
+        BucketsBuilder::new(n, d, order)
+            .open_buckets(num_open)
+            .build()
     }
 
     #[inline]
@@ -219,12 +288,11 @@ impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
     /// destinations are counted but incur no random accesses. An identifier
     /// may appear at most once per call.
     pub fn update_buckets(&mut self, moves: &[(Identifier, BucketDest)]) {
-        let nulls = moves
-            .par_iter()
-            .filter(|(_, dest)| dest.is_null())
-            .count() as u64;
+        let nulls = moves.par_iter().filter(|(_, dest)| dest.is_null()).count() as u64;
         self.stats.null_requests += nulls;
         self.stats.identifiers_moved += moves.len() as u64 - nulls;
+        self.telemetry
+            .add(Counter::IdentifiersMoved, moves.len() as u64 - nulls);
         self.insert_with(
             moves.len(),
             &|k| {
@@ -250,7 +318,7 @@ impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
             return;
         }
         let num_slots = self.num_open + 1;
-        let hist = blocked_histogram(len, num_slots, |k| slot_of(k));
+        let hist = blocked_histogram(len, num_slots, slot_of);
 
         // Resize every destination bucket once, then scatter in parallel at
         // unique offsets.
@@ -275,7 +343,7 @@ impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
                 let start = old_lens[s];
                 writers.push(DisjointWriter::new(&mut b[start..]));
             }
-            hist.scatter(len, |k| slot_of(k), |slot, pos, k| {
+            hist.scatter(len, slot_of, |slot, pos, k| {
                 // SAFETY: the histogram hands each (slot, pos) to exactly
                 // one item.
                 unsafe { writers[slot].write(pos, id_of(k)) };
@@ -299,6 +367,9 @@ impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
                     if !live.is_empty() {
                         self.stats.identifiers_extracted += live.len() as u64;
                         self.stats.buckets_extracted += 1;
+                        self.telemetry
+                            .add(Counter::IdentifiersExtracted, live.len() as u64);
+                        self.telemetry.incr(Counter::BucketsExtracted);
                         return Some((bkt, live));
                     }
                 }
@@ -331,6 +402,9 @@ impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
         }
         self.stats.identifiers_extracted += live.len() as u64;
         self.stats.buckets_extracted += 1;
+        self.telemetry
+            .add(Counter::IdentifiersExtracted, live.len() as u64);
+        self.telemetry.incr(Counter::BucketsExtracted);
         Some(live)
     }
 
@@ -341,6 +415,7 @@ impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
             return false;
         }
         self.stats.overflow_redistributions += 1;
+        self.telemetry.incr(Counter::OverflowRedistributions);
         let over = std::mem::take(&mut self.overflow);
         let window_end = (self.cur_range + 1) * self.num_open as u64;
         let d = &self.d;
@@ -392,15 +467,16 @@ impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
         let nulls = moves.iter().filter(|(_, d)| d.is_null()).count() as u64;
         self.stats.null_requests += nulls;
         self.stats.identifiers_moved += moves.len() as u64 - nulls;
+        self.telemetry
+            .add(Counter::IdentifiersMoved, moves.len() as u64 - nulls);
 
-        let mut pairs: Vec<(Identifier, u32)> =
-            filter_map(moves, |&(i, dest)| {
-                if dest.is_null() {
-                    None
-                } else {
-                    Some((i, dest.0))
-                }
-            });
+        let mut pairs: Vec<(Identifier, u32)> = filter_map(moves, |&(i, dest)| {
+            if dest.is_null() {
+                None
+            } else {
+                Some((i, dest.0))
+            }
+        });
         if pairs.is_empty() {
             return;
         }
@@ -445,7 +521,12 @@ mod tests {
     #[test]
     fn increasing_extraction_matches_seq_semantics() {
         let d = atomic_d(&[3, 1, 1, 0, NULL_BKT]);
-        let mut b = Buckets::new(5, |i| d[i as usize].load(Ordering::Relaxed), Order::Increasing);
+        let mut b = BucketsBuilder::new(
+            5,
+            |i| d[i as usize].load(Ordering::Relaxed),
+            Order::Increasing,
+        )
+        .build();
         assert_eq!(b.next_bucket().unwrap(), (0, vec![3]));
         let (k, mut ids) = b.next_bucket().unwrap();
         ids.sort_unstable();
@@ -459,7 +540,12 @@ mod tests {
     #[test]
     fn decreasing_extraction() {
         let d = atomic_d(&[3, 1, 5]);
-        let mut b = Buckets::new(3, |i| d[i as usize].load(Ordering::Relaxed), Order::Decreasing);
+        let mut b = BucketsBuilder::new(
+            3,
+            |i| d[i as usize].load(Ordering::Relaxed),
+            Order::Decreasing,
+        )
+        .build();
         assert_eq!(b.next_bucket().unwrap(), (5, vec![2]));
         assert_eq!(b.next_bucket().unwrap(), (3, vec![0]));
         assert_eq!(b.next_bucket().unwrap(), (1, vec![1]));
@@ -471,12 +557,13 @@ mod tests {
         // Identifiers far beyond the first window of 4 open buckets.
         let init: Vec<u32> = vec![1000, 2000, 2, 1001];
         let d = atomic_d(&init);
-        let mut b = Buckets::with_open_buckets(
+        let mut b = BucketsBuilder::new(
             4,
             |i| d[i as usize].load(Ordering::Relaxed),
             Order::Increasing,
-            4,
-        );
+        )
+        .open_buckets(4)
+        .build();
         assert_eq!(b.next_bucket().unwrap(), (2, vec![2]));
         assert_eq!(b.next_bucket().unwrap(), (1000, vec![0]));
         assert_eq!(b.next_bucket().unwrap(), (1001, vec![3]));
@@ -488,7 +575,12 @@ mod tests {
     #[test]
     fn move_between_open_buckets() {
         let d = atomic_d(&[10, 20]);
-        let mut b = Buckets::new(2, |i| d[i as usize].load(Ordering::Relaxed), Order::Increasing);
+        let mut b = BucketsBuilder::new(
+            2,
+            |i| d[i as usize].load(Ordering::Relaxed),
+            Order::Increasing,
+        )
+        .build();
         // Move id 1 from 20 to 15 before extraction.
         d[1].store(15, Ordering::Relaxed);
         let dest = b.get_bucket(20, 15);
@@ -504,12 +596,13 @@ mod tests {
     #[test]
     fn overflow_to_overflow_is_free() {
         let d = atomic_d(&[500, 900]);
-        let mut b = Buckets::with_open_buckets(
+        let mut b = BucketsBuilder::new(
             2,
             |i| d[i as usize].load(Ordering::Relaxed),
             Order::Increasing,
-            8,
-        );
+        )
+        .open_buckets(8)
+        .build();
         // 500 → 600: both in overflow: no physical move.
         d[0].store(600, Ordering::Relaxed);
         let dest = b.get_bucket(500, 600);
@@ -525,7 +618,12 @@ mod tests {
     #[test]
     fn reinsertion_into_current_bucket() {
         let d = atomic_d(&[1, NULL_BKT]);
-        let mut b = Buckets::new(2, |i| d[i as usize].load(Ordering::Relaxed), Order::Increasing);
+        let mut b = BucketsBuilder::new(
+            2,
+            |i| d[i as usize].load(Ordering::Relaxed),
+            Order::Increasing,
+        )
+        .build();
         assert_eq!(b.next_bucket().unwrap(), (1, vec![0]));
         d[1].store(1, Ordering::Relaxed);
         let dest = b.get_bucket(NULL_BKT, 1);
@@ -537,7 +635,12 @@ mod tests {
     #[test]
     fn null_and_behind_cur_requests() {
         let d = atomic_d(&[2]);
-        let mut b = Buckets::new(1, |i| d[i as usize].load(Ordering::Relaxed), Order::Increasing);
+        let mut b = BucketsBuilder::new(
+            1,
+            |i| d[i as usize].load(Ordering::Relaxed),
+            Order::Increasing,
+        )
+        .build();
         assert!(b.get_bucket(2, NULL_BKT).is_null());
         assert_eq!(b.next_bucket().unwrap(), (2, vec![0]));
         assert!(b.get_bucket(2, 1).is_null(), "behind cur");
@@ -549,8 +652,18 @@ mod tests {
         let init: Vec<u32> = (0..1000).map(|i| (i * 7) % 300).collect();
         let d1 = atomic_d(&init);
         let d2 = atomic_d(&init);
-        let mut b1 = Buckets::new(1000, |i| d1[i as usize].load(Ordering::Relaxed), Order::Increasing);
-        let mut b2 = Buckets::new(1000, |i| d2[i as usize].load(Ordering::Relaxed), Order::Increasing);
+        let mut b1 = BucketsBuilder::new(
+            1000,
+            |i| d1[i as usize].load(Ordering::Relaxed),
+            Order::Increasing,
+        )
+        .build();
+        let mut b2 = BucketsBuilder::new(
+            1000,
+            |i| d2[i as usize].load(Ordering::Relaxed),
+            Order::Increasing,
+        )
+        .build();
         // Move every third identifier forward by 50.
         let moves: Vec<u32> = (0..1000).step_by(3).collect();
         let mut m1 = Vec::new();
@@ -585,12 +698,13 @@ mod tests {
     fn decreasing_with_shrinking_ids() {
         // Set-cover pattern: ids drop to lower buckets over time.
         let d = atomic_d(&[8, 8, 4]);
-        let mut b = Buckets::with_open_buckets(
+        let mut b = BucketsBuilder::new(
             3,
             |i| d[i as usize].load(Ordering::Relaxed),
             Order::Decreasing,
-            2,
-        );
+        )
+        .open_buckets(2)
+        .build();
         let (k, ids) = b.next_bucket().unwrap();
         assert_eq!(k, 8);
         assert_eq!(ids.len(), 2);
@@ -605,7 +719,7 @@ mod tests {
 
     #[test]
     fn empty_structure_none() {
-        let mut b = Buckets::new(10, |_| NULL_BKT, Order::Increasing);
+        let mut b = BucketsBuilder::new(10, |_| NULL_BKT, Order::Increasing).build();
         assert!(b.next_bucket().is_none());
         assert_eq!(b.stats().identifiers_extracted, 0);
     }
@@ -617,7 +731,12 @@ mod tests {
         let n = 20_000;
         let init: Vec<u32> = (0..n).map(|_| rng.next_u32() % 5000).collect();
         let d = atomic_d(&init);
-        let mut b = Buckets::new(n as usize, |i| d[i as usize].load(Ordering::Relaxed), Order::Increasing);
+        let mut b = BucketsBuilder::new(
+            n as usize,
+            |i| d[i as usize].load(Ordering::Relaxed),
+            Order::Increasing,
+        )
+        .build();
         let mut seen = vec![false; n as usize];
         let mut last = 0u32;
         while let Some((k, ids)) = b.next_bucket() {

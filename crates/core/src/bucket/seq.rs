@@ -30,7 +30,7 @@ impl<D: Fn(Identifier) -> BucketId> SeqBuckets<D> {
         let flip_base = match order {
             Order::Increasing => 0,
             Order::Decreasing => (0..n as Identifier)
-                .map(|i| d(i))
+                .map(&d)
                 .filter(|&b| b != NULL_BKT)
                 .max()
                 .unwrap_or(0) as u64,

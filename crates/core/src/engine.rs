@@ -1,0 +1,244 @@
+//! The unified framework entry point.
+//!
+//! Historically the framework surface was a pile of free functions
+//! (`edge_map`, `edge_map_data`, …) plus magic constants (the 128-bucket
+//! open window, the `m/20` dense threshold) that every algorithm re-spelled
+//! at each call site. [`Engine`] centralizes those knobs — edge-map options,
+//! the open-bucket window size, and the telemetry sink — behind one
+//! builder, and hands out pre-configured [`EdgeMap`] and [`Buckets`]
+//! instances that share the sink.
+//!
+//! ```
+//! use julienne::prelude::*;
+//!
+//! let engine = Engine::builder()
+//!     .open_buckets(64)
+//!     .telemetry(true)
+//!     .build();
+//!
+//! let g = julienne_graph::builder::from_pairs(3, &[(0, 1), (1, 2)]);
+//! let frontier = VertexSubset::from_vertices(3, vec![0]);
+//! let next = engine.edge_map(&g).run(&frontier, |_, _, _| true, |_| true);
+//! assert_eq!(next.to_vertices(), vec![1]);
+//!
+//! let stats = engine.snapshot(); // counters + per-round records
+//! assert!(stats.counters.iter().any(|&(name, _)| name == "edges_scanned"));
+//! ```
+//!
+//! Telemetry is off by default and compiled out entirely when the crate's
+//! `telemetry` feature is disabled (the sink becomes a ZST whose methods are
+//! empty `#[inline(always)]` bodies).
+
+use crate::bucket::{BucketId, Buckets, BucketsBuilder, Identifier, Order, DEFAULT_OPEN_BUCKETS};
+use julienne_ligra::traits::OutEdges;
+use julienne_ligra::{EdgeMap, EdgeMapOptions, Mode};
+use julienne_primitives::telemetry::{Telemetry, TelemetrySnapshot};
+
+/// Configuration + telemetry hub shared by the traversal engine and the
+/// bucket structure. Construct with [`Engine::builder`].
+#[derive(Clone)]
+pub struct Engine {
+    edge_map_opts: EdgeMapOptions,
+    open_buckets: usize,
+    telemetry: Telemetry,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::builder().build()
+    }
+}
+
+impl Engine {
+    /// Starts an [`EngineBuilder`] with the paper's defaults: `Mode::Auto`
+    /// edge maps with duplicate removal, a 128-bucket open window, and
+    /// telemetry disabled.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder {
+            edge_map_opts: EdgeMapOptions::default(),
+            open_buckets: DEFAULT_OPEN_BUCKETS,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// An [`EdgeMap`] over `g` pre-configured with this engine's options and
+    /// telemetry sink.
+    pub fn edge_map<'g, G: OutEdges>(&self, g: &'g G) -> EdgeMap<'g, G> {
+        EdgeMap::new(g)
+            .options(self.edge_map_opts)
+            .telemetry(&self.telemetry)
+    }
+
+    /// A [`Buckets`] structure over `n` identifiers pre-configured with this
+    /// engine's open-bucket window and telemetry sink.
+    pub fn buckets<D>(&self, n: usize, d: D, order: Order) -> Buckets<D>
+    where
+        D: Fn(Identifier) -> BucketId + Sync,
+    {
+        BucketsBuilder::new(n, d, order)
+            .open_buckets(self.open_buckets)
+            .telemetry(&self.telemetry)
+            .build()
+    }
+
+    /// The engine's edge-map options.
+    pub fn edge_map_options(&self) -> EdgeMapOptions {
+        self.edge_map_opts
+    }
+
+    /// The engine's open-bucket window size.
+    pub fn open_buckets(&self) -> usize {
+        self.open_buckets
+    }
+
+    /// The shared telemetry sink (a no-op sink unless enabled via the
+    /// builder and the `telemetry` feature).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Snapshots accumulated counters and per-round records.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Clears accumulated counters and per-round records (e.g. between
+    /// algorithms sharing one engine).
+    pub fn reset_telemetry(&self) {
+        self.telemetry.reset();
+    }
+}
+
+/// Builder for [`Engine`]; see the module docs for an example.
+pub struct EngineBuilder {
+    edge_map_opts: EdgeMapOptions,
+    open_buckets: usize,
+    telemetry: Telemetry,
+}
+
+impl EngineBuilder {
+    /// Replaces the whole edge-map option block.
+    pub fn edge_map_options(mut self, opts: EdgeMapOptions) -> Self {
+        self.edge_map_opts = opts;
+        self
+    }
+
+    /// Forces sparse/dense/auto traversal for all edge maps.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.edge_map_opts.mode = mode;
+        self
+    }
+
+    /// Whether sparse edge maps deduplicate their output frontier.
+    pub fn remove_duplicates(mut self, yes: bool) -> Self {
+        self.edge_map_opts.remove_duplicates = yes;
+        self
+    }
+
+    /// Sets the dense-traversal threshold divisor `k` in the
+    /// `|frontier| + outDegrees > m/k` switching rule (Ligra uses 20).
+    pub fn dense_threshold_div(mut self, div: usize) -> Self {
+        self.edge_map_opts.dense_threshold_div = div;
+        self
+    }
+
+    /// Sets the open-bucket window size `nB` (the paper's default is 128).
+    pub fn open_buckets(mut self, num_open: usize) -> Self {
+        self.open_buckets = num_open;
+        self
+    }
+
+    /// Enables or disables telemetry collection. With the `telemetry`
+    /// cargo feature off this is a no-op and the sink stays zero-cost.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = if enabled {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        self
+    }
+
+    /// Shares an existing telemetry sink (e.g. one owned by a harness that
+    /// aggregates across engines).
+    pub fn telemetry_sink(mut self, sink: &Telemetry) -> Self {
+        self.telemetry = sink.clone();
+        self
+    }
+
+    /// Finalizes the engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            edge_map_opts: self.edge_map_opts,
+            open_buckets: self.open_buckets,
+            telemetry: self.telemetry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::NULL_BKT;
+    use julienne_ligra::VertexSubset;
+    use julienne_primitives::telemetry::Counter;
+    use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
+
+    #[test]
+    fn engine_hands_out_configured_components() {
+        let engine = Engine::builder().mode(Mode::Sparse).open_buckets(4).build();
+        assert_eq!(engine.open_buckets(), 4);
+        assert_eq!(engine.edge_map_options().mode, Mode::Sparse);
+
+        let g = julienne_graph::builder::from_pairs(3, &[(0, 1), (0, 2)]);
+        let frontier = VertexSubset::from_vertices(3, vec![0]);
+        let next = engine.edge_map(&g).run(&frontier, |_, _, _| true, |_| true);
+        assert_eq!(next.to_vertices(), vec![1, 2]);
+
+        let d: Vec<AtomicU32> = [1u32, 0, NULL_BKT]
+            .into_iter()
+            .map(AtomicU32::new)
+            .collect();
+        let mut b = engine.buckets(
+            3,
+            |i| d[i as usize].load(AtomicOrdering::SeqCst),
+            Order::Increasing,
+        );
+        assert_eq!(b.next_bucket(), Some((0, vec![1])));
+        assert_eq!(b.next_bucket(), Some((1, vec![0])));
+        assert_eq!(b.next_bucket(), None);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn engine_telemetry_flows_through_components() {
+        let engine = Engine::builder().telemetry(true).build();
+        let g = julienne_graph::builder::from_pairs(3, &[(0, 1), (1, 2)]);
+        let frontier = VertexSubset::from_vertices(3, vec![0]);
+        let _ = engine.edge_map(&g).run(&frontier, |_, _, _| true, |_| true);
+
+        let d: Vec<AtomicU32> = [0u32, 1].into_iter().map(AtomicU32::new).collect();
+        let mut b = engine.buckets(
+            2,
+            |i| d[i as usize].load(AtomicOrdering::SeqCst),
+            Order::Increasing,
+        );
+        while b.next_bucket().is_some() {}
+
+        let t = engine.telemetry();
+        assert!(t.get(Counter::EdgesScanned) >= 1);
+        assert_eq!(t.get(Counter::BucketsExtracted), 2);
+        assert_eq!(t.get(Counter::IdentifiersExtracted), 2);
+
+        engine.reset_telemetry();
+        assert_eq!(engine.telemetry().get(Counter::EdgesScanned), 0);
+    }
+
+    #[test]
+    fn disabled_telemetry_reads_zero() {
+        let engine = Engine::default();
+        assert!(!engine.telemetry().is_enabled());
+        assert_eq!(engine.telemetry().get(Counter::EdgesScanned), 0);
+        assert!(engine.snapshot().rounds.is_empty());
+    }
+}

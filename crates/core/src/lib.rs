@@ -27,17 +27,32 @@
 //! Ligra.
 
 pub mod bucket;
+pub mod engine;
+
+/// Counters, spans, and per-round trace records shared by the whole stack
+/// (re-exported from `julienne-primitives`; a zero-cost no-op when the
+/// `telemetry` feature is off).
+pub use julienne_primitives::telemetry;
 
 pub mod prelude {
     //! Everything an application needs: graph types, the Ligra engine, and
     //! the bucket structure.
+    //!
+    //! The framework surface is the builder trio: [`Engine`] (shared
+    //! options and telemetry sink), [`EdgeMap`] (traversal), and
+    //! [`BucketsBuilder`] (bucket structure). The historical free functions
+    //! (`edge_map`, …) are still re-exported but deprecated.
     pub use crate::bucket::{
-        BucketDest, BucketId, Buckets, Identifier, Order, SeqBuckets, NULL_BKT,
+        BucketDest, BucketId, BucketStats, Buckets, BucketsBuilder, Identifier, Order, SeqBuckets,
+        NULL_BKT,
     };
+    pub use crate::engine::{Engine, EngineBuilder};
+    pub use crate::telemetry::{Counter, RoundRecord, Telemetry, TelemetrySnapshot, TraversalKind};
     pub use julienne_graph::{Csr, Graph, VertexId, WGraph, Weight};
+    #[allow(deprecated)]
+    pub use julienne_ligra::{edge_map, edge_map_data};
     pub use julienne_ligra::{
-        edge_map, edge_map_data, edge_map_filter_count, edge_map_filter_pack, edge_map_packed,
-        edge_map_sum, vertex_filter, vertex_map, vertex_map_data, EdgeMapOptions, Mode,
-        VertexSubset, VertexSubsetData,
+        edge_map_filter_count, edge_map_filter_pack, edge_map_packed, edge_map_sum, vertex_filter,
+        vertex_map, vertex_map_data, EdgeMap, EdgeMapOptions, Mode, VertexSubset, VertexSubsetData,
     };
 }

@@ -38,11 +38,7 @@ impl<W: Weight> EdgeList<W> {
 
     /// Mirrors every edge, making the list symmetric.
     pub fn symmetrize(&mut self) {
-        let mirrored: Vec<_> = self
-            .edges
-            .par_iter()
-            .map(|&(u, v, w)| (v, u, w))
-            .collect();
+        let mirrored: Vec<_> = self.edges.par_iter().map(|&(u, v, w)| (v, u, w)).collect();
         self.edges.extend(mirrored);
     }
 

@@ -165,8 +165,7 @@ impl CompressedGraph {
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
         use bytes::BufMut;
         use std::io::Write as _;
-        let mut buf: Vec<u8> =
-            Vec::with_capacity(32 + 12 * self.n + self.data.len());
+        let mut buf: Vec<u8> = Vec::with_capacity(32 + 12 * self.n + self.data.len());
         buf.put_u64_le(0x4A43_4F4D_5052_4753); // "JCOMPRGS"
         buf.put_u64_le(self.n as u64);
         buf.put_u64_le(self.m as u64);
@@ -188,8 +187,7 @@ impl CompressedGraph {
     pub fn read_from(path: &std::path::Path) -> std::io::Result<CompressedGraph> {
         use bytes::Buf;
         use std::io::Read as _;
-        let bad =
-            |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
         let mut raw = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut raw)?;
         let mut buf: &[u8] = &raw;

@@ -7,9 +7,7 @@ use rayon::prelude::*;
 ///
 /// `()` marks an unweighted graph (zero storage); `u32` carries the paper's
 /// nonnegative integral weights; `u64` exists for accumulated distances.
-pub trait Weight:
-    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static
-{
+pub trait Weight: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
     /// Whether this weight type carries no information (unweighted graphs).
     const IS_UNIT: bool;
     /// Serialises for binary I/O.
@@ -262,8 +260,7 @@ mod tests {
 
     #[test]
     fn weighted_edges_iterate() {
-        let g: WGraph =
-            Csr::from_parts(vec![0, 2, 2], vec![1, 1], vec![10, 20], false);
+        let g: WGraph = Csr::from_parts(vec![0, 2, 2], vec![1, 1], vec![10, 20], false);
         let edges: Vec<_> = g.edges_of(0).collect();
         assert_eq!(edges, vec![(1, 10), (1, 20)]);
         assert_eq!(g.weights_of(0), &[10, 20]);
@@ -284,8 +281,7 @@ mod tests {
 
     #[test]
     fn symmetric_graph_is_its_own_in_view() {
-        let g: Graph =
-            Csr::from_parts(vec![0, 1, 2], vec![1, 0], vec![], true);
+        let g: Graph = Csr::from_parts(vec![0, 1, 2], vec![1, 0], vec![], true);
         assert!(g.has_in_view());
         assert!(g.validate().is_ok());
         assert_eq!(g.in_view().unwrap().neighbors(0), &[1]);

@@ -55,8 +55,8 @@ pub fn set_cover_instance(
     let edges: Vec<(VertexId, VertexId, ())> = (0..num_elements as u64)
         .into_par_iter()
         .flat_map_iter(|e| {
-            let copies = 1 + (hash_range(seed ^ 0xC0FFEE, e, max_multiplicity.max(1) as u64)
-                as usize);
+            let copies =
+                1 + (hash_range(seed ^ 0xC0FFEE, e, max_multiplicity.max(1) as u64) as usize);
             let elem_v = (num_sets as u64 + e) as VertexId;
             (0..copies).map(move |j| {
                 let s = skewed_set(hash64(seed, e * 131 + j as u64));
@@ -84,10 +84,7 @@ mod tests {
         assert!(inst.graph.validate().is_ok());
         for e in 0..inst.num_elements {
             let v = inst.element_vertex(e);
-            assert!(
-                inst.graph.degree(v) >= 1,
-                "element {e} belongs to no set"
-            );
+            assert!(inst.graph.degree(v) >= 1, "element {e} belongs to no set");
             // All neighbors of an element are sets.
             for &s in inst.graph.neighbors(v) {
                 assert!(inst.is_set(s));

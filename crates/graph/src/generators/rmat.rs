@@ -41,7 +41,7 @@ pub fn rmat(
     seed: u64,
     symmetric: bool,
 ) -> Csr<()> {
-    assert!(scale >= 1 && scale <= 30);
+    assert!((1..=30).contains(&scale));
     let n = 1usize << scale;
     let m = edge_factor * n;
     let edges: Vec<(VertexId, VertexId, ())> = (0..m as u64)
@@ -67,7 +67,10 @@ fn sample_edge(scale: u32, p: RmatParams, seed: u64, index: u64) -> (VertexId, V
     let mut u = 0u64;
     let mut v = 0u64;
     for level in 0..scale {
-        let h = hash64(seed ^ (level as u64).wrapping_mul(0xA076_1D64_78BD_642F), index);
+        let h = hash64(
+            seed ^ (level as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            index,
+        );
         // Map to [0,1) with 53-bit precision.
         let r = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         let (du, dv) = if r < p.a {
@@ -98,10 +101,7 @@ mod tests {
         let max = *degs.iter().max().unwrap() as f64;
         let avg = g.num_edges() as f64 / g.num_vertices() as f64;
         // A heavy-tailed graph has max degree far above average.
-        assert!(
-            max > 8.0 * avg,
-            "expected hubs: max={max} avg={avg:.1}"
-        );
+        assert!(max > 8.0 * avg, "expected hubs: max={max} avg={avg:.1}");
     }
 
     #[test]

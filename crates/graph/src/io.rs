@@ -60,9 +60,8 @@ pub fn read_adjacency_graph<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
             "weightedness of file does not match requested graph type",
         ));
     }
-    let parse_err = |e: std::num::ParseIntError| {
-        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
-    };
+    let parse_err =
+        |e: std::num::ParseIntError| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
     let n: usize = next("n")?.trim().parse().map_err(parse_err)?;
     let m: usize = next("m")?.trim().parse().map_err(parse_err)?;
     let mut offsets = Vec::with_capacity(n + 1);
@@ -72,7 +71,12 @@ pub fn read_adjacency_graph<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
     offsets.push(m as u64);
     let mut targets = Vec::with_capacity(m);
     for _ in 0..m {
-        targets.push(next("edge")?.trim().parse::<VertexId>().map_err(parse_err)?);
+        targets.push(
+            next("edge")?
+                .trim()
+                .parse::<VertexId>()
+                .map_err(parse_err)?,
+        );
     }
     let mut weights = Vec::with_capacity(if weighted { m } else { 0 });
     if weighted {
@@ -267,8 +271,7 @@ pub fn read_metis<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
         }
         let line = line?;
         let mut it = line.split_whitespace();
-        loop {
-            let Some(tok) = it.next() else { break };
+        while let Some(tok) = it.next() {
             let u: usize = tok.parse().map_err(|_| bad("neighbor id"))?;
             if u == 0 || u > n {
                 return Err(bad("METIS ids are 1-indexed and ≤ n"));

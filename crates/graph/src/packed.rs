@@ -31,11 +31,7 @@ impl PackedGraph {
             original_m: g.num_edges(),
             offsets: g.offsets().to_vec(),
             targets: g.targets().to_vec(),
-            live: g
-                .degrees()
-                .into_iter()
-                .map(AtomicU32::new)
-                .collect(),
+            live: g.degrees().into_iter().map(AtomicU32::new).collect(),
         }
     }
 
@@ -110,12 +106,7 @@ impl PackedGraph {
         P: Fn(VertexId, VertexId) -> bool + Send + Sync,
     {
         vs.par_iter()
-            .map(|&v| {
-                self.neighbors(v)
-                    .iter()
-                    .filter(|&&u| pred(v, u))
-                    .count() as u32
-            })
+            .map(|&v| self.neighbors(v).iter().filter(|&&u| pred(v, u)).count() as u32)
             .collect()
     }
 }

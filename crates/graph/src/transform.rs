@@ -133,7 +133,7 @@ pub fn hub_sort<W: Weight>(g: &Csr<W>) -> (Csr<W>, Vec<VertexId>) {
 
 /// The standard weight range for wBFS inputs: `[1, max(2, ⌈log2 n⌉))`.
 pub fn wbfs_weight_range(n: usize) -> (u32, u32) {
-    let log_n = (usize::BITS - n.max(2).leading_zeros()) as u32;
+    let log_n = usize::BITS - n.max(2).leading_zeros();
     (1, log_n.max(2))
 }
 

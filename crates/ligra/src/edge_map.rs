@@ -12,6 +12,13 @@
 //! * **dense (pull)** — iterate in-edges of every vertex with `C(v)` true,
 //!   breaking early once `C(v)` flips; chosen when
 //!   `|U| + Σ out-deg(U) > m / 20` (Ligra's threshold).
+//!
+//! The unified entry point is the [`EdgeMap`] builder, which owns the
+//! traversal options and an optional [`Telemetry`] sink recording the
+//! direction decision, edges scanned, and successful updates of every
+//! traversal. The historical free functions ([`edge_map`],
+//! [`edge_map_data`], [`edge_map_sparse`], [`edge_map_sparse_data`]) remain
+//! as deprecated wrappers.
 
 use crate::subset::{VertexSubset, VertexSubsetData};
 use crate::traits::OutEdges;
@@ -20,6 +27,7 @@ use julienne_graph::VertexId;
 use julienne_primitives::bitset::AtomicBitSet;
 use julienne_primitives::filter::filter_map;
 use julienne_primitives::scan::prefix_sums;
+use julienne_primitives::telemetry::{Counter, Telemetry};
 use julienne_primitives::unsafe_write::DisjointWriter;
 use rayon::prelude::*;
 
@@ -35,7 +43,7 @@ pub enum Mode {
     Auto,
 }
 
-/// Options for [`edge_map`].
+/// Options for [`EdgeMap`] traversals.
 #[derive(Clone, Copy, Debug)]
 pub struct EdgeMapOptions {
     /// Strategy selection.
@@ -59,11 +67,7 @@ impl Default for EdgeMapOptions {
     }
 }
 
-fn choose_dense<W: Weight>(
-    g: &Csr<W>,
-    frontier_ids: &[VertexId],
-    opts: &EdgeMapOptions,
-) -> bool {
+fn choose_dense<W: Weight>(g: &Csr<W>, frontier_ids: &[VertexId], opts: &EdgeMapOptions) -> bool {
     match opts.mode {
         Mode::Sparse => false,
         Mode::Dense => true,
@@ -77,14 +81,14 @@ fn choose_dense<W: Weight>(
     }
 }
 
-/// Direction-optimized `edgeMap` over a CSR graph.
+/// Builder-style `edgeMap`: configure once, traverse many times.
 ///
 /// `update(u, v, w)` is applied to live edges and must return `true` at most
 /// once per target `v` per call (use CAS/writeMin), unless
-/// `opts.remove_duplicates` is set. `cond(v)` gates targets.
+/// `remove_duplicates` is set. `cond(v)` gates targets.
 ///
 /// ```
-/// use julienne_ligra::{edge_map, EdgeMapOptions, VertexSubset};
+/// use julienne_ligra::{EdgeMap, VertexSubset};
 /// use julienne_graph::builder::from_pairs_symmetric;
 /// use julienne_primitives::atomics::{atomic_u32_filled, cas_u32};
 /// use std::sync::atomic::Ordering;
@@ -93,15 +97,180 @@ fn choose_dense<W: Weight>(
 /// let g = from_pairs_symmetric(3, &[(0, 1), (1, 2)]);
 /// let parent = atomic_u32_filled(3, u32::MAX);
 /// parent[0].store(0, Ordering::SeqCst);
-/// let next = edge_map(
-///     &g,
+/// let next = EdgeMap::new(&g).run(
 ///     &VertexSubset::single(3, 0),
 ///     |u, v, _| cas_u32(&parent[v as usize], u32::MAX, u),
 ///     |v| parent[v as usize].load(Ordering::SeqCst) == u32::MAX,
-///     EdgeMapOptions::default(),
 /// );
 /// assert_eq!(next.to_vertices(), vec![1]);
 /// ```
+pub struct EdgeMap<'g, G> {
+    g: &'g G,
+    opts: EdgeMapOptions,
+    telemetry: Telemetry,
+}
+
+impl<'g, G: OutEdges> EdgeMap<'g, G> {
+    /// A traversal over `g` with default options and no telemetry.
+    pub fn new(g: &'g G) -> Self {
+        EdgeMap {
+            g,
+            opts: EdgeMapOptions::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Sets the traversal strategy.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Enables bitset-based deduplication of the sparse output.
+    pub fn remove_duplicates(mut self, yes: bool) -> Self {
+        self.opts.remove_duplicates = yes;
+        self
+    }
+
+    /// Sets the dense-threshold denominator (Ligra uses 20).
+    pub fn dense_threshold_div(mut self, div: usize) -> Self {
+        self.opts.dense_threshold_div = div;
+        self
+    }
+
+    /// Replaces the whole option block.
+    pub fn options(mut self, opts: EdgeMapOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Attaches a telemetry sink; every traversal records its direction
+    /// decision, frontier size, edges scanned, and successful updates.
+    pub fn telemetry(mut self, sink: &Telemetry) -> Self {
+        self.telemetry = sink.clone();
+        self
+    }
+
+    fn note(&self, direction: Counter, frontier: usize, scanned: u64, relaxed: usize) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.incr(direction);
+            self.telemetry
+                .add(Counter::VerticesScanned, frontier as u64);
+            self.telemetry.add(Counter::EdgesScanned, scanned);
+            self.telemetry.add(Counter::EdgesRelaxed, relaxed as u64);
+        }
+    }
+
+    /// Sparse (push) traversal over an explicit id list; works with any
+    /// out-edge backend (CSR, compressed, packed, edge partitions).
+    pub fn run_sparse<Fu, Fc>(
+        &self,
+        frontier_ids: &[VertexId],
+        update: Fu,
+        cond: Fc,
+    ) -> VertexSubset
+    where
+        Fu: Fn(VertexId, VertexId, G::W) -> bool + Send + Sync,
+        Fc: Fn(VertexId) -> bool + Send + Sync,
+    {
+        let (out, scanned) = sparse_counted(
+            self.g,
+            frontier_ids,
+            update,
+            cond,
+            self.opts.remove_duplicates,
+        );
+        self.note(
+            Counter::SparseTraversals,
+            frontier_ids.len(),
+            scanned,
+            out.len(),
+        );
+        out
+    }
+
+    /// Sparse (push) data-carrying traversal over an explicit id list.
+    pub fn run_sparse_data<T, Fu, Fc>(
+        &self,
+        frontier_ids: &[VertexId],
+        update: Fu,
+        cond: Fc,
+    ) -> VertexSubsetData<T>
+    where
+        T: Copy + Send + Sync,
+        Fu: Fn(VertexId, VertexId, G::W) -> Option<T> + Send + Sync,
+        Fc: Fn(VertexId) -> bool + Send + Sync,
+    {
+        let (out, scanned) = sparse_data_counted(self.g, frontier_ids, update, cond);
+        self.note(
+            Counter::SparseTraversals,
+            frontier_ids.len(),
+            scanned,
+            out.len(),
+        );
+        out
+    }
+}
+
+impl<'g, W: Weight> EdgeMap<'g, Csr<W>> {
+    /// Direction-optimized traversal: picks sparse or dense per the
+    /// configured [`Mode`] and runs it.
+    pub fn run<Fu, Fc>(&self, frontier: &VertexSubset, update: Fu, cond: Fc) -> VertexSubset
+    where
+        Fu: Fn(VertexId, VertexId, W) -> bool + Send + Sync,
+        Fc: Fn(VertexId) -> bool + Send + Sync,
+    {
+        let owned;
+        let ids: &[VertexId] = match frontier.as_sparse() {
+            Some(s) => s,
+            None => {
+                owned = frontier.to_vertices();
+                &owned
+            }
+        };
+        if choose_dense(self.g, ids, &self.opts) {
+            let (out, scanned) = dense_counted(self.g, frontier, update, cond);
+            self.note(Counter::DenseTraversals, ids.len(), scanned, out.len());
+            out
+        } else {
+            self.run_sparse(ids, update, cond)
+        }
+    }
+
+    /// Direction-optimized data-carrying traversal: `update` yields
+    /// `Some(t)` for targets to include, at most once per target per call
+    /// (the flag-guarded Update of Algorithm 2).
+    pub fn run_data<T, Fu, Fc>(
+        &self,
+        frontier: &VertexSubset,
+        update: Fu,
+        cond: Fc,
+    ) -> VertexSubsetData<T>
+    where
+        T: Copy + Send + Sync,
+        Fu: Fn(VertexId, VertexId, W) -> Option<T> + Send + Sync,
+        Fc: Fn(VertexId) -> bool + Send + Sync,
+    {
+        let owned;
+        let ids: &[VertexId] = match frontier.as_sparse() {
+            Some(s) => s,
+            None => {
+                owned = frontier.to_vertices();
+                &owned
+            }
+        };
+        if choose_dense(self.g, ids, &self.opts) {
+            let (out, scanned) = dense_data_counted(self.g, frontier, update, cond);
+            self.note(Counter::DenseTraversals, ids.len(), scanned, out.len());
+            out
+        } else {
+            self.run_sparse_data(ids, update, cond)
+        }
+    }
+}
+
+/// Direction-optimized `edgeMap` over a CSR graph.
+#[deprecated(note = "use the builder: EdgeMap::new(g).options(opts).run(frontier, update, cond)")]
 pub fn edge_map<W, Fu, Fc>(
     g: &Csr<W>,
     frontier: &VertexSubset,
@@ -114,15 +283,13 @@ where
     Fu: Fn(VertexId, VertexId, W) -> bool + Send + Sync,
     Fc: Fn(VertexId) -> bool + Send + Sync,
 {
-    let ids = frontier.to_vertices();
-    if choose_dense(g, &ids, &opts) {
-        edge_map_dense(g, frontier, update, cond)
-    } else {
-        edge_map_sparse(g, &ids, update, cond, opts.remove_duplicates)
-    }
+    EdgeMap::new(g).options(opts).run(frontier, update, cond)
 }
 
 /// Sparse (push) `edgeMap` over any out-edge backend.
+#[deprecated(
+    note = "use the builder: EdgeMap::new(g).remove_duplicates(d).run_sparse(ids, update, cond)"
+)]
 pub fn edge_map_sparse<G, Fu, Fc>(
     g: &G,
     frontier_ids: &[VertexId],
@@ -135,12 +302,66 @@ where
     Fu: Fn(VertexId, VertexId, G::W) -> bool + Send + Sync,
     Fc: Fn(VertexId) -> bool + Send + Sync,
 {
+    EdgeMap::new(g)
+        .remove_duplicates(remove_duplicates)
+        .run_sparse(frontier_ids, update, cond)
+}
+
+/// `edgeMap` returning per-vertex data.
+#[deprecated(
+    note = "use the builder: EdgeMap::new(g).options(opts).run_data(frontier, update, cond)"
+)]
+pub fn edge_map_data<W, T, Fu, Fc>(
+    g: &Csr<W>,
+    frontier: &VertexSubset,
+    update: Fu,
+    cond: Fc,
+    opts: EdgeMapOptions,
+) -> VertexSubsetData<T>
+where
+    W: Weight,
+    T: Copy + Send + Sync,
+    Fu: Fn(VertexId, VertexId, W) -> Option<T> + Send + Sync,
+    Fc: Fn(VertexId) -> bool + Send + Sync,
+{
+    EdgeMap::new(g)
+        .options(opts)
+        .run_data(frontier, update, cond)
+}
+
+/// Sparse (push) data-carrying `edgeMap` over any out-edge backend.
+#[deprecated(note = "use the builder: EdgeMap::new(g).run_sparse_data(ids, update, cond)")]
+pub fn edge_map_sparse_data<G, T, Fu, Fc>(
+    g: &G,
+    frontier_ids: &[VertexId],
+    update: Fu,
+    cond: Fc,
+) -> VertexSubsetData<T>
+where
+    G: OutEdges,
+    T: Copy + Send + Sync,
+    Fu: Fn(VertexId, VertexId, G::W) -> Option<T> + Send + Sync,
+    Fc: Fn(VertexId) -> bool + Send + Sync,
+{
+    EdgeMap::new(g).run_sparse_data(frontier_ids, update, cond)
+}
+
+/// Sparse push kernel; returns the new frontier and the edges scanned.
+fn sparse_counted<G, Fu, Fc>(
+    g: &G,
+    frontier_ids: &[VertexId],
+    update: Fu,
+    cond: Fc,
+    remove_duplicates: bool,
+) -> (VertexSubset, u64)
+where
+    G: OutEdges,
+    Fu: Fn(VertexId, VertexId, G::W) -> bool + Send + Sync,
+    Fc: Fn(VertexId) -> bool + Send + Sync,
+{
     const SENTINEL: VertexId = VertexId::MAX;
     let n = g.num_vertices();
-    let mut offsets: Vec<usize> = frontier_ids
-        .par_iter()
-        .map(|&u| g.out_degree(u))
-        .collect();
+    let mut offsets: Vec<usize> = frontier_ids.par_iter().map(|&u| g.out_degree(u)).collect();
     let total = prefix_sums(&mut offsets);
 
     let mut out: Vec<VertexId> = vec![SENTINEL; total];
@@ -172,16 +393,17 @@ where
             });
     }
     let result = filter_map(&out, |&v| if v == SENTINEL { None } else { Some(v) });
-    VertexSubset::from_vertices(n, result)
+    (VertexSubset::from_vertices(n, result), total as u64)
 }
 
-/// Dense (pull) `edgeMap`. Requires an in-adjacency view.
-fn edge_map_dense<W, Fu, Fc>(
+/// Dense pull kernel; returns the new frontier and the in-edges examined
+/// (the early exit makes this less than the full in-degree sum).
+fn dense_counted<W, Fu, Fc>(
     g: &Csr<W>,
     frontier: &VertexSubset,
     update: Fu,
     cond: Fc,
-) -> VertexSubset
+) -> (VertexSubset, u64)
 where
     W: Weight,
     Fu: Fn(VertexId, VertexId, W) -> bool + Send + Sync,
@@ -193,55 +415,37 @@ where
         .expect("dense edgeMap requires a symmetric graph or attached transpose");
     let frontier_bits = frontier.to_bitset();
     let out = AtomicBitSet::new(n);
-    (0..n as VertexId).into_par_iter().for_each(|v| {
-        if !cond(v) {
-            return;
-        }
-        for (u, w) in in_view.edges_of(v) {
-            if frontier_bits.get(u as usize) && update(u, v, w) {
-                out.set(v as usize);
-            }
-            // Ligra's dense early exit: once the target no longer wants
-            // updates, stop scanning its in-edges.
+    let scanned: u64 = (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| {
             if !cond(v) {
-                break;
+                return 0u64;
             }
-        }
-    });
-    VertexSubset::from_bitset(out.into_bitset())
+            let mut examined = 0u64;
+            for (u, w) in in_view.edges_of(v) {
+                examined += 1;
+                if frontier_bits.get(u as usize) && update(u, v, w) {
+                    out.set(v as usize);
+                }
+                // Ligra's dense early exit: once the target no longer wants
+                // updates, stop scanning its in-edges.
+                if !cond(v) {
+                    break;
+                }
+            }
+            examined
+        })
+        .sum();
+    (VertexSubset::from_bitset(out.into_bitset()), scanned)
 }
 
-/// `edgeMap` returning per-vertex data: `update(u, v, w)` yields `Some(t)`
-/// for targets to include. Must yield `Some` at most once per target per
-/// call (CAS discipline), like the flag-guarded Update of Algorithm 2.
-pub fn edge_map_data<W, T, Fu, Fc>(
-    g: &Csr<W>,
-    frontier: &VertexSubset,
-    update: Fu,
-    cond: Fc,
-    opts: EdgeMapOptions,
-) -> VertexSubsetData<T>
-where
-    W: Weight,
-    T: Copy + Send + Sync,
-    Fu: Fn(VertexId, VertexId, W) -> Option<T> + Send + Sync,
-    Fc: Fn(VertexId) -> bool + Send + Sync,
-{
-    let ids = frontier.to_vertices();
-    if choose_dense(g, &ids, &opts) {
-        edge_map_dense_data(g, frontier, update, cond)
-    } else {
-        edge_map_sparse_data(g, &ids, update, cond)
-    }
-}
-
-/// Sparse (push) data-carrying `edgeMap` over any out-edge backend.
-pub fn edge_map_sparse_data<G, T, Fu, Fc>(
+/// Sparse push data kernel; returns the data-subset and edges scanned.
+fn sparse_data_counted<G, T, Fu, Fc>(
     g: &G,
     frontier_ids: &[VertexId],
     update: Fu,
     cond: Fc,
-) -> VertexSubsetData<T>
+) -> (VertexSubsetData<T>, u64)
 where
     G: OutEdges,
     T: Copy + Send + Sync,
@@ -249,10 +453,7 @@ where
     Fc: Fn(VertexId) -> bool + Send + Sync,
 {
     let n = g.num_vertices();
-    let mut offsets: Vec<usize> = frontier_ids
-        .par_iter()
-        .map(|&u| g.out_degree(u))
-        .collect();
+    let mut offsets: Vec<usize> = frontier_ids.par_iter().map(|&u| g.out_degree(u)).collect();
     let total = prefix_sums(&mut offsets);
 
     let mut out: Vec<Option<(VertexId, T)>> = vec![None; total];
@@ -275,16 +476,16 @@ where
             });
     }
     let entries = filter_map(&out, |slot| *slot);
-    VertexSubsetData::from_entries(n, entries)
+    (VertexSubsetData::from_entries(n, entries), total as u64)
 }
 
-/// Dense (pull) data-carrying `edgeMap`.
-fn edge_map_dense_data<W, T, Fu, Fc>(
+/// Dense pull data kernel; returns the data-subset and in-edges examined.
+fn dense_data_counted<W, T, Fu, Fc>(
     g: &Csr<W>,
     frontier: &VertexSubset,
     update: Fu,
     cond: Fc,
-) -> VertexSubsetData<T>
+) -> (VertexSubsetData<T>, u64)
 where
     W: Weight,
     T: Copy + Send + Sync,
@@ -296,14 +497,16 @@ where
         .in_view()
         .expect("dense edgeMap requires a symmetric graph or attached transpose");
     let frontier_bits = frontier.to_bitset();
-    let per_vertex: Vec<Option<(VertexId, T)>> = (0..n as VertexId)
+    let per_vertex: Vec<(Option<(VertexId, T)>, u64)> = (0..n as VertexId)
         .into_par_iter()
         .map(|v| {
             if !cond(v) {
-                return None;
+                return (None, 0);
             }
             let mut got: Option<(VertexId, T)> = None;
+            let mut examined = 0u64;
             for (u, w) in in_view.edges_of(v) {
+                examined += 1;
                 if frontier_bits.get(u as usize) {
                     if let Some(t) = update(u, v, w) {
                         got = Some((v, t));
@@ -313,11 +516,12 @@ where
                     break;
                 }
             }
-            got
+            (got, examined)
         })
         .collect();
-    let entries = filter_map(&per_vertex, |slot| *slot);
-    VertexSubsetData::from_entries(n, entries)
+    let scanned = per_vertex.iter().map(|&(_, e)| e).sum();
+    let entries = filter_map(&per_vertex, |&(slot, _)| slot);
+    (VertexSubsetData::from_entries(n, entries), scanned)
 }
 
 #[cfg(test)]
@@ -333,15 +537,10 @@ mod tests {
         let parent = atomic_u32_filled(6, u32::MAX);
         parent[0].store(0, Ordering::Relaxed);
         let frontier = VertexSubset::single(6, 0);
-        let out = edge_map(
-            &g,
+        let out = EdgeMap::new(&g).mode(mode).run(
             &frontier,
             |u, v, _| cas_u32(&parent[v as usize], u32::MAX, u),
             |v| parent[v as usize].load(Ordering::Relaxed) == u32::MAX,
-            EdgeMapOptions {
-                mode,
-                ..Default::default()
-            },
         );
         let mut ids = out.to_vertices();
         ids.sort_unstable();
@@ -359,16 +558,9 @@ mod tests {
     fn cond_gates_targets() {
         let g = from_pairs(4, &[(0, 1), (0, 2), (0, 3)]);
         let frontier = VertexSubset::single(4, 0);
-        let out = edge_map(
-            &g,
-            &frontier,
-            |_, _, _| true,
-            |v| v != 2,
-            EdgeMapOptions {
-                mode: Mode::Sparse,
-                ..Default::default()
-            },
-        );
+        let out = EdgeMap::new(&g)
+            .mode(Mode::Sparse)
+            .run(&frontier, |_, _, _| true, |v| v != 2);
         let mut ids = out.to_vertices();
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 3]);
@@ -379,28 +571,14 @@ mod tests {
         // Both 0 and 1 point at 2; update always true would emit 2 twice.
         let g = from_pairs(3, &[(0, 2), (1, 2)]);
         let frontier = VertexSubset::from_vertices(3, vec![0, 1]);
-        let with = edge_map(
-            &g,
-            &frontier,
-            |_, _, _| true,
-            |_| true,
-            EdgeMapOptions {
-                mode: Mode::Sparse,
-                remove_duplicates: true,
-                ..Default::default()
-            },
-        );
+        let with = EdgeMap::new(&g)
+            .mode(Mode::Sparse)
+            .remove_duplicates(true)
+            .run(&frontier, |_, _, _| true, |_| true);
         assert_eq!(with.to_vertices(), vec![2]);
-        let without = edge_map(
-            &g,
-            &frontier,
-            |_, _, _| true,
-            |_| true,
-            EdgeMapOptions {
-                mode: Mode::Sparse,
-                ..Default::default()
-            },
-        );
+        let without = EdgeMap::new(&g)
+            .mode(Mode::Sparse)
+            .run(&frontier, |_, _, _| true, |_| true);
         assert_eq!(without.len(), 2); // duplicates kept
     }
 
@@ -414,15 +592,10 @@ mod tests {
             el.build(false)
         };
         let frontier = VertexSubset::single(3, 0);
-        let out = edge_map_data(
-            &g,
+        let out = EdgeMap::new(&g).mode(Mode::Sparse).run_data(
             &frontier,
             |_, _, w| if w >= 20 { Some(w * 2) } else { None },
             |_| true,
-            EdgeMapOptions {
-                mode: Mode::Sparse,
-                ..Default::default()
-            },
         );
         assert_eq!(out.entries(), &[(2, 40)]);
     }
@@ -437,8 +610,7 @@ mod tests {
             for a in &visited {
                 a.store(0, Ordering::Relaxed);
             }
-            let out = edge_map_data(
-                &g,
+            let out = EdgeMap::new(&g).mode(mode).run_data(
                 &frontier,
                 |u, v, _| {
                     if cas_u32(&visited[v as usize], 0, 1) {
@@ -448,10 +620,6 @@ mod tests {
                     }
                 },
                 |v| visited[v as usize].load(Ordering::Relaxed) == 0,
-                EdgeMapOptions {
-                    mode,
-                    ..Default::default()
-                },
             );
             let mut e: Vec<VertexId> = out.entries().iter().map(|&(v, _)| v).collect();
             e.sort_unstable();
@@ -463,13 +631,7 @@ mod tests {
     #[test]
     fn empty_frontier_empty_result() {
         let g = from_pairs(3, &[(0, 1)]);
-        let out = edge_map(
-            &g,
-            &VertexSubset::empty(3),
-            |_, _, _| true,
-            |_| true,
-            EdgeMapOptions::default(),
-        );
+        let out = EdgeMap::new(&g).run(&VertexSubset::empty(3), |_, _, _| true, |_| true);
         assert!(out.is_empty());
     }
 
@@ -478,13 +640,53 @@ mod tests {
         // Directed graph with no transpose: Auto must not panic even with a
         // full frontier.
         let g = from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let out = EdgeMap::new(&g).run(&VertexSubset::all(4), |_, _, _| true, |_| true);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let g = from_pairs_symmetric(3, &[(0, 1), (1, 2)]);
         let out = edge_map(
             &g,
-            &VertexSubset::all(4),
+            &VertexSubset::single(3, 0),
             |_, _, _| true,
-            |_| true,
+            |v| v != 0,
             EdgeMapOptions::default(),
         );
-        assert_eq!(out.len(), 4);
+        assert_eq!(out.to_vertices(), vec![1]);
+        let out2 = edge_map_sparse(&g, &[0], |_, _, _| true, |v| v != 0, false);
+        assert_eq!(out2.to_vertices(), vec![1]);
+        let data: VertexSubsetData<u32> =
+            edge_map_sparse_data(&g, &[0], |u, _, _| Some(u), |v| v != 0);
+        assert_eq!(data.entries(), &[(1, 0)]);
+    }
+
+    #[test]
+    fn telemetry_records_direction_and_counts() {
+        let g = from_pairs_symmetric(4, &[(0, 1), (0, 2), (2, 3)]);
+        let sink = Telemetry::enabled();
+        let out = EdgeMap::new(&g).mode(Mode::Sparse).telemetry(&sink).run(
+            &VertexSubset::single(4, 0),
+            |_, _, _| true,
+            |v| v != 0,
+        );
+        assert_eq!(out.len(), 2);
+        #[cfg(feature = "telemetry")]
+        {
+            assert_eq!(sink.get(Counter::SparseTraversals), 1);
+            assert_eq!(sink.get(Counter::DenseTraversals), 0);
+            assert_eq!(sink.get(Counter::EdgesScanned), 2); // deg(0) = 2
+            assert_eq!(sink.get(Counter::EdgesRelaxed), 2);
+            assert_eq!(sink.get(Counter::VerticesScanned), 1);
+        }
+        let dense_sink = Telemetry::enabled();
+        EdgeMap::new(&g)
+            .mode(Mode::Dense)
+            .telemetry(&dense_sink)
+            .run(&VertexSubset::single(4, 0), |_, _, _| true, |v| v != 0);
+        #[cfg(feature = "telemetry")]
+        assert_eq!(dense_sink.get(Counter::DenseTraversals), 1);
     }
 }

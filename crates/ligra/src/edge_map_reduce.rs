@@ -37,10 +37,7 @@ where
     M: Fn(VertexId, VertexId, G::W) -> T + Send + Sync,
     Fc: Fn(VertexId) -> bool + Send + Sync,
 {
-    let mut offsets: Vec<usize> = frontier_ids
-        .par_iter()
-        .map(|&u| g.out_degree(u))
-        .collect();
+    let mut offsets: Vec<usize> = frontier_ids.par_iter().map(|&u| g.out_degree(u)).collect();
     let total = prefix_sums(&mut offsets);
     let mut out: Vec<Option<(VertexId, T)>> = vec![None; total];
     {
@@ -112,14 +109,7 @@ where
     U: Fn(VertexId, u32) -> Option<O> + Send + Sync,
     Fc: Fn(VertexId) -> bool + Send + Sync,
 {
-    edge_map_reduce(
-        g,
-        frontier_ids,
-        |_, _, _| 1u32,
-        |a, b| a + b,
-        update,
-        cond,
-    )
+    edge_map_reduce(g, frontier_ids, |_, _, _| 1u32, |a, b| a + b, update, cond)
 }
 
 /// Reusable counter array for [`edge_map_sum_with_scratch`].
@@ -157,10 +147,7 @@ where
     debug_assert_eq!(scratch.counts.len(), n);
     const SENTINEL: VertexId = VertexId::MAX;
 
-    let mut offsets: Vec<usize> = frontier_ids
-        .par_iter()
-        .map(|&u| g.out_degree(u))
-        .collect();
+    let mut offsets: Vec<usize> = frontier_ids.par_iter().map(|&u| g.out_degree(u)).collect();
     let total = prefix_sums(&mut offsets);
     let mut touched: Vec<VertexId> = vec![SENTINEL; total];
     {

@@ -22,7 +22,9 @@ pub mod subset;
 pub mod traits;
 pub mod vertex_ops;
 
-pub use edge_map::{edge_map, edge_map_data, edge_map_sparse_data, EdgeMapOptions, Mode};
+#[allow(deprecated)]
+pub use edge_map::{edge_map, edge_map_data, edge_map_sparse_data};
+pub use edge_map::{EdgeMap, EdgeMapOptions, Mode};
 pub use edge_map_filter::{edge_map_filter_count, edge_map_filter_pack, edge_map_packed};
 pub use edge_map_reduce::{edge_map_sum, edge_map_sum_with_scratch, SumScratch};
 pub use subset::{VertexSubset, VertexSubsetData};

@@ -5,7 +5,7 @@
 //! direction; conversion is O(n)/O(|S|) and parallel.
 
 use julienne_graph::VertexId;
-use julienne_primitives::bitset::BitSet;
+use julienne_primitives::bitset::{BitSet, OnesIter};
 use julienne_primitives::filter::pack_index;
 
 /// The two physical representations of a vertex subset.
@@ -146,6 +146,46 @@ impl VertexSubset {
             self.repr = Repr::Dense(BitSet::from_indices(self.n, v));
         }
     }
+
+    /// Iterates the member vertices without materialising an id list
+    /// (unlike [`VertexSubset::to_vertices`], which allocates even when the
+    /// subset is already sparse). Sparse order is unspecified; dense order
+    /// is increasing.
+    pub fn iter(&self) -> SubsetIter<'_> {
+        match &self.repr {
+            Repr::Sparse(v) => SubsetIter::Sparse(v.iter()),
+            Repr::Dense(b) => SubsetIter::Dense(b.iter_ones()),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a VertexSubset {
+    type Item = VertexId;
+    type IntoIter = SubsetIter<'a>;
+
+    fn into_iter(self) -> SubsetIter<'a> {
+        self.iter()
+    }
+}
+
+/// Allocation-free iterator over a [`VertexSubset`]'s members.
+pub enum SubsetIter<'a> {
+    /// Walking a sparse id list.
+    Sparse(std::slice::Iter<'a, VertexId>),
+    /// Walking a dense bitset's set bits.
+    Dense(OnesIter<'a>),
+}
+
+impl Iterator for SubsetIter<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        match self {
+            SubsetIter::Sparse(it) => it.next().copied(),
+            SubsetIter::Dense(it) => it.next().map(|i| i as VertexId),
+        }
+    }
 }
 
 /// A sparse subset whose members carry a value of type `T` — the paper's
@@ -279,6 +319,24 @@ mod tests {
         let s = d.to_subset();
         assert!(s.contains(1) && s.contains(4) && !s.contains(2));
         assert_eq!(d.into_entries(), vec![(1, "a"), (4, "b")]);
+    }
+
+    #[test]
+    fn iter_matches_to_vertices_in_both_reprs() {
+        let sparse = VertexSubset::from_vertices(100, vec![9, 3, 77]);
+        let got: Vec<u32> = sparse.iter().collect();
+        assert_eq!(got, sparse.to_vertices());
+        let mut dense = sparse.clone();
+        dense.make_dense();
+        let got: Vec<u32> = dense.iter().collect();
+        assert_eq!(got, vec![3, 9, 77]);
+        assert_eq!(VertexSubset::empty(5).iter().count(), 0);
+        // for-loop sugar via IntoIterator
+        let mut sum = 0u32;
+        for v in &sparse {
+            sum += v;
+        }
+        assert_eq!(sum, 9 + 3 + 77);
     }
 
     #[test]

@@ -59,13 +59,16 @@ where
     T: Copy + Send + Sync,
     F: Fn(VertexId, T) -> bool + Send + Sync,
 {
-    let kept = filter_map(subset.entries(), |&(v, t)| {
-        if p(v, t) {
-            Some((v, t))
-        } else {
-            None
-        }
-    });
+    let kept = filter_map(
+        subset.entries(),
+        |&(v, t)| {
+            if p(v, t) {
+                Some((v, t))
+            } else {
+                None
+            }
+        },
+    );
     VertexSubsetData::from_entries(subset.universe(), kept)
 }
 

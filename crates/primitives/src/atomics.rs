@@ -138,7 +138,7 @@ mod tests {
         assert_eq!(a.load(Ordering::SeqCst), 0);
         // At least one win (the one that stored 0), and wins are bounded by
         // the number of distinct descending records, <= 97.
-        assert!(wins >= 1 && wins <= 97);
+        assert!((1..=97).contains(&wins));
     }
 
     #[test]

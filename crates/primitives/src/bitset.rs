@@ -65,10 +65,7 @@ impl BitSet {
         if self.words.len() < 4096 {
             self.words.iter().map(|w| w.count_ones() as usize).sum()
         } else {
-            self.words
-                .par_iter()
-                .map(|w| w.count_ones() as usize)
-                .sum()
+            self.words.par_iter().map(|w| w.count_ones() as usize).sum()
         }
     }
 
@@ -81,6 +78,41 @@ impl BitSet {
     /// traversals.
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Iterates the set bit indices in increasing order without allocating
+    /// (unlike [`BitSet::to_indices`]).
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over the set bits of a [`BitSet`], lowest index first.
+pub struct OnesIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * 64 + bit)
     }
 }
 
@@ -168,6 +200,16 @@ mod tests {
         let idx = vec![3u32, 7, 64, 65, 127];
         let bs = BitSet::from_indices(128, &idx);
         assert_eq!(bs.to_indices(), idx);
+    }
+
+    #[test]
+    fn iter_ones_matches_to_indices() {
+        for idx in [vec![], vec![0u32], vec![3, 7, 63, 64, 65, 127, 128, 200]] {
+            let bs = BitSet::from_indices(260, &idx);
+            let via_iter: Vec<u32> = bs.iter_ones().map(|i| i as u32).collect();
+            assert_eq!(via_iter, bs.to_indices());
+        }
+        assert_eq!(BitSet::new(0).iter_ones().count(), 0);
     }
 
     #[test]

@@ -35,7 +35,7 @@ where
     let n = xs.len();
     let chunks = num_chunks(n);
     if chunks <= 1 {
-        return xs.iter().filter_map(|x| f(x)).collect();
+        return xs.iter().filter_map(&f).collect();
     }
 
     // Single evaluation pass: per-chunk survivor buffers.
@@ -43,7 +43,7 @@ where
         .into_par_iter()
         .map(|c| {
             let (s, e) = chunk_bounds(n, chunks, c);
-            xs[s..e].iter().filter_map(|x| f(x)).collect()
+            xs[s..e].iter().filter_map(&f).collect()
         })
         .collect();
 

@@ -13,7 +13,9 @@
 //! * [`bitset`] — plain and atomic bitsets for dense vertex subsets,
 //! * [`rng`] — deterministic splittable randomness for parallel workloads,
 //! * [`unsafe_write`] — a scoped disjoint-write cell used by the scatter
-//!   phases of the radix sort and bucket structure.
+//!   phases of the radix sort and bucket structure,
+//! * [`telemetry`] — engine-wide counters, spans, and per-round trace
+//!   records (compiled to no-ops when the `telemetry` feature is off).
 //!
 //! All parallel routines are written against [rayon] and respect its global
 //! (or per-call [`rayon::ThreadPool`]) configuration, which is how the
@@ -28,6 +30,7 @@ pub mod rng;
 pub mod scan;
 pub mod semisort;
 pub mod sort;
+pub mod telemetry;
 pub mod unsafe_write;
 
 /// Default granularity: parallel loops fall back to sequential execution

@@ -12,9 +12,7 @@ where
     if xs.len() <= SEQ_THRESHOLD {
         return xs.iter().fold(identity, |acc, &x| op(acc, x));
     }
-    xs.par_iter()
-        .copied()
-        .reduce(|| identity, |a, b| op(a, b))
+    xs.par_iter().copied().reduce(|| identity, op)
 }
 
 /// Sum of `u64` values.

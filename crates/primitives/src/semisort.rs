@@ -129,9 +129,7 @@ mod tests {
     #[test]
     fn groups_cover_input_exactly() {
         let mut rng = SplitMix64::new(31);
-        let mut items: Vec<(u32, u64)> = (0..50_000)
-            .map(|i| (rng.next_u32() % 300, i))
-            .collect();
+        let mut items: Vec<(u32, u64)> = (0..50_000).map(|i| (rng.next_u32() % 300, i)).collect();
         let groups = semisort_by_key(&mut items, 299, |p| p.0);
         // Groups tile [0, n).
         let mut pos = 0;
@@ -171,15 +169,20 @@ mod tests {
         assert!(semisort_by_key(&mut empty, 0, |&k| k).is_empty());
         let mut one = vec![5u32];
         let g = semisort_by_key(&mut one, 5, |&k| k);
-        assert_eq!(g, vec![KeyGroup { key: 5, start: 0, len: 1 }]);
+        assert_eq!(
+            g,
+            vec![KeyGroup {
+                key: 5,
+                start: 0,
+                len: 1
+            }]
+        );
     }
 
     #[test]
     fn hashed_semisort_groups_match_radix_semisort() {
         let mut rng = SplitMix64::new(55);
-        let items: Vec<(u32, u64)> = (0..40_000)
-            .map(|i| (rng.next_u32() % 500, i))
-            .collect();
+        let items: Vec<(u32, u64)> = (0..40_000).map(|i| (rng.next_u32() % 500, i)).collect();
         let mut a = items.clone();
         let mut b = items.clone();
         let ga = semisort_by_key(&mut a, 499, |p| p.0);

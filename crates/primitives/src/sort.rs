@@ -40,7 +40,9 @@ where
 
     for pass in 0..passes {
         let shift = pass * RADIX_BITS;
-        counting_sort_pass(&src, &mut dst, |t| ((key(t) >> shift) as usize) & (RADIX - 1));
+        counting_sort_pass(&src, &mut dst, |t| {
+            ((key(t) >> shift) as usize) & (RADIX - 1)
+        });
         std::mem::swap(&mut src, &mut dst);
     }
     *items = src;
@@ -147,9 +149,7 @@ mod tests {
         // index order.
         let mut rng = SplitMix64::new(99);
         let n = 30_000usize;
-        let mut xs: Vec<(u32, u32)> = (0..n)
-            .map(|i| (rng.next_u32() % 64, i as u32))
-            .collect();
+        let mut xs: Vec<(u32, u32)> = (0..n).map(|i| (rng.next_u32() % 64, i as u32)).collect();
         radix_sort_by_key(&mut xs, 63, |p| p.0);
         for w in xs.windows(2) {
             assert!(w[0].0 <= w[1].0);

@@ -11,7 +11,7 @@
 //! cargo run --release --example bucket_scheduler
 //! ```
 
-use julienne_repro::core::bucket::{BucketDest, Buckets, Order, NULL_BKT};
+use julienne_repro::core::bucket::{BucketDest, BucketsBuilder, Order, NULL_BKT};
 use julienne_repro::primitives::rng::SplitMix64;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -42,7 +42,7 @@ fn main() {
             deadline[j as usize].load(Ordering::SeqCst) / SLOT_MINUTES
         }
     };
-    let mut schedule = Buckets::new(num_jobs, slot_of, Order::Increasing);
+    let mut schedule = BucketsBuilder::new(num_jobs, slot_of, Order::Increasing).build();
 
     let mut batches = 0u64;
     let mut processed = 0u64;
@@ -83,7 +83,11 @@ fn main() {
         // extraction/move counters come straight from the structure
         {
             let s = schedule.stats();
-            (s.identifiers_extracted, s.identifiers_moved, s.overflow_redistributions)
+            (
+                s.identifiers_extracted,
+                s.identifiers_moved,
+                s.overflow_redistributions,
+            )
         }
     );
 }

@@ -15,8 +15,14 @@ fn main() {
     println!("# generator gallery");
     let graphs: Vec<(&str, Graph)> = vec![
         ("erdos-renyi", erdos_renyi(1 << 13, 1 << 16, 1, true)),
-        ("rmat (heavy-tailed)", rmat(13, 8, RmatParams::default(), 2, true)),
-        ("chung-lu (power-law)", chung_lu(1 << 13, 1 << 16, 2.3, 3, true)),
+        (
+            "rmat (heavy-tailed)",
+            rmat(13, 8, RmatParams::default(), 2, true),
+        ),
+        (
+            "chung-lu (power-law)",
+            chung_lu(1 << 13, 1 << 16, 2.3, 3, true),
+        ),
         ("grid (road-like)", grid2d(90, 90)),
     ];
     println!(
@@ -47,25 +53,37 @@ fn main() {
     io::write_adjacency_graph(g, &adj).unwrap();
     let back: Graph = io::read_adjacency_graph(&adj).unwrap();
     assert_eq!(back.targets(), g.targets());
-    println!("  AdjacencyGraph: {} bytes", std::fs::metadata(&adj).unwrap().len());
+    println!(
+        "  AdjacencyGraph: {} bytes",
+        std::fs::metadata(&adj).unwrap().len()
+    );
 
     let el = dir.join("graph.el");
     io::write_edge_list(&wg, &el).unwrap();
     let back: Csr<u32> = io::read_edge_list(&el, Some(wg.num_vertices()), false).unwrap();
     assert_eq!(back.num_edges(), wg.num_edges());
-    println!("  edge list:      {} bytes", std::fs::metadata(&el).unwrap().len());
+    println!(
+        "  edge list:      {} bytes",
+        std::fs::metadata(&el).unwrap().len()
+    );
 
     let gr = dir.join("graph.gr");
     io::write_dimacs(&wg, &gr).unwrap();
     let back = io::read_dimacs(&gr).unwrap();
     assert_eq!(back.weights(), wg.weights());
-    println!("  DIMACS .gr:     {} bytes", std::fs::metadata(&gr).unwrap().len());
+    println!(
+        "  DIMACS .gr:     {} bytes",
+        std::fs::metadata(&gr).unwrap().len()
+    );
 
     let bin = dir.join("graph.bin");
     io::write_binary(g, &bin).unwrap();
     let back: Graph = io::read_binary(&bin).unwrap();
     assert_eq!(back.offsets(), g.offsets());
-    println!("  binary:         {} bytes", std::fs::metadata(&bin).unwrap().len());
+    println!(
+        "  binary:         {} bytes",
+        std::fs::metadata(&bin).unwrap().len()
+    );
     std::fs::remove_dir_all(&dir).ok();
 
     println!("\n# Ligra+-style byte-code compression");

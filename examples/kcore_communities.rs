@@ -28,7 +28,10 @@ fn main() {
 
     let result = kcore::coreness_julienne(&g);
     let oracle = kcore::coreness_bz_seq(&g);
-    assert_eq!(result.coreness, oracle.coreness, "peeling disagrees with BZ");
+    assert_eq!(
+        result.coreness, oracle.coreness,
+        "peeling disagrees with BZ"
+    );
 
     // Core-size distribution: how many vertices sit at each coreness level
     // (log-binned for readability).

@@ -21,11 +21,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(12);
     let g = rmat(scale, 10, RmatParams::default(), 0x4E37, true);
-    println!(
-        "network: n = {}, m = {}",
-        g.num_vertices(),
-        g.num_edges()
-    );
+    println!("network: n = {}, m = {}", g.num_vertices(), g.num_edges());
 
     // Connectivity.
     let cc = connected_components(&g);

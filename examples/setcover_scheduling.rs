@@ -10,9 +10,7 @@
 //! ```
 
 use julienne_repro::algorithms::setcover::{set_cover_julienne, verify_cover};
-use julienne_repro::algorithms::setcover_baselines::{
-    set_cover_greedy_seq, set_cover_pbbs_style,
-};
+use julienne_repro::algorithms::setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style};
 use julienne_repro::graph::generators::set_cover_instance;
 
 fn main() {
@@ -58,7 +56,10 @@ fn main() {
 
     // Show the assignment for a few zones.
     println!("\nsample assignments (zone -> station):");
-    for e in (0..inst.num_elements).step_by((inst.num_elements / 5).max(1)).take(5) {
+    for e in (0..inst.num_elements)
+        .step_by((inst.num_elements / 5).max(1))
+        .take(5)
+    {
         println!("  zone {e:>6} -> station {}", jul.assignment[e]);
     }
 }

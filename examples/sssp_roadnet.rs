@@ -28,7 +28,10 @@ fn main() {
     );
 
     let oracle = dijkstra::dijkstra(&g, src);
-    println!("Dijkstra (oracle): dist[corner->corner] = {}", oracle[dst as usize]);
+    println!(
+        "Dijkstra (oracle): dist[corner->corner] = {}",
+        oracle[dst as usize]
+    );
 
     for delta in [1u64, 16, 128, 1024] {
         let r = delta_stepping::delta_stepping(&g, src, delta);

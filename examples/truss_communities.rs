@@ -30,7 +30,10 @@ fn main() {
 
     let par = ktruss_julienne(&g);
     let seq = ktruss_seq(&g);
-    assert_eq!(par.trussness, seq.trussness, "parallel disagrees with oracle");
+    assert_eq!(
+        par.trussness, seq.trussness,
+        "parallel disagrees with oracle"
+    );
     println!(
         "max trussness = {} ({} peeling rounds); verified against sequential peel",
         par.max_truss, par.rounds

@@ -1,0 +1,126 @@
+//! Offline drop-in shim for the subset of the [bytes] crate this workspace
+//! uses: the [`Buf`] / [`BufMut`] cursor traits over `&[u8]` and `Vec<u8>`.
+//!
+//! The build container has no crates.io access, so the real crate cannot be
+//! fetched; this shim keeps the same semantics (little-endian reads advance
+//! the slice, writes append to the vector) for the binary graph formats.
+//!
+//! [bytes]: https://docs.rs/bytes
+
+// Shim code mirrors the upstream API surface, not clippy idiom.
+#![allow(clippy::all)]
+
+/// Read-side cursor: getters consume from the front of the buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Advances the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `cnt` bytes remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Copies `dst.len()` bytes out and advances past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+/// Write-side cursor: putters append to the back of the buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u64_le(0xDEAD_BEEF_CAFE_F00D);
+        buf.put_u32_le(42);
+        buf.put_u8(7);
+        buf.put_slice(b"xy");
+
+        let mut rd: &[u8] = &buf;
+        assert_eq!(rd.remaining(), 15);
+        assert_eq!(rd.get_u64_le(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(rd.get_u32_le(), 42);
+        assert_eq!(rd.get_u8(), 7);
+        let mut two = [0u8; 2];
+        rd.copy_to_slice(&mut two);
+        assert_eq!(&two, b"xy");
+        assert_eq!(rd.remaining(), 0);
+    }
+}

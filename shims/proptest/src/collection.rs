@@ -1,0 +1,90 @@
+//! Collection strategies: `prop::collection::{vec, btree_set}`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range_u64(self.size.start as u64, self.size.end as u64) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// A `Vec` strategy generating `size`-many elements from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with target size drawn from `size`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.gen_range_u64(self.size.start as u64, self.size.end as u64) as usize;
+        let mut out = BTreeSet::new();
+        // The element domain may be smaller than `target`; bound the retries
+        // so a saturated domain degrades to a smaller set instead of hanging.
+        let mut budget = target * 50 + 100;
+        while out.len() < target && budget > 0 {
+            out.insert(self.element.new_value(rng));
+            budget -= 1;
+        }
+        out
+    }
+}
+
+/// A `BTreeSet` strategy generating roughly `size`-many distinct elements.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn vec_respects_size(xs in crate::collection::vec(any::<u32>(), 3..10)) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 10);
+        }
+
+        fn btree_set_is_distinct(s in crate::collection::btree_set(0u32..1000, 0..50)) {
+            prop_assert!(s.len() < 50);
+        }
+
+        fn oneof_and_tuples((a, b) in (0u32..10, prop_oneof![4 => 0u32..5, 1 => Just(99u32)])) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 5 || b == 99);
+        }
+
+        fn flat_map_chains(v in (1usize..6).prop_flat_map(|n| {
+            crate::collection::vec(0u32..100, n..n + 1)
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+    }
+}

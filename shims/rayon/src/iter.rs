@@ -1,0 +1,296 @@
+//! The "parallel" iterator: a thin wrapper over a lazy sequential iterator
+//! exposing rayon's method names (including the rayon-specific signatures
+//! like two-argument `reduce`).
+
+/// Wrapper marking an iterator as a (shim) parallel iterator.
+///
+/// Deliberately does *not* implement [`Iterator`] directly, so rayon-shaped
+/// combinators (`reduce(identity, op)`, `fold(identity, op)`,
+/// `with_min_len`, …) never collide with the std trait methods of the same
+/// name.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Wraps a sequential iterator.
+    pub fn from_iter(inner: I) -> Self {
+        ParIter(inner)
+    }
+
+    /// Unwraps back to the sequential iterator.
+    pub fn into_inner(self) -> I {
+        self.0
+    }
+}
+
+/// Conversion into a (shim) parallel iterator — blanket over everything
+/// that is sequentially iterable, which mirrors every `IntoParallelIterator`
+/// impl rayon provides for owned collections, ranges and references.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type Iter = C::IntoIter;
+
+    fn into_par_iter(self) -> ParIter<C::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<I: Iterator> IntoIterator for ParIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// `.par_iter()` — by-reference parallel iteration.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a reference).
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Parallel iterator over `&self`.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `.par_iter_mut()` — by-mutable-reference parallel iteration.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element type (a mutable reference).
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Parallel iterator over `&mut self`.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Item = <&'data mut C as IntoIterator>::Item;
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each element.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keeps elements satisfying `pred`.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(pred))
+    }
+
+    /// Combined filter + map.
+    pub fn filter_map<R, F: FnMut(I::Item) -> Option<R>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Maps each element to a *sequential* iterator and flattens (rayon's
+    /// `flat_map_iter`).
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Maps each element to a parallel iterator and flattens.
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Pairs elements with their index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Zips with another parallel-iterable.
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<std::iter::Zip<I, Z::Iter>> {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Chains another parallel-iterable after this one.
+    pub fn chain<Z: IntoParallelIterator<Item = I::Item>>(
+        self,
+        other: Z,
+    ) -> ParIter<std::iter::Chain<I, Z::Iter>> {
+        ParIter(self.0.chain(other.into_par_iter().0))
+    }
+
+    /// Takes every `step`-th element.
+    pub fn step_by(self, step: usize) -> ParIter<std::iter::StepBy<I>> {
+        ParIter(self.0.step_by(step))
+    }
+
+    /// Takes the first `n` elements.
+    pub fn take(self, n: usize) -> ParIter<std::iter::Take<I>> {
+        ParIter(self.0.take(n))
+    }
+
+    /// Skips the first `n` elements.
+    pub fn skip(self, n: usize) -> ParIter<std::iter::Skip<I>> {
+        ParIter(self.0.skip(n))
+    }
+
+    /// Runs `f` on each element as it passes through.
+    pub fn inspect<F: FnMut(&I::Item)>(self, f: F) -> ParIter<std::iter::Inspect<I, F>> {
+        ParIter(self.0.inspect(f))
+    }
+
+    /// Granularity hint; a no-op in the shim.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Granularity hint; a no-op in the shim.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// Applies `f` to every element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Applies `f` to every element with a per-"thread" init value.
+    pub fn for_each_with<T, F: FnMut(&mut T, I::Item)>(self, mut init: T, mut f: F) {
+        self.0.for_each(|x| f(&mut init, x));
+    }
+
+    /// Collects into any [`FromIterator`] collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the elements.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Counts the elements.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Maximum element, if any.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Minimum element, if any.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Maximum by a key function.
+    pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.max_by_key(f)
+    }
+
+    /// Minimum by a key function.
+    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.min_by_key(f)
+    }
+
+    /// Whether all elements satisfy `pred`.
+    pub fn all<F: FnMut(I::Item) -> bool>(mut self, mut pred: F) -> bool {
+        self.0.all(|x| pred(x))
+    }
+
+    /// Whether any element satisfies `pred`.
+    pub fn any<F: FnMut(I::Item) -> bool>(mut self, mut pred: F) -> bool {
+        self.0.any(|x| pred(x))
+    }
+
+    /// First element satisfying `pred` (rayon: *some* matching element).
+    pub fn find_any<F: FnMut(&I::Item) -> bool>(self, pred: F) -> Option<I::Item> {
+        let mut it = self.0;
+        it.find(pred)
+    }
+
+    /// Rayon-style reduction: `identity()` seeds, `op` folds. With the
+    /// sequential shim this is a plain left fold, which agrees with rayon
+    /// whenever `op` is associative with identity `identity()` — the
+    /// contract rayon itself requires.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Rayon-style fold: produces the per-split partial accumulations (a
+    /// single one here) as a new parallel iterator.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+}
+
+impl<'a, I, T> ParIter<I>
+where
+    I: Iterator<Item = &'a T>,
+    T: 'a + Copy,
+{
+    /// Copies out of references.
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+}
+
+impl<'a, I, T> ParIter<I>
+where
+    I: Iterator<Item = &'a T>,
+    T: 'a + Clone,
+{
+    /// Clones out of references.
+    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
+        ParIter(self.0.cloned())
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline drop-in shim for the subset of the [rayon] API this workspace
+//! uses.
+//!
+//! The build container has no crates.io access, so the real rayon cannot be
+//! fetched. This crate provides the same *interface* — `par_iter`,
+//! `into_par_iter`, `par_chunks`, `par_sort_unstable*`, thread-pool entry
+//! points — with a deterministic sequential execution model: every
+//! "parallel" iterator is an ordinary lazy iterator evaluated in order.
+//!
+//! The semantics match rayon for all code written against it (rayon makes
+//! no ordering promises that sequential order violates, and all call sites
+//! in this workspace are order-independent by construction). Swapping the
+//! real rayon back in is a one-line change in the workspace manifest.
+//!
+//! [rayon]: https://docs.rs/rayon
+
+// Shim code mirrors the upstream API surface, not clippy idiom.
+#![allow(clippy::all)]
+
+pub mod iter;
+pub mod slice;
+
+pub mod prelude {
+    //! Mirrors `rayon::prelude`: glob-import to get the `par_*` methods.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads. The shim executes sequentially, so this is
+/// always 1 (callers use it to size chunk counts; 1 keeps them minimal).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Runs both closures and returns their results. Sequential in the shim.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (unreachable in the shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle standing in for a rayon thread pool.
+pub struct ThreadPool {
+    _threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` "inside" the pool (directly, in the shim).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the requested worker count (recorded but unused).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            _threads: self.threads,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chain_matches_sequential() {
+        let xs = vec![1u32, 2, 3, 4, 5];
+        let doubled: Vec<u32> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        let sum: u32 = xs.par_iter().copied().sum();
+        assert_eq!(sum, 15);
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let m = (0..10u64).into_par_iter().reduce(|| u64::MAX, u64::min);
+        assert_eq!(m, 0);
+        let empty = (0..0u64).into_par_iter().reduce(|| 7, u64::min);
+        assert_eq!(empty, 7);
+    }
+
+    #[test]
+    fn par_sort_and_chunks() {
+        let mut xs = vec![5u32, 1, 4, 2, 3];
+        xs.par_sort_unstable();
+        assert_eq!(xs, vec![1, 2, 3, 4, 5]);
+        let mut pairs = vec![(2, 'b'), (1, 'a'), (3, 'c')];
+        pairs.par_sort_unstable_by_key(|p| p.0);
+        assert_eq!(pairs, vec![(1, 'a'), (2, 'b'), (3, 'c')]);
+        let sums: Vec<u32> = xs.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 7, 5]);
+    }
+
+    #[test]
+    fn zip_and_enumerate() {
+        let a = vec![1, 2, 3];
+        let b = vec![10, 20, 30];
+        let zipped: Vec<(usize, i32)> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .enumerate()
+            .map(|(i, (&x, &y))| (i, x + y))
+            .collect();
+        assert_eq!(zipped, vec![(0, 11), (1, 22), (2, 33)]);
+    }
+
+    #[test]
+    fn pool_installs() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| crate::current_num_threads()), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Slice extension traits mirroring `rayon::slice`.
+
+use crate::iter::ParIter;
+
+/// `par_chunks` and friends on shared slices.
+pub trait ParallelSlice<T> {
+    /// Parallel iterator over `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+
+    /// Parallel iterator over overlapping windows.
+    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter::from_iter(self.chunks(chunk_size))
+    }
+
+    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>> {
+        ParIter::from_iter(self.windows(window_size))
+    }
+}
+
+/// `par_chunks_mut` / `par_sort_unstable*` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Parallel iterator over mutable `chunk_size`-sized chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+
+    /// Unstable sort (delegates to `sort_unstable`).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    /// Unstable sort by comparator.
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering;
+
+    /// Unstable sort by key.
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K;
+
+    /// Stable sort (delegates to `sort`).
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+
+    /// Stable sort by key.
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter::from_iter(self.chunks_mut(chunk_size))
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.sort_unstable_by(compare);
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        self.sort_unstable_by_key(key);
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        self.sort_by_key(key);
+    }
+}

@@ -91,9 +91,7 @@ fn components_oracle_and_pagerank_mass() {
 fn weighted_cover_tracks_cost_structure() {
     let inst = set_cover_instance(120, 6_000, 4, 17);
     let mut rng = SplitMix64::new(99);
-    let costs: Vec<f64> = (0..120)
-        .map(|_| 1.0 + rng.next_range(100) as f64)
-        .collect();
+    let costs: Vec<f64> = (0..120).map(|_| 1.0 + rng.next_range(100) as f64).collect();
     let par = set_cover_weighted_julienne(&inst, &costs, 0.05);
     let greedy = set_cover_weighted_greedy_seq(&inst, &costs);
     assert!(verify_cover(&inst, &par.cover));

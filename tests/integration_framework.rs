@@ -6,7 +6,7 @@ use julienne_repro::algorithms::bfs::{bfs_seq, bfs_with_mode};
 use julienne_repro::graph::compress::CompressedGraph;
 use julienne_repro::graph::generators::{erdos_renyi, rmat, RmatParams};
 use julienne_repro::graph::packed::PackedGraph;
-use julienne_repro::ligra::edge_map::{edge_map_sparse, Mode};
+use julienne_repro::ligra::edge_map::{EdgeMap, Mode};
 use julienne_repro::ligra::edge_map_reduce::edge_map_sum;
 use julienne_repro::ligra::traits::OutEdges;
 
@@ -35,13 +35,22 @@ fn sparse_edge_map_identical_across_backends() {
         out
     };
     let on_csr = run(&|| {
-        edge_map_sparse(&g, &frontier, |_, _, _| true, |v| v % 2 == 0, true).to_vertices()
+        EdgeMap::new(&g)
+            .remove_duplicates(true)
+            .run_sparse(&frontier, |_, _, _| true, |v| v % 2 == 0)
+            .to_vertices()
     });
     let on_compressed = run(&|| {
-        edge_map_sparse(&cg, &frontier, |_, _, _| true, |v| v % 2 == 0, true).to_vertices()
+        EdgeMap::new(&cg)
+            .remove_duplicates(true)
+            .run_sparse(&frontier, |_, _, _| true, |v| v % 2 == 0)
+            .to_vertices()
     });
     let on_packed = run(&|| {
-        edge_map_sparse(&pg, &frontier, |_, _, _| true, |v| v % 2 == 0, true).to_vertices()
+        EdgeMap::new(&pg)
+            .remove_duplicates(true)
+            .run_sparse(&frontier, |_, _, _| true, |v| v % 2 == 0)
+            .to_vertices()
     });
     assert_eq!(on_csr, on_compressed);
     assert_eq!(on_csr, on_packed);
@@ -52,10 +61,10 @@ fn edge_map_sum_identical_across_backends() {
     let g = rmat(10, 8, RmatParams::default(), 6, true);
     let cg = CompressedGraph::from_csr(&g);
     let frontier: Vec<u32> = (0..(g.num_vertices() as u32) / 3).collect();
-    let mut a: Vec<(u32, u32)> = edge_map_sum(&g, &frontier, |_, c| Some(c), |_| true)
-        .into_entries();
-    let mut b: Vec<(u32, u32)> = edge_map_sum(&cg, &frontier, |_, c| Some(c), |_| true)
-        .into_entries();
+    let mut a: Vec<(u32, u32)> =
+        edge_map_sum(&g, &frontier, |_, c| Some(c), |_| true).into_entries();
+    let mut b: Vec<(u32, u32)> =
+        edge_map_sum(&cg, &frontier, |_, c| Some(c), |_| true).into_entries();
     a.sort_unstable();
     b.sort_unstable();
     assert_eq!(a, b);
@@ -80,7 +89,7 @@ fn microbenchmark_invariants_across_configs() {
 /// Minimal local re-implementation of the Section 3.4 microbenchmark so the
 /// root test doesn't depend on the bench crate (dev-only target).
 mod julienne_bench_support {
-    use julienne_repro::core::bucket::{BucketDest, Buckets, Order, NULL_BKT};
+    use julienne_repro::core::bucket::{BucketDest, BucketsBuilder, Order, NULL_BKT};
     use julienne_repro::graph::generators::random_regular;
     use julienne_repro::ligra::traits::OutEdges;
     use julienne_repro::primitives::rng::hash_range;
@@ -91,12 +100,13 @@ mod julienne_bench_support {
         let d: Vec<AtomicU32> = (0..n as u64)
             .map(|i| AtomicU32::new(hash_range(7, i, b as u64) as u32))
             .collect();
-        let mut buckets = Buckets::with_open_buckets(
+        let mut buckets = BucketsBuilder::new(
             n,
             |i: u32| d[i as usize].load(Ordering::SeqCst),
             Order::Increasing,
-            num_open,
-        );
+        )
+        .open_buckets(num_open)
+        .build();
         while let Some((cur, ids)) = buckets.next_bucket() {
             let mut moves: Vec<(u32, BucketDest)> = Vec::new();
             for &i in &ids {

@@ -2,9 +2,7 @@
 //! the work-efficiency separation against the PBBS-style baseline.
 
 use julienne_repro::algorithms::setcover::{set_cover_julienne, verify_cover};
-use julienne_repro::algorithms::setcover_baselines::{
-    set_cover_greedy_seq, set_cover_pbbs_style,
-};
+use julienne_repro::algorithms::setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style};
 use julienne_repro::graph::generators::set_cover_instance;
 
 #[test]
@@ -15,9 +13,18 @@ fn all_implementations_cover_all_families() {
             let jul = set_cover_julienne(&inst, 0.01);
             let pbbs = set_cover_pbbs_style(&inst, 0.01);
             let greedy = set_cover_greedy_seq(&inst);
-            assert!(verify_cover(&inst, &jul.cover), "julienne {sets}/{elems}/{seed}");
-            assert!(verify_cover(&inst, &pbbs.cover), "pbbs {sets}/{elems}/{seed}");
-            assert!(verify_cover(&inst, &greedy.cover), "greedy {sets}/{elems}/{seed}");
+            assert!(
+                verify_cover(&inst, &jul.cover),
+                "julienne {sets}/{elems}/{seed}"
+            );
+            assert!(
+                verify_cover(&inst, &pbbs.cover),
+                "pbbs {sets}/{elems}/{seed}"
+            );
+            assert!(
+                verify_cover(&inst, &greedy.cover),
+                "greedy {sets}/{elems}/{seed}"
+            );
         }
     }
 }

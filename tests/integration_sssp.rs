@@ -12,10 +12,20 @@ use julienne_repro::graph::transform::{assign_weights, wbfs_weight_range};
 use julienne_repro::graph::WGraph;
 
 fn weighted_families(heavy: bool) -> Vec<(&'static str, WGraph)> {
-    let (lo, hi) = if heavy { (1, 100_000) } else { wbfs_weight_range(2048) };
+    let (lo, hi) = if heavy {
+        (1, 100_000)
+    } else {
+        wbfs_weight_range(2048)
+    };
     vec![
-        ("er-sym", assign_weights(&erdos_renyi(2_000, 16_000, 1, true), lo, hi, 11)),
-        ("rmat-dir", assign_weights(&rmat(11, 8, RmatParams::default(), 2, false), lo, hi, 12)),
+        (
+            "er-sym",
+            assign_weights(&erdos_renyi(2_000, 16_000, 1, true), lo, hi, 11),
+        ),
+        (
+            "rmat-dir",
+            assign_weights(&rmat(11, 8, RmatParams::default(), 2, false), lo, hi, 12),
+        ),
         ("grid", assign_weights(&grid2d(45, 45), lo, hi, 13)),
     ]
 }

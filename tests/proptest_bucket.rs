@@ -3,7 +3,7 @@
 //! under arbitrary initial bucketings and random monotone update streams,
 //! in both orders and at any number of open buckets.
 
-use julienne::bucket::{BucketDest, Buckets, Order, SeqBuckets, NULL_BKT};
+use julienne::bucket::{BucketDest, BucketsBuilder, Order, SeqBuckets, NULL_BKT};
 use julienne_primitives::rng::SplitMix64;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
@@ -15,12 +15,13 @@ fn drive(initial: Vec<u32>, order: Order, num_open: usize, update_seed: u64) {
     let d_par: Vec<AtomicU32> = initial.iter().map(|&x| AtomicU32::new(x)).collect();
     let d_seq: Vec<AtomicU32> = initial.iter().map(|&x| AtomicU32::new(x)).collect();
 
-    let mut par = Buckets::with_open_buckets(
+    let mut par = BucketsBuilder::new(
         n,
         |i: u32| d_par[i as usize].load(AtomicOrdering::SeqCst),
         order,
-        num_open,
-    );
+    )
+    .open_buckets(num_open)
+    .build();
     let mut seq = SeqBuckets::new(
         n,
         |i: u32| d_seq[i as usize].load(AtomicOrdering::SeqCst),
@@ -97,7 +98,11 @@ fn drive(initial: Vec<u32>, order: Order, num_open: usize, update_seed: u64) {
     // Everything initially bucketed must have been extracted.
     for i in 0..n {
         if initial[i] != NULL_BKT {
-            assert!(extracted[i], "id {i} (bucket {}) never extracted", initial[i]);
+            assert!(
+                extracted[i],
+                "id {i} (bucket {}) never extracted",
+                initial[i]
+            );
         }
     }
 }
@@ -133,9 +138,11 @@ proptest! {
         // No updates at all: extraction must equal a stable sort by bucket.
         let n = initial.len();
         let d: Vec<AtomicU32> = initial.iter().map(|&x| AtomicU32::new(x)).collect();
-        let mut b = Buckets::with_open_buckets(
+        let mut b = BucketsBuilder::new(
             n, |i: u32| d[i as usize].load(AtomicOrdering::SeqCst),
-            Order::Increasing, num_open);
+            Order::Increasing)
+            .open_buckets(num_open)
+            .build();
         let mut got: Vec<(u32, u32)> = Vec::new();
         while let Some((k, ids)) = b.next_bucket() {
             for i in ids {

@@ -4,24 +4,24 @@
 
 use julienne_repro::graph::builder::EdgeList;
 use julienne_repro::graph::{Csr, Graph};
-use julienne_repro::ligra::edge_map::{edge_map, EdgeMapOptions, Mode};
-use julienne_repro::ligra::edge_map_reduce::{
-    edge_map_sum, edge_map_sum_with_scratch, SumScratch,
-};
+use julienne_repro::ligra::edge_map::{EdgeMap, Mode};
+use julienne_repro::ligra::edge_map_reduce::{edge_map_sum, edge_map_sum_with_scratch, SumScratch};
 use julienne_repro::ligra::subset::VertexSubset;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..150, prop::collection::vec((any::<u32>(), any::<u32>()), 0..900)).prop_map(
-        |(n, raw)| {
+    (
+        2usize..150,
+        prop::collection::vec((any::<u32>(), any::<u32>()), 0..900),
+    )
+        .prop_map(|(n, raw)| {
             let mut el: EdgeList<()> = EdgeList::new(n);
             for (a, b) in raw {
                 el.push(a % n as u32, b % n as u32, ());
             }
             el.build_symmetric()
-        },
-    )
+        })
 }
 
 fn arb_frontier(n: usize) -> impl Strategy<Value = Vec<u32>> {
@@ -56,13 +56,10 @@ proptest! {
         let frontier = VertexSubset::from_vertices(n, frontier_ids.clone());
         let cond = |v: u32| v % 3 != 1;
         let run = |mode: Mode| {
-            let out = edge_map(
-                &g,
-                &frontier,
-                |_, _, _| true,
-                cond,
-                EdgeMapOptions { mode, remove_duplicates: true, ..Default::default() },
-            );
+            let out = EdgeMap::new(&g)
+                .mode(mode)
+                .remove_duplicates(true)
+                .run(&frontier, |_, _, _| true, cond);
             let mut ids = out.to_vertices();
             ids.sort_unstable();
             ids
@@ -108,10 +105,10 @@ proptest! {
         (Just(g), arb_frontier(n))
     })) {
         let fs = VertexSubset::from_vertices(g.num_vertices(), frontier);
-        let out = edge_map(
-            &g, &fs, |_, _, _| true, |_| true,
-            EdgeMapOptions { mode: Mode::Sparse, remove_duplicates: true, ..Default::default() },
-        );
+        let out = EdgeMap::new(&g)
+            .mode(Mode::Sparse)
+            .remove_duplicates(true)
+            .run(&fs, |_, _, _| true, |_| true);
         let mut ids = out.to_vertices();
         let before = ids.len();
         ids.sort_unstable();

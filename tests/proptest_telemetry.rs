@@ -1,0 +1,81 @@
+//! Property tests for the telemetry layer: enabling collection must never
+//! change algorithm outputs (telemetry is observe-only), and the counters
+//! and per-round records an enabled engine accumulates must be internally
+//! consistent with the algorithm's own result counters.
+
+use julienne_repro::algorithms::delta_stepping::delta_stepping_with;
+use julienne_repro::algorithms::kcore::coreness_julienne_with;
+use julienne_repro::graph::builder::EdgeList;
+use julienne_repro::graph::Csr;
+use julienne_repro::prelude::{Counter, Engine};
+use proptest::prelude::*;
+
+fn arb_weighted_graph() -> impl Strategy<Value = Csr<u32>> {
+    (
+        2usize..100,
+        prop::collection::vec((any::<u32>(), any::<u32>(), 1u32..1000), 0..600),
+    )
+        .prop_map(|(n, raw)| {
+            let mut el: EdgeList<u32> = EdgeList::new(n);
+            for (a, b, w) in raw {
+                el.push_undirected(a % n as u32, b % n as u32, w);
+            }
+            el.build_symmetric()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kcore_output_identical_with_and_without_telemetry(g in arb_weighted_graph()) {
+        let plain = coreness_julienne_with(&g, &Engine::default());
+        let traced_engine = Engine::builder().telemetry(true).build();
+        let traced = coreness_julienne_with(&g, &traced_engine);
+        prop_assert_eq!(&plain.coreness, &traced.coreness);
+        prop_assert_eq!(plain.rounds, traced.rounds);
+        prop_assert_eq!(plain.identifiers_moved, traced.identifiers_moved);
+        // When the feature is compiled in, the enabled sink must agree with
+        // the algorithm's own counters.
+        #[cfg(feature = "telemetry")]
+        {
+            let t = traced_engine.telemetry();
+            prop_assert_eq!(t.get(Counter::Rounds), traced.rounds);
+            prop_assert_eq!(t.get(Counter::VerticesScanned), traced.vertices_scanned);
+            prop_assert_eq!(t.get(Counter::EdgesScanned), traced.edges_traversed);
+            let records = t.rounds();
+            prop_assert_eq!(records.len() as u64, traced.rounds);
+            let frontier_sum: u64 = records.iter().map(|r| r.frontier as u64).sum();
+            prop_assert_eq!(frontier_sum, g.num_vertices() as u64);
+        }
+        // The disabled sink must stay empty either way.
+        let _ = Counter::Rounds; // used only under the feature gate above
+        prop_assert_eq!(Engine::default().telemetry().get(Counter::Rounds), 0);
+    }
+
+    #[test]
+    fn sssp_output_identical_with_and_without_telemetry(
+        (g, src, delta) in arb_weighted_graph().prop_flat_map(|g| {
+            let n = g.num_vertices() as u32;
+            (Just(g), 0..n, prop_oneof![Just(1u64), Just(64), Just(1 << 20)])
+        })
+    ) {
+        let plain = delta_stepping_with(&g, src, delta, &Engine::default());
+        let traced_engine = Engine::builder().telemetry(true).build();
+        let traced = delta_stepping_with(&g, src, delta, &traced_engine);
+        prop_assert_eq!(&plain.dist, &traced.dist);
+        prop_assert_eq!(plain.rounds, traced.rounds);
+        prop_assert_eq!(plain.relaxations, traced.relaxations);
+        prop_assert_eq!(plain.identifiers_moved, traced.identifiers_moved);
+        #[cfg(feature = "telemetry")]
+        {
+            let t = traced_engine.telemetry();
+            prop_assert_eq!(t.get(Counter::Rounds), traced.rounds);
+            // Each round is a sparse traversal of the extracted annulus.
+            prop_assert_eq!(t.get(Counter::SparseTraversals), traced.rounds);
+            let records = t.rounds();
+            let scanned: u64 = records.iter().map(|r| r.edges_scanned).sum();
+            prop_assert_eq!(scanned, traced.relaxations);
+        }
+    }
+}
