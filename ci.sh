@@ -21,4 +21,21 @@ run cargo build --release --workspace --no-default-features
 run cargo test -q --workspace --no-default-features
 run cargo clippy --workspace --all-targets --no-default-features -- -D warnings
 
+# --- thread-count matrix ----------------------------------------------------
+# The runtime guarantees outputs are identical at every thread count; run the
+# whole suite pinned to 1 worker and to 4 workers to hold it to that.
+run env JULIENNE_NUM_THREADS=1 cargo test -q --workspace
+run env JULIENNE_NUM_THREADS=4 cargo test -q --workspace
+
+# --- concurrency stress ------------------------------------------------------
+# Re-run the lock-free kernels (atomics, bucket structure, worker pool) many
+# times to shake out schedule-dependent bugs that a single pass can miss.
+STRESS_ITERS="${STRESS_ITERS:-10}"
+echo "==> stress: ${STRESS_ITERS}x atomics + bucket + pool tests"
+for _ in $(seq 1 "$STRESS_ITERS"); do
+    cargo test -q -p julienne-primitives atomics >/dev/null
+    cargo test -q -p julienne bucket >/dev/null
+    cargo test -q -p rayon >/dev/null
+done
+
 echo "ci.sh: all checks passed"

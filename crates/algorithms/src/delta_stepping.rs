@@ -52,11 +52,19 @@ impl From<DeltaResult> for SsspResult {
     }
 }
 
+/// Largest usable bucket id: `NULL_BKT` is reserved as the "no bucket"
+/// sentinel, so distances whose annulus index would reach it are clamped to
+/// the id just below. Clamping is *correct*, not just safe: all clamped
+/// vertices share the final bucket, and re-relaxations within a bucket
+/// reinsert into the current bucket (`get_bucket` handles
+/// `next == current`), so processing that bucket converges to the exact
+/// distances Bellman-Ford-style — it merely loses priority ordering among
+/// those extreme vertices.
+const MAX_ANNULUS: u64 = NULL_BKT as u64 - 1;
+
 #[inline]
 fn annulus(dist: u64, delta: u64) -> BucketId {
-    let b = dist / delta;
-    debug_assert!(b < NULL_BKT as u64, "distance overflows bucket id space");
-    b as BucketId
+    (dist / delta).min(MAX_ANNULUS) as BucketId
 }
 
 /// Δ-stepping from `src` with bucket width `delta` (Algorithm 2).
@@ -363,6 +371,44 @@ mod tests {
             r.identifiers_moved,
             g.num_edges()
         );
+    }
+
+    #[test]
+    fn annulus_overflow_clamps_to_last_bucket() {
+        // With Δ = 1 and max-weight (u32::MAX) edges, path lengths blow past
+        // the 32-bit bucket-id space after two hops. The annulus index used
+        // to truncate silently in release builds (and trip a debug_assert in
+        // debug builds); it must instead clamp to the last valid bucket and
+        // still produce exact distances.
+        use julienne_graph::builder::EdgeList;
+        let n = 6;
+        let mut el: EdgeList<u32> = EdgeList::new(n);
+        for u in 0..(n as u32 - 1) {
+            el.push(u, u + 1, u32::MAX);
+        }
+        // A shortcut with a light edge: forces mixed annuli, including ids
+        // both below and at the clamp.
+        el.push(0, 2, 3);
+        let g = el.build(false);
+        let oracle = dijkstra(&g, 0);
+        assert!(
+            *oracle.iter().filter(|&&d| d != INF).max().unwrap() > NULL_BKT as u64,
+            "test graph must actually overflow the bucket-id space"
+        );
+        for delta in [1u64, 2] {
+            let r = delta_stepping(&g, 0, delta);
+            assert_eq!(r.dist, oracle, "delta {delta}");
+            let lh = delta_stepping_light_heavy(&g, 0, delta);
+            assert_eq!(lh.dist, oracle, "light/heavy delta {delta}");
+        }
+    }
+
+    #[test]
+    fn annulus_function_clamps_not_wraps() {
+        assert_eq!(annulus(u64::MAX, 1), MAX_ANNULUS as BucketId);
+        assert_eq!(annulus(NULL_BKT as u64, 1), MAX_ANNULUS as BucketId);
+        assert_eq!(annulus(NULL_BKT as u64 - 1, 1), NULL_BKT - 1);
+        assert_eq!(annulus(10, 3), 3);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Thread-count scaling of the Julienne implementations on the Table 3
+//! inputs: times each application at 1, 2, 4, and 8 worker threads and
+//! checks that every run's output is identical to the 1-thread run — the
+//! runtime's determinism contract, witnessed end to end while measuring
+//! self-relative speedup.
+//!
+//! Usage: `cargo run -p julienne-bench --release --bin scaling [scale] [kcore|wbfs|delta|setcover|all]`
+//!
+//! Note: speedup is only meaningful on a machine whose hardware parallelism
+//! covers the sweep; on fewer cores the higher thread counts still run (and
+//! still produce identical output) but cannot run faster.
+
+use julienne_algorithms::{
+    delta_stepping, dijkstra, kcore,
+    setcover::{set_cover_julienne, verify_cover},
+};
+use julienne_bench::report::Table;
+use julienne_bench::suite::{setcover_suite, symmetric_suite, weighted_suite, DEFAULT_SCALE};
+use julienne_bench::sweep::with_threads;
+use julienne_bench::timing::time;
+use std::sync::Mutex;
+
+/// The sweep: powers of two, matching the paper's scaling figures.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+// Collected (application, graph, threads, seconds) rows for the artifacts.
+static CSV: Mutex<Vec<(String, String, usize, f64)>> = Mutex::new(Vec::new());
+
+fn header() {
+    print!("{:<22} {:<14}", "application", "graph");
+    for t in THREADS {
+        print!(" {:>8}", format!("T({t})"));
+    }
+    println!(" {:>7}", "SU(max)");
+}
+
+fn row(app: &str, graph: &str, secs: &[f64]) {
+    print!("{app:<22} {graph:<14}");
+    for (&t, &s) in THREADS.iter().zip(secs) {
+        print!(" {s:>8.3}");
+        CSV.lock()
+            .unwrap()
+            .push((app.to_string(), graph.to_string(), t, s));
+    }
+    println!(" {:>7.2}", secs[0] / secs.last().unwrap());
+}
+
+/// Times `run()` at each thread count and checks each result against the
+/// 1-thread result with `same`.
+fn sweep<R: Send>(run: impl Fn() -> R + Sync, same: impl Fn(&R, &R) -> bool) -> Vec<f64> {
+    let mut secs = Vec::with_capacity(THREADS.len());
+    let mut reference: Option<R> = None;
+    for t in THREADS {
+        let (r, s) = with_threads(t, || time(&run));
+        match &reference {
+            None => reference = Some(r),
+            Some(r1) => assert!(same(r1, &r), "output diverged at {t} threads"),
+        }
+        secs.push(s);
+    }
+    secs
+}
+
+fn run_kcore(scale: u32) {
+    println!("\n## k-core (coreness)");
+    header();
+    for named in symmetric_suite(scale) {
+        let g = &named.graph;
+        let secs = sweep(
+            || kcore::coreness_julienne(g),
+            |a, b| a.coreness == b.coreness,
+        );
+        row("k-core (Julienne)", named.name, &secs);
+    }
+}
+
+fn run_sssp(scale: u32, heavy: bool) {
+    let (title, app, delta) = if heavy {
+        (
+            "Δ-stepping (weights [1,1e5), Δ=32768)",
+            "Δ-stepping",
+            32768u64,
+        )
+    } else {
+        ("wBFS (weights [1,log n), Δ=1)", "wBFS", 1u64)
+    };
+    println!("\n## {title}");
+    header();
+    for (name, g) in weighted_suite(scale, heavy) {
+        let oracle = dijkstra::dijkstra(&g, 0);
+        let secs = sweep(
+            || {
+                let r = delta_stepping::delta_stepping(&g, 0, delta);
+                assert_eq!(r.dist, oracle, "{app} wrong on {name}");
+                r
+            },
+            |a, b| a.dist == b.dist && a.rounds == b.rounds,
+        );
+        row(app, name, &secs);
+    }
+}
+
+fn run_setcover(scale: u32) {
+    println!("\n## Approximate set cover (ε = 0.01)");
+    header();
+    for (name, inst) in setcover_suite(scale) {
+        let secs = sweep(
+            || {
+                let r = set_cover_julienne(&inst, 0.01);
+                assert!(verify_cover(&inst, &r.cover), "invalid cover on {name}");
+                r
+            },
+            |a, b| a.cover == b.cover && a.rounds == b.rounds,
+        );
+        row("Set Cover (Julienne)", name, &secs);
+    }
+}
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE);
+    let which = std::env::args().nth(2).unwrap_or_else(|| "all".into());
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("# Thread scaling (scale = {scale}, hardware parallelism = {hw})");
+    if hw < *THREADS.last().unwrap() {
+        println!("# warning: sweep exceeds hardware parallelism; speedups above {hw} threads are not meaningful");
+    }
+    match which.as_str() {
+        "kcore" => run_kcore(scale),
+        "wbfs" => run_sssp(scale, false),
+        "delta" => run_sssp(scale, true),
+        "setcover" => run_setcover(scale),
+        _ => {
+            run_kcore(scale);
+            run_sssp(scale, false);
+            run_sssp(scale, true);
+            run_setcover(scale);
+        }
+    }
+    println!("\nall outputs identical across thread counts");
+    let mut table = Table::new("scaling", &["application", "graph", "threads", "seconds"]);
+    for (app, graph, t, s) in CSV.lock().unwrap().iter() {
+        table.rowf(&[app, graph, t, s]);
+    }
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let out = dir.join("scaling.csv");
+    if table.write_csv(&out).is_ok() {
+        println!("(wrote {})", out.display());
+    }
+    let json_out = dir.join("scaling.json");
+    if table.write_json(&json_out).is_ok() {
+        println!("(wrote {})", json_out.display());
+    }
+}

@@ -46,6 +46,12 @@ pub fn cmd_gen(a: &Args) -> CmdResult {
     let weights = a.string_or("weights", "none");
     a.finish().map_err(|e| e.to_string())?;
 
+    if scale >= usize::BITS {
+        return Err(format!(
+            "scale={scale} is too large (2^scale vertices must fit in usize; max scale is {})",
+            usize::BITS - 1
+        ));
+    }
     let n = 1usize << scale;
     let g: Graph = match kind.as_str() {
         "rmat" => rmat(scale, ef, RmatParams::default(), seed, symmetric),
@@ -175,6 +181,9 @@ pub fn cmd_sssp(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
     let src: u32 = a.get_or("src", 0).map_err(|e| e.to_string())?;
     let delta: u64 = a.get_or("delta", 32768).map_err(|e| e.to_string())?;
+    if delta == 0 {
+        return Err("delta=0 is invalid; the bucket width must be >= 1".into());
+    }
     let algo = a.string_or("algo", "delta");
     let (engine, emit_json) = stats_engine(a)?;
     a.finish().map_err(|e| e.to_string())?;
@@ -323,12 +332,17 @@ pub fn cmd_clustering(a: &Args) -> CmdResult {
 pub fn cmd_pagerank(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
     let damping: f64 = a.get_or("damping", 0.85).map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&damping) {
+        return Err(format!(
+            "damping={damping} out of range (expected 0 <= damping <= 1)"
+        ));
+    }
     let iters: u32 = a.get_or("iters", 100).map_err(|e| e.to_string())?;
     a.finish().map_err(|e| e.to_string())?;
     let g: Graph = load(&input)?;
     let r = pagerank(&g, damping, 1e-9, iters);
     let mut top: Vec<(usize, f64)> = r.rank.iter().copied().enumerate().collect();
-    top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut out = format!("iterations={}\n", r.iterations);
     let _ = writeln!(out, "top vertices by rank:");
     for (v, score) in top.into_iter().take(5) {
@@ -387,6 +401,9 @@ COMMANDS:
   help
 
 Options may be written key=value, --key=value, or --key value.
+threads=<n> (any command) sets the process-wide worker-thread count, like
+the JULIENNE_NUM_THREADS environment variable; outputs are identical at
+every thread count.
 stats=json appends one JSON object per run: accumulated counters plus a
 per-round trace (round, bucket, frontier, edges scanned/relaxed,
 sparse-vs-dense choice, elapsed microseconds).
@@ -395,7 +412,16 @@ sparse-vs-dense choice, elapsed microseconds).
 }
 
 /// Dispatches a parsed command.
+///
+/// The `threads=` option is global: it is consumed here (before the
+/// subcommand runs) and sets the process-wide worker-thread count, the same
+/// knob as `JULIENNE_NUM_THREADS`. Outputs are identical at every thread
+/// count, so this only affects speed.
 pub fn dispatch(a: &Args) -> CmdResult {
+    let threads: usize = a.get_or("threads", 0).map_err(|e| e.to_string())?;
+    if threads > 0 {
+        rayon::set_num_threads(threads);
+    }
     match a.command.as_str() {
         "gen" => cmd_gen(a),
         "stats" => cmd_stats(a),
@@ -540,5 +566,51 @@ mod tests {
     #[test]
     fn help_works() {
         assert!(run("help").unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn oversized_scale_is_a_usage_error_not_a_panic() {
+        let f = tmp("huge.bin");
+        let e = run(&format!("gen kind=rmat scale=99 out={f}")).unwrap_err();
+        assert!(e.contains("scale=99"), "{e}");
+        assert!(e.contains("too large"), "{e}");
+    }
+
+    #[test]
+    fn zero_delta_is_a_usage_error_not_a_panic() {
+        let f = tmp("zd.bin");
+        run(&format!("gen kind=rmat scale=8 weights=log out={f}")).unwrap();
+        let e = run(&format!("sssp in={f} delta=0")).unwrap_err();
+        assert!(e.contains("delta=0"), "{e}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn bad_damping_is_a_usage_error_not_a_panic() {
+        let f = tmp("bd.bin");
+        run(&format!("gen kind=rmat scale=8 out={f}")).unwrap();
+        for bad in ["damping=1.5", "damping=-0.1", "damping=NaN"] {
+            let e = run(&format!("pagerank in={f} {bad}")).unwrap_err();
+            assert!(e.contains("damping"), "{bad}: {e}");
+        }
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn non_numeric_value_names_the_offending_token() {
+        let e = run("gen kind=rmat scale=abc out=x.bin").unwrap_err();
+        assert!(e.contains("scale"), "{e}");
+        assert!(e.contains("abc"), "{e}");
+    }
+
+    #[test]
+    fn global_threads_option_is_accepted_by_any_command() {
+        let f = tmp("th.bin");
+        run(&format!("gen kind=rmat scale=8 out={f} threads=2")).unwrap();
+        let out = run(&format!("components in={f} threads=1")).unwrap();
+        assert!(out.contains("components="), "{out}");
+        let e = run(&format!("components in={f} threads=zzz")).unwrap_err();
+        assert!(e.contains("threads"), "{e}");
+        std::fs::remove_file(f).ok();
     }
 }

@@ -40,6 +40,7 @@ use julienne_primitives::telemetry::{Telemetry, TelemetrySnapshot};
 pub struct Engine {
     edge_map_opts: EdgeMapOptions,
     open_buckets: usize,
+    num_threads: Option<usize>,
     telemetry: Telemetry,
 }
 
@@ -57,6 +58,7 @@ impl Engine {
         EngineBuilder {
             edge_map_opts: EdgeMapOptions::default(),
             open_buckets: DEFAULT_OPEN_BUCKETS,
+            num_threads: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -91,6 +93,13 @@ impl Engine {
         self.open_buckets
     }
 
+    /// The worker-thread count requested at build time, if any. `None`
+    /// means the process-wide default (`JULIENNE_NUM_THREADS` or the
+    /// hardware parallelism) was left in place.
+    pub fn num_threads(&self) -> Option<usize> {
+        self.num_threads
+    }
+
     /// The shared telemetry sink (a no-op sink unless enabled via the
     /// builder and the `telemetry` feature).
     pub fn telemetry(&self) -> &Telemetry {
@@ -113,6 +122,7 @@ impl Engine {
 pub struct EngineBuilder {
     edge_map_opts: EdgeMapOptions,
     open_buckets: usize,
+    num_threads: Option<usize>,
     telemetry: Telemetry,
 }
 
@@ -166,11 +176,27 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the worker-thread count for all parallel primitives.
+    ///
+    /// This configures the *process-wide* runtime (the same knob as the
+    /// `JULIENNE_NUM_THREADS` environment variable), applied when
+    /// [`build`](Self::build) runs; it is not scoped to one engine. `0` is
+    /// treated as 1. Outputs are bit-identical at every thread count — see
+    /// the runtime's determinism contract — so this only affects speed.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n.max(1));
+        self
+    }
+
     /// Finalizes the engine.
     pub fn build(self) -> Engine {
+        if let Some(n) = self.num_threads {
+            rayon::set_num_threads(n);
+        }
         Engine {
             edge_map_opts: self.edge_map_opts,
             open_buckets: self.open_buckets,
+            num_threads: self.num_threads,
             telemetry: self.telemetry,
         }
     }

@@ -105,6 +105,12 @@ pub fn write_edge_list<W: Weight>(g: &Csr<W>, path: &Path) -> io::Result<()> {
 
 /// Reads a whitespace edge list; lines starting with `#` or `%` are
 /// comments. `n` is inferred as `1 + max id` unless given.
+///
+/// Errors with `InvalidData` if the file contains no edges and `n` was not
+/// supplied (there is no defensible vertex count to infer — the old
+/// behaviour silently produced a bogus 1-vertex graph), or if any endpoint
+/// is `>= n` for a user-supplied `n` (those edges previously survived until
+/// an out-of-bounds index deep inside CSR construction).
 pub fn read_edge_list<W: Weight>(
     path: &Path,
     n: Option<usize>,
@@ -113,14 +119,19 @@ pub fn read_edge_list<W: Weight>(
     let reader = BufReader::new(File::open(path)?);
     let mut edges: Vec<(VertexId, VertexId, W)> = Vec::new();
     let mut max_id = 0u32;
-    for line in reader.lines() {
+    for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
         }
         let mut it = line.split_whitespace();
-        let bad = || io::Error::new(io::ErrorKind::InvalidData, "bad edge line");
+        let bad = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad edge line {}: {line:?}", lineno + 1),
+            )
+        };
         let u: VertexId = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let v: VertexId = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let w = if W::IS_UNIT {
@@ -129,8 +140,29 @@ pub fn read_edge_list<W: Weight>(
             let raw: u64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
             W::from_u64(raw)
         };
+        if let Some(n) = n {
+            if u as usize >= n || v as usize >= n {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "edge ({u}, {v}) on line {} references a vertex >= n = {n}",
+                        lineno + 1
+                    ),
+                ));
+            }
+        }
         max_id = max_id.max(u).max(v);
         edges.push((u, v, w));
+    }
+    if edges.is_empty() && n.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "edge list {} contains no edges; pass an explicit vertex count \
+                 to load an edgeless graph",
+                path.display()
+            ),
+        ));
     }
     let n = n.unwrap_or(max_id as usize + 1);
     let mut el = EdgeList::new(n);
@@ -524,5 +556,46 @@ mod tests {
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 2);
         std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn empty_edge_list_without_n_is_rejected() {
+        // An empty (or comment-only) file used to infer n = 1 and produce a
+        // bogus 1-vertex graph; it must be an error unless n is explicit.
+        let p = tmp("empty");
+        std::fs::write(&p, "").unwrap();
+        let err = read_edge_list::<()>(&p, None, false).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("no edges"), "{err}");
+        std::fs::remove_file(&p).ok();
+
+        let p = tmp("comment-only");
+        std::fs::write(&p, "# nothing here\n% nor here\n\n").unwrap();
+        let err = read_edge_list::<()>(&p, None, false).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_edge_list_with_explicit_n_is_allowed() {
+        let p = tmp("empty-n");
+        std::fs::write(&p, "# edgeless\n").unwrap();
+        let g: Csr<()> = read_edge_list(&p, Some(4), false).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn edge_list_endpoint_beyond_supplied_n_is_rejected() {
+        // Endpoints >= a user-supplied n used to be accepted and later
+        // indexed out of bounds during CSR construction.
+        let p = tmp("oob");
+        std::fs::write(&p, "0 1\n2 7\n").unwrap();
+        let err = read_edge_list::<()>(&p, Some(3), false).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("(2, 7)"), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&p).ok();
     }
 }

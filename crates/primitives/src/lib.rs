@@ -38,17 +38,25 @@ pub mod unsafe_write;
 /// PBBS-style codes.
 pub const SEQ_THRESHOLD: usize = 2048;
 
+/// Cap on [`num_chunks`]: bounds per-call combine overhead while leaving
+/// enough chunks to saturate any pool this workspace targets.
+pub const MAX_CHUNKS: usize = 64;
+
 /// Number of chunks to split `n` elements into for two-pass (chunk-local +
-/// combine) parallel algorithms. Uses enough chunks to saturate the pool
-/// while keeping per-chunk state cache-resident.
+/// combine) parallel algorithms: one chunk per [`SEQ_THRESHOLD`] elements,
+/// capped at [`MAX_CHUNKS`].
+///
+/// Deliberately a pure function of `n` — **never** of the thread count —
+/// so chunk boundaries, and with them every chunk-local partial result
+/// (prefix sums, packed offsets, histogram buckets, …), are identical no
+/// matter how many worker threads execute the chunks. This is what makes
+/// whole-algorithm outputs bit-identical across `JULIENNE_NUM_THREADS`
+/// settings.
 pub fn num_chunks(n: usize) -> usize {
     if n <= SEQ_THRESHOLD {
         1
     } else {
-        let threads = rayon::current_num_threads();
-        let by_threads = 8 * threads;
-        let by_size = n.div_ceil(SEQ_THRESHOLD);
-        by_threads.min(by_size).max(1)
+        n.div_ceil(SEQ_THRESHOLD).min(MAX_CHUNKS)
     }
 }
 
@@ -90,5 +98,20 @@ mod tests {
         assert_eq!(num_chunks(0), 1);
         assert_eq!(num_chunks(SEQ_THRESHOLD), 1);
         assert!(num_chunks(SEQ_THRESHOLD + 1) >= 1);
+    }
+
+    #[test]
+    fn num_chunks_is_thread_count_independent() {
+        let sizes = [0usize, 100, 2049, 100_000, 10_000_000];
+        let at_default: Vec<usize> = sizes.iter().map(|&n| num_chunks(n)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let inside: Vec<usize> =
+                pool.install(|| sizes.iter().map(|&n| num_chunks(n)).collect());
+            assert_eq!(inside, at_default, "threads = {threads}");
+        }
     }
 }

@@ -1,16 +1,39 @@
 //! Offline drop-in shim for the subset of the [rayon] API this workspace
-//! uses.
+//! uses — with a **real multi-threaded runtime**.
 //!
 //! The build container has no crates.io access, so the real rayon cannot be
 //! fetched. This crate provides the same *interface* — `par_iter`,
-//! `into_par_iter`, `par_chunks`, `par_sort_unstable*`, thread-pool entry
-//! points — with a deterministic sequential execution model: every
-//! "parallel" iterator is an ordinary lazy iterator evaluated in order.
+//! `into_par_iter`, `par_chunks(_mut)`, `par_sort_unstable*`, `join`,
+//! thread-pool entry points — executed on a lazily-spawned global pool of
+//! `std::thread` workers (see [`pool`]). Swapping the real rayon back in is
+//! a one-line change in the workspace manifest.
 //!
-//! The semantics match rayon for all code written against it (rayon makes
-//! no ordering promises that sequential order violates, and all call sites
-//! in this workspace are order-independent by construction). Swapping the
-//! real rayon back in is a one-line change in the workspace manifest.
+//! # Thread-count control
+//!
+//! The default worker count is, in order of precedence:
+//! 1. the `JULIENNE_NUM_THREADS` environment variable (read once, at pool
+//!    initialization),
+//! 2. [`std::thread::available_parallelism`],
+//! clamped to `1..=`[`pool::MAX_THREADS`]. It can be changed at runtime
+//! with [`set_num_threads`] (the hook behind
+//! `julienne::EngineBuilder::num_threads`), and overridden for a scope with
+//! [`ThreadPool::install`], which the bench harness uses for its
+//! 1/2/4/8-thread sweeps. [`current_num_threads`] reports the effective
+//! value for the calling thread.
+//!
+//! # Determinism
+//!
+//! Unlike upstream rayon, every operation here is **bit-deterministic
+//! across thread counts**: work is cut into pieces whose count and
+//! boundaries are a pure function of the input length (never of the thread
+//! count), and per-piece partial results are combined in piece order on the
+//! calling thread. In particular floating-point reductions (`sum`,
+//! `reduce`) associate identically at 1 and N threads, and the parallel
+//! sorts produce identical permutations. Running the same program twice at
+//! different `JULIENNE_NUM_THREADS` values therefore yields byte-identical
+//! output (given the usual caveat that user closures must not themselves
+//! race: side effects still need the atomics / disjoint-write protocols the
+//! workspace already uses).
 //!
 //! [rayon]: https://docs.rs/rayon
 
@@ -18,29 +41,47 @@
 #![allow(clippy::all)]
 
 pub mod iter;
+pub mod pool;
 pub mod slice;
 
 pub mod prelude {
     //! Mirrors `rayon::prelude`: glob-import to get the `par_*` methods.
     pub use crate::iter::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParIter, ParallelIterator,
     };
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
-/// Number of worker threads. The shim executes sequentially, so this is
-/// always 1 (callers use it to size chunk counts; 1 keeps them minimal).
-pub fn current_num_threads() -> usize {
-    1
-}
+pub use pool::{current_num_threads, set_num_threads};
 
-/// Runs both closures and returns their results. Sequential in the shim.
+use std::sync::Mutex;
+
+/// Runs both closures, potentially in parallel, and returns their results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    let a_cell = Mutex::new(Some(a));
+    let b_cell = Mutex::new(Some(b));
+    let ra = Mutex::new(None);
+    let rb = Mutex::new(None);
+    pool::run_pieces(2, |i| {
+        if i == 0 {
+            let f = a_cell.lock().unwrap().take().expect("side A ran twice");
+            *ra.lock().unwrap() = Some(f());
+        } else {
+            let f = b_cell.lock().unwrap().take().expect("side B ran twice");
+            *rb.lock().unwrap() = Some(f());
+        }
+    });
+    (
+        ra.into_inner().unwrap().expect("side A produced no result"),
+        rb.into_inner().unwrap().expect("side B produced no result"),
+    )
 }
 
 /// Error type for [`ThreadPoolBuilder::build`]; never actually produced.
@@ -55,15 +96,33 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// A handle standing in for a rayon thread pool.
+/// A handle standing in for a rayon thread pool. The shim has one global
+/// worker pool; a `ThreadPool` is a *thread-count cap* applied to whatever
+/// runs inside [`install`](ThreadPool::install).
 pub struct ThreadPool {
-    _threads: usize,
+    threads: usize,
 }
 
 impl ThreadPool {
-    /// Runs `f` "inside" the pool (directly, in the shim).
+    /// Runs `f` with this pool's thread count as the effective cap for
+    /// parallel operations submitted by `f` on this thread.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        f()
+        let n = if self.threads == 0 {
+            // "Default" pool: no override, use the process-wide setting.
+            pool::current_num_threads()
+        } else {
+            self.threads
+        };
+        pool::with_thread_cap(n, f)
+    }
+
+    /// The thread count this pool was configured with.
+    pub fn current_num_threads(&self) -> usize {
+        if self.threads == 0 {
+            pool::current_num_threads()
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -79,16 +138,16 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Sets the requested worker count (recorded but unused).
+    /// Sets the worker count (`0` = the process-wide default).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.threads = n;
         self
     }
 
-    /// Builds the pool. Infallible in the shim.
+    /// Builds the pool handle. Infallible in the shim.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
-            _threads: self.threads,
+            threads: self.threads,
         })
     }
 }
@@ -146,11 +205,92 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs() {
+    fn pool_installs_scope_the_thread_count() {
         let pool = crate::ThreadPoolBuilder::new()
             .num_threads(4)
             .build()
             .unwrap();
-        assert_eq!(pool.install(|| crate::current_num_threads()), 1);
+        assert_eq!(pool.install(|| crate::current_num_threads()), 4);
+        let single = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(single.install(|| crate::current_num_threads()), 1);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok".len());
+        assert_eq!((a, b), (4, 2));
+    }
+
+    #[test]
+    fn large_par_iter_uses_many_pieces_consistently() {
+        // Large enough to fan out; results must match sequential exactly.
+        let n = 100_000usize;
+        let expected: u64 = (0..n as u64).map(|i| i * 3).sum();
+        for threads in [1, 2, 4, 8] {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: u64 = pool.install(|| (0..n as u64).into_par_iter().map(|i| i * 3).sum());
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts() {
+        let xs: Vec<f64> = (0..50_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let reference: f64 = {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap();
+            pool.install(|| xs.par_iter().sum())
+        };
+        for threads in [2, 4, 8] {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: f64 = pool.install(|| xs.par_iter().sum());
+            assert_eq!(got.to_bits(), reference.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_sort_large_matches_std_sort() {
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut xs: Vec<u64> = (0..100_000)
+            .map(|_| {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            })
+            .collect();
+        let mut expected = xs.clone();
+        expected.sort_unstable();
+        xs.par_sort_unstable();
+        assert_eq!(xs, expected);
+    }
+
+    #[test]
+    fn par_sort_is_stable_for_equal_keys() {
+        // Stable sort: payloads of equal keys keep their original order.
+        let mut xs: Vec<(u32, usize)> = (0..40_000).map(|i| ((i % 7) as u32, i)).collect();
+        let mut expected = xs.clone();
+        expected.sort_by_key(|&(k, _)| k);
+        xs.par_sort_by_key(|&(k, _)| k);
+        assert_eq!(xs, expected);
+    }
+
+    #[test]
+    fn owned_vec_into_par_iter_filters() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let evens: Vec<u32> = xs.into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 5_000);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -1,0 +1,397 @@
+//! The execution engine: a lazily-initialized global pool of `std::thread`
+//! workers plus a piece-scheduling primitive, [`run_pieces`].
+//!
+//! # Model
+//!
+//! Work arrives as a *piece job*: a closure `f: Fn(usize) + Sync` together
+//! with a piece count `n`; every index in `0..n` must be executed exactly
+//! once. The submitting thread posts up to `current_num_threads() - 1`
+//! *copies* of a reference to the (stack-allocated) job onto a global queue,
+//! then joins the piece-claiming loop itself. Each worker that pops a copy
+//! claims pieces from a shared atomic counter until none remain, then
+//! retires the copy. The submitter finally removes any still-unpopped copies
+//! from the queue and blocks until every popped copy has retired — only then
+//! is the job's stack frame allowed to die, which makes the raw job pointer
+//! sound.
+//!
+//! Because piece *counts* are chosen by the caller as a function of input
+//! size only (never of the thread count), results assembled in piece order
+//! are bit-identical no matter how many workers participate — the
+//! determinism contract the rest of the workspace relies on.
+//!
+//! # Nesting and deadlock-freedom
+//!
+//! A piece body may itself call [`run_pieces`] (or [`join`](crate::join)).
+//! The inner call follows the same protocol; the key property is that a
+//! submitter never waits on a queue entry — stale copies are *removed*
+//! before blocking — so it only ever waits on copies held by live threads
+//! that are actively draining a finite piece counter. No cyclic wait can
+//! form.
+//!
+//! # Panics
+//!
+//! A panic inside a piece is caught, recorded on the job, and aborts the
+//! remaining pieces of that job; the submitting thread re-raises the payload
+//! after the job quiesces, so panics propagate to the caller exactly like
+//! they do under sequential execution (and worker threads survive).
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Upper bound on worker threads the shim will ever spawn; requests beyond
+/// it are clamped. Generous relative to any host this workspace targets.
+pub const MAX_THREADS: usize = 256;
+
+/// A piece job living on the submitter's stack. See the module docs for the
+/// lifecycle that makes the raw pointers sound.
+struct Job {
+    /// Type-erased pointer to the piece body (`&F` on the submitter's
+    /// stack). Valid for the lifetime of the job's stack frame; the
+    /// submitter does not return until `outstanding` reaches zero.
+    func: *const (),
+    /// Monomorphised trampoline restoring `func`'s type to call it.
+    call: unsafe fn(*const (), usize),
+    /// Total pieces.
+    n: usize,
+    /// Next piece index to claim (claims at or past `n` are spurious).
+    next: AtomicUsize,
+    /// Queue copies popped by workers but not yet retired, plus copies still
+    /// sitting in the queue. The submitter may only return at zero.
+    outstanding: AtomicUsize,
+    /// First panic payload raised by a piece, if any.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Guards the completion wait; workers retire under this lock so the
+    /// submitter cannot miss the final notification.
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Job {
+    /// Claims and runs pieces until the counter is exhausted.
+    fn run_loop(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::SeqCst);
+            if i >= self.n {
+                return;
+            }
+            // SAFETY: `func`/`call` outlive the job (see module docs).
+            if let Err(payload) =
+                catch_unwind(AssertUnwindSafe(|| unsafe { (self.call)(self.func, i) }))
+            {
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                // Abort the job's remaining pieces; claimed ones finish.
+                self.next.store(self.n, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Retires `k` copies, waking the submitter when the last one goes.
+    fn retire(&self, k: usize) {
+        if k == 0 {
+            return;
+        }
+        let _guard = self.lock.lock().unwrap();
+        if self.outstanding.fetch_sub(k, Ordering::SeqCst) == k {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until every copy has retired.
+    fn wait_quiescent(&self) {
+        let mut guard = self.lock.lock().unwrap();
+        while self.outstanding.load(Ordering::SeqCst) > 0 {
+            guard = self.cv.wait(guard).unwrap();
+        }
+    }
+}
+
+/// A sendable reference to a stack job. Soundness: see [`Job`].
+#[derive(Clone, Copy)]
+struct JobRef(*const Job);
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    fn job(&self) -> &Job {
+        unsafe { &*self.0 }
+    }
+}
+
+/// Global pool state.
+struct Pool {
+    queue: Mutex<VecDeque<JobRef>>,
+    queue_cv: Condvar,
+    /// Worker threads spawned so far (they are detached and never exit).
+    spawned: Mutex<usize>,
+    /// The process-wide default thread count (env or hardware).
+    threads: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        spawned: Mutex::new(0),
+        threads: AtomicUsize::new(default_threads()),
+    })
+}
+
+/// Initial thread count: `JULIENNE_NUM_THREADS` if set and parseable, else
+/// the hardware parallelism, clamped to `1..=MAX_THREADS`.
+fn default_threads() -> usize {
+    let from_env = std::env::var("JULIENNE_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok());
+    let n = from_env.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+    n.clamp(1, MAX_THREADS)
+}
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]
+    /// (0 = no override).
+    static THREAD_CAP_OVERRIDE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The number of threads "parallel" operations submitted from this thread
+/// will use: the innermost [`ThreadPool::install`](crate::ThreadPool)
+/// override if one is active, else the process-wide default
+/// (`JULIENNE_NUM_THREADS`, [`set_num_threads`], or hardware parallelism).
+pub fn current_num_threads() -> usize {
+    let o = THREAD_CAP_OVERRIDE.with(|c| c.get());
+    if o != 0 {
+        o
+    } else {
+        pool().threads.load(Ordering::Relaxed)
+    }
+}
+
+/// Sets the process-wide default thread count (clamped to
+/// `1..=MAX_THREADS`). Does not affect scopes currently inside a
+/// [`ThreadPool::install`](crate::ThreadPool) override.
+pub fn set_num_threads(n: usize) {
+    pool()
+        .threads
+        .store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Runs `f` with this thread's effective thread count overridden to `n`
+/// (the [`ThreadPool::install`](crate::ThreadPool) mechanism). Restores the
+/// previous override even on unwind.
+pub(crate) fn with_thread_cap<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_CAP_OVERRIDE.with(|c| c.get());
+    let _restore = Restore(prev);
+    THREAD_CAP_OVERRIDE.with(|c| c.set(n.clamp(1, MAX_THREADS)));
+    f()
+}
+
+/// Ensures at least `want` detached worker threads exist.
+fn ensure_workers(want: usize) {
+    let p = pool();
+    let mut spawned = p.spawned.lock().unwrap();
+    while *spawned < want.min(MAX_THREADS) {
+        let id = *spawned;
+        std::thread::Builder::new()
+            .name(format!("julienne-worker-{id}"))
+            .spawn(worker_main)
+            .expect("failed to spawn worker thread");
+        *spawned += 1;
+    }
+}
+
+/// Worker body: pop a job copy, drain its pieces, retire, repeat forever.
+fn worker_main() {
+    let p = pool();
+    loop {
+        let job_ref = {
+            let mut q = p.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = p.queue_cv.wait(q).unwrap();
+            }
+        };
+        let job = job_ref.job();
+        job.run_loop();
+        job.retire(1);
+    }
+}
+
+/// Executes `f(0)`, `f(1)`, …, `f(n - 1)`, each exactly once, distributed
+/// over up to `current_num_threads()` threads (including the caller). Does
+/// not return until every piece has finished. Panics from pieces are
+/// re-raised on the caller.
+pub fn run_pieces<F: Fn(usize) + Sync>(n: usize, f: F) {
+    let threads = current_num_threads();
+    if n <= 1 || threads <= 1 {
+        // Sequential fast path — identical results by the determinism
+        // contract (piece counts never depend on the thread count).
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+
+    let copies = (threads - 1).min(n - 1);
+    ensure_workers(copies);
+
+    unsafe fn call_piece<F: Fn(usize) + Sync>(data: *const (), i: usize) {
+        (*(data as *const F))(i)
+    }
+    let job = Job {
+        func: &f as *const F as *const (),
+        call: call_piece::<F>,
+        n,
+        next: AtomicUsize::new(0),
+        outstanding: AtomicUsize::new(copies),
+        panic: Mutex::new(None),
+        lock: Mutex::new(()),
+        cv: Condvar::new(),
+    };
+    let job_ref = JobRef(&job as *const Job);
+
+    {
+        let p = pool();
+        let mut q = p.queue.lock().unwrap();
+        for _ in 0..copies {
+            q.push_back(job_ref);
+        }
+        drop(q);
+        p.queue_cv.notify_all();
+    }
+
+    // The caller is a full participant.
+    job.run_loop();
+
+    // Remove copies nobody picked up, then wait for the ones that were.
+    let stale = {
+        let p = pool();
+        let mut q = p.queue.lock().unwrap();
+        let before = q.len();
+        q.retain(|j| !std::ptr::eq(j.0, job_ref.0));
+        before - q.len()
+    };
+    job.retire(stale);
+    job.wait_quiescent();
+
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Deterministic piece count for an input of `len` elements: `1` for small
+/// inputs, else one piece per [`PIECE_LEN`] elements capped at
+/// [`MAX_PIECES`]. A pure function of `len` — *never* of the thread count —
+/// so piece boundaries (and therefore any per-piece partial results) are
+/// identical across runs at different thread counts.
+pub fn piece_count(len: usize) -> usize {
+    if len <= PIECE_LEN {
+        1
+    } else {
+        len.div_ceil(PIECE_LEN).min(MAX_PIECES)
+    }
+}
+
+/// Minimum elements per piece before fan-out pays for itself.
+pub const PIECE_LEN: usize = 2048;
+
+/// Piece-count cap; bounds per-call scheduling overhead while leaving
+/// enough slack for the deepest machines this shim targets.
+pub const MAX_PIECES: usize = 64;
+
+/// The half-open range of elements belonging to piece `i` of `k` over
+/// `len` elements: evenly split with the remainder spread over the first
+/// pieces (same convention as `chunk_bounds` in `julienne-primitives`).
+pub fn piece_bounds(len: usize, k: usize, i: usize) -> (usize, usize) {
+    let base = len / k;
+    let extra = len % k;
+    let start = i * base + i.min(extra);
+    let end = start + base + usize::from(i < extra);
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pieces_each_run_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        run_pieces(100, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn nested_run_pieces_completes() {
+        let total = AtomicU64::new(0);
+        run_pieces(8, |_| {
+            run_pieces(8, |j| {
+                total.fetch_add(j as u64, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 8 * 28);
+    }
+
+    #[test]
+    fn piece_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            run_pieces(16, |i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn piece_bounds_cover_exactly() {
+        for len in [0usize, 1, 5, 2048, 2049, 10_000, 1_000_000] {
+            let k = piece_count(len).max(1);
+            let mut cursor = 0;
+            for i in 0..k {
+                let (s, e) = piece_bounds(len, k, i);
+                assert_eq!(s, cursor);
+                assert!(e >= s);
+                cursor = e;
+            }
+            assert_eq!(cursor, len);
+        }
+    }
+
+    #[test]
+    fn piece_count_is_thread_independent() {
+        // Changing the thread count must not change piece counts.
+        let before: Vec<usize> = [10, 5000, 200_000]
+            .iter()
+            .map(|&n| piece_count(n))
+            .collect();
+        with_thread_cap(7, || {
+            let after: Vec<usize> = [10, 5000, 200_000]
+                .iter()
+                .map(|&n| piece_count(n))
+                .collect();
+            assert_eq!(before, after);
+        });
+    }
+}

@@ -1,98 +1,287 @@
-//! Slice extension traits mirroring `rayon::slice`.
+//! Parallel slice views (`par_chunks`, `par_windows`, `par_chunks_mut`) and
+//! parallel sorts.
+//!
+//! The sorts are bottom-up parallel merge sorts: the slice is cut into
+//! [`pool::piece_count`] runs at deterministic boundaries, each run is
+//! sorted in place (std's `sort`/`sort_unstable`) on the pool, then
+//! adjacent runs are pairwise merged — also in parallel — ping-ponging
+//! between the slice and one scratch allocation until a single run remains.
+//! Ties always take the left run's element, so `par_sort*` is stable and
+//! `par_sort_unstable*` is deterministic as well; because run boundaries
+//! depend only on the length, the result is bit-identical across thread
+//! counts.
+//!
+//! The merge phase moves elements between buffers with raw copies. A
+//! comparator that *panics* mid-merge would leave the slice with duplicated
+//! and missing elements (double drops on unwind), so the merge phase runs
+//! under an abort-on-unwind guard: a panicking comparator terminates the
+//! process instead of corrupting memory. (std's sorts keep their own
+//! panic-safety for the run-sorting phase; the guard covers merging only.)
 
-use crate::iter::ParIter;
+use crate::iter::{ChunksMutProducer, ChunksProducer, ParIter, WindowsProducer};
+use crate::pool;
+use std::cmp::Ordering;
+use std::mem::MaybeUninit;
+use std::sync::Mutex;
 
-/// `par_chunks` and friends on shared slices.
-pub trait ParallelSlice<T> {
-    /// Parallel iterator over `chunk_size`-sized chunks.
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+/// Parallel operations on `&[T]`.
+pub trait ParallelSlice<T: Sync> {
+    /// The underlying slice.
+    fn as_parallel_slice(&self) -> &[T];
 
-    /// Parallel iterator over overlapping windows.
-    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter::from_iter(self.chunks(chunk_size))
+    /// Parallel iterator over `size`-element chunks (last may be shorter).
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter(ChunksProducer {
+            slice: self.as_parallel_slice(),
+            size,
+        })
     }
 
-    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>> {
-        ParIter::from_iter(self.windows(window_size))
+    /// Parallel iterator over overlapping `size`-element windows.
+    fn par_windows(&self, size: usize) -> ParIter<WindowsProducer<'_, T>> {
+        assert!(size != 0, "window size must be non-zero");
+        ParIter(WindowsProducer {
+            slice: self.as_parallel_slice(),
+            size,
+        })
     }
 }
 
-/// `par_chunks_mut` / `par_sort_unstable*` on mutable slices.
-pub trait ParallelSliceMut<T> {
-    /// Parallel iterator over mutable `chunk_size`-sized chunks.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-
-    /// Unstable sort (delegates to `sort_unstable`).
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord;
-
-    /// Unstable sort by comparator.
-    fn par_sort_unstable_by<F>(&mut self, compare: F)
-    where
-        F: FnMut(&T, &T) -> std::cmp::Ordering;
-
-    /// Unstable sort by key.
-    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
-    where
-        K: Ord,
-        F: FnMut(&T) -> K;
-
-    /// Stable sort (delegates to `sort`).
-    fn par_sort(&mut self)
-    where
-        T: Ord;
-
-    /// Stable sort by key.
-    fn par_sort_by_key<K, F>(&mut self, key: F)
-    where
-        K: Ord,
-        F: FnMut(&T) -> K;
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter::from_iter(self.chunks_mut(chunk_size))
+/// Parallel operations on `&mut [T]`.
+pub trait ParallelSliceMut<T: Send> {
+    /// The underlying slice.
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter(ChunksMutProducer {
+            slice: self.as_parallel_slice_mut(),
+            size,
+        })
     }
 
+    /// Parallel unstable sort.
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
-        self.sort_unstable();
+        par_merge_sort(self.as_parallel_slice_mut(), &Ord::cmp, false);
     }
 
+    /// Parallel unstable sort with a comparator.
     fn par_sort_unstable_by<F>(&mut self, compare: F)
     where
-        F: FnMut(&T, &T) -> std::cmp::Ordering,
+        F: Fn(&T, &T) -> Ordering + Sync,
     {
-        self.sort_unstable_by(compare);
+        par_merge_sort(self.as_parallel_slice_mut(), &compare, false);
     }
 
+    /// Parallel unstable sort by key.
     fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
     where
         K: Ord,
-        F: FnMut(&T) -> K,
+        F: Fn(&T) -> K + Sync,
     {
-        self.sort_unstable_by_key(key);
+        par_merge_sort(
+            self.as_parallel_slice_mut(),
+            &|a: &T, b: &T| key(a).cmp(&key(b)),
+            false,
+        );
     }
 
+    /// Parallel stable sort.
     fn par_sort(&mut self)
     where
         T: Ord,
     {
-        self.sort();
+        par_merge_sort(self.as_parallel_slice_mut(), &Ord::cmp, true);
     }
 
+    /// Parallel stable sort with a comparator.
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        par_merge_sort(self.as_parallel_slice_mut(), &compare, true);
+    }
+
+    /// Parallel stable sort by key.
     fn par_sort_by_key<K, F>(&mut self, key: F)
     where
         K: Ord,
-        F: FnMut(&T) -> K,
+        F: Fn(&T) -> K + Sync,
     {
-        self.sort_by_key(key);
+        par_merge_sort(
+            self.as_parallel_slice_mut(),
+            &|a: &T, b: &T| key(a).cmp(&key(b)),
+            true,
+        );
     }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+/// Raw pointer wrapper shareable across the pool. Soundness rests on the
+/// merge plan: every worker touches disjoint index ranges of both buffers.
+struct SharedPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SharedPtr<T> {}
+
+/// Aborts the process if dropped during an unwind; disarmed on success.
+struct AbortOnUnwind;
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        eprintln!("fatal: comparator panicked during a parallel merge; aborting");
+        std::process::abort();
+    }
+}
+
+fn par_merge_sort<T, F>(v: &mut [T], cmp: &F, stable: bool)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = v.len();
+    let k = pool::piece_count(n);
+    if k <= 1 {
+        if stable {
+            v.sort_by(cmp);
+        } else {
+            v.sort_unstable_by(cmp);
+        }
+        return;
+    }
+
+    // Run boundaries: bounds[i]..bounds[i + 1] is run i.
+    let mut bounds: Vec<usize> = (0..k).map(|i| pool::piece_bounds(n, k, i).0).collect();
+    bounds.push(n);
+
+    // Phase 1: sort every run in place, in parallel.
+    {
+        let mut runs: Vec<Mutex<Option<&mut [T]>>> = Vec::with_capacity(k);
+        let mut rest: &mut [T] = v;
+        let mut start = 0;
+        for i in 0..k - 1 {
+            let end = bounds[i + 1];
+            let (run, tail) = rest.split_at_mut(end - start);
+            runs.push(Mutex::new(Some(run)));
+            rest = tail;
+            start = end;
+        }
+        runs.push(Mutex::new(Some(rest)));
+        pool::run_pieces(k, |i| {
+            let run = runs[i].lock().unwrap().take().expect("run claimed twice");
+            if stable {
+                run.sort_by(cmp);
+            } else {
+                run.sort_unstable_by(cmp);
+            }
+        });
+    }
+
+    // Phase 2: pairwise merge adjacent runs, ping-ponging between `v` and
+    // one scratch buffer, until a single run remains.
+    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit contents are allowed to be uninitialized.
+    unsafe { scratch.set_len(n) };
+
+    let guard = AbortOnUnwind;
+    let mut src = SharedPtr(v.as_mut_ptr());
+    let mut dst = SharedPtr(scratch.as_mut_ptr() as *mut T);
+    let mut in_scratch = false;
+
+    while bounds.len() > 2 {
+        let runs = bounds.len() - 1;
+        let pairs = runs / 2;
+        let tail_run = runs % 2 == 1;
+        let bounds_ref = &bounds;
+        let src_ref = &src;
+        let dst_ref = &dst;
+        pool::run_pieces(pairs + usize::from(tail_run), |p| {
+            let lo = bounds_ref[2 * p];
+            if p < pairs {
+                let mid = bounds_ref[2 * p + 1];
+                let hi = bounds_ref[2 * p + 2];
+                // SAFETY: pairs cover disjoint ranges; src holds live
+                // values in [lo, hi); dst bytes in [lo, hi) are writable.
+                unsafe { merge_into(src_ref.0, dst_ref.0, lo, mid, hi, cmp) };
+            } else {
+                let hi = bounds_ref[2 * p + 1];
+                // Unpaired trailing run: carry it over verbatim.
+                // SAFETY: same disjointness argument as above.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(src_ref.0.add(lo), dst_ref.0.add(lo), hi - lo)
+                };
+            }
+        });
+        std::mem::swap(&mut src, &mut dst);
+        in_scratch = !in_scratch;
+        let mut next = Vec::with_capacity(pairs + 2);
+        for i in (0..bounds.len()).step_by(2) {
+            next.push(bounds[i]);
+        }
+        if *next.last().unwrap() != n {
+            next.push(n);
+        }
+        bounds = next;
+    }
+
+    if in_scratch {
+        // SAFETY: all n live values sit in scratch; move them home. After
+        // the swap above, `src` is the buffer holding live data.
+        unsafe { std::ptr::copy_nonoverlapping(src.0, dst.0, n) };
+    }
+    std::mem::forget(guard);
+    // `scratch` drops as MaybeUninit: no destructors run on the stale bits.
+}
+
+/// Merges sorted `src[lo..mid]` and `src[mid..hi]` into `dst[lo..hi]`,
+/// taking the left element on ties (stability).
+///
+/// # Safety
+/// Both ranges must be valid for the respective pointer, `src[lo..hi)` must
+/// hold live values, and no other thread may touch either range. After the
+/// call the live values are in `dst`; the `src` bits are stale copies.
+unsafe fn merge_into<T, F: Fn(&T, &T) -> Ordering>(
+    src: *mut T,
+    dst: *mut T,
+    lo: usize,
+    mid: usize,
+    hi: usize,
+    cmp: &F,
+) {
+    let mut i = lo;
+    let mut j = mid;
+    let mut o = lo;
+    while i < mid && j < hi {
+        let left_first = cmp(&*src.add(i), &*src.add(j)) != Ordering::Greater;
+        if left_first {
+            std::ptr::copy_nonoverlapping(src.add(i), dst.add(o), 1);
+            i += 1;
+        } else {
+            std::ptr::copy_nonoverlapping(src.add(j), dst.add(o), 1);
+            j += 1;
+        }
+        o += 1;
+    }
+    if i < mid {
+        std::ptr::copy_nonoverlapping(src.add(i), dst.add(o), mid - i);
+        o += mid - i;
+    }
+    if j < hi {
+        std::ptr::copy_nonoverlapping(src.add(j), dst.add(o), hi - j);
+        o += hi - j;
+    }
+    debug_assert_eq!(o, hi);
 }

@@ -1,0 +1,92 @@
+//! Cross-thread-count determinism: every bucketed algorithm produces
+//! bit-identical output at 1, 2, 4, and 8 worker threads.
+//!
+//! This is the end-to-end witness for the runtime's determinism contract:
+//! chunk/piece counts are pure functions of input length (never of the
+//! thread count), and partial results are always combined in piece order,
+//! so parallelism affects speed only — never results. These tests pin that
+//! property at the whole-algorithm level on the paper's graph families.
+
+use julienne_repro::algorithms::delta_stepping::{delta_stepping, wbfs};
+use julienne_repro::algorithms::kcore::coreness_julienne;
+use julienne_repro::algorithms::setcover::{set_cover_julienne, verify_cover};
+use julienne_repro::graph::generators::{chung_lu, rmat, set_cover_instance, RmatParams};
+use julienne_repro::graph::transform::{assign_weights, wbfs_weight_range};
+use julienne_repro::graph::{Graph, WGraph};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs `f` with the worker-thread count capped at `threads`.
+fn at<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build thread pool")
+        .install(f)
+}
+
+/// RMAT (skewed) and Chung-Lu (power-law) symmetric test graphs.
+fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("rmat", rmat(11, 8, RmatParams::default(), 7, true)),
+        ("powerlaw", chung_lu(2_000, 16_000, 2.2, 8, true)),
+    ]
+}
+
+fn weighted(heavy: bool) -> Vec<(&'static str, WGraph)> {
+    let (lo, hi) = if heavy {
+        (1, 100_000)
+    } else {
+        wbfs_weight_range(2_048)
+    };
+    graphs()
+        .into_iter()
+        .map(|(name, g)| (name, assign_weights(&g, lo, hi, 21)))
+        .collect()
+}
+
+#[test]
+fn kcore_identical_across_thread_counts() {
+    for (name, g) in graphs() {
+        let reference = at(1, || coreness_julienne(&g));
+        for t in THREADS {
+            let r = at(t, || coreness_julienne(&g));
+            assert_eq!(r.coreness, reference.coreness, "{name} at {t} threads");
+        }
+    }
+}
+
+#[test]
+fn delta_stepping_identical_across_thread_counts() {
+    for (name, g) in weighted(true) {
+        let reference = at(1, || delta_stepping(&g, 0, 32_768));
+        for t in THREADS {
+            let r = at(t, || delta_stepping(&g, 0, 32_768));
+            assert_eq!(r.dist, reference.dist, "{name} at {t} threads");
+            assert_eq!(r.rounds, reference.rounds, "{name} rounds at {t} threads");
+        }
+    }
+}
+
+#[test]
+fn wbfs_identical_across_thread_counts() {
+    for (name, g) in weighted(false) {
+        let reference = at(1, || wbfs(&g, 0));
+        for t in THREADS {
+            let r = at(t, || wbfs(&g, 0));
+            assert_eq!(r.dist, reference.dist, "{name} at {t} threads");
+        }
+    }
+}
+
+#[test]
+fn setcover_identical_across_thread_counts() {
+    let inst = set_cover_instance(256, 16_000, 4, 5);
+    let reference = at(1, || set_cover_julienne(&inst, 0.01));
+    assert!(verify_cover(&inst, &reference.cover));
+    for t in THREADS {
+        let r = at(t, || set_cover_julienne(&inst, 0.01));
+        assert_eq!(r.cover, reference.cover, "setcover at {t} threads");
+        assert_eq!(r.rounds, reference.rounds, "setcover rounds at {t} threads");
+    }
+}
