@@ -15,6 +15,7 @@ run cargo build --release --workspace
 run cargo test -q --workspace
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 # --- telemetry compiled out ------------------------------------------------
 run cargo build --release --workspace --no-default-features

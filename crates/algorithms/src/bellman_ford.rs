@@ -6,10 +6,10 @@
 //! relaxes all out-edges of the vertices whose distance changed.
 
 use crate::INF;
-use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
 use julienne_ligra::edge_map::EdgeMap;
 use julienne_ligra::subset::VertexSubset;
+use julienne_ligra::traits::GraphRef;
 use julienne_primitives::atomics::write_min_u64;
 use julienne_primitives::bitset::AtomicBitSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,8 +25,9 @@ pub struct SsspResult {
     pub relaxations: u64,
 }
 
-/// Parallel Bellman–Ford from `src` (nonnegative integer weights).
-pub fn bellman_ford(g: &Csr<u32>, src: VertexId) -> SsspResult {
+/// Parallel Bellman–Ford from `src` (nonnegative integer weights), over
+/// any [`GraphRef`] backend with `u32` weights.
+pub fn bellman_ford<G: GraphRef<W = u32>>(g: &G, src: VertexId) -> SsspResult {
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[src as usize].store(0, Ordering::SeqCst);
@@ -42,7 +43,7 @@ pub fn bellman_ford(g: &Csr<u32>, src: VertexId) -> SsspResult {
             rounds <= n as u64,
             "negative cycle or bug: more rounds than vertices"
         );
-        relaxations += frontier.iter().map(|v| g.degree(v) as u64).sum::<u64>();
+        relaxations += frontier.iter().map(|v| g.out_degree(v) as u64).sum::<u64>();
         let next = EdgeMap::new(g).run(
             &frontier,
             |u, v, w| {

@@ -8,8 +8,8 @@
 //! This implementation computes single-source BC contributions from a set
 //! of sample sources (exact when all vertices are sampled).
 
-use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
+use julienne_ligra::traits::OutEdges;
 use julienne_primitives::atomics::cas_u32;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -27,7 +27,7 @@ fn atomic_f64_add(cell: &AtomicU64, x: f64) {
 }
 
 /// Betweenness centrality from `sources` (exact if `sources` = all).
-pub fn betweenness(g: &Csr<()>, sources: &[VertexId]) -> Vec<f64> {
+pub fn betweenness<G: OutEdges>(g: &G, sources: &[VertexId]) -> Vec<f64> {
     let n = g.num_vertices();
     let mut bc = vec![0.0f64; n];
     for &s in sources {
@@ -45,7 +45,7 @@ pub fn betweenness(g: &Csr<()>, sources: &[VertexId]) -> Vec<f64> {
 }
 
 /// Single-source Brandes: forward σ accumulation + backward dependency.
-pub fn brandes_from(g: &Csr<()>, src: VertexId) -> Vec<f64> {
+pub fn brandes_from<G: OutEdges>(g: &G, src: VertexId) -> Vec<f64> {
     let n = g.num_vertices();
     let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
     let sigma: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
@@ -61,7 +61,7 @@ pub fn brandes_from(g: &Csr<()>, src: VertexId) -> Vec<f64> {
         // σ accumulation: every shortest edge u→v with v on the new level.
         cur.par_iter().for_each(|&u| {
             let su = sigma[u as usize].load(Ordering::SeqCst);
-            for &v in g.neighbors(u) {
+            g.for_each_out(u, |v, _| {
                 // Claim v for the next level if unvisited.
                 let lv = level[v as usize].load(Ordering::SeqCst);
                 if lv == u32::MAX && cas_u32(&level[v as usize], u32::MAX, depth) {
@@ -70,7 +70,7 @@ pub fn brandes_from(g: &Csr<()>, src: VertexId) -> Vec<f64> {
                 if level[v as usize].load(Ordering::SeqCst) == depth {
                     sigma[v as usize].fetch_add(su, Ordering::SeqCst);
                 }
-            }
+            });
         });
         let next: Vec<VertexId> = julienne_primitives::filter::pack_index(n, |v| {
             in_next[v].swap(0, Ordering::SeqCst) == 1
@@ -90,12 +90,12 @@ pub fn brandes_from(g: &Csr<()>, src: VertexId) -> Vec<f64> {
             let sw = sigma[w as usize].load(Ordering::SeqCst) as f64;
             let dw = f64::from_bits(delta[w as usize].load(Ordering::SeqCst));
             let contrib_per_sigma = (1.0 + dw) / sw;
-            for &v in g.neighbors(w) {
+            g.for_each_out(w, |v, _| {
                 if level[v as usize].load(Ordering::SeqCst) == lv as u32 - 1 {
                     let sv = sigma[v as usize].load(Ordering::SeqCst) as f64;
                     atomic_f64_add(&delta[v as usize], sv * contrib_per_sigma);
                 }
-            }
+            });
         });
     }
     delta
@@ -108,6 +108,7 @@ pub fn brandes_from(g: &Csr<()>, src: VertexId) -> Vec<f64> {
 mod tests {
     use super::*;
     use julienne_graph::builder::from_pairs_symmetric;
+    use julienne_graph::csr::Csr;
     use julienne_graph::generators::erdos_renyi;
 
     /// Sequential reference Brandes (textbook).

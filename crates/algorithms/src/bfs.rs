@@ -2,10 +2,10 @@
 //! paper's canonical frontier-based algorithm), used by examples and the
 //! edgeMap ablation.
 
-use julienne_graph::csr::{Csr, Weight};
 use julienne_graph::VertexId;
 use julienne_ligra::edge_map::{EdgeMap, Mode};
 use julienne_ligra::subset::VertexSubset;
+use julienne_ligra::traits::{GraphRef, OutEdges};
 use julienne_primitives::atomics::cas_u32;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -24,13 +24,13 @@ pub struct BfsResult {
     pub rounds: u64,
 }
 
-/// Direction-optimized BFS from `src`.
-pub fn bfs<W: Weight>(g: &Csr<W>, src: VertexId) -> BfsResult {
+/// Direction-optimized BFS from `src`, over any [`GraphRef`] backend.
+pub fn bfs<G: GraphRef>(g: &G, src: VertexId) -> BfsResult {
     bfs_with_mode(g, src, Mode::Auto)
 }
 
 /// BFS with a forced traversal mode (for the A3 ablation).
-pub fn bfs_with_mode<W: Weight>(g: &Csr<W>, src: VertexId, mode: Mode) -> BfsResult {
+pub fn bfs_with_mode<G: GraphRef>(g: &G, src: VertexId, mode: Mode) -> BfsResult {
     let n = g.num_vertices();
     let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
     let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
@@ -65,19 +65,20 @@ pub fn bfs_with_mode<W: Weight>(g: &Csr<W>, src: VertexId, mode: Mode) -> BfsRes
 }
 
 /// Sequential reference BFS (queue-based), used as the test oracle.
-pub fn bfs_seq<W: Weight>(g: &Csr<W>, src: VertexId) -> Vec<u32> {
+pub fn bfs_seq<G: OutEdges>(g: &G, src: VertexId) -> Vec<u32> {
     let n = g.num_vertices();
     let mut level = vec![u32::MAX; n];
     level[src as usize] = 0;
     let mut queue = std::collections::VecDeque::new();
     queue.push_back(src);
     while let Some(u) = queue.pop_front() {
-        for &v in g.neighbors(u) {
+        let next = level[u as usize] + 1;
+        g.for_each_out(u, |v, _| {
             if level[v as usize] == u32::MAX {
-                level[v as usize] = level[u as usize] + 1;
+                level[v as usize] = next;
                 queue.push_back(v);
             }
-        }
+        });
     }
     level
 }

@@ -4,14 +4,14 @@
 
 use crate::bfs::bfs_seq;
 use crate::triangles::{edge_support, EdgeIndex};
-use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
+use julienne_ligra::traits::{GraphRef, OutEdges};
 use rayon::prelude::*;
 
 /// Per-vertex local clustering coefficient:
 /// `C(v) = 2·T(v) / (deg(v)·(deg(v)−1))`, where `T(v)` counts triangles
 /// through `v` (0 for degree < 2).
-pub fn local_clustering(g: &Csr<()>) -> Vec<f64> {
+pub fn local_clustering<G: GraphRef>(g: &G) -> Vec<f64> {
     assert!(g.is_symmetric());
     let idx = EdgeIndex::new(g);
     let support = edge_support(g, &idx);
@@ -26,7 +26,7 @@ pub fn local_clustering(g: &Csr<()>) -> Vec<f64> {
     (0..n)
         .into_par_iter()
         .map(|v| {
-            let d = g.degree(v as VertexId) as u64;
+            let d = g.out_degree(v as VertexId) as u64;
             if d < 2 {
                 0.0
             } else {
@@ -37,13 +37,13 @@ pub fn local_clustering(g: &Csr<()>) -> Vec<f64> {
 }
 
 /// Global transitivity: `3·triangles / wedges`.
-pub fn transitivity(g: &Csr<()>) -> f64 {
+pub fn transitivity<G: GraphRef>(g: &G) -> f64 {
     assert!(g.is_symmetric());
     let triangles = crate::triangles::triangle_count(g);
     let wedges: u64 = (0..g.num_vertices() as VertexId)
         .into_par_iter()
         .map(|v| {
-            let d = g.degree(v) as u64;
+            let d = g.out_degree(v) as u64;
             d * d.saturating_sub(1) / 2
         })
         .sum();
@@ -56,7 +56,7 @@ pub fn transitivity(g: &Csr<()>) -> f64 {
 
 /// Closeness centrality of `sources` (normalised by reachable count):
 /// `C(v) = (r−1) / Σ_u dist(v,u)` over the r reachable vertices.
-pub fn closeness(g: &Csr<()>, sources: &[VertexId]) -> Vec<f64> {
+pub fn closeness<G: OutEdges>(g: &G, sources: &[VertexId]) -> Vec<f64> {
     sources
         .par_iter()
         .map(|&s| {
@@ -80,7 +80,7 @@ pub fn closeness(g: &Csr<()>, sources: &[VertexId]) -> Vec<f64> {
 
 /// Harmonic centrality of `sources`: `H(v) = Σ_{u≠v} 1/dist(v,u)` —
 /// well-defined on disconnected graphs.
-pub fn harmonic(g: &Csr<()>, sources: &[VertexId]) -> Vec<f64> {
+pub fn harmonic<G: OutEdges>(g: &G, sources: &[VertexId]) -> Vec<f64> {
     sources
         .par_iter()
         .map(|&s| {

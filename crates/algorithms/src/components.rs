@@ -3,9 +3,9 @@
 //! frontier is the set of vertices whose label changed), plus a sequential
 //! union-find oracle.
 
-use julienne_graph::csr::{Csr, Weight};
 use julienne_ligra::edge_map::EdgeMap;
 use julienne_ligra::subset::VertexSubset;
+use julienne_ligra::traits::{GraphRef, OutEdges};
 use julienne_primitives::atomics::write_min_u32;
 use julienne_primitives::bitset::AtomicBitSet;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -23,7 +23,7 @@ pub struct ComponentsResult {
 /// Label propagation on a symmetric graph: every vertex starts with its own
 /// id; each round, frontier vertices push their label to neighbors via
 /// `writeMin`. Converges in O(component diameter) rounds.
-pub fn connected_components<W: Weight>(g: &Csr<W>) -> ComponentsResult {
+pub fn connected_components<G: GraphRef>(g: &G) -> ComponentsResult {
     assert!(
         g.is_symmetric(),
         "label propagation requires a symmetric graph"
@@ -60,7 +60,7 @@ pub fn connected_components<W: Weight>(g: &Csr<W>) -> ComponentsResult {
 }
 
 /// Sequential union-find oracle (path halving + union by index).
-pub fn connected_components_seq<W: Weight>(g: &Csr<W>) -> Vec<u32> {
+pub fn connected_components_seq<G: OutEdges>(g: &G) -> Vec<u32> {
     let n = g.num_vertices();
     let mut parent: Vec<u32> = (0..n as u32).collect();
     fn find(parent: &mut [u32], mut x: u32) -> u32 {
@@ -71,7 +71,9 @@ pub fn connected_components_seq<W: Weight>(g: &Csr<W>) -> Vec<u32> {
         x
     }
     for u in 0..n as u32 {
-        for &v in g.neighbors(u) {
+        let mut targets = Vec::new();
+        g.for_each_out(u, |v, _| targets.push(v));
+        for v in targets {
             let ru = find(&mut parent, u);
             let rv = find(&mut parent, v);
             if ru != rv {

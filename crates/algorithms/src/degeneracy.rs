@@ -7,10 +7,9 @@
 
 use crate::kcore::coreness_julienne;
 use julienne::bucket::{BucketsBuilder, Order};
-use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
 use julienne_ligra::edge_map_reduce::{edge_map_sum_with_scratch, SumScratch};
-use julienne_ligra::traits::OutEdges;
+use julienne_ligra::traits::{GraphRef, OutEdges};
 use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
 
 /// A degeneracy ordering: vertices in the order the bucketed peel removes
@@ -74,7 +73,7 @@ pub struct DensestSubgraph {
 /// Charikar's greedy 2-approximation: peel vertices in degeneracy order and
 /// return the suffix maximising edge density. Runs in O(m + n) on top of
 /// the bucketed peel.
-pub fn densest_subgraph(g: &Csr<()>) -> DensestSubgraph {
+pub fn densest_subgraph<G: GraphRef>(g: &G) -> DensestSubgraph {
     assert!(g.is_symmetric());
     let n = g.num_vertices();
     if n == 0 {
@@ -92,11 +91,12 @@ pub fn densest_subgraph(g: &Csr<()>) -> DensestSubgraph {
     let mut best_density = edges_left / n as f64;
     let mut best_cut = 0usize; // remove order[..best_cut]
     for (i, &v) in peel.order.iter().enumerate() {
-        let still: usize = g
-            .neighbors(v)
-            .iter()
-            .filter(|&&u| !removed[u as usize])
-            .count();
+        let mut still = 0usize;
+        g.for_each_out(v, |u, _| {
+            if !removed[u as usize] {
+                still += 1;
+            }
+        });
         edges_left -= still as f64;
         removed[v as usize] = true;
         let left = n - i - 1;
@@ -118,7 +118,7 @@ pub fn densest_subgraph(g: &Csr<()>) -> DensestSubgraph {
 /// sees at most `degeneracy` already-colored neighbors, so at most
 /// `degeneracy + 1` colors are used — the classic corollary the bucketed
 /// peel makes cheap.
-pub fn greedy_coloring(g: &Csr<()>) -> Vec<u32> {
+pub fn greedy_coloring<G: GraphRef>(g: &G) -> Vec<u32> {
     assert!(g.is_symmetric());
     let n = g.num_vertices();
     let order = degeneracy_order(g);
@@ -126,11 +126,11 @@ pub fn greedy_coloring(g: &Csr<()>) -> Vec<u32> {
     let mut forbidden: Vec<u32> = Vec::new();
     for &v in order.order.iter().rev() {
         forbidden.clear();
-        for &u in g.neighbors(v) {
+        g.for_each_out(v, |u, _| {
             if color[u as usize] != u32::MAX {
                 forbidden.push(color[u as usize]);
             }
-        }
+        });
         forbidden.sort_unstable();
         forbidden.dedup();
         let mut c = 0u32;
@@ -150,7 +150,7 @@ pub fn greedy_coloring(g: &Csr<()>) -> Vec<u32> {
 /// repeatedly remove *all* vertices with degree ≤ 2(1+ε)·(current density),
 /// keeping the best suffix. O(log_{1+ε} n) rounds — the low-depth
 /// alternative to the exact Charikar peel above.
-pub fn densest_subgraph_approx(g: &Csr<()>, eps: f64) -> DensestSubgraph {
+pub fn densest_subgraph_approx<G: GraphRef>(g: &G, eps: f64) -> DensestSubgraph {
     assert!(g.is_symmetric());
     assert!(eps > 0.0);
     let n = g.num_vertices();
@@ -160,7 +160,9 @@ pub fn densest_subgraph_approx(g: &Csr<()>, eps: f64) -> DensestSubgraph {
             density: 0.0,
         };
     }
-    let degrees: Vec<AtomicU32> = g.degrees().into_iter().map(AtomicU32::new).collect();
+    let degrees: Vec<AtomicU32> = (0..n)
+        .map(|v| AtomicU32::new(g.out_degree(v as VertexId) as u32))
+        .collect();
     let mut alive: Vec<bool> = vec![true; n];
     let mut live_vertices = n;
     let mut live_edges = g.num_edges() as f64 / 2.0;
@@ -191,14 +193,14 @@ pub fn densest_subgraph_approx(g: &Csr<()>, eps: f64) -> DensestSubgraph {
         let mut cross = 0u64;
         let mut internal_twice = 0u64;
         for &v in &peel {
-            for &u in g.neighbors(v) {
+            g.for_each_out(v, |u, _| {
                 if in_peel[u as usize] {
                     internal_twice += 1;
                 } else if alive[u as usize] {
                     degrees[u as usize].fetch_sub(1, AtomicOrdering::SeqCst);
                     cross += 1;
                 }
-            }
+            });
         }
         for &v in &peel {
             alive[v as usize] = false;
@@ -214,7 +216,7 @@ pub fn densest_subgraph_approx(g: &Csr<()>, eps: f64) -> DensestSubgraph {
 }
 
 /// Exact density of an induced subgraph (test helper; O(sum of degrees)).
-pub fn induced_density(g: &Csr<()>, vs: &[VertexId]) -> f64 {
+pub fn induced_density<G: OutEdges>(g: &G, vs: &[VertexId]) -> f64 {
     if vs.is_empty() {
         return 0.0;
     }
@@ -225,10 +227,13 @@ pub fn induced_density(g: &Csr<()>, vs: &[VertexId]) -> f64 {
     let twice_edges: usize = vs
         .iter()
         .map(|&v| {
-            g.neighbors(v)
-                .iter()
-                .filter(|&&u| member[u as usize])
-                .count()
+            let mut c = 0usize;
+            g.for_each_out(v, |u, _| {
+                if member[u as usize] {
+                    c += 1;
+                }
+            });
+            c
         })
         .sum();
     twice_edges as f64 / 2.0 / vs.len() as f64
@@ -236,7 +241,7 @@ pub fn induced_density(g: &Csr<()>, vs: &[VertexId]) -> f64 {
 
 /// The coreness lower bound: a graph with degeneracy k has a subgraph of
 /// density ≥ k/2, so the densest subgraph has density ≥ k_max/2.
-pub fn degeneracy_density_bound(g: &Csr<()>) -> f64 {
+pub fn degeneracy_density_bound<G: OutEdges>(g: &G) -> f64 {
     let k_max = coreness_julienne(g).coreness.into_iter().max().unwrap_or(0);
     k_max as f64 / 2.0
 }
@@ -245,6 +250,7 @@ pub fn degeneracy_density_bound(g: &Csr<()>) -> f64 {
 mod tests {
     use super::*;
     use julienne_graph::builder::from_pairs_symmetric;
+    use julienne_graph::csr::Csr;
     use julienne_graph::generators::{erdos_renyi, rmat, RmatParams};
 
     fn check_order_property(g: &Csr<()>, ord: &DegeneracyOrder) {

@@ -193,22 +193,28 @@ pub fn wbfs<G: OutEdges<W = u32>>(g: &G, src: VertexId) -> DeltaResult {
 /// Δ-stepping with the Meyer–Sanders light/heavy edge split: light edges
 /// (w ≤ Δ) are relaxed repeatedly inside the current annulus, heavy edges
 /// once per settled vertex when the annulus completes.
-pub fn delta_stepping_light_heavy(g: &Csr<u32>, src: VertexId, delta: u64) -> DeltaResult {
+pub fn delta_stepping_light_heavy<G: OutEdges<W = u32>>(
+    g: &G,
+    src: VertexId,
+    delta: u64,
+) -> DeltaResult {
     assert!(delta >= 1);
     let n = g.num_vertices();
 
     // Split into light/heavy subgraphs once (the paper: "two graphs, one
     // containing just the light edges and the other just the heavy edges").
+    // The split subgraphs are materialised as plain CSR regardless of the
+    // input backend.
     let mut light: EdgeList<u32> = EdgeList::new(n);
     let mut heavy: EdgeList<u32> = EdgeList::new(n);
     for u in 0..n as VertexId {
-        for (v, w) in g.edges_of(u) {
+        g.for_each_out(u, |v, w| {
             if w as u64 <= delta {
                 light.push(u, v, w);
             } else {
                 heavy.push(u, v, w);
             }
-        }
+        });
     }
     let light = light.build(false);
     let heavy = heavy.build(false);

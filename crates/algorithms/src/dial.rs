@@ -1,5 +1,5 @@
 //! Dial's algorithm (1969) — the sequential bucket-queue SSSP the paper
-//! cites as the origin of wBFS ([18]: "Algorithm 360: shortest-path forest
+//! cites as the origin of wBFS (reference \[18\]: "Algorithm 360: shortest-path forest
 //! with topological ordering").
 //!
 //! Distances are kept in a circular array of C·1 buckets (C = max edge
@@ -8,19 +8,23 @@
 //! the Julienne version parallelises exactly this structure.
 
 use crate::INF;
-use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
+use julienne_ligra::traits::OutEdges;
 
 /// Sequential Dial SSSP. Requires integer weights ≥ 1; the bucket ring has
 /// `max_weight + 1` slots.
-pub fn dial(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
+pub fn dial<G: OutEdges<W = u32>>(g: &G, src: VertexId) -> Vec<u64> {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
     dist[src as usize] = 0;
     if n == 0 {
         return dist;
     }
-    let max_w = g.weights().iter().copied().max().unwrap_or(1).max(1) as usize;
+    let mut max_w = 1u32;
+    for v in 0..n as VertexId {
+        g.for_each_out(v, |_, w| max_w = max_w.max(w));
+    }
+    let max_w = max_w as usize;
     let ring = max_w + 1;
     let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); ring];
     buckets[0].push(src);
@@ -39,7 +43,7 @@ pub fn dial(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
             if dist[v as usize] != cur {
                 continue; // stale entry (lazy decrease-key)
             }
-            for (u, w) in g.edges_of(v) {
+            g.for_each_out(v, |u, w| {
                 let nd = cur + w as u64;
                 if nd < dist[u as usize] {
                     // `remaining` counts queue entries (stale copies stay
@@ -48,7 +52,7 @@ pub fn dial(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
                     dist[u as usize] = nd;
                     buckets[(nd % ring as u64) as usize].push(u);
                 }
-            }
+            });
         }
         // Re-check the same slot: relaxations with w == ring would wrap to
         // it, but w ≤ max_w < ring, so advancing is safe.

@@ -3,14 +3,14 @@
 //! for every parallel SSSP implementation.
 
 use crate::INF;
-use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
+use julienne_ligra::traits::OutEdges;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Single-source shortest paths with nonnegative integer weights.
 /// O((m + n) log n) with a binary heap and lazy deletion.
-pub fn dijkstra(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
+pub fn dijkstra<G: OutEdges<W = u32>>(g: &G, src: VertexId) -> Vec<u64> {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
     dist[src as usize] = 0;
@@ -20,20 +20,20 @@ pub fn dijkstra(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
         if d > dist[u as usize] {
             continue; // stale entry
         }
-        for (v, w) in g.edges_of(u) {
+        g.for_each_out(u, |v, w| {
             let nd = d + w as u64;
             if nd < dist[v as usize] {
                 dist[v as usize] = nd;
                 heap.push(Reverse((nd, v)));
             }
-        }
+        });
     }
     dist
 }
 
 /// Sequential Bellman–Ford (queue-based SPFA variant) — a second oracle
 /// used to cross-check Dijkstra in the property tests.
-pub fn bellman_ford_seq(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
+pub fn bellman_ford_seq<G: OutEdges<W = u32>>(g: &G, src: VertexId) -> Vec<u64> {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
     dist[src as usize] = 0;
@@ -44,7 +44,7 @@ pub fn bellman_ford_seq(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
     while let Some(u) = queue.pop_front() {
         in_queue[u as usize] = false;
         let du = dist[u as usize];
-        for (v, w) in g.edges_of(u) {
+        g.for_each_out(u, |v, w| {
             let nd = du + w as u64;
             if nd < dist[v as usize] {
                 dist[v as usize] = nd;
@@ -53,7 +53,7 @@ pub fn bellman_ford_seq(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
                     queue.push_back(v);
                 }
             }
-        }
+        });
     }
     dist
 }
@@ -62,6 +62,7 @@ pub fn bellman_ford_seq(g: &Csr<u32>, src: VertexId) -> Vec<u64> {
 mod tests {
     use super::*;
     use julienne_graph::builder::EdgeList;
+    use julienne_graph::csr::Csr;
     use julienne_graph::generators::erdos_renyi;
     use julienne_graph::transform::assign_weights;
 

@@ -8,14 +8,14 @@
 
 use crate::bellman_ford::SsspResult;
 use crate::INF;
-use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
+use julienne_ligra::traits::OutEdges;
 use julienne_primitives::atomics::write_min_u64;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// GAP-style bin-based Δ-stepping from `src`.
-pub fn gap_delta_stepping(g: &Csr<u32>, src: VertexId, delta: u64) -> SsspResult {
+pub fn gap_delta_stepping<G: OutEdges<W = u32>>(g: &G, src: VertexId, delta: u64) -> SsspResult {
     assert!(delta >= 1);
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
@@ -50,7 +50,10 @@ pub fn gap_delta_stepping(g: &Csr<u32>, src: VertexId, delta: u64) -> SsspResult
             continue;
         }
         rounds += 1;
-        relaxations += live.par_iter().map(|&v| g.degree(v) as u64).sum::<u64>();
+        relaxations += live
+            .par_iter()
+            .map(|&v| g.out_degree(v) as u64)
+            .sum::<u64>();
 
         // Relax in parallel, collecting (bin, vertex) pushes per chunk
         // (stand-in for GAP's thread-local bins).
@@ -59,14 +62,14 @@ pub fn gap_delta_stepping(g: &Csr<u32>, src: VertexId, delta: u64) -> SsspResult
             .par_iter()
             .flat_map_iter(|&u| {
                 let du = dist_ref[u as usize].load(Ordering::SeqCst);
-                g.edges_of(u).filter_map(move |(v, w)| {
+                let mut local = Vec::new();
+                g.for_each_out(u, |v, w| {
                     let nd = du + w as u64;
                     if write_min_u64(&dist_ref[v as usize], nd) {
-                        Some(((nd / delta) as usize, v))
-                    } else {
-                        None
+                        local.push(((nd / delta) as usize, v));
                     }
-                })
+                });
+                local
             })
             .collect();
         for (bin, v) in pushes {

@@ -15,7 +15,6 @@
 use julienne::bucket::Order;
 use julienne::engine::Engine;
 use julienne::telemetry::{Counter, RoundRecord, TraversalKind};
-use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
 use julienne_ligra::edge_map_reduce::{edge_map_sum_with_scratch, SumScratch};
 use julienne_ligra::traits::OutEdges;
@@ -142,9 +141,11 @@ pub fn coreness_julienne_with<G: OutEdges>(g: &G, engine: &Engine) -> KcoreResul
 /// Work-inefficient Ligra-style coreness: for each core value k, repeatedly
 /// scans **all remaining vertices** for those with induced degree ≤ k.
 /// O(k_max·n + m) work — the comparator the paper beats by 2.6–9.2×.
-pub fn coreness_ligra(g: &Csr<()>) -> KcoreResult {
+pub fn coreness_ligra<G: OutEdges>(g: &G) -> KcoreResult {
     let n = g.num_vertices();
-    let degrees: Vec<AtomicU32> = g.degrees().into_iter().map(AtomicU32::new).collect();
+    let degrees: Vec<AtomicU32> = (0..n)
+        .map(|v| AtomicU32::new(g.out_degree(v as VertexId) as u32))
+        .collect();
     let alive: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(1)).collect();
     let coreness: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
 
@@ -170,13 +171,16 @@ pub fn coreness_ligra(g: &Csr<()>) -> KcoreResult {
             alive[v as usize].store(0, Ordering::SeqCst);
             coreness[v as usize].store(k, Ordering::SeqCst);
         });
-        edges_traversed += peel.par_iter().map(|&v| g.degree(v) as u64).sum::<u64>();
+        edges_traversed += peel
+            .par_iter()
+            .map(|&v| g.out_degree(v) as u64)
+            .sum::<u64>();
         peel.par_iter().for_each(|&v| {
-            for &u in g.neighbors(v) {
+            g.for_each_out(v, |u, _| {
                 if alive[u as usize].load(Ordering::SeqCst) == 1 {
                     degrees[u as usize].fetch_sub(1, Ordering::SeqCst);
                 }
-            }
+            });
         });
     }
 
@@ -192,9 +196,9 @@ pub fn coreness_ligra(g: &Csr<()>) -> KcoreResult {
 /// Sequential Batagelj–Zaversnik coreness: bucket sort by degree, repeatedly
 /// delete the minimum-degree vertex, moving each affected neighbor down one
 /// bucket per removed edge. O(m + n) work, fully sequential.
-pub fn coreness_bz_seq(g: &Csr<()>) -> KcoreResult {
+pub fn coreness_bz_seq<G: OutEdges>(g: &G) -> KcoreResult {
     let n = g.num_vertices();
-    let mut deg: Vec<u32> = g.degrees();
+    let mut deg: Vec<u32> = (0..n).map(|v| g.out_degree(v as VertexId) as u32).collect();
     let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
 
     // bin[d] = start index of degree-d vertices in `vert`.
@@ -216,10 +220,13 @@ pub fn coreness_bz_seq(g: &Csr<()>) -> KcoreResult {
     }
 
     let mut edges_traversed = 0u64;
+    let mut nbrs = Vec::new();
     for i in 0..n {
         let v = vert[i] as usize;
-        edges_traversed += g.degree(v as VertexId) as u64;
-        for &u in g.neighbors(v as VertexId) {
+        edges_traversed += g.out_degree(v as VertexId) as u64;
+        nbrs.clear();
+        g.for_each_out(v as VertexId, |u, _| nbrs.push(u));
+        for &u in &nbrs {
             let u = u as usize;
             if deg[u] > deg[v] {
                 // Swap u to the front of its degree class and shrink it.
@@ -259,6 +266,7 @@ pub fn kcore_vertices(coreness: &[u32], k: u32) -> Vec<VertexId> {
 mod tests {
     use super::*;
     use julienne_graph::builder::from_pairs_symmetric;
+    use julienne_graph::csr::Csr;
     use julienne_graph::generators::{erdos_renyi, rmat, RmatParams};
 
     /// A graph with known coreness: a 4-clique with a pendant path.

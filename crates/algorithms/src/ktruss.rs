@@ -15,7 +15,7 @@
 
 use crate::triangles::{edge_support, EdgeIndex};
 use julienne::bucket::{BucketDest, BucketsBuilder, Order};
-use julienne_graph::csr::Csr;
+use julienne_ligra::traits::GraphRef;
 use julienne_primitives::bitset::AtomicBitSet;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -33,7 +33,7 @@ pub struct KtrussResult {
 }
 
 /// Work-efficient parallel truss decomposition over the bucket structure.
-pub fn ktruss_julienne(g: &Csr<()>) -> KtrussResult {
+pub fn ktruss_julienne<G: GraphRef>(g: &G) -> KtrussResult {
     assert!(g.is_symmetric());
     let idx = EdgeIndex::new(g);
     let m = idx.num_edges();
@@ -163,7 +163,7 @@ pub fn ktruss_julienne(g: &Csr<()>) -> KtrussResult {
 
 /// Sequential oracle: one-edge-at-a-time min-support peel with a lazy
 /// bucket queue.
-pub fn ktruss_seq(g: &Csr<()>) -> KtrussResult {
+pub fn ktruss_seq<G: GraphRef>(g: &G) -> KtrussResult {
     assert!(g.is_symmetric());
     let idx = EdgeIndex::new(g);
     let m = idx.num_edges();

@@ -5,8 +5,8 @@
 //! Each round, every undecided vertex whose priority beats all undecided
 //! neighbors joins the set; its neighbors leave. Expected O(log n) rounds.
 
-use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
+use julienne_ligra::traits::{GraphRef, OutEdges};
 use julienne_primitives::filter::pack_index;
 use julienne_primitives::rng::hash64;
 use rayon::prelude::*;
@@ -27,7 +27,7 @@ pub struct MisResult {
 
 /// Luby-style maximal independent set on a symmetric graph; deterministic
 /// given `seed`.
-pub fn maximal_independent_set(g: &Csr<()>, seed: u64) -> MisResult {
+pub fn maximal_independent_set<G: GraphRef>(g: &G, seed: u64) -> MisResult {
     assert!(g.is_symmetric());
     let n = g.num_vertices();
     let state: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(UNDECIDED)).collect();
@@ -43,20 +43,26 @@ pub fn maximal_independent_set(g: &Csr<()>, seed: u64) -> MisResult {
             .copied()
             .filter(|&v| {
                 let pv = priority(rounds, v);
-                g.neighbors(v).iter().all(|&u| {
-                    state[u as usize].load(Ordering::SeqCst) != UNDECIDED || {
+                let mut beats_all = true;
+                g.for_each_out_until(v, |u, _| {
+                    let wins = state[u as usize].load(Ordering::SeqCst) != UNDECIDED || {
                         let pu = priority(rounds, u);
                         // Total order: (priority, id).
                         (pv, v) > (pu, u)
+                    };
+                    if !wins {
+                        beats_all = false;
                     }
-                })
+                    wins
+                });
+                beats_all
             })
             .collect();
         winners.par_iter().for_each(|&v| {
             state[v as usize].store(IN_SET, Ordering::SeqCst);
         });
         winners.par_iter().for_each(|&v| {
-            for &u in g.neighbors(v) {
+            g.for_each_out(v, |u, _| {
                 // Two adjacent winners are impossible (total order), so
                 // only UNDECIDED neighbors transition here.
                 let _ = state[u as usize].compare_exchange(
@@ -65,7 +71,7 @@ pub fn maximal_independent_set(g: &Csr<()>, seed: u64) -> MisResult {
                     Ordering::SeqCst,
                     Ordering::SeqCst,
                 );
-            }
+            });
         });
         undecided = undecided
             .into_par_iter()
@@ -78,22 +84,32 @@ pub fn maximal_independent_set(g: &Csr<()>, seed: u64) -> MisResult {
 }
 
 /// Checks independence and maximality.
-pub fn verify_mis(g: &Csr<()>, members: &[VertexId]) -> bool {
+pub fn verify_mis<G: OutEdges>(g: &G, members: &[VertexId]) -> bool {
     let n = g.num_vertices();
     let mut in_set = vec![false; n];
     for &v in members {
         in_set[v as usize] = true;
     }
     // Independent: no edge inside the set.
-    let independent = members
-        .par_iter()
-        .all(|&v| g.neighbors(v).iter().all(|&u| !in_set[u as usize]));
+    let independent = members.par_iter().all(|&v| {
+        let mut ok = true;
+        g.for_each_out_until(v, |u, _| {
+            ok = !in_set[u as usize];
+            ok
+        });
+        ok
+    });
     // Maximal: every non-member has a member neighbor.
     let maximal = (0..n).into_par_iter().all(|v| {
-        in_set[v]
-            || g.neighbors(v as VertexId)
-                .iter()
-                .any(|&u| in_set[u as usize])
+        if in_set[v] {
+            return true;
+        }
+        let mut found = false;
+        g.for_each_out_until(v as VertexId, |u, _| {
+            found = in_set[u as usize];
+            !found
+        });
+        found
     });
     independent && maximal
 }

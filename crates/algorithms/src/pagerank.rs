@@ -5,9 +5,9 @@
 //! Classic damped power iteration: `p'(v) = (1−d)/n + d·Σ_{u→v} p(u)/deg(u)`,
 //! with dangling mass redistributed uniformly.
 
-use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
 use julienne_ligra::edge_map_reduce::edge_map_reduce;
+use julienne_ligra::traits::OutEdges;
 use rayon::prelude::*;
 
 /// Result of a PageRank computation.
@@ -21,7 +21,7 @@ pub struct PageRankResult {
 
 /// Damped PageRank with L1 convergence threshold `tol` and iteration cap
 /// `max_iters`.
-pub fn pagerank(g: &Csr<()>, damping: f64, tol: f64, max_iters: u32) -> PageRankResult {
+pub fn pagerank<G: OutEdges>(g: &G, damping: f64, tol: f64, max_iters: u32) -> PageRankResult {
     assert!((0.0..1.0).contains(&damping));
     let n = g.num_vertices();
     if n == 0 {
@@ -41,7 +41,7 @@ pub fn pagerank(g: &Csr<()>, damping: f64, tol: f64, max_iters: u32) -> PageRank
         let contrib: Vec<f64> = (0..n)
             .into_par_iter()
             .map(|v| {
-                let d = g.degree(v as VertexId);
+                let d = g.out_degree(v as VertexId);
                 if d > 0 {
                     rank[v] / d as f64
                 } else {
@@ -51,7 +51,7 @@ pub fn pagerank(g: &Csr<()>, damping: f64, tol: f64, max_iters: u32) -> PageRank
             .collect();
         let dangling: f64 = (0..n)
             .into_par_iter()
-            .filter(|&v| g.degree(v as VertexId) == 0)
+            .filter(|&v| g.out_degree(v as VertexId) == 0)
             .map(|v| rank[v])
             .sum();
         let dangling_share = damping * dangling / n as f64;

@@ -3,8 +3,8 @@
 
 use crate::bfs::bfs_seq;
 use crate::kcore::coreness_julienne;
-use julienne_graph::csr::{Csr, Weight};
 use julienne_graph::VertexId;
+use julienne_ligra::traits::{GraphRef, OutEdges};
 
 /// Table 2-style statistics of an input graph.
 #[derive(Clone, Debug)]
@@ -27,12 +27,10 @@ pub struct GraphStats {
 
 /// Computes the statistics. ρ and k_max run the work-efficient peeling and
 /// are only defined for symmetric graphs.
-pub fn graph_stats<W: Weight>(g: &Csr<W>) -> GraphStats {
+pub fn graph_stats<G: GraphRef>(g: &G) -> GraphStats {
     let (rho, k_max) = if g.is_symmetric() {
-        // Peel on an unweighted view (weights are irrelevant to coreness).
-        let unweighted: Csr<()> =
-            Csr::from_parts(g.offsets().to_vec(), g.targets().to_vec(), vec![], true);
-        let r = coreness_julienne(&unweighted);
+        // Weights are irrelevant to coreness, so peel the graph directly.
+        let r = coreness_julienne(g);
         let k_max = r.coreness.iter().copied().max().unwrap_or(0);
         (Some(r.rounds), Some(k_max))
     } else {
@@ -46,7 +44,7 @@ pub fn graph_stats<W: Weight>(g: &Csr<W>) -> GraphStats {
         .max()
         .unwrap_or(0);
     let max_degree = (0..g.num_vertices() as VertexId)
-        .map(|v| g.degree(v) as u32)
+        .map(|v| g.out_degree(v) as u32)
         .max()
         .unwrap_or(0);
     GraphStats {
@@ -62,7 +60,7 @@ pub fn graph_stats<W: Weight>(g: &Csr<W>) -> GraphStats {
 /// Lower-bounds the diameter by running BFS from `samples` pseudo-random
 /// start vertices (restricted to non-isolated ones) and taking the largest
 /// finite eccentricity seen — the standard multi-BFS estimator.
-pub fn estimate_diameter<W: Weight>(g: &Csr<W>, samples: usize, seed: u64) -> u32 {
+pub fn estimate_diameter<G: OutEdges>(g: &G, samples: usize, seed: u64) -> u32 {
     use julienne_primitives::rng::hash_range;
     let n = g.num_vertices();
     if n == 0 {
@@ -74,7 +72,7 @@ pub fn estimate_diameter<W: Weight>(g: &Csr<W>, samples: usize, seed: u64) -> u3
     while tried < samples && (i as usize) < 8 * samples + n {
         let v = hash_range(seed, i, n as u64) as VertexId;
         i += 1;
-        if g.degree(v) == 0 {
+        if g.out_degree(v) == 0 {
             continue;
         }
         tried += 1;

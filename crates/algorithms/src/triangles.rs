@@ -6,8 +6,8 @@
 //! out-neighborhoods; every triangle is counted exactly once at its lowest
 //! -rank vertex. O(m^{3/2}) work on arbitrary graphs.
 
-use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
+use julienne_ligra::traits::{GraphRef, OutEdges};
 use julienne_primitives::scan::prefix_sums;
 use rayon::prelude::*;
 
@@ -31,13 +31,13 @@ pub fn intersect_sorted<F: FnMut(VertexId)>(a: &[VertexId], b: &[VertexId], mut 
 
 /// Rank of a vertex for orientation: (degree, id) lexicographic.
 #[inline]
-fn rank_lt(g: &Csr<()>, a: VertexId, b: VertexId) -> bool {
-    let (da, db) = (g.degree(a), g.degree(b));
+fn rank_lt<G: OutEdges>(g: &G, a: VertexId, b: VertexId) -> bool {
+    let (da, db) = (g.out_degree(a), g.out_degree(b));
     da < db || (da == db && a < b)
 }
 
 /// Counts the triangles of a symmetric graph exactly once each.
-pub fn triangle_count(g: &Csr<()>) -> u64 {
+pub fn triangle_count<G: GraphRef>(g: &G) -> u64 {
     assert!(g.is_symmetric());
     let n = g.num_vertices();
     // Build the rank-oriented DAG adjacency (each vertex keeps only
@@ -45,12 +45,12 @@ pub fn triangle_count(g: &Csr<()>) -> u64 {
     let oriented: Vec<Vec<VertexId>> = (0..n as VertexId)
         .into_par_iter()
         .map(|v| {
-            let mut out: Vec<VertexId> = g
-                .neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&u| rank_lt(g, v, u))
-                .collect();
+            let mut out: Vec<VertexId> = Vec::new();
+            g.for_each_out(v, |u, _| {
+                if rank_lt(g, v, u) {
+                    out.push(u);
+                }
+            });
             out.sort_unstable();
             out
         })
@@ -86,14 +86,15 @@ pub struct EdgeIndex {
 impl EdgeIndex {
     /// Builds the index. Requires a symmetric graph; neighbor lists need
     /// not be pre-sorted.
-    pub fn new(g: &Csr<()>) -> EdgeIndex {
+    pub fn new<G: GraphRef>(g: &G) -> EdgeIndex {
         assert!(g.is_symmetric());
         let n = g.num_vertices();
         // Sorted adjacency copy.
         let sorted: Vec<Vec<VertexId>> = (0..n as VertexId)
             .into_par_iter()
             .map(|v| {
-                let mut a = g.neighbors(v).to_vec();
+                let mut a = Vec::with_capacity(g.out_degree(v));
+                g.for_each_out(v, |u, _| a.push(u));
                 a.sort_unstable();
                 a
             })
@@ -173,7 +174,9 @@ impl EdgeIndex {
 
 /// Per-edge triangle support: `support[e]` = number of triangles through
 /// undirected edge `e`. The sum over edges equals 3 × triangle count.
-pub fn edge_support(_g: &Csr<()>, idx: &EdgeIndex) -> Vec<u32> {
+/// (Everything needed lives in the index; the graph argument is retained
+/// for signature symmetry with the other support primitives.)
+pub fn edge_support<G: OutEdges>(_g: &G, idx: &EdgeIndex) -> Vec<u32> {
     idx.endpoints
         .par_iter()
         .map(|&(u, v)| {
@@ -190,6 +193,7 @@ pub fn edge_support(_g: &Csr<()>, idx: &EdgeIndex) -> Vec<u32> {
 mod tests {
     use super::*;
     use julienne_graph::builder::from_pairs_symmetric;
+    use julienne_graph::csr::Csr;
     use julienne_graph::generators::{erdos_renyi, rmat, RmatParams};
 
     fn triangle_count_brute(g: &Csr<()>) -> u64 {

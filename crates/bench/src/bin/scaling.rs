@@ -18,6 +18,7 @@ use julienne_bench::report::Table;
 use julienne_bench::suite::{setcover_suite, symmetric_suite, weighted_suite, DEFAULT_SCALE};
 use julienne_bench::sweep::with_threads;
 use julienne_bench::timing::time;
+use julienne_graph::compress::{CompressedGraph, CompressedWGraph};
 use std::sync::Mutex;
 
 /// The sweep: powers of two, matching the paper's scaling figures.
@@ -66,11 +67,24 @@ fn run_kcore(scale: u32) {
     header();
     for named in symmetric_suite(scale) {
         let g = &named.graph;
+        let reference = kcore::coreness_julienne(g).coreness;
         let secs = sweep(
             || kcore::coreness_julienne(g),
             |a, b| a.coreness == b.coreness,
         );
         row("k-core (Julienne)", named.name, &secs);
+        // The byte-compressed backend must match the CSR result at every
+        // thread count.
+        let cg = CompressedGraph::from_csr(g);
+        let secs = sweep(
+            || {
+                let r = kcore::coreness_julienne(&cg);
+                assert_eq!(r.coreness, reference, "backend diverged on {}", named.name);
+                r
+            },
+            |a, b| a.coreness == b.coreness,
+        );
+        row("k-core (byte)", named.name, &secs);
     }
 }
 
@@ -97,6 +111,16 @@ fn run_sssp(scale: u32, heavy: bool) {
             |a, b| a.dist == b.dist && a.rounds == b.rounds,
         );
         row(app, name, &secs);
+        let cg = CompressedWGraph::from_csr(&g);
+        let secs = sweep(
+            || {
+                let r = delta_stepping::delta_stepping(&cg, 0, delta);
+                assert_eq!(r.dist, oracle, "{app} (byte) wrong on {name}");
+                r
+            },
+            |a, b| a.dist == b.dist && a.rounds == b.rounds,
+        );
+        row(&format!("{app} (byte)"), name, &secs);
     }
 }
 

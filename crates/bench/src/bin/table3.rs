@@ -10,16 +10,28 @@ use julienne_algorithms::{
     setcover::{set_cover_julienne_with, verify_cover},
     setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style},
 };
-use julienne_bench::report::Table;
+use julienne_bench::report::{footprint_table, MemoryFootprint, Table};
 use julienne_bench::suite::{setcover_suite, symmetric_suite, weighted_suite, DEFAULT_SCALE};
 use julienne_bench::sweep::with_threads;
 use julienne_bench::timing::time;
+use julienne_graph::compress::{CompressedGraph, CompressedWGraph};
 use std::sync::Mutex;
 
 // Collected rows for the CSV artifact written at exit.
 static CSV: Mutex<Vec<(String, String, f64, f64)>> = Mutex::new(Vec::new());
 // Per-run telemetry JSON objects (Julienne implementations, max threads).
 static TRACES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+// Per-input backend memory footprints (bytes/edge artifact).
+static FOOTPRINTS: Mutex<Vec<MemoryFootprint>> = Mutex::new(Vec::new());
+
+fn footprint(graph: &str, csr_bytes: usize, compressed_bytes: usize, num_edges: usize) {
+    FOOTPRINTS.lock().unwrap().push(MemoryFootprint {
+        graph: graph.to_string(),
+        csr_bytes,
+        compressed_bytes,
+        num_edges,
+    });
+}
 
 fn trace(engine: &Engine, algorithm: &str, graph: &str) {
     TRACES
@@ -67,6 +79,19 @@ fn run_kcore(scale: u32) {
         let (_, jp) = with_threads(tmax, || time(|| kcore::coreness_julienne_with(g, &engine)));
         trace(&engine, "kcore", named.name);
         row("k-core (Julienne)", named.name, j1, jp);
+        // Same implementation over the byte-compressed backend: identical
+        // coreness, different space/decode profile.
+        let cg = CompressedGraph::from_csr(g);
+        footprint(
+            named.name,
+            g.footprint_bytes(),
+            cg.footprint_bytes(),
+            g.num_edges(),
+        );
+        let (rc, c1) = with_threads(1, || time(|| kcore::coreness_julienne(&cg)));
+        let (rr, cp) = with_threads(tmax, || time(|| kcore::coreness_julienne(&cg)));
+        assert_eq!(rc.coreness, rr.coreness);
+        row("k-core (Julienne, byte)", named.name, c1, cp);
         let (_, l1) = with_threads(1, || time(|| kcore::coreness_ligra(g)));
         let (_, lp) = with_threads(tmax, || time(|| kcore::coreness_ligra(g)));
         row("k-core (Ligra, work-ineff)", named.name, l1, lp);
@@ -94,6 +119,19 @@ fn run_sssp(scale: u32, heavy: bool) {
         });
         trace(&engine, if heavy { "delta" } else { "wbfs" }, name);
         row("SSSP (Julienne)", name, j1, jp);
+        let cg = CompressedWGraph::from_csr(&g);
+        footprint(
+            &format!("{name}{}", if heavy { " (heavy-w)" } else { " (log-w)" }),
+            g.footprint_bytes(),
+            cg.footprint_bytes(),
+            g.num_edges(),
+        );
+        let (rc, c1) = with_threads(1, || time(|| delta_stepping::delta_stepping(&cg, 0, delta)));
+        assert_eq!(rc.dist, oracle);
+        let (_, cp) = with_threads(tmax, || {
+            time(|| delta_stepping::delta_stepping(&cg, 0, delta))
+        });
+        row("SSSP (Julienne, byte)", name, c1, cp);
         let (rb, b1) = with_threads(1, || time(|| bellman_ford::bellman_ford(&g, 0)));
         assert_eq!(rb.dist, oracle);
         let (_, bp) = with_threads(tmax, || time(|| bellman_ford::bellman_ford(&g, 0)));
@@ -185,6 +223,20 @@ fn main() {
     let json_out = csv_path.join("table3.json");
     if table.write_json(&json_out).is_ok() {
         println!("(wrote {})", json_out.display());
+    }
+    // Per-backend memory footprint of every input (bytes/edge, ratio).
+    let footprints = FOOTPRINTS.lock().unwrap();
+    if !footprints.is_empty() {
+        let mem = footprint_table(&footprints);
+        println!("\n{}", mem.render());
+        let mem_csv = csv_path.join("memory.csv");
+        if mem.write_csv(&mem_csv).is_ok() {
+            println!("(wrote {})", mem_csv.display());
+        }
+        let mem_json = csv_path.join("memory.json");
+        if mem.write_json(&mem_json).is_ok() {
+            println!("(wrote {})", mem_json.display());
+        }
     }
     // Per-round telemetry traces of every Julienne run, one object per run.
     let traces = TRACES.lock().unwrap();

@@ -148,6 +148,66 @@ pub fn telemetry_json(algorithm: &str, snapshot: &TelemetrySnapshot) -> String {
     snapshot.to_json(algorithm)
 }
 
+/// Per-backend memory footprint of one benchmark input: raw CSR bytes
+/// against the byte-compressed form, normalised per directed edge.
+pub struct MemoryFootprint {
+    /// Input name as printed in the timing tables.
+    pub graph: String,
+    /// Adjacency bytes of the CSR backend.
+    pub csr_bytes: usize,
+    /// Adjacency bytes of the byte-compressed backend.
+    pub compressed_bytes: usize,
+    /// Directed edge count — the per-edge denominator.
+    pub num_edges: usize,
+}
+
+impl MemoryFootprint {
+    /// CSR bytes per directed edge.
+    pub fn csr_bytes_per_edge(&self) -> f64 {
+        self.csr_bytes as f64 / self.num_edges.max(1) as f64
+    }
+
+    /// Compressed bytes per directed edge.
+    pub fn compressed_bytes_per_edge(&self) -> f64 {
+        self.compressed_bytes as f64 / self.num_edges.max(1) as f64
+    }
+
+    /// CSR-to-compressed size ratio (>1 means compression won).
+    pub fn ratio(&self) -> f64 {
+        self.csr_bytes as f64 / self.compressed_bytes.max(1) as f64
+    }
+}
+
+/// Builds the standard per-backend memory table: one row per input with
+/// bytes/edge for both backends and the compression ratio, ready for
+/// `results/` next to the timing artifacts.
+pub fn footprint_table(rows: &[MemoryFootprint]) -> Table {
+    let mut t = Table::new(
+        "memory",
+        &[
+            "graph",
+            "edges",
+            "csr_bytes",
+            "csr_b_per_edge",
+            "compressed_bytes",
+            "compressed_b_per_edge",
+            "ratio",
+        ],
+    );
+    for r in rows {
+        t.rowf(&[
+            &r.graph,
+            &r.num_edges,
+            &r.csr_bytes,
+            &format!("{:.2}", r.csr_bytes_per_edge()),
+            &r.compressed_bytes,
+            &format!("{:.2}", r.compressed_bytes_per_edge()),
+            &format!("{:.2}", r.ratio()),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +265,23 @@ mod tests {
         assert!(j.contains("\"algorithm\":\"bench\""));
         #[cfg(feature = "telemetry")]
         assert!(j.contains("\"edges_scanned\":7"), "{j}");
+    }
+
+    #[test]
+    fn footprint_table_shapes() {
+        let rows = vec![MemoryFootprint {
+            graph: "rmat".into(),
+            csr_bytes: 1_000,
+            compressed_bytes: 400,
+            num_edges: 100,
+        }];
+        assert_eq!(rows[0].csr_bytes_per_edge(), 10.0);
+        assert_eq!(rows[0].compressed_bytes_per_edge(), 4.0);
+        assert_eq!(rows[0].ratio(), 2.5);
+        let t = footprint_table(&rows);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("graph,edges,csr_bytes"), "{csv}");
+        assert!(csv.contains("rmat,100,1000,10.00,400,4.00,2.50"), "{csv}");
     }
 
     #[test]

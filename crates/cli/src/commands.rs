@@ -3,7 +3,7 @@
 
 use crate::args::Args;
 use crate::io_util::{load, save};
-use julienne::prelude::Engine;
+use julienne::prelude::{Backend, Engine};
 use julienne_algorithms::clustering::{local_clustering, transitivity};
 use julienne_algorithms::components::{connected_components, num_components};
 use julienne_algorithms::degeneracy::densest_subgraph;
@@ -14,6 +14,7 @@ use julienne_algorithms::setcover::verify_cover;
 use julienne_algorithms::stats::graph_stats;
 use julienne_algorithms::triangles::{triangle_count, EdgeIndex};
 use julienne_algorithms::{bellman_ford, delta_stepping, dijkstra};
+use julienne_graph::compress::{CompressedGraph, CompressedWGraph};
 use julienne_graph::generators::{chung_lu, erdos_renyi, grid2d, random_regular, rmat, RmatParams};
 use julienne_graph::transform::{assign_weights, symmetrize, wbfs_weight_range};
 use julienne_graph::{Csr, Graph};
@@ -21,6 +22,32 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 type CmdResult = Result<String, String>;
+
+/// Reads the global `backend=<csr|compressed>` option. Validated once in
+/// [`dispatch`]; the graph commands re-read it here to route their loads.
+fn backend_opt(a: &Args) -> Result<Backend, String> {
+    Backend::parse(&a.string_or("backend", "csr"))
+}
+
+/// Runs `$body` with `$gr` bound to the selected backend's view of `$g`:
+/// the CSR itself, or a byte-compressed copy built with `$compress`. The
+/// algorithms are generic over the graph traits, so the same call works
+/// against either representation and must produce identical output.
+macro_rules! with_backend {
+    ($backend:expr, $g:expr, $compress:path, |$gr:ident| $body:expr) => {
+        match $backend {
+            Backend::Csr => {
+                let $gr = &$g;
+                $body
+            }
+            Backend::Compressed => {
+                let compressed = $compress(&$g);
+                let $gr = &compressed;
+                $body
+            }
+        }
+    };
+}
 
 /// Parses the `stats=<none|json>` option shared by the algorithm commands
 /// and returns an [`Engine`] with telemetry enabled iff JSON traces were
@@ -88,16 +115,25 @@ pub fn cmd_gen(a: &Args) -> CmdResult {
 }
 
 /// `julienne stats in=<file> [weighted=false]`
+///
+/// Besides the Table 2 statistics, reports the memory footprint of both
+/// backends: raw CSR bytes and byte-compressed bytes, each per edge, plus
+/// the compression ratio.
 pub fn cmd_stats(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
     let weighted: bool = a.get_or("weighted", false).map_err(|e| e.to_string())?;
     a.finish().map_err(|e| e.to_string())?;
-    let s = if weighted {
-        graph_stats(&load::<u32>(&input)?)
+    let (s, csr_bytes, compressed_bytes) = if weighted {
+        let g: Csr<u32> = load(&input)?;
+        let c = CompressedWGraph::from_csr(&g);
+        (graph_stats(&g), g.footprint_bytes(), c.footprint_bytes())
     } else {
-        graph_stats(&load::<()>(&input)?)
+        let g: Graph = load(&input)?;
+        let c = CompressedGraph::from_csr(&g);
+        (graph_stats(&g), g.footprint_bytes(), c.footprint_bytes())
     };
-    Ok(format!(
+    let m = s.num_edges.max(1) as f64;
+    let mut out = format!(
         "n={} m={} rho={} k_max={} max_degree={} ecc(0)={}\n",
         s.num_vertices,
         s.num_edges,
@@ -105,7 +141,15 @@ pub fn cmd_stats(a: &Args) -> CmdResult {
         s.k_max.map(|x| x.to_string()).unwrap_or("-".into()),
         s.max_degree,
         s.eccentricity_from_zero
-    ))
+    );
+    let _ = writeln!(
+        out,
+        "memory: csr={csr_bytes}B ({:.2} B/edge) compressed={compressed_bytes}B ({:.2} B/edge) ratio={:.2}x",
+        csr_bytes as f64 / m,
+        compressed_bytes as f64 / m,
+        csr_bytes as f64 / compressed_bytes.max(1) as f64
+    );
+    Ok(out)
 }
 
 /// `julienne convert in=<file> out=<file> [weighted=false] [symmetrize=false]`
@@ -146,13 +190,16 @@ pub fn cmd_convert(a: &Args) -> CmdResult {
 pub fn cmd_kcore(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
     let top: usize = a.get_or("top", 10).map_err(|e| e.to_string())?;
+    let backend = backend_opt(a)?;
     let (engine, emit_json) = stats_engine(a)?;
     a.finish().map_err(|e| e.to_string())?;
     let g: Graph = load(&input)?;
     if !g.is_symmetric() {
         return Err("k-core requires a symmetric graph (use convert symmetrize=true)".into());
     }
-    let r = kcore::coreness_julienne_with(&g, &engine);
+    let r = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
+        kcore::coreness_julienne_with(gr, &engine)
+    });
     let k_max = r.coreness.iter().copied().max().unwrap_or(0);
     let mut by_core: Vec<(u32, u32)> = r
         .coreness
@@ -185,28 +232,31 @@ pub fn cmd_sssp(a: &Args) -> CmdResult {
         return Err("delta=0 is invalid; the bucket width must be >= 1".into());
     }
     let algo = a.string_or("algo", "delta");
+    let backend = backend_opt(a)?;
     let (engine, emit_json) = stats_engine(a)?;
     a.finish().map_err(|e| e.to_string())?;
     let g: Csr<u32> = load(&input)?;
     if src as usize >= g.num_vertices() {
         return Err(format!("src {src} out of range (n = {})", g.num_vertices()));
     }
-    let (dist, rounds) = match algo.as_str() {
-        "delta" => {
-            let r = delta_stepping::delta_stepping_with(&g, src, delta, &engine);
-            (r.dist, r.rounds)
+    let (dist, rounds) = with_backend!(backend, g, CompressedWGraph::from_csr, |gr| {
+        match algo.as_str() {
+            "delta" => {
+                let r = delta_stepping::delta_stepping_with(gr, src, delta, &engine);
+                (r.dist, r.rounds)
+            }
+            "wbfs" => {
+                let r = delta_stepping::delta_stepping_with(gr, src, 1, &engine);
+                (r.dist, r.rounds)
+            }
+            "bellman" => {
+                let r = bellman_ford::bellman_ford(gr, src);
+                (r.dist, r.rounds)
+            }
+            "dijkstra" => (dijkstra::dijkstra(gr, src), 0),
+            other => return Err(format!("unknown algo {other:?}")),
         }
-        "wbfs" => {
-            let r = delta_stepping::delta_stepping_with(&g, src, 1, &engine);
-            (r.dist, r.rounds)
-        }
-        "bellman" => {
-            let r = bellman_ford::bellman_ford(&g, src);
-            (r.dist, r.rounds)
-        }
-        "dijkstra" => (dijkstra::dijkstra(&g, src), 0),
-        other => return Err(format!("unknown algo {other:?}")),
-    };
+    });
     let reached = dist.iter().filter(|&&d| d != u64::MAX).count();
     let max = dist
         .iter()
@@ -231,12 +281,15 @@ pub fn cmd_sssp(a: &Args) -> CmdResult {
 /// `julienne components in=<file>`
 pub fn cmd_components(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let backend = backend_opt(a)?;
     a.finish().map_err(|e| e.to_string())?;
     let g: Graph = load(&input)?;
     if !g.is_symmetric() {
         return Err("components requires a symmetric graph".into());
     }
-    let r = connected_components(&g);
+    let r = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
+        connected_components(gr)
+    });
     Ok(format!(
         "components={} rounds={}\n",
         num_components(&r.label),
@@ -247,12 +300,15 @@ pub fn cmd_components(a: &Args) -> CmdResult {
 /// `julienne densest in=<file>`
 pub fn cmd_densest(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let backend = backend_opt(a)?;
     a.finish().map_err(|e| e.to_string())?;
     let g: Graph = load(&input)?;
     if !g.is_symmetric() {
         return Err("densest requires a symmetric graph".into());
     }
-    let ds = densest_subgraph(&g);
+    let ds = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
+        densest_subgraph(gr)
+    });
     Ok(format!(
         "densest subgraph: {} vertices, density {:.3}\n",
         ds.vertices.len(),
@@ -263,25 +319,31 @@ pub fn cmd_densest(a: &Args) -> CmdResult {
 /// `julienne triangles in=<file>`
 pub fn cmd_triangles(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let backend = backend_opt(a)?;
     a.finish().map_err(|e| e.to_string())?;
     let g: Graph = load(&input)?;
     if !g.is_symmetric() {
         return Err("triangle counting requires a symmetric graph".into());
     }
-    Ok(format!("triangles={}\n", triangle_count(&g)))
+    let t = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
+        triangle_count(gr)
+    });
+    Ok(format!("triangles={t}\n"))
 }
 
 /// `julienne truss in=<file> [top=5]`
 pub fn cmd_truss(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
     let top: usize = a.get_or("top", 5).map_err(|e| e.to_string())?;
+    let backend = backend_opt(a)?;
     a.finish().map_err(|e| e.to_string())?;
     let g: Graph = load(&input)?;
     if !g.is_symmetric() {
         return Err("k-truss requires a symmetric graph".into());
     }
-    let idx = EdgeIndex::new(&g);
-    let r = ktruss_julienne(&g);
+    let (idx, r) = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
+        (EdgeIndex::new(gr), ktruss_julienne(gr))
+    });
     let mut out = format!(
         "edges={} max_truss={} rounds={}\n",
         r.trussness.len(),
@@ -314,17 +376,18 @@ pub fn cmd_truss(a: &Args) -> CmdResult {
 /// `julienne clustering in=<file>`
 pub fn cmd_clustering(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let backend = backend_opt(a)?;
     a.finish().map_err(|e| e.to_string())?;
     let g: Graph = load(&input)?;
     if !g.is_symmetric() {
         return Err("clustering requires a symmetric graph".into());
     }
-    let local = local_clustering(&g);
+    let (local, trans) = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
+        (local_clustering(gr), transitivity(gr))
+    });
     let avg = local.iter().sum::<f64>() / local.len().max(1) as f64;
     Ok(format!(
-        "transitivity={:.6} avg_local_clustering={:.6}\n",
-        transitivity(&g),
-        avg
+        "transitivity={trans:.6} avg_local_clustering={avg:.6}\n"
     ))
 }
 
@@ -338,9 +401,12 @@ pub fn cmd_pagerank(a: &Args) -> CmdResult {
         ));
     }
     let iters: u32 = a.get_or("iters", 100).map_err(|e| e.to_string())?;
+    let backend = backend_opt(a)?;
     a.finish().map_err(|e| e.to_string())?;
     let g: Graph = load(&input)?;
-    let r = pagerank(&g, damping, 1e-9, iters);
+    let r = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
+        pagerank(gr, damping, 1e-9, iters)
+    });
     let mut top: Vec<(usize, f64)> = r.rank.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut out = format!("iterations={}\n", r.iterations);
@@ -359,9 +425,17 @@ pub fn cmd_setcover(a: &Args) -> CmdResult {
     let mult: usize = a.get_or("mult", 4).map_err(|e| e.to_string())?;
     let eps: f64 = a.get_or("eps", 0.01).map_err(|e| e.to_string())?;
     let seed: u64 = a.get_or("seed", 1).map_err(|e| e.to_string())?;
+    let backend = backend_opt(a)?;
     let (engine, emit_json) = stats_engine(a)?;
     a.finish().map_err(|e| e.to_string())?;
-    let inst = julienne_graph::generators::set_cover_instance(sets, elements, mult, seed);
+    let mut inst = julienne_graph::generators::set_cover_instance(sets, elements, mult, seed);
+    if backend == Backend::Compressed {
+        // Set cover peels a packed (mutable) copy of the membership graph,
+        // so the compressed backend routes the instance through a
+        // compress/decompress round trip — same adjacency, proving the
+        // byte-coded form carries the full structure.
+        inst.graph = CompressedGraph::from_csr(&inst.graph).to_csr();
+    }
     let r = julienne_algorithms::setcover::set_cover_julienne_with(&inst, eps, &engine);
     if !verify_cover(&inst, &r.cover) {
         return Err("internal error: produced cover is invalid".into());
@@ -404,6 +478,9 @@ Options may be written key=value, --key=value, or --key value.
 threads=<n> (any command) sets the process-wide worker-thread count, like
 the JULIENNE_NUM_THREADS environment variable; outputs are identical at
 every thread count.
+backend=<csr|compressed> (graph commands) selects the in-memory graph
+representation: raw CSR arrays (default) or the Ligra+-style byte-coded
+form built after loading. Outputs are identical for both backends.
 stats=json appends one JSON object per run: accumulated counters plus a
 per-round trace (round, bucket, frontier, edges scanned/relaxed,
 sparse-vs-dense choice, elapsed microseconds).
@@ -413,15 +490,18 @@ sparse-vs-dense choice, elapsed microseconds).
 
 /// Dispatches a parsed command.
 ///
-/// The `threads=` option is global: it is consumed here (before the
+/// Two options are global. `threads=` is consumed here (before the
 /// subcommand runs) and sets the process-wide worker-thread count, the same
-/// knob as `JULIENNE_NUM_THREADS`. Outputs are identical at every thread
-/// count, so this only affects speed.
+/// knob as `JULIENNE_NUM_THREADS`. `backend=` is validated here and
+/// re-read by the graph commands to pick the in-memory representation
+/// (raw CSR vs byte-compressed). Neither affects any output, only speed
+/// and space.
 pub fn dispatch(a: &Args) -> CmdResult {
     let threads: usize = a.get_or("threads", 0).map_err(|e| e.to_string())?;
     if threads > 0 {
         rayon::set_num_threads(threads);
     }
+    backend_opt(a)?;
     match a.command.as_str() {
         "gen" => cmd_gen(a),
         "stats" => cmd_stats(a),
@@ -601,6 +681,54 @@ mod tests {
         let e = run("gen kind=rmat scale=abc out=x.bin").unwrap_err();
         assert!(e.contains("scale"), "{e}");
         assert!(e.contains("abc"), "{e}");
+    }
+
+    #[test]
+    fn compressed_backend_output_is_byte_identical() {
+        let f = tmp("be.bin");
+        let fw = tmp("bew.bin");
+        run(&format!("gen kind=rmat scale=9 out={f}")).unwrap();
+        run(&format!("gen kind=rmat scale=9 weights=log out={fw}")).unwrap();
+        // The four paper applications, at 1 and 4 threads: identical output
+        // on both representations.
+        for threads in [1usize, 4] {
+            for cmd in [
+                format!("kcore in={f}"),
+                format!("sssp in={fw} algo=wbfs"),
+                format!("sssp in={fw} algo=delta"),
+                "setcover sets=64 elements=2000 seed=5".to_string(),
+            ] {
+                let csr = run(&format!("{cmd} threads={threads}")).unwrap();
+                let comp = run(&format!("{cmd} threads={threads} backend=compressed")).unwrap();
+                assert_eq!(csr, comp, "{cmd} threads={threads}");
+            }
+        }
+        // The remaining graph commands accept the option too.
+        for cmd in [
+            format!("components in={f}"),
+            format!("triangles in={f}"),
+            format!("pagerank in={f}"),
+        ] {
+            let csr = run(&cmd).unwrap();
+            let comp = run(&format!("{cmd} backend=compressed")).unwrap();
+            assert_eq!(csr, comp, "{cmd}");
+        }
+        // A typo is rejected by every command, even ones that ignore it.
+        let e = run(&format!("stats in={f} backend=zip")).unwrap_err();
+        assert!(e.contains("backend"), "{e}");
+        std::fs::remove_file(f).ok();
+        std::fs::remove_file(fw).ok();
+    }
+
+    #[test]
+    fn stats_reports_memory_footprint() {
+        let f = tmp("mf.bin");
+        run(&format!("gen kind=rmat scale=9 out={f}")).unwrap();
+        let s = run(&format!("stats in={f}")).unwrap();
+        assert!(s.contains("memory: csr="), "{s}");
+        assert!(s.contains("B/edge"), "{s}");
+        assert!(s.contains("ratio="), "{s}");
+        std::fs::remove_file(f).ok();
     }
 
     #[test]

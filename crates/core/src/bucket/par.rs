@@ -76,8 +76,7 @@ pub struct Buckets<D> {
     telemetry: Telemetry,
 }
 
-/// Builder for [`Buckets`] — the single construction path replacing the
-/// historical `Buckets::new` / `Buckets::with_open_buckets` pair.
+/// Builder for [`Buckets`] — the single construction path.
 ///
 /// ```
 /// use julienne::bucket::{BucketsBuilder, Order};
@@ -187,20 +186,6 @@ impl<D: Fn(Identifier) -> BucketId + Sync> BucketsBuilder<D> {
 }
 
 impl<D: Fn(Identifier) -> BucketId + Sync> Buckets<D> {
-    /// `makeBuckets(n, D, O)` with the default 128 open buckets.
-    #[deprecated(note = "use BucketsBuilder::new(n, d, order).build()")]
-    pub fn new(n: usize, d: D, order: Order) -> Self {
-        BucketsBuilder::new(n, d, order).build()
-    }
-
-    /// `makeBuckets` with an explicit number of open buckets `nB`.
-    #[deprecated(note = "use BucketsBuilder::new(n, d, order).open_buckets(nB).build()")]
-    pub fn with_open_buckets(n: usize, d: D, order: Order, num_open: usize) -> Self {
-        BucketsBuilder::new(n, d, order)
-            .open_buckets(num_open)
-            .build()
-    }
-
     #[inline]
     fn key_of(&self, b: BucketId) -> u64 {
         match self.order {

@@ -34,6 +34,50 @@ use julienne_ligra::traits::OutEdges;
 use julienne_ligra::{EdgeMap, EdgeMapOptions, Mode};
 use julienne_primitives::telemetry::{Telemetry, TelemetrySnapshot};
 
+/// Which physical graph representation the driver should run on.
+///
+/// Traversals themselves are generic over the
+/// [`julienne_ligra::OutEdges`] / [`julienne_ligra::InEdges`] /
+/// [`julienne_ligra::GraphRef`] hierarchy; this enum is the
+/// *selection* knob drivers (CLI, benches) thread from user input down to
+/// the load path that picks a concrete backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Plain CSR adjacency arrays (`Csr<W>`).
+    #[default]
+    Csr,
+    /// Ligra+-style byte-compressed adjacency (`CompressedGraph` /
+    /// `CompressedWGraph`), built by compressing the CSR after load.
+    Compressed,
+}
+
+impl Backend {
+    /// Parses the CLI spelling (`csr` or `compressed`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "csr" => Ok(Backend::Csr),
+            "compressed" => Ok(Backend::Compressed),
+            other => Err(format!(
+                "unknown backend '{other}' (expected csr or compressed)"
+            )),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Csr => "csr",
+            Backend::Compressed => "compressed",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Configuration + telemetry hub shared by the traversal engine and the
 /// bucket structure. Construct with [`Engine::builder`].
 #[derive(Clone)]
@@ -41,6 +85,7 @@ pub struct Engine {
     edge_map_opts: EdgeMapOptions,
     open_buckets: usize,
     num_threads: Option<usize>,
+    backend: Backend,
     telemetry: Telemetry,
 }
 
@@ -59,6 +104,7 @@ impl Engine {
             edge_map_opts: EdgeMapOptions::default(),
             open_buckets: DEFAULT_OPEN_BUCKETS,
             num_threads: None,
+            backend: Backend::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -100,6 +146,11 @@ impl Engine {
         self.num_threads
     }
 
+    /// The graph backend the driver should load/convert to.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
     /// The shared telemetry sink (a no-op sink unless enabled via the
     /// builder and the `telemetry` feature).
     pub fn telemetry(&self) -> &Telemetry {
@@ -123,6 +174,7 @@ pub struct EngineBuilder {
     edge_map_opts: EdgeMapOptions,
     open_buckets: usize,
     num_threads: Option<usize>,
+    backend: Backend,
     telemetry: Telemetry,
 }
 
@@ -188,6 +240,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the graph backend drivers should load/convert to (default
+    /// [`Backend::Csr`]). Algorithms are backend-generic; this only steers
+    /// the load path.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Finalizes the engine.
     pub fn build(self) -> Engine {
         if let Some(n) = self.num_threads {
@@ -197,6 +257,7 @@ impl EngineBuilder {
             edge_map_opts: self.edge_map_opts,
             open_buckets: self.open_buckets,
             num_threads: self.num_threads,
+            backend: self.backend,
             telemetry: self.telemetry,
         }
     }
@@ -258,6 +319,17 @@ mod tests {
 
         engine.reset_telemetry();
         assert_eq!(engine.telemetry().get(Counter::EdgesScanned), 0);
+    }
+
+    #[test]
+    fn backend_selection_round_trips() {
+        assert_eq!(Engine::default().backend(), Backend::Csr);
+        let e = Engine::builder().backend(Backend::Compressed).build();
+        assert_eq!(e.backend(), Backend::Compressed);
+        assert_eq!(Backend::parse("csr"), Ok(Backend::Csr));
+        assert_eq!(Backend::parse("compressed"), Ok(Backend::Compressed));
+        assert!(Backend::parse("mmap").is_err());
+        assert_eq!(Backend::Compressed.to_string(), "compressed");
     }
 
     #[test]

@@ -40,19 +40,18 @@ pub mod prelude {
     //!
     //! The framework surface is the builder trio: [`Engine`] (shared
     //! options and telemetry sink), [`EdgeMap`] (traversal), and
-    //! [`BucketsBuilder`] (bucket structure). The historical free functions
-    //! (`edge_map`, …) are still re-exported but deprecated.
+    //! [`BucketsBuilder`] (bucket structure). Traversals are generic over
+    //! the [`OutEdges`] / [`InEdges`] / [`GraphRef`] backend hierarchy.
     pub use crate::bucket::{
         BucketDest, BucketId, BucketStats, Buckets, BucketsBuilder, Identifier, Order, SeqBuckets,
         NULL_BKT,
     };
-    pub use crate::engine::{Engine, EngineBuilder};
+    pub use crate::engine::{Backend, Engine, EngineBuilder};
     pub use crate::telemetry::{Counter, RoundRecord, Telemetry, TelemetrySnapshot, TraversalKind};
     pub use julienne_graph::{Csr, Graph, VertexId, WGraph, Weight};
-    #[allow(deprecated)]
-    pub use julienne_ligra::{edge_map, edge_map_data};
     pub use julienne_ligra::{
         edge_map_filter_count, edge_map_filter_pack, edge_map_packed, edge_map_sum, vertex_filter,
-        vertex_map, vertex_map_data, EdgeMap, EdgeMapOptions, Mode, VertexSubset, VertexSubsetData,
+        vertex_map, vertex_map_data, EdgeMap, EdgeMapOptions, GraphRef, InEdges, Mode, OutEdges,
+        VertexSubset, VertexSubsetData,
     };
 }

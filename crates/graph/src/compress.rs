@@ -24,6 +24,9 @@ pub struct CompressedGraph {
     /// Concatenated byte-coded blocks.
     data: Vec<u8>,
     symmetric: bool,
+    /// Byte-compressed transpose for dense (pull) traversals of directed
+    /// graphs; symmetric graphs are their own in-view and leave this empty.
+    in_graph: Option<Box<CompressedGraph>>,
 }
 
 #[inline]
@@ -78,8 +81,22 @@ fn encode_block(v: VertexId, neighbors: &[VertexId], out: &mut Vec<u8>) {
 }
 
 impl CompressedGraph {
-    /// Compresses `g` (neighbor lists are sorted first if needed).
+    /// Compresses `g` (neighbor lists are sorted first if needed). If `g` is
+    /// directed and carries an attached transpose, the transpose is
+    /// compressed too, so the dense (pull) traversal path keeps working on
+    /// the compressed form.
     pub fn from_csr(g: &Csr<()>) -> Self {
+        let mut this = Self::encode_out(g);
+        if !g.is_symmetric() {
+            if let Some(t) = g.in_view() {
+                this.in_graph = Some(Box::new(Self::encode_out(t)));
+            }
+        }
+        this
+    }
+
+    /// Compresses just the out-adjacency of `g` (no transpose handling).
+    fn encode_out(g: &Csr<()>) -> Self {
         let n = g.num_vertices();
         // Encode every vertex block in parallel into per-vertex buffers.
         let blocks: Vec<Vec<u8>> = (0..n as VertexId)
@@ -107,7 +124,34 @@ impl CompressedGraph {
             degrees: g.degrees(),
             data,
             symmetric: g.is_symmetric(),
+            in_graph: None,
         }
+    }
+
+    /// Attaches a compressed transpose so dense traversals work on directed
+    /// compressed graphs (no-op when symmetric or already attached).
+    pub fn with_transpose(mut self) -> Self {
+        if !self.symmetric && self.in_graph.is_none() {
+            let t = crate::transform::transpose(&self.to_csr());
+            self.in_graph = Some(Box::new(Self::encode_out(&t)));
+        }
+        self
+    }
+
+    /// The in-adjacency view used by dense (pull) traversals: the graph
+    /// itself when symmetric, the compressed transpose when attached,
+    /// `None` otherwise.
+    pub fn in_view(&self) -> Option<&CompressedGraph> {
+        if self.symmetric {
+            Some(self)
+        } else {
+            self.in_graph.as_deref()
+        }
+    }
+
+    /// Whether a dense (pull) traversal is possible.
+    pub fn has_in_view(&self) -> bool {
+        self.symmetric || self.in_graph.is_some()
     }
 
     /// Number of vertices.
@@ -131,9 +175,20 @@ impl CompressedGraph {
         self.degrees[v as usize] as usize
     }
 
-    /// Total compressed bytes (for reporting compression ratios).
+    /// Total compressed adjacency bytes (for reporting compression ratios).
+    /// Excludes the optional transpose; see [`footprint_bytes`](Self::footprint_bytes).
     pub fn compressed_bytes(&self) -> usize {
         self.data.len()
+    }
+
+    /// Total in-memory footprint in bytes: byte-coded blocks plus the
+    /// offset/degree arrays, including an attached transpose.
+    pub fn footprint_bytes(&self) -> usize {
+        let own = self.data.len() + self.offsets.len() * 8 + self.degrees.len() * 4;
+        own + self
+            .in_graph
+            .as_deref()
+            .map_or(0, CompressedGraph::footprint_bytes)
     }
 
     /// Decodes and visits each out-neighbor of `v` in increasing order.
@@ -150,6 +205,29 @@ impl CompressedGraph {
         for _ in 1..deg {
             cur += get_varint(&self.data, &mut pos) as u32;
             f(cur);
+        }
+    }
+
+    /// Decodes out-neighbors of `v` in increasing order until `f` returns
+    /// `false` — the decode stops mid-block, so a pull traversal's early
+    /// exit skips the remaining varints entirely.
+    #[inline]
+    pub fn for_each_neighbor_until<F: FnMut(VertexId) -> bool>(&self, v: VertexId, mut f: F) {
+        let deg = self.degrees[v as usize];
+        if deg == 0 {
+            return;
+        }
+        let mut pos = self.offsets[v as usize] as usize;
+        let first = zigzag_decode(get_varint(&self.data, &mut pos));
+        let mut cur = (v as i64 + first) as u32;
+        if !f(cur) {
+            return;
+        }
+        for _ in 1..deg {
+            cur += get_varint(&self.data, &mut pos) as u32;
+            if !f(cur) {
+                return;
+            }
         }
     }
 
@@ -214,6 +292,7 @@ impl CompressedGraph {
             degrees,
             data,
             symmetric,
+            in_graph: None,
         })
     }
 
@@ -254,11 +333,26 @@ pub struct CompressedWGraph {
     degrees: Vec<u32>,
     data: Vec<u8>,
     symmetric: bool,
+    /// Compressed transpose for dense pull on directed weighted graphs.
+    in_graph: Option<Box<CompressedWGraph>>,
 }
 
 impl CompressedWGraph {
-    /// Compresses a weighted CSR (neighbor lists sorted first).
+    /// Compresses a weighted CSR (neighbor lists sorted first). A directed
+    /// graph's attached transpose is compressed too, preserving the dense
+    /// (pull) traversal path.
     pub fn from_csr(g: &Csr<u32>) -> Self {
+        let mut this = Self::encode_out(g);
+        if !g.is_symmetric() {
+            if let Some(t) = g.in_view() {
+                this.in_graph = Some(Box::new(Self::encode_out(t)));
+            }
+        }
+        this
+    }
+
+    /// Compresses just the out-adjacency (no transpose handling).
+    fn encode_out(g: &Csr<u32>) -> Self {
         let n = g.num_vertices();
         let blocks: Vec<Vec<u8>> = (0..n as VertexId)
             .into_par_iter()
@@ -294,7 +388,32 @@ impl CompressedWGraph {
             degrees: g.degrees(),
             data,
             symmetric: g.is_symmetric(),
+            in_graph: None,
         }
+    }
+
+    /// Attaches a compressed transpose so dense traversals work on directed
+    /// compressed graphs (no-op when symmetric or already attached).
+    pub fn with_transpose(mut self) -> Self {
+        if !self.symmetric && self.in_graph.is_none() {
+            let t = crate::transform::transpose(&self.to_csr());
+            self.in_graph = Some(Box::new(Self::encode_out(&t)));
+        }
+        self
+    }
+
+    /// The in-adjacency view for dense (pull) traversals, if available.
+    pub fn in_view(&self) -> Option<&CompressedWGraph> {
+        if self.symmetric {
+            Some(self)
+        } else {
+            self.in_graph.as_deref()
+        }
+    }
+
+    /// Whether a dense (pull) traversal is possible.
+    pub fn has_in_view(&self) -> bool {
+        self.symmetric || self.in_graph.is_some()
     }
 
     /// Number of vertices.
@@ -318,9 +437,20 @@ impl CompressedWGraph {
         self.degrees[v as usize] as usize
     }
 
-    /// Total compressed bytes.
+    /// Total compressed adjacency bytes (gaps and weights interleaved).
+    /// Excludes the optional transpose; see [`footprint_bytes`](Self::footprint_bytes).
     pub fn compressed_bytes(&self) -> usize {
         self.data.len()
+    }
+
+    /// Total in-memory footprint in bytes: byte-coded blocks plus the
+    /// offset/degree arrays, including an attached transpose.
+    pub fn footprint_bytes(&self) -> usize {
+        let own = self.data.len() + self.offsets.len() * 8 + self.degrees.len() * 4;
+        own + self
+            .in_graph
+            .as_deref()
+            .map_or(0, CompressedWGraph::footprint_bytes)
     }
 
     /// Decodes and visits each `(neighbor, weight)` of `v` in increasing
@@ -343,11 +473,66 @@ impl CompressedWGraph {
         }
     }
 
+    /// Decodes `(neighbor, weight)` pairs of `v` in increasing neighbor
+    /// order until `f` returns `false` (early decode stop).
+    #[inline]
+    pub fn for_each_edge_until<F: FnMut(VertexId, u32) -> bool>(&self, v: VertexId, mut f: F) {
+        let deg = self.degrees[v as usize];
+        if deg == 0 {
+            return;
+        }
+        let mut pos = self.offsets[v as usize] as usize;
+        let first = zigzag_decode(get_varint(&self.data, &mut pos));
+        let mut cur = (v as i64 + first) as u32;
+        let w = get_varint(&self.data, &mut pos) as u32;
+        if !f(cur, w) {
+            return;
+        }
+        for _ in 1..deg {
+            cur += get_varint(&self.data, &mut pos) as u32;
+            let w = get_varint(&self.data, &mut pos) as u32;
+            if !f(cur, w) {
+                return;
+            }
+        }
+    }
+
     /// Decodes `v`'s edges into a fresh vector (test/debug helper).
     pub fn edges_vec(&self, v: VertexId) -> Vec<(VertexId, u32)> {
         let mut out = Vec::with_capacity(self.degree(v));
         self.for_each_edge(v, |u, w| out.push((u, w)));
         out
+    }
+
+    /// Decompresses back into a weighted CSR.
+    pub fn to_csr(&self) -> Csr<u32> {
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for &d in &self.degrees {
+            acc += d as u64;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0 as VertexId; self.m];
+        let mut weights = vec![0u32; self.m];
+        let starts = offsets.clone();
+        {
+            use julienne_primitives::unsafe_write::DisjointWriter;
+            let wt = DisjointWriter::new(&mut targets);
+            let ww = DisjointWriter::new(&mut weights);
+            (0..self.n as VertexId).into_par_iter().for_each(|v| {
+                let mut k = starts[v as usize] as usize;
+                self.for_each_edge(v, |u, w| {
+                    // SAFETY: each vertex owns a disjoint target range.
+                    unsafe {
+                        wt.write(k, u);
+                        ww.write(k, w);
+                    }
+                    k += 1;
+                });
+            });
+        }
+        Csr::from_parts(offsets, targets, weights, self.symmetric)
     }
 }
 
@@ -443,6 +628,69 @@ mod tests {
         }
         // Interleaved weights still compress below the 8-byte raw pair.
         assert!(c.compressed_bytes() < g.num_edges() * 8);
+    }
+
+    #[test]
+    fn neighbor_until_stops_early() {
+        let g = crate::builder::from_pairs(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let c = CompressedGraph::from_csr(&g);
+        let mut seen = Vec::new();
+        c.for_each_neighbor_until(0, |u| {
+            seen.push(u);
+            seen.len() < 3
+        });
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn transpose_views() {
+        let g = rmat(9, 6, RmatParams::default(), 4, false);
+        let c = CompressedGraph::from_csr(&g);
+        assert!(!c.has_in_view());
+        let c = c.with_transpose();
+        assert!(c.has_in_view());
+        let want = crate::transform::transpose(&g);
+        let iv = c.in_view().unwrap();
+        for v in (0..g.num_vertices() as VertexId).step_by(13) {
+            let mut w = want.neighbors(v).to_vec();
+            w.sort_unstable();
+            assert_eq!(iv.neighbors_vec(v), w, "in-neighbors of {v}");
+        }
+        // from_csr picks up an attached transpose automatically.
+        let c2 = CompressedGraph::from_csr(&g.clone().with_transpose());
+        assert!(c2.has_in_view());
+        // Footprint accounts for the transpose.
+        assert!(c2.footprint_bytes() > CompressedGraph::from_csr(&g).footprint_bytes());
+    }
+
+    #[test]
+    fn weighted_transpose_and_roundtrip() {
+        use crate::transform::assign_weights;
+        let g = assign_weights(&rmat(9, 6, RmatParams::default(), 6, false), 1, 50, 3);
+        let c = CompressedWGraph::from_csr(&g);
+        assert!(!c.has_in_view());
+        let c = c.with_transpose();
+        assert!(c.has_in_view());
+        let back = c.to_csr();
+        for v in 0..g.num_vertices() as VertexId {
+            let mut want: Vec<(u32, u32)> = g.edges_of(v).collect();
+            want.sort_unstable();
+            let got: Vec<(u32, u32)> = back.edges_of(v).collect();
+            assert_eq!(got, want, "edges of {v}");
+        }
+        // Early-exit weighted decode.
+        let sym = CompressedWGraph::from_csr(&assign_weights(
+            &crate::builder::from_pairs_symmetric(4, &[(0, 1), (0, 2), (0, 3)]),
+            1,
+            9,
+            5,
+        ));
+        let mut seen = 0;
+        sym.for_each_edge_until(0, |_, _| {
+            seen += 1;
+            false
+        });
+        assert_eq!(seen, 1);
     }
 
     #[test]

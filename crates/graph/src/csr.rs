@@ -48,7 +48,7 @@ impl Weight for u64 {
 ///
 /// For directed graphs, `offsets`/`targets` hold the **out**-adjacency, and
 /// an optional transpose (`in_csr`) enables Ligra's dense (pull) traversal.
-/// Symmetric graphs set [`Csr::symmetric`] and reuse the out-adjacency as the
+/// Symmetric graphs set [`Csr::is_symmetric`] and reuse the out-adjacency as the
 /// in-adjacency.
 #[derive(Clone, Debug)]
 pub struct Csr<W: Weight> {
@@ -116,6 +116,16 @@ impl<W: Weight> Csr<W> {
     #[inline]
     pub fn is_symmetric(&self) -> bool {
         self.symmetric
+    }
+
+    /// Total bytes of the adjacency arrays (offsets + targets + weights),
+    /// including an attached transpose. The denominator for the bytes/edge
+    /// comparison against the compressed backends.
+    pub fn footprint_bytes(&self) -> usize {
+        let own = self.offsets.len() * std::mem::size_of::<u64>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.weights.len() * std::mem::size_of::<W>();
+        own + self.in_csr.as_ref().map_or(0, |t| t.footprint_bytes())
     }
 
     /// Out-degree of `v`.

@@ -16,13 +16,14 @@
 //! The unified entry point is the [`EdgeMap`] builder, which owns the
 //! traversal options and an optional [`Telemetry`] sink recording the
 //! direction decision, edges scanned, and successful updates of every
-//! traversal. The historical free functions ([`edge_map`],
-//! [`edge_map_data`], [`edge_map_sparse`], [`edge_map_sparse_data`]) remain
-//! as deprecated wrappers.
+//! traversal. Both directions are generic over the trait hierarchy of
+//! [`crate::traits`]: the sparse path needs only [`OutEdges`], the
+//! direction-optimized path needs [`GraphRef`] (in-edge access for pull),
+//! so every backend — CSR, byte-compressed, packed — goes through the same
+//! code.
 
 use crate::subset::{VertexSubset, VertexSubsetData};
-use crate::traits::OutEdges;
-use julienne_graph::csr::{Csr, Weight};
+use crate::traits::{GraphRef, OutEdges};
 use julienne_graph::VertexId;
 use julienne_primitives::bitset::AtomicBitSet;
 use julienne_primitives::filter::filter_map;
@@ -67,7 +68,7 @@ impl Default for EdgeMapOptions {
     }
 }
 
-fn choose_dense<W: Weight>(g: &Csr<W>, frontier_ids: &[VertexId], opts: &EdgeMapOptions) -> bool {
+fn choose_dense<G: GraphRef>(g: &G, frontier_ids: &[VertexId], opts: &EdgeMapOptions) -> bool {
     match opts.mode {
         Mode::Sparse => false,
         Mode::Dense => true,
@@ -212,12 +213,14 @@ impl<'g, G: OutEdges> EdgeMap<'g, G> {
     }
 }
 
-impl<'g, W: Weight> EdgeMap<'g, Csr<W>> {
+impl<'g, G: GraphRef> EdgeMap<'g, G> {
     /// Direction-optimized traversal: picks sparse or dense per the
-    /// configured [`Mode`] and runs it.
+    /// configured [`Mode`] and runs it. Works over any [`GraphRef`]
+    /// backend; `Mode::Auto` only chooses dense when the backend currently
+    /// has an in-edge view.
     pub fn run<Fu, Fc>(&self, frontier: &VertexSubset, update: Fu, cond: Fc) -> VertexSubset
     where
-        Fu: Fn(VertexId, VertexId, W) -> bool + Send + Sync,
+        Fu: Fn(VertexId, VertexId, G::W) -> bool + Send + Sync,
         Fc: Fn(VertexId) -> bool + Send + Sync,
     {
         let owned;
@@ -248,7 +251,7 @@ impl<'g, W: Weight> EdgeMap<'g, Csr<W>> {
     ) -> VertexSubsetData<T>
     where
         T: Copy + Send + Sync,
-        Fu: Fn(VertexId, VertexId, W) -> Option<T> + Send + Sync,
+        Fu: Fn(VertexId, VertexId, G::W) -> Option<T> + Send + Sync,
         Fc: Fn(VertexId) -> bool + Send + Sync,
     {
         let owned;
@@ -267,83 +270,6 @@ impl<'g, W: Weight> EdgeMap<'g, Csr<W>> {
             self.run_sparse_data(ids, update, cond)
         }
     }
-}
-
-/// Direction-optimized `edgeMap` over a CSR graph.
-#[deprecated(note = "use the builder: EdgeMap::new(g).options(opts).run(frontier, update, cond)")]
-pub fn edge_map<W, Fu, Fc>(
-    g: &Csr<W>,
-    frontier: &VertexSubset,
-    update: Fu,
-    cond: Fc,
-    opts: EdgeMapOptions,
-) -> VertexSubset
-where
-    W: Weight,
-    Fu: Fn(VertexId, VertexId, W) -> bool + Send + Sync,
-    Fc: Fn(VertexId) -> bool + Send + Sync,
-{
-    EdgeMap::new(g).options(opts).run(frontier, update, cond)
-}
-
-/// Sparse (push) `edgeMap` over any out-edge backend.
-#[deprecated(
-    note = "use the builder: EdgeMap::new(g).remove_duplicates(d).run_sparse(ids, update, cond)"
-)]
-pub fn edge_map_sparse<G, Fu, Fc>(
-    g: &G,
-    frontier_ids: &[VertexId],
-    update: Fu,
-    cond: Fc,
-    remove_duplicates: bool,
-) -> VertexSubset
-where
-    G: OutEdges,
-    Fu: Fn(VertexId, VertexId, G::W) -> bool + Send + Sync,
-    Fc: Fn(VertexId) -> bool + Send + Sync,
-{
-    EdgeMap::new(g)
-        .remove_duplicates(remove_duplicates)
-        .run_sparse(frontier_ids, update, cond)
-}
-
-/// `edgeMap` returning per-vertex data.
-#[deprecated(
-    note = "use the builder: EdgeMap::new(g).options(opts).run_data(frontier, update, cond)"
-)]
-pub fn edge_map_data<W, T, Fu, Fc>(
-    g: &Csr<W>,
-    frontier: &VertexSubset,
-    update: Fu,
-    cond: Fc,
-    opts: EdgeMapOptions,
-) -> VertexSubsetData<T>
-where
-    W: Weight,
-    T: Copy + Send + Sync,
-    Fu: Fn(VertexId, VertexId, W) -> Option<T> + Send + Sync,
-    Fc: Fn(VertexId) -> bool + Send + Sync,
-{
-    EdgeMap::new(g)
-        .options(opts)
-        .run_data(frontier, update, cond)
-}
-
-/// Sparse (push) data-carrying `edgeMap` over any out-edge backend.
-#[deprecated(note = "use the builder: EdgeMap::new(g).run_sparse_data(ids, update, cond)")]
-pub fn edge_map_sparse_data<G, T, Fu, Fc>(
-    g: &G,
-    frontier_ids: &[VertexId],
-    update: Fu,
-    cond: Fc,
-) -> VertexSubsetData<T>
-where
-    G: OutEdges,
-    T: Copy + Send + Sync,
-    Fu: Fn(VertexId, VertexId, G::W) -> Option<T> + Send + Sync,
-    Fc: Fn(VertexId) -> bool + Send + Sync,
-{
-    EdgeMap::new(g).run_sparse_data(frontier_ids, update, cond)
 }
 
 /// Sparse push kernel; returns the new frontier and the edges scanned.
@@ -398,21 +324,18 @@ where
 
 /// Dense pull kernel; returns the new frontier and the in-edges examined
 /// (the early exit makes this less than the full in-degree sum).
-fn dense_counted<W, Fu, Fc>(
-    g: &Csr<W>,
+fn dense_counted<G, Fu, Fc>(
+    g: &G,
     frontier: &VertexSubset,
     update: Fu,
     cond: Fc,
 ) -> (VertexSubset, u64)
 where
-    W: Weight,
-    Fu: Fn(VertexId, VertexId, W) -> bool + Send + Sync,
+    G: GraphRef,
+    Fu: Fn(VertexId, VertexId, G::W) -> bool + Send + Sync,
     Fc: Fn(VertexId) -> bool + Send + Sync,
 {
     let n = g.num_vertices();
-    let in_view = g
-        .in_view()
-        .expect("dense edgeMap requires a symmetric graph or attached transpose");
     let frontier_bits = frontier.to_bitset();
     let out = AtomicBitSet::new(n);
     let scanned: u64 = (0..n as VertexId)
@@ -422,17 +345,15 @@ where
                 return 0u64;
             }
             let mut examined = 0u64;
-            for (u, w) in in_view.edges_of(v) {
+            g.for_each_in_until(v, |u, w| {
                 examined += 1;
                 if frontier_bits.get(u as usize) && update(u, v, w) {
                     out.set(v as usize);
                 }
                 // Ligra's dense early exit: once the target no longer wants
                 // updates, stop scanning its in-edges.
-                if !cond(v) {
-                    break;
-                }
-            }
+                cond(v)
+            });
             examined
         })
         .sum();
@@ -480,22 +401,19 @@ where
 }
 
 /// Dense pull data kernel; returns the data-subset and in-edges examined.
-fn dense_data_counted<W, T, Fu, Fc>(
-    g: &Csr<W>,
+fn dense_data_counted<G, T, Fu, Fc>(
+    g: &G,
     frontier: &VertexSubset,
     update: Fu,
     cond: Fc,
 ) -> (VertexSubsetData<T>, u64)
 where
-    W: Weight,
+    G: GraphRef,
     T: Copy + Send + Sync,
-    Fu: Fn(VertexId, VertexId, W) -> Option<T> + Send + Sync,
+    Fu: Fn(VertexId, VertexId, G::W) -> Option<T> + Send + Sync,
     Fc: Fn(VertexId) -> bool + Send + Sync,
 {
     let n = g.num_vertices();
-    let in_view = g
-        .in_view()
-        .expect("dense edgeMap requires a symmetric graph or attached transpose");
     let frontier_bits = frontier.to_bitset();
     let per_vertex: Vec<(Option<(VertexId, T)>, u64)> = (0..n as VertexId)
         .into_par_iter()
@@ -505,17 +423,15 @@ where
             }
             let mut got: Option<(VertexId, T)> = None;
             let mut examined = 0u64;
-            for (u, w) in in_view.edges_of(v) {
+            g.for_each_in_until(v, |u, w| {
                 examined += 1;
                 if frontier_bits.get(u as usize) {
                     if let Some(t) = update(u, v, w) {
                         got = Some((v, t));
                     }
                 }
-                if !cond(v) {
-                    break;
-                }
-            }
+                cond(v)
+            });
             (got, examined)
         })
         .collect();
@@ -528,6 +444,7 @@ where
 mod tests {
     use super::*;
     use julienne_graph::builder::{from_pairs, from_pairs_symmetric};
+    use julienne_graph::csr::Csr;
     use julienne_primitives::atomics::{atomic_u32_filled, cas_u32};
     use std::sync::atomic::Ordering;
 
@@ -645,22 +562,37 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        let g = from_pairs_symmetric(3, &[(0, 1), (1, 2)]);
-        let out = edge_map(
-            &g,
-            &VertexSubset::single(3, 0),
-            |_, _, _| true,
-            |v| v != 0,
-            EdgeMapOptions::default(),
+    fn dense_works_on_compressed_backend() {
+        use julienne_graph::compress::CompressedGraph;
+        let g = from_pairs_symmetric(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let c = CompressedGraph::from_csr(&g);
+        let parent = atomic_u32_filled(6, u32::MAX);
+        parent[0].store(0, Ordering::Relaxed);
+        let out = EdgeMap::new(&c).mode(Mode::Dense).run(
+            &VertexSubset::single(6, 0),
+            |u, v, _| cas_u32(&parent[v as usize], u32::MAX, u),
+            |v| parent[v as usize].load(Ordering::Relaxed) == u32::MAX,
         );
-        assert_eq!(out.to_vertices(), vec![1]);
-        let out2 = edge_map_sparse(&g, &[0], |_, _, _| true, |v| v != 0, false);
-        assert_eq!(out2.to_vertices(), vec![1]);
-        let data: VertexSubsetData<u32> =
-            edge_map_sparse_data(&g, &[0], |u, _, _| Some(u), |v| v != 0);
-        assert_eq!(data.entries(), &[(1, 0)]);
+        let mut ids = out.to_vertices();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn auto_on_directed_compressed_with_transpose_goes_dense() {
+        use julienne_graph::compress::CompressedGraph;
+        let g = from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let c = CompressedGraph::from_csr(&g).with_transpose();
+        // Full frontier exceeds the m/20 threshold, so Auto picks dense —
+        // which must agree with sparse.
+        let sink = Telemetry::enabled();
+        let out =
+            EdgeMap::new(&c)
+                .telemetry(&sink)
+                .run(&VertexSubset::all(4), |_, _, _| true, |_| true);
+        assert_eq!(out.len(), 4);
+        #[cfg(feature = "telemetry")]
+        assert_eq!(sink.get(Counter::DenseTraversals), 1);
     }
 
     #[test]

@@ -2,21 +2,35 @@
 //! cover), plus a side-effect-only `edgeMap` over packable graphs.
 
 use crate::subset::{VertexSubset, VertexSubsetData};
+use crate::traits::OutEdges;
 use julienne_graph::packed::PackedGraph;
 use julienne_graph::VertexId;
 use rayon::prelude::*;
 
 /// `edgeMapFilter(G, U, P)`: counts, for each `u ∈ U`, the neighbors
-/// satisfying `P(u, v)`, without mutating the graph.
-pub fn edge_map_filter_count<P>(
-    g: &PackedGraph,
+/// satisfying `P(u, v)`, without mutating the graph. Works on any
+/// [`OutEdges`] backend; on [`PackedGraph`] only live edges are counted.
+pub fn edge_map_filter_count<G, P>(
+    g: &G,
     frontier_ids: &[VertexId],
     pred: P,
 ) -> VertexSubsetData<u32>
 where
+    G: OutEdges,
     P: Fn(VertexId, VertexId) -> bool + Send + Sync,
 {
-    let counts = g.count_neighbors(frontier_ids, pred);
+    let counts: Vec<u32> = frontier_ids
+        .par_iter()
+        .map(|&u| {
+            let mut c = 0u32;
+            g.for_each_out(u, |v, _| {
+                if pred(u, v) {
+                    c += 1;
+                }
+            });
+            c
+        })
+        .collect();
     VertexSubsetData::from_entries(
         g.num_vertices(),
         frontier_ids.iter().copied().zip(counts).collect(),
@@ -41,20 +55,21 @@ where
     )
 }
 
-/// Side-effect `edgeMap` over a packable graph: applies `update(u, v)` to
-/// each live edge of the frontier whose target satisfies `cond`. The result
-/// subset is not needed by set cover, so none is built.
-pub fn edge_map_packed<Fu, Fc>(g: &PackedGraph, frontier_ids: &[VertexId], update: Fu, cond: Fc)
+/// Side-effect `edgeMap` over any [`OutEdges`] backend: applies
+/// `update(u, v)` to each live edge of the frontier whose target satisfies
+/// `cond`. The result subset is not needed by set cover, so none is built.
+pub fn edge_map_packed<G, Fu, Fc>(g: &G, frontier_ids: &[VertexId], update: Fu, cond: Fc)
 where
+    G: OutEdges,
     Fu: Fn(VertexId, VertexId) + Send + Sync,
     Fc: Fn(VertexId) -> bool + Send + Sync,
 {
     frontier_ids.par_iter().for_each(|&u| {
-        for &v in g.neighbors(u) {
+        g.for_each_out(u, |v, _| {
             if cond(v) {
                 update(u, v);
             }
-        }
+        });
     });
 }
 

@@ -6,8 +6,9 @@
 //! * [`subset`] — `vertexSubset` with sparse/dense dual representation and
 //!   the value-carrying `vertexSubsetData<T>`,
 //! * [`vertex_ops`] — `vertexMap` / `vertexFilter`,
-//! * [`traits`] — the out-edge access abstraction shared by plain CSR,
-//!   byte-compressed, and packable graphs,
+//! * [`traits`] — the graph-trait hierarchy ([`OutEdges`] / [`InEdges`] /
+//!   [`GraphRef`]) shared by plain CSR, byte-compressed, and packable
+//!   graphs,
 //! * [`edge_map`] — direction-optimized `edgeMap` (sparse push / dense pull
 //!   with the |frontier| + outDegrees > m/20 switching rule),
 //! * [`edge_map_reduce`] — `edgeMapReduce` / `edgeMapSum` (per-neighbor
@@ -22,11 +23,9 @@ pub mod subset;
 pub mod traits;
 pub mod vertex_ops;
 
-#[allow(deprecated)]
-pub use edge_map::{edge_map, edge_map_data, edge_map_sparse_data};
 pub use edge_map::{EdgeMap, EdgeMapOptions, Mode};
 pub use edge_map_filter::{edge_map_filter_count, edge_map_filter_pack, edge_map_packed};
 pub use edge_map_reduce::{edge_map_sum, edge_map_sum_with_scratch, SumScratch};
 pub use subset::{VertexSubset, VertexSubsetData};
-pub use traits::OutEdges;
+pub use traits::{GraphRef, InEdges, OutEdges};
 pub use vertex_ops::{vertex_filter, vertex_map, vertex_map_data};

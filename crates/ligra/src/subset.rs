@@ -7,6 +7,11 @@
 use julienne_graph::VertexId;
 use julienne_primitives::bitset::{BitSet, OnesIter};
 use julienne_primitives::filter::pack_index;
+use std::sync::OnceLock;
+
+/// Sparse subsets at or below this size answer [`VertexSubset::contains`]
+/// with a linear scan instead of building the memoized bitset.
+const CONTAINS_SCAN_MAX: usize = 16;
 
 /// The two physical representations of a vertex subset.
 #[derive(Clone, Debug)]
@@ -18,53 +23,67 @@ pub enum Repr {
 }
 
 /// A subset of `0..n` vertices.
-#[derive(Clone, Debug)]
+///
+/// Membership is fixed at construction; [`VertexSubset::make_sparse`] /
+/// [`VertexSubset::make_dense`] change only the physical representation.
+/// That invariant lets [`VertexSubset::contains`] memoize a bitset for
+/// large sparse subsets without ever invalidating it.
+#[derive(Debug)]
 pub struct VertexSubset {
     n: usize,
     repr: Repr,
+    /// Lazily built membership bitset for large sparse subsets (see
+    /// [`VertexSubset::contains`]). Never set while dense.
+    memo: OnceLock<BitSet>,
+}
+
+impl Clone for VertexSubset {
+    fn clone(&self) -> Self {
+        // Drop the memo rather than deep-copying it; the clone rebuilds it
+        // on first `contains` if it ever needs one.
+        VertexSubset {
+            n: self.n,
+            repr: self.repr.clone(),
+            memo: OnceLock::new(),
+        }
+    }
 }
 
 impl VertexSubset {
-    /// The empty subset over `n` vertices.
-    pub fn empty(n: usize) -> Self {
+    fn from_repr(n: usize, repr: Repr) -> Self {
         VertexSubset {
             n,
-            repr: Repr::Sparse(Vec::new()),
+            repr,
+            memo: OnceLock::new(),
         }
+    }
+
+    /// The empty subset over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self::from_repr(n, Repr::Sparse(Vec::new()))
     }
 
     /// The singleton `{v}`.
     pub fn single(n: usize, v: VertexId) -> Self {
         debug_assert!((v as usize) < n);
-        VertexSubset {
-            n,
-            repr: Repr::Sparse(vec![v]),
-        }
+        Self::from_repr(n, Repr::Sparse(vec![v]))
     }
 
     /// The full vertex set `0..n`.
     pub fn all(n: usize) -> Self {
-        VertexSubset {
-            n,
-            repr: Repr::Sparse((0..n as VertexId).collect()),
-        }
+        Self::from_repr(n, Repr::Sparse((0..n as VertexId).collect()))
     }
 
     /// A sparse subset from an id list (caller guarantees no duplicates).
     pub fn from_vertices(n: usize, vs: Vec<VertexId>) -> Self {
         debug_assert!(vs.iter().all(|&v| (v as usize) < n));
-        VertexSubset {
-            n,
-            repr: Repr::Sparse(vs),
-        }
+        Self::from_repr(n, Repr::Sparse(vs))
     }
 
     /// A dense subset from a bitset of length `n`.
     pub fn from_bitset(bs: BitSet) -> Self {
-        VertexSubset {
-            n: bs.len(),
-            repr: Repr::Dense(bs),
-        }
+        let n = bs.len();
+        Self::from_repr(n, Repr::Dense(bs))
     }
 
     /// The universe size `n`.
@@ -93,10 +112,25 @@ impl VertexSubset {
         matches!(self.repr, Repr::Sparse(_))
     }
 
-    /// Membership test (O(1) dense, O(|S|) sparse — use on dense or small).
+    /// Membership test.
+    ///
+    /// Cost contract: O(1) when dense; when sparse, a linear scan for
+    /// subsets of at most `CONTAINS_SCAN_MAX` (16) ids, otherwise O(1) after a
+    /// one-time O(n) bitset memoization on the first query. The memo is
+    /// sound because membership never changes after construction (only the
+    /// representation does), and it is rebuilt lazily after `clone`.
+    /// Per-edge callers therefore pay amortized O(1), not O(|S|) per probe.
     pub fn contains(&self, v: VertexId) -> bool {
         match &self.repr {
-            Repr::Sparse(ids) => ids.contains(&v),
+            Repr::Sparse(ids) => {
+                if ids.len() <= CONTAINS_SCAN_MAX {
+                    ids.contains(&v)
+                } else {
+                    self.memo
+                        .get_or_init(|| BitSet::from_indices(self.n, ids))
+                        .get(v as usize)
+                }
+            }
             Repr::Dense(b) => b.get(v as usize),
         }
     }
@@ -140,10 +174,15 @@ impl VertexSubset {
         }
     }
 
-    /// Converts the representation in place to dense.
+    /// Converts the representation in place to dense, reusing the
+    /// membership memo from [`VertexSubset::contains`] if one was built.
     pub fn make_dense(&mut self) {
         if let Repr::Sparse(v) = &self.repr {
-            self.repr = Repr::Dense(BitSet::from_indices(self.n, v));
+            let bs = match self.memo.take() {
+                Some(b) => b,
+                None => BitSet::from_indices(self.n, v),
+            };
+            self.repr = Repr::Dense(bs);
         }
     }
 
@@ -337,6 +376,26 @@ mod tests {
             sum += v;
         }
         assert_eq!(sum, 9 + 3 + 77);
+    }
+
+    #[test]
+    fn contains_memoizes_large_sparse_sets() {
+        // Above CONTAINS_SCAN_MAX ids: first probe builds the bitset memo,
+        // later probes (and make_dense) reuse it.
+        let ids: Vec<u32> = (0..40).map(|i| i * 3).collect();
+        let s = VertexSubset::from_vertices(200, ids.clone());
+        assert!(s.contains(117));
+        assert!(!s.contains(118));
+        for &v in &ids {
+            assert!(s.contains(v));
+        }
+        // Clone drops the memo but keeps membership.
+        let c = s.clone();
+        assert!(c.contains(117) && !c.contains(1));
+        let mut d = s;
+        d.make_dense();
+        assert_eq!(d.len(), 40);
+        assert!(d.contains(117) && !d.contains(118));
     }
 
     #[test]

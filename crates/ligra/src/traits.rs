@@ -1,14 +1,40 @@
-//! Out-edge access abstraction.
+//! The graph-access trait hierarchy — the canonical backend abstraction.
 //!
-//! Sparse (push) traversals only need per-vertex out-edge iteration, so they
-//! are written once against this trait and work over plain CSR graphs,
-//! Ligra+ byte-compressed graphs, and packable graphs alike — mirroring how
-//! Julienne runs unmodified on compressed inputs.
+//! Every traversal in the framework is written against one of three traits,
+//! so the same algorithm runs unmodified over plain CSR graphs, Ligra+
+//! byte-compressed graphs, and packable graphs — mirroring how Julienne
+//! runs unmodified on compressed inputs:
+//!
+//! * [`OutEdges`] — per-vertex **out**-edge iteration. Sufficient for
+//!   sparse (push) traversals, sequential oracles, and anything that only
+//!   walks forward edges.
+//! * [`InEdges`] — adds **in**-edge access with the early-exit iteration
+//!   the dense (pull) path needs: a pull traversal stops scanning a
+//!   target's in-edges the moment its `cond` flips, so the iteration
+//!   primitive must support breaking mid-list (including mid-decode for
+//!   byte-compressed adjacency).
+//! * [`GraphRef`] — the umbrella bound for direction-optimized `edgeMap`:
+//!   symmetry metadata plus the frontier out-degree sum used by the
+//!   `|U| + Σ out-deg(U) > m/20` switching rule.
+//!
+//! Who implements what:
+//!
+//! | backend            | `OutEdges` | `InEdges` (dense pull)                  |
+//! |--------------------|------------|-----------------------------------------|
+//! | `Csr<W>`           | yes        | when symmetric or transpose attached     |
+//! | `CompressedGraph`  | yes        | when symmetric or transpose attached     |
+//! | `CompressedWGraph` | yes        | when symmetric or transpose attached     |
+//! | `PackedGraph`      | yes        | never (`has_in_view` is `false`; packing |
+//! |                    |            | mutates out-lists asymmetrically)        |
+//!
+//! All four implement `GraphRef`; `has_in_view()` gates whether the dense
+//! path may actually be chosen.
 
-use julienne_graph::compress::CompressedGraph;
+use julienne_graph::compress::{CompressedGraph, CompressedWGraph};
 use julienne_graph::csr::{Csr, Weight};
 use julienne_graph::packed::PackedGraph;
 use julienne_graph::VertexId;
+use rayon::prelude::*;
 
 /// Read access to a graph's out-adjacency.
 pub trait OutEdges: Sync {
@@ -26,7 +52,73 @@ pub trait OutEdges: Sync {
 
     /// Visits each out-edge `(target, weight)` of `v`.
     fn for_each_out<F: FnMut(VertexId, Self::W)>(&self, v: VertexId, f: F);
+
+    /// Visits out-edges of `v` until `f` returns `false`.
+    ///
+    /// The default keeps calling [`for_each_out`](Self::for_each_out) with a
+    /// dead flag (correct but scans the whole list); backends with a real
+    /// break — slice iteration, early decode stop — should override.
+    fn for_each_out_until<F: FnMut(VertexId, Self::W) -> bool>(&self, v: VertexId, mut f: F) {
+        let mut alive = true;
+        self.for_each_out(v, |u, w| {
+            if alive {
+                alive = f(u, w);
+            }
+        });
+    }
 }
+
+/// In-edge access for the dense (pull) traversal direction.
+///
+/// A backend *implements* this trait whenever it can sometimes answer pull
+/// queries; whether it can right now is a runtime property exposed by
+/// [`has_in_view`](InEdges::has_in_view) (e.g. a directed CSR only has an
+/// in-view once a transpose is attached). Direction-optimized `edgeMap`
+/// consults `has_in_view()` before choosing dense, so `Mode::Auto` is always
+/// safe; forcing `Mode::Dense` without an in-view panics.
+pub trait InEdges: OutEdges {
+    /// Whether in-edge queries are currently answerable (symmetric graph or
+    /// attached transpose).
+    fn has_in_view(&self) -> bool;
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    /// If [`has_in_view`](InEdges::has_in_view) is `false`.
+    fn in_degree(&self, v: VertexId) -> usize;
+
+    /// Visits in-edges `(source, weight)` of `v` until `f` returns `false` —
+    /// the early exit Ligra's pull direction relies on ("once the target no
+    /// longer wants updates, stop scanning its in-edges").
+    ///
+    /// # Panics
+    /// If [`has_in_view`](InEdges::has_in_view) is `false`.
+    fn for_each_in_until<F: FnMut(VertexId, Self::W) -> bool>(&self, v: VertexId, f: F);
+}
+
+/// The umbrella bound for direction-optimized traversal: out-edges,
+/// (potential) in-edges, and the metadata the sparse/dense switching rule
+/// needs.
+pub trait GraphRef: InEdges {
+    /// Whether the graph is symmetric (undirected).
+    fn is_symmetric(&self) -> bool;
+
+    /// Sum of out-degrees over a set of vertices (the `Σ out-deg(U)` term
+    /// of the switching rule). The default parallelizes above 4096 ids.
+    fn out_degrees_sum(&self, vs: &[VertexId]) -> usize {
+        if vs.len() < 4096 {
+            vs.iter().map(|&v| self.out_degree(v)).sum()
+        } else {
+            vs.par_iter().map(|&v| self.out_degree(v)).sum()
+        }
+    }
+}
+
+const NO_IN_VIEW: &str = "dense edgeMap requires a symmetric graph or attached transpose";
+
+// --------------------------------------------------------------------------
+// Csr<W>
+// --------------------------------------------------------------------------
 
 impl<W: Weight> OutEdges for Csr<W> {
     type W = W;
@@ -50,7 +142,54 @@ impl<W: Weight> OutEdges for Csr<W> {
             f(u, w);
         }
     }
+
+    #[inline]
+    fn for_each_out_until<F: FnMut(VertexId, W) -> bool>(&self, v: VertexId, mut f: F) {
+        for (u, w) in self.edges_of(v) {
+            if !f(u, w) {
+                break;
+            }
+        }
+    }
 }
+
+impl<W: Weight> InEdges for Csr<W> {
+    #[inline]
+    fn has_in_view(&self) -> bool {
+        Csr::has_in_view(self)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: VertexId) -> usize {
+        self.in_view().expect(NO_IN_VIEW).degree(v)
+    }
+
+    #[inline]
+    fn for_each_in_until<F: FnMut(VertexId, W) -> bool>(&self, v: VertexId, mut f: F) {
+        let iv = self.in_view().expect(NO_IN_VIEW);
+        for (u, w) in iv.edges_of(v) {
+            if !f(u, w) {
+                break;
+            }
+        }
+    }
+}
+
+impl<W: Weight> GraphRef for Csr<W> {
+    #[inline]
+    fn is_symmetric(&self) -> bool {
+        Csr::is_symmetric(self)
+    }
+
+    #[inline]
+    fn out_degrees_sum(&self, vs: &[VertexId]) -> usize {
+        Csr::out_degrees_sum(self, vs)
+    }
+}
+
+// --------------------------------------------------------------------------
+// CompressedGraph
+// --------------------------------------------------------------------------
 
 impl OutEdges for CompressedGraph {
     type W = ();
@@ -72,17 +211,52 @@ impl OutEdges for CompressedGraph {
     fn for_each_out<F: FnMut(VertexId, ())>(&self, v: VertexId, mut f: F) {
         self.for_each_neighbor(v, |u| f(u, ()));
     }
+
+    #[inline]
+    fn for_each_out_until<F: FnMut(VertexId, ()) -> bool>(&self, v: VertexId, mut f: F) {
+        self.for_each_neighbor_until(v, |u| f(u, ()));
+    }
 }
 
-impl OutEdges for julienne_graph::compress::CompressedWGraph {
+impl InEdges for CompressedGraph {
+    #[inline]
+    fn has_in_view(&self) -> bool {
+        CompressedGraph::has_in_view(self)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: VertexId) -> usize {
+        self.in_view().expect(NO_IN_VIEW).degree(v)
+    }
+
+    #[inline]
+    fn for_each_in_until<F: FnMut(VertexId, ()) -> bool>(&self, v: VertexId, mut f: F) {
+        self.in_view()
+            .expect(NO_IN_VIEW)
+            .for_each_neighbor_until(v, |u| f(u, ()));
+    }
+}
+
+impl GraphRef for CompressedGraph {
+    #[inline]
+    fn is_symmetric(&self) -> bool {
+        CompressedGraph::is_symmetric(self)
+    }
+}
+
+// --------------------------------------------------------------------------
+// CompressedWGraph
+// --------------------------------------------------------------------------
+
+impl OutEdges for CompressedWGraph {
     type W = u32;
 
     fn num_vertices(&self) -> usize {
-        julienne_graph::compress::CompressedWGraph::num_vertices(self)
+        CompressedWGraph::num_vertices(self)
     }
 
     fn num_edges(&self) -> usize {
-        julienne_graph::compress::CompressedWGraph::num_edges(self)
+        CompressedWGraph::num_edges(self)
     }
 
     #[inline]
@@ -94,7 +268,40 @@ impl OutEdges for julienne_graph::compress::CompressedWGraph {
     fn for_each_out<F: FnMut(VertexId, u32)>(&self, v: VertexId, f: F) {
         self.for_each_edge(v, f);
     }
+
+    #[inline]
+    fn for_each_out_until<F: FnMut(VertexId, u32) -> bool>(&self, v: VertexId, f: F) {
+        self.for_each_edge_until(v, f);
+    }
 }
+
+impl InEdges for CompressedWGraph {
+    #[inline]
+    fn has_in_view(&self) -> bool {
+        CompressedWGraph::has_in_view(self)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: VertexId) -> usize {
+        self.in_view().expect(NO_IN_VIEW).degree(v)
+    }
+
+    #[inline]
+    fn for_each_in_until<F: FnMut(VertexId, u32) -> bool>(&self, v: VertexId, f: F) {
+        self.in_view().expect(NO_IN_VIEW).for_each_edge_until(v, f);
+    }
+}
+
+impl GraphRef for CompressedWGraph {
+    #[inline]
+    fn is_symmetric(&self) -> bool {
+        CompressedWGraph::is_symmetric(self)
+    }
+}
+
+// --------------------------------------------------------------------------
+// PackedGraph
+// --------------------------------------------------------------------------
 
 impl OutEdges for PackedGraph {
     type W = ();
@@ -118,12 +325,46 @@ impl OutEdges for PackedGraph {
             f(u, ());
         }
     }
+
+    #[inline]
+    fn for_each_out_until<F: FnMut(VertexId, ()) -> bool>(&self, v: VertexId, mut f: F) {
+        for &u in self.neighbors(v) {
+            if !f(u, ()) {
+                break;
+            }
+        }
+    }
+}
+
+impl InEdges for PackedGraph {
+    /// Always `false`: packing shrinks out-lists independently, so even a
+    /// symmetric source graph stops being its own transpose after the first
+    /// `pack`. The dense path is therefore never chosen for packed graphs.
+    #[inline]
+    fn has_in_view(&self) -> bool {
+        false
+    }
+
+    fn in_degree(&self, _v: VertexId) -> usize {
+        panic!("PackedGraph has no in-edge view (packing mutates out-lists asymmetrically)")
+    }
+
+    fn for_each_in_until<F: FnMut(VertexId, ()) -> bool>(&self, _v: VertexId, _f: F) {
+        panic!("PackedGraph has no in-edge view (packing mutates out-lists asymmetrically)")
+    }
+}
+
+impl GraphRef for PackedGraph {
+    #[inline]
+    fn is_symmetric(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use julienne_graph::builder::from_pairs;
+    use julienne_graph::builder::{from_pairs, from_pairs_symmetric};
     use julienne_graph::compress::CompressedGraph;
 
     fn collect<G: OutEdges>(g: &G, v: VertexId) -> Vec<VertexId> {
@@ -147,5 +388,105 @@ mod tests {
         }
         assert_eq!(OutEdges::num_edges(&g), 4);
         assert_eq!(OutEdges::num_vertices(&c), 6);
+    }
+
+    #[test]
+    fn out_until_stops_early() {
+        let g = from_pairs(4, &[(0, 1), (0, 2), (0, 3)]);
+        let c = CompressedGraph::from_csr(&g);
+        let p = PackedGraph::from_csr(&g);
+        fn first_two<G: OutEdges>(g: &G) -> Vec<VertexId> {
+            let mut seen = Vec::new();
+            g.for_each_out_until(0, |u, _| {
+                seen.push(u);
+                seen.len() < 2
+            });
+            seen
+        }
+        assert_eq!(first_two(&g).len(), 2);
+        assert_eq!(first_two(&c).len(), 2);
+        assert_eq!(first_two(&p).len(), 2);
+    }
+
+    #[test]
+    fn in_edges_on_symmetric_backends() {
+        let g = from_pairs_symmetric(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4)]);
+        let c = CompressedGraph::from_csr(&g);
+        for v in 0..5u32 {
+            assert!(g.has_in_view());
+            assert!(c.has_in_view());
+            assert_eq!(InEdges::in_degree(&g, v), g.degree(v));
+            assert_eq!(InEdges::in_degree(&c, v), c.degree(v));
+            let mut a = Vec::new();
+            g.for_each_in_until(v, |u, _| {
+                a.push(u);
+                true
+            });
+            let mut b = Vec::new();
+            c.for_each_in_until(v, |u, _| {
+                b.push(u);
+                true
+            });
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "in-edges of {v}");
+        }
+    }
+
+    #[test]
+    fn directed_transpose_gives_in_view() {
+        let g = from_pairs(4, &[(0, 2), (1, 2), (2, 3)]).with_transpose();
+        let c = CompressedGraph::from_csr(&g);
+        assert!(g.has_in_view() && c.has_in_view());
+        for back in [
+            {
+                let mut a = Vec::new();
+                g.for_each_in_until(2, |u, _| {
+                    a.push(u);
+                    true
+                });
+                a
+            },
+            {
+                let mut a = Vec::new();
+                c.for_each_in_until(2, |u, _| {
+                    a.push(u);
+                    true
+                });
+                a
+            },
+        ] {
+            let mut b = back;
+            b.sort_unstable();
+            assert_eq!(b, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn packed_never_has_in_view() {
+        let g = from_pairs_symmetric(3, &[(0, 1), (1, 2)]);
+        let p = PackedGraph::from_csr(&g);
+        assert!(!InEdges::has_in_view(&p));
+        assert!(!GraphRef::is_symmetric(&p));
+    }
+
+    #[test]
+    fn in_until_early_exit_stops_decode() {
+        let g = from_pairs_symmetric(5, &[(0, 4), (1, 4), (2, 4), (3, 4)]);
+        let c = CompressedGraph::from_csr(&g);
+        let mut seen = 0;
+        c.for_each_in_until(4, |_, _| {
+            seen += 1;
+            seen < 2
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn default_out_degrees_sum_matches_manual() {
+        let g = from_pairs(5, &[(0, 1), (0, 2), (3, 4)]);
+        let c = CompressedGraph::from_csr(&g);
+        assert_eq!(GraphRef::out_degrees_sum(&c, &[0, 3]), 3);
+        assert_eq!(GraphRef::out_degrees_sum(&g, &[0, 3]), 3);
     }
 }

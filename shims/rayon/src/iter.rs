@@ -1,10 +1,10 @@
 //! Parallel iterators over splittable sources.
 //!
 //! The design mirrors rayon's producer/consumer split, specialised to the
-//! piece scheduler in [`pool`](crate::pool):
+//! piece scheduler in [`crate::pool`]:
 //!
 //! * A [`Producer`] is a splittable description of a data source (a range,
-//!   a slice, an owned `Vec`, chunk views, zips, …). [`drive`] cuts one
+//!   a slice, an owned `Vec`, chunk views, zips, …). `drive` cuts one
 //!   into [`pool::piece_count`] pieces at deterministic boundaries and
 //!   fans the pieces out over the worker pool.
 //! * A [`Consumer`] folds one piece's sequential iterator into a partial
@@ -868,7 +868,7 @@ impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
 }
 
 /// Producer over an owned `Vec<T>`. `split_at` peels the tail into its own
-/// allocation (`Vec::split_off`), so [`drive`]'s right-to-left splitting
+/// allocation (`Vec::split_off`), so `drive`'s right-to-left splitting
 /// moves each element at most once overall.
 pub struct VecProducer<T> {
     vec: Vec<T>,

@@ -1,0 +1,302 @@
+//! Cross-backend equivalence: every algorithm produces identical output on
+//! the raw CSR backend and the Ligra+-style byte-compressed backend
+//! (`CompressedGraph` / `CompressedWGraph`), at 1 and 4 worker threads.
+//!
+//! The traversal stack is generic over the graph-trait hierarchy
+//! (`OutEdges` / `InEdges` / `GraphRef`), so the same algorithm code runs
+//! against both representations; these tests pin that the representation
+//! is invisible to results, on the paper's graph families (skewed R-MAT
+//! and power-law Chung-Lu).
+
+use julienne_repro::algorithms::bellman_ford::bellman_ford;
+use julienne_repro::algorithms::betweenness::betweenness;
+use julienne_repro::algorithms::bfs::{bfs, bfs_seq};
+use julienne_repro::algorithms::clustering::{closeness, harmonic, local_clustering, transitivity};
+use julienne_repro::algorithms::components::{connected_components, connected_components_seq};
+use julienne_repro::algorithms::degeneracy::{
+    degeneracy_order, densest_subgraph, densest_subgraph_approx, greedy_coloring,
+};
+use julienne_repro::algorithms::delta_stepping::{delta_stepping, wbfs};
+use julienne_repro::algorithms::dial::dial;
+use julienne_repro::algorithms::dijkstra::dijkstra;
+use julienne_repro::algorithms::gap_delta::gap_delta_stepping;
+use julienne_repro::algorithms::kcore::{coreness_julienne, coreness_ligra};
+use julienne_repro::algorithms::ktruss::ktruss_julienne;
+use julienne_repro::algorithms::mis::maximal_independent_set;
+use julienne_repro::algorithms::pagerank::pagerank;
+use julienne_repro::algorithms::setcover::set_cover_julienne;
+use julienne_repro::algorithms::stats::{estimate_diameter, graph_stats};
+use julienne_repro::algorithms::triangles::triangle_count;
+use julienne_repro::graph::compress::{CompressedGraph, CompressedWGraph};
+use julienne_repro::graph::generators::{chung_lu, rmat, set_cover_instance, RmatParams};
+use julienne_repro::graph::transform::{assign_weights, wbfs_weight_range};
+use julienne_repro::graph::{Graph, WGraph};
+
+const THREADS: [usize; 2] = [1, 4];
+
+/// Runs `f` with the worker-thread count capped at `threads`.
+fn at<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build thread pool")
+        .install(f)
+}
+
+/// Asserts `csr()` and `compressed()` agree at 1 and 4 threads.
+fn eq_backends<T: PartialEq + std::fmt::Debug + Send>(
+    what: &str,
+    csr: impl Fn() -> T + Send + Sync,
+    compressed: impl Fn() -> T + Send + Sync,
+) {
+    for t in THREADS {
+        let a = at(t, &csr);
+        let b = at(t, &compressed);
+        assert_eq!(a, b, "{what}: backends diverged at {t} threads");
+    }
+}
+
+/// RMAT (skewed) and Chung-Lu (power-law) symmetric test graphs.
+fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("rmat", rmat(11, 8, RmatParams::default(), 7, true)),
+        ("powerlaw", chung_lu(2_000, 16_000, 2.2, 8, true)),
+    ]
+}
+
+/// Smaller instances of the same families for the super-linear algorithms.
+fn small_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("rmat", rmat(9, 8, RmatParams::default(), 7, true)),
+        ("powerlaw", chung_lu(500, 4_000, 2.2, 8, true)),
+    ]
+}
+
+fn weighted(heavy: bool) -> Vec<(&'static str, WGraph)> {
+    let (lo, hi) = if heavy {
+        (1, 100_000)
+    } else {
+        wbfs_weight_range(2_048)
+    };
+    graphs()
+        .into_iter()
+        .map(|(name, g)| (name, assign_weights(&g, lo, hi, 21)))
+        .collect()
+}
+
+#[test]
+fn frontier_algorithms_match_on_compressed_backend() {
+    for (name, g) in graphs() {
+        let cg = CompressedGraph::from_csr(&g);
+        eq_backends(
+            &format!("bfs/{name}"),
+            || bfs(&g, 0).level,
+            || bfs(&cg, 0).level,
+        );
+        eq_backends(
+            &format!("bfs_seq/{name}"),
+            || bfs_seq(&g, 0),
+            || bfs_seq(&cg, 0),
+        );
+        eq_backends(
+            &format!("components/{name}"),
+            || connected_components(&g).label,
+            || connected_components(&cg).label,
+        );
+        eq_backends(
+            &format!("components_seq/{name}"),
+            || connected_components_seq(&g),
+            || connected_components_seq(&cg),
+        );
+        eq_backends(
+            &format!("pagerank/{name}"),
+            || pagerank(&g, 0.85, 1e-9, 50).rank,
+            || pagerank(&cg, 0.85, 1e-9, 50).rank,
+        );
+        eq_backends(
+            &format!("mis/{name}"),
+            || maximal_independent_set(&g, 3).members,
+            || maximal_independent_set(&cg, 3).members,
+        );
+    }
+}
+
+#[test]
+fn peeling_algorithms_match_on_compressed_backend() {
+    for (name, g) in graphs() {
+        let cg = CompressedGraph::from_csr(&g);
+        eq_backends(
+            &format!("kcore_julienne/{name}"),
+            || {
+                let r = coreness_julienne(&g);
+                (r.coreness, r.rounds)
+            },
+            || {
+                let r = coreness_julienne(&cg);
+                (r.coreness, r.rounds)
+            },
+        );
+        eq_backends(
+            &format!("kcore_ligra/{name}"),
+            || coreness_ligra(&g).coreness,
+            || coreness_ligra(&cg).coreness,
+        );
+        eq_backends(
+            &format!("degeneracy_order/{name}"),
+            || degeneracy_order(&g).order,
+            || degeneracy_order(&cg).order,
+        );
+        eq_backends(
+            &format!("densest/{name}"),
+            || densest_subgraph(&g).vertices,
+            || densest_subgraph(&cg).vertices,
+        );
+        eq_backends(
+            &format!("densest_approx/{name}"),
+            || densest_subgraph_approx(&g, 0.1).vertices,
+            || densest_subgraph_approx(&cg, 0.1).vertices,
+        );
+        eq_backends(
+            &format!("coloring/{name}"),
+            || greedy_coloring(&g),
+            || greedy_coloring(&cg),
+        );
+    }
+}
+
+#[test]
+fn triangle_family_matches_on_compressed_backend() {
+    for (name, g) in small_graphs() {
+        let cg = CompressedGraph::from_csr(&g);
+        eq_backends(
+            &format!("triangles/{name}"),
+            || triangle_count(&g),
+            || triangle_count(&cg),
+        );
+        eq_backends(
+            &format!("ktruss/{name}"),
+            || {
+                let r = ktruss_julienne(&g);
+                (r.trussness, r.max_truss)
+            },
+            || {
+                let r = ktruss_julienne(&cg);
+                (r.trussness, r.max_truss)
+            },
+        );
+        eq_backends(
+            &format!("clustering/{name}"),
+            || (local_clustering(&g), transitivity(&g).to_bits()),
+            || (local_clustering(&cg), transitivity(&cg).to_bits()),
+        );
+    }
+}
+
+#[test]
+fn centrality_and_stats_match_on_compressed_backend() {
+    let sources: Vec<u32> = (0..16).collect();
+    for (name, g) in small_graphs() {
+        let cg = CompressedGraph::from_csr(&g);
+        eq_backends(
+            &format!("betweenness/{name}"),
+            || betweenness(&g, &sources),
+            || betweenness(&cg, &sources),
+        );
+        eq_backends(
+            &format!("closeness/{name}"),
+            || closeness(&g, &sources),
+            || closeness(&cg, &sources),
+        );
+        eq_backends(
+            &format!("harmonic/{name}"),
+            || harmonic(&g, &sources),
+            || harmonic(&cg, &sources),
+        );
+        eq_backends(
+            &format!("graph_stats/{name}"),
+            || {
+                let s = graph_stats(&g);
+                (s.rho, s.k_max, s.max_degree, s.eccentricity_from_zero)
+            },
+            || {
+                let s = graph_stats(&cg);
+                (s.rho, s.k_max, s.max_degree, s.eccentricity_from_zero)
+            },
+        );
+        eq_backends(
+            &format!("diameter/{name}"),
+            || estimate_diameter(&g, 4, 9),
+            || estimate_diameter(&cg, 4, 9),
+        );
+    }
+}
+
+#[test]
+fn sssp_family_matches_on_compressed_backend() {
+    for heavy in [false, true] {
+        let delta = if heavy { 32_768 } else { 1 };
+        for (name, g) in weighted(heavy) {
+            let cg = CompressedWGraph::from_csr(&g);
+            eq_backends(
+                &format!("delta_stepping/{name}/heavy={heavy}"),
+                || {
+                    let r = delta_stepping(&g, 0, delta);
+                    (r.dist, r.rounds)
+                },
+                || {
+                    let r = delta_stepping(&cg, 0, delta);
+                    (r.dist, r.rounds)
+                },
+            );
+            eq_backends(
+                &format!("dijkstra/{name}/heavy={heavy}"),
+                || dijkstra(&g, 0),
+                || dijkstra(&cg, 0),
+            );
+            eq_backends(
+                &format!("bellman_ford/{name}/heavy={heavy}"),
+                || bellman_ford(&g, 0).dist,
+                || bellman_ford(&cg, 0).dist,
+            );
+            eq_backends(
+                &format!("gap_delta/{name}/heavy={heavy}"),
+                || gap_delta_stepping(&g, 0, delta.max(1024)).dist,
+                || gap_delta_stepping(&cg, 0, delta.max(1024)).dist,
+            );
+            eq_backends(
+                &format!("dial/{name}/heavy={heavy}"),
+                || dial(&g, 0),
+                || dial(&cg, 0),
+            );
+        }
+        // wBFS is the light-weight special case.
+        if !heavy {
+            for (name, g) in weighted(false) {
+                let cg = CompressedWGraph::from_csr(&g);
+                eq_backends(
+                    &format!("wbfs/{name}"),
+                    || wbfs(&g, 0).dist,
+                    || wbfs(&cg, 0).dist,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn setcover_matches_after_compression_round_trip() {
+    let inst = set_cover_instance(256, 16_000, 4, 5);
+    let mut roundtrip = set_cover_instance(256, 16_000, 4, 5);
+    roundtrip.graph = CompressedGraph::from_csr(&inst.graph).to_csr();
+    eq_backends(
+        "setcover",
+        || {
+            let r = set_cover_julienne(&inst, 0.01);
+            (r.cover, r.rounds)
+        },
+        || {
+            let r = set_cover_julienne(&roundtrip, 0.01);
+            (r.cover, r.rounds)
+        },
+    );
+}
