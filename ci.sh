@@ -28,6 +28,15 @@ run cargo clippy --workspace --all-targets --no-default-features -- -D warnings
 run env JULIENNE_NUM_THREADS=1 cargo test -q --workspace
 run env JULIENNE_NUM_THREADS=4 cargo test -q --workspace
 
+# --- schedule chaos ----------------------------------------------------------
+# The chaos suite re-runs every algorithm under a seeded adversarial
+# scheduler (8 seeds x {2,4,8} threads) and requires bit-identical outputs;
+# then the lock-free kernel tests run with chaos forced on via the
+# environment, so the perturbation layer itself is exercised end to end.
+run env JULIENNE_NUM_THREADS=4 cargo test -q --test chaos_determinism
+run env JULIENNE_CHAOS_SEED=1 JULIENNE_NUM_THREADS=4 cargo test -q -p julienne bucket
+run env JULIENNE_CHAOS_SEED=1 JULIENNE_NUM_THREADS=4 cargo test -q -p rayon
+
 # --- concurrency stress ------------------------------------------------------
 # Re-run the lock-free kernels (atomics, bucket structure, worker pool) many
 # times to shake out schedule-dependent bugs that a single pass can miss.

@@ -11,20 +11,31 @@ use crate::INF;
 use julienne_graph::VertexId;
 use julienne_ligra::traits::OutEdges;
 
+/// Largest bucket ring the dense path will allocate (slots). Beyond this,
+/// the ring itself becomes the cost (`max_w = u32::MAX` would be a ~100 GB
+/// allocation and a Θ(dist_max) scan), so [`dial`] switches to an ordered
+/// sparse bucket map instead.
+const MAX_RING: usize = 1 << 20;
+
 /// Sequential Dial SSSP. Requires integer weights ≥ 1; the bucket ring has
-/// `max_weight + 1` slots.
+/// `max_weight + 1` slots. Weight ranges too wide for a dense ring (see
+/// `MAX_RING`) fall back to sparse buckets keyed by exact distance —
+/// same peeling order, O(m log m) instead of O(m + dist_max).
 pub fn dial<G: OutEdges<W = u32>>(g: &G, src: VertexId) -> Vec<u64> {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
-    dist[src as usize] = 0;
     if n == 0 {
         return dist;
     }
+    dist[src as usize] = 0;
     let mut max_w = 1u32;
     for v in 0..n as VertexId {
         g.for_each_out(v, |_, w| max_w = max_w.max(w));
     }
     let max_w = max_w as usize;
+    if max_w >= MAX_RING {
+        return dial_sparse(g, src, dist);
+    }
     let ring = max_w + 1;
     let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); ring];
     buckets[0].push(src);
@@ -57,6 +68,31 @@ pub fn dial<G: OutEdges<W = u32>>(g: &G, src: VertexId) -> Vec<u64> {
         // Re-check the same slot: relaxations with w == ring would wrap to
         // it, but w ≤ max_w < ring, so advancing is safe.
         cur += 1;
+    }
+    dist
+}
+
+/// Sparse-bucket variant for huge weight ranges: buckets keyed by exact
+/// distance in an ordered map, popped in increasing order. Memory is
+/// O(queued vertices) regardless of the weight range.
+fn dial_sparse<G: OutEdges<W = u32>>(g: &G, src: VertexId, mut dist: Vec<u64>) -> Vec<u64> {
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<u64, Vec<VertexId>> = BTreeMap::new();
+    buckets.insert(0, vec![src]);
+    while let Some((&cur, _)) = buckets.first_key_value() {
+        let batch = buckets.remove(&cur).expect("nonempty first bucket");
+        for v in batch {
+            if dist[v as usize] != cur {
+                continue; // stale entry (lazy decrease-key)
+            }
+            g.for_each_out(v, |u, w| {
+                let nd = cur + w as u64;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    buckets.entry(nd).or_default().push(u);
+                }
+            });
+        }
     }
     dist
 }
@@ -97,6 +133,18 @@ mod tests {
             };
             assert_eq!(d[v], want, "vertex {v}");
         }
+    }
+
+    #[test]
+    fn huge_weights_take_the_sparse_path() {
+        use julienne_graph::builder::EdgeList;
+        // One edge at u32::MAX: the dense ring would be a 2^32-slot
+        // allocation; the sparse path must answer instantly.
+        let mut el: EdgeList<u32> = EdgeList::new(3);
+        el.push_undirected(0, 1, u32::MAX);
+        el.push_undirected(1, 2, u32::MAX);
+        let g = el.build(true);
+        assert_eq!(dial(&g, 0), vec![0, u32::MAX as u64, 2 * u32::MAX as u64]);
     }
 
     #[test]

@@ -14,12 +14,35 @@ use julienne_primitives::atomics::write_min_u64;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Largest dense bin array the fast path may grow (slots). Bin index is
+/// `dist / Δ`, so tiny Δ with huge weights would resize `bins` into the
+/// billions (a 100 GB allocation at `u32::MAX` weights) and scan every
+/// empty slot; past this bound the ordered-map fallback takes over.
+const MAX_DENSE_BINS: u64 = 1 << 22;
+
 /// GAP-style bin-based Δ-stepping from `src`.
 pub fn gap_delta_stepping<G: OutEdges<W = u32>>(g: &G, src: VertexId, delta: u64) -> SsspResult {
     assert!(delta >= 1);
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    if n == 0 {
+        return SsspResult {
+            dist: vec![],
+            rounds: 0,
+            relaxations: 0,
+        };
+    }
     dist[src as usize].store(0, Ordering::SeqCst);
+
+    // Conservative bin-count bound: the largest finite distance is below
+    // n · max_w, so the dense array can never outgrow bound / Δ.
+    let mut max_w = 1u32;
+    for v in 0..n as VertexId {
+        g.for_each_out(v, |_, w| max_w = max_w.max(w));
+    }
+    if (n as u64).saturating_mul(max_w as u64) / delta >= MAX_DENSE_BINS {
+        return gap_delta_sparse(g, src, delta, dist);
+    }
 
     let mut bins: Vec<Vec<VertexId>> = vec![vec![src]];
     let mut cur = 0usize;
@@ -87,6 +110,67 @@ pub fn gap_delta_stepping<G: OutEdges<W = u32>>(g: &G, src: VertexId, delta: u64
     }
 }
 
+/// Ordered-map variant for weight/Δ combinations whose bin indices would
+/// blow up the dense array: bins keyed by annulus in a `BTreeMap`, always
+/// popping the smallest. Same extraction semantics (lazy dedup, in-annulus
+/// refills re-pop the same key); memory is O(queued vertices).
+fn gap_delta_sparse<G: OutEdges<W = u32>>(
+    g: &G,
+    src: VertexId,
+    delta: u64,
+    dist: Vec<AtomicU64>,
+) -> SsspResult {
+    use std::collections::BTreeMap;
+    let mut bins: BTreeMap<u64, Vec<VertexId>> = BTreeMap::new();
+    bins.insert(0, vec![src]);
+    let mut rounds = 0u64;
+    let mut relaxations = 0u64;
+
+    while let Some((&cur, _)) = bins.first_key_value() {
+        let frontier = bins.remove(&cur).expect("nonempty first bin");
+        let live: Vec<VertexId> = frontier
+            .into_par_iter()
+            .filter(|&v| {
+                let d = dist[v as usize].load(Ordering::SeqCst);
+                d != INF && d / delta == cur
+            })
+            .collect();
+        if live.is_empty() {
+            continue;
+        }
+        rounds += 1;
+        relaxations += live
+            .par_iter()
+            .map(|&v| g.out_degree(v) as u64)
+            .sum::<u64>();
+
+        let dist_ref = &dist;
+        let pushes: Vec<(u64, VertexId)> = live
+            .par_iter()
+            .flat_map_iter(|&u| {
+                let du = dist_ref[u as usize].load(Ordering::SeqCst);
+                let mut local = Vec::new();
+                g.for_each_out(u, |v, w| {
+                    let nd = du + w as u64;
+                    if write_min_u64(&dist_ref[v as usize], nd) {
+                        local.push((nd / delta, v));
+                    }
+                });
+                local
+            })
+            .collect();
+        for (bin, v) in pushes {
+            bins.entry(bin).or_default().push(v);
+        }
+    }
+
+    SsspResult {
+        dist: dist.into_iter().map(AtomicU64::into_inner).collect(),
+        rounds,
+        relaxations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +194,30 @@ mod tests {
         let g = assign_weights(&grid2d(25, 25), 1, 50, 2);
         let r = gap_delta_stepping(&g, 0, 16);
         assert_eq!(r.dist, dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn huge_weights_take_the_sparse_path() {
+        use julienne_graph::builder::EdgeList;
+        let mut el: EdgeList<u32> = EdgeList::new(3);
+        el.push_undirected(0, 1, u32::MAX);
+        el.push_undirected(1, 2, u32::MAX);
+        let g = el.build(true);
+        // Δ = 1 with u32::MAX weights would need ~2^33 dense bins.
+        let r = gap_delta_stepping(&g, 0, 1);
+        assert_eq!(r.dist, vec![0, u32::MAX as u64, 2 * u32::MAX as u64]);
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_agree() {
+        // Same instance pushed down both paths by varying Δ around the
+        // bound: results must be identical.
+        let g = assign_weights(&erdos_renyi(300, 2_400, 6, true), 1, 100_000, 8);
+        let want = dijkstra(&g, 0);
+        for delta in [1u64, 7, 101] {
+            // n·max_w/Δ ≈ 3e7/Δ: Δ=1 and 7 go sparse, Δ=101 stays dense.
+            assert_eq!(gap_delta_stepping(&g, 0, delta).dist, want, "Δ={delta}");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! CLI subcommand implementations. Each returns its report as a `String`
 //! so commands are unit-testable without capturing stdout.
 
-use crate::args::Args;
+use crate::args::{ArgError, Args};
 use crate::io_util::{load, save};
 use julienne::prelude::{Backend, Engine};
 use julienne_algorithms::clustering::{local_clustering, transitivity};
@@ -21,12 +21,69 @@ use julienne_graph::{Csr, Graph};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-type CmdResult = Result<String, String>;
+/// Why a command failed — the class decides the exit code and whether the
+/// usage text is appended. [`CmdError::Usage`] means the *invocation* was
+/// wrong (bad option value, unknown command): exit 2. [`CmdError::Runtime`]
+/// means the invocation was fine but the work failed (unreadable file,
+/// empty graph, asymmetric input): exit 1. Both print usage so a failing
+/// run always shows the correct invocation forms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CmdError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl CmdError {
+    /// Exit code for this error class (2 = usage, 1 = runtime).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CmdError::Usage(_) => 2,
+            CmdError::Runtime(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmdError::Usage(m) | CmdError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<ArgError> for CmdError {
+    fn from(e: ArgError) -> Self {
+        CmdError::Usage(e.to_string())
+    }
+}
+
+fn usage_err(msg: impl Into<String>) -> CmdError {
+    CmdError::Usage(msg.into())
+}
+
+fn runtime_err(msg: impl Into<String>) -> CmdError {
+    CmdError::Runtime(msg.into())
+}
+
+pub type CmdResult = Result<String, CmdError>;
 
 /// Reads the global `backend=<csr|compressed>` option. Validated once in
 /// [`dispatch`]; the graph commands re-read it here to route their loads.
-fn backend_opt(a: &Args) -> Result<Backend, String> {
-    Backend::parse(&a.string_or("backend", "csr"))
+fn backend_opt(a: &Args) -> Result<Backend, CmdError> {
+    Backend::parse(&a.string_or("backend", "csr")).map_err(usage_err)
+}
+
+/// Rejects 0-vertex graphs before running an algorithm on them: every
+/// algorithm command needs at least one vertex (sources, peeling, and
+/// telemetry traces are all meaningless on nothing).
+fn require_nonempty<W: julienne_graph::csr::Weight>(g: &Csr<W>) -> Result<(), CmdError> {
+    if g.num_vertices() == 0 {
+        Err(runtime_err(
+            "graph is empty (0 vertices); nothing to compute",
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 /// Runs `$body` with `$gr` bound to the selected backend's view of `$g`:
@@ -52,32 +109,34 @@ macro_rules! with_backend {
 /// Parses the `stats=<none|json>` option shared by the algorithm commands
 /// and returns an [`Engine`] with telemetry enabled iff JSON traces were
 /// requested (plus the flag itself).
-fn stats_engine(a: &Args) -> Result<(Engine, bool), String> {
+fn stats_engine(a: &Args) -> Result<(Engine, bool), CmdError> {
     let stats = a.string_or("stats", "none");
     match stats.as_str() {
         "none" => Ok((Engine::default(), false)),
         "json" => Ok((Engine::builder().telemetry(true).build(), true)),
-        other => Err(format!("unknown stats mode {other:?} (expected none|json)")),
+        other => Err(usage_err(format!(
+            "unknown stats mode {other:?} (expected none|json)"
+        ))),
     }
 }
 
 /// `julienne gen kind=<rmat|er|chunglu|grid|regular> out=<file> [scale=14]
 /// [edge_factor=16] [seed=1] [symmetric=true] [weights=none|log|heavy]`
 pub fn cmd_gen(a: &Args) -> CmdResult {
-    let kind = a.require("kind").map_err(|e| e.to_string())?;
-    let out = PathBuf::from(a.require("out").map_err(|e| e.to_string())?);
-    let scale: u32 = a.get_or("scale", 14).map_err(|e| e.to_string())?;
-    let ef: usize = a.get_or("edge_factor", 16).map_err(|e| e.to_string())?;
-    let seed: u64 = a.get_or("seed", 1).map_err(|e| e.to_string())?;
-    let symmetric: bool = a.get_or("symmetric", true).map_err(|e| e.to_string())?;
+    let kind = a.require("kind")?;
+    let out = PathBuf::from(a.require("out")?);
+    let scale: u32 = a.get_or("scale", 14)?;
+    let ef: usize = a.get_or("edge_factor", 16)?;
+    let seed: u64 = a.get_or("seed", 1)?;
+    let symmetric: bool = a.get_or("symmetric", true)?;
     let weights = a.string_or("weights", "none");
-    a.finish().map_err(|e| e.to_string())?;
+    a.finish()?;
 
     if scale >= usize::BITS {
-        return Err(format!(
+        return Err(usage_err(format!(
             "scale={scale} is too large (2^scale vertices must fit in usize; max scale is {})",
             usize::BITS - 1
-        ));
+        )));
     }
     let n = 1usize << scale;
     let g: Graph = match kind.as_str() {
@@ -89,7 +148,7 @@ pub fn cmd_gen(a: &Args) -> CmdResult {
             let side = (n as f64).sqrt() as usize;
             grid2d(side, side)
         }
-        other => return Err(format!("unknown generator {other:?}")),
+        other => return Err(usage_err(format!("unknown generator {other:?}"))),
     };
     let mut report = format!(
         "generated {kind}: n={} m={} symmetric={}\n",
@@ -98,17 +157,17 @@ pub fn cmd_gen(a: &Args) -> CmdResult {
         g.is_symmetric()
     );
     match weights.as_str() {
-        "none" => save(&g, &out)?,
+        "none" => save(&g, &out).map_err(runtime_err)?,
         "log" => {
             let (lo, hi) = wbfs_weight_range(g.num_vertices());
-            save(&assign_weights(&g, lo, hi, seed ^ 0xF00D), &out)?;
+            save(&assign_weights(&g, lo, hi, seed ^ 0xF00D), &out).map_err(runtime_err)?;
             let _ = writeln!(report, "weights: uniform [{lo}, {hi})");
         }
         "heavy" => {
-            save(&assign_weights(&g, 1, 100_000, seed ^ 0xF00D), &out)?;
+            save(&assign_weights(&g, 1, 100_000, seed ^ 0xF00D), &out).map_err(runtime_err)?;
             let _ = writeln!(report, "weights: uniform [1, 100000)");
         }
-        other => return Err(format!("unknown weights mode {other:?}")),
+        other => return Err(usage_err(format!("unknown weights mode {other:?}"))),
     }
     let _ = writeln!(report, "wrote {}", out.display());
     Ok(report)
@@ -120,15 +179,17 @@ pub fn cmd_gen(a: &Args) -> CmdResult {
 /// backends: raw CSR bytes and byte-compressed bytes, each per edge, plus
 /// the compression ratio.
 pub fn cmd_stats(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
-    let weighted: bool = a.get_or("weighted", false).map_err(|e| e.to_string())?;
-    a.finish().map_err(|e| e.to_string())?;
+    let input = PathBuf::from(a.require("in")?);
+    let weighted: bool = a.get_or("weighted", false)?;
+    a.finish()?;
     let (s, csr_bytes, compressed_bytes) = if weighted {
-        let g: Csr<u32> = load(&input)?;
+        let g: Csr<u32> = load(&input).map_err(runtime_err)?;
+        require_nonempty(&g)?;
         let c = CompressedWGraph::from_csr(&g);
         (graph_stats(&g), g.footprint_bytes(), c.footprint_bytes())
     } else {
-        let g: Graph = load(&input)?;
+        let g: Graph = load(&input).map_err(runtime_err)?;
+        require_nonempty(&g)?;
         let c = CompressedGraph::from_csr(&g);
         (graph_stats(&g), g.footprint_bytes(), c.footprint_bytes())
     };
@@ -154,17 +215,17 @@ pub fn cmd_stats(a: &Args) -> CmdResult {
 
 /// `julienne convert in=<file> out=<file> [weighted=false] [symmetrize=false]`
 pub fn cmd_convert(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
-    let out = PathBuf::from(a.require("out").map_err(|e| e.to_string())?);
-    let weighted: bool = a.get_or("weighted", false).map_err(|e| e.to_string())?;
-    let make_sym: bool = a.get_or("symmetrize", false).map_err(|e| e.to_string())?;
-    a.finish().map_err(|e| e.to_string())?;
+    let input = PathBuf::from(a.require("in")?);
+    let out = PathBuf::from(a.require("out")?);
+    let weighted: bool = a.get_or("weighted", false)?;
+    let make_sym: bool = a.get_or("symmetrize", false)?;
+    a.finish()?;
     if weighted {
-        let mut g: Csr<u32> = load(&input)?;
+        let mut g: Csr<u32> = load(&input).map_err(runtime_err)?;
         if make_sym {
             g = symmetrize(&g);
         }
-        save(&g, &out)?;
+        save(&g, &out).map_err(runtime_err)?;
         Ok(format!(
             "converted {} -> {} (weighted, m={})\n",
             input.display(),
@@ -172,11 +233,11 @@ pub fn cmd_convert(a: &Args) -> CmdResult {
             g.num_edges()
         ))
     } else {
-        let mut g: Graph = load(&input)?;
+        let mut g: Graph = load(&input).map_err(runtime_err)?;
         if make_sym {
             g = symmetrize(&g);
         }
-        save(&g, &out)?;
+        save(&g, &out).map_err(runtime_err)?;
         Ok(format!(
             "converted {} -> {} (m={})\n",
             input.display(),
@@ -188,14 +249,17 @@ pub fn cmd_convert(a: &Args) -> CmdResult {
 
 /// `julienne kcore in=<file> [top=10] [stats=none|json]`
 pub fn cmd_kcore(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
-    let top: usize = a.get_or("top", 10).map_err(|e| e.to_string())?;
+    let input = PathBuf::from(a.require("in")?);
+    let top: usize = a.get_or("top", 10)?;
     let backend = backend_opt(a)?;
     let (engine, emit_json) = stats_engine(a)?;
-    a.finish().map_err(|e| e.to_string())?;
-    let g: Graph = load(&input)?;
+    a.finish()?;
+    let g: Graph = load(&input).map_err(runtime_err)?;
+    require_nonempty(&g)?;
     if !g.is_symmetric() {
-        return Err("k-core requires a symmetric graph (use convert symmetrize=true)".into());
+        return Err(runtime_err(
+            "k-core requires a symmetric graph (use convert symmetrize=true)",
+        ));
     }
     let r = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
         kcore::coreness_julienne_with(gr, &engine)
@@ -225,19 +289,25 @@ pub fn cmd_kcore(a: &Args) -> CmdResult {
 /// `julienne sssp in=<weighted file> [src=0] [delta=32768]
 /// [algo=delta|wbfs|bellman|dijkstra] [stats=none|json]`
 pub fn cmd_sssp(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
-    let src: u32 = a.get_or("src", 0).map_err(|e| e.to_string())?;
-    let delta: u64 = a.get_or("delta", 32768).map_err(|e| e.to_string())?;
+    let input = PathBuf::from(a.require("in")?);
+    let src: u32 = a.get_or("src", 0)?;
+    let delta: u64 = a.get_or("delta", 32768)?;
     if delta == 0 {
-        return Err("delta=0 is invalid; the bucket width must be >= 1".into());
+        return Err(usage_err(
+            "delta=0 is invalid; the bucket width must be >= 1",
+        ));
     }
     let algo = a.string_or("algo", "delta");
     let backend = backend_opt(a)?;
     let (engine, emit_json) = stats_engine(a)?;
-    a.finish().map_err(|e| e.to_string())?;
-    let g: Csr<u32> = load(&input)?;
+    a.finish()?;
+    let g: Csr<u32> = load(&input).map_err(runtime_err)?;
+    require_nonempty(&g)?;
     if src as usize >= g.num_vertices() {
-        return Err(format!("src {src} out of range (n = {})", g.num_vertices()));
+        return Err(runtime_err(format!(
+            "src {src} out of range (n = {})",
+            g.num_vertices()
+        )));
     }
     let (dist, rounds) = with_backend!(backend, g, CompressedWGraph::from_csr, |gr| {
         match algo.as_str() {
@@ -254,7 +324,7 @@ pub fn cmd_sssp(a: &Args) -> CmdResult {
                 (r.dist, r.rounds)
             }
             "dijkstra" => (dijkstra::dijkstra(gr, src), 0),
-            other => return Err(format!("unknown algo {other:?}")),
+            other => return Err(usage_err(format!("unknown algo {other:?}"))),
         }
     });
     let reached = dist.iter().filter(|&&d| d != u64::MAX).count();
@@ -280,12 +350,13 @@ pub fn cmd_sssp(a: &Args) -> CmdResult {
 
 /// `julienne components in=<file>`
 pub fn cmd_components(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let input = PathBuf::from(a.require("in")?);
     let backend = backend_opt(a)?;
-    a.finish().map_err(|e| e.to_string())?;
-    let g: Graph = load(&input)?;
+    a.finish()?;
+    let g: Graph = load(&input).map_err(runtime_err)?;
+    require_nonempty(&g)?;
     if !g.is_symmetric() {
-        return Err("components requires a symmetric graph".into());
+        return Err(runtime_err("components requires a symmetric graph"));
     }
     let r = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
         connected_components(gr)
@@ -299,12 +370,13 @@ pub fn cmd_components(a: &Args) -> CmdResult {
 
 /// `julienne densest in=<file>`
 pub fn cmd_densest(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let input = PathBuf::from(a.require("in")?);
     let backend = backend_opt(a)?;
-    a.finish().map_err(|e| e.to_string())?;
-    let g: Graph = load(&input)?;
+    a.finish()?;
+    let g: Graph = load(&input).map_err(runtime_err)?;
+    require_nonempty(&g)?;
     if !g.is_symmetric() {
-        return Err("densest requires a symmetric graph".into());
+        return Err(runtime_err("densest requires a symmetric graph"));
     }
     let ds = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
         densest_subgraph(gr)
@@ -318,12 +390,13 @@ pub fn cmd_densest(a: &Args) -> CmdResult {
 
 /// `julienne triangles in=<file>`
 pub fn cmd_triangles(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let input = PathBuf::from(a.require("in")?);
     let backend = backend_opt(a)?;
-    a.finish().map_err(|e| e.to_string())?;
-    let g: Graph = load(&input)?;
+    a.finish()?;
+    let g: Graph = load(&input).map_err(runtime_err)?;
+    require_nonempty(&g)?;
     if !g.is_symmetric() {
-        return Err("triangle counting requires a symmetric graph".into());
+        return Err(runtime_err("triangle counting requires a symmetric graph"));
     }
     let t = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
         triangle_count(gr)
@@ -333,13 +406,14 @@ pub fn cmd_triangles(a: &Args) -> CmdResult {
 
 /// `julienne truss in=<file> [top=5]`
 pub fn cmd_truss(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
-    let top: usize = a.get_or("top", 5).map_err(|e| e.to_string())?;
+    let input = PathBuf::from(a.require("in")?);
+    let top: usize = a.get_or("top", 5)?;
     let backend = backend_opt(a)?;
-    a.finish().map_err(|e| e.to_string())?;
-    let g: Graph = load(&input)?;
+    a.finish()?;
+    let g: Graph = load(&input).map_err(runtime_err)?;
+    require_nonempty(&g)?;
     if !g.is_symmetric() {
-        return Err("k-truss requires a symmetric graph".into());
+        return Err(runtime_err("k-truss requires a symmetric graph"));
     }
     let (idx, r) = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
         (EdgeIndex::new(gr), ktruss_julienne(gr))
@@ -375,12 +449,13 @@ pub fn cmd_truss(a: &Args) -> CmdResult {
 
 /// `julienne clustering in=<file>`
 pub fn cmd_clustering(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
+    let input = PathBuf::from(a.require("in")?);
     let backend = backend_opt(a)?;
-    a.finish().map_err(|e| e.to_string())?;
-    let g: Graph = load(&input)?;
+    a.finish()?;
+    let g: Graph = load(&input).map_err(runtime_err)?;
+    require_nonempty(&g)?;
     if !g.is_symmetric() {
-        return Err("clustering requires a symmetric graph".into());
+        return Err(runtime_err("clustering requires a symmetric graph"));
     }
     let (local, trans) = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
         (local_clustering(gr), transitivity(gr))
@@ -393,17 +468,18 @@ pub fn cmd_clustering(a: &Args) -> CmdResult {
 
 /// `julienne pagerank in=<file> [damping=0.85] [iters=100]`
 pub fn cmd_pagerank(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in").map_err(|e| e.to_string())?);
-    let damping: f64 = a.get_or("damping", 0.85).map_err(|e| e.to_string())?;
+    let input = PathBuf::from(a.require("in")?);
+    let damping: f64 = a.get_or("damping", 0.85)?;
     if !(0.0..=1.0).contains(&damping) {
-        return Err(format!(
+        return Err(usage_err(format!(
             "damping={damping} out of range (expected 0 <= damping <= 1)"
-        ));
+        )));
     }
-    let iters: u32 = a.get_or("iters", 100).map_err(|e| e.to_string())?;
+    let iters: u32 = a.get_or("iters", 100)?;
     let backend = backend_opt(a)?;
-    a.finish().map_err(|e| e.to_string())?;
-    let g: Graph = load(&input)?;
+    a.finish()?;
+    let g: Graph = load(&input).map_err(runtime_err)?;
+    require_nonempty(&g)?;
     let r = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
         pagerank(gr, damping, 1e-9, iters)
     });
@@ -420,14 +496,14 @@ pub fn cmd_pagerank(a: &Args) -> CmdResult {
 /// `julienne setcover sets=<n> elements=<n> [mult=4] [eps=0.01] [seed=1]
 /// [stats=none|json]`
 pub fn cmd_setcover(a: &Args) -> CmdResult {
-    let sets: usize = a.get_or("sets", 256).map_err(|e| e.to_string())?;
-    let elements: usize = a.get_or("elements", 16_384).map_err(|e| e.to_string())?;
-    let mult: usize = a.get_or("mult", 4).map_err(|e| e.to_string())?;
-    let eps: f64 = a.get_or("eps", 0.01).map_err(|e| e.to_string())?;
-    let seed: u64 = a.get_or("seed", 1).map_err(|e| e.to_string())?;
+    let sets: usize = a.get_or("sets", 256)?;
+    let elements: usize = a.get_or("elements", 16_384)?;
+    let mult: usize = a.get_or("mult", 4)?;
+    let eps: f64 = a.get_or("eps", 0.01)?;
+    let seed: u64 = a.get_or("seed", 1)?;
     let backend = backend_opt(a)?;
     let (engine, emit_json) = stats_engine(a)?;
-    a.finish().map_err(|e| e.to_string())?;
+    a.finish()?;
     let mut inst = julienne_graph::generators::set_cover_instance(sets, elements, mult, seed);
     if backend == Backend::Compressed {
         // Set cover peels a packed (mutable) copy of the membership graph,
@@ -438,7 +514,7 @@ pub fn cmd_setcover(a: &Args) -> CmdResult {
     }
     let r = julienne_algorithms::setcover::set_cover_julienne_with(&inst, eps, &engine);
     if !verify_cover(&inst, &r.cover) {
-        return Err("internal error: produced cover is invalid".into());
+        return Err(runtime_err("internal error: produced cover is invalid"));
     }
     let mut out = format!(
         "cover: {}/{sets} sets over {elements} elements, rounds={}, valid=yes\n",
@@ -497,7 +573,7 @@ sparse-vs-dense choice, elapsed microseconds).
 /// (raw CSR vs byte-compressed). Neither affects any output, only speed
 /// and space.
 pub fn dispatch(a: &Args) -> CmdResult {
-    let threads: usize = a.get_or("threads", 0).map_err(|e| e.to_string())?;
+    let threads: usize = a.get_or("threads", 0)?;
     if threads > 0 {
         rayon::set_num_threads(threads);
     }
@@ -516,7 +592,7 @@ pub fn dispatch(a: &Args) -> CmdResult {
         "pagerank" => cmd_pagerank(a),
         "setcover" => cmd_setcover(a),
         "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+        other => Err(usage_err(format!("unknown command {other:?}"))),
     }
 }
 
@@ -524,10 +600,14 @@ pub fn dispatch(a: &Args) -> CmdResult {
 mod tests {
     use super::*;
 
-    fn run(line: &str) -> CmdResult {
+    fn run_classed(line: &str) -> CmdResult {
         let argv: Vec<String> = line.split_whitespace().map(str::to_string).collect();
-        let a = Args::parse(argv).map_err(|e| e.to_string())?;
+        let a = Args::parse(argv)?;
         dispatch(&a)
+    }
+
+    fn run(line: &str) -> Result<String, String> {
+        run_classed(line).map_err(|e| e.to_string())
     }
 
     fn tmp(name: &str) -> String {
@@ -638,9 +718,57 @@ mod tests {
     }
 
     #[test]
-    fn unknown_command_shows_usage() {
-        let e = run("frobnicate").unwrap_err();
-        assert!(e.contains("USAGE"));
+    fn unknown_command_is_a_usage_error() {
+        let e = run_classed("frobnicate").unwrap_err();
+        assert!(matches!(e, CmdError::Usage(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 2);
+        assert!(e.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn error_classes_pick_the_right_exit_code() {
+        // Invocation mistakes are usage errors (exit 2): bad option values
+        // are knowable from argv alone.
+        for bad in [
+            "components in=x.bin backend=zip",
+            "components in=x.bin threads=zzz",
+            "sssp in=x.gr delta=0",
+            "gen kind=nope out=x.bin",
+        ] {
+            let e = run_classed(bad).unwrap_err();
+            assert!(matches!(e, CmdError::Usage(_)), "{bad}: {e:?}");
+        }
+        // Failures that depend on the filesystem or file contents are
+        // runtime errors (exit 1).
+        let e = run_classed("components in=/nonexistent/julienne-no-such.bin").unwrap_err();
+        assert!(matches!(e, CmdError::Runtime(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_a_runtime_error() {
+        let f = tmp("empty0.bin");
+        let fw = tmp("empty0w.bin");
+        let g = julienne_graph::builder::from_pairs(0, &[]);
+        julienne_graph::io::write_binary(&g, std::path::Path::new(&f)).unwrap();
+        let gw: Csr<u32> = julienne_graph::builder::EdgeList::new(0).build(false);
+        julienne_graph::io::write_binary(&gw, std::path::Path::new(&fw)).unwrap();
+        // With telemetry requested (the ISSUE's `--stats json` case) and
+        // without: the guard fires before any algorithm runs.
+        for line in [
+            format!("kcore in={f} --stats json"),
+            format!("sssp in={fw} --stats json"),
+            format!("components in={f}"),
+            format!("pagerank in={f}"),
+        ] {
+            let e = run_classed(&line).unwrap_err();
+            assert!(matches!(e, CmdError::Runtime(_)), "{line}: {e:?}");
+            assert!(e.to_string().contains("empty"), "{line}: {e}");
+        }
+        let e = run_classed(&format!("stats in={f}")).unwrap_err();
+        assert!(matches!(e, CmdError::Runtime(_)), "{e:?}");
+        std::fs::remove_file(f).ok();
+        std::fs::remove_file(fw).ok();
     }
 
     #[test]

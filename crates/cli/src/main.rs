@@ -24,9 +24,12 @@ fn main() {
     };
     match commands::dispatch(&parsed) {
         Ok(report) => print!("{report}"),
+        // Usage errors (exit 2) mean the invocation was wrong; runtime
+        // errors (exit 1) mean the work failed. Both append the usage text
+        // so a failing run always shows the correct invocation forms.
         Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            std::process::exit(e.exit_code());
         }
     }
 }

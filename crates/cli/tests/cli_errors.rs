@@ -1,0 +1,124 @@
+//! End-to-end error-path tests against the real `julienne` binary: every
+//! failure must exit non-zero with a usage message on stderr, with the exit
+//! code distinguishing usage mistakes (2) from runtime failures (1).
+
+use julienne_graph::builder::{from_pairs, EdgeList};
+use julienne_graph::io::write_binary;
+use julienne_graph::Csr;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn julienne(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_julienne"))
+        .args(args)
+        .output()
+        .expect("failed to spawn julienne binary")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("julienne-e2e-{}-{name}", std::process::id()))
+}
+
+/// Asserts a failing invocation's contract: the given exit code, an
+/// `error:` line mentioning `needle`, and the usage text on stderr.
+fn assert_fails(args: &[&str], code: i32, needle: &str) {
+    let out = julienne(args);
+    let err = stderr_of(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(code),
+        "{args:?}: expected exit {code}\nstderr: {err}"
+    );
+    assert!(err.contains("error:"), "{args:?}: no error line\n{err}");
+    assert!(err.contains(needle), "{args:?}: missing {needle:?}\n{err}");
+    assert!(err.contains("USAGE"), "{args:?}: no usage message\n{err}");
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_2() {
+    let out = julienne(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned() + &stderr_of(&out);
+    assert!(text.contains("USAGE"), "{text}");
+}
+
+#[test]
+fn unknown_command_exits_2_with_usage() {
+    assert_fails(&["frobnicate"], 2, "unknown command");
+}
+
+#[test]
+fn bad_backend_value_exits_2_with_usage() {
+    assert_fails(&["components", "in=x.bin", "backend=zip"], 2, "backend");
+}
+
+#[test]
+fn bad_threads_value_exits_2_with_usage() {
+    assert_fails(&["components", "in=x.bin", "threads=zzz"], 2, "threads");
+    assert_fails(&["kcore", "in=x.bin", "--threads", "-3"], 2, "threads");
+}
+
+#[test]
+fn malformed_and_unknown_options_exit_2_with_usage() {
+    assert_fails(&["kcore", "novalue"], 2, "malformed");
+    assert_fails(&["setcover", "bogus=1"], 2, "unknown options");
+    assert_fails(&["sssp"], 2, "in=");
+}
+
+#[test]
+fn unreadable_graph_file_exits_1_with_usage() {
+    assert_fails(
+        &["kcore", "in=/nonexistent/julienne-no-such-file.bin"],
+        1,
+        "julienne-no-such-file.bin",
+    );
+    // Unknown extension: the file can't even be format-dispatched.
+    assert_fails(&["components", "in=graph.xyz"], 1, "extension");
+}
+
+#[test]
+fn corrupt_graph_file_exits_1_with_usage() {
+    let p = tmp("corrupt.bin");
+    std::fs::write(&p, b"this is not a graph").unwrap();
+    assert_fails(&["components", &format!("in={}", p.display())], 1, "magic");
+    std::fs::remove_file(p).ok();
+}
+
+#[test]
+fn stats_json_on_empty_graph_exits_1_with_usage() {
+    let p = tmp("empty.bin");
+    write_binary(&from_pairs(0, &[]), &p).unwrap();
+    let pw = tmp("emptyw.bin");
+    let wg: Csr<u32> = EdgeList::new(0).build(false);
+    write_binary(&wg, &pw).unwrap();
+    let (f, fw) = (
+        format!("in={}", p.display()),
+        format!("in={}", pw.display()),
+    );
+    assert_fails(&["kcore", &f, "--stats", "json"], 1, "empty");
+    assert_fails(&["sssp", &fw, "--stats", "json"], 1, "empty");
+    assert_fails(&["stats", &f], 1, "empty");
+    std::fs::remove_file(p).ok();
+    std::fs::remove_file(pw).ok();
+}
+
+#[test]
+fn successful_run_exits_0_and_stays_quiet_on_stderr() {
+    let p = tmp("ok.bin");
+    let out = julienne(&[
+        "gen",
+        "kind=rmat",
+        "scale=8",
+        &format!("out={}", p.display()),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).is_empty());
+    let out = julienne(&["kcore", &format!("in={}", p.display())]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("k_max="));
+    std::fs::remove_file(p).ok();
+}

@@ -42,13 +42,21 @@ impl<W: Weight> EdgeList<W> {
         self.edges.extend(mirrored);
     }
 
-    /// Builds a CSR: sorts by `(src, dst)`, removes self-loops and duplicate
-    /// edges (keeping the first weight), per the paper's no-self-edge /
-    /// no-duplicate assumption.
+    /// Builds a CSR: sorts by `(src, dst, weight)`, removes self-loops and
+    /// duplicate edges (keeping the **minimum** weight), per the paper's
+    /// no-self-edge / no-duplicate assumption.
+    ///
+    /// The weight participates in the sort key on purpose: with parallel
+    /// edges of differing weights, keeping "the first after an unstable
+    /// sort by endpoints" would pick an arbitrary survivor — and could keep
+    /// different weights for the two directions of a mirrored edge, so a
+    /// graph marked symmetric would have `w(u,v) ≠ w(v,u)` and push- vs
+    /// pull-based traversals would compute different shortest paths.
+    /// Minimum weight is deterministic and direction-symmetric.
     pub fn build(mut self, symmetric: bool) -> Csr<W> {
         let n = self.n;
         self.edges
-            .par_sort_unstable_by_key(|&(u, v, _)| ((u as u64) << 32) | v as u64);
+            .par_sort_unstable_by_key(|&(u, v, w)| (((u as u64) << 32) | v as u64, w.to_u64()));
         self.edges.dedup_by_key(|&mut (u, v, _)| (u, v));
         self.edges.retain(|&(u, v, _)| u != v);
 
@@ -119,13 +127,27 @@ mod tests {
     }
 
     #[test]
-    fn weighted_build_keeps_first_weight() {
+    fn weighted_build_keeps_minimum_weight() {
         let mut el: EdgeList<u32> = EdgeList::new(2);
-        el.push(0, 1, 5);
-        el.push(0, 1, 9); // duplicate: dropped
+        el.push(0, 1, 9);
+        el.push(0, 1, 5); // parallel edge: the lighter one survives
         let g = el.build(false);
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.weights_of(0), &[5]);
+    }
+
+    #[test]
+    fn parallel_edge_dedup_is_direction_symmetric() {
+        // Two undirected pushes of the same pair with different weights:
+        // both directions must keep the same (minimum) weight, or the
+        // "symmetric" graph would be weight-asymmetric and pull-based
+        // traversals would see different distances than push-based ones.
+        let mut el: EdgeList<u32> = EdgeList::new(2);
+        el.push_undirected(0, 1, 9);
+        el.push_undirected(0, 1, 5);
+        let g = el.build_symmetric();
+        assert_eq!(g.weights_of(0), &[5]);
+        assert_eq!(g.weights_of(1), &[5]);
     }
 
     #[test]

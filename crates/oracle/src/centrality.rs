@@ -1,0 +1,101 @@
+//! Centrality oracles: shortest-path counting from first principles.
+//!
+//! The betweenness oracle deliberately avoids the frontier machinery: σ is
+//! accumulated by scanning *all* vertices grouped by BFS distance, and
+//! dependencies walk the groups backwards — no frontiers, no atomics.
+
+use crate::traversal::bfs_levels;
+use julienne_graph::csr::Weight;
+use julienne_graph::{Csr, VertexId};
+
+/// Per-source Brandes dependencies computed sequentially from the
+/// definition; summed over `sources` with the source itself excluded
+/// (matching the parallel `betweenness`).
+pub fn betweenness_naive<W: Weight>(g: &Csr<W>, sources: &[VertexId]) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut bc = vec![0.0f64; n];
+    for &s in sources {
+        let level = bfs_levels(g, s);
+        let max_level = level.iter().filter(|&&l| l != u32::MAX).max().copied();
+        let Some(max_level) = max_level else {
+            continue;
+        };
+        // Vertices grouped by distance from s.
+        let mut by_level: Vec<Vec<VertexId>> = vec![Vec::new(); max_level as usize + 1];
+        for v in 0..n {
+            if level[v] != u32::MAX {
+                by_level[level[v] as usize].push(v as VertexId);
+            }
+        }
+        // σ(v): number of shortest s→v paths, filled level by level.
+        let mut sigma = vec![0.0f64; n];
+        sigma[s as usize] = 1.0;
+        for l in 1..=max_level {
+            for &v in &by_level[l as usize] {
+                for &u in g.neighbors(v) {
+                    if level[u as usize] != u32::MAX && level[u as usize] + 1 == level[v as usize] {
+                        sigma[v as usize] += sigma[u as usize];
+                    }
+                }
+            }
+        }
+        // δ(v) = Σ_{w successor of v} σ(v)/σ(w)·(1 + δ(w)), deepest first.
+        let mut delta = vec![0.0f64; n];
+        for l in (1..=max_level).rev() {
+            for &w in &by_level[l as usize] {
+                for &v in g.neighbors(w) {
+                    if level[v as usize] != u32::MAX && level[v as usize] + 1 == level[w as usize] {
+                        delta[v as usize] +=
+                            sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            if v as u32 != s {
+                bc[v] += delta[v];
+            }
+        }
+    }
+    bc
+}
+
+/// Closeness centrality of each source, normalised by reachable count:
+/// `C(v) = (r−1) / Σ_u dist(v,u)` over the r reachable vertices (0 when
+/// nothing else is reachable).
+pub fn closeness_naive<W: Weight>(g: &Csr<W>, sources: &[VertexId]) -> Vec<f64> {
+    sources
+        .iter()
+        .map(|&s| {
+            let level = bfs_levels(g, s);
+            let mut reachable = 0u64;
+            let mut total = 0u64;
+            for &l in &level {
+                if l != u32::MAX {
+                    reachable += 1;
+                    total += l as u64;
+                }
+            }
+            if reachable <= 1 || total == 0 {
+                0.0
+            } else {
+                (reachable - 1) as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+/// Harmonic centrality of each source: `Σ_{u ≠ v} 1/dist(v,u)` over
+/// reachable vertices.
+pub fn harmonic_naive<W: Weight>(g: &Csr<W>, sources: &[VertexId]) -> Vec<f64> {
+    sources
+        .iter()
+        .map(|&s| {
+            bfs_levels(g, s)
+                .into_iter()
+                .filter(|&l| l != u32::MAX && l > 0)
+                .map(|l| 1.0 / l as f64)
+                .sum()
+        })
+        .collect()
+}

@@ -1,0 +1,43 @@
+//! Sequential PageRank power iteration, straight from the definition.
+
+use julienne_graph::csr::Weight;
+use julienne_graph::{Csr, VertexId};
+
+/// Damped PageRank by plain power iteration:
+/// `p'(v) = (1−d)/n + d·(Σ_{u→v} p(u)/deg(u) + dangling/n)`, iterating
+/// until the L1 change drops below `tol` or `max_iters` passes. Scores sum
+/// to 1. Float association differs from the parallel version, so compare
+/// with a tolerance, never bitwise.
+pub fn pagerank_power<W: Weight>(g: &Csr<W>, damping: f64, tol: f64, max_iters: u32) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return vec![];
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let base = (1.0 - damping) / n as f64;
+    for _ in 0..max_iters {
+        let mut next = vec![0.0f64; n];
+        let mut dangling = 0.0f64;
+        for u in 0..n as VertexId {
+            let d = g.degree(u);
+            if d == 0 {
+                dangling += rank[u as usize];
+                continue;
+            }
+            let share = rank[u as usize] / d as f64;
+            for &v in g.neighbors(u) {
+                next[v as usize] += share;
+            }
+        }
+        let dangling_share = dangling / n as f64;
+        for x in next.iter_mut() {
+            *x = base + damping * (*x + dangling_share);
+        }
+        let l1: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        rank = next;
+        if l1 < tol {
+            break;
+        }
+    }
+    rank
+}

@@ -1,0 +1,53 @@
+//! Greedy set cover oracle plus an independent cover checker, over the
+//! bipartite [`SetCoverInstance`] layout (sets `0..num_sets`, elements
+//! after).
+
+use julienne_graph::generators::SetCoverInstance;
+use julienne_graph::VertexId;
+
+/// Literal greedy set cover: repeatedly pick the set covering the most
+/// still-uncovered elements (smallest id on ties) until every coverable
+/// element is covered. Returns the chosen set ids in pick order.
+pub fn greedy_cover(inst: &SetCoverInstance) -> Vec<VertexId> {
+    let mut covered = vec![false; inst.num_elements];
+    let uncovered_gain = |s: VertexId, covered: &[bool]| {
+        inst.graph
+            .neighbors(s)
+            .iter()
+            .filter(|&&e| !covered[e as usize - inst.num_sets])
+            .count()
+    };
+    let mut cover = Vec::new();
+    loop {
+        let mut best: Option<(usize, VertexId)> = None;
+        for s in 0..inst.num_sets as VertexId {
+            let gain = uncovered_gain(s, &covered);
+            if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
+                best = Some((gain, s));
+            }
+        }
+        let Some((_, s)) = best else {
+            break;
+        };
+        cover.push(s);
+        for &e in inst.graph.neighbors(s) {
+            covered[e as usize - inst.num_sets] = true;
+        }
+    }
+    cover
+}
+
+/// Whether `cover` covers every element that belongs to at least one set.
+/// Independent of the algorithms' own `verify_cover`.
+pub fn is_cover(inst: &SetCoverInstance, cover: &[VertexId]) -> bool {
+    let mut covered = vec![false; inst.num_elements];
+    for &s in cover {
+        if !inst.is_set(s) {
+            return false;
+        }
+        for &e in inst.graph.neighbors(s) {
+            covered[e as usize - inst.num_sets] = true;
+        }
+    }
+    (0..inst.num_elements).all(|e| covered[e] || inst.graph.degree(inst.element_vertex(e)) == 0)
+}

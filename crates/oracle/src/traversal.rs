@@ -1,0 +1,71 @@
+//! Queue-based BFS and union-free connected components — the frontier
+//! oracles.
+
+use julienne_graph::csr::Weight;
+use julienne_graph::{Csr, VertexId};
+use std::collections::VecDeque;
+
+/// Hop distance from `src` to every vertex (`u32::MAX` if unreached), by a
+/// plain FIFO queue BFS.
+pub fn bfs_levels<W: Weight>(g: &Csr<W>, src: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut level = vec![u32::MAX; n];
+    if n == 0 {
+        return level;
+    }
+    level[src as usize] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if level[v as usize] == u32::MAX {
+                level[v as usize] = level[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    level
+}
+
+/// Eccentricity of `src` within its component: the largest finite BFS
+/// level.
+pub fn eccentricity<W: Weight>(g: &Csr<W>, src: VertexId) -> u32 {
+    bfs_levels(g, src)
+        .into_iter()
+        .filter(|&l| l != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Component label per vertex: the smallest vertex id in its component,
+/// found by BFS flood-fill from each unlabelled vertex in id order.
+pub fn components_min_label<W: Weight>(g: &Csr<W>) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    for s in 0..n as VertexId {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = s;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = s;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Rewrites arbitrary component labels into canonical form — every vertex
+/// mapped to the smallest vertex id sharing its label — so labelings from
+/// different algorithms can be compared directly.
+pub fn canonical_labels(labels: &[u32]) -> Vec<u32> {
+    let mut smallest: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for (v, &l) in labels.iter().enumerate() {
+        smallest.entry(l).or_insert(v as u32);
+    }
+    labels.iter().map(|l| smallest[l]).collect()
+}

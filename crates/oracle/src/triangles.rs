@@ -1,0 +1,89 @@
+//! Triangle oracles by hashed neighbor-set membership — no degree
+//! orientation, no sorted-list merging, no shared code with the parallel
+//! counter.
+
+use julienne_graph::csr::Weight;
+use julienne_graph::{Csr, VertexId};
+use std::collections::HashSet;
+
+/// Number of triangles through each vertex, counted from the definition:
+/// for every vertex v, every unordered neighbor pair (u, w) with u and w
+/// adjacent closes a triangle.
+pub fn triangles_per_vertex<W: Weight>(g: &Csr<W>) -> Vec<u64> {
+    let n = g.num_vertices();
+    let adjacency: Vec<HashSet<VertexId>> = (0..n as VertexId)
+        .map(|v| g.neighbors(v).iter().copied().collect())
+        .collect();
+    (0..n as VertexId)
+        .map(|v| {
+            let nbrs = g.neighbors(v);
+            let mut t = 0u64;
+            for (i, &u) in nbrs.iter().enumerate() {
+                for &w in &nbrs[i + 1..] {
+                    if adjacency[u as usize].contains(&w) {
+                        t += 1;
+                    }
+                }
+            }
+            t
+        })
+        .collect()
+}
+
+/// Total triangle count: each triangle touches exactly three vertices.
+pub fn triangle_count_naive<W: Weight>(g: &Csr<W>) -> u64 {
+    triangles_per_vertex(g).iter().sum::<u64>() / 3
+}
+
+/// Per-vertex local clustering coefficient
+/// `C(v) = T(v) / (deg(v)·(deg(v)−1)/2)`, 0 for degree < 2.
+pub fn local_clustering_naive<W: Weight>(g: &Csr<W>) -> Vec<f64> {
+    triangles_per_vertex(g)
+        .into_iter()
+        .enumerate()
+        .map(|(v, t)| {
+            let d = g.degree(v as VertexId) as u64;
+            if d < 2 {
+                0.0
+            } else {
+                t as f64 / ((d * (d - 1) / 2) as f64)
+            }
+        })
+        .collect()
+}
+
+/// Global transitivity `3·triangles / wedges` (0 when there are no
+/// wedges).
+pub fn transitivity_naive<W: Weight>(g: &Csr<W>) -> f64 {
+    let triangles = triangle_count_naive(g);
+    let wedges: u64 = (0..g.num_vertices() as VertexId)
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+/// Whether `members` is an independent set: no two members adjacent.
+pub fn is_independent_set<W: Weight>(g: &Csr<W>, members: &[VertexId]) -> bool {
+    let member: HashSet<VertexId> = members.iter().copied().collect();
+    members
+        .iter()
+        .all(|&v| g.neighbors(v).iter().all(|u| !member.contains(u)))
+}
+
+/// Whether `members` is a *maximal* independent set: independent, and
+/// every non-member has a member neighbor.
+pub fn is_maximal_independent_set<W: Weight>(g: &Csr<W>, members: &[VertexId]) -> bool {
+    if !is_independent_set(g, members) {
+        return false;
+    }
+    let member: HashSet<VertexId> = members.iter().copied().collect();
+    (0..g.num_vertices() as VertexId)
+        .all(|v| member.contains(&v) || g.neighbors(v).iter().any(|u| member.contains(u)))
+}

@@ -90,6 +90,9 @@ pub(crate) fn drive<P: Producer, C: Consumer<P::Item>>(
         .collect();
     let results: Vec<Mutex<Option<C::Result>>> = (0..k).map(|_| Mutex::new(None)).collect();
     pool::run_pieces(k, |i| {
+        // Chaos hook: perturb when this piece's consumer starts, on top of
+        // the pool-level claim reordering (no-op when chaos is off).
+        pool::chaos_piece_pause(i);
         let piece = pieces[i]
             .lock()
             .unwrap()

@@ -35,6 +35,14 @@
 //! race: side effects still need the atomics / disjoint-write protocols the
 //! workspace already uses).
 //!
+//! # Schedule chaos
+//!
+//! `JULIENNE_CHAOS_SEED=<u64>` (or [`set_chaos_seed`]) turns on a seeded
+//! adversarial scheduler that permutes piece claim order, injects
+//! yields/sleeps, and stalls workers — while the determinism contract
+//! requires outputs to stay bit-identical. See [`pool`] and
+//! `tests/chaos_determinism.rs` at the workspace root.
+//!
 //! [rayon]: https://docs.rs/rayon
 
 // Shim code mirrors the upstream API surface, not clippy idiom.
@@ -53,7 +61,7 @@ pub mod prelude {
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
-pub use pool::{current_num_threads, set_num_threads};
+pub use pool::{chaos_seed, current_num_threads, set_chaos_seed, set_num_threads};
 
 use std::sync::Mutex;
 

@@ -34,16 +34,144 @@
 //! remaining pieces of that job; the submitting thread re-raises the payload
 //! after the job quiesces, so panics propagate to the caller exactly like
 //! they do under sequential execution (and worker threads survive).
+//!
+//! # Schedule chaos
+//!
+//! Setting `JULIENNE_CHAOS_SEED=<u64>` (or calling [`set_chaos_seed`])
+//! turns on a seeded adversarial scheduler: piece claim order is permuted
+//! per job, pieces are delayed with injected yields/sleeps, and workers
+//! stall briefly before joining a job. Every perturbation derives from the
+//! seed by hashing, so a failing seed replays the same perturbation
+//! schedule. The determinism contract must hold *under* chaos — pieces are
+//! still executed exactly once each, and partial results are still
+//! combined in piece-index order — so any output difference a chaos run
+//! exposes is a real data race or ordering assumption, never an artifact
+//! of the chaos layer itself.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Upper bound on worker threads the shim will ever spawn; requests beyond
 /// it are clamped. Generous relative to any host this workspace targets.
 pub const MAX_THREADS: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Schedule chaos: a seeded adversarial scheduler (see module docs).
+// ---------------------------------------------------------------------------
+
+/// Global chaos state. `enabled` gates everything; `seed` feeds every
+/// perturbation decision; `jobs`/`pops` are salts so consecutive jobs (and
+/// worker wake-ups) see different perturbation schedules.
+struct Chaos {
+    enabled: AtomicBool,
+    seed: AtomicU64,
+    jobs: AtomicU64,
+    pops: AtomicU64,
+}
+
+fn chaos() -> &'static Chaos {
+    static CHAOS: OnceLock<Chaos> = OnceLock::new();
+    CHAOS.get_or_init(|| {
+        let from_env = std::env::var("JULIENNE_CHAOS_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok());
+        Chaos {
+            enabled: AtomicBool::new(from_env.is_some()),
+            seed: AtomicU64::new(from_env.unwrap_or(0)),
+            jobs: AtomicU64::new(0),
+            pops: AtomicU64::new(0),
+        }
+    })
+}
+
+/// Turns schedule chaos on with the given seed, or off with `None`.
+/// Overrides the `JULIENNE_CHAOS_SEED` environment variable.
+pub fn set_chaos_seed(seed: Option<u64>) {
+    let c = chaos();
+    match seed {
+        Some(s) => {
+            c.seed.store(s, Ordering::SeqCst);
+            c.enabled.store(true, Ordering::SeqCst);
+        }
+        None => c.enabled.store(false, Ordering::SeqCst),
+    }
+}
+
+/// The active chaos seed, if chaos mode is on.
+pub fn chaos_seed() -> Option<u64> {
+    let c = chaos();
+    if c.enabled.load(Ordering::SeqCst) {
+        Some(c.seed.load(Ordering::SeqCst))
+    } else {
+        None
+    }
+}
+
+/// splitmix64 finalizer: the hash behind every chaos decision.
+fn chaos_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Per-job chaos salt: `hash(seed, job counter)`, or `None` when chaos is
+/// off. Each submitted job draws a fresh salt so repeated identical jobs
+/// still see different claim orders and delays.
+fn chaos_job_salt() -> Option<u64> {
+    let seed = chaos_seed()?;
+    let job = chaos().jobs.fetch_add(1, Ordering::SeqCst);
+    Some(chaos_mix(seed ^ chaos_mix(job)))
+}
+
+/// A seeded Fisher–Yates permutation of `0..n`: the order in which a
+/// chaotic job's claims map to piece indices.
+fn chaos_perm(n: usize, salt: u64) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut state = salt;
+    for i in (1..n).rev() {
+        state = chaos_mix(state);
+        let j = (state % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Injects a seeded delay: nothing (½), a yield (¼), or a short sleep (¼,
+/// up to ~64 µs). Derives entirely from `h`, so a chaos run with the same
+/// seed injects the same delays at the same points.
+fn chaos_delay(h: u64) {
+    match h % 4 {
+        0 | 1 => {}
+        2 => std::thread::yield_now(),
+        _ => std::thread::sleep(std::time::Duration::from_micros(1 + (h >> 2) % 64)),
+    }
+}
+
+/// Chaos hook for workers picking up a job copy: occasionally stall the
+/// worker (up to ~256 µs) before it starts claiming pieces, simulating a
+/// late-arriving or descheduled worker.
+fn chaos_worker_stall() {
+    if let Some(seed) = chaos_seed() {
+        let pop = chaos().pops.fetch_add(1, Ordering::SeqCst);
+        let h = chaos_mix(seed ^ 0x5741_1000 ^ chaos_mix(pop));
+        if h % 4 == 0 {
+            std::thread::sleep(std::time::Duration::from_micros(1 + (h >> 2) % 256));
+        }
+    }
+}
+
+/// Chaos hook for the parallel-iterator layer (`iter::drive`): perturbs
+/// the moment piece `i`'s consumer starts, independently of the pool-level
+/// claim reordering.
+pub(crate) fn chaos_piece_pause(i: usize) {
+    if let Some(seed) = chaos_seed() {
+        chaos_delay(chaos_mix(seed ^ 0x17E2_0000 ^ i as u64));
+    }
+}
 
 /// A piece job living on the submitter's stack. See the module docs for the
 /// lifecycle that makes the raw pointers sound.
@@ -58,6 +186,12 @@ struct Job {
     n: usize,
     /// Next piece index to claim (claims at or past `n` are spurious).
     next: AtomicUsize,
+    /// Chaos mode only: per-job salt feeding the injected delays.
+    chaos_salt: Option<u64>,
+    /// Chaos mode only: claim-order permutation (claim `c` runs piece
+    /// `perm[c]`). Claim order never affects results — partial results are
+    /// combined by piece index — which is exactly what chaos mode stresses.
+    perm: Option<Vec<u32>>,
     /// Queue copies popped by workers but not yet retired, plus copies still
     /// sitting in the queue. The submitter may only return at zero.
     outstanding: AtomicUsize,
@@ -73,9 +207,18 @@ impl Job {
     /// Claims and runs pieces until the counter is exhausted.
     fn run_loop(&self) {
         loop {
-            let i = self.next.fetch_add(1, Ordering::SeqCst);
-            if i >= self.n {
+            let claim = self.next.fetch_add(1, Ordering::SeqCst);
+            if claim >= self.n {
                 return;
+            }
+            // Chaos: claims map to pieces through a seeded permutation, and
+            // each claim may be delayed before its piece runs.
+            let i = match &self.perm {
+                Some(p) => p[claim] as usize,
+                None => claim,
+            };
+            if let Some(salt) = self.chaos_salt {
+                chaos_delay(chaos_mix(salt ^ claim as u64));
             }
             // SAFETY: `func`/`call` outlive the job (see module docs).
             if let Err(payload) =
@@ -228,6 +371,7 @@ fn worker_main() {
             }
         };
         let job = job_ref.job();
+        chaos_worker_stall();
         job.run_loop();
         job.retire(1);
     }
@@ -254,11 +398,14 @@ pub fn run_pieces<F: Fn(usize) + Sync>(n: usize, f: F) {
     unsafe fn call_piece<F: Fn(usize) + Sync>(data: *const (), i: usize) {
         (*(data as *const F))(i)
     }
+    let chaos_salt = chaos_job_salt();
     let job = Job {
         func: &f as *const F as *const (),
         call: call_piece::<F>,
         n,
         next: AtomicUsize::new(0),
+        chaos_salt,
+        perm: chaos_salt.map(|s| chaos_perm(n, s)),
         outstanding: AtomicUsize::new(copies),
         panic: Mutex::new(None),
         lock: Mutex::new(()),
@@ -377,6 +524,45 @@ mod tests {
             }
             assert_eq!(cursor, len);
         }
+    }
+
+    #[test]
+    fn chaos_perm_is_a_permutation() {
+        for n in [1usize, 2, 7, 64, 1000] {
+            for salt in [0u64, 1, 0xDEAD_BEEF] {
+                let mut p = chaos_perm(n, salt);
+                p.sort_unstable();
+                let want: Vec<u32> = (0..n as u32).collect();
+                assert_eq!(p, want, "n={n} salt={salt}");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_mode_runs_pieces_exactly_once_with_identical_results() {
+        let xs: Vec<u64> = (0..300_000).map(|i| i * 7 + 1).collect();
+        let clean: u64 = {
+            use crate::prelude::*;
+            xs.par_iter().copied().sum()
+        };
+        for seed in [0u64, 1, 42, u64::MAX] {
+            set_chaos_seed(Some(seed));
+            let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+            run_pieces(97, |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "seed {seed}: some piece ran zero or multiple times"
+            );
+            let chaotic: u64 = {
+                use crate::prelude::*;
+                xs.par_iter().copied().sum()
+            };
+            assert_eq!(chaotic, clean, "seed {seed} changed a reduction result");
+        }
+        set_chaos_seed(None);
+        assert_eq!(chaos_seed(), None);
     }
 
     #[test]

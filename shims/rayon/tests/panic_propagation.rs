@@ -1,0 +1,163 @@
+//! Worker-panic propagation: a panic inside `rayon::join` or a parallel
+//! iterator must surface as a panic on the *calling* thread — never hang
+//! the pool, kill a worker permanently, or get swallowed.
+//!
+//! Every case runs under a watchdog so a regression shows up as a test
+//! failure ("timed out: pool deadlocked"), not a CI job that hangs.
+
+use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Runs `f` on a fresh thread and fails the test if it does not finish
+/// within 30 s (a deadlocked pool never finishes).
+fn with_watchdog<R: Send + 'static>(f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(Duration::from_secs(30))
+        .expect("timed out: pool deadlocked instead of propagating the panic")
+}
+
+/// The panic payload must round-trip: the message thrown inside the pool
+/// is the message the caller catches.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string payload>".into())
+}
+
+#[test]
+fn join_panic_left_propagates() {
+    let msg = with_watchdog(|| {
+        let r = catch_unwind(|| rayon::join(|| panic!("left side boom"), || 42));
+        payload_message(r.unwrap_err())
+    });
+    assert_eq!(msg, "left side boom");
+}
+
+#[test]
+fn join_panic_right_propagates() {
+    let msg = with_watchdog(|| {
+        let r = catch_unwind(|| rayon::join(|| 42, || panic!("right side boom")));
+        payload_message(r.unwrap_err())
+    });
+    assert_eq!(msg, "right side boom");
+}
+
+#[test]
+fn join_panic_both_sides_propagates_one() {
+    let msg = with_watchdog(|| {
+        let r =
+            catch_unwind(|| rayon::join(|| panic!("first payload"), || panic!("second payload")));
+        payload_message(r.unwrap_err())
+    });
+    assert!(
+        msg == "first payload" || msg == "second payload",
+        "unexpected payload {msg:?}"
+    );
+}
+
+#[test]
+fn par_iter_for_each_panic_propagates() {
+    let r = with_watchdog(|| {
+        catch_unwind(|| {
+            (0..100_000u64)
+                .into_par_iter()
+                .for_each(|i| assert!(i != 77_777, "hit the poison element"));
+        })
+        .is_err()
+    });
+    assert!(r, "panic inside for_each was swallowed");
+}
+
+#[test]
+fn par_iter_map_collect_panic_propagates() {
+    let r = with_watchdog(|| {
+        catch_unwind(|| {
+            let _v: Vec<u64> = (0..50_000u64)
+                .into_par_iter()
+                .map(|i| if i == 49_999 { panic!("map boom") } else { i })
+                .collect();
+        })
+        .is_err()
+    });
+    assert!(r, "panic inside map/collect was swallowed");
+}
+
+#[test]
+fn nested_join_panic_propagates_to_outer_caller() {
+    let r = with_watchdog(|| {
+        catch_unwind(|| {
+            rayon::join(
+                || rayon::join(|| panic!("inner boom"), || 1),
+                || (0..10_000u64).into_par_iter().map(|i| i * 2).sum::<u64>(),
+            )
+        })
+        .is_err()
+    });
+    assert!(r, "nested panic was swallowed");
+}
+
+#[test]
+fn pool_survives_panics_and_keeps_computing_correctly() {
+    // After a burst of panicking jobs, the pool must still produce correct
+    // results: workers survive (panics are caught per piece) and no job
+    // state leaks into subsequent submissions.
+    let correct = AtomicUsize::new(0);
+    with_watchdog(move || {
+        for round in 0..20 {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                (0..10_000u64)
+                    .into_par_iter()
+                    .for_each(|i| assert!(i != 5_000 || round % 2 != 0, "poison"));
+            }));
+            let sum: u64 = (0..10_000u64).into_par_iter().sum();
+            assert_eq!(sum, 10_000 * 9_999 / 2, "pool corrupted after panic");
+            correct.fetch_add(1, Ordering::SeqCst);
+        }
+        assert_eq!(correct.load(Ordering::SeqCst), 20);
+    });
+}
+
+#[test]
+fn panic_propagates_under_chaos_mode_too() {
+    let r = with_watchdog(|| {
+        rayon::set_chaos_seed(Some(0xBAD_5EED));
+        let got = catch_unwind(|| {
+            (0..100_000u64)
+                .into_par_iter()
+                .for_each(|i| assert!(i != 31_337, "chaos poison"));
+        })
+        .is_err();
+        rayon::set_chaos_seed(None);
+        got
+    });
+    assert!(r, "panic under chaos mode was swallowed");
+}
+
+#[test]
+fn panic_at_every_thread_count_propagates() {
+    for threads in [1, 2, 4, 8] {
+        let r = with_watchdog(move || {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                catch_unwind(|| {
+                    (0..50_000u64)
+                        .into_par_iter()
+                        .for_each(|i| assert!(i != 25_000, "poison"));
+                })
+                .is_err()
+            })
+        });
+        assert!(r, "panic swallowed at {threads} threads");
+    }
+}

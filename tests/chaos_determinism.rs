@@ -1,0 +1,186 @@
+//! Schedule-chaos determinism: under `JULIENNE_CHAOS_SEED` the worker pool
+//! permutes piece claim order, injects yields/sleeps, and stalls workers —
+//! and every algorithm must still produce **bit-identical** output, because
+//! the determinism contract derives piece boundaries from input length and
+//! combines partial results in piece order, never in completion order.
+//!
+//! Each failure message prints the chaos seed and thread count; reproduce
+//! any failure with
+//! `JULIENNE_CHAOS_SEED=<seed> JULIENNE_NUM_THREADS=<t> cargo test <name>`.
+
+mod common;
+
+use common::{at, small_graphs};
+use julienne_repro::algorithms::bellman_ford::bellman_ford;
+use julienne_repro::algorithms::betweenness::betweenness;
+use julienne_repro::algorithms::bfs::bfs;
+use julienne_repro::algorithms::clustering::{closeness, harmonic, local_clustering, transitivity};
+use julienne_repro::algorithms::components::connected_components;
+use julienne_repro::algorithms::degeneracy::degeneracy_order;
+use julienne_repro::algorithms::delta_stepping::{delta_stepping, wbfs};
+use julienne_repro::algorithms::dial::dial;
+use julienne_repro::algorithms::dijkstra::dijkstra;
+use julienne_repro::algorithms::gap_delta::gap_delta_stepping;
+use julienne_repro::algorithms::kcore::{coreness_julienne, coreness_ligra};
+use julienne_repro::algorithms::ktruss::ktruss_julienne;
+use julienne_repro::algorithms::mis::maximal_independent_set;
+use julienne_repro::algorithms::pagerank::pagerank;
+use julienne_repro::algorithms::setcover::set_cover_julienne;
+use julienne_repro::algorithms::stats::graph_stats;
+use julienne_repro::algorithms::triangles::triangle_count;
+use julienne_repro::graph::generators::set_cover_instance;
+use julienne_repro::graph::transform::{assign_weights, wbfs_weight_range};
+use julienne_repro::graph::WGraph;
+use std::fmt::Debug;
+use std::sync::Mutex;
+
+/// Chaos mode is process-global; tests in this binary run on parallel
+/// harness threads, so every chaos window takes this lock.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// ≥ 8 seeds, spanning small values, bit patterns, and the extremes.
+const SEEDS: [u64; 8] = [
+    0,
+    1,
+    42,
+    0x5EED,
+    0x9E37_79B9_7F4A_7C15,
+    0xDEAD_BEEF,
+    0x0123_4567_89AB_CDEF,
+    u64::MAX,
+];
+
+const THREADS: [usize; 3] = [2, 4, 8];
+
+/// Asserts `f` produces the same output under every chaos seed × thread
+/// count as it does with chaos off.
+fn chaos_check<T: PartialEq + Debug + Send>(what: &str, f: impl Fn() -> T + Send + Sync) {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    rayon::set_chaos_seed(None);
+    let reference = at(4, &f);
+    for &seed in &SEEDS {
+        for threads in THREADS {
+            rayon::set_chaos_seed(Some(seed));
+            let got = at(threads, &f);
+            rayon::set_chaos_seed(None);
+            assert!(
+                got == reference,
+                "{what}: output diverged under schedule chaos.\n  \
+                 reproduce: JULIENNE_CHAOS_SEED={seed} JULIENNE_NUM_THREADS={threads} \
+                 cargo test --test chaos_determinism"
+            );
+        }
+    }
+}
+
+fn small_weighted(heavy: bool) -> Vec<(&'static str, WGraph)> {
+    let (lo, hi) = if heavy {
+        (1, 100_000)
+    } else {
+        wbfs_weight_range(512)
+    };
+    small_graphs()
+        .into_iter()
+        .map(|(name, g)| (name, assign_weights(&g, lo, hi, 21)))
+        .collect()
+}
+
+#[test]
+fn frontier_algorithms_deterministic_under_chaos() {
+    for (name, g) in small_graphs() {
+        chaos_check(&format!("bfs/{name}"), || bfs(&g, 0).level);
+        chaos_check(&format!("components/{name}"), || {
+            connected_components(&g).label
+        });
+        chaos_check(&format!("pagerank/{name}"), || {
+            pagerank(&g, 0.85, 1e-9, 30)
+                .rank
+                .iter()
+                .map(|r| r.to_bits())
+                .collect::<Vec<u64>>()
+        });
+        chaos_check(&format!("mis/{name}"), || {
+            maximal_independent_set(&g, 3).members
+        });
+    }
+}
+
+#[test]
+fn peeling_algorithms_deterministic_under_chaos() {
+    for (name, g) in small_graphs() {
+        chaos_check(&format!("kcore_julienne/{name}"), || {
+            let r = coreness_julienne(&g);
+            (r.coreness, r.rounds)
+        });
+        chaos_check(&format!("kcore_ligra/{name}"), || {
+            coreness_ligra(&g).coreness
+        });
+        chaos_check(&format!("degeneracy/{name}"), || degeneracy_order(&g).order);
+        chaos_check(&format!("ktruss/{name}"), || {
+            let r = ktruss_julienne(&g);
+            (r.trussness, r.max_truss)
+        });
+    }
+}
+
+#[test]
+fn sssp_family_deterministic_under_chaos() {
+    for (name, g) in small_weighted(true) {
+        chaos_check(&format!("delta_stepping/{name}"), || {
+            let r = delta_stepping(&g, 0, 32_768);
+            (r.dist, r.rounds)
+        });
+        chaos_check(&format!("bellman_ford/{name}"), || bellman_ford(&g, 0).dist);
+        chaos_check(&format!("gap_delta/{name}"), || {
+            gap_delta_stepping(&g, 0, 4_096).dist
+        });
+        chaos_check(&format!("dijkstra/{name}"), || dijkstra(&g, 0));
+        chaos_check(&format!("dial/{name}"), || dial(&g, 0));
+    }
+    for (name, g) in small_weighted(false) {
+        chaos_check(&format!("wbfs/{name}"), || wbfs(&g, 0).dist);
+    }
+}
+
+#[test]
+fn triangles_and_centrality_deterministic_under_chaos() {
+    let sources: Vec<u32> = (0..8).collect();
+    for (name, g) in small_graphs() {
+        chaos_check(&format!("triangles/{name}"), || triangle_count(&g));
+        chaos_check(&format!("clustering/{name}"), || {
+            let lc: Vec<u64> = local_clustering(&g).iter().map(|c| c.to_bits()).collect();
+            (lc, transitivity(&g).to_bits())
+        });
+        chaos_check(&format!("betweenness/{name}"), || {
+            betweenness(&g, &sources)
+                .iter()
+                .map(|b| b.to_bits())
+                .collect::<Vec<u64>>()
+        });
+        chaos_check(&format!("closeness/{name}"), || {
+            closeness(&g, &sources)
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<u64>>()
+        });
+        chaos_check(&format!("harmonic/{name}"), || {
+            harmonic(&g, &sources)
+                .iter()
+                .map(|h| h.to_bits())
+                .collect::<Vec<u64>>()
+        });
+        chaos_check(&format!("stats/{name}"), || {
+            let s = graph_stats(&g);
+            (s.rho, s.k_max, s.max_degree, s.eccentricity_from_zero)
+        });
+    }
+}
+
+#[test]
+fn setcover_deterministic_under_chaos() {
+    let inst = set_cover_instance(128, 6_000, 4, 5);
+    chaos_check("setcover", || {
+        let r = set_cover_julienne(&inst, 0.01);
+        (r.cover, r.rounds)
+    });
+}

@@ -1,0 +1,2 @@
+# Edgeless graph: load with an explicit vertex count (n = 5).
+# Every algorithm must handle a graph with vertices but no edges.

@@ -1,0 +1,1 @@
+# One vertex, no edges: load with an explicit vertex count (n = 1).

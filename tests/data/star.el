@@ -1,0 +1,10 @@
+# Star K_{1,8}: hub 0 with eight leaves. Peeling removes all leaves in one
+# round; coreness is 1 everywhere, trussness 2, no triangles.
+0 1
+0 2
+0 3
+0 4
+0 5
+0 6
+0 7
+0 8

@@ -1,0 +1,8 @@
+# Two components plus an isolate (load with n = 7): a triangle {0,1,2},
+# a path 3-4-5, and the isolated vertex 6. Exercises unreached vertices in
+# every traversal and per-component labels.
+0 1
+1 2
+2 0
+3 4
+4 5

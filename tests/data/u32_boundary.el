@@ -1,0 +1,10 @@
+# Weighted boundary case: edge weights at and near u32::MAX = 4294967295,
+# so any path of two or more edges overflows u32 — distances must be
+# accumulated in u64. The chain 0-1-2-3 reaches 3 * (u32::MAX) ~ 2^33.5;
+# the shortcut 0-4-3 is cheaper. Vertex 5 sits at the n-1 id boundary.
+0 1 4294967295
+1 2 4294967295
+2 3 4294967295
+0 4 4294967294
+4 3 4294967295
+3 5 1

@@ -28,20 +28,13 @@ use julienne_repro::algorithms::setcover::set_cover_julienne;
 use julienne_repro::algorithms::stats::{estimate_diameter, graph_stats};
 use julienne_repro::algorithms::triangles::triangle_count;
 use julienne_repro::graph::compress::{CompressedGraph, CompressedWGraph};
-use julienne_repro::graph::generators::{chung_lu, rmat, set_cover_instance, RmatParams};
-use julienne_repro::graph::transform::{assign_weights, wbfs_weight_range};
-use julienne_repro::graph::{Graph, WGraph};
+use julienne_repro::graph::generators::set_cover_instance;
+
+mod common;
+
+use common::{at, graphs, small_graphs, weighted};
 
 const THREADS: [usize; 2] = [1, 4];
-
-/// Runs `f` with the worker-thread count capped at `threads`.
-fn at<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("failed to build thread pool")
-        .install(f)
-}
 
 /// Asserts `csr()` and `compressed()` agree at 1 and 4 threads.
 fn eq_backends<T: PartialEq + std::fmt::Debug + Send>(
@@ -54,34 +47,6 @@ fn eq_backends<T: PartialEq + std::fmt::Debug + Send>(
         let b = at(t, &compressed);
         assert_eq!(a, b, "{what}: backends diverged at {t} threads");
     }
-}
-
-/// RMAT (skewed) and Chung-Lu (power-law) symmetric test graphs.
-fn graphs() -> Vec<(&'static str, Graph)> {
-    vec![
-        ("rmat", rmat(11, 8, RmatParams::default(), 7, true)),
-        ("powerlaw", chung_lu(2_000, 16_000, 2.2, 8, true)),
-    ]
-}
-
-/// Smaller instances of the same families for the super-linear algorithms.
-fn small_graphs() -> Vec<(&'static str, Graph)> {
-    vec![
-        ("rmat", rmat(9, 8, RmatParams::default(), 7, true)),
-        ("powerlaw", chung_lu(500, 4_000, 2.2, 8, true)),
-    ]
-}
-
-fn weighted(heavy: bool) -> Vec<(&'static str, WGraph)> {
-    let (lo, hi) = if heavy {
-        (1, 100_000)
-    } else {
-        wbfs_weight_range(2_048)
-    };
-    graphs()
-        .into_iter()
-        .map(|(name, g)| (name, assign_weights(&g, lo, hi, 21)))
-        .collect()
 }
 
 #[test]

@@ -8,27 +8,11 @@ use julienne_repro::algorithms::delta_stepping::{
 use julienne_repro::algorithms::dijkstra::{bellman_ford_seq, dijkstra};
 use julienne_repro::algorithms::gap_delta::gap_delta_stepping;
 use julienne_repro::graph::generators::{erdos_renyi, grid2d, rmat, RmatParams};
-use julienne_repro::graph::transform::{assign_weights, wbfs_weight_range};
-use julienne_repro::graph::WGraph;
+use julienne_repro::graph::transform::assign_weights;
 
-fn weighted_families(heavy: bool) -> Vec<(&'static str, WGraph)> {
-    let (lo, hi) = if heavy {
-        (1, 100_000)
-    } else {
-        wbfs_weight_range(2048)
-    };
-    vec![
-        (
-            "er-sym",
-            assign_weights(&erdos_renyi(2_000, 16_000, 1, true), lo, hi, 11),
-        ),
-        (
-            "rmat-dir",
-            assign_weights(&rmat(11, 8, RmatParams::default(), 2, false), lo, hi, 12),
-        ),
-        ("grid", assign_weights(&grid2d(45, 45), lo, hi, 13)),
-    ]
-}
+mod common;
+
+use common::weighted_families;
 
 #[test]
 fn every_parallel_sssp_matches_dijkstra() {

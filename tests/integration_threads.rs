@@ -7,43 +7,15 @@
 //! so parallelism affects speed only — never results. These tests pin that
 //! property at the whole-algorithm level on the paper's graph families.
 
+mod common;
+
+use common::{at, graphs, weighted};
 use julienne_repro::algorithms::delta_stepping::{delta_stepping, wbfs};
 use julienne_repro::algorithms::kcore::coreness_julienne;
 use julienne_repro::algorithms::setcover::{set_cover_julienne, verify_cover};
-use julienne_repro::graph::generators::{chung_lu, rmat, set_cover_instance, RmatParams};
-use julienne_repro::graph::transform::{assign_weights, wbfs_weight_range};
-use julienne_repro::graph::{Graph, WGraph};
+use julienne_repro::graph::generators::set_cover_instance;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
-
-/// Runs `f` with the worker-thread count capped at `threads`.
-fn at<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("failed to build thread pool")
-        .install(f)
-}
-
-/// RMAT (skewed) and Chung-Lu (power-law) symmetric test graphs.
-fn graphs() -> Vec<(&'static str, Graph)> {
-    vec![
-        ("rmat", rmat(11, 8, RmatParams::default(), 7, true)),
-        ("powerlaw", chung_lu(2_000, 16_000, 2.2, 8, true)),
-    ]
-}
-
-fn weighted(heavy: bool) -> Vec<(&'static str, WGraph)> {
-    let (lo, hi) = if heavy {
-        (1, 100_000)
-    } else {
-        wbfs_weight_range(2_048)
-    };
-    graphs()
-        .into_iter()
-        .map(|(name, g)| (name, assign_weights(&g, lo, hi, 21)))
-        .collect()
-}
 
 #[test]
 fn kcore_identical_across_thread_counts() {

@@ -2,31 +2,15 @@
 //! frontiers, sparse push and dense pull traversals must produce identical
 //! results, and the aggregation primitives must match brute-force oracles.
 
-use julienne_repro::graph::builder::EdgeList;
-use julienne_repro::graph::{Csr, Graph};
+mod common;
+
+use common::{arb_frontier, arb_graph};
+use julienne_repro::graph::Csr;
 use julienne_repro::ligra::edge_map::{EdgeMap, Mode};
 use julienne_repro::ligra::edge_map_reduce::{edge_map_sum, edge_map_sum_with_scratch, SumScratch};
 use julienne_repro::ligra::subset::VertexSubset;
 use proptest::prelude::*;
 use std::collections::HashMap;
-
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (
-        2usize..150,
-        prop::collection::vec((any::<u32>(), any::<u32>()), 0..900),
-    )
-        .prop_map(|(n, raw)| {
-            let mut el: EdgeList<()> = EdgeList::new(n);
-            for (a, b) in raw {
-                el.push(a % n as u32, b % n as u32, ());
-            }
-            el.build_symmetric()
-        })
-}
-
-fn arb_frontier(n: usize) -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::btree_set(0u32..n as u32, 0..n.min(60)).prop_map(|s| s.into_iter().collect())
-}
 
 /// Brute-force: the set of vertices with cond true reachable by one hop
 /// from the frontier (update ≡ first-touch).

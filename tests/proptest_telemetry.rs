@@ -3,26 +3,13 @@
 //! and per-round records an enabled engine accumulates must be internally
 //! consistent with the algorithm's own result counters.
 
+mod common;
+
+use common::arb_weighted_graph;
 use julienne_repro::algorithms::delta_stepping::delta_stepping_with;
 use julienne_repro::algorithms::kcore::coreness_julienne_with;
-use julienne_repro::graph::builder::EdgeList;
-use julienne_repro::graph::Csr;
 use julienne_repro::prelude::{Counter, Engine};
 use proptest::prelude::*;
-
-fn arb_weighted_graph() -> impl Strategy<Value = Csr<u32>> {
-    (
-        2usize..100,
-        prop::collection::vec((any::<u32>(), any::<u32>(), 1u32..1000), 0..600),
-    )
-        .prop_map(|(n, raw)| {
-            let mut el: EdgeList<u32> = EdgeList::new(n);
-            for (a, b, w) in raw {
-                el.push_undirected(a % n as u32, b % n as u32, w);
-            }
-            el.build_symmetric()
-        })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
