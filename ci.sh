@@ -17,6 +17,61 @@ run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+# --- serve smoke test -------------------------------------------------------
+# End-to-end over a real socket: start `julienne serve`, fire concurrent
+# mixed queries at it (k-core, Δ-stepping, wBFS, set cover), exercise the
+# deterministic cancel (pre-cancel) and deadline (timeout_ms=0) paths, then
+# drain it cleanly with a wire shutdown.
+echo "==> serve smoke test"
+JULIENNE=target/release/julienne
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+"$JULIENNE" gen kind=rmat scale=10 weights=log out="$SMOKE/g.bin" >/dev/null
+"$JULIENNE" serve in="$SMOKE/g.bin" addr=127.0.0.1:0 >"$SMOKE/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$SMOKE/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve smoke: no listening line"; cat "$SMOKE/serve.log"; exit 1; }
+# Concurrent mixed queries against the one loaded graph.
+"$JULIENNE" query addr="$ADDR" algo=kcore top=3 >"$SMOKE/q1.out" &
+Q1=$!
+"$JULIENNE" query addr="$ADDR" algo=sssp src=1 delta=4096 >"$SMOKE/q2.out" &
+Q2=$!
+"$JULIENNE" query addr="$ADDR" algo=sssp param.algo=wbfs src=2 stats=true >"$SMOKE/q3.out" &
+Q3=$!
+"$JULIENNE" query addr="$ADDR" algo=setcover sets=64 elements=2048 >"$SMOKE/q4.out" &
+Q4=$!
+wait "$Q1" "$Q2" "$Q3" "$Q4"
+grep -q "k_max=" "$SMOKE/q1.out"
+grep -q "reached=" "$SMOKE/q2.out"
+grep -q "reached=" "$SMOKE/q3.out"
+grep -q "cover" "$SMOKE/q4.out"
+# Deterministic cancel: pre-cancel the id, then the query reusing it dies.
+"$JULIENNE" query addr="$ADDR" cancel=doomed >"$SMOKE/cancel.ack"
+grep -q doomed "$SMOKE/cancel.ack"
+if "$JULIENNE" query addr="$ADDR" algo=kcore id=doomed 2>"$SMOKE/cancel.err"; then
+    echo "serve smoke: pre-cancelled query unexpectedly succeeded"; exit 1
+fi
+grep -q cancelled "$SMOKE/cancel.err"
+# Deterministic deadline: timeout_ms=0 is already expired.
+if "$JULIENNE" query addr="$ADDR" algo=kcore timeout_ms=0 2>"$SMOKE/deadline.err"; then
+    echo "serve smoke: expired-deadline query unexpectedly succeeded"; exit 1
+fi
+grep -q deadline "$SMOKE/deadline.err"
+# The session survived all of the above and still answers.
+"$JULIENNE" query addr="$ADDR" algo=kcore >"$SMOKE/after.out"
+grep -q "k_max=" "$SMOKE/after.out"
+# Clean drain: the wire shutdown makes the server process exit 0.
+"$JULIENNE" query addr="$ADDR" shutdown=true >"$SMOKE/bye.out"
+grep -q shutdown "$SMOKE/bye.out"
+wait "$SERVE_PID"
+grep -q "server stopped" "$SMOKE/serve.log"
+echo "serve smoke test: ok"
+
 # --- telemetry compiled out ------------------------------------------------
 run cargo build --release --workspace --no-default-features
 run cargo test -q --workspace --no-default-features

@@ -5,8 +5,9 @@
 //! peeling process have many downstream uses; these are the two classic
 //! ones, built directly on the work-efficient bucketed peel.
 
-use crate::kcore::coreness_julienne;
+use crate::kcore::{coreness, KcoreParams};
 use julienne::bucket::{BucketsBuilder, Order};
+use julienne::query::QueryCtx;
 use julienne_graph::VertexId;
 use julienne_ligra::edge_map_reduce::{edge_map_sum_with_scratch, SumScratch};
 use julienne_ligra::traits::{GraphRef, OutEdges};
@@ -242,7 +243,12 @@ pub fn induced_density<G: OutEdges>(g: &G, vs: &[VertexId]) -> f64 {
 /// The coreness lower bound: a graph with degeneracy k has a subgraph of
 /// density ≥ k/2, so the densest subgraph has density ≥ k_max/2.
 pub fn degeneracy_density_bound<G: OutEdges>(g: &G) -> f64 {
-    let k_max = coreness_julienne(g).coreness.into_iter().max().unwrap_or(0);
+    let k_max = coreness(g, &KcoreParams::default(), &QueryCtx::default())
+        .expect("uncancellable query")
+        .coreness
+        .into_iter()
+        .max()
+        .unwrap_or(0);
     k_max as f64 / 2.0
 }
 
@@ -287,7 +293,12 @@ mod tests {
     fn degeneracy_equals_kmax() {
         let g = rmat(10, 8, RmatParams::default(), 5, true);
         let ord = degeneracy_order(&g);
-        let k_max = coreness_julienne(&g).coreness.into_iter().max().unwrap();
+        let k_max = coreness(&g, &KcoreParams::default(), &QueryCtx::default())
+            .unwrap()
+            .coreness
+            .into_iter()
+            .max()
+            .unwrap();
         assert_eq!(ord.degeneracy, k_max);
         check_order_property(&g, &ord);
     }

@@ -6,18 +6,25 @@
 //! relaxer per target per round captures the round-start distance, which
 //! `Reset` uses to compute the bucket move via `getBucket`.
 //!
-//! * [`delta_stepping`] — the plain Algorithm 2.
+//! * [`sssp`] — the plain Algorithm 2, parameterized by [`SsspParams`] and
+//!   a [`QueryCtx`] (deadline + cancellation polled at round boundaries).
 //! * [`wbfs`] — Δ = 1 with integral weights: O(r_src + m) expected work and
 //!   O(r_src log n) depth w.h.p. (Theorem 4.2).
 //! * [`delta_stepping_light_heavy`] — the Meyer–Sanders light/heavy edge
 //!   split the paper implemented but found unhelpful on its inputs (kept
 //!   for the A2 ablation).
+//!
+//! The historical `delta_stepping` / `delta_stepping_opts` /
+//! `delta_stepping_with` triplet survives as deprecated one-line wrappers
+//! over [`sssp`].
 
 use crate::bellman_ford::SsspResult;
 use crate::INF;
 use julienne::bucket::{BucketId, Order, NULL_BKT};
 use julienne::engine::Engine;
+use julienne::query::QueryCtx;
 use julienne::telemetry::{Counter, RoundRecord, TraversalKind};
+use julienne::Error;
 use julienne_graph::builder::EdgeList;
 use julienne_graph::csr::Csr;
 use julienne_graph::VertexId;
@@ -67,38 +74,44 @@ fn annulus(dist: u64, delta: u64) -> BucketId {
     (dist / delta).min(MAX_ANNULUS) as BucketId
 }
 
-/// Δ-stepping from `src` with bucket width `delta` (Algorithm 2).
+/// Parameters for [`sssp`]: Δ-stepping from `src` with bucket width
+/// `delta`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SsspParams {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Bucket (annulus) width Δ; `1` makes this wBFS. Must be ≥ 1.
+    pub delta: u64,
+}
+
+impl Default for SsspParams {
+    fn default() -> Self {
+        SsspParams {
+            src: 0,
+            delta: 32_768,
+        }
+    }
+}
+
+/// Δ-stepping SSSP (Algorithm 2): the single entry point behind the
+/// `sssp` registry id.
 ///
 /// Generic over the out-edge backend, so it runs unmodified on plain CSR
-/// and on Ligra+-style byte-compressed weighted graphs.
-pub fn delta_stepping<G: OutEdges<W = u32>>(g: &G, src: VertexId, delta: u64) -> DeltaResult {
-    delta_stepping_with(g, src, delta, &Engine::default())
-}
-
-/// [`delta_stepping`] with an explicit number of open buckets.
-pub fn delta_stepping_opts<G: OutEdges<W = u32>>(
+/// and on Ligra+-style byte-compressed weighted graphs. Bucket window and
+/// telemetry scope come from `ctx`'s engine; each annulus round emits a
+/// [`RoundRecord`]. The context is polled once per round: a cancelled or
+/// deadline-expired query returns `Err` with no partial output, dropping
+/// its buckets on the way out.
+pub fn sssp<G: OutEdges<W = u32>>(
     g: &G,
-    src: VertexId,
-    delta: u64,
-    num_open: usize,
-) -> DeltaResult {
-    delta_stepping_with(
-        g,
-        src,
-        delta,
-        &Engine::builder().open_buckets(num_open).build(),
-    )
-}
-
-/// [`delta_stepping`] against an [`Engine`]: bucket window and telemetry
-/// sink come from the engine; each annulus round emits a [`RoundRecord`].
-pub fn delta_stepping_with<G: OutEdges<W = u32>>(
-    g: &G,
-    src: VertexId,
-    delta: u64,
-    engine: &Engine,
-) -> DeltaResult {
-    assert!(delta >= 1);
+    params: &SsspParams,
+    ctx: &QueryCtx,
+) -> Result<DeltaResult, Error> {
+    let SsspParams { src, delta } = *params;
+    if delta == 0 {
+        return Err(Error::usage("delta must be >= 1"));
+    }
+    let engine = ctx.engine();
     let n = g.num_vertices();
     let sp: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     sp[src as usize].store(0, Ordering::SeqCst);
@@ -120,6 +133,9 @@ pub fn delta_stepping_with<G: OutEdges<W = u32>>(
     let mut rounds = 0u64;
     let mut relaxations = 0u64;
     loop {
+        // Round boundary: a cancelled/expired query unwinds here, dropping
+        // the bucket structure and distance arrays with it.
+        ctx.check()?;
         let span = telemetry.span();
         let Some((bkt, ids)) = buckets.next_bucket() else {
             break;
@@ -177,17 +193,66 @@ pub fn delta_stepping_with<G: OutEdges<W = u32>>(
 
     let identifiers_moved = buckets.stats().identifiers_moved;
     drop(buckets); // releases the D closure's borrow of `sp`
-    DeltaResult {
+    Ok(DeltaResult {
         dist: sp.into_iter().map(AtomicU64::into_inner).collect(),
         rounds,
         relaxations,
         identifiers_moved,
-    }
+    })
+}
+
+/// Δ-stepping from `src` with bucket width `delta` (Algorithm 2).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `sssp` with `SsspParams` and a `QueryCtx`"
+)]
+pub fn delta_stepping<G: OutEdges<W = u32>>(g: &G, src: VertexId, delta: u64) -> DeltaResult {
+    sssp(g, &SsspParams { src, delta }, &QueryCtx::default()).expect("uncancellable query")
+}
+
+/// [`sssp`] with an explicit number of open buckets.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `sssp` with `SsspParams` and a `QueryCtx`"
+)]
+pub fn delta_stepping_opts<G: OutEdges<W = u32>>(
+    g: &G,
+    src: VertexId,
+    delta: u64,
+    num_open: usize,
+) -> DeltaResult {
+    let engine = Engine::builder().open_buckets(num_open).build();
+    sssp(
+        g,
+        &SsspParams { src, delta },
+        &QueryCtx::from_engine(&engine),
+    )
+    .expect("uncancellable query")
+}
+
+/// [`sssp`] against an [`Engine`]: bucket window and telemetry sink come
+/// from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `sssp` with `SsspParams` and a `QueryCtx`"
+)]
+pub fn delta_stepping_with<G: OutEdges<W = u32>>(
+    g: &G,
+    src: VertexId,
+    delta: u64,
+    engine: &Engine,
+) -> DeltaResult {
+    sssp(
+        g,
+        &SsspParams { src, delta },
+        &QueryCtx::from_engine(engine),
+    )
+    .expect("uncancellable query")
 }
 
 /// Weighted BFS: Δ-stepping with Δ = 1 (Theorem 4.2).
 pub fn wbfs<G: OutEdges<W = u32>>(g: &G, src: VertexId) -> DeltaResult {
-    delta_stepping(g, src, 1)
+    sssp(g, &SsspParams { src, delta: 1 }, &QueryCtx::default()).expect("uncancellable query")
 }
 
 /// Δ-stepping with the Meyer–Sanders light/heavy edge split: light edges
@@ -311,6 +376,12 @@ mod tests {
         assign_weights(&erdos_renyi(400, 3200, seed, true), lo, hi, seed + 100)
     }
 
+    /// Shorthand for the common case: default context, panic on lifecycle
+    /// errors (none are possible without a token/deadline).
+    fn run<G: OutEdges<W = u32>>(g: &G, src: VertexId, delta: u64) -> DeltaResult {
+        sssp(g, &SsspParams { src, delta }, &QueryCtx::default()).unwrap()
+    }
+
     #[test]
     fn wbfs_matches_dijkstra_small_weights() {
         for seed in 0..3 {
@@ -326,7 +397,7 @@ mod tests {
         for seed in 0..3 {
             let g = weighted_er(seed, 1, 100_000);
             for delta in [1u64, 1000, 32768, 1 << 40] {
-                let r = delta_stepping(&g, 0, delta);
+                let r = run(&g, 0, delta);
                 assert_eq!(r.dist, dijkstra(&g, 0), "seed {seed} delta {delta}");
             }
         }
@@ -336,7 +407,7 @@ mod tests {
     fn huge_delta_equals_bellman_ford_semantics() {
         // Δ = ∞ → one bucket → Bellman–Ford behaviour, still correct.
         let g = weighted_er(9, 1, 1000);
-        let r = delta_stepping(&g, 5, u64::MAX / 4);
+        let r = run(&g, 5, u64::MAX / 4);
         assert_eq!(r.dist, dijkstra(&g, 5));
     }
 
@@ -344,7 +415,7 @@ mod tests {
     fn light_heavy_matches_plain() {
         for seed in 0..2 {
             let g = weighted_er(seed + 20, 1, 10_000);
-            let plain = delta_stepping(&g, 0, 512);
+            let plain = run(&g, 0, 512);
             let lh = delta_stepping_light_heavy(&g, 0, 512);
             assert_eq!(plain.dist, lh.dist, "seed {seed}");
         }
@@ -353,7 +424,7 @@ mod tests {
     #[test]
     fn grid_high_diameter_correct() {
         let g = assign_weights(&grid2d(30, 30), 1, 20, 4);
-        let r = delta_stepping(&g, 0, 8);
+        let r = run(&g, 0, 8);
         assert_eq!(r.dist, dijkstra(&g, 0));
         assert!(r.rounds > 10, "grid should need many annuli");
     }
@@ -361,7 +432,7 @@ mod tests {
     #[test]
     fn directed_rmat_correct() {
         let g = assign_weights(&rmat(10, 8, RmatParams::default(), 7, false), 1, 50, 8);
-        let r = delta_stepping(&g, 0, 64);
+        let r = run(&g, 0, 64);
         assert_eq!(r.dist, dijkstra(&g, 0));
     }
 
@@ -402,7 +473,7 @@ mod tests {
             "test graph must actually overflow the bucket-id space"
         );
         for delta in [1u64, 2] {
-            let r = delta_stepping(&g, 0, delta);
+            let r = run(&g, 0, delta);
             assert_eq!(r.dist, oracle, "delta {delta}");
             let lh = delta_stepping_light_heavy(&g, 0, delta);
             assert_eq!(lh.dist, oracle, "light/heavy delta {delta}");
@@ -424,7 +495,7 @@ mod tests {
         el.push(0, 1, 7);
         el.push(1, 2, 7);
         let g = el.build(false);
-        let r = delta_stepping(&g, 0, 4);
+        let r = run(&g, 0, 4);
         assert_eq!(r.dist, vec![0, 7, 14, INF, INF]);
     }
 
@@ -443,7 +514,16 @@ mod tests {
     #[test]
     fn small_open_buckets_still_correct() {
         let g = weighted_er(31, 1, 100_000);
-        let r = delta_stepping_opts(&g, 0, 1024, 2);
+        let engine = Engine::builder().open_buckets(2).build();
+        let r = sssp(
+            &g,
+            &SsspParams {
+                src: 0,
+                delta: 1024,
+            },
+            &QueryCtx::from_engine(&engine),
+        )
+        .unwrap();
         assert_eq!(r.dist, dijkstra(&g, 0));
     }
 }

@@ -222,10 +222,19 @@ mod tests {
 
     #[test]
     fn duplicates_mean_more_relaxations_than_julienne_on_low_delta() {
-        use crate::delta_stepping::delta_stepping;
+        use crate::delta_stepping::{sssp, SsspParams};
+        use julienne::query::QueryCtx;
         let g = assign_weights(&erdos_renyi(1000, 16_000, 5, true), 1, 100_000, 7);
         let gap = gap_delta_stepping(&g, 0, 100_000);
-        let jul = delta_stepping(&g, 0, 100_000);
+        let jul = sssp(
+            &g,
+            &SsspParams {
+                src: 0,
+                delta: 100_000,
+            },
+            &QueryCtx::default(),
+        )
+        .unwrap();
         assert_eq!(gap.dist, jul.dist);
         // Without the flag protocol, GAP-style bins hold duplicates; its
         // relaxation count is at least Julienne's.

@@ -1,8 +1,10 @@
 //! k-core / coreness (Section 4.1).
 //!
-//! * [`coreness_julienne`] — Algorithm 1: the first work-efficient parallel
+//! * [`coreness`] — Algorithm 1: the first work-efficient parallel
 //!   coreness algorithm with non-trivial parallelism. O(m + n) expected
 //!   work, O(ρ log n) depth w.h.p., where ρ is the peeling complexity.
+//!   Parameterized by [`KcoreParams`] and a [`QueryCtx`] (deadline +
+//!   cancellation polled at round boundaries).
 //! * [`coreness_ligra`] — the work-inefficient Ligra-style peeling that
 //!   scans **all remaining vertices** every core value:
 //!   O(k_max·n + m) work (the Table 3 / Figure 2 comparator).
@@ -10,11 +12,15 @@
 //!   algorithm (the "well-tuned sequential baseline").
 //!
 //! All three return identical coreness values; the tests check them against
-//! each other and against hand-computed graphs.
+//! each other and against hand-computed graphs. The historical
+//! `coreness_julienne` / `coreness_julienne_opts` / `coreness_julienne_with`
+//! triplet survives as deprecated one-line wrappers over [`coreness`].
 
 use julienne::bucket::Order;
 use julienne::engine::Engine;
+use julienne::query::QueryCtx;
 use julienne::telemetry::{Counter, RoundRecord, TraversalKind};
+use julienne::Error;
 use julienne_graph::VertexId;
 use julienne_ligra::edge_map_reduce::{edge_map_sum_with_scratch, SumScratch};
 use julienne_ligra::traits::OutEdges;
@@ -41,21 +47,26 @@ pub struct KcoreResult {
     pub identifiers_moved: u64,
 }
 
+/// Parameters for [`coreness`]. k-core has no tunables beyond the engine
+/// configuration, so this is an empty marker struct kept for signature
+/// symmetry with the other registry entry points.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KcoreParams {}
+
 /// Work-efficient coreness (Algorithm 1) over any out-edge backend — plain
-/// CSR or byte-compressed. The graph must be symmetric.
-pub fn coreness_julienne<G: OutEdges>(g: &G) -> KcoreResult {
-    coreness_julienne_with(g, &Engine::default())
-}
-
-/// [`coreness_julienne`] with an explicit number of open buckets (for the
-/// nB ablation).
-pub fn coreness_julienne_opts<G: OutEdges>(g: &G, num_open: usize) -> KcoreResult {
-    coreness_julienne_with(g, &Engine::builder().open_buckets(num_open).build())
-}
-
-/// [`coreness_julienne`] against an [`Engine`]: bucket window and telemetry
-/// sink come from the engine; each peeling round emits a [`RoundRecord`].
-pub fn coreness_julienne_with<G: OutEdges>(g: &G, engine: &Engine) -> KcoreResult {
+/// CSR or byte-compressed: the single entry point behind the `kcore`
+/// registry id. The graph must be symmetric.
+///
+/// Bucket window and telemetry scope come from `ctx`'s engine; each peeling
+/// round emits a [`RoundRecord`]. The context is polled once per round: a
+/// cancelled or deadline-expired query returns `Err` with no partial
+/// output, dropping its buckets on the way out.
+pub fn coreness<G: OutEdges>(
+    g: &G,
+    _params: &KcoreParams,
+    ctx: &QueryCtx,
+) -> Result<KcoreResult, Error> {
+    let engine = ctx.engine();
     let n = g.num_vertices();
     // D holds the induced degree of live vertices and, once extracted, the
     // final coreness. It doubles as the bucket map.
@@ -75,6 +86,9 @@ pub fn coreness_julienne_with<G: OutEdges>(g: &G, engine: &Engine) -> KcoreResul
     let mut edges_traversed = 0u64;
 
     while finished < n {
+        // Round boundary: a cancelled/expired query unwinds here, dropping
+        // the bucket structure and degree arrays with it.
+        ctx.check()?;
         let span = telemetry.span();
         let (k, ids) = buckets
             .next_bucket()
@@ -129,13 +143,45 @@ pub fn coreness_julienne_with<G: OutEdges>(g: &G, engine: &Engine) -> KcoreResul
     }
 
     let identifiers_moved = buckets.stats().identifiers_moved;
-    KcoreResult {
+    Ok(KcoreResult {
         coreness: degrees.into_iter().map(AtomicU32::into_inner).collect(),
         rounds,
         vertices_scanned,
         edges_traversed,
         identifiers_moved,
-    }
+    })
+}
+
+/// Work-efficient coreness (Algorithm 1) with default options.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `coreness` with `KcoreParams` and a `QueryCtx`"
+)]
+pub fn coreness_julienne<G: OutEdges>(g: &G) -> KcoreResult {
+    coreness(g, &KcoreParams::default(), &QueryCtx::default()).expect("uncancellable query")
+}
+
+/// [`coreness`] with an explicit number of open buckets (for the nB
+/// ablation).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `coreness` with `KcoreParams` and a `QueryCtx`"
+)]
+pub fn coreness_julienne_opts<G: OutEdges>(g: &G, num_open: usize) -> KcoreResult {
+    let engine = Engine::builder().open_buckets(num_open).build();
+    coreness(g, &KcoreParams::default(), &QueryCtx::from_engine(&engine))
+        .expect("uncancellable query")
+}
+
+/// [`coreness`] against an [`Engine`]: bucket window and telemetry sink
+/// come from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `coreness` with `KcoreParams` and a `QueryCtx`"
+)]
+pub fn coreness_julienne_with<G: OutEdges>(g: &G, engine: &Engine) -> KcoreResult {
+    coreness(g, &KcoreParams::default(), &QueryCtx::from_engine(engine))
+        .expect("uncancellable query")
 }
 
 /// Work-inefficient Ligra-style coreness: for each core value k, repeatedly
@@ -269,6 +315,12 @@ mod tests {
     use julienne_graph::csr::Csr;
     use julienne_graph::generators::{erdos_renyi, rmat, RmatParams};
 
+    /// Shorthand: default context, panic on lifecycle errors (impossible
+    /// without a token/deadline).
+    fn run<G: OutEdges>(g: &G) -> KcoreResult {
+        coreness(g, &KcoreParams::default(), &QueryCtx::default()).unwrap()
+    }
+
     /// A graph with known coreness: a 4-clique with a pendant path.
     /// clique {0,1,2,3} → coreness 3; path 3-4-5 → coreness 1.
     fn clique_with_tail() -> Csr<()> {
@@ -290,7 +342,7 @@ mod tests {
     #[test]
     fn known_coreness_julienne() {
         let g = clique_with_tail();
-        let r = coreness_julienne(&g);
+        let r = run(&g);
         assert_eq!(r.coreness, vec![3, 3, 3, 3, 1, 1]);
     }
 
@@ -312,7 +364,7 @@ mod tests {
     fn all_three_agree_on_random_graphs() {
         for seed in 0..3 {
             let g = erdos_renyi(400, 3200, seed, true);
-            let a = coreness_julienne(&g);
+            let a = run(&g);
             let b = coreness_ligra(&g);
             let c = coreness_bz_seq(&g);
             assert_eq!(a.coreness, c.coreness, "julienne vs BZ, seed {seed}");
@@ -323,7 +375,7 @@ mod tests {
     #[test]
     fn agree_on_heavy_tailed_graph() {
         let g = rmat(10, 8, RmatParams::default(), 3, true);
-        let a = coreness_julienne(&g);
+        let a = run(&g);
         let c = coreness_bz_seq(&g);
         assert_eq!(a.coreness, c.coreness);
     }
@@ -333,7 +385,7 @@ mod tests {
         // Julienne scans each vertex exactly once; the Ligra variant scans
         // the remaining set every round.
         let g = rmat(10, 8, RmatParams::default(), 5, true);
-        let a = coreness_julienne(&g);
+        let a = run(&g);
         let b = coreness_ligra(&g);
         assert_eq!(a.vertices_scanned, g.num_vertices() as u64);
         assert!(
@@ -352,15 +404,15 @@ mod tests {
         use julienne_graph::compress::CompressedGraph;
         let g = erdos_renyi(300, 2400, 9, true);
         let c = CompressedGraph::from_csr(&g);
-        let a = coreness_julienne(&g);
-        let b = coreness_julienne(&c);
+        let a = run(&g);
+        let b = run(&c);
         assert_eq!(a.coreness, b.coreness);
     }
 
     #[test]
     fn isolated_vertices_have_coreness_zero() {
         let g = from_pairs_symmetric(5, &[(0, 1)]);
-        let r = coreness_julienne(&g);
+        let r = run(&g);
         assert_eq!(r.coreness, vec![1, 1, 0, 0, 0]);
     }
 
@@ -368,14 +420,14 @@ mod tests {
     fn cycle_has_coreness_two() {
         let pairs: Vec<(u32, u32)> = (0..10).map(|i| (i, (i + 1) % 10)).collect();
         let g = from_pairs_symmetric(10, &pairs);
-        let r = coreness_julienne(&g);
+        let r = run(&g);
         assert!(r.coreness.iter().all(|&c| c == 2));
     }
 
     #[test]
     fn kcore_vertices_extraction() {
         let g = clique_with_tail();
-        let r = coreness_julienne(&g);
+        let r = run(&g);
         assert_eq!(kcore_vertices(&r.coreness, 3), vec![0, 1, 2, 3]);
         assert_eq!(kcore_vertices(&r.coreness, 4), Vec::<u32>::new());
         assert_eq!(kcore_vertices(&r.coreness, 1).len(), 6);
@@ -384,7 +436,12 @@ mod tests {
     #[test]
     fn small_open_bucket_count_still_correct() {
         let g = rmat(9, 8, RmatParams::default(), 11, true);
-        let a = coreness_julienne_opts(&g, 2);
+        let a = coreness(
+            &g,
+            &KcoreParams::default(),
+            &QueryCtx::from_engine(&Engine::builder().open_buckets(2).build()),
+        )
+        .unwrap();
         let c = coreness_bz_seq(&g);
         assert_eq!(a.coreness, c.coreness);
     }

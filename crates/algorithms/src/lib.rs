@@ -6,13 +6,16 @@
 //!
 //! | problem | Julienne (work-efficient) | baselines |
 //! |---------|---------------------------|-----------|
-//! | coreness | [`kcore::coreness_julienne`] | Ligra-style work-inefficient ([`kcore::coreness_ligra`]), sequential Batagelj–Zaversnik ([`kcore::coreness_bz_seq`]) |
-//! | SSSP | [`delta_stepping::delta_stepping`] / [`delta_stepping::wbfs`] | Ligra Bellman–Ford ([`bellman_ford`]), sequential Dijkstra ([`dijkstra`]), GAP-style bin Δ-stepping ([`gap_delta`]) |
-//! | set cover | [`setcover::set_cover_julienne`] | PBBS-style non-rebucketing ([`setcover_baselines::set_cover_pbbs_style`]), sequential greedy ([`setcover_baselines::set_cover_greedy_seq`]) |
+//! | coreness | [`kcore::coreness`] | Ligra-style work-inefficient ([`kcore::coreness_ligra`]), sequential Batagelj–Zaversnik ([`kcore::coreness_bz_seq`]) |
+//! | SSSP | [`delta_stepping::sssp`] / [`delta_stepping::wbfs`] | Ligra Bellman–Ford ([`bellman_ford`]), sequential Dijkstra ([`dijkstra`]), GAP-style bin Δ-stepping ([`gap_delta`]) |
+//! | set cover | [`setcover::cover`] | PBBS-style non-rebucketing ([`setcover_baselines::set_cover_pbbs_style`]), sequential greedy ([`setcover_baselines::set_cover_greedy_seq`]) |
 //!
 //! [`bfs`] provides the plain frontier-based BFS (the one-bucket special
 //! case) and [`stats`] the workload statistics (peeling complexity ρ,
 //! eccentricity estimates) reported in Table 2.
+//!
+//! [`registry`] is the single dispatch table (algorithm id → typed params
+//! → report) that both the CLI and the query server route through.
 
 pub mod bellman_ford;
 pub mod betweenness;
@@ -28,6 +31,7 @@ pub mod kcore;
 pub mod ktruss;
 pub mod mis;
 pub mod pagerank;
+pub mod registry;
 pub mod setcover;
 pub mod setcover_baselines;
 pub mod setcover_weighted;

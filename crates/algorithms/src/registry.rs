@@ -1,0 +1,790 @@
+//! The workspace algorithm registry: one table mapping algorithm ids to
+//! typed entry points, shared by the CLI and the query server.
+//!
+//! Each [`AlgorithmSpec`] adapts string parameters (from a command line or
+//! a wire request) into the module's typed params struct, runs the
+//! algorithm against whichever [`GraphStore`] backend is loaded, and
+//! renders the same human-readable report the CLI has always printed —
+//! byte-for-byte, so a served query and a direct invocation are
+//! interchangeable. Every run receives a [`QueryCtx`]; bucketed algorithms
+//! poll it at round boundaries, the rest check it before starting.
+//!
+//! ```
+//! use julienne_algorithms::registry::{GraphStore, ParamMap, Registry};
+//! use julienne::prelude::{Backend, QueryCtx};
+//! use std::sync::Arc;
+//!
+//! let g = julienne_graph::builder::from_pairs_symmetric(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! let store = GraphStore::Csr(Arc::new(g));
+//! let out = Registry::standard()
+//!     .run("kcore", &store, &ParamMap::default(), &QueryCtx::default())
+//!     .unwrap();
+//! assert!(out.starts_with("k_max=2"));
+//! ```
+
+use crate::bellman_ford::bellman_ford;
+use crate::clustering::{local_clustering, transitivity};
+use crate::components::{connected_components, num_components};
+use crate::degeneracy::densest_subgraph;
+use crate::dijkstra::dijkstra;
+use crate::kcore::{coreness, KcoreParams};
+use crate::ktruss::ktruss_julienne;
+use crate::pagerank::pagerank;
+use crate::setcover::{cover, verify_cover, SetCoverParams};
+use crate::triangles::triangle_count;
+use crate::{delta_stepping, delta_stepping::SsspParams};
+use julienne::prelude::{Backend, QueryCtx};
+use julienne::Error;
+use julienne_graph::compress::{CompressedGraph, CompressedWGraph};
+use julienne_graph::{Graph, WGraph};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
+
+/// The loaded input a query runs against: a CSR or byte-compressed graph,
+/// weighted or not, behind an [`Arc`] so many concurrent queries can share
+/// one immutable copy. [`GraphStore::Empty`] serves algorithms that build
+/// their own input (set cover generates its instance from parameters); it
+/// still records the requested backend so the instance can be routed
+/// through the compressed representation.
+#[derive(Clone)]
+pub enum GraphStore {
+    /// Unweighted CSR.
+    Csr(Arc<Graph>),
+    /// Weighted (`u32`) CSR.
+    WCsr(Arc<WGraph>),
+    /// Unweighted byte-compressed graph.
+    Compressed(Arc<CompressedGraph>),
+    /// Weighted byte-compressed graph.
+    WCompressed(Arc<CompressedWGraph>),
+    /// No graph loaded; `backend` still routes generated instances.
+    Empty {
+        /// Requested representation for generated inputs.
+        backend: Backend,
+    },
+}
+
+impl GraphStore {
+    /// Builds a store from an unweighted CSR, compressing if requested.
+    pub fn from_graph(g: Graph, backend: Backend) -> GraphStore {
+        match backend {
+            Backend::Csr => GraphStore::Csr(Arc::new(g)),
+            Backend::Compressed => GraphStore::Compressed(Arc::new(CompressedGraph::from_csr(&g))),
+        }
+    }
+
+    /// Builds a store from a weighted CSR, compressing if requested.
+    pub fn from_weighted(g: WGraph, backend: Backend) -> GraphStore {
+        match backend {
+            Backend::Csr => GraphStore::WCsr(Arc::new(g)),
+            Backend::Compressed => {
+                GraphStore::WCompressed(Arc::new(CompressedWGraph::from_csr(&g)))
+            }
+        }
+    }
+
+    /// Which in-memory representation this store holds.
+    pub fn backend(&self) -> Backend {
+        match self {
+            GraphStore::Csr(_) | GraphStore::WCsr(_) => Backend::Csr,
+            GraphStore::Compressed(_) | GraphStore::WCompressed(_) => Backend::Compressed,
+            GraphStore::Empty { backend } => *backend,
+        }
+    }
+
+    /// Whether the store carries edge weights.
+    pub fn is_weighted(&self) -> bool {
+        matches!(self, GraphStore::WCsr(_) | GraphStore::WCompressed(_))
+    }
+
+    /// Vertex count (0 when empty).
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            GraphStore::Csr(g) => g.num_vertices(),
+            GraphStore::WCsr(g) => g.num_vertices(),
+            GraphStore::Compressed(g) => g.num_vertices(),
+            GraphStore::WCompressed(g) => g.num_vertices(),
+            GraphStore::Empty { .. } => 0,
+        }
+    }
+
+    /// Directed edge count (0 when empty).
+    pub fn num_edges(&self) -> usize {
+        match self {
+            GraphStore::Csr(g) => g.num_edges(),
+            GraphStore::WCsr(g) => g.num_edges(),
+            GraphStore::Compressed(g) => g.num_edges(),
+            GraphStore::WCompressed(g) => g.num_edges(),
+            GraphStore::Empty { .. } => 0,
+        }
+    }
+
+    /// Whether the stored graph is symmetric (false when empty).
+    pub fn is_symmetric(&self) -> bool {
+        match self {
+            GraphStore::Csr(g) => g.is_symmetric(),
+            GraphStore::WCsr(g) => g.is_symmetric(),
+            GraphStore::Compressed(g) => g.is_symmetric(),
+            GraphStore::WCompressed(g) => g.is_symmetric(),
+            GraphStore::Empty { .. } => false,
+        }
+    }
+
+    fn require_nonempty(&self) -> Result<(), Error> {
+        if self.num_vertices() == 0 {
+            Err(Error::input(
+                "graph is empty (0 vertices); nothing to compute",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn require_symmetric(&self, msg: &str) -> Result<(), Error> {
+        if self.is_symmetric() {
+            Ok(())
+        } else {
+            Err(Error::input(msg))
+        }
+    }
+}
+
+impl std::fmt::Debug for GraphStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GraphStore({:?}, weighted={}, n={}, m={})",
+            self.backend(),
+            self.is_weighted(),
+            self.num_vertices(),
+            self.num_edges()
+        )
+    }
+}
+
+/// Binds `$g` to whatever graph `$store` holds and evaluates `$body` —
+/// the algorithms are generic over the graph traits, so one body serves
+/// all four representations.
+macro_rules! any_graph {
+    ($store:expr, $id:expr, |$g:ident| $body:expr) => {
+        match $store {
+            GraphStore::Csr(g) => {
+                let $g = g.as_ref();
+                $body
+            }
+            GraphStore::WCsr(g) => {
+                let $g = g.as_ref();
+                $body
+            }
+            GraphStore::Compressed(g) => {
+                let $g = g.as_ref();
+                $body
+            }
+            GraphStore::WCompressed(g) => {
+                let $g = g.as_ref();
+                $body
+            }
+            GraphStore::Empty { .. } => {
+                return Err(Error::input(format!("{} requires a graph input", $id)))
+            }
+        }
+    };
+}
+
+/// Like [`any_graph!`], restricted to the weighted representations.
+macro_rules! weighted_graph {
+    ($store:expr, $id:expr, |$g:ident| $body:expr) => {
+        match $store {
+            GraphStore::WCsr(g) => {
+                let $g = g.as_ref();
+                $body
+            }
+            GraphStore::WCompressed(g) => {
+                let $g = g.as_ref();
+                $body
+            }
+            _ => {
+                return Err(Error::input(format!(
+                    "{} requires a weighted graph input",
+                    $id
+                )))
+            }
+        }
+    };
+}
+
+/// String-keyed parameters with typed getters and unknown-key rejection —
+/// the bridge from a command line or wire request to each module's typed
+/// params struct. Getters record which keys were read; [`ParamMap::finish`]
+/// rejects the rest, so a typo is a usage error rather than a silently
+/// ignored option.
+#[derive(Debug, Default)]
+pub struct ParamMap {
+    map: BTreeMap<String, String>,
+    used: RefCell<BTreeSet<String>>,
+}
+
+impl ParamMap {
+    /// Builds a map from `(key, value)` pairs; later duplicates win.
+    pub fn from_pairs<I, K, V>(pairs: I) -> ParamMap
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        ParamMap {
+            map: pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+            used: RefCell::new(BTreeSet::new()),
+        }
+    }
+
+    /// Inserts or replaces one parameter.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.map.insert(key.into(), value.into());
+    }
+
+    fn raw(&self, key: &str) -> Option<&str> {
+        let v = self.map.get(key).map(String::as_str);
+        if v.is_some() {
+            self.used.borrow_mut().insert(key.to_string());
+        }
+        v
+    }
+
+    /// An optional string parameter with default.
+    pub fn string_or(&self, key: &str, default: &str) -> String {
+        self.raw(key).unwrap_or(default).to_string()
+    }
+
+    /// An optional typed parameter with default; a value that fails to
+    /// parse is a usage error naming the offending key and value.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, Error> {
+        match self.raw(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| Error::usage(format!("option {key}={v:?} has the wrong type"))),
+        }
+    }
+
+    /// Rejects any parameters no getter touched.
+    pub fn finish(&self, id: &str) -> Result<(), Error> {
+        let used = self.used.borrow();
+        let unknown: Vec<&str> = self
+            .map
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !used.contains(*k))
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::usage(format!(
+                "unknown options for {id}: {}",
+                unknown.join(", ")
+            )))
+        }
+    }
+}
+
+/// What input representation an algorithm consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphNeeds {
+    /// Any loaded graph (weights, if present, are ignored).
+    Unweighted,
+    /// A weighted graph.
+    Weighted,
+    /// No graph — the algorithm generates its own input from parameters.
+    None,
+}
+
+type RunFn = fn(&GraphStore, &ParamMap, &QueryCtx) -> Result<String, Error>;
+
+/// One registered algorithm: id, input contract, and the adapter that runs
+/// it from string parameters.
+pub struct AlgorithmSpec {
+    /// Registry id (the CLI subcommand and the wire `algo` field).
+    pub id: &'static str,
+    /// Input contract.
+    pub needs: GraphNeeds,
+    /// One-line description.
+    pub summary: &'static str,
+    run: RunFn,
+}
+
+impl AlgorithmSpec {
+    /// Runs the algorithm. Parameters are validated first (usage errors),
+    /// then input-shape checks (input errors), then the algorithm itself,
+    /// which polls `ctx` at round boundaries.
+    pub fn run(
+        &self,
+        store: &GraphStore,
+        params: &ParamMap,
+        ctx: &QueryCtx,
+    ) -> Result<String, Error> {
+        (self.run)(store, params, ctx)
+    }
+}
+
+/// The algorithm table. [`Registry::standard`] is the process-wide
+/// instance both the CLI and the server dispatch through.
+pub struct Registry {
+    by_id: BTreeMap<&'static str, AlgorithmSpec>,
+}
+
+impl Registry {
+    /// The standard table of the nine query algorithms.
+    pub fn standard() -> &'static Registry {
+        static STANDARD: OnceLock<Registry> = OnceLock::new();
+        STANDARD.get_or_init(|| {
+            let specs = [
+                AlgorithmSpec {
+                    id: "kcore",
+                    needs: GraphNeeds::Unweighted,
+                    summary: "coreness of every vertex via work-efficient peeling",
+                    run: run_kcore,
+                },
+                AlgorithmSpec {
+                    id: "sssp",
+                    needs: GraphNeeds::Weighted,
+                    summary: "single-source shortest paths (delta|wbfs|bellman|dijkstra)",
+                    run: run_sssp,
+                },
+                AlgorithmSpec {
+                    id: "components",
+                    needs: GraphNeeds::Unweighted,
+                    summary: "connected components by label propagation",
+                    run: run_components,
+                },
+                AlgorithmSpec {
+                    id: "densest",
+                    needs: GraphNeeds::Unweighted,
+                    summary: "Charikar 2-approximate densest subgraph via peeling",
+                    run: run_densest,
+                },
+                AlgorithmSpec {
+                    id: "triangles",
+                    needs: GraphNeeds::Unweighted,
+                    summary: "exact triangle count",
+                    run: run_triangles,
+                },
+                AlgorithmSpec {
+                    id: "truss",
+                    needs: GraphNeeds::Unweighted,
+                    summary: "k-truss decomposition via edge peeling",
+                    run: run_truss,
+                },
+                AlgorithmSpec {
+                    id: "clustering",
+                    needs: GraphNeeds::Unweighted,
+                    summary: "transitivity and average local clustering",
+                    run: run_clustering,
+                },
+                AlgorithmSpec {
+                    id: "pagerank",
+                    needs: GraphNeeds::Unweighted,
+                    summary: "PageRank by power iteration",
+                    run: run_pagerank,
+                },
+                AlgorithmSpec {
+                    id: "setcover",
+                    needs: GraphNeeds::None,
+                    summary: "bucketed MaNIS set cover on a generated instance",
+                    run: run_setcover,
+                },
+            ];
+            Registry {
+                by_id: specs.into_iter().map(|s| (s.id, s)).collect(),
+            }
+        })
+    }
+
+    /// Looks up a spec by id.
+    pub fn get(&self, id: &str) -> Option<&AlgorithmSpec> {
+        self.by_id.get(id)
+    }
+
+    /// All registered ids, sorted.
+    pub fn ids(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.by_id.keys().copied()
+    }
+
+    /// Dispatches `id` through the table. The context is checked before
+    /// any work: a query cancelled while queued never starts.
+    pub fn run(
+        &self,
+        id: &str,
+        store: &GraphStore,
+        params: &ParamMap,
+        ctx: &QueryCtx,
+    ) -> Result<String, Error> {
+        let spec = self
+            .get(id)
+            .ok_or_else(|| Error::usage(format!("unknown algorithm {id:?}")))?;
+        ctx.check()?;
+        spec.run(store, params, ctx)
+    }
+}
+
+fn run_kcore(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, Error> {
+    let top: usize = p.get_or("top", 10)?;
+    p.finish("kcore")?;
+    store.require_nonempty()?;
+    store.require_symmetric("k-core requires a symmetric graph (use convert symmetrize=true)")?;
+    let r = any_graph!(store, "kcore", |g| coreness(
+        g,
+        &KcoreParams::default(),
+        ctx
+    ))?;
+    let k_max = r.coreness.iter().copied().max().unwrap_or(0);
+    let mut by_core: Vec<(u32, u32)> = r
+        .coreness
+        .iter()
+        .enumerate()
+        .map(|(v, &c)| (c, v as u32))
+        .collect();
+    by_core.sort_unstable_by(|a, b| b.cmp(a));
+    let mut out = format!(
+        "k_max={k_max} rounds={} moves={}\n",
+        r.rounds, r.identifiers_moved
+    );
+    let _ = writeln!(out, "top vertices by coreness:");
+    for (c, v) in by_core.into_iter().take(top) {
+        let _ = writeln!(out, "  v{v}: coreness {c}");
+    }
+    if ctx.emit_stats() {
+        let _ = writeln!(out, "{}", ctx.snapshot().to_json("kcore"));
+    }
+    Ok(out)
+}
+
+fn run_sssp(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, Error> {
+    let src: u32 = p.get_or("src", 0)?;
+    let delta: u64 = p.get_or("delta", 32768)?;
+    if delta == 0 {
+        return Err(Error::usage(
+            "delta=0 is invalid; the bucket width must be >= 1",
+        ));
+    }
+    let algo = p.string_or("algo", "delta");
+    p.finish("sssp")?;
+    store.require_nonempty()?;
+    if src as usize >= store.num_vertices() {
+        return Err(Error::input(format!(
+            "src {src} out of range (n = {})",
+            store.num_vertices()
+        )));
+    }
+    let (dist, rounds) = weighted_graph!(store, "sssp", |g| match algo.as_str() {
+        "delta" => {
+            let r = delta_stepping::sssp(g, &SsspParams { src, delta }, ctx)?;
+            (r.dist, r.rounds)
+        }
+        "wbfs" => {
+            let r = delta_stepping::sssp(g, &SsspParams { src, delta: 1 }, ctx)?;
+            (r.dist, r.rounds)
+        }
+        "bellman" => {
+            ctx.check()?;
+            let r = bellman_ford(g, src);
+            (r.dist, r.rounds)
+        }
+        "dijkstra" => {
+            ctx.check()?;
+            (dijkstra(g, src), 0)
+        }
+        other => return Err(Error::usage(format!("unknown algo {other:?}"))),
+    });
+    let reached = dist.iter().filter(|&&d| d != u64::MAX).count();
+    let max = dist
+        .iter()
+        .filter(|&&d| d != u64::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    let mut out = format!(
+        "algo={algo} src={src} reached={reached}/{} max_dist={max} rounds={rounds}\n",
+        store.num_vertices()
+    );
+    if ctx.emit_stats() {
+        let _ = writeln!(out, "{}", ctx.snapshot().to_json(&format!("sssp_{algo}")));
+    }
+    Ok(out)
+}
+
+fn run_components(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, Error> {
+    p.finish("components")?;
+    store.require_nonempty()?;
+    store.require_symmetric("components requires a symmetric graph")?;
+    ctx.check()?;
+    let r = any_graph!(store, "components", |g| connected_components(g));
+    Ok(format!(
+        "components={} rounds={}\n",
+        num_components(&r.label),
+        r.rounds
+    ))
+}
+
+fn run_densest(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, Error> {
+    p.finish("densest")?;
+    store.require_nonempty()?;
+    store.require_symmetric("densest requires a symmetric graph")?;
+    ctx.check()?;
+    let ds = any_graph!(store, "densest", |g| densest_subgraph(g));
+    Ok(format!(
+        "densest subgraph: {} vertices, density {:.3}\n",
+        ds.vertices.len(),
+        ds.density
+    ))
+}
+
+fn run_triangles(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, Error> {
+    p.finish("triangles")?;
+    store.require_nonempty()?;
+    store.require_symmetric("triangle counting requires a symmetric graph")?;
+    ctx.check()?;
+    let t = any_graph!(store, "triangles", |g| triangle_count(g));
+    Ok(format!("triangles={t}\n"))
+}
+
+fn run_truss(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, Error> {
+    let top: usize = p.get_or("top", 5)?;
+    p.finish("truss")?;
+    store.require_nonempty()?;
+    store.require_symmetric("k-truss requires a symmetric graph")?;
+    ctx.check()?;
+    let r = any_graph!(store, "truss", |g| ktruss_julienne(g));
+    let mut out = format!(
+        "edges={} max_truss={} rounds={}\n",
+        r.trussness.len(),
+        r.max_truss,
+        r.rounds
+    );
+    let mut by_truss: Vec<(u32, usize)> = r
+        .trussness
+        .iter()
+        .copied()
+        .map(|t| (t, 1))
+        .fold(BTreeMap::new(), |mut m: BTreeMap<u32, usize>, (t, c)| {
+            *m.entry(t).or_default() += c;
+            m
+        })
+        .into_iter()
+        .collect();
+    by_truss.reverse();
+    let _ = writeln!(out, "edges per trussness (top {top} levels):");
+    for (t, c) in by_truss.into_iter().take(top) {
+        let _ = writeln!(out, "  trussness {t}: {c} edges");
+    }
+    Ok(out)
+}
+
+fn run_clustering(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, Error> {
+    p.finish("clustering")?;
+    store.require_nonempty()?;
+    store.require_symmetric("clustering requires a symmetric graph")?;
+    ctx.check()?;
+    let (local, trans) = any_graph!(store, "clustering", |g| (
+        local_clustering(g),
+        transitivity(g)
+    ));
+    let avg = local.iter().sum::<f64>() / local.len().max(1) as f64;
+    Ok(format!(
+        "transitivity={trans:.6} avg_local_clustering={avg:.6}\n"
+    ))
+}
+
+fn run_pagerank(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, Error> {
+    let damping: f64 = p.get_or("damping", 0.85)?;
+    if !(0.0..=1.0).contains(&damping) {
+        return Err(Error::usage(format!(
+            "damping={damping} out of range (expected 0 <= damping <= 1)"
+        )));
+    }
+    let iters: u32 = p.get_or("iters", 100)?;
+    p.finish("pagerank")?;
+    store.require_nonempty()?;
+    ctx.check()?;
+    let r = any_graph!(store, "pagerank", |g| pagerank(g, damping, 1e-9, iters));
+    let mut top: Vec<(usize, f64)> = r.rank.iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut out = format!("iterations={}\n", r.iterations);
+    let _ = writeln!(out, "top vertices by rank:");
+    for (v, score) in top.into_iter().take(5) {
+        let _ = writeln!(out, "  v{v}: {score:.6}");
+    }
+    Ok(out)
+}
+
+fn run_setcover(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, Error> {
+    let sets: usize = p.get_or("sets", 256)?;
+    let elements: usize = p.get_or("elements", 16_384)?;
+    let mult: usize = p.get_or("mult", 4)?;
+    let eps: f64 = p.get_or("eps", 0.01)?;
+    let seed: u64 = p.get_or("seed", 1)?;
+    p.finish("setcover")?;
+    let mut inst = julienne_graph::generators::set_cover_instance(sets, elements, mult, seed);
+    if store.backend() == Backend::Compressed {
+        // Set cover peels a packed (mutable) copy of the membership graph,
+        // so the compressed backend routes the instance through a
+        // compress/decompress round trip — same adjacency, proving the
+        // byte-coded form carries the full structure.
+        inst.graph = CompressedGraph::from_csr(&inst.graph).to_csr();
+    }
+    let r = cover(&inst, &SetCoverParams { eps }, ctx)?;
+    if !verify_cover(&inst, &r.cover) {
+        return Err(Error::input("internal error: produced cover is invalid"));
+    }
+    let mut out = format!(
+        "cover: {}/{sets} sets over {elements} elements, rounds={}, valid=yes\n",
+        r.cover.len(),
+        r.rounds
+    );
+    if ctx.emit_stats() {
+        let _ = writeln!(out, "{}", ctx.snapshot().to_json("setcover"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use julienne::prelude::{CancelToken, Engine};
+    use julienne_graph::generators::{erdos_renyi, rmat, RmatParams};
+    use julienne_graph::transform::assign_weights;
+
+    fn sym_store(backend: Backend) -> GraphStore {
+        GraphStore::from_graph(rmat(9, 8, RmatParams::default(), 3, true), backend)
+    }
+
+    fn weighted_store(backend: Backend) -> GraphStore {
+        let g = assign_weights(&erdos_renyi(400, 3200, 7, true), 1, 1000, 11);
+        GraphStore::from_weighted(g, backend)
+    }
+
+    #[test]
+    fn every_id_is_registered_and_described() {
+        let reg = Registry::standard();
+        let ids: Vec<&str> = reg.ids().collect();
+        assert_eq!(
+            ids,
+            vec![
+                "clustering",
+                "components",
+                "densest",
+                "kcore",
+                "pagerank",
+                "setcover",
+                "sssp",
+                "triangles",
+                "truss"
+            ]
+        );
+        for id in ids {
+            assert!(!reg.get(id).unwrap().summary.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_is_a_usage_error() {
+        let err = Registry::standard()
+            .run(
+                "frobnicate",
+                &GraphStore::Empty {
+                    backend: Backend::Csr,
+                },
+                &ParamMap::default(),
+                &QueryCtx::default(),
+            )
+            .unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
+        assert!(err.to_string().contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn unknown_param_names_the_algorithm() {
+        let p = ParamMap::from_pairs([("tpyo", "1")]);
+        let err = Registry::standard()
+            .run("kcore", &sym_store(Backend::Csr), &p, &QueryCtx::default())
+            .unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
+        assert!(err.to_string().contains("kcore"), "{err}");
+        assert!(err.to_string().contains("tpyo"), "{err}");
+    }
+
+    #[test]
+    fn outputs_identical_across_backends() {
+        let reg = Registry::standard();
+        let ctx = QueryCtx::default();
+        for (id, p) in [
+            ("kcore", ParamMap::default()),
+            ("components", ParamMap::default()),
+            ("triangles", ParamMap::default()),
+            ("pagerank", ParamMap::default()),
+        ] {
+            let csr = reg.run(id, &sym_store(Backend::Csr), &p, &ctx).unwrap();
+            let comp = reg
+                .run(id, &sym_store(Backend::Compressed), &p, &ctx)
+                .unwrap();
+            assert_eq!(csr, comp, "{id}");
+        }
+        let p = ParamMap::from_pairs([("algo", "delta")]);
+        let csr = reg
+            .run("sssp", &weighted_store(Backend::Csr), &p, &ctx)
+            .unwrap();
+        let comp = reg
+            .run("sssp", &weighted_store(Backend::Compressed), &p, &ctx)
+            .unwrap();
+        assert_eq!(csr, comp);
+    }
+
+    #[test]
+    fn sssp_on_unweighted_store_is_an_input_error() {
+        let err = Registry::standard()
+            .run(
+                "sssp",
+                &sym_store(Backend::Csr),
+                &ParamMap::default(),
+                &QueryCtx::default(),
+            )
+            .unwrap_err();
+        assert!(!err.is_usage());
+        assert!(err.to_string().contains("weighted"), "{err}");
+    }
+
+    #[test]
+    fn cancelled_query_never_starts() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = QueryCtx::from_engine(&Engine::default()).with_cancel_token(token);
+        let err = Registry::standard()
+            .run(
+                "kcore",
+                &sym_store(Backend::Csr),
+                &ParamMap::default(),
+                &ctx,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Cancelled));
+    }
+
+    #[test]
+    fn setcover_runs_without_a_graph() {
+        let p = ParamMap::from_pairs([("sets", "32"), ("elements", "1000"), ("seed", "3")]);
+        let out = Registry::standard()
+            .run(
+                "setcover",
+                &GraphStore::Empty {
+                    backend: Backend::Csr,
+                },
+                &p,
+                &QueryCtx::default(),
+            )
+            .unwrap();
+        assert!(out.contains("valid=yes"), "{out}");
+    }
+}

@@ -18,7 +18,9 @@
 
 use julienne::bucket::{BucketDest, BucketId, Order, NULL_BKT};
 use julienne::engine::Engine;
+use julienne::query::QueryCtx;
 use julienne::telemetry::{Counter, RoundRecord, TraversalKind};
+use julienne::Error;
 use julienne_graph::generators::SetCoverInstance;
 use julienne_graph::packed::PackedGraph;
 use julienne_graph::VertexId;
@@ -61,20 +63,37 @@ fn bucket_num(d: u32, inv_log1p_eps: f64) -> BucketId {
     ((d as f64).ln() * inv_log1p_eps).floor() as BucketId
 }
 
-/// Work-efficient approximate set cover (Algorithm 3) with parameter `eps`
-/// (the paper's experiments use ε = 0.01).
-pub fn set_cover_julienne(inst: &SetCoverInstance, eps: f64) -> SetCoverResult {
-    set_cover_julienne_with(inst, eps, &Engine::default())
+/// Parameters for [`cover`]: the approximation knob ε.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SetCoverParams {
+    /// Bucketing granularity ε; the per-bucket approximation factor is
+    /// (1+ε). The paper's experiments use ε = 0.01. Must be > 0.
+    pub eps: f64,
 }
 
-/// [`set_cover_julienne`] against an [`Engine`]: bucket window and telemetry
-/// sink come from the engine; each bucket round emits a [`RoundRecord`].
-pub fn set_cover_julienne_with(
+impl Default for SetCoverParams {
+    fn default() -> Self {
+        SetCoverParams { eps: 0.01 }
+    }
+}
+
+/// Work-efficient approximate set cover (Algorithm 3): the single entry
+/// point behind the `setcover` registry id.
+///
+/// Bucket window and telemetry scope come from `ctx`'s engine; each bucket
+/// round emits a [`RoundRecord`]. The context is polled once per round: a
+/// cancelled or deadline-expired query returns `Err` with no partial
+/// output, dropping its buckets on the way out.
+pub fn cover(
     inst: &SetCoverInstance,
-    eps: f64,
-    engine: &Engine,
-) -> SetCoverResult {
-    assert!(eps > 0.0);
+    params: &SetCoverParams,
+    ctx: &QueryCtx,
+) -> Result<SetCoverResult, Error> {
+    let eps = params.eps;
+    if eps.is_nan() || eps <= 0.0 {
+        return Err(Error::usage("eps must be > 0"));
+    }
+    let engine = ctx.engine();
     let num_sets = inst.num_sets;
     let num_elements = inst.num_elements;
     let _n = num_sets + num_elements;
@@ -100,6 +119,9 @@ pub fn set_cover_julienne_with(
     let mut edges_examined = 0u64;
 
     loop {
+        // Round boundary: a cancelled/expired query unwinds here, dropping
+        // the bucket structure and reservation arrays with it.
+        ctx.check()?;
         let span = telemetry.span();
         let Some((b, sets)) = buckets.next_bucket() else {
             break;
@@ -203,12 +225,41 @@ pub fn set_cover_julienne_with(
     });
     let assignment: Vec<u32> = el.into_iter().map(AtomicU32::into_inner).collect();
 
-    SetCoverResult {
+    Ok(SetCoverResult {
         cover,
         assignment,
         rounds,
         edges_examined,
-    }
+    })
+}
+
+/// Work-efficient approximate set cover (Algorithm 3) with parameter `eps`
+/// (the paper's experiments use ε = 0.01).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cover` with `SetCoverParams` and a `QueryCtx`"
+)]
+pub fn set_cover_julienne(inst: &SetCoverInstance, eps: f64) -> SetCoverResult {
+    cover(inst, &SetCoverParams { eps }, &QueryCtx::default()).expect("uncancellable query")
+}
+
+/// [`cover`] against an [`Engine`]: bucket window and telemetry sink come
+/// from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cover` with `SetCoverParams` and a `QueryCtx`"
+)]
+pub fn set_cover_julienne_with(
+    inst: &SetCoverInstance,
+    eps: f64,
+    engine: &Engine,
+) -> SetCoverResult {
+    cover(
+        inst,
+        &SetCoverParams { eps },
+        &QueryCtx::from_engine(engine),
+    )
+    .expect("uncancellable query")
 }
 
 /// Checks that `cover` covers every element of the instance.
@@ -231,11 +282,16 @@ mod tests {
     use crate::setcover_baselines::set_cover_greedy_seq;
     use julienne_graph::generators::set_cover_instance;
 
+    /// Shorthand: default context, panic on lifecycle/usage errors.
+    fn run(inst: &SetCoverInstance, eps: f64) -> SetCoverResult {
+        cover(inst, &SetCoverParams { eps }, &QueryCtx::default()).unwrap()
+    }
+
     #[test]
     fn covers_small_instances() {
         for seed in 0..5 {
             let inst = set_cover_instance(20, 200, 3, seed);
-            let r = set_cover_julienne(&inst, 0.01);
+            let r = run(&inst, 0.01);
             assert!(verify_cover(&inst, &r.cover), "seed {seed}");
             assert!(!r.cover.is_empty());
         }
@@ -244,7 +300,7 @@ mod tests {
     #[test]
     fn covers_larger_instance() {
         let inst = set_cover_instance(300, 20_000, 4, 42);
-        let r = set_cover_julienne(&inst, 0.01);
+        let r = run(&inst, 0.01);
         assert!(verify_cover(&inst, &r.cover));
     }
 
@@ -253,7 +309,7 @@ mod tests {
         // The (1+ε)Hₙ guarantee: our cover should be within a small factor
         // of sequential greedy.
         let inst = set_cover_instance(200, 10_000, 4, 7);
-        let jul = set_cover_julienne(&inst, 0.01);
+        let jul = run(&inst, 0.01);
         let greedy = set_cover_greedy_seq(&inst);
         assert!(verify_cover(&inst, &jul.cover));
         assert!(verify_cover(&inst, &greedy.cover));
@@ -264,7 +320,7 @@ mod tests {
     #[test]
     fn assignment_consistent_with_cover() {
         let inst = set_cover_instance(50, 2000, 3, 9);
-        let r = set_cover_julienne(&inst, 0.05);
+        let r = run(&inst, 0.05);
         let in_cover: std::collections::HashSet<u32> = r.cover.iter().copied().collect();
         for (e, &s) in r.assignment.iter().enumerate() {
             if s != u32::MAX {
@@ -284,7 +340,7 @@ mod tests {
     fn eps_variations_all_valid() {
         let inst = set_cover_instance(100, 5000, 3, 11);
         for eps in [0.01, 0.1, 0.5, 1.0] {
-            let r = set_cover_julienne(&inst, eps);
+            let r = run(&inst, eps);
             assert!(verify_cover(&inst, &r.cover), "eps {eps}");
         }
     }
@@ -293,7 +349,7 @@ mod tests {
     fn single_set_instance() {
         // One set covering everything: cover = {0}.
         let inst = set_cover_instance(1, 50, 1, 3);
-        let r = set_cover_julienne(&inst, 0.01);
+        let r = run(&inst, 0.01);
         assert_eq!(r.cover, vec![0]);
         assert!(verify_cover(&inst, &r.cover));
     }

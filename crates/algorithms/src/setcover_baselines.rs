@@ -184,8 +184,13 @@ pub fn set_cover_pbbs_style(inst: &SetCoverInstance, eps: f64) -> SetCoverResult
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::setcover::{set_cover_julienne, verify_cover};
+    use crate::setcover::{cover, verify_cover, SetCoverParams};
+    use julienne::query::QueryCtx;
     use julienne_graph::generators::set_cover_instance;
+
+    fn julienne_cover(inst: &SetCoverInstance, eps: f64) -> SetCoverResult {
+        cover(inst, &SetCoverParams { eps }, &QueryCtx::default()).unwrap()
+    }
 
     #[test]
     fn greedy_covers_and_is_minimal_ish() {
@@ -216,7 +221,7 @@ mod tests {
     #[test]
     fn pbbs_examines_more_edges_than_julienne() {
         let inst = set_cover_instance(400, 20_000, 4, 5);
-        let jul = set_cover_julienne(&inst, 0.01);
+        let jul = julienne_cover(&inst, 0.01);
         let pbbs = set_cover_pbbs_style(&inst, 0.01);
         assert!(verify_cover(&inst, &jul.cover));
         assert!(verify_cover(&inst, &pbbs.cover));
@@ -231,7 +236,7 @@ mod tests {
     #[test]
     fn covers_of_same_quality_family() {
         let inst = set_cover_instance(150, 8000, 4, 13);
-        let jul = set_cover_julienne(&inst, 0.01);
+        let jul = julienne_cover(&inst, 0.01);
         let pbbs = set_cover_pbbs_style(&inst, 0.01);
         let greedy = set_cover_greedy_seq(&inst);
         // All within a small constant of greedy.

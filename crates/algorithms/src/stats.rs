@@ -2,7 +2,8 @@
 //! eccentricity estimates.
 
 use crate::bfs::bfs_seq;
-use crate::kcore::coreness_julienne;
+use crate::kcore::{coreness, KcoreParams};
+use julienne::query::QueryCtx;
 use julienne_graph::VertexId;
 use julienne_ligra::traits::{GraphRef, OutEdges};
 
@@ -30,7 +31,8 @@ pub struct GraphStats {
 pub fn graph_stats<G: GraphRef>(g: &G) -> GraphStats {
     let (rho, k_max) = if g.is_symmetric() {
         // Weights are irrelevant to coreness, so peel the graph directly.
-        let r = coreness_julienne(g);
+        let r = coreness(g, &KcoreParams::default(), &QueryCtx::default())
+            .expect("uncancellable query");
         let k_max = r.coreness.iter().copied().max().unwrap_or(0);
         (Some(r.rounds), Some(k_max))
     } else {

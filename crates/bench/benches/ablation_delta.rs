@@ -4,7 +4,8 @@
 //! implemented but found unhelpful.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use julienne_algorithms::delta_stepping::{delta_stepping, delta_stepping_light_heavy};
+use julienne::query::QueryCtx;
+use julienne_algorithms::delta_stepping::{delta_stepping_light_heavy, sssp, SsspParams};
 use julienne_graph::generators::{rmat, RmatParams};
 use julienne_graph::transform::assign_weights;
 
@@ -19,7 +20,7 @@ fn bench_delta_sensitivity(c: &mut Criterion) {
     group.sample_size(10);
     for &delta in &[1u64, 1 << 10, 1 << 15, 1 << 17, 1 << 40] {
         group.bench_with_input(BenchmarkId::new("delta", delta), &delta, |b, &d| {
-            b.iter(|| delta_stepping(&g, 0, d))
+            b.iter(|| sssp(&g, &SsspParams { src: 0, delta: d }, &QueryCtx::default()).unwrap())
         });
     }
     group.finish();
@@ -35,7 +36,17 @@ fn bench_light_heavy(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_light_heavy");
     group.sample_size(10);
     group.bench_function("plain_delta_32768", |b| {
-        b.iter(|| delta_stepping(&g, 0, 32768))
+        b.iter(|| {
+            sssp(
+                &g,
+                &SsspParams {
+                    src: 0,
+                    delta: 32768,
+                },
+                &QueryCtx::default(),
+            )
+            .unwrap()
+        })
     });
     group.bench_function("light_heavy_delta_32768", |b| {
         b.iter(|| delta_stepping_light_heavy(&g, 0, 32768))

@@ -3,6 +3,7 @@
 //! implementations (semisort aggregation vs. persistent atomic counters).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use julienne::query::QueryCtx;
 use julienne_algorithms::bfs::bfs_with_mode;
 use julienne_graph::generators::{rmat, RmatParams};
 use julienne_ligra::edge_map::Mode;
@@ -38,17 +39,17 @@ fn bench_edge_map_sum(c: &mut Criterion) {
 }
 
 fn bench_hub_sort_locality(c: &mut Criterion) {
-    use julienne_algorithms::kcore::coreness_julienne;
+    use julienne_algorithms::kcore::{coreness, KcoreParams};
     use julienne_graph::transform::hub_sort;
     let g = rmat(13, 16, RmatParams::default(), 0xED70, true);
     let (sorted, _) = hub_sort(&g);
     let mut group = c.benchmark_group("ablation_hub_sort_locality");
     group.sample_size(10);
     group.bench_function("kcore_original_labels", |b| {
-        b.iter(|| coreness_julienne(&g))
+        b.iter(|| coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap())
     });
     group.bench_function("kcore_hub_sorted", |b| {
-        b.iter(|| coreness_julienne(&sorted))
+        b.iter(|| coreness(&sorted, &KcoreParams::default(), &QueryCtx::default()).unwrap())
     });
     group.finish();
 }

@@ -3,7 +3,8 @@
 //! heavy-tailed R-MAT graph and on the compressed representation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use julienne_algorithms::kcore;
+use julienne::query::QueryCtx;
+use julienne_algorithms::kcore::{self, KcoreParams};
 use julienne_graph::compress::CompressedGraph;
 use julienne_graph::generators::{rmat, RmatParams};
 
@@ -12,7 +13,7 @@ fn bench_kcore(c: &mut Criterion) {
     let mut group = c.benchmark_group("tab3_kcore");
     group.sample_size(10);
     group.bench_function("julienne_work_efficient", |b| {
-        b.iter(|| kcore::coreness_julienne(&g))
+        b.iter(|| kcore::coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap())
     });
     group.bench_function("ligra_work_inefficient", |b| {
         b.iter(|| kcore::coreness_ligra(&g))
@@ -20,7 +21,7 @@ fn bench_kcore(c: &mut Criterion) {
     group.bench_function("bz_sequential", |b| b.iter(|| kcore::coreness_bz_seq(&g)));
     let cg = CompressedGraph::from_csr(&g);
     group.bench_function("julienne_on_compressed", |b| {
-        b.iter(|| kcore::coreness_julienne(&cg))
+        b.iter(|| kcore::coreness(&cg, &KcoreParams::default(), &QueryCtx::default()).unwrap())
     });
     group.finish();
 }

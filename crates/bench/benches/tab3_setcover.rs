@@ -2,7 +2,8 @@
 //! (rebucketing) vs. PBBS-style (carry-over) vs. sequential greedy, ε = 0.01.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use julienne_algorithms::setcover::set_cover_julienne;
+use julienne::query::QueryCtx;
+use julienne_algorithms::setcover::{cover, SetCoverParams};
 use julienne_algorithms::setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style};
 use julienne_graph::generators::set_cover_instance;
 
@@ -11,7 +12,7 @@ fn bench_setcover(c: &mut Criterion) {
     let mut group = c.benchmark_group("tab3_setcover");
     group.sample_size(10);
     group.bench_function("julienne_work_efficient", |b| {
-        b.iter(|| set_cover_julienne(&inst, 0.01))
+        b.iter(|| cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap())
     });
     group.bench_function("pbbs_style_carry_over", |b| {
         b.iter(|| set_cover_pbbs_style(&inst, 0.01))

@@ -4,7 +4,9 @@
 //! R-MAT graphs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use julienne_algorithms::{bellman_ford, delta_stepping, dijkstra, gap_delta};
+use julienne::query::QueryCtx;
+use julienne_algorithms::delta_stepping::{self, SsspParams};
+use julienne_algorithms::{bellman_ford, dijkstra, gap_delta};
 use julienne_graph::generators::{rmat, RmatParams};
 use julienne_graph::transform::{assign_weights, wbfs_weight_range};
 
@@ -33,7 +35,17 @@ fn bench_delta(c: &mut Criterion) {
     let mut group = c.benchmark_group("tab3_delta_heavy_weights");
     group.sample_size(10);
     group.bench_function("julienne_delta_32768", |b| {
-        b.iter(|| delta_stepping::delta_stepping(&g, 0, 32768))
+        b.iter(|| {
+            delta_stepping::sssp(
+                &g,
+                &SsspParams {
+                    src: 0,
+                    delta: 32768,
+                },
+                &QueryCtx::default(),
+            )
+            .unwrap()
+        })
     });
     group.bench_function("ligra_bellman_ford", |b| {
         b.iter(|| bellman_ford::bellman_ford(&g, 0))

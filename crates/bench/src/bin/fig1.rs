@@ -4,7 +4,10 @@
 //!
 //! Usage: `cargo run -p julienne-bench --release --bin fig1 [scale]`
 
-use julienne_algorithms::{delta_stepping, kcore, setcover};
+use julienne::query::QueryCtx;
+use julienne_algorithms::delta_stepping::{self, SsspParams};
+use julienne_algorithms::kcore::{self, KcoreParams};
+use julienne_algorithms::setcover::{self, SetCoverParams};
 use julienne_bench::micro::bucket_microbenchmark;
 use julienne_bench::report::Table;
 use julienne_bench::suite;
@@ -62,7 +65,8 @@ fn main() {
 
     // k-core on an RMAT graph.
     let g = &suite::symmetric_suite(app_scale)[0].graph;
-    let (r, secs) = time(|| kcore::coreness_julienne(g));
+    let (r, secs) =
+        time(|| kcore::coreness(g, &KcoreParams::default(), &QueryCtx::default()).unwrap());
     let ops = r.vertices_scanned + r.identifiers_moved;
     println!(
         "{:<14} {:>12} {:>10} {:>16.1} {:>16.3e}",
@@ -77,7 +81,9 @@ fn main() {
     for (name, heavy, delta) in [("w-BFS", false, 1u64), ("delta-step", true, 32768)] {
         let (gname, wg) = &suite::weighted_suite(app_scale, heavy)[0];
         let _ = gname;
-        let (r, secs) = time(|| delta_stepping::delta_stepping(wg, 0, delta));
+        let (r, secs) = time(|| {
+            delta_stepping::sssp(wg, &SsspParams { src: 0, delta }, &QueryCtx::default()).unwrap()
+        });
         let extracted_plus_moved = r.identifiers_moved + r.rounds; // moves dominate
         let ops = extracted_plus_moved.max(1);
         println!(
@@ -92,7 +98,9 @@ fn main() {
 
     // Set cover.
     let (_, inst) = &suite::setcover_suite(app_scale)[0];
-    let (r, secs) = time(|| setcover::set_cover_julienne(inst, 0.01));
+    let (r, secs) = time(|| {
+        setcover::cover(inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap()
+    });
     let ops = r.edges_examined.max(1);
     println!(
         "{:<14} {:>12} {:>10} {:>16.1} {:>16.3e}",

@@ -3,7 +3,8 @@
 //!
 //! Usage: `cargo run -p julienne-bench --release --bin fig2 [scale]`
 
-use julienne_algorithms::kcore;
+use julienne::query::QueryCtx;
+use julienne_algorithms::kcore::{self, KcoreParams};
 use julienne_bench::suite::{symmetric_suite, DEFAULT_SCALE};
 use julienne_bench::sweep::{thread_counts, with_threads};
 use julienne_bench::timing::{scale_arg, time};
@@ -26,7 +27,9 @@ fn main() {
         );
         let mut base_jul = None;
         for t in thread_counts() {
-            let (rj, tj) = with_threads(t, || time(|| kcore::coreness_julienne(g)));
+            let (rj, tj) = with_threads(t, || {
+                time(|| kcore::coreness(g, &KcoreParams::default(), &QueryCtx::default()).unwrap())
+            });
             let (rl, tl) = with_threads(t, || time(|| kcore::coreness_ligra(g)));
             assert_eq!(rj.coreness, rl.coreness, "implementations disagree");
             if base_jul.is_none() {

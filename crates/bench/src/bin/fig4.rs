@@ -4,7 +4,9 @@
 //!
 //! Usage: `cargo run -p julienne-bench --release --bin fig4 [scale]`
 
-use julienne_algorithms::{bellman_ford, delta_stepping, dijkstra, gap_delta};
+use julienne::query::QueryCtx;
+use julienne_algorithms::delta_stepping::{self, SsspParams};
+use julienne_algorithms::{bellman_ford, dijkstra, gap_delta};
 use julienne_bench::suite::{weighted_suite, DEFAULT_SCALE};
 use julienne_bench::sweep::{thread_counts, with_threads};
 use julienne_bench::timing::{scale_arg, time};
@@ -24,8 +26,19 @@ fn main() {
             "threads", "julienne-delta", "ligra-bellman", "gap-style"
         );
         for t in thread_counts() {
-            let (rj, tj) =
-                with_threads(t, || time(|| delta_stepping::delta_stepping(&g, 0, DELTA)));
+            let (rj, tj) = with_threads(t, || {
+                time(|| {
+                    delta_stepping::sssp(
+                        &g,
+                        &SsspParams {
+                            src: 0,
+                            delta: DELTA,
+                        },
+                        &QueryCtx::default(),
+                    )
+                    .unwrap()
+                })
+            });
             let (rb, tb) = with_threads(t, || time(|| bellman_ford::bellman_ford(&g, 0)));
             let (rg, tg) = with_threads(t, || time(|| gap_delta::gap_delta_stepping(&g, 0, DELTA)));
             assert_eq!(rj.dist, oracle, "delta-stepping wrong");

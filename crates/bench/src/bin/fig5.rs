@@ -4,7 +4,8 @@
 //!
 //! Usage: `cargo run -p julienne-bench --release --bin fig5 [scale]`
 
-use julienne_algorithms::setcover::{set_cover_julienne, verify_cover};
+use julienne::query::QueryCtx;
+use julienne_algorithms::setcover::{cover, verify_cover, SetCoverParams};
 use julienne_algorithms::setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style};
 use julienne_bench::suite::{setcover_suite, DEFAULT_SCALE};
 use julienne_bench::sweep::{thread_counts, with_threads};
@@ -28,7 +29,9 @@ fn main() {
             "threads", "julienne", "pbbs-style", "|cover|jul", "|cover|pbbs"
         );
         for t in thread_counts() {
-            let (rj, tj) = with_threads(t, || time(|| set_cover_julienne(&inst, EPS)));
+            let (rj, tj) = with_threads(t, || {
+                time(|| cover(&inst, &SetCoverParams { eps: EPS }, &QueryCtx::default()).unwrap())
+            });
             let (rp, tp) = with_threads(t, || time(|| set_cover_pbbs_style(&inst, EPS)));
             assert!(verify_cover(&inst, &rj.cover), "julienne cover invalid");
             assert!(verify_cover(&inst, &rp.cover), "pbbs cover invalid");

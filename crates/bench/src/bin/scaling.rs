@@ -10,10 +10,11 @@
 //! covers the sweep; on fewer cores the higher thread counts still run (and
 //! still produce identical output) but cannot run faster.
 
-use julienne_algorithms::{
-    delta_stepping, dijkstra, kcore,
-    setcover::{set_cover_julienne, verify_cover},
-};
+use julienne::query::QueryCtx;
+use julienne_algorithms::delta_stepping::{self, SsspParams};
+use julienne_algorithms::dijkstra;
+use julienne_algorithms::kcore::{self, KcoreParams};
+use julienne_algorithms::setcover::{cover, verify_cover, SetCoverParams};
 use julienne_bench::report::Table;
 use julienne_bench::suite::{setcover_suite, symmetric_suite, weighted_suite, DEFAULT_SCALE};
 use julienne_bench::sweep::with_threads;
@@ -67,9 +68,11 @@ fn run_kcore(scale: u32) {
     header();
     for named in symmetric_suite(scale) {
         let g = &named.graph;
-        let reference = kcore::coreness_julienne(g).coreness;
+        let reference = kcore::coreness(g, &KcoreParams::default(), &QueryCtx::default())
+            .unwrap()
+            .coreness;
         let secs = sweep(
-            || kcore::coreness_julienne(g),
+            || kcore::coreness(g, &KcoreParams::default(), &QueryCtx::default()).unwrap(),
             |a, b| a.coreness == b.coreness,
         );
         row("k-core (Julienne)", named.name, &secs);
@@ -78,7 +81,8 @@ fn run_kcore(scale: u32) {
         let cg = CompressedGraph::from_csr(g);
         let secs = sweep(
             || {
-                let r = kcore::coreness_julienne(&cg);
+                let r =
+                    kcore::coreness(&cg, &KcoreParams::default(), &QueryCtx::default()).unwrap();
                 assert_eq!(r.coreness, reference, "backend diverged on {}", named.name);
                 r
             },
@@ -104,7 +108,9 @@ fn run_sssp(scale: u32, heavy: bool) {
         let oracle = dijkstra::dijkstra(&g, 0);
         let secs = sweep(
             || {
-                let r = delta_stepping::delta_stepping(&g, 0, delta);
+                let r =
+                    delta_stepping::sssp(&g, &SsspParams { src: 0, delta }, &QueryCtx::default())
+                        .unwrap();
                 assert_eq!(r.dist, oracle, "{app} wrong on {name}");
                 r
             },
@@ -114,7 +120,9 @@ fn run_sssp(scale: u32, heavy: bool) {
         let cg = CompressedWGraph::from_csr(&g);
         let secs = sweep(
             || {
-                let r = delta_stepping::delta_stepping(&cg, 0, delta);
+                let r =
+                    delta_stepping::sssp(&cg, &SsspParams { src: 0, delta }, &QueryCtx::default())
+                        .unwrap();
                 assert_eq!(r.dist, oracle, "{app} (byte) wrong on {name}");
                 r
             },
@@ -130,7 +138,7 @@ fn run_setcover(scale: u32) {
     for (name, inst) in setcover_suite(scale) {
         let secs = sweep(
             || {
-                let r = set_cover_julienne(&inst, 0.01);
+                let r = cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
                 assert!(verify_cover(&inst, &r.cover), "invalid cover on {name}");
                 r
             },

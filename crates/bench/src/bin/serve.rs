@@ -1,0 +1,175 @@
+//! Serve-mode throughput: one loaded graph behind `julienne serve`'s
+//! engine, a sweep of concurrent client connections each pipelining the
+//! mixed query workload (k-core, Δ-stepping, wBFS, set cover), measured as
+//! completed queries per second. Every answer is checked bit-identical to
+//! the direct API, so the bench doubles as an end-to-end session test.
+//!
+//! Usage: `cargo run -p julienne-bench --release --bin serve [scale]`
+//!
+//! Writes `results/serve.txt` and `results/serve.csv`.
+
+use julienne::prelude::{Backend, Engine, QueryCtx};
+use julienne_algorithms::registry::{GraphStore, ParamMap, Registry};
+use julienne_bench::report::Table;
+use julienne_bench::timing::{scale_arg, time};
+use julienne_graph::generators::{rmat, RmatParams};
+use julienne_graph::transform::assign_weights;
+use julienne_server::json::Json;
+use julienne_server::{query_request, Client, Server};
+use std::collections::HashMap;
+use std::thread;
+
+/// The mixed workload; parameters sized so each query does real bucketing
+/// work without dwarfing the protocol round-trips being measured.
+const MIX: &[(&str, &[(&str, &str)])] = &[
+    ("kcore", &[("top", "3")]),
+    (
+        "sssp",
+        &[("algo", "delta"), ("src", "1"), ("delta", "4096")],
+    ),
+    ("sssp", &[("algo", "wbfs"), ("src", "2")]),
+    (
+        "setcover",
+        &[
+            ("sets", "256"),
+            ("elements", "16384"),
+            ("mult", "2"),
+            ("seed", "3"),
+        ],
+    ),
+];
+
+/// Connection counts swept; each connection pipelines this many queries.
+const CONNS: [usize; 4] = [1, 2, 4, 8];
+const QUERIES_PER_CONN: usize = 16;
+
+fn store(scale: u32, backend: Backend) -> GraphStore {
+    let g = assign_weights(&rmat(scale, 8, RmatParams::default(), 5, true), 1, 64, 9);
+    GraphStore::from_weighted(g, backend)
+}
+
+fn direct_answers(scale: u32, backend: Backend) -> Vec<String> {
+    let s = store(scale, backend);
+    MIX.iter()
+        .map(|(algo, params)| {
+            let pm =
+                ParamMap::from_pairs(params.iter().map(|(k, v)| (k.to_string(), v.to_string())));
+            Registry::standard()
+                .run(algo, &s, &pm, &QueryCtx::default())
+                .expect("direct baseline run failed")
+        })
+        .collect()
+}
+
+/// Drives `conns` connections × `QUERIES_PER_CONN` pipelined queries and
+/// returns wall seconds; panics if any answer deviates from `expect`.
+fn drive(addr: &str, conns: usize, expect: &[String]) -> f64 {
+    let (_, secs) = time(|| {
+        let mut clients = Vec::new();
+        for c in 0..conns {
+            let addr = addr.to_string();
+            let expect = expect.to_vec();
+            clients.push(thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for q in 0..QUERIES_PER_CONN {
+                    let (algo, params) = MIX[(c + q) % MIX.len()];
+                    client
+                        .send(&query_request(
+                            &format!("q{c}-{q}"),
+                            algo,
+                            params,
+                            None,
+                            false,
+                        ))
+                        .expect("send");
+                }
+                let mut got: HashMap<String, String> = HashMap::new();
+                for _ in 0..QUERIES_PER_CONN {
+                    let resp = client.recv().expect("recv");
+                    assert_eq!(
+                        resp.get("ok").and_then(Json::as_bool),
+                        Some(true),
+                        "query failed: {}",
+                        resp.to_json()
+                    );
+                    got.insert(
+                        resp.get("id").unwrap().as_str().unwrap().to_string(),
+                        resp.get("output").unwrap().as_str().unwrap().to_string(),
+                    );
+                }
+                for q in 0..QUERIES_PER_CONN {
+                    let idx = (c + q) % MIX.len();
+                    assert_eq!(
+                        got[&format!("q{c}-{q}")],
+                        expect[idx],
+                        "served answer diverged from direct API ({})",
+                        MIX[idx].0
+                    );
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+    });
+    secs
+}
+
+fn main() {
+    let scale = scale_arg(14);
+    let mut table = Table::new(
+        "serve",
+        &[
+            "backend",
+            "connections",
+            "queries",
+            "seconds",
+            "queries_per_sec",
+        ],
+    );
+    println!("# Serve-mode throughput (scale {scale}): one loaded graph, concurrent mixed queries");
+    println!(
+        "{:<12} {:>12} {:>9} {:>9} {:>16}",
+        "backend", "connections", "queries", "seconds", "queries/sec"
+    );
+    for backend in [Backend::Csr, Backend::Compressed] {
+        let expect = direct_answers(scale, backend);
+        let server =
+            Server::bind("127.0.0.1:0", &Engine::default(), store(scale, backend)).expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let handle = server.shutdown_handle();
+        let join = thread::spawn(move || server.serve());
+        let name = match backend {
+            Backend::Csr => "csr",
+            Backend::Compressed => "compressed",
+        };
+        // Warm-up: touch every algorithm once before timing.
+        drive(&addr, 1, &expect);
+        for conns in CONNS {
+            let secs = drive(&addr, conns, &expect);
+            let queries = conns * QUERIES_PER_CONN;
+            let qps = queries as f64 / secs;
+            println!("{name:<12} {conns:>12} {queries:>9} {secs:>9.3} {qps:>16.1}");
+            table.rowf(&[
+                &name,
+                &conns,
+                &queries,
+                &format!("{secs:.4}"),
+                &format!("{qps:.1}"),
+            ]);
+        }
+        handle.stop();
+        join.join().unwrap().expect("serve");
+    }
+
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let txt = dir.join("serve.txt");
+    if std::fs::write(&txt, table.render()).is_ok() {
+        println!("\n(wrote {})", txt.display());
+    }
+    let csv = dir.join("serve.csv");
+    if table.write_csv(&csv).is_ok() {
+        println!("(wrote {})", csv.display());
+    }
+}

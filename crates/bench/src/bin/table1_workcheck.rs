@@ -4,7 +4,10 @@
 //!
 //! Usage: `cargo run -p julienne-bench --release --bin table1_workcheck [scale]`
 
-use julienne_algorithms::{delta_stepping, kcore, setcover};
+use julienne::query::QueryCtx;
+use julienne_algorithms::delta_stepping;
+use julienne_algorithms::kcore::{self, KcoreParams};
+use julienne_algorithms::setcover::{self, SetCoverParams};
 use julienne_bench::timing::scale_arg;
 use julienne_graph::generators::{rmat, set_cover_instance, RmatParams};
 use julienne_graph::transform::{assign_weights, wbfs_weight_range};
@@ -20,7 +23,7 @@ fn main() {
     );
     for scale in (max_scale - 4)..=max_scale {
         let g = rmat(scale, 8, RmatParams::default(), 0x7AB1E, true);
-        let r = kcore::coreness_julienne(&g);
+        let r = kcore::coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
         let work = r.edges_traversed + r.identifiers_moved;
         println!(
             "{:>6} {:>10} {:>12} {:>14} {:>12} {:>10.3}",
@@ -63,7 +66,8 @@ fn main() {
     for scale in (max_scale - 4)..=max_scale {
         let elems = 1usize << scale;
         let inst = set_cover_instance(elems / 32, elems, 4, 0x7AB20);
-        let r = setcover::set_cover_julienne(&inst, 0.01);
+        let r =
+            setcover::cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
         let m = inst.graph.num_edges() / 2;
         println!(
             "{:>6} {:>10} {:>12} {:>14} {:>10} {:>10.3}",

@@ -5,11 +5,12 @@
 //! Usage: `cargo run -p julienne-bench --release --bin table3 [scale] [kcore|wbfs|delta|setcover|all]`
 
 use julienne::prelude::Engine;
-use julienne_algorithms::{
-    bellman_ford, delta_stepping, dial, dijkstra, gap_delta, kcore,
-    setcover::{set_cover_julienne_with, verify_cover},
-    setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style},
-};
+use julienne::query::QueryCtx;
+use julienne_algorithms::delta_stepping::{self, SsspParams};
+use julienne_algorithms::kcore::{self, KcoreParams};
+use julienne_algorithms::setcover::{cover, verify_cover, SetCoverParams};
+use julienne_algorithms::setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style};
+use julienne_algorithms::{bellman_ford, dial, dijkstra, gap_delta};
 use julienne_bench::report::{footprint_table, MemoryFootprint, Table};
 use julienne_bench::suite::{setcover_suite, symmetric_suite, weighted_suite, DEFAULT_SCALE};
 use julienne_bench::sweep::with_threads;
@@ -74,9 +75,16 @@ fn run_kcore(scale: u32) {
     let tmax = max_threads();
     for named in symmetric_suite(scale) {
         let g = &named.graph;
-        let (_, j1) = with_threads(1, || time(|| kcore::coreness_julienne(g)));
+        let (_, j1) = with_threads(1, || {
+            time(|| kcore::coreness(g, &KcoreParams::default(), &QueryCtx::default()).unwrap())
+        });
         let engine = Engine::builder().telemetry(true).build();
-        let (_, jp) = with_threads(tmax, || time(|| kcore::coreness_julienne_with(g, &engine)));
+        let (_, jp) = with_threads(tmax, || {
+            time(|| {
+                kcore::coreness(g, &KcoreParams::default(), &QueryCtx::from_engine(&engine))
+                    .unwrap()
+            })
+        });
         trace(&engine, "kcore", named.name);
         row("k-core (Julienne)", named.name, j1, jp);
         // Same implementation over the byte-compressed backend: identical
@@ -88,8 +96,12 @@ fn run_kcore(scale: u32) {
             cg.footprint_bytes(),
             g.num_edges(),
         );
-        let (rc, c1) = with_threads(1, || time(|| kcore::coreness_julienne(&cg)));
-        let (rr, cp) = with_threads(tmax, || time(|| kcore::coreness_julienne(&cg)));
+        let (rc, c1) = with_threads(1, || {
+            time(|| kcore::coreness(&cg, &KcoreParams::default(), &QueryCtx::default()).unwrap())
+        });
+        let (rr, cp) = with_threads(tmax, || {
+            time(|| kcore::coreness(&cg, &KcoreParams::default(), &QueryCtx::default()).unwrap())
+        });
         assert_eq!(rc.coreness, rr.coreness);
         row("k-core (Julienne, byte)", named.name, c1, cp);
         let (_, l1) = with_threads(1, || time(|| kcore::coreness_ligra(g)));
@@ -111,11 +123,23 @@ fn run_sssp(scale: u32, heavy: bool) {
     let tmax = max_threads();
     for (name, g) in weighted_suite(scale, heavy) {
         let oracle = dijkstra::dijkstra(&g, 0);
-        let (rj, j1) = with_threads(1, || time(|| delta_stepping::delta_stepping(&g, 0, delta)));
+        let (rj, j1) = with_threads(1, || {
+            time(|| {
+                delta_stepping::sssp(&g, &SsspParams { src: 0, delta }, &QueryCtx::default())
+                    .unwrap()
+            })
+        });
         assert_eq!(rj.dist, oracle);
         let engine = Engine::builder().telemetry(true).build();
         let (_, jp) = with_threads(tmax, || {
-            time(|| delta_stepping::delta_stepping_with(&g, 0, delta, &engine))
+            time(|| {
+                delta_stepping::sssp(
+                    &g,
+                    &SsspParams { src: 0, delta },
+                    &QueryCtx::from_engine(&engine),
+                )
+                .unwrap()
+            })
         });
         trace(&engine, if heavy { "delta" } else { "wbfs" }, name);
         row("SSSP (Julienne)", name, j1, jp);
@@ -126,10 +150,18 @@ fn run_sssp(scale: u32, heavy: bool) {
             cg.footprint_bytes(),
             g.num_edges(),
         );
-        let (rc, c1) = with_threads(1, || time(|| delta_stepping::delta_stepping(&cg, 0, delta)));
+        let (rc, c1) = with_threads(1, || {
+            time(|| {
+                delta_stepping::sssp(&cg, &SsspParams { src: 0, delta }, &QueryCtx::default())
+                    .unwrap()
+            })
+        });
         assert_eq!(rc.dist, oracle);
         let (_, cp) = with_threads(tmax, || {
-            time(|| delta_stepping::delta_stepping(&cg, 0, delta))
+            time(|| {
+                delta_stepping::sssp(&cg, &SsspParams { src: 0, delta }, &QueryCtx::default())
+                    .unwrap()
+            })
         });
         row("SSSP (Julienne, byte)", name, c1, cp);
         let (rb, b1) = with_threads(1, || time(|| bellman_ford::bellman_ford(&g, 0)));
@@ -160,12 +192,26 @@ fn run_setcover(scale: u32) {
     for (name, inst) in setcover_suite(scale) {
         let default_engine = Engine::default();
         let (rj, j1) = with_threads(1, || {
-            time(|| set_cover_julienne_with(&inst, 0.01, &default_engine))
+            time(|| {
+                cover(
+                    &inst,
+                    &SetCoverParams { eps: 0.01 },
+                    &QueryCtx::from_engine(&default_engine),
+                )
+                .unwrap()
+            })
         });
         assert!(verify_cover(&inst, &rj.cover));
         let engine = Engine::builder().telemetry(true).build();
         let (_, jp) = with_threads(tmax, || {
-            time(|| set_cover_julienne_with(&inst, 0.01, &engine))
+            time(|| {
+                cover(
+                    &inst,
+                    &SetCoverParams { eps: 0.01 },
+                    &QueryCtx::from_engine(&engine),
+                )
+                .unwrap()
+            })
         });
         trace(&engine, "setcover", name);
         row("Set Cover (Julienne)", name, j1, jp);

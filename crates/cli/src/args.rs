@@ -89,6 +89,20 @@ impl Args {
         self.raw(key).unwrap_or(default).to_string()
     }
 
+    /// An optional typed option: `Ok(None)` when absent (unlike
+    /// [`get_or`](Self::get_or), absence and an explicit default value are
+    /// distinguishable — `timeout_ms=0` means "already expired", no
+    /// `timeout_ms=` means "no deadline").
+    pub fn optional<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, ArgError> {
+        match self.raw(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgError::BadValue(key.to_string(), v.to_string())),
+        }
+    }
+
     /// An optional typed option with default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.raw(key) {
@@ -97,6 +111,25 @@ impl Args {
                 .parse()
                 .map_err(|_| ArgError::BadValue(key.to_string(), v.to_string())),
         }
+    }
+
+    /// Hands over every option no getter touched, marking them consumed.
+    /// The caller forwards them as an algorithm parameter map; unknown keys
+    /// are then rejected by the registry with the algorithm's name attached
+    /// instead of by [`finish`](Self::finish).
+    pub fn remaining(&self) -> Vec<(String, String)> {
+        let rest: Vec<(String, String)> = {
+            let consumed = self.consumed.borrow();
+            self.opts
+                .iter()
+                .filter(|(k, _)| !consumed.contains(k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        self.consumed
+            .borrow_mut()
+            .extend(rest.iter().map(|(k, _)| k.clone()));
+        rest
     }
 
     /// Rejects any options no getter touched.
@@ -183,6 +216,24 @@ mod tests {
             a.get_or("scale", 1u32),
             Err(ArgError::BadValue(_, _))
         ));
+    }
+
+    #[test]
+    fn remaining_hands_over_untouched_options_once() {
+        let a = Args::parse(argv("sssp in=g.bin src=3 delta=16")).unwrap();
+        let _ = a.require("in");
+        let rest = a.remaining();
+        assert_eq!(
+            rest,
+            vec![
+                ("delta".to_string(), "16".to_string()),
+                ("src".to_string(), "3".to_string())
+            ]
+        );
+        // remaining() consumed them: finish() no longer complains and a
+        // second call hands over nothing.
+        a.finish().unwrap();
+        assert!(a.remaining().is_empty());
     }
 
     #[test]

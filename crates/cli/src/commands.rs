@@ -1,32 +1,36 @@
 //! CLI subcommand implementations. Each returns its report as a `String`
 //! so commands are unit-testable without capturing stdout.
+//!
+//! The algorithm subcommands all route through the workspace
+//! [`Registry`]: the CLI's job is only to load the graph representation
+//! the algorithm needs, translate leftover `key=value` options into a
+//! typed [`ParamMap`], and map the typed [`Error`] classes onto exit
+//! codes. `julienne serve` exposes the same table over a local socket and
+//! `julienne query` is its line-protocol client, so a query answered
+//! directly and one answered by a server are byte-identical.
 
 use crate::args::{ArgError, Args};
 use crate::io_util::{load, save};
-use julienne::prelude::{Backend, Engine};
-use julienne_algorithms::clustering::{local_clustering, transitivity};
-use julienne_algorithms::components::{connected_components, num_components};
-use julienne_algorithms::degeneracy::densest_subgraph;
-use julienne_algorithms::kcore;
-use julienne_algorithms::ktruss::ktruss_julienne;
-use julienne_algorithms::pagerank::pagerank;
-use julienne_algorithms::setcover::verify_cover;
+use julienne::prelude::{Backend, Engine, QueryCtx};
+use julienne::Error;
+use julienne_algorithms::registry::{GraphNeeds, GraphStore, ParamMap, Registry};
 use julienne_algorithms::stats::graph_stats;
-use julienne_algorithms::triangles::{triangle_count, EdgeIndex};
-use julienne_algorithms::{bellman_ford, delta_stepping, dijkstra};
 use julienne_graph::compress::{CompressedGraph, CompressedWGraph};
 use julienne_graph::generators::{chung_lu, erdos_renyi, grid2d, random_regular, rmat, RmatParams};
 use julienne_graph::transform::{assign_weights, symmetrize, wbfs_weight_range};
 use julienne_graph::{Csr, Graph};
+use julienne_server::json::Json;
+use julienne_server::{query_request, Client, Server};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Why a command failed — the class decides the exit code and whether the
 /// usage text is appended. [`CmdError::Usage`] means the *invocation* was
 /// wrong (bad option value, unknown command): exit 2. [`CmdError::Runtime`]
 /// means the invocation was fine but the work failed (unreadable file,
-/// empty graph, asymmetric input): exit 1. Both print usage so a failing
-/// run always shows the correct invocation forms.
+/// empty graph, asymmetric input, expired deadline): exit 1. Both print
+/// usage so a failing run always shows the correct invocation forms.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CmdError {
     Usage(String),
@@ -57,6 +61,19 @@ impl From<ArgError> for CmdError {
     }
 }
 
+impl From<Error> for CmdError {
+    /// The workspace error enum maps onto the CLI's two exit classes by
+    /// its wire code: `usage` → exit 2, everything else (io, parse, input,
+    /// cancelled, deadline) → exit 1.
+    fn from(e: Error) -> Self {
+        if e.is_usage() {
+            CmdError::Usage(e.to_string())
+        } else {
+            CmdError::Runtime(e.to_string())
+        }
+    }
+}
+
 fn usage_err(msg: impl Into<String>) -> CmdError {
     CmdError::Usage(msg.into())
 }
@@ -70,12 +87,17 @@ pub type CmdResult = Result<String, CmdError>;
 /// Reads the global `backend=<csr|compressed>` option. Validated once in
 /// [`dispatch`]; the graph commands re-read it here to route their loads.
 fn backend_opt(a: &Args) -> Result<Backend, CmdError> {
-    Backend::parse(&a.string_or("backend", "csr")).map_err(usage_err)
+    Ok(Backend::parse(&a.string_or("backend", "csr"))?)
 }
 
-/// Rejects 0-vertex graphs before running an algorithm on them: every
-/// algorithm command needs at least one vertex (sources, peeling, and
-/// telemetry traces are all meaningless on nothing).
+fn backend_name(b: Backend) -> &'static str {
+    match b {
+        Backend::Csr => "csr",
+        Backend::Compressed => "compressed",
+    }
+}
+
+/// Rejects 0-vertex graphs before computing statistics on them.
 fn require_nonempty<W: julienne_graph::csr::Weight>(g: &Csr<W>) -> Result<(), CmdError> {
     if g.num_vertices() == 0 {
         Err(runtime_err(
@@ -86,38 +108,68 @@ fn require_nonempty<W: julienne_graph::csr::Weight>(g: &Csr<W>) -> Result<(), Cm
     }
 }
 
-/// Runs `$body` with `$gr` bound to the selected backend's view of `$g`:
-/// the CSR itself, or a byte-compressed copy built with `$compress`. The
-/// algorithms are generic over the graph traits, so the same call works
-/// against either representation and must produce identical output.
-macro_rules! with_backend {
-    ($backend:expr, $g:expr, $compress:path, |$gr:ident| $body:expr) => {
-        match $backend {
-            Backend::Csr => {
-                let $gr = &$g;
-                $body
-            }
-            Backend::Compressed => {
-                let compressed = $compress(&$g);
-                let $gr = &compressed;
-                $body
-            }
+/// Builds the per-invocation [`QueryCtx`] from the global options:
+/// `stats=<none|json>` selects the telemetry scope and JSON trace, and
+/// `timeout_ms=<n>` arms a deadline (a run past it exits with a runtime
+/// error, the same `deadline` class a served query reports).
+fn query_ctx(a: &Args) -> Result<QueryCtx, CmdError> {
+    let stats = a.string_or("stats", "none");
+    let mut ctx = match stats.as_str() {
+        "none" => QueryCtx::default(),
+        "json" => {
+            QueryCtx::from_engine(&Engine::builder().telemetry(true).build()).with_stats(true)
+        }
+        other => {
+            return Err(usage_err(format!(
+                "unknown stats mode {other:?} (expected none|json)"
+            )))
         }
     };
+    if let Some(ms) = a.optional::<u64>("timeout_ms")? {
+        ctx = ctx.with_deadline(Duration::from_millis(ms));
+    }
+    Ok(ctx)
 }
 
-/// Parses the `stats=<none|json>` option shared by the algorithm commands
-/// and returns an [`Engine`] with telemetry enabled iff JSON traces were
-/// requested (plus the flag itself).
-fn stats_engine(a: &Args) -> Result<(Engine, bool), CmdError> {
-    let stats = a.string_or("stats", "none");
-    match stats.as_str() {
-        "none" => Ok((Engine::default(), false)),
-        "json" => Ok((Engine::builder().telemetry(true).build(), true)),
-        other => Err(usage_err(format!(
-            "unknown stats mode {other:?} (expected none|json)"
-        ))),
-    }
+/// Runs any registered algorithm: loads the representation its spec needs,
+/// forwards every option the global getters didn't consume as typed
+/// parameters, and dispatches through the same [`Registry`] table the
+/// query server uses.
+fn cmd_algo(a: &Args) -> CmdResult {
+    let id = a.command.clone();
+    let spec = Registry::standard()
+        .get(&id)
+        .expect("dispatch routes only registered ids here");
+    let backend = backend_opt(a)?;
+    let ctx = query_ctx(a)?;
+    let loaded: Result<GraphStore, Error> = match spec.needs {
+        GraphNeeds::None => Ok(GraphStore::Empty { backend }),
+        GraphNeeds::Unweighted => {
+            let input = PathBuf::from(a.require("in")?);
+            load::<()>(&input).map(|g| GraphStore::from_graph(g, backend))
+        }
+        GraphNeeds::Weighted => {
+            let input = PathBuf::from(a.require("in")?);
+            load::<u32>(&input).map(|g| GraphStore::from_weighted(g, backend))
+        }
+    };
+    let params = ParamMap::from_pairs(a.remaining());
+    let store = match loaded {
+        Ok(s) => s,
+        Err(load_err) => {
+            // Parameter mistakes are knowable from argv alone; report them
+            // ahead of filesystem failures by probing against an empty
+            // store (the registry validates params before touching the
+            // graph, so nothing actually runs).
+            let probe =
+                Registry::standard().run(&id, &GraphStore::Empty { backend }, &params, &ctx);
+            return match probe {
+                Err(e) if e.is_usage() => Err(e.into()),
+                _ => Err(load_err.into()),
+            };
+        }
+    };
+    Ok(Registry::standard().run(&id, &store, &params, &ctx)?)
 }
 
 /// `julienne gen kind=<rmat|er|chunglu|grid|regular> out=<file> [scale=14]
@@ -157,14 +209,14 @@ pub fn cmd_gen(a: &Args) -> CmdResult {
         g.is_symmetric()
     );
     match weights.as_str() {
-        "none" => save(&g, &out).map_err(runtime_err)?,
+        "none" => save(&g, &out)?,
         "log" => {
             let (lo, hi) = wbfs_weight_range(g.num_vertices());
-            save(&assign_weights(&g, lo, hi, seed ^ 0xF00D), &out).map_err(runtime_err)?;
+            save(&assign_weights(&g, lo, hi, seed ^ 0xF00D), &out)?;
             let _ = writeln!(report, "weights: uniform [{lo}, {hi})");
         }
         "heavy" => {
-            save(&assign_weights(&g, 1, 100_000, seed ^ 0xF00D), &out).map_err(runtime_err)?;
+            save(&assign_weights(&g, 1, 100_000, seed ^ 0xF00D), &out)?;
             let _ = writeln!(report, "weights: uniform [1, 100000)");
         }
         other => return Err(usage_err(format!("unknown weights mode {other:?}"))),
@@ -183,12 +235,12 @@ pub fn cmd_stats(a: &Args) -> CmdResult {
     let weighted: bool = a.get_or("weighted", false)?;
     a.finish()?;
     let (s, csr_bytes, compressed_bytes) = if weighted {
-        let g: Csr<u32> = load(&input).map_err(runtime_err)?;
+        let g: Csr<u32> = load(&input)?;
         require_nonempty(&g)?;
         let c = CompressedWGraph::from_csr(&g);
         (graph_stats(&g), g.footprint_bytes(), c.footprint_bytes())
     } else {
-        let g: Graph = load(&input).map_err(runtime_err)?;
+        let g: Graph = load(&input)?;
         require_nonempty(&g)?;
         let c = CompressedGraph::from_csr(&g);
         (graph_stats(&g), g.footprint_bytes(), c.footprint_bytes())
@@ -221,11 +273,11 @@ pub fn cmd_convert(a: &Args) -> CmdResult {
     let make_sym: bool = a.get_or("symmetrize", false)?;
     a.finish()?;
     if weighted {
-        let mut g: Csr<u32> = load(&input).map_err(runtime_err)?;
+        let mut g: Csr<u32> = load(&input)?;
         if make_sym {
             g = symmetrize(&g);
         }
-        save(&g, &out).map_err(runtime_err)?;
+        save(&g, &out)?;
         Ok(format!(
             "converted {} -> {} (weighted, m={})\n",
             input.display(),
@@ -233,11 +285,11 @@ pub fn cmd_convert(a: &Args) -> CmdResult {
             g.num_edges()
         ))
     } else {
-        let mut g: Graph = load(&input).map_err(runtime_err)?;
+        let mut g: Graph = load(&input)?;
         if make_sym {
             g = symmetrize(&g);
         }
-        save(&g, &out).map_err(runtime_err)?;
+        save(&g, &out)?;
         Ok(format!(
             "converted {} -> {} (m={})\n",
             input.display(),
@@ -247,284 +299,148 @@ pub fn cmd_convert(a: &Args) -> CmdResult {
     }
 }
 
-/// `julienne kcore in=<file> [top=10] [stats=none|json]`
-pub fn cmd_kcore(a: &Args) -> CmdResult {
+/// `julienne serve in=<file> [weighted=true] [addr=127.0.0.1:0]
+/// [open_buckets=128] [backend=csr|compressed]`
+///
+/// Loads the graph once, prints `listening on <addr>`, and answers
+/// line-delimited JSON queries until a `{"shutdown": true}` request
+/// arrives (see `julienne query`). All queries share the one immutable
+/// in-memory graph; each carries its own deadline and cancellation token.
+pub fn cmd_serve(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in")?);
-    let top: usize = a.get_or("top", 10)?;
+    let weighted: bool = a.get_or("weighted", true)?;
+    let addr = a.string_or("addr", "127.0.0.1:0");
+    let open_buckets: usize = a.get_or("open_buckets", 0)?;
     let backend = backend_opt(a)?;
-    let (engine, emit_json) = stats_engine(a)?;
     a.finish()?;
-    let g: Graph = load(&input).map_err(runtime_err)?;
-    require_nonempty(&g)?;
-    if !g.is_symmetric() {
-        return Err(runtime_err(
-            "k-core requires a symmetric graph (use convert symmetrize=true)",
-        ));
+    let store = if weighted {
+        GraphStore::from_weighted(load(&input)?, backend)
+    } else {
+        GraphStore::from_graph(load(&input)?, backend)
+    };
+    if store.num_vertices() == 0 {
+        return Err(runtime_err("graph is empty (0 vertices); nothing to serve"));
     }
-    let r = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
-        kcore::coreness_julienne_with(gr, &engine)
-    });
-    let k_max = r.coreness.iter().copied().max().unwrap_or(0);
-    let mut by_core: Vec<(u32, u32)> = r
-        .coreness
-        .iter()
-        .enumerate()
-        .map(|(v, &c)| (c, v as u32))
-        .collect();
-    by_core.sort_unstable_by(|a, b| b.cmp(a));
-    let mut out = format!(
-        "k_max={k_max} rounds={} moves={}\n",
-        r.rounds, r.identifiers_moved
+    let engine = if open_buckets > 0 {
+        Engine::builder().open_buckets(open_buckets).build()
+    } else {
+        Engine::default()
+    };
+    let (n, m) = (store.num_vertices(), store.num_edges());
+    let server = Server::bind(&addr, &engine, store)
+        .map_err(|e| runtime_err(format!("cannot bind {addr}: {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| runtime_err(e.to_string()))?;
+    // Printed (and flushed) before blocking so clients can scrape the
+    // bound address even when addr=127.0.0.1:0 picked a free port.
+    println!(
+        "listening on {local} (n={n} m={m} weighted={weighted} backend={})",
+        backend_name(backend)
     );
-    let _ = writeln!(out, "top vertices by coreness:");
-    for (c, v) in by_core.into_iter().take(top) {
-        let _ = writeln!(out, "  v{v}: coreness {c}");
-    }
-    if emit_json {
-        let _ = writeln!(out, "{}", engine.snapshot().to_json("kcore"));
-    }
-    Ok(out)
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server
+        .serve()
+        .map_err(|e| runtime_err(format!("serve: {e}")))?;
+    Ok("server stopped\n".to_string())
 }
 
-/// `julienne sssp in=<weighted file> [src=0] [delta=32768]
-/// [algo=delta|wbfs|bellman|dijkstra] [stats=none|json]`
-pub fn cmd_sssp(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in")?);
-    let src: u32 = a.get_or("src", 0)?;
-    let delta: u64 = a.get_or("delta", 32768)?;
-    if delta == 0 {
-        return Err(usage_err(
-            "delta=0 is invalid; the bucket width must be >= 1",
-        ));
-    }
-    let algo = a.string_or("algo", "delta");
-    let backend = backend_opt(a)?;
-    let (engine, emit_json) = stats_engine(a)?;
-    a.finish()?;
-    let g: Csr<u32> = load(&input).map_err(runtime_err)?;
-    require_nonempty(&g)?;
-    if src as usize >= g.num_vertices() {
-        return Err(runtime_err(format!(
-            "src {src} out of range (n = {})",
-            g.num_vertices()
-        )));
-    }
-    let (dist, rounds) = with_backend!(backend, g, CompressedWGraph::from_csr, |gr| {
-        match algo.as_str() {
-            "delta" => {
-                let r = delta_stepping::delta_stepping_with(gr, src, delta, &engine);
-                (r.dist, r.rounds)
-            }
-            "wbfs" => {
-                let r = delta_stepping::delta_stepping_with(gr, src, 1, &engine);
-                (r.dist, r.rounds)
-            }
-            "bellman" => {
-                let r = bellman_ford::bellman_ford(gr, src);
-                (r.dist, r.rounds)
-            }
-            "dijkstra" => (dijkstra::dijkstra(gr, src), 0),
-            other => return Err(usage_err(format!("unknown algo {other:?}"))),
-        }
-    });
-    let reached = dist.iter().filter(|&&d| d != u64::MAX).count();
-    let max = dist
-        .iter()
-        .filter(|&&d| d != u64::MAX)
-        .max()
-        .copied()
-        .unwrap_or(0);
-    let mut out = format!(
-        "algo={algo} src={src} reached={reached}/{} max_dist={max} rounds={rounds}\n",
-        g.num_vertices()
-    );
-    if emit_json {
-        let _ = writeln!(
-            out,
-            "{}",
-            engine.snapshot().to_json(&format!("sssp_{algo}"))
-        );
-    }
-    Ok(out)
-}
+/// `julienne query addr=<host:port> algo=<id> [id=q0] [timeout_ms=<n>]
+/// [stats=false] [algorithm params...]`, or `query addr=... cancel=<id>`,
+/// or `query addr=... shutdown=true`.
+///
+/// One-shot client for `julienne serve`: sends a single request line and
+/// prints the response. Server-side errors keep their class — a usage
+/// error on the server is a usage error (exit 2) here.
+pub fn cmd_query(a: &Args) -> CmdResult {
+    let addr = a.require("addr")?;
+    let connect =
+        |addr: &str| Client::connect(addr).map_err(|e| runtime_err(format!("connect {addr}: {e}")));
+    let wire = |e: std::io::Error| runtime_err(format!("query {addr}: {e}"));
 
-/// `julienne components in=<file>`
-pub fn cmd_components(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in")?);
-    let backend = backend_opt(a)?;
-    a.finish()?;
-    let g: Graph = load(&input).map_err(runtime_err)?;
-    require_nonempty(&g)?;
-    if !g.is_symmetric() {
-        return Err(runtime_err("components requires a symmetric graph"));
+    if a.get_or("shutdown", false)? {
+        a.finish()?;
+        let resp = connect(&addr)?
+            .roundtrip(&Json::Obj(vec![("shutdown".into(), Json::Bool(true))]))
+            .map_err(wire)?;
+        return if resp.get("shutdown").and_then(Json::as_bool) == Some(true) {
+            Ok("server acknowledged shutdown\n".to_string())
+        } else {
+            Err(runtime_err(format!(
+                "unexpected shutdown response: {}",
+                resp.to_json()
+            )))
+        };
     }
-    let r = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
-        connected_components(gr)
-    });
-    Ok(format!(
-        "components={} rounds={}\n",
-        num_components(&r.label),
-        r.rounds
-    ))
-}
 
-/// `julienne densest in=<file>`
-pub fn cmd_densest(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in")?);
-    let backend = backend_opt(a)?;
-    a.finish()?;
-    let g: Graph = load(&input).map_err(runtime_err)?;
-    require_nonempty(&g)?;
-    if !g.is_symmetric() {
-        return Err(runtime_err("densest requires a symmetric graph"));
+    let cancel = a.string_or("cancel", "");
+    if !cancel.is_empty() {
+        a.finish()?;
+        let resp = connect(&addr)?
+            .roundtrip(&Json::Obj(vec![(
+                "cancel".into(),
+                Json::Str(cancel.clone()),
+            )]))
+            .map_err(wire)?;
+        return if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(format!("cancel acknowledged for {cancel}\n"))
+        } else {
+            Err(runtime_err(format!(
+                "unexpected cancel response: {}",
+                resp.to_json()
+            )))
+        };
     }
-    let ds = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
-        densest_subgraph(gr)
-    });
-    Ok(format!(
-        "densest subgraph: {} vertices, density {:.3}\n",
-        ds.vertices.len(),
-        ds.density
-    ))
-}
 
-/// `julienne triangles in=<file>`
-pub fn cmd_triangles(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in")?);
-    let backend = backend_opt(a)?;
-    a.finish()?;
-    let g: Graph = load(&input).map_err(runtime_err)?;
-    require_nonempty(&g)?;
-    if !g.is_symmetric() {
-        return Err(runtime_err("triangle counting requires a symmetric graph"));
-    }
-    let t = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
-        triangle_count(gr)
-    });
-    Ok(format!("triangles={t}\n"))
-}
-
-/// `julienne truss in=<file> [top=5]`
-pub fn cmd_truss(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in")?);
-    let top: usize = a.get_or("top", 5)?;
-    let backend = backend_opt(a)?;
-    a.finish()?;
-    let g: Graph = load(&input).map_err(runtime_err)?;
-    require_nonempty(&g)?;
-    if !g.is_symmetric() {
-        return Err(runtime_err("k-truss requires a symmetric graph"));
-    }
-    let (idx, r) = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
-        (EdgeIndex::new(gr), ktruss_julienne(gr))
-    });
-    let mut out = format!(
-        "edges={} max_truss={} rounds={}\n",
-        r.trussness.len(),
-        r.max_truss,
-        r.rounds
-    );
-    let mut by_truss: Vec<(u32, usize)> = r
-        .trussness
-        .iter()
-        .copied()
-        .map(|t| (t, 1))
-        .fold(
-            std::collections::BTreeMap::new(),
-            |mut m: std::collections::BTreeMap<u32, usize>, (t, c)| {
-                *m.entry(t).or_default() += c;
-                m
-            },
-        )
+    let algo = a.require("algo")?;
+    let id = a.string_or("id", "q0");
+    let timeout: Option<u64> = a.optional("timeout_ms")?;
+    let stats: bool = a.get_or("stats", false)?;
+    // An algorithm parameter whose name collides with one of this
+    // subcommand's own options (sssp's `algo=`, say) can be spelled with a
+    // `param.` prefix; the prefix is stripped before the pair goes on the
+    // wire.
+    let params: Vec<(String, String)> = a
+        .remaining()
         .into_iter()
+        .map(|(k, v)| match k.strip_prefix("param.") {
+            Some(stripped) => (stripped.to_string(), v),
+            None => (k, v),
+        })
         .collect();
-    by_truss.reverse();
-    let _ = writeln!(out, "edges per trussness (top {top} levels):");
-    for (t, c) in by_truss.into_iter().take(top) {
-        let _ = writeln!(out, "  trussness {t}: {c} edges");
-    }
-    let _ = idx;
-    Ok(out)
-}
+    let param_refs: Vec<(&str, &str)> = params
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    let request = query_request(&id, &algo, &param_refs, timeout, stats);
 
-/// `julienne clustering in=<file>`
-pub fn cmd_clustering(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in")?);
-    let backend = backend_opt(a)?;
-    a.finish()?;
-    let g: Graph = load(&input).map_err(runtime_err)?;
-    require_nonempty(&g)?;
-    if !g.is_symmetric() {
-        return Err(runtime_err("clustering requires a symmetric graph"));
+    let resp = connect(&addr)?.roundtrip(&request).map_err(wire)?;
+    match resp.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(resp
+            .get("output")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string()),
+        _ => {
+            let code = resp
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .unwrap_or("unknown");
+            let message = resp
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("unrecognized server response");
+            let text = format!("server error ({code}): {message}");
+            if code == "usage" {
+                Err(usage_err(text))
+            } else {
+                Err(runtime_err(text))
+            }
+        }
     }
-    let (local, trans) = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
-        (local_clustering(gr), transitivity(gr))
-    });
-    let avg = local.iter().sum::<f64>() / local.len().max(1) as f64;
-    Ok(format!(
-        "transitivity={trans:.6} avg_local_clustering={avg:.6}\n"
-    ))
-}
-
-/// `julienne pagerank in=<file> [damping=0.85] [iters=100]`
-pub fn cmd_pagerank(a: &Args) -> CmdResult {
-    let input = PathBuf::from(a.require("in")?);
-    let damping: f64 = a.get_or("damping", 0.85)?;
-    if !(0.0..=1.0).contains(&damping) {
-        return Err(usage_err(format!(
-            "damping={damping} out of range (expected 0 <= damping <= 1)"
-        )));
-    }
-    let iters: u32 = a.get_or("iters", 100)?;
-    let backend = backend_opt(a)?;
-    a.finish()?;
-    let g: Graph = load(&input).map_err(runtime_err)?;
-    require_nonempty(&g)?;
-    let r = with_backend!(backend, g, CompressedGraph::from_csr, |gr| {
-        pagerank(gr, damping, 1e-9, iters)
-    });
-    let mut top: Vec<(usize, f64)> = r.rank.iter().copied().enumerate().collect();
-    top.sort_by(|a, b| b.1.total_cmp(&a.1));
-    let mut out = format!("iterations={}\n", r.iterations);
-    let _ = writeln!(out, "top vertices by rank:");
-    for (v, score) in top.into_iter().take(5) {
-        let _ = writeln!(out, "  v{v}: {score:.6}");
-    }
-    Ok(out)
-}
-
-/// `julienne setcover sets=<n> elements=<n> [mult=4] [eps=0.01] [seed=1]
-/// [stats=none|json]`
-pub fn cmd_setcover(a: &Args) -> CmdResult {
-    let sets: usize = a.get_or("sets", 256)?;
-    let elements: usize = a.get_or("elements", 16_384)?;
-    let mult: usize = a.get_or("mult", 4)?;
-    let eps: f64 = a.get_or("eps", 0.01)?;
-    let seed: u64 = a.get_or("seed", 1)?;
-    let backend = backend_opt(a)?;
-    let (engine, emit_json) = stats_engine(a)?;
-    a.finish()?;
-    let mut inst = julienne_graph::generators::set_cover_instance(sets, elements, mult, seed);
-    if backend == Backend::Compressed {
-        // Set cover peels a packed (mutable) copy of the membership graph,
-        // so the compressed backend routes the instance through a
-        // compress/decompress round trip — same adjacency, proving the
-        // byte-coded form carries the full structure.
-        inst.graph = CompressedGraph::from_csr(&inst.graph).to_csr();
-    }
-    let r = julienne_algorithms::setcover::set_cover_julienne_with(&inst, eps, &engine);
-    if !verify_cover(&inst, &r.cover) {
-        return Err(runtime_err("internal error: produced cover is invalid"));
-    }
-    let mut out = format!(
-        "cover: {}/{sets} sets over {elements} elements, rounds={}, valid=yes\n",
-        r.cover.len(),
-        r.rounds
-    );
-    if emit_json {
-        let _ = writeln!(out, "{}", engine.snapshot().to_json("setcover"));
-    }
-    Ok(out)
 }
 
 /// Usage text.
@@ -548,6 +464,13 @@ COMMANDS:
   clustering  in=<file>
   pagerank    in=<file> [damping=0.85] [iters=100]
   setcover    [sets=256] [elements=16384] [mult=4] [eps=0.01] [seed=1] [stats=none|json]
+  serve       in=<file> [weighted=true] [addr=127.0.0.1:0] [open_buckets=128]
+              loads the graph once and answers concurrent queries over a local
+              socket (line-delimited JSON; see `query`)
+  query       addr=<host:port> algo=<id> [id=q0] [timeout_ms=<n>] [stats=false]
+              [params...] — or addr=... cancel=<id>, or addr=... shutdown=true
+              (prefix a param with `param.` if its name collides with an
+              option above, e.g. algo=sssp param.algo=wbfs)
   help
 
 Options may be written key=value, --key=value, or --key value.
@@ -560,6 +483,8 @@ form built after loading. Outputs are identical for both backends.
 stats=json appends one JSON object per run: accumulated counters plus a
 per-round trace (round, bucket, frontier, edges scanned/relaxed,
 sparse-vs-dense choice, elapsed microseconds).
+timeout_ms=<n> (algorithm commands) arms a deadline; a run that passes it
+stops at the next round boundary with a `deadline` error (exit 1).
 "
     .to_string()
 }
@@ -571,7 +496,8 @@ sparse-vs-dense choice, elapsed microseconds).
 /// knob as `JULIENNE_NUM_THREADS`. `backend=` is validated here and
 /// re-read by the graph commands to pick the in-memory representation
 /// (raw CSR vs byte-compressed). Neither affects any output, only speed
-/// and space.
+/// and space. Algorithm ids resolve through [`Registry::standard`], the
+/// same table `julienne serve` dispatches from.
 pub fn dispatch(a: &Args) -> CmdResult {
     let threads: usize = a.get_or("threads", 0)?;
     if threads > 0 {
@@ -582,16 +508,10 @@ pub fn dispatch(a: &Args) -> CmdResult {
         "gen" => cmd_gen(a),
         "stats" => cmd_stats(a),
         "convert" => cmd_convert(a),
-        "kcore" => cmd_kcore(a),
-        "sssp" => cmd_sssp(a),
-        "components" => cmd_components(a),
-        "densest" => cmd_densest(a),
-        "triangles" => cmd_triangles(a),
-        "truss" => cmd_truss(a),
-        "clustering" => cmd_clustering(a),
-        "pagerank" => cmd_pagerank(a),
-        "setcover" => cmd_setcover(a),
+        "serve" => cmd_serve(a),
+        "query" => cmd_query(a),
         "help" | "--help" | "-h" => Ok(usage()),
+        id if Registry::standard().get(id).is_some() => cmd_algo(a),
         other => Err(usage_err(format!("unknown command {other:?}"))),
     }
 }
@@ -728,7 +648,8 @@ mod tests {
     #[test]
     fn error_classes_pick_the_right_exit_code() {
         // Invocation mistakes are usage errors (exit 2): bad option values
-        // are knowable from argv alone.
+        // are knowable from argv alone — even when the input file is also
+        // missing, the parameter mistake is reported first.
         for bad in [
             "components in=x.bin backend=zip",
             "components in=x.bin threads=zzz",
@@ -812,6 +733,30 @@ mod tests {
     }
 
     #[test]
+    fn unknown_algorithm_param_names_the_algorithm() {
+        let f = tmp("up.bin");
+        run(&format!("gen kind=rmat scale=8 out={f}")).unwrap();
+        let e = run_classed(&format!("kcore in={f} bogus=1")).unwrap_err();
+        assert!(matches!(e, CmdError::Usage(_)), "{e:?}");
+        assert!(e.to_string().contains("kcore"), "{e}");
+        assert!(e.to_string().contains("bogus"), "{e}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn expired_cli_deadline_is_a_runtime_error() {
+        let f = tmp("ddl.bin");
+        run(&format!("gen kind=rmat scale=9 out={f}")).unwrap();
+        // timeout_ms=0 is an already-expired deadline: deterministic.
+        let e = run_classed(&format!("kcore in={f} timeout_ms=0")).unwrap_err();
+        assert!(matches!(e, CmdError::Runtime(_)), "{e:?}");
+        assert!(e.to_string().contains("deadline"), "{e}");
+        // Without the option the same invocation succeeds.
+        run(&format!("kcore in={f}")).unwrap();
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
     fn compressed_backend_output_is_byte_identical() {
         let f = tmp("be.bin");
         let fw = tmp("bew.bin");
@@ -868,5 +813,56 @@ mod tests {
         let e = run(&format!("components in={f} threads=zzz")).unwrap_err();
         assert!(e.contains("threads"), "{e}");
         std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn serve_requires_an_existing_input() {
+        let e = run_classed("serve in=/nonexistent/julienne-no-such.bin").unwrap_err();
+        assert!(matches!(e, CmdError::Runtime(_)), "{e:?}");
+    }
+
+    #[test]
+    fn query_subcommand_talks_to_a_live_server() {
+        use julienne_graph::generators::rmat;
+        use julienne_graph::transform::assign_weights;
+        let g = assign_weights(&rmat(7, 8, RmatParams::default(), 5, true), 1, 64, 9);
+        let store = GraphStore::from_weighted(g, Backend::Csr);
+        let server = Server::bind("127.0.0.1:0", &Engine::default(), store).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let join = std::thread::spawn(move || server.serve().unwrap());
+
+        // A served answer is byte-identical to the direct command's report
+        // body (same registry entry on both paths).
+        let out = run(&format!("query addr={addr} algo=kcore top=2")).unwrap();
+        assert!(out.contains("k_max="), "{out}");
+
+        // `param.` prefix escapes collisions with the subcommand's own
+        // options: sssp's variant selector is also spelled `algo=`.
+        let out = run(&format!(
+            "query addr={addr} algo=sssp param.algo=wbfs src=2"
+        ))
+        .unwrap();
+        assert!(out.contains("reached="), "{out}");
+
+        // Server-side error classes survive the wire: usage stays exit 2...
+        let e = run_classed(&format!("query addr={addr} algo=frobnicate")).unwrap_err();
+        assert!(matches!(e, CmdError::Usage(_)), "{e:?}");
+        assert_eq!(e.exit_code(), 2);
+
+        // ...and an expired deadline is a runtime error naming the class.
+        let e = run_classed(&format!("query addr={addr} algo=kcore timeout_ms=0")).unwrap_err();
+        assert!(matches!(e, CmdError::Runtime(_)), "{e:?}");
+        assert!(e.to_string().contains("deadline"), "{e}");
+
+        let ack = run(&format!("query addr={addr} cancel=q7")).unwrap();
+        assert!(ack.contains("q7"), "{ack}");
+
+        let bye = run(&format!("query addr={addr} shutdown=true")).unwrap();
+        assert!(bye.contains("shutdown"), "{bye}");
+        join.join().unwrap();
+
+        // With the server gone, queries are runtime (connection) errors.
+        let e = run_classed(&format!("query addr={addr} algo=kcore")).unwrap_err();
+        assert!(matches!(e, CmdError::Runtime(_)), "{e:?}");
     }
 }

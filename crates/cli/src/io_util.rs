@@ -1,8 +1,8 @@
 //! Format-dispatching graph load/save for the CLI.
 
+use julienne::Error;
 use julienne_graph::csr::{Csr, Weight};
 use julienne_graph::io;
-use std::io::Error;
 use std::path::Path;
 
 /// Supported on-disk formats, inferred from the file extension.
@@ -20,57 +20,58 @@ pub enum Format {
     Metis,
 }
 
-/// Infers the format from a path's extension.
-pub fn infer_format(path: &Path) -> Result<Format, String> {
+/// Infers the format from a path's extension. An unknown extension is a
+/// usage error: the invocation named a file this tool cannot interpret.
+pub fn infer_format(path: &Path) -> Result<Format, Error> {
     match path.extension().and_then(|e| e.to_str()) {
         Some("adj") => Ok(Format::Adjacency),
         Some("el") | Some("txt") => Ok(Format::EdgeList),
         Some("gr") => Ok(Format::Dimacs),
         Some("bin") => Ok(Format::Binary),
         Some("metis") | Some("graph") => Ok(Format::Metis),
-        other => Err(format!(
+        other => Err(Error::usage(format!(
             "cannot infer graph format from extension {other:?} (use .adj/.el/.gr/.bin/.metis)"
-        )),
+        ))),
     }
 }
 
-/// Loads a graph with weight type `W` from `path`.
-pub fn load<W: Weight>(path: &Path) -> Result<Csr<W>, String> {
-    let fmt = infer_format(path)?;
-    let res: Result<Csr<W>, Error> = match fmt {
+/// Loads a graph with weight type `W` from `path`. Errors come back typed:
+/// [`Error::Io`]/[`Error::Parse`] carry the path (and line) themselves.
+pub fn load<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
+    match infer_format(path)? {
         Format::Adjacency => io::read_adjacency_graph(path),
         Format::EdgeList => io::read_edge_list(path, None, false),
         Format::Binary => io::read_binary(path),
         Format::Metis => io::read_metis(path),
         Format::Dimacs => {
             if W::IS_UNIT {
-                return Err("DIMACS files are weighted; use a weighted command".into());
+                return Err(Error::usage(
+                    "DIMACS files are weighted; use a weighted command",
+                ));
             }
             // Round-trip through u64 encoding to reuse the typed reader.
-            return io::read_dimacs(path).map_err(|e| e.to_string()).map(|g| {
+            io::read_dimacs(path).map(|g| {
                 Csr::from_parts(
                     g.offsets().to_vec(),
                     g.targets().to_vec(),
                     g.weights().iter().map(|&w| W::from_u64(w as u64)).collect(),
                     g.is_symmetric(),
                 )
-            });
+            })
         }
-    };
-    res.map_err(|e| format!("loading {}: {e}", path.display()))
+    }
 }
 
 /// Saves a graph to `path` in the extension-inferred format.
-pub fn save<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), String> {
-    let fmt = infer_format(path)?;
-    let res: Result<(), Error> = match fmt {
+pub fn save<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
+    match infer_format(path)? {
         Format::Adjacency => io::write_adjacency_graph(g, path),
         Format::EdgeList => io::write_edge_list(g, path),
         Format::Binary => io::write_binary(g, path),
         Format::Metis => io::write_metis(g, path),
         Format::Dimacs => {
             if W::IS_UNIT {
-                return Err("DIMACS output requires a weighted graph".into());
+                return Err(Error::usage("DIMACS output requires a weighted graph"));
             }
             let wg: Csr<u32> = Csr::from_parts(
                 g.offsets().to_vec(),
@@ -80,8 +81,7 @@ pub fn save<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), String> {
             );
             io::write_dimacs(&wg, path)
         }
-    };
-    res.map_err(|e| format!("saving {}: {e}", path.display()))
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +98,8 @@ mod tests {
         assert_eq!(infer_format(Path::new("a.bin")).unwrap(), Format::Binary);
         assert_eq!(infer_format(Path::new("a.metis")).unwrap(), Format::Metis);
         assert_eq!(infer_format(Path::new("a.graph")).unwrap(), Format::Metis);
-        assert!(infer_format(Path::new("a.xyz")).is_err());
+        let err = infer_format(Path::new("a.xyz")).unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
     }
 
     #[test]
@@ -133,8 +134,16 @@ mod tests {
     }
 
     #[test]
+    fn missing_file_error_names_the_path() {
+        let err = load::<()>(Path::new("/definitely/not/here.adj")).unwrap_err();
+        assert_eq!(err.code(), "io");
+        assert!(err.to_string().contains("here.adj"), "{err}");
+    }
+
+    #[test]
     fn dimacs_rejects_unweighted() {
         let g = erdos_renyi(10, 30, 1, false);
-        assert!(save(&g, Path::new("/tmp/x.gr")).is_err());
+        let err = save(&g, Path::new("/tmp/x.gr")).unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
     }
 }

@@ -76,8 +76,9 @@ fn unreadable_graph_file_exits_1_with_usage() {
         1,
         "julienne-no-such-file.bin",
     );
-    // Unknown extension: the file can't even be format-dispatched.
-    assert_fails(&["components", "in=graph.xyz"], 1, "extension");
+    // Unknown extension: a usage-class error (the invocation named a file
+    // this tool cannot interpret — knowable from argv alone, exit 2).
+    assert_fails(&["components", "in=graph.xyz"], 2, "extension");
 }
 
 #[test]

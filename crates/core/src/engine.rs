@@ -32,6 +32,7 @@
 use crate::bucket::{BucketId, Buckets, BucketsBuilder, Identifier, Order, DEFAULT_OPEN_BUCKETS};
 use julienne_ligra::traits::OutEdges;
 use julienne_ligra::{EdgeMap, EdgeMapOptions, Mode};
+use julienne_primitives::error::Error;
 use julienne_primitives::telemetry::{Telemetry, TelemetrySnapshot};
 
 /// Which physical graph representation the driver should run on.
@@ -53,13 +54,17 @@ pub enum Backend {
 
 impl Backend {
     /// Parses the CLI spelling (`csr` or `compressed`).
-    pub fn parse(s: &str) -> Result<Self, String> {
+    ///
+    /// An unknown spelling is an [`Error::Usage`]: the request named a
+    /// backend that does not exist, so the CLI exits 2 and the server
+    /// answers with wire code `"usage"`.
+    pub fn parse(s: &str) -> Result<Self, Error> {
         match s {
             "csr" => Ok(Backend::Csr),
             "compressed" => Ok(Backend::Compressed),
-            other => Err(format!(
+            other => Err(Error::usage(format!(
                 "unknown backend '{other}' (expected csr or compressed)"
-            )),
+            ))),
         }
     }
 
@@ -160,6 +165,23 @@ impl Engine {
     /// Snapshots accumulated counters and per-round records.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         self.telemetry.snapshot()
+    }
+
+    /// A clone of this engine whose telemetry sink is a **fresh scope** —
+    /// enabled iff `enabled`, sharing no counters or round records with
+    /// this engine's sink.
+    ///
+    /// This is how [`Session::query`](crate::query::Session::query) gives
+    /// each concurrent query its own round trace instead of interleaving
+    /// everything into one engine-global snapshot.
+    pub fn with_telemetry_scope(&self, enabled: bool) -> Engine {
+        let mut scoped = self.clone();
+        scoped.telemetry = if enabled {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        scoped
     }
 
     /// Clears accumulated counters and per-round records (e.g. between
@@ -326,9 +348,11 @@ mod tests {
         assert_eq!(Engine::default().backend(), Backend::Csr);
         let e = Engine::builder().backend(Backend::Compressed).build();
         assert_eq!(e.backend(), Backend::Compressed);
-        assert_eq!(Backend::parse("csr"), Ok(Backend::Csr));
-        assert_eq!(Backend::parse("compressed"), Ok(Backend::Compressed));
-        assert!(Backend::parse("mmap").is_err());
+        assert_eq!(Backend::parse("csr").unwrap(), Backend::Csr);
+        assert_eq!(Backend::parse("compressed").unwrap(), Backend::Compressed);
+        let err = Backend::parse("mmap").unwrap_err();
+        assert!(err.is_usage(), "bad backend spelling is a usage error");
+        assert!(err.to_string().contains("mmap"));
         assert_eq!(Backend::Compressed.to_string(), "compressed");
     }
 

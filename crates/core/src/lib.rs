@@ -28,11 +28,17 @@
 
 pub mod bucket;
 pub mod engine;
+pub mod query;
 
 /// Counters, spans, and per-round trace records shared by the whole stack
 /// (re-exported from `julienne-primitives`; a zero-cost no-op when the
 /// `telemetry` feature is off).
 pub use julienne_primitives::telemetry;
+
+/// The workspace-wide typed error enum (re-exported from
+/// `julienne-primitives`): io / parse-with-line / usage / input plus the
+/// query-lifecycle terminations (cancelled, deadline exceeded).
+pub use julienne_primitives::error::Error;
 
 pub mod prelude {
     //! Everything an application needs: graph types, the Ligra engine, and
@@ -47,7 +53,9 @@ pub mod prelude {
         NULL_BKT,
     };
     pub use crate::engine::{Backend, Engine, EngineBuilder};
+    pub use crate::query::{CancelToken, QueryCtx, Session};
     pub use crate::telemetry::{Counter, RoundRecord, Telemetry, TelemetrySnapshot, TraversalKind};
+    pub use crate::Error;
     pub use julienne_graph::{Csr, Graph, VertexId, WGraph, Weight};
     pub use julienne_ligra::{
         edge_map_filter_count, edge_map_filter_pack, edge_map_packed, edge_map_sum, vertex_filter,

@@ -1,0 +1,402 @@
+//! The query lifecycle: sessions, per-query contexts, deadlines, and
+//! cooperative cancellation.
+//!
+//! Julienne (SPAA 2017) is batch-shaped: load a graph, run one algorithm,
+//! exit. A serving system instead loads a graph **once** and answers many
+//! concurrent queries over it. This module adds the three pieces that
+//! lifecycle needs:
+//!
+//! * [`Session`] — one immutable shared graph (`Arc<G>`, either backend)
+//!   plus a template [`Engine`]. [`Session::query`] mints a [`QueryCtx`]
+//!   per request, each with its **own telemetry scope**, so concurrent
+//!   queries never interleave counters or round records
+//!   (`Engine::snapshot` used to be engine-global).
+//! * [`QueryCtx`] — everything one query carries through the round loops:
+//!   the engine configuration, an optional deadline, and a [`CancelToken`].
+//! * [`CancelToken`] — a cheaply-clonable cooperative cancellation flag.
+//!   The holder (a server connection, a test) keeps one clone; the query
+//!   polls its twin via [`QueryCtx::check`].
+//!
+//! # The round-boundary contract
+//!
+//! Algorithms poll [`QueryCtx::check`] **at round boundaries** — once per
+//! `next_bucket` / frontier iteration, before any work for that round.
+//! Within a round the query runs to completion (rounds are short: one
+//! bucket extraction plus one edge map). On cancellation or an expired
+//! deadline, `check` returns [`Error::Cancelled`] /
+//! [`Error::DeadlineExceeded`], the algorithm propagates the error with
+//! `?`, and its buckets, frontiers, and scratch arrays are dropped on the
+//! way out. **No partial output escapes** — the caller gets an `Err`, never
+//! a half-filled result — and the session stays reusable because queries
+//! own all their mutable state.
+//!
+//! ```
+//! use julienne::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(julienne_graph::builder::from_pairs(3, &[(0, 1), (1, 2)]));
+//! let session = Engine::builder().build().session(g);
+//! let ctx = session.query();
+//! ctx.check().unwrap(); // not cancelled, no deadline: queries proceed
+//!
+//! let cancelled = session.query();
+//! cancelled.cancel_token().cancel();
+//! assert!(cancelled.check().is_err()); // this query is dead ...
+//! assert!(session.query().check().is_ok()); // ... the session is not
+//! ```
+
+use crate::engine::Engine;
+use julienne_primitives::error::Error;
+use julienne_primitives::telemetry::TelemetrySnapshot;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation flag shared between a query and whoever may
+/// cancel it. Clones share the same flag.
+///
+/// Cancellation is *cooperative*: flipping the flag does nothing by itself;
+/// the running query observes it at its next round boundary via
+/// [`QueryCtx::check`] and unwinds with [`Error::Cancelled`].
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+#[derive(Debug)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    /// Deterministic trip wire for tests: when >= 0, each poll decrements
+    /// it and the token cancels itself as the count crosses zero. `-1`
+    /// means "no budget" (the normal case).
+    polls_left: AtomicI64,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                polls_left: AtomicI64::new(-1),
+            }),
+        }
+    }
+
+    /// A token that trips itself on the `n`-th poll (0 = already tripped at
+    /// the first poll). Wall-clock-free cancellation for deterministic
+    /// lifecycle tests: "cancel exactly at round k" reproduces bit-for-bit
+    /// under any scheduler, chaos seeds included.
+    pub fn cancel_after_polls(n: u64) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                polls_left: AtomicI64::new(n.min(i64::MAX as u64) as i64),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the query's next
+    /// round boundary.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested. Does not consume poll
+    /// budget.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// One poll from the round loop: burns poll budget (if armed) and
+    /// reports whether the query should stop.
+    fn poll(&self) -> bool {
+        if self.inner.polls_left.load(Ordering::Relaxed) >= 0
+            && self.inner.polls_left.fetch_sub(1, Ordering::AcqRel) <= 0
+        {
+            self.cancel();
+        }
+        self.is_cancelled()
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+/// Everything one query carries through the round loops: engine
+/// configuration (edge-map options, bucket window, telemetry scope), an
+/// optional deadline, and a cancellation token.
+///
+/// Construct via [`Session::query`] for served traffic, or
+/// [`QueryCtx::from_engine`] / [`QueryCtx::default`] to run an algorithm
+/// directly (the deprecated `foo_with(engine)` wrappers do exactly that).
+#[derive(Clone)]
+pub struct QueryCtx {
+    engine: Engine,
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    emit_stats: bool,
+}
+
+impl Default for QueryCtx {
+    fn default() -> Self {
+        QueryCtx::from_engine(&Engine::default())
+    }
+}
+
+impl QueryCtx {
+    /// A context sharing `engine`'s configuration **and telemetry sink** —
+    /// the single-query behaviour the pre-session API had. Served queries
+    /// should come from [`Session::query`] instead, which scopes telemetry
+    /// per query.
+    pub fn from_engine(engine: &Engine) -> Self {
+        QueryCtx {
+            engine: engine.clone(),
+            deadline: None,
+            cancel: CancelToken::new(),
+            emit_stats: false,
+        }
+    }
+
+    /// Sets a deadline `timeout` from now. [`check`](Self::check) fails
+    /// with [`Error::DeadlineExceeded`] at the first round boundary past
+    /// it.
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Instant::now().checked_add(timeout);
+        self
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Attaches a caller-held cancellation token (e.g. one registered in a
+    /// server's in-flight table before the query thread starts).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Requests a per-round stats trace in the query's report. Ensures the
+    /// telemetry scope is live (a fresh one is minted if this context was
+    /// built over a telemetry-less engine).
+    pub fn with_stats(mut self, emit: bool) -> Self {
+        self.emit_stats = emit;
+        if emit && !self.engine.telemetry().is_enabled() {
+            self.engine = self.engine.with_telemetry_scope(true);
+        }
+        self
+    }
+
+    /// Whether the query's report should embed the stats trace.
+    pub fn emit_stats(&self) -> bool {
+        self.emit_stats
+    }
+
+    /// A clone of this query's cancellation token, for the party that may
+    /// cancel it.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The engine configuration this query runs under.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// This query's deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The round-boundary poll: `Err(Cancelled)` if the token tripped,
+    /// `Err(DeadlineExceeded)` if the deadline passed, `Ok(())` otherwise.
+    ///
+    /// Algorithms call this once per round, *before* the round's work, and
+    /// propagate the error with `?` so all per-query state (buckets,
+    /// frontiers) drops on unwind. Cancellation wins over the deadline when
+    /// both apply in the same poll.
+    pub fn check(&self) -> Result<(), Error> {
+        if self.cancel.poll() {
+            return Err(Error::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(Error::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of this query's telemetry scope (counters + round records).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.engine.snapshot()
+    }
+}
+
+/// One loaded graph shared across many concurrent queries.
+///
+/// The graph lives in an `Arc` and is strictly immutable; every query
+/// reads it through `&G`, so any number can run at once on the shared
+/// worker pool. The session's engine is a *template*: [`Session::query`]
+/// clones it with a fresh telemetry scope per query.
+pub struct Session<G> {
+    engine: Engine,
+    graph: Arc<G>,
+}
+
+impl Engine {
+    /// Opens a [`Session`] serving queries over one shared immutable graph.
+    /// This engine becomes the per-query template (edge-map options,
+    /// bucket window, backend label); its telemetry *enablement* carries
+    /// over, but each query records into its own scope.
+    pub fn session<G>(&self, graph: Arc<G>) -> Session<G> {
+        Session {
+            engine: self.clone(),
+            graph,
+        }
+    }
+}
+
+impl<G> Session<G> {
+    /// The shared graph.
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// A new reference to the shared graph (e.g. to hand to a query
+    /// thread).
+    pub fn graph_arc(&self) -> Arc<G> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The template engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mints the context for one query: template configuration, no
+    /// deadline, a fresh cancellation token, and — when the template has
+    /// telemetry on — a **fresh telemetry scope**, so concurrent queries
+    /// never share counters or interleave round records.
+    pub fn query(&self) -> QueryCtx {
+        let scoped = self
+            .engine
+            .with_telemetry_scope(self.engine.telemetry().is_enabled());
+        QueryCtx {
+            engine: scoped,
+            deadline: None,
+            cancel: CancelToken::new(),
+            emit_stats: false,
+        }
+    }
+}
+
+impl<G> Clone for Session<G> {
+    fn clone(&self) -> Self {
+        Session {
+            engine: self.engine.clone(),
+            graph: Arc::clone(&self.graph),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ctx_passes_checks() {
+        let ctx = QueryCtx::default();
+        for _ in 0..100 {
+            ctx.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn cancel_is_observed_and_sticky() {
+        let ctx = QueryCtx::default();
+        let token = ctx.cancel_token();
+        ctx.check().unwrap();
+        token.cancel();
+        assert!(matches!(ctx.check(), Err(Error::Cancelled)));
+        assert!(matches!(ctx.check(), Err(Error::Cancelled)));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn poll_budget_trips_exactly_once_armed() {
+        let ctx = QueryCtx::default().with_cancel_token(CancelToken::cancel_after_polls(3));
+        ctx.check().unwrap();
+        ctx.check().unwrap();
+        ctx.check().unwrap();
+        assert!(matches!(ctx.check(), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn zero_budget_trips_immediately() {
+        let ctx = QueryCtx::default().with_cancel_token(CancelToken::cancel_after_polls(0));
+        assert!(matches!(ctx.check(), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn expired_deadline_fails_checks() {
+        let ctx = QueryCtx::default().with_deadline(Duration::ZERO);
+        assert!(matches!(ctx.check(), Err(Error::DeadlineExceeded)));
+        let ctx = QueryCtx::default().with_deadline(Duration::from_secs(3600));
+        ctx.check().unwrap();
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        let ctx = QueryCtx::default().with_deadline(Duration::ZERO);
+        ctx.cancel_token().cancel();
+        assert!(matches!(ctx.check(), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn session_queries_are_independent() {
+        let engine = Engine::builder().open_buckets(16).build();
+        let session = engine.session(Arc::new(42u32));
+        assert_eq!(*session.graph(), 42);
+        let a = session.query();
+        let b = session.query();
+        assert_eq!(a.engine().open_buckets(), 16);
+        a.cancel_token().cancel();
+        assert!(a.check().is_err());
+        b.check().unwrap(); // b's token is its own
+        session.query().check().unwrap(); // session unaffected
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn session_scopes_telemetry_per_query() {
+        use julienne_primitives::telemetry::Counter;
+        let engine = Engine::builder().telemetry(true).build();
+        let session = engine.session(Arc::new(()));
+        let a = session.query();
+        let b = session.query();
+        a.engine().telemetry().incr(Counter::EdgesScanned);
+        assert_eq!(a.engine().telemetry().get(Counter::EdgesScanned), 1);
+        // b and the template engine saw nothing: scopes are per query.
+        assert_eq!(b.engine().telemetry().get(Counter::EdgesScanned), 0);
+        assert_eq!(
+            session.engine().telemetry().get(Counter::EdgesScanned),
+            0,
+            "query counters must not leak into the engine-global sink"
+        );
+    }
+
+    #[test]
+    fn with_stats_mints_a_live_scope() {
+        let ctx = QueryCtx::default().with_stats(true);
+        assert!(ctx.emit_stats());
+        #[cfg(feature = "telemetry")]
+        assert!(ctx.engine().telemetry().is_enabled());
+    }
+}

@@ -1,87 +1,137 @@
 //! Graph I/O: Ligra adjacency text format, edge lists, DIMACS `.gr`, and a
 //! fast length-prefixed binary format.
+//!
+//! Every reader and writer returns the workspace [`Error`] enum: OS-level
+//! failures surface as [`Error::Io`] with the path attached, malformed
+//! content as [`Error::Parse`] with the path and (for line-oriented
+//! formats) the 1-based line of the offending record. Callers — the CLI,
+//! the query server — render or classify these without re-parsing strings.
 
 use crate::builder::EdgeList;
 use crate::csr::{Csr, Weight};
 use crate::VertexId;
 use bytes::{Buf, BufMut};
+use julienne_primitives::error::Error;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write as _};
 use std::path::Path;
 
-/// Writes `g` in Ligra's `AdjacencyGraph` / `WeightedAdjacencyGraph` text
-/// format.
-pub fn write_adjacency_graph<W: Weight>(g: &Csr<W>, path: &Path) -> io::Result<()> {
-    let mut out = BufWriter::new(File::create(path)?);
-    if W::IS_UNIT {
-        writeln!(out, "AdjacencyGraph")?;
-    } else {
-        writeln!(out, "WeightedAdjacencyGraph")?;
+/// A line source that tracks the 1-based line number for error positioning.
+struct Lines<'p> {
+    inner: io::Lines<BufReader<File>>,
+    path: &'p Path,
+    lineno: usize,
+}
+
+impl<'p> Lines<'p> {
+    fn open(path: &'p Path) -> Result<Self, Error> {
+        let file = File::open(path).map_err(|e| Error::io_at(path, e))?;
+        Ok(Lines {
+            inner: BufReader::new(file).lines(),
+            path,
+            lineno: 0,
+        })
     }
-    writeln!(out, "{}", g.num_vertices())?;
-    writeln!(out, "{}", g.num_edges())?;
-    for v in 0..g.num_vertices() {
-        writeln!(out, "{}", g.offsets()[v])?;
-    }
-    for &t in g.targets() {
-        writeln!(out, "{t}")?;
-    }
-    if !W::IS_UNIT {
-        for &w in g.weights() {
-            writeln!(out, "{}", w.to_u64())?;
+
+    /// The next line, or a positioned parse error naming `what` was missing.
+    fn next(&mut self, what: &str) -> Result<String, Error> {
+        self.lineno += 1;
+        match self.inner.next() {
+            None => Err(Error::parse_at(
+                self.path,
+                self.lineno,
+                format!("unexpected end of file (expected {what})"),
+            )),
+            Some(Err(e)) => Err(Error::io_at(self.path, e)),
+            Some(Ok(s)) => Ok(s),
         }
     }
-    out.flush()
+
+    /// A parse error positioned at the line most recently read.
+    fn bad(&self, msg: impl Into<String>) -> Error {
+        Error::parse_at(self.path, self.lineno, msg)
+    }
+}
+
+/// Writes `g` in Ligra's `AdjacencyGraph` / `WeightedAdjacencyGraph` text
+/// format.
+pub fn write_adjacency_graph<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
+    let write = || -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(path)?);
+        if W::IS_UNIT {
+            writeln!(out, "AdjacencyGraph")?;
+        } else {
+            writeln!(out, "WeightedAdjacencyGraph")?;
+        }
+        writeln!(out, "{}", g.num_vertices())?;
+        writeln!(out, "{}", g.num_edges())?;
+        for v in 0..g.num_vertices() {
+            writeln!(out, "{}", g.offsets()[v])?;
+        }
+        for &t in g.targets() {
+            writeln!(out, "{t}")?;
+        }
+        if !W::IS_UNIT {
+            for &w in g.weights() {
+                writeln!(out, "{}", w.to_u64())?;
+            }
+        }
+        out.flush()
+    };
+    write().map_err(|e| Error::io_at(path, e))
 }
 
 /// Reads a Ligra `AdjacencyGraph` / `WeightedAdjacencyGraph` text file.
-pub fn read_adjacency_graph<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
-    let reader = BufReader::new(File::open(path)?);
-    let mut lines = reader.lines();
-    let mut next = |what: &str| -> io::Result<String> {
-        lines
-            .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, what.to_string()))?
-    };
-    let header = next("header")?;
+pub fn read_adjacency_graph<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
+    let mut src = Lines::open(path)?;
+    let header = src.next("header")?;
     let weighted = match header.trim() {
         "AdjacencyGraph" => false,
         "WeightedAdjacencyGraph" => true,
-        other => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unknown header {other:?}"),
-            ))
-        }
+        other => return Err(src.bad(format!("unknown header {other:?}"))),
     };
     if weighted == W::IS_UNIT {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "weightedness of file does not match requested graph type",
-        ));
+        return Err(src.bad("weightedness of file does not match requested graph type"));
     }
-    let parse_err =
-        |e: std::num::ParseIntError| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
-    let n: usize = next("n")?.trim().parse().map_err(parse_err)?;
-    let m: usize = next("m")?.trim().parse().map_err(parse_err)?;
+    let n: usize = {
+        let s = src.next("vertex count")?;
+        s.trim()
+            .parse()
+            .map_err(|e| src.bad(format!("vertex count: {e}")))?
+    };
+    let m: usize = {
+        let s = src.next("edge count")?;
+        s.trim()
+            .parse()
+            .map_err(|e| src.bad(format!("edge count: {e}")))?
+    };
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..n {
-        offsets.push(next("offset")?.trim().parse::<u64>().map_err(parse_err)?);
+        let s = src.next("offset")?;
+        offsets.push(
+            s.trim()
+                .parse::<u64>()
+                .map_err(|e| src.bad(format!("offset: {e}")))?,
+        );
     }
     offsets.push(m as u64);
     let mut targets = Vec::with_capacity(m);
     for _ in 0..m {
+        let s = src.next("edge")?;
         targets.push(
-            next("edge")?
-                .trim()
+            s.trim()
                 .parse::<VertexId>()
-                .map_err(parse_err)?,
+                .map_err(|e| src.bad(format!("edge target: {e}")))?,
         );
     }
     let mut weights = Vec::with_capacity(if weighted { m } else { 0 });
     if weighted {
         for _ in 0..m {
-            let w: u64 = next("weight")?.trim().parse().map_err(parse_err)?;
+            let s = src.next("weight")?;
+            let w: u64 = s
+                .trim()
+                .parse()
+                .map_err(|e| src.bad(format!("weight: {e}")))?;
             weights.push(W::from_u64(w));
         }
     }
@@ -89,25 +139,28 @@ pub fn read_adjacency_graph<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
 }
 
 /// Writes a whitespace edge list (`u v` or `u v w` per line).
-pub fn write_edge_list<W: Weight>(g: &Csr<W>, path: &Path) -> io::Result<()> {
-    let mut out = BufWriter::new(File::create(path)?);
-    for u in 0..g.num_vertices() as VertexId {
-        for (v, w) in g.edges_of(u) {
-            if W::IS_UNIT {
-                writeln!(out, "{u} {v}")?;
-            } else {
-                writeln!(out, "{u} {v} {}", w.to_u64())?;
+pub fn write_edge_list<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
+    let write = || -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(path)?);
+        for u in 0..g.num_vertices() as VertexId {
+            for (v, w) in g.edges_of(u) {
+                if W::IS_UNIT {
+                    writeln!(out, "{u} {v}")?;
+                } else {
+                    writeln!(out, "{u} {v} {}", w.to_u64())?;
+                }
             }
         }
-    }
-    out.flush()
+        out.flush()
+    };
+    write().map_err(|e| Error::io_at(path, e))
 }
 
 /// Reads a whitespace edge list; lines starting with `#` or `%` are
 /// comments. `n` is inferred as `1 + max id` unless given.
 ///
-/// Errors with `InvalidData` if the file contains no edges and `n` was not
-/// supplied (there is no defensible vertex count to infer — the old
+/// Errors with [`Error::Parse`] if the file contains no edges and `n` was
+/// not supplied (there is no defensible vertex count to infer — the old
 /// behaviour silently produced a bogus 1-vertex graph), or if any endpoint
 /// is `>= n` for a user-supplied `n` (those edges previously survived until
 /// an out-of-bounds index deep inside CSR construction).
@@ -115,23 +168,18 @@ pub fn read_edge_list<W: Weight>(
     path: &Path,
     n: Option<usize>,
     symmetric: bool,
-) -> io::Result<Csr<W>> {
-    let reader = BufReader::new(File::open(path)?);
+) -> Result<Csr<W>, Error> {
+    let reader = BufReader::new(File::open(path).map_err(|e| Error::io_at(path, e))?);
     let mut edges: Vec<(VertexId, VertexId, W)> = Vec::new();
     let mut max_id = 0u32;
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(|e| Error::io_at(path, e))?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
             continue;
         }
         let mut it = line.split_whitespace();
-        let bad = || {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad edge line {}: {line:?}", lineno + 1),
-            )
-        };
+        let bad = || Error::parse_at(path, lineno + 1, format!("bad edge line: {line:?}"));
         let u: VertexId = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let v: VertexId = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let w = if W::IS_UNIT {
@@ -142,12 +190,10 @@ pub fn read_edge_list<W: Weight>(
         };
         if let Some(n) = n {
             if u as usize >= n || v as usize >= n {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "edge ({u}, {v}) on line {} references a vertex >= n = {n}",
-                        lineno + 1
-                    ),
+                return Err(Error::parse_at(
+                    path,
+                    lineno + 1,
+                    format!("edge ({u}, {v}) references a vertex >= n = {n}"),
                 ));
             }
         }
@@ -155,14 +201,13 @@ pub fn read_edge_list<W: Weight>(
         edges.push((u, v, w));
     }
     if edges.is_empty() && n.is_none() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "edge list {} contains no edges; pass an explicit vertex count \
-                 to load an edgeless graph",
-                path.display()
-            ),
-        ));
+        return Err(Error::Parse {
+            path: Some(path.to_path_buf()),
+            line: None,
+            msg: "file contains no edges; pass an explicit vertex count to load an \
+                  edgeless graph"
+                .to_string(),
+        });
     }
     let n = n.unwrap_or(max_id as usize + 1);
     let mut el = EdgeList::new(n);
@@ -175,26 +220,29 @@ pub fn read_edge_list<W: Weight>(
 }
 
 /// Writes a DIMACS shortest-path challenge `.gr` file (1-indexed, weighted).
-pub fn write_dimacs(g: &Csr<u32>, path: &Path) -> io::Result<()> {
-    let mut out = BufWriter::new(File::create(path)?);
-    writeln!(out, "c generated by julienne-graph")?;
-    writeln!(out, "p sp {} {}", g.num_vertices(), g.num_edges())?;
-    for u in 0..g.num_vertices() as VertexId {
-        for (v, w) in g.edges_of(u) {
-            writeln!(out, "a {} {} {w}", u + 1, v + 1)?;
+pub fn write_dimacs(g: &Csr<u32>, path: &Path) -> Result<(), Error> {
+    let write = || -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "c generated by julienne-graph")?;
+        writeln!(out, "p sp {} {}", g.num_vertices(), g.num_edges())?;
+        for u in 0..g.num_vertices() as VertexId {
+            for (v, w) in g.edges_of(u) {
+                writeln!(out, "a {} {} {w}", u + 1, v + 1)?;
+            }
         }
-    }
-    out.flush()
+        out.flush()
+    };
+    write().map_err(|e| Error::io_at(path, e))
 }
 
 /// Reads a DIMACS `.gr` file.
-pub fn read_dimacs(path: &Path) -> io::Result<Csr<u32>> {
-    let reader = BufReader::new(File::open(path)?);
+pub fn read_dimacs(path: &Path) -> Result<Csr<u32>, Error> {
+    let reader = BufReader::new(File::open(path).map_err(|e| Error::io_at(path, e))?);
     let mut n = 0usize;
     let mut edges: Vec<(VertexId, VertexId, u32)> = Vec::new();
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    for line in reader.lines() {
-        let line = line?;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| Error::io_at(path, e))?;
+        let bad = |msg: &str| Error::parse_at(path, lineno + 1, msg);
         let mut it = line.split_whitespace();
         match it.next() {
             Some("c") | None => {}
@@ -202,26 +250,26 @@ pub fn read_dimacs(path: &Path) -> io::Result<Csr<u32>> {
                 let _sp = it.next();
                 n = it
                     .next()
-                    .ok_or_else(|| bad("p line"))?
+                    .ok_or_else(|| bad("p line is missing the vertex count"))?
                     .parse()
-                    .map_err(|_| bad("p n"))?;
+                    .map_err(|_| bad("p line has a non-numeric vertex count"))?;
             }
             Some("a") => {
                 let u: u32 = it
                     .next()
-                    .ok_or_else(|| bad("a u"))?
+                    .ok_or_else(|| bad("arc line is missing its tail"))?
                     .parse()
-                    .map_err(|_| bad("a u"))?;
+                    .map_err(|_| bad("arc tail is not a number"))?;
                 let v: u32 = it
                     .next()
-                    .ok_or_else(|| bad("a v"))?
+                    .ok_or_else(|| bad("arc line is missing its head"))?
                     .parse()
-                    .map_err(|_| bad("a v"))?;
+                    .map_err(|_| bad("arc head is not a number"))?;
                 let w: u32 = it
                     .next()
-                    .ok_or_else(|| bad("a w"))?
+                    .ok_or_else(|| bad("arc line is missing its weight"))?
                     .parse()
-                    .map_err(|_| bad("a w"))?;
+                    .map_err(|_| bad("arc weight is not a number"))?;
                 if u == 0 || v == 0 {
                     return Err(bad("DIMACS ids are 1-indexed"));
                 }
@@ -239,72 +287,81 @@ pub fn read_dimacs(path: &Path) -> io::Result<Csr<u32>> {
 /// `n m [fmt]`, where undirected edges are listed from both endpoints).
 /// Requires a symmetric graph; weighted graphs use fmt `001` (edge
 /// weights).
-pub fn write_metis<W: Weight>(g: &Csr<W>, path: &Path) -> io::Result<()> {
+pub fn write_metis<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
     if !g.is_symmetric() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
+        return Err(Error::input(
             "METIS files describe undirected graphs; symmetrize first",
         ));
     }
-    let mut out = BufWriter::new(File::create(path)?);
-    let m_und = g.num_edges() / 2;
-    if W::IS_UNIT {
-        writeln!(out, "{} {}", g.num_vertices(), m_und)?;
-    } else {
-        writeln!(out, "{} {} 001", g.num_vertices(), m_und)?;
-    }
-    for v in 0..g.num_vertices() as VertexId {
-        let mut first = true;
-        for (u, w) in g.edges_of(v) {
-            if !first {
-                write!(out, " ")?;
-            }
-            first = false;
-            if W::IS_UNIT {
-                write!(out, "{}", u + 1)?;
-            } else {
-                write!(out, "{} {}", u + 1, w.to_u64())?;
-            }
+    let write = || -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(path)?);
+        let m_und = g.num_edges() / 2;
+        if W::IS_UNIT {
+            writeln!(out, "{} {}", g.num_vertices(), m_und)?;
+        } else {
+            writeln!(out, "{} {} 001", g.num_vertices(), m_und)?;
         }
-        writeln!(out)?;
-    }
-    out.flush()
+        for v in 0..g.num_vertices() as VertexId {
+            let mut first = true;
+            for (u, w) in g.edges_of(v) {
+                if !first {
+                    write!(out, " ")?;
+                }
+                first = false;
+                if W::IS_UNIT {
+                    write!(out, "{}", u + 1)?;
+                } else {
+                    write!(out, "{} {}", u + 1, w.to_u64())?;
+                }
+            }
+            writeln!(out)?;
+        }
+        out.flush()
+    };
+    write().map_err(|e| Error::io_at(path, e))
 }
 
 /// Reads a METIS graph file (plain or `001` edge-weighted).
-pub fn read_metis<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
-    let reader = BufReader::new(File::open(path)?);
-    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
-    let mut lines = reader.lines().filter(|l| {
-        // Comment lines start with '%'.
-        !matches!(l, Ok(s) if s.trim_start().starts_with('%'))
-    });
-    let header = lines.next().ok_or_else(|| bad("empty file"))??;
-    let mut hp = header.split_whitespace();
-    let n: usize = hp
-        .next()
-        .ok_or_else(|| bad("header n"))?
-        .parse()
-        .map_err(|_| bad("header n"))?;
-    let m_und: usize = hp
-        .next()
-        .ok_or_else(|| bad("header m"))?
-        .parse()
-        .map_err(|_| bad("header m"))?;
-    let fmt = hp.next().unwrap_or("0");
-    let weighted = fmt.ends_with('1');
-    if weighted == W::IS_UNIT {
-        return Err(bad("weightedness of METIS file does not match graph type"));
-    }
-    let mut el = EdgeList::new(n);
-    for (v, line) in lines.enumerate() {
+pub fn read_metis<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
+    let reader = BufReader::new(File::open(path).map_err(|e| Error::io_at(path, e))?);
+    let mut header: Option<(usize, usize, bool)> = None;
+    let mut el = EdgeList::new(0);
+    let mut v = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| Error::io_at(path, e))?;
+        if line.trim_start().starts_with('%') {
+            continue; // Comment lines start with '%'.
+        }
+        let bad = |msg: &str| Error::parse_at(path, lineno + 1, msg);
+        let Some((n, _m_und, weighted)) = header else {
+            let mut hp = line.split_whitespace();
+            let n: usize = hp
+                .next()
+                .ok_or_else(|| bad("header is missing the vertex count"))?
+                .parse()
+                .map_err(|_| bad("header vertex count is not a number"))?;
+            let m_und: usize = hp
+                .next()
+                .ok_or_else(|| bad("header is missing the edge count"))?
+                .parse()
+                .map_err(|_| bad("header edge count is not a number"))?;
+            let fmt = hp.next().unwrap_or("0");
+            let weighted = fmt.ends_with('1');
+            if weighted == W::IS_UNIT {
+                return Err(bad("weightedness of METIS file does not match graph type"));
+            }
+            header = Some((n, m_und, weighted));
+            el = EdgeList::new(n);
+            continue;
+        };
         if v >= n {
             break;
         }
-        let line = line?;
         let mut it = line.split_whitespace();
         while let Some(tok) = it.next() {
-            let u: usize = tok.parse().map_err(|_| bad("neighbor id"))?;
+            let u: usize = tok
+                .parse()
+                .map_err(|_| bad("neighbor id is not a number"))?;
             if u == 0 || u > n {
                 return Err(bad("METIS ids are 1-indexed and ≤ n"));
             }
@@ -313,20 +370,26 @@ pub fn read_metis<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
                     .next()
                     .ok_or_else(|| bad("missing edge weight"))?
                     .parse()
-                    .map_err(|_| bad("edge weight"))?;
+                    .map_err(|_| bad("edge weight is not a number"))?;
                 W::from_u64(raw)
             } else {
                 W::default()
             };
             el.push(v as VertexId, (u - 1) as VertexId, w);
         }
+        v += 1;
     }
+    let Some((_n, m_und, _)) = header else {
+        return Err(Error::Parse {
+            path: Some(path.to_path_buf()),
+            line: None,
+            msg: "empty file".to_string(),
+        });
+    };
     let g = el.build(true);
-    if g.num_edges() != 2 * m_und {
-        // Tolerate duplicate/self-loop cleanup shrinking the count.
-        if g.num_edges() > 2 * m_und {
-            return Err(bad("more edges than the header promised"));
-        }
+    // Tolerate duplicate/self-loop cleanup shrinking the count.
+    if g.num_edges() > 2 * m_und {
+        return Err(Error::parse("more edges than the header promised").with_path(path));
     }
     Ok(g)
 }
@@ -334,7 +397,7 @@ pub fn read_metis<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
 const BINARY_MAGIC: u64 = 0x4A55_4C49_454E_4E45; // "JULIENNE"
 
 /// Writes the fast binary format (little-endian, length-prefixed arrays).
-pub fn write_binary<W: Weight>(g: &Csr<W>, path: &Path) -> io::Result<()> {
+pub fn write_binary<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
     let mut buf: Vec<u8> = Vec::with_capacity(32 + 8 * g.num_vertices() + 4 * g.num_edges());
     buf.put_u64_le(BINARY_MAGIC);
     buf.put_u64_le(g.num_vertices() as u64);
@@ -352,17 +415,22 @@ pub fn write_binary<W: Weight>(g: &Csr<W>, path: &Path) -> io::Result<()> {
             buf.put_u64_le(w.to_u64());
         }
     }
-    let mut out = BufWriter::new(File::create(path)?);
-    out.write_all(&buf)?;
-    out.flush()
+    let write = || -> io::Result<()> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&buf)?;
+        out.flush()
+    };
+    write().map_err(|e| Error::io_at(path, e))
 }
 
 /// Reads the fast binary format.
-pub fn read_binary<W: Weight>(path: &Path) -> io::Result<Csr<W>> {
+pub fn read_binary<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
     let mut raw = Vec::new();
-    File::open(path)?.read_to_end(&mut raw)?;
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut raw))
+        .map_err(|e| Error::io_at(path, e))?;
     let mut buf: &[u8] = &raw;
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let bad = |msg: &str| Error::parse(msg).with_path(path);
     if buf.remaining() < 26 || buf.get_u64_le() != BINARY_MAGIC {
         return Err(bad("bad magic"));
     }
@@ -474,11 +542,14 @@ mod tests {
     #[test]
     fn metis_rejects_directed_and_mismatch() {
         let directed = erdos_renyi(20, 60, 1, false);
-        assert!(write_metis(&directed, &tmp("md")).is_err());
+        let err = write_metis(&directed, &tmp("md")).unwrap_err();
+        assert!(matches!(err, Error::Input(_)), "{err:?}");
         let g = erdos_renyi(20, 60, 1, true);
         let p = tmp("mm");
         write_metis(&g, &p).unwrap();
-        assert!(read_metis::<u32>(&p).is_err()); // weighted read of plain file
+        // Weighted read of a plain file is a positioned parse error.
+        let err = read_metis::<u32>(&p).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: Some(1), .. }), "{err:?}");
         std::fs::remove_file(p).ok();
     }
 
@@ -510,6 +581,14 @@ mod tests {
     }
 
     #[test]
+    fn missing_file_is_an_io_error_with_the_path() {
+        let p = tmp("does-not-exist");
+        let err = read_adjacency_graph::<()>(&p).unwrap_err();
+        assert!(matches!(err, Error::Io { path: Some(_), .. }), "{err:?}");
+        assert!(err.to_string().contains("does-not-exist"), "{err}");
+    }
+
+    #[test]
     fn malformed_inputs_are_rejected_not_panicked() {
         let cases: Vec<(&str, &str)> = vec![
             ("bad-header", "NotAGraph\n3\n0\n"),
@@ -519,21 +598,24 @@ mod tests {
         for (name, body) in cases {
             let p = tmp(name);
             std::fs::write(&p, body).unwrap();
+            let err = read_adjacency_graph::<()>(&p).unwrap_err();
             assert!(
-                read_adjacency_graph::<()>(&p).is_err(),
-                "{name} should fail cleanly"
+                matches!(err, Error::Parse { line: Some(_), .. }),
+                "{name} should fail with a positioned parse error, got {err:?}"
             );
             std::fs::remove_file(p).ok();
         }
         // DIMACS with 0-indexed ids must error.
         let p = tmp("dimacs-zero");
         std::fs::write(&p, "p sp 2 1\na 0 1 5\n").unwrap();
-        assert!(read_dimacs(&p).is_err());
+        let err = read_dimacs(&p).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: Some(2), .. }), "{err:?}");
         std::fs::remove_file(p).ok();
         // Edge list with a non-numeric token.
         let p = tmp("el-bad");
         std::fs::write(&p, "0 1\nfoo bar\n").unwrap();
-        assert!(read_edge_list::<()>(&p, None, false).is_err());
+        let err = read_edge_list::<()>(&p, None, false).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: Some(2), .. }), "{err:?}");
         std::fs::remove_file(p).ok();
     }
 
@@ -565,14 +647,14 @@ mod tests {
         let p = tmp("empty");
         std::fs::write(&p, "").unwrap();
         let err = read_edge_list::<()>(&p, None, false).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(err.code(), "parse");
         assert!(err.to_string().contains("no edges"), "{err}");
         std::fs::remove_file(&p).ok();
 
         let p = tmp("comment-only");
         std::fs::write(&p, "# nothing here\n% nor here\n\n").unwrap();
         let err = read_edge_list::<()>(&p, None, false).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(err.code(), "parse");
         std::fs::remove_file(&p).ok();
     }
 
@@ -593,9 +675,8 @@ mod tests {
         let p = tmp("oob");
         std::fs::write(&p, "0 1\n2 7\n").unwrap();
         let err = read_edge_list::<()>(&p, Some(3), false).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, Error::Parse { line: Some(2), .. }), "{err:?}");
         assert!(err.to_string().contains("(2, 7)"), "{err}");
-        assert!(err.to_string().contains("line 2"), "{err}");
         std::fs::remove_file(&p).ok();
     }
 }

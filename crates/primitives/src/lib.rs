@@ -15,7 +15,9 @@
 //! * [`unsafe_write`] — a scoped disjoint-write cell used by the scatter
 //!   phases of the radix sort and bucket structure,
 //! * [`telemetry`] — engine-wide counters, spans, and per-round trace
-//!   records (compiled to no-ops when the `telemetry` feature is off).
+//!   records (compiled to no-ops when the `telemetry` feature is off),
+//! * [`error`] — the workspace-wide typed [`error::Error`] enum shared by
+//!   loaders, the engine, the CLI, and the query server.
 //!
 //! All parallel routines are written against [rayon] and respect its global
 //! (or per-call [`rayon::ThreadPool`]) configuration, which is how the
@@ -23,6 +25,7 @@
 
 pub mod atomics;
 pub mod bitset;
+pub mod error;
 pub mod filter;
 pub mod histogram;
 pub mod reduce;

@@ -1,0 +1,398 @@
+//! `julienne serve`: one loaded graph, many concurrent queries.
+//!
+//! The server owns a [`Session`] over an immutable [`GraphStore`] (either
+//! backend) and answers line-delimited JSON requests on a local TCP
+//! socket. Every request line is one JSON object; every response is one
+//! JSON object on one line. Three request shapes exist:
+//!
+//! * **Query** — `{"id": "q1", "algo": "kcore", "params": {"top": "5"},
+//!   "timeout_ms": 250, "stats": false}`. Runs the algorithm through the
+//!   workspace [`Registry`] under a fresh [`QueryCtx`] carrying the
+//!   deadline and a cancellation token. Responds
+//!   `{"id": "q1", "ok": true, "output": "..."}` or
+//!   `{"id": "q1", "ok": false, "error": {"code": "...", "message": "..."}}`
+//!   where `code` is the wire class of the workspace error enum
+//!   (`usage`, `input`, `io`, `parse`, `cancelled`, `deadline`).
+//! * **Cancel** — `{"cancel": "q1"}`. Trips q1's token; the query returns
+//!   at its next round boundary with code `cancelled`. Query ids live in
+//!   one server-wide namespace, so a cancel works from any connection —
+//!   including a fresh `julienne query cancel=q1` process. Cancelling an
+//!   id that is not yet inflight pre-cancels it: a later query reusing the
+//!   id starts cancelled (this closes the submit/cancel race for clients
+//!   that pipeline both on one connection). Acknowledged with
+//!   `{"cancel": "q1", "ok": true}`.
+//! * **Shutdown** — `{"shutdown": true}`. Acknowledged, then the whole
+//!   server drains: in-flight queries finish (or cancel), connection
+//!   threads join, and [`Server::serve`] returns.
+//!
+//! Queries run on their own OS threads and share the process-wide rayon
+//! pool for their parallel sections; a cancelled or expired query unwinds
+//! at a round boundary, dropping its buckets, and the session keeps
+//! serving. The graph itself is behind an [`Arc`] and never copied per
+//! query.
+
+pub mod json;
+
+use json::Json;
+use julienne::prelude::{CancelToken, Engine, QueryCtx, Session};
+use julienne::Error;
+use julienne_algorithms::registry::{GraphStore, ParamMap, Registry};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// State every connection shares with the accept loop: the stop flag, a
+/// registry of live sockets (so shutdown can unblock readers that are
+/// parked in `read` waiting for a client's next request), and the
+/// server-wide map of query ids to cancellation tokens.
+struct Shared {
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    inflight: Mutex<HashMap<String, CancelToken>>,
+}
+
+impl Shared {
+    /// Flags shutdown, closes every registered connection (their reader
+    /// threads wake with EOF and drain), and pokes the accept loop.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for stream in self.conns.lock().unwrap().values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // A throwaway connection unblocks the blocking accept.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The query server: a bound listener plus the shared graph session.
+pub struct Server {
+    listener: TcpListener,
+    session: Session<GraphStore>,
+    shared: Arc<Shared>,
+}
+
+/// Stops a running [`Server`] from another thread (used by in-process
+/// tests; wire clients send `{"shutdown": true}` instead).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: in-flight queries finish, connections drain, and
+    /// [`Server::serve`] returns once everything is joined.
+    pub fn stop(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `127.0.0.1:0` for an OS-assigned port) and
+    /// prepares a session sharing `store` under `engine`'s options.
+    pub fn bind(addr: &str, engine: &Engine, store: GraphStore) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            session: engine.session(Arc::new(store)),
+            shared: Arc::new(Shared {
+                addr,
+                shutdown: AtomicBool::new(false),
+                next_conn: AtomicU64::new(0),
+                conns: Mutex::new(HashMap::new()),
+                inflight: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address (print this so clients can connect).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until a shutdown request arrives, then drains: all
+    /// connection threads (and their query workers) are joined before
+    /// returning, so a clean exit means no work is left behind.
+    pub fn serve(self) -> std::io::Result<()> {
+        let mut connections = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let conn_id = self.shared.next_conn.fetch_add(1, Ordering::Relaxed);
+            if let Ok(registered) = stream.try_clone() {
+                self.shared
+                    .conns
+                    .lock()
+                    .unwrap()
+                    .insert(conn_id, registered);
+            }
+            let session = self.session.clone();
+            let shared = Arc::clone(&self.shared);
+            connections.push(thread::spawn(move || {
+                handle_connection(stream, session, &shared);
+                shared.conns.lock().unwrap().remove(&conn_id);
+            }));
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: TcpStream, session: Session<GraphStore>, shared: &Arc<Shared>) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let mut workers = Vec::new();
+
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Json::parse(&line) {
+            Ok(v) => v,
+            Err(msg) => {
+                respond(
+                    &writer,
+                    error_response(None, "parse", &format!("bad request: {msg}")),
+                );
+                continue;
+            }
+        };
+        if request.get("shutdown").and_then(Json::as_bool) == Some(true) {
+            respond(
+                &writer,
+                Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("shutdown".into(), Json::Bool(true)),
+                ]),
+            );
+            // Wakes the accept loop and every parked reader (the response
+            // above is already flushed; queued bytes still reach the client).
+            shared.begin_shutdown();
+            break;
+        }
+        if let Some(id) = request.get("cancel").and_then(Json::as_str) {
+            let token = {
+                let mut map = shared.inflight.lock().unwrap();
+                map.entry(id.to_string()).or_default().clone()
+            };
+            token.cancel();
+            respond(
+                &writer,
+                Json::Obj(vec![
+                    ("cancel".into(), Json::Str(id.to_string())),
+                    ("ok".into(), Json::Bool(true)),
+                ]),
+            );
+            continue;
+        }
+        let writer = Arc::clone(&writer);
+        let session = session.clone();
+        let shared = Arc::clone(shared);
+        workers.push(thread::spawn(move || {
+            let response = answer_query(&request, &session, &shared);
+            respond(&writer, response);
+        }));
+    }
+
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// Runs one query request to a response object.
+fn answer_query(request: &Json, session: &Session<GraphStore>, shared: &Shared) -> Json {
+    let id = request.get("id").and_then(Json::as_str).map(str::to_string);
+    let Some(algo) = request.get("algo").and_then(Json::as_str) else {
+        return error_response(id.as_deref(), "usage", "request has no \"algo\" field");
+    };
+    let params = match request.get("params") {
+        None => ParamMap::default(),
+        Some(Json::Obj(fields)) => ParamMap::from_pairs(fields.iter().map(|(k, v)| {
+            let value = match v {
+                Json::Str(s) => s.clone(),
+                other => other.to_json(),
+            };
+            (k.clone(), value)
+        })),
+        Some(_) => {
+            return error_response(id.as_deref(), "usage", "\"params\" must be an object");
+        }
+    };
+
+    // Register (or adopt a pre-cancelled) token under the query id.
+    let token = match &id {
+        Some(id) => shared
+            .inflight
+            .lock()
+            .unwrap()
+            .entry(id.clone())
+            .or_default()
+            .clone(),
+        None => CancelToken::new(),
+    };
+
+    let mut ctx: QueryCtx = session.query().with_cancel_token(token);
+    if let Some(ms) = request.get("timeout_ms").and_then(Json::as_u64) {
+        ctx = ctx.with_deadline(Duration::from_millis(ms));
+    }
+    if request.get("stats").and_then(Json::as_bool) == Some(true) {
+        ctx = ctx.with_stats(true);
+    }
+
+    let result = Registry::standard().run(algo, session.graph(), &params, &ctx);
+
+    if let Some(id) = &id {
+        shared.inflight.lock().unwrap().remove(id);
+    }
+
+    match result {
+        Ok(output) => {
+            let mut fields = Vec::new();
+            if let Some(id) = id {
+                fields.push(("id".into(), Json::Str(id)));
+            }
+            fields.push(("ok".into(), Json::Bool(true)));
+            fields.push(("output".into(), Json::Str(output)));
+            Json::Obj(fields)
+        }
+        Err(err) => error_for(id.as_deref(), &err),
+    }
+}
+
+fn error_for(id: Option<&str>, err: &Error) -> Json {
+    error_response(id, err.code(), &err.to_string())
+}
+
+fn error_response(id: Option<&str>, code: &str, message: &str) -> Json {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), Json::Str(id.to_string())));
+    }
+    fields.push(("ok".into(), Json::Bool(false)));
+    fields.push((
+        "error".into(),
+        Json::Obj(vec![
+            ("code".into(), Json::Str(code.to_string())),
+            ("message".into(), Json::Str(message.to_string())),
+        ]),
+    ));
+    Json::Obj(fields)
+}
+
+fn respond(writer: &Arc<Mutex<TcpStream>>, response: Json) {
+    let mut w = writer.lock().unwrap();
+    let _ = writeln!(w, "{}", response.to_json());
+    let _ = w.flush();
+}
+
+/// A minimal blocking client for the protocol: one connection, correlated
+/// request/response pairs. The CLI `query` subcommand and the tests use
+/// this; any language that can speak line-delimited JSON works the same.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving address.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, stream })
+    }
+
+    /// Sends one request object (no newline) and returns without waiting.
+    pub fn send(&mut self, request: &Json) -> std::io::Result<()> {
+        self.send_raw(&request.to_json())
+    }
+
+    /// Sends one raw protocol line verbatim (tests use this to exercise the
+    /// server's parse-error path).
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.stream, "{line}")?;
+        self.stream.flush()
+    }
+
+    /// Reads the next response line. Responses to concurrent queries
+    /// arrive in completion order; correlate by `id`.
+    pub fn recv(&mut self) -> std::io::Result<Json> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Json::parse(line.trim())
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+        }
+    }
+
+    /// Sends a request and waits for the next response (single-query use).
+    pub fn roundtrip(&mut self, request: &Json) -> std::io::Result<Json> {
+        self.send(request)?;
+        self.recv()
+    }
+}
+
+/// Builds a query request object.
+pub fn query_request(
+    id: &str,
+    algo: &str,
+    params: &[(&str, &str)],
+    timeout_ms: Option<u64>,
+    stats: bool,
+) -> Json {
+    let mut fields = vec![
+        ("id".to_string(), Json::Str(id.to_string())),
+        ("algo".to_string(), Json::Str(algo.to_string())),
+    ];
+    if !params.is_empty() {
+        fields.push((
+            "params".to_string(),
+            Json::Obj(
+                params
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Json::Str(v.to_string())))
+                    .collect(),
+            ),
+        ));
+    }
+    if let Some(ms) = timeout_ms {
+        fields.push(("timeout_ms".to_string(), Json::Num(ms as f64)));
+    }
+    if stats {
+        fields.push(("stats".to_string(), Json::Bool(true)));
+    }
+    Json::Obj(fields)
+}

@@ -1,0 +1,274 @@
+//! Wire-level lifecycle tests: one loaded graph, ≥64 concurrent mixed
+//! queries, answers bit-identical to the direct API on both backends, and
+//! the cancel / deadline / shutdown paths of the protocol.
+
+use julienne::prelude::{Backend, Engine, QueryCtx};
+use julienne_algorithms::registry::{GraphStore, ParamMap, Registry};
+use julienne_graph::generators::{rmat, RmatParams};
+use julienne_graph::transform::assign_weights;
+use julienne_server::json::Json;
+use julienne_server::{query_request, Client, Server, ShutdownHandle};
+use std::collections::HashMap;
+use std::thread;
+
+/// The served graph: weighted + symmetric so every algorithm in the mix
+/// (k-core needs symmetry, Δ-stepping needs weights) runs on one store.
+fn store(backend: Backend) -> GraphStore {
+    let g = assign_weights(&rmat(8, 8, RmatParams::default(), 5, true), 1, 64, 9);
+    GraphStore::from_weighted(g, backend)
+}
+
+fn start(backend: Backend) -> (String, thread::JoinHandle<()>, ShutdownHandle) {
+    let server = Server::bind("127.0.0.1:0", &Engine::default(), store(backend)).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.shutdown_handle();
+    let join = thread::spawn(move || server.serve().unwrap());
+    (addr, join, handle)
+}
+
+/// The mixed workload of the acceptance criterion: k-core, Δ-stepping,
+/// weighted BFS, and set cover, all against the same session.
+const MIX: &[(&str, &[(&str, &str)])] = &[
+    ("kcore", &[("top", "3")]),
+    ("sssp", &[("algo", "delta"), ("src", "1"), ("delta", "16")]),
+    ("sssp", &[("algo", "wbfs"), ("src", "2")]),
+    (
+        "setcover",
+        &[
+            ("sets", "64"),
+            ("elements", "2048"),
+            ("mult", "2"),
+            ("seed", "3"),
+        ],
+    ),
+];
+
+fn direct_answers(backend: Backend) -> Vec<String> {
+    let direct = store(backend);
+    MIX.iter()
+        .map(|(algo, params)| {
+            let pm =
+                ParamMap::from_pairs(params.iter().map(|(k, v)| (k.to_string(), v.to_string())));
+            Registry::standard()
+                .run(algo, &direct, &pm, &QueryCtx::default())
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn sixty_four_concurrent_mixed_queries_match_direct_api() {
+    for backend in [Backend::Csr, Backend::Compressed] {
+        let expect = direct_answers(backend);
+        let (addr, join, handle) = start(backend);
+
+        // 8 connections x 8 pipelined queries = 64 in flight at once.
+        let mut conns = Vec::new();
+        for c in 0..8usize {
+            let addr = addr.clone();
+            let expect = expect.clone();
+            conns.push(thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                for q in 0..8usize {
+                    let (algo, params) = MIX[(c + q) % MIX.len()];
+                    client
+                        .send(&query_request(
+                            &format!("q{c}-{q}"),
+                            algo,
+                            params,
+                            None,
+                            false,
+                        ))
+                        .unwrap();
+                }
+                // Responses come back in completion order; correlate by id.
+                let mut got: HashMap<String, String> = HashMap::new();
+                for _ in 0..8 {
+                    let resp = client.recv().unwrap();
+                    assert_eq!(
+                        resp.get("ok").and_then(Json::as_bool),
+                        Some(true),
+                        "query failed: {}",
+                        resp.to_json()
+                    );
+                    got.insert(
+                        resp.get("id").unwrap().as_str().unwrap().to_string(),
+                        resp.get("output").unwrap().as_str().unwrap().to_string(),
+                    );
+                }
+                for q in 0..8usize {
+                    let idx = (c + q) % MIX.len();
+                    assert_eq!(
+                        got[&format!("q{c}-{q}")],
+                        expect[idx],
+                        "served answer must be bit-identical to the direct API \
+                         ({} on {backend:?})",
+                        MIX[idx].0
+                    );
+                }
+            }));
+        }
+        for conn in conns {
+            conn.join().unwrap();
+        }
+        handle.stop();
+        join.join().unwrap();
+    }
+}
+
+#[test]
+fn expired_deadline_is_a_deadline_error_and_session_survives() {
+    let (addr, join, handle) = start(Backend::Csr);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let resp = client
+        .roundtrip(&query_request("late", "kcore", &[], Some(0), false))
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        resp.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("deadline")
+    );
+
+    // The session keeps answering after a query died on its deadline.
+    let resp = client
+        .roundtrip(&query_request("after", "kcore", &[], None, false))
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn cancelling_an_id_pre_cancels_the_query_that_reuses_it() {
+    let (addr, join, handle) = start(Backend::Csr);
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Cancel first: deterministic no matter how fast the query would run.
+    let ack = client
+        .roundtrip(&Json::parse(r#"{"cancel":"doomed"}"#).unwrap())
+        .unwrap();
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+
+    let resp = client
+        .roundtrip(&query_request("doomed", "kcore", &[], None, false))
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        resp.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("cancelled")
+    );
+
+    // A fresh id on the same connection is unaffected.
+    let resp = client
+        .roundtrip(&query_request("fine", "sssp", &[("src", "0")], None, false))
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn cancel_works_across_connections() {
+    let (addr, join, handle) = start(Backend::Csr);
+
+    // Query ids are a server-wide namespace: a cancel sent on its own
+    // short-lived connection (as `julienne query cancel=...` does) lands on
+    // queries submitted from any other connection.
+    let mut canceller = Client::connect(&addr).unwrap();
+    let ack = canceller
+        .roundtrip(&Json::parse(r#"{"cancel":"elsewhere"}"#).unwrap())
+        .unwrap();
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    drop(canceller);
+
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client
+        .roundtrip(&query_request("elsewhere", "kcore", &[], None, false))
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        resp.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("cancelled")
+    );
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn protocol_errors_carry_wire_codes() {
+    let (addr, join, handle) = start(Backend::Csr);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let cases: &[(&str, &str)] = &[
+        (r#"{"id":"u1","algo":"frobnicate"}"#, "usage"),
+        (
+            r#"{"id":"u2","algo":"sssp","params":{"delta":"0"}}"#,
+            "usage",
+        ),
+        (
+            r#"{"id":"u3","algo":"sssp","params":{"src":"999999"}}"#,
+            "input",
+        ),
+        (
+            r#"{"id":"u4","algo":"kcore","params":{"bogus":"1"}}"#,
+            "usage",
+        ),
+        (r#"{"id":"u5"}"#, "usage"),
+        (r#"this is not json"#, "parse"),
+    ];
+    for (line, code) in cases {
+        client.send_raw(line).unwrap();
+        let resp = client.recv().unwrap();
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{line}"
+        );
+        assert_eq!(
+            resp.get("error").unwrap().get("code").unwrap().as_str(),
+            Some(*code),
+            "{line} -> {}",
+            resp.to_json()
+        );
+    }
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn stats_queries_embed_a_per_query_trace() {
+    let (addr, join, handle) = start(Backend::Csr);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let resp = client
+        .roundtrip(&query_request("s1", "kcore", &[], None, true))
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let output = resp.get("output").unwrap().as_str().unwrap();
+    assert!(
+        output.contains("\"algorithm\":\"kcore\""),
+        "stats trace missing from: {output}"
+    );
+
+    handle.stop();
+    join.join().unwrap();
+}
+
+#[test]
+fn wire_shutdown_drains_the_server() {
+    let (addr, join, _handle) = start(Backend::Csr);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let resp = client
+        .roundtrip(&Json::parse(r#"{"shutdown":true}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("shutdown").and_then(Json::as_bool), Some(true));
+
+    // serve() returns: all connection and worker threads joined.
+    join.join().unwrap();
+}

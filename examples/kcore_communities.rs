@@ -10,7 +10,8 @@
 //! cargo run --release --example kcore_communities [scale]
 //! ```
 
-use julienne_repro::algorithms::kcore;
+use julienne_repro::algorithms::kcore::{self, KcoreParams};
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::compress::CompressedGraph;
 use julienne_repro::graph::generators::{rmat, RmatParams};
 
@@ -26,7 +27,7 @@ fn main() {
         g.num_edges()
     );
 
-    let result = kcore::coreness_julienne(&g);
+    let result = kcore::coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
     let oracle = kcore::coreness_bz_seq(&g);
     assert_eq!(
         result.coreness, oracle.coreness,
@@ -67,7 +68,8 @@ fn main() {
     // The same decomposition runs unmodified on the byte-compressed graph
     // (the Ligra+ path the paper uses for the 225B-edge input).
     let cg = CompressedGraph::from_csr(&g);
-    let compressed_result = kcore::coreness_julienne(&cg);
+    let compressed_result =
+        kcore::coreness(&cg, &KcoreParams::default(), &QueryCtx::default()).unwrap();
     assert_eq!(compressed_result.coreness, result.coreness);
     println!(
         "\ncompressed run: identical coreness; {} raw MB -> {} compressed MB",

@@ -10,9 +10,10 @@
 use julienne_repro::algorithms::betweenness::betweenness;
 use julienne_repro::algorithms::components::{connected_components, num_components};
 use julienne_repro::algorithms::degeneracy::{degeneracy_order, greedy_coloring};
-use julienne_repro::algorithms::kcore::coreness_julienne;
+use julienne_repro::algorithms::kcore::{coreness, KcoreParams};
 use julienne_repro::algorithms::mis::{maximal_independent_set, verify_mis};
 use julienne_repro::algorithms::pagerank::pagerank;
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::generators::{rmat, RmatParams};
 
 fn main() {
@@ -33,7 +34,7 @@ fn main() {
 
     // Influence: PageRank vs coreness vs (sampled) betweenness.
     let pr = pagerank(&g, 0.85, 1e-9, 100);
-    let core = coreness_julienne(&g);
+    let core = coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
     let sources: Vec<u32> = (0..64.min(g.num_vertices() as u32)).collect();
     let bc = betweenness(&g, &sources);
     let top_by = |scores: &[f64]| {

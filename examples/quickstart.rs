@@ -5,7 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use julienne_repro::algorithms::{delta_stepping, kcore, setcover};
+use julienne_repro::algorithms::delta_stepping::{self, SsspParams};
+use julienne_repro::algorithms::kcore::{self, KcoreParams};
+use julienne_repro::algorithms::setcover::{self, SetCoverParams};
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::generators::{rmat, set_cover_instance, RmatParams};
 use julienne_repro::graph::transform::assign_weights;
 
@@ -20,7 +23,7 @@ fn main() {
     );
 
     // 2. Coreness via work-efficient bucketed peeling (Algorithm 1).
-    let cores = kcore::coreness_julienne(&g);
+    let cores = kcore::coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
     let k_max = cores.coreness.iter().copied().max().unwrap();
     println!(
         "k-core:  k_max = {k_max}, peeling rounds (rho) = {}, vertices in the {k_max}-core: {}",
@@ -39,7 +42,15 @@ fn main() {
 
     // 4. Δ-stepping with a coarser Δ on heavy weights.
     let hg = assign_weights(&g, 1, 100_000, 9);
-    let ds = delta_stepping::delta_stepping(&hg, 0, 32768);
+    let ds = delta_stepping::sssp(
+        &hg,
+        &SsspParams {
+            src: 0,
+            delta: 32768,
+        },
+        &QueryCtx::default(),
+    )
+    .unwrap();
     println!(
         "Δ-step:  max finite distance = {}, rounds = {}",
         ds.dist.iter().filter(|&&d| d != u64::MAX).max().unwrap(),
@@ -48,7 +59,8 @@ fn main() {
 
     // 5. Approximate set cover on a bipartite instance.
     let inst = set_cover_instance(256, 1 << 14, 4, 3);
-    let cover = setcover::set_cover_julienne(&inst, 0.01);
+    let cover =
+        setcover::cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
     assert!(setcover::verify_cover(&inst, &cover.cover));
     println!(
         "cover:   {} of {} sets cover all {} elements ({} rounds)",

@@ -9,8 +9,9 @@
 //! cargo run --release --example setcover_scheduling [num_zones]
 //! ```
 
-use julienne_repro::algorithms::setcover::{set_cover_julienne, verify_cover};
+use julienne_repro::algorithms::setcover::{cover, verify_cover, SetCoverParams};
 use julienne_repro::algorithms::setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style};
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::generators::set_cover_instance;
 
 fn main() {
@@ -25,7 +26,7 @@ fn main() {
         inst.graph.num_edges() / 2
     );
 
-    let jul = set_cover_julienne(&inst, 0.01);
+    let jul = cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
     assert!(verify_cover(&inst, &jul.cover));
     println!(
         "julienne (parallel, work-efficient): {} stations, {} bucket rounds",

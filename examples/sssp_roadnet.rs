@@ -9,7 +9,9 @@
 //! cargo run --release --example sssp_roadnet [side]
 //! ```
 
-use julienne_repro::algorithms::{bellman_ford, delta_stepping, dijkstra};
+use julienne_repro::algorithms::delta_stepping::{self, SsspParams};
+use julienne_repro::algorithms::{bellman_ford, dijkstra};
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::generators::grid2d;
 use julienne_repro::graph::transform::assign_weights;
 
@@ -34,7 +36,7 @@ fn main() {
     );
 
     for delta in [1u64, 16, 128, 1024] {
-        let r = delta_stepping::delta_stepping(&g, src, delta);
+        let r = delta_stepping::sssp(&g, &SsspParams { src, delta }, &QueryCtx::default()).unwrap();
         assert_eq!(r.dist, oracle, "delta = {delta} disagreed with Dijkstra");
         println!(
             "Δ-stepping Δ={delta:>5}: rounds = {:>6}, relaxations = {:>9}  ✓ matches Dijkstra",

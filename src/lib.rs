@@ -10,12 +10,12 @@
 //!
 //! ```
 //! use julienne_repro::prelude::*;
-//! use julienne_repro::algorithms::kcore;
+//! use julienne_repro::algorithms::kcore::{coreness, KcoreParams};
 //!
 //! // Coreness of a 4-cycle: every vertex is in the 2-core.
 //! let g = julienne_repro::graph::builder::from_pairs_symmetric(
 //!     4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
-//! let result = kcore::coreness_julienne(&g);
+//! let result = coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
 //! assert_eq!(result.coreness, vec![2, 2, 2, 2]);
 //! ```
 

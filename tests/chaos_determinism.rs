@@ -17,17 +17,18 @@ use julienne_repro::algorithms::bfs::bfs;
 use julienne_repro::algorithms::clustering::{closeness, harmonic, local_clustering, transitivity};
 use julienne_repro::algorithms::components::connected_components;
 use julienne_repro::algorithms::degeneracy::degeneracy_order;
-use julienne_repro::algorithms::delta_stepping::{delta_stepping, wbfs};
+use julienne_repro::algorithms::delta_stepping::{sssp, wbfs, SsspParams};
 use julienne_repro::algorithms::dial::dial;
 use julienne_repro::algorithms::dijkstra::dijkstra;
 use julienne_repro::algorithms::gap_delta::gap_delta_stepping;
-use julienne_repro::algorithms::kcore::{coreness_julienne, coreness_ligra};
+use julienne_repro::algorithms::kcore::{coreness, coreness_ligra, KcoreParams};
 use julienne_repro::algorithms::ktruss::ktruss_julienne;
 use julienne_repro::algorithms::mis::maximal_independent_set;
 use julienne_repro::algorithms::pagerank::pagerank;
-use julienne_repro::algorithms::setcover::set_cover_julienne;
+use julienne_repro::algorithms::setcover::{cover, SetCoverParams};
 use julienne_repro::algorithms::stats::graph_stats;
 use julienne_repro::algorithms::triangles::triangle_count;
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::generators::set_cover_instance;
 use julienne_repro::graph::transform::{assign_weights, wbfs_weight_range};
 use julienne_repro::graph::WGraph;
@@ -109,7 +110,7 @@ fn frontier_algorithms_deterministic_under_chaos() {
 fn peeling_algorithms_deterministic_under_chaos() {
     for (name, g) in small_graphs() {
         chaos_check(&format!("kcore_julienne/{name}"), || {
-            let r = coreness_julienne(&g);
+            let r = coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
             (r.coreness, r.rounds)
         });
         chaos_check(&format!("kcore_ligra/{name}"), || {
@@ -127,7 +128,15 @@ fn peeling_algorithms_deterministic_under_chaos() {
 fn sssp_family_deterministic_under_chaos() {
     for (name, g) in small_weighted(true) {
         chaos_check(&format!("delta_stepping/{name}"), || {
-            let r = delta_stepping(&g, 0, 32_768);
+            let r = sssp(
+                &g,
+                &SsspParams {
+                    src: 0,
+                    delta: 32_768,
+                },
+                &QueryCtx::default(),
+            )
+            .unwrap();
             (r.dist, r.rounds)
         });
         chaos_check(&format!("bellman_ford/{name}"), || bellman_ford(&g, 0).dist);
@@ -180,7 +189,7 @@ fn triangles_and_centrality_deterministic_under_chaos() {
 fn setcover_deterministic_under_chaos() {
     let inst = set_cover_instance(128, 6_000, 4, 5);
     chaos_check("setcover", || {
-        let r = set_cover_julienne(&inst, 0.01);
+        let r = cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
         (r.cover, r.rounds)
     });
 }

@@ -17,17 +17,18 @@ use julienne_repro::algorithms::bfs::{bfs, bfs_seq};
 use julienne_repro::algorithms::clustering::{closeness, harmonic, local_clustering, transitivity};
 use julienne_repro::algorithms::components::{connected_components, connected_components_seq};
 use julienne_repro::algorithms::degeneracy::degeneracy_order;
-use julienne_repro::algorithms::delta_stepping::{delta_stepping, wbfs};
+use julienne_repro::algorithms::delta_stepping::{sssp, wbfs, SsspParams};
 use julienne_repro::algorithms::dial::dial;
 use julienne_repro::algorithms::dijkstra::dijkstra;
 use julienne_repro::algorithms::gap_delta::gap_delta_stepping;
-use julienne_repro::algorithms::kcore::{coreness_julienne, coreness_ligra};
+use julienne_repro::algorithms::kcore::{coreness, coreness_ligra, KcoreParams};
 use julienne_repro::algorithms::ktruss::ktruss_julienne;
 use julienne_repro::algorithms::mis::maximal_independent_set;
 use julienne_repro::algorithms::pagerank::pagerank;
-use julienne_repro::algorithms::setcover::set_cover_julienne;
+use julienne_repro::algorithms::setcover::{cover, SetCoverParams};
 use julienne_repro::algorithms::stats::{estimate_diameter, graph_stats};
 use julienne_repro::algorithms::triangles::{triangle_count, EdgeIndex};
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::compress::{CompressedGraph, CompressedWGraph};
 use julienne_repro::graph::generators::set_cover_instance;
 use julienne_repro::graph::io::read_edge_list;
@@ -79,7 +80,9 @@ fn check_unweighted_on<G: GraphRef<W = ()>>(name: &str, plain: &Graph, g: &G) {
     // Peeling.
     let core = oracle::kcore::coreness_peel(plain);
     assert_eq!(
-        coreness_julienne(g).coreness,
+        coreness(g, &KcoreParams::default(), &QueryCtx::default())
+            .unwrap()
+            .coreness,
         core,
         "{name}: kcore_julienne"
     );
@@ -196,7 +199,9 @@ fn check_weighted_on<G: GraphRef<W = u32>>(name: &str, plain: &WGraph, g: &G) {
     assert_eq!(wbfs(g, 0).dist, want, "{name}: wbfs");
     for delta in [1u64, 64, 1 << 20] {
         assert_eq!(
-            delta_stepping(g, 0, delta).dist,
+            sssp(g, &SsspParams { src: 0, delta }, &QueryCtx::default())
+                .unwrap()
+                .dist,
             want,
             "{name}: delta_stepping Δ={delta}"
         );
@@ -257,7 +262,7 @@ fn setcover_matches_greedy_oracle() {
         let inst = set_cover_instance(64, 2_000, 3, seed);
         let greedy = oracle::setcover::greedy_cover(&inst);
         assert!(oracle::setcover::is_cover(&inst, &greedy), "oracle bug");
-        let r = set_cover_julienne(&inst, 0.01);
+        let r = cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
         assert!(
             oracle::setcover::is_cover(&inst, &r.cover),
             "seed {seed}: parallel set cover is not a cover"

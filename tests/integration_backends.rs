@@ -16,15 +16,15 @@ use julienne_repro::algorithms::components::{connected_components, connected_com
 use julienne_repro::algorithms::degeneracy::{
     degeneracy_order, densest_subgraph, densest_subgraph_approx, greedy_coloring,
 };
-use julienne_repro::algorithms::delta_stepping::{delta_stepping, wbfs};
+use julienne_repro::algorithms::delta_stepping::{sssp, wbfs, SsspParams};
 use julienne_repro::algorithms::dial::dial;
 use julienne_repro::algorithms::dijkstra::dijkstra;
 use julienne_repro::algorithms::gap_delta::gap_delta_stepping;
-use julienne_repro::algorithms::kcore::{coreness_julienne, coreness_ligra};
+use julienne_repro::algorithms::kcore::{coreness, coreness_ligra, KcoreParams};
 use julienne_repro::algorithms::ktruss::ktruss_julienne;
 use julienne_repro::algorithms::mis::maximal_independent_set;
 use julienne_repro::algorithms::pagerank::pagerank;
-use julienne_repro::algorithms::setcover::set_cover_julienne;
+use julienne_repro::algorithms::setcover::{cover, SetCoverParams};
 use julienne_repro::algorithms::stats::{estimate_diameter, graph_stats};
 use julienne_repro::algorithms::triangles::triangle_count;
 use julienne_repro::graph::compress::{CompressedGraph, CompressedWGraph};
@@ -33,6 +33,7 @@ use julienne_repro::graph::generators::set_cover_instance;
 mod common;
 
 use common::{at, graphs, small_graphs, weighted};
+use julienne_repro::core::query::QueryCtx;
 
 const THREADS: [usize; 2] = [1, 4];
 
@@ -93,11 +94,11 @@ fn peeling_algorithms_match_on_compressed_backend() {
         eq_backends(
             &format!("kcore_julienne/{name}"),
             || {
-                let r = coreness_julienne(&g);
+                let r = coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
                 (r.coreness, r.rounds)
             },
             || {
-                let r = coreness_julienne(&cg);
+                let r = coreness(&cg, &KcoreParams::default(), &QueryCtx::default()).unwrap();
                 (r.coreness, r.rounds)
             },
         );
@@ -205,11 +206,11 @@ fn sssp_family_matches_on_compressed_backend() {
             eq_backends(
                 &format!("delta_stepping/{name}/heavy={heavy}"),
                 || {
-                    let r = delta_stepping(&g, 0, delta);
+                    let r = sssp(&g, &SsspParams { src: 0, delta }, &QueryCtx::default()).unwrap();
                     (r.dist, r.rounds)
                 },
                 || {
-                    let r = delta_stepping(&cg, 0, delta);
+                    let r = sssp(&cg, &SsspParams { src: 0, delta }, &QueryCtx::default()).unwrap();
                     (r.dist, r.rounds)
                 },
             );
@@ -256,11 +257,16 @@ fn setcover_matches_after_compression_round_trip() {
     eq_backends(
         "setcover",
         || {
-            let r = set_cover_julienne(&inst, 0.01);
+            let r = cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
             (r.cover, r.rounds)
         },
         || {
-            let r = set_cover_julienne(&roundtrip, 0.01);
+            let r = cover(
+                &roundtrip,
+                &SetCoverParams { eps: 0.01 },
+                &QueryCtx::default(),
+            )
+            .unwrap();
             (r.cover, r.rounds)
         },
     );

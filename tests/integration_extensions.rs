@@ -9,7 +9,7 @@ use julienne_repro::algorithms::components::{
 use julienne_repro::algorithms::degeneracy::{
     degeneracy_order, densest_subgraph, densest_subgraph_approx, induced_density,
 };
-use julienne_repro::algorithms::kcore::coreness_julienne;
+use julienne_repro::algorithms::kcore::{coreness, KcoreParams};
 use julienne_repro::algorithms::ktruss::{ktruss_julienne, ktruss_seq};
 use julienne_repro::algorithms::pagerank::pagerank;
 use julienne_repro::algorithms::setcover::verify_cover;
@@ -17,6 +17,7 @@ use julienne_repro::algorithms::setcover_weighted::{
     set_cover_weighted_greedy_seq, set_cover_weighted_julienne,
 };
 use julienne_repro::algorithms::triangles::triangle_count;
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::generators::{
     chung_lu, erdos_renyi, rmat, set_cover_instance, RmatParams,
 };
@@ -40,7 +41,7 @@ fn truss_oracle_across_families() {
 fn truss_relates_to_core_and_triangles() {
     let g = rmat(10, 12, RmatParams::default(), 7, true);
     let truss = ktruss_julienne(&g);
-    let core = coreness_julienne(&g);
+    let core = coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
     let k_max = core.coreness.iter().copied().max().unwrap();
     // Classic relation: max trussness ≤ degeneracy + 1 (each edge of the
     // t-truss lies in a (t−1)-core).
@@ -61,8 +62,12 @@ fn relabeling_preserves_all_peeling_invariants() {
     let g = rmat(10, 8, RmatParams::default(), 11, true);
     let (sorted, perm) = hub_sort(&g);
     // Coreness is permutation-equivariant.
-    let orig = coreness_julienne(&g).coreness;
-    let relab = coreness_julienne(&sorted).coreness;
+    let orig = coreness(&g, &KcoreParams::default(), &QueryCtx::default())
+        .unwrap()
+        .coreness;
+    let relab = coreness(&sorted, &KcoreParams::default(), &QueryCtx::default())
+        .unwrap()
+        .coreness;
     for v in 0..g.num_vertices() {
         assert_eq!(orig[v], relab[perm[v] as usize], "vertex {v}");
     }

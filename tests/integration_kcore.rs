@@ -2,9 +2,9 @@
 //! graph family and backend, and the work counters witness the paper's
 //! efficiency separation.
 
-use julienne_repro::algorithms::kcore::{
-    coreness_bz_seq, coreness_julienne, coreness_julienne_opts, coreness_ligra,
-};
+use julienne_repro::algorithms::kcore::{coreness, coreness_bz_seq, coreness_ligra, KcoreParams};
+use julienne_repro::core::engine::Engine;
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::compress::CompressedGraph;
 use julienne_repro::graph::generators::{chung_lu, erdos_renyi, grid2d, rmat, RmatParams};
 use julienne_repro::graph::Graph;
@@ -22,12 +22,12 @@ fn families() -> Vec<(&'static str, Graph)> {
 fn all_implementations_agree_on_all_families() {
     for (name, g) in families() {
         let oracle = coreness_bz_seq(&g);
-        let jul = coreness_julienne(&g);
+        let jul = coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
         assert_eq!(jul.coreness, oracle.coreness, "julienne vs BZ on {name}");
         let lig = coreness_ligra(&g);
         assert_eq!(lig.coreness, oracle.coreness, "ligra vs BZ on {name}");
         let cg = CompressedGraph::from_csr(&g);
-        let comp = coreness_julienne(&cg);
+        let comp = coreness(&cg, &KcoreParams::default(), &QueryCtx::default()).unwrap();
         assert_eq!(comp.coreness, oracle.coreness, "compressed vs BZ on {name}");
     }
 }
@@ -35,10 +35,18 @@ fn all_implementations_agree_on_all_families() {
 #[test]
 fn open_bucket_count_is_semantically_invisible() {
     let g = rmat(11, 8, RmatParams::default(), 9, true);
-    let reference = coreness_julienne(&g).coreness;
+    let reference = coreness(&g, &KcoreParams::default(), &QueryCtx::default())
+        .unwrap()
+        .coreness;
     for nb in [1usize, 2, 7, 64, 4096] {
         assert_eq!(
-            coreness_julienne_opts(&g, nb).coreness,
+            coreness(
+                &g,
+                &KcoreParams::default(),
+                &QueryCtx::from_engine(&Engine::builder().open_buckets(nb).build())
+            )
+            .unwrap()
+            .coreness,
             reference,
             "nB = {nb}"
         );
@@ -52,7 +60,7 @@ fn work_efficiency_separation_grows_with_kmax() {
     let sparse = rmat(11, 4, RmatParams::default(), 5, true);
     let dense = rmat(11, 32, RmatParams::default(), 5, true);
     let ratio = |g: &Graph| {
-        let j = coreness_julienne(g);
+        let j = coreness(g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
         let l = coreness_ligra(g);
         assert_eq!(j.coreness, l.coreness);
         l.vertices_scanned as f64 / j.vertices_scanned as f64
@@ -70,7 +78,9 @@ fn coreness_is_a_fixed_point() {
     // λ(v) ≥ k iff v has ≥ k neighbors with λ ≥ k: verify the defining
     // property on a midsize graph.
     let g = rmat(10, 8, RmatParams::default(), 11, true);
-    let cores = coreness_julienne(&g).coreness;
+    let cores = coreness(&g, &KcoreParams::default(), &QueryCtx::default())
+        .unwrap()
+        .coreness;
     for v in 0..g.num_vertices() as u32 {
         let k = cores[v as usize];
         if k == 0 {
@@ -93,6 +103,6 @@ fn star_graph_coreness() {
     use julienne_repro::graph::builder::from_pairs_symmetric;
     let pairs: Vec<(u32, u32)> = (1..100).map(|i| (0, i)).collect();
     let g = from_pairs_symmetric(100, &pairs);
-    let r = coreness_julienne(&g);
+    let r = coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
     assert!(r.coreness.iter().all(|&c| c == 1));
 }

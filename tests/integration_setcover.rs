@@ -1,8 +1,9 @@
 //! Cross-crate integration: set cover validity, approximation quality, and
 //! the work-efficiency separation against the PBBS-style baseline.
 
-use julienne_repro::algorithms::setcover::{set_cover_julienne, verify_cover};
+use julienne_repro::algorithms::setcover::{cover, verify_cover, SetCoverParams};
 use julienne_repro::algorithms::setcover_baselines::{set_cover_greedy_seq, set_cover_pbbs_style};
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::generators::set_cover_instance;
 
 #[test]
@@ -10,7 +11,7 @@ fn all_implementations_cover_all_families() {
     for (sets, elems, mult) in [(10, 200, 2), (64, 4_000, 3), (256, 16_000, 5)] {
         for seed in 0..2 {
             let inst = set_cover_instance(sets, elems, mult, seed);
-            let jul = set_cover_julienne(&inst, 0.01);
+            let jul = cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
             let pbbs = set_cover_pbbs_style(&inst, 0.01);
             let greedy = set_cover_greedy_seq(&inst);
             assert!(
@@ -36,7 +37,10 @@ fn approximation_quality_within_bound() {
     // greedy's.
     let inst = set_cover_instance(500, 40_000, 5, 77);
     let greedy = set_cover_greedy_seq(&inst).cover.len() as f64;
-    let jul = set_cover_julienne(&inst, 0.01).cover.len() as f64;
+    let jul = cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default())
+        .unwrap()
+        .cover
+        .len() as f64;
     let pbbs = set_cover_pbbs_style(&inst, 0.01).cover.len() as f64;
     assert!(jul / greedy < 2.0, "julienne {jul} vs greedy {greedy}");
     assert!(pbbs / greedy < 2.0, "pbbs {pbbs} vs greedy {greedy}");
@@ -48,7 +52,7 @@ fn rebucketing_beats_carry_over_on_work() {
     // round; Julienne only touches extracted buckets. On instances with
     // many rounds the edge-examination gap is the paper's Figure 5 story.
     let inst = set_cover_instance(1_000, 50_000, 4, 21);
-    let jul = set_cover_julienne(&inst, 0.01);
+    let jul = cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
     let pbbs = set_cover_pbbs_style(&inst, 0.01);
     assert!(
         pbbs.edges_examined as f64 >= 1.2 * jul.edges_examined as f64,
@@ -61,8 +65,8 @@ fn rebucketing_beats_carry_over_on_work() {
 #[test]
 fn deterministic_given_seeded_instance() {
     let inst = set_cover_instance(100, 5_000, 3, 5);
-    let a = set_cover_julienne(&inst, 0.01);
-    let b = set_cover_julienne(&inst, 0.01);
+    let a = cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
+    let b = cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
     // writeMin tie-breaking by id makes the MaNIS outcome deterministic.
     assert_eq!(a.cover, b.cover);
     assert_eq!(a.assignment, b.assignment);
@@ -72,11 +76,11 @@ fn deterministic_given_seeded_instance() {
 fn tiny_degenerate_instances() {
     // 1 set, 1 element.
     let inst = set_cover_instance(1, 1, 1, 0);
-    let r = set_cover_julienne(&inst, 0.5);
+    let r = cover(&inst, &SetCoverParams { eps: 0.5 }, &QueryCtx::default()).unwrap();
     assert_eq!(r.cover, vec![0]);
     // More sets than elements.
     let inst = set_cover_instance(50, 10, 1, 1);
-    let r = set_cover_julienne(&inst, 0.01);
+    let r = cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap();
     assert!(verify_cover(&inst, &r.cover));
     assert!(r.cover.len() <= 10);
 }

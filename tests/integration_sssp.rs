@@ -3,7 +3,7 @@
 
 use julienne_repro::algorithms::bellman_ford::bellman_ford;
 use julienne_repro::algorithms::delta_stepping::{
-    delta_stepping, delta_stepping_light_heavy, wbfs,
+    delta_stepping_light_heavy, sssp, wbfs, SsspParams,
 };
 use julienne_repro::algorithms::dijkstra::{bellman_ford_seq, dijkstra};
 use julienne_repro::algorithms::gap_delta::gap_delta_stepping;
@@ -13,6 +13,7 @@ use julienne_repro::graph::transform::assign_weights;
 mod common;
 
 use common::weighted_families;
+use julienne_repro::core::query::QueryCtx;
 
 #[test]
 fn every_parallel_sssp_matches_dijkstra() {
@@ -24,7 +25,9 @@ fn every_parallel_sssp_matches_dijkstra() {
             assert_eq!(wbfs(&g, 0).dist, oracle, "wbfs {name}");
             for delta in [1u64, 64, 32768] {
                 assert_eq!(
-                    delta_stepping(&g, 0, delta).dist,
+                    sssp(&g, &SsspParams { src: 0, delta }, &QueryCtx::default())
+                        .unwrap()
+                        .dist,
                     oracle,
                     "delta {delta} {name}"
                 );
@@ -48,7 +51,13 @@ fn multiple_sources_agree() {
     let g = assign_weights(&rmat(11, 8, RmatParams::default(), 7, true), 1, 500, 9);
     for src in [0u32, 13, 999, (g.num_vertices() - 1) as u32] {
         let oracle = dijkstra(&g, src);
-        assert_eq!(delta_stepping(&g, src, 128).dist, oracle, "src {src}");
+        assert_eq!(
+            sssp(&g, &SsspParams { src, delta: 128 }, &QueryCtx::default())
+                .unwrap()
+                .dist,
+            oracle,
+            "src {src}"
+        );
         assert_eq!(wbfs(&g, src).dist, oracle, "src {src}");
     }
 }
@@ -56,7 +65,9 @@ fn multiple_sources_agree() {
 #[test]
 fn triangle_inequality_holds_on_output() {
     let g = assign_weights(&erdos_renyi(1_500, 12_000, 3, true), 1, 1000, 5);
-    let dist = delta_stepping(&g, 0, 256).dist;
+    let dist = sssp(&g, &SsspParams { src: 0, delta: 256 }, &QueryCtx::default())
+        .unwrap()
+        .dist;
     for u in 0..g.num_vertices() as u32 {
         if dist[u as usize] == u64::MAX {
             continue;
@@ -74,8 +85,16 @@ fn triangle_inequality_holds_on_output() {
 fn delta_trade_off_visible_in_rounds() {
     // Smaller Δ → more, finer annuli (rounds up); larger Δ → fewer rounds.
     let g = assign_weights(&grid2d(60, 60), 1, 100, 8);
-    let fine = delta_stepping(&g, 0, 4);
-    let coarse = delta_stepping(&g, 0, 4096);
+    let fine = sssp(&g, &SsspParams { src: 0, delta: 4 }, &QueryCtx::default()).unwrap();
+    let coarse = sssp(
+        &g,
+        &SsspParams {
+            src: 0,
+            delta: 4096,
+        },
+        &QueryCtx::default(),
+    )
+    .unwrap();
     assert_eq!(fine.dist, coarse.dist);
     assert!(
         fine.rounds > coarse.rounds,
@@ -91,6 +110,6 @@ fn zero_degree_source() {
     let mut el: EdgeList<u32> = EdgeList::new(3);
     el.push(1, 2, 5);
     let g = el.build(false);
-    let r = delta_stepping(&g, 0, 16);
+    let r = sssp(&g, &SsspParams { src: 0, delta: 16 }, &QueryCtx::default()).unwrap();
     assert_eq!(r.dist, vec![0, u64::MAX, u64::MAX]);
 }

@@ -10,9 +10,10 @@
 mod common;
 
 use common::{at, graphs, weighted};
-use julienne_repro::algorithms::delta_stepping::{delta_stepping, wbfs};
-use julienne_repro::algorithms::kcore::coreness_julienne;
-use julienne_repro::algorithms::setcover::{set_cover_julienne, verify_cover};
+use julienne_repro::algorithms::delta_stepping::{sssp, wbfs, SsspParams};
+use julienne_repro::algorithms::kcore::{coreness, KcoreParams};
+use julienne_repro::algorithms::setcover::{cover, verify_cover, SetCoverParams};
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::generators::set_cover_instance;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -20,9 +21,13 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 #[test]
 fn kcore_identical_across_thread_counts() {
     for (name, g) in graphs() {
-        let reference = at(1, || coreness_julienne(&g));
+        let reference = at(1, || {
+            coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap()
+        });
         for t in THREADS {
-            let r = at(t, || coreness_julienne(&g));
+            let r = at(t, || {
+                coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap()
+            });
             assert_eq!(r.coreness, reference.coreness, "{name} at {t} threads");
         }
     }
@@ -31,9 +36,29 @@ fn kcore_identical_across_thread_counts() {
 #[test]
 fn delta_stepping_identical_across_thread_counts() {
     for (name, g) in weighted(true) {
-        let reference = at(1, || delta_stepping(&g, 0, 32_768));
+        let reference = at(1, || {
+            sssp(
+                &g,
+                &SsspParams {
+                    src: 0,
+                    delta: 32_768,
+                },
+                &QueryCtx::default(),
+            )
+            .unwrap()
+        });
         for t in THREADS {
-            let r = at(t, || delta_stepping(&g, 0, 32_768));
+            let r = at(t, || {
+                sssp(
+                    &g,
+                    &SsspParams {
+                        src: 0,
+                        delta: 32_768,
+                    },
+                    &QueryCtx::default(),
+                )
+                .unwrap()
+            });
             assert_eq!(r.dist, reference.dist, "{name} at {t} threads");
             assert_eq!(r.rounds, reference.rounds, "{name} rounds at {t} threads");
         }
@@ -54,10 +79,14 @@ fn wbfs_identical_across_thread_counts() {
 #[test]
 fn setcover_identical_across_thread_counts() {
     let inst = set_cover_instance(256, 16_000, 4, 5);
-    let reference = at(1, || set_cover_julienne(&inst, 0.01));
+    let reference = at(1, || {
+        cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap()
+    });
     assert!(verify_cover(&inst, &reference.cover));
     for t in THREADS {
-        let r = at(t, || set_cover_julienne(&inst, 0.01));
+        let r = at(t, || {
+            cover(&inst, &SetCoverParams { eps: 0.01 }, &QueryCtx::default()).unwrap()
+        });
         assert_eq!(r.cover, reference.cover, "setcover at {t} threads");
         assert_eq!(r.rounds, reference.rounds, "setcover rounds at {t} threads");
     }

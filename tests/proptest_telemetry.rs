@@ -6,8 +6,9 @@
 mod common;
 
 use common::arb_weighted_graph;
-use julienne_repro::algorithms::delta_stepping::delta_stepping_with;
-use julienne_repro::algorithms::kcore::coreness_julienne_with;
+use julienne_repro::algorithms::delta_stepping::{sssp, SsspParams};
+use julienne_repro::algorithms::kcore::{coreness, KcoreParams};
+use julienne_repro::core::query::QueryCtx;
 use julienne_repro::prelude::{Counter, Engine};
 use proptest::prelude::*;
 
@@ -16,9 +17,9 @@ proptest! {
 
     #[test]
     fn kcore_output_identical_with_and_without_telemetry(g in arb_weighted_graph()) {
-        let plain = coreness_julienne_with(&g, &Engine::default());
+        let plain = coreness(&g, &KcoreParams::default(), &QueryCtx::from_engine(&Engine::default())).unwrap();
         let traced_engine = Engine::builder().telemetry(true).build();
-        let traced = coreness_julienne_with(&g, &traced_engine);
+        let traced = coreness(&g, &KcoreParams::default(), &QueryCtx::from_engine(&traced_engine)).unwrap();
         prop_assert_eq!(&plain.coreness, &traced.coreness);
         prop_assert_eq!(plain.rounds, traced.rounds);
         prop_assert_eq!(plain.identifiers_moved, traced.identifiers_moved);
@@ -47,9 +48,9 @@ proptest! {
             (Just(g), 0..n, prop_oneof![Just(1u64), Just(64), Just(1 << 20)])
         })
     ) {
-        let plain = delta_stepping_with(&g, src, delta, &Engine::default());
+        let plain = sssp(&g, &SsspParams { src, delta }, &QueryCtx::from_engine(&Engine::default())).unwrap();
         let traced_engine = Engine::builder().telemetry(true).build();
-        let traced = delta_stepping_with(&g, src, delta, &traced_engine);
+        let traced = sssp(&g, &SsspParams { src, delta }, &QueryCtx::from_engine(&traced_engine)).unwrap();
         prop_assert_eq!(&plain.dist, &traced.dist);
         prop_assert_eq!(plain.rounds, traced.rounds);
         prop_assert_eq!(plain.relaxations, traced.relaxations);

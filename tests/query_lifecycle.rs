@@ -1,0 +1,227 @@
+//! Lifecycle properties for the session/query API (DESIGN §11): a cancelled
+//! query is all-or-nothing — it returns either `Error::Cancelled` or the
+//! complete, bit-identical answer, never partial output; a [`Session`]
+//! keeps answering after cancelled and deadline-expired queries exactly as
+//! a fresh engine would; and both properties survive schedule chaos
+//! (`JULIENNE_CHAOS_SEED`) and many OS threads submitting queries against
+//! one session at once, which is how `julienne serve` drives the pool.
+
+mod common;
+
+use julienne_repro::algorithms::registry::{GraphStore, ParamMap, Registry};
+use julienne_repro::core::prelude::{Backend, CancelToken, Engine, QueryCtx, Session};
+use julienne_repro::core::Error;
+use julienne_repro::graph::generators::{rmat, RmatParams};
+use julienne_repro::graph::transform::assign_weights;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// Chaos mode is process-global; every window that flips it takes this lock
+/// so parallel harness threads never observe a half-configured pool.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// One weighted + symmetric graph serves every algorithm in the mix.
+fn store(backend: Backend) -> GraphStore {
+    let g = assign_weights(&rmat(7, 8, RmatParams::default(), 5, true), 1, 64, 9);
+    GraphStore::from_weighted(g, backend)
+}
+
+/// The served mix: bucketing peel, Δ-stepping, wBFS, and set cover.
+const MIX: &[(&str, &[(&str, &str)])] = &[
+    ("kcore", &[("top", "3")]),
+    ("sssp", &[("algo", "delta"), ("src", "1"), ("delta", "16")]),
+    ("sssp", &[("algo", "wbfs"), ("src", "2")]),
+    (
+        "setcover",
+        &[
+            ("sets", "48"),
+            ("elements", "1024"),
+            ("mult", "2"),
+            ("seed", "3"),
+        ],
+    ),
+];
+
+fn params_of(idx: usize) -> ParamMap {
+    ParamMap::from_pairs(
+        MIX[idx]
+            .1
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string())),
+    )
+}
+
+/// Reference answers from a fresh engine with an unconstrained context,
+/// computed once per backend.
+fn baseline(backend: Backend) -> &'static Vec<String> {
+    static CSR: OnceLock<Vec<String>> = OnceLock::new();
+    static COMPRESSED: OnceLock<Vec<String>> = OnceLock::new();
+    let cell = match backend {
+        Backend::Csr => &CSR,
+        Backend::Compressed => &COMPRESSED,
+    };
+    cell.get_or_init(|| {
+        let s = store(backend);
+        (0..MIX.len())
+            .map(|i| {
+                Registry::standard()
+                    .run(MIX[i].0, &s, &params_of(i), &QueryCtx::default())
+                    .unwrap()
+            })
+            .collect()
+    })
+}
+
+fn shared_session(backend: Backend) -> &'static Session<GraphStore> {
+    static CSR: OnceLock<Session<GraphStore>> = OnceLock::new();
+    static COMPRESSED: OnceLock<Session<GraphStore>> = OnceLock::new();
+    let cell = match backend {
+        Backend::Csr => &CSR,
+        Backend::Compressed => &COMPRESSED,
+    };
+    cell.get_or_init(|| Engine::default().session(Arc::new(store(backend))))
+}
+
+/// Runs query `idx` on `session` with a poll budget of `polls` and asserts
+/// the all-or-nothing contract: `Err(Cancelled)` or the full baseline
+/// answer, nothing in between.
+fn assert_all_or_nothing(session: &Session<GraphStore>, backend: Backend, idx: usize, polls: u64) {
+    let ctx = session
+        .query()
+        .with_cancel_token(CancelToken::cancel_after_polls(polls));
+    match Registry::standard().run(MIX[idx].0, session.graph(), &params_of(idx), &ctx) {
+        Err(Error::Cancelled) => {}
+        Err(other) => panic!("{} (polls={polls}): unexpected error {other}", MIX[idx].0),
+        Ok(out) => assert_eq!(
+            out,
+            baseline(backend)[idx],
+            "{} (polls={polls}, {backend:?}): a query that outlives its cancel \
+             budget must return the complete answer",
+            MIX[idx].0
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cancelled queries never return partial output: for every poll budget
+    /// the result is `Err(Cancelled)` or the bit-identical full answer.
+    #[test]
+    fn cancellation_is_all_or_nothing(
+        idx in 0usize..MIX.len(),
+        polls in 0u64..96,
+        csr in any::<bool>(),
+    ) {
+        let backend = if csr { Backend::Csr } else { Backend::Compressed };
+        assert_all_or_nothing(shared_session(backend), backend, idx, polls);
+    }
+
+    /// After a cancelled query and an expired deadline, the same session
+    /// answers bit-identically to a fresh engine.
+    #[test]
+    fn session_answers_match_fresh_engine_after_failed_queries(
+        idx in 0usize..MIX.len(),
+        polls in 0u64..8,
+    ) {
+        let backend = Backend::Csr;
+        let session = Engine::default().session(Arc::new(store(backend)));
+        let reg = Registry::standard();
+
+        // A query dies on its cancel budget...
+        let ctx = session
+            .query()
+            .with_cancel_token(CancelToken::cancel_after_polls(polls));
+        let cancelled = reg.run(MIX[idx].0, session.graph(), &params_of(idx), &ctx);
+        prop_assert!(matches!(cancelled, Err(Error::Cancelled)),
+            "polls={polls} should cancel before any of these algorithms finish");
+
+        // ...another dies on an already-expired deadline...
+        let ctx = session.query().with_deadline(Duration::ZERO);
+        let expired = reg.run(MIX[idx].0, session.graph(), &params_of(idx), &ctx);
+        prop_assert!(matches!(expired, Err(Error::DeadlineExceeded)));
+
+        // ...and the session still answers every query in the mix exactly
+        // as a fresh engine does.
+        for (i, (algo, _)) in MIX.iter().enumerate() {
+            let out = reg
+                .run(algo, session.graph(), &params_of(i), &session.query())
+                .unwrap();
+            prop_assert_eq!(&out, &baseline(backend)[i], "algo {}", algo);
+        }
+    }
+}
+
+/// The all-or-nothing and session-reuse contracts hold under schedule
+/// chaos: permuted piece claims, injected yields, stalled workers.
+#[test]
+fn lifecycle_contract_holds_under_chaos() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let backend = Backend::Csr;
+    let session = Engine::default().session(Arc::new(store(backend)));
+    for seed in [1u64, 0x5EED, u64::MAX] {
+        rayon::set_chaos_seed(Some(seed));
+        for idx in 0..MIX.len() {
+            for polls in [0, 1, 3, 9, 27, 1 << 40] {
+                assert_all_or_nothing(&session, backend, idx, polls);
+            }
+        }
+        // The session survives chaos-scheduled cancellations and still
+        // matches the chaos-free baseline bit for bit.
+        for (idx, (algo, _)) in MIX.iter().enumerate() {
+            let out = Registry::standard()
+                .run(algo, session.graph(), &params_of(idx), &session.query())
+                .unwrap();
+            assert_eq!(
+                out,
+                baseline(backend)[idx],
+                "{algo} diverged; reproduce: JULIENNE_CHAOS_SEED={seed}"
+            );
+        }
+        rayon::set_chaos_seed(None);
+    }
+}
+
+/// Many OS threads submitting against one session at once — the shape
+/// `julienne serve` puts the worker pool in. Interleaves doomed (budget-0)
+/// and unconstrained queries; every success must be bit-identical.
+#[test]
+fn concurrent_submitters_share_one_session() {
+    for backend in [Backend::Csr, Backend::Compressed] {
+        let session = Arc::new(Engine::default().session(Arc::new(store(backend))));
+        let expect = baseline(backend);
+        let mut submitters = Vec::new();
+        for t in 0..16usize {
+            let session = Arc::clone(&session);
+            submitters.push(thread::spawn(move || {
+                for q in 0..6usize {
+                    let idx = (t + q) % MIX.len();
+                    let doomed = (t + q) % 3 == 0;
+                    let ctx = if doomed {
+                        session
+                            .query()
+                            .with_cancel_token(CancelToken::cancel_after_polls(0))
+                    } else {
+                        session.query()
+                    };
+                    let got = Registry::standard().run(
+                        MIX[idx].0,
+                        session.graph(),
+                        &params_of(idx),
+                        &ctx,
+                    );
+                    if doomed {
+                        assert!(matches!(got, Err(Error::Cancelled)), "t{t} q{q}");
+                    } else {
+                        assert_eq!(got.unwrap(), expect[idx], "t{t} q{q} ({backend:?})");
+                    }
+                }
+            }));
+        }
+        for s in submitters {
+            s.join().unwrap();
+        }
+    }
+}
