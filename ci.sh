@@ -72,6 +72,38 @@ wait "$SERVE_PID"
 grep -q "server stopped" "$SMOKE/serve.log"
 echo "serve smoke test: ok"
 
+# --- convert -> mmap -> serve smoke test -------------------------------------
+# The .jgr container end to end: convert (with embedded compressed payload
+# and full checksum verification), serve it zero-copy via backend=mapped,
+# and require its answers to be byte-identical to the CSR-served run above.
+echo "==> container smoke test"
+"$JULIENNE" convert in="$SMOKE/g.bin" out="$SMOKE/g.jgr" weighted=true \
+    compressed_payload=true verify=true >/dev/null
+"$JULIENNE" serve in="$SMOKE/g.jgr" backend=mapped addr=127.0.0.1:0 \
+    >"$SMOKE/mserve.log" &
+MSERVE_PID=$!
+MADDR=""
+for _ in $(seq 1 100); do
+    MADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$SMOKE/mserve.log")
+    [ -n "$MADDR" ] && break
+    sleep 0.1
+done
+[ -n "$MADDR" ] || { echo "container smoke: no listening line"; cat "$SMOKE/mserve.log"; exit 1; }
+grep -q "backend=mapped" "$SMOKE/mserve.log"
+# Same queries the .bin-backed server answered above; the mmap'd container
+# must produce byte-identical output.
+"$JULIENNE" query addr="$MADDR" algo=kcore top=3 >"$SMOKE/mq1.out"
+"$JULIENNE" query addr="$MADDR" algo=sssp src=1 delta=4096 >"$SMOKE/mq2.out"
+cmp "$SMOKE/mq1.out" "$SMOKE/q1.out"
+cmp "$SMOKE/mq2.out" "$SMOKE/q2.out"
+"$JULIENNE" query addr="$MADDR" shutdown=true >/dev/null
+wait "$MSERVE_PID"
+# Round-trip: exporting the container to text matches a direct text export.
+"$JULIENNE" convert in="$SMOKE/g.bin" out="$SMOKE/direct.el" weighted=true >/dev/null
+"$JULIENNE" convert in="$SMOKE/g.jgr" out="$SMOKE/via-jgr.el" weighted=true >/dev/null
+cmp "$SMOKE/direct.el" "$SMOKE/via-jgr.el"
+echo "container smoke test: ok"
+
 # --- telemetry compiled out ------------------------------------------------
 run cargo build --release --workspace --no-default-features
 run cargo test -q --workspace --no-default-features

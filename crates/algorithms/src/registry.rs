@@ -36,18 +36,21 @@ use crate::{delta_stepping, delta_stepping::SsspParams};
 use julienne::prelude::{Backend, QueryCtx};
 use julienne::Error;
 use julienne_graph::compress::{CompressedGraph, CompressedWGraph};
+use julienne_graph::container::{self, MappedGraph};
+use julienne_graph::io::{Format, GraphIo, IoOptions};
 use julienne_graph::{Graph, WGraph};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
-/// The loaded input a query runs against: a CSR or byte-compressed graph,
-/// weighted or not, behind an [`Arc`] so many concurrent queries can share
-/// one immutable copy. [`GraphStore::Empty`] serves algorithms that build
-/// their own input (set cover generates its instance from parameters); it
-/// still records the requested backend so the instance can be routed
-/// through the compressed representation.
+/// The loaded input a query runs against: a CSR, byte-compressed, or
+/// memory-mapped graph, weighted or not, behind an [`Arc`] so many
+/// concurrent queries can share one immutable copy. [`GraphStore::Empty`]
+/// serves algorithms that build their own input (set cover generates its
+/// instance from parameters); it still records the requested backend so the
+/// instance can be routed through the compressed representation.
 #[derive(Clone)]
 pub enum GraphStore {
     /// Unweighted CSR.
@@ -58,6 +61,10 @@ pub enum GraphStore {
     Compressed(Arc<CompressedGraph>),
     /// Weighted byte-compressed graph.
     WCompressed(Arc<CompressedWGraph>),
+    /// Unweighted graph served zero-copy from a mapped `.jgr` file.
+    Mapped(Arc<MappedGraph<()>>),
+    /// Weighted graph served zero-copy from a mapped `.jgr` file.
+    WMapped(Arc<MappedGraph<u32>>),
     /// No graph loaded; `backend` still routes generated instances.
     Empty {
         /// Requested representation for generated inputs.
@@ -67,19 +74,90 @@ pub enum GraphStore {
 
 impl GraphStore {
     /// Builds a store from an unweighted CSR, compressing if requested.
+    ///
+    /// [`Backend::Mapped`] falls back to CSR here: an in-memory graph
+    /// (generated, or parsed from text) has no backing file to map. File
+    /// loads route through [`GraphStore::open`], which does map.
     pub fn from_graph(g: Graph, backend: Backend) -> GraphStore {
         match backend {
-            Backend::Csr => GraphStore::Csr(Arc::new(g)),
+            Backend::Csr | Backend::Mapped => GraphStore::Csr(Arc::new(g)),
             Backend::Compressed => GraphStore::Compressed(Arc::new(CompressedGraph::from_csr(&g))),
         }
     }
 
     /// Builds a store from a weighted CSR, compressing if requested.
+    /// [`Backend::Mapped`] falls back to CSR, as in
+    /// [`GraphStore::from_graph`].
     pub fn from_weighted(g: WGraph, backend: Backend) -> GraphStore {
         match backend {
-            Backend::Csr => GraphStore::WCsr(Arc::new(g)),
+            Backend::Csr | Backend::Mapped => GraphStore::WCsr(Arc::new(g)),
             Backend::Compressed => {
                 GraphStore::WCompressed(Arc::new(CompressedWGraph::from_csr(&g)))
+            }
+        }
+    }
+
+    /// Loads a graph file into the representation `backend` asks for — the
+    /// one load path the CLI and server share.
+    ///
+    /// * [`Backend::Csr`]: any supported format via [`GraphIo`].
+    /// * [`Backend::Compressed`]: a `.jgr` container with an embedded
+    ///   compressed payload loads the pre-encoded blocks verbatim; anything
+    ///   else is read as CSR and byte-compressed in memory.
+    /// * [`Backend::Mapped`]: the file **must** be a `.jgr` container —
+    ///   mapping is meaningless for formats that need parsing — and is
+    ///   served zero-copy with no per-edge work before the first query.
+    pub fn open(path: &Path, weighted: bool, backend: Backend) -> Result<GraphStore, Error> {
+        let fmt = Format::detect(path)?;
+        match backend {
+            Backend::Mapped => {
+                if fmt != Format::Container {
+                    return Err(Error::usage(format!(
+                        "backend=mapped requires a .jgr container, but {} is {fmt}; \
+                         run `julienne convert` first",
+                        path.display()
+                    )));
+                }
+                if weighted {
+                    Ok(GraphStore::WMapped(Arc::new(MappedGraph::open(path)?)))
+                } else {
+                    Ok(GraphStore::Mapped(Arc::new(MappedGraph::open(path)?)))
+                }
+            }
+            Backend::Compressed => {
+                if fmt == Format::Container && container::peek(path)?.has_compressed {
+                    return Ok(if weighted {
+                        GraphStore::WCompressed(Arc::new(container::read_compressed_weighted(
+                            path,
+                        )?))
+                    } else {
+                        GraphStore::Compressed(Arc::new(container::read_compressed(path)?))
+                    });
+                }
+                let opts = IoOptions {
+                    format: Some(fmt),
+                    ..Default::default()
+                };
+                Ok(if weighted {
+                    GraphStore::WCompressed(Arc::new(CompressedWGraph::from_csr(&GraphIo::read(
+                        path, &opts,
+                    )?)))
+                } else {
+                    GraphStore::Compressed(Arc::new(CompressedGraph::from_csr(&GraphIo::read(
+                        path, &opts,
+                    )?)))
+                })
+            }
+            Backend::Csr => {
+                let opts = IoOptions {
+                    format: Some(fmt),
+                    ..Default::default()
+                };
+                Ok(if weighted {
+                    GraphStore::WCsr(Arc::new(GraphIo::read(path, &opts)?))
+                } else {
+                    GraphStore::Csr(Arc::new(GraphIo::read(path, &opts)?))
+                })
             }
         }
     }
@@ -89,13 +167,17 @@ impl GraphStore {
         match self {
             GraphStore::Csr(_) | GraphStore::WCsr(_) => Backend::Csr,
             GraphStore::Compressed(_) | GraphStore::WCompressed(_) => Backend::Compressed,
+            GraphStore::Mapped(_) | GraphStore::WMapped(_) => Backend::Mapped,
             GraphStore::Empty { backend } => *backend,
         }
     }
 
     /// Whether the store carries edge weights.
     pub fn is_weighted(&self) -> bool {
-        matches!(self, GraphStore::WCsr(_) | GraphStore::WCompressed(_))
+        matches!(
+            self,
+            GraphStore::WCsr(_) | GraphStore::WCompressed(_) | GraphStore::WMapped(_)
+        )
     }
 
     /// Vertex count (0 when empty).
@@ -105,6 +187,8 @@ impl GraphStore {
             GraphStore::WCsr(g) => g.num_vertices(),
             GraphStore::Compressed(g) => g.num_vertices(),
             GraphStore::WCompressed(g) => g.num_vertices(),
+            GraphStore::Mapped(g) => g.num_vertices(),
+            GraphStore::WMapped(g) => g.num_vertices(),
             GraphStore::Empty { .. } => 0,
         }
     }
@@ -116,6 +200,8 @@ impl GraphStore {
             GraphStore::WCsr(g) => g.num_edges(),
             GraphStore::Compressed(g) => g.num_edges(),
             GraphStore::WCompressed(g) => g.num_edges(),
+            GraphStore::Mapped(g) => g.num_edges(),
+            GraphStore::WMapped(g) => g.num_edges(),
             GraphStore::Empty { .. } => 0,
         }
     }
@@ -127,6 +213,8 @@ impl GraphStore {
             GraphStore::WCsr(g) => g.is_symmetric(),
             GraphStore::Compressed(g) => g.is_symmetric(),
             GraphStore::WCompressed(g) => g.is_symmetric(),
+            GraphStore::Mapped(g) => g.is_symmetric(),
+            GraphStore::WMapped(g) => g.is_symmetric(),
             GraphStore::Empty { .. } => false,
         }
     }
@@ -165,7 +253,7 @@ impl std::fmt::Debug for GraphStore {
 
 /// Binds `$g` to whatever graph `$store` holds and evaluates `$body` —
 /// the algorithms are generic over the graph traits, so one body serves
-/// all four representations.
+/// all six representations.
 macro_rules! any_graph {
     ($store:expr, $id:expr, |$g:ident| $body:expr) => {
         match $store {
@@ -185,6 +273,14 @@ macro_rules! any_graph {
                 let $g = g.as_ref();
                 $body
             }
+            GraphStore::Mapped(g) => {
+                let $g = g.as_ref();
+                $body
+            }
+            GraphStore::WMapped(g) => {
+                let $g = g.as_ref();
+                $body
+            }
             GraphStore::Empty { .. } => {
                 return Err(Error::input(format!("{} requires a graph input", $id)))
             }
@@ -201,6 +297,10 @@ macro_rules! weighted_graph {
                 $body
             }
             GraphStore::WCompressed(g) => {
+                let $g = g.as_ref();
+                $body
+            }
+            GraphStore::WMapped(g) => {
                 let $g = g.as_ref();
                 $body
             }

@@ -139,10 +139,7 @@ fn main() {
         let addr = server.local_addr().expect("addr").to_string();
         let handle = server.shutdown_handle();
         let join = thread::spawn(move || server.serve());
-        let name = match backend {
-            Backend::Csr => "csr",
-            Backend::Compressed => "compressed",
-        };
+        let name = backend.name();
         // Warm-up: touch every algorithm once before timing.
         drive(&addr, 1, &expect);
         for conns in CONNS {

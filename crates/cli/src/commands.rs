@@ -10,19 +10,20 @@
 //! directly and one answered by a server are byte-identical.
 
 use crate::args::{ArgError, Args};
-use crate::io_util::{load, save};
 use julienne::prelude::{Backend, Engine, QueryCtx};
 use julienne::Error;
 use julienne_algorithms::registry::{GraphNeeds, GraphStore, ParamMap, Registry};
 use julienne_algorithms::stats::graph_stats;
 use julienne_graph::compress::{CompressedGraph, CompressedWGraph};
+use julienne_graph::container::MappedGraph;
 use julienne_graph::generators::{chung_lu, erdos_renyi, grid2d, random_regular, rmat, RmatParams};
+use julienne_graph::io::{Format, GraphIo, IoOptions};
 use julienne_graph::transform::{assign_weights, symmetrize, wbfs_weight_range};
 use julienne_graph::{Csr, Graph};
 use julienne_server::json::Json;
 use julienne_server::{query_request, Client, Server};
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Why a command failed — the class decides the exit code and whether the
@@ -84,17 +85,21 @@ fn runtime_err(msg: impl Into<String>) -> CmdError {
 
 pub type CmdResult = Result<String, CmdError>;
 
-/// Reads the global `backend=<csr|compressed>` option. Validated once in
-/// [`dispatch`]; the graph commands re-read it here to route their loads.
+/// Reads the global `backend=<csr|compressed|mapped>` option. Validated
+/// once in [`dispatch`]; the graph commands re-read it here to route their
+/// loads through [`GraphStore::open`].
 fn backend_opt(a: &Args) -> Result<Backend, CmdError> {
     Ok(Backend::parse(&a.string_or("backend", "csr"))?)
 }
 
-fn backend_name(b: Backend) -> &'static str {
-    match b {
-        Backend::Csr => "csr",
-        Backend::Compressed => "compressed",
-    }
+/// Loads with format auto-detection (extension, then magic bytes).
+fn load<W: julienne_graph::csr::Weight>(path: &Path) -> Result<Csr<W>, Error> {
+    GraphIo::read(path, &IoOptions::default())
+}
+
+/// Saves in the extension-selected format.
+fn save<W: julienne_graph::csr::Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
+    GraphIo::write(g, path, &IoOptions::default())
 }
 
 /// Rejects 0-vertex graphs before computing statistics on them.
@@ -146,11 +151,11 @@ fn cmd_algo(a: &Args) -> CmdResult {
         GraphNeeds::None => Ok(GraphStore::Empty { backend }),
         GraphNeeds::Unweighted => {
             let input = PathBuf::from(a.require("in")?);
-            load::<()>(&input).map(|g| GraphStore::from_graph(g, backend))
+            GraphStore::open(&input, false, backend)
         }
         GraphNeeds::Weighted => {
             let input = PathBuf::from(a.require("in")?);
-            load::<u32>(&input).map(|g| GraphStore::from_weighted(g, backend))
+            GraphStore::open(&input, true, backend)
         }
     };
     let params = ParamMap::from_pairs(a.remaining());
@@ -265,47 +270,98 @@ pub fn cmd_stats(a: &Args) -> CmdResult {
     Ok(out)
 }
 
-/// `julienne convert in=<file> out=<file> [weighted=false] [symmetrize=false]`
+/// `julienne convert in=<file> out=<file> [weighted=false] [symmetrize=false]
+/// [compressed_payload=false] [verify=false]`
+///
+/// Converts between any two supported formats (the output format comes
+/// from the output extension). Writing a `.jgr` container with
+/// `compressed_payload=true` embeds the Ligra+-style byte-compressed
+/// adjacency next to the CSR sections, so `backend=compressed` later loads
+/// the pre-encoded blocks verbatim. `verify=true` re-reads the written
+/// file — for containers this checks every section checksum and validates
+/// offsets/targets, the O(file) counterpart of the O(1) open.
 pub fn cmd_convert(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in")?);
     let out = PathBuf::from(a.require("out")?);
     let weighted: bool = a.get_or("weighted", false)?;
     let make_sym: bool = a.get_or("symmetrize", false)?;
+    let compressed_payload: bool = a.get_or("compressed_payload", false)?;
+    let verify: bool = a.get_or("verify", false)?;
     a.finish()?;
-    if weighted {
+    let out_fmt = Format::from_extension(&out).ok_or_else(|| {
+        usage_err(format!(
+            "cannot infer output format from {:?} (use .adj/.el/.gr/.bin/.metis/.jgr)",
+            out.display()
+        ))
+    })?;
+    if compressed_payload && out_fmt != Format::Container {
+        return Err(usage_err(
+            "compressed_payload=true only applies to .jgr container output",
+        ));
+    }
+    let write_opts = IoOptions {
+        format: Some(out_fmt),
+        compressed_payload,
+        ..Default::default()
+    };
+    let (m, kind) = if weighted {
         let mut g: Csr<u32> = load(&input)?;
         if make_sym {
             g = symmetrize(&g);
         }
-        save(&g, &out)?;
-        Ok(format!(
-            "converted {} -> {} (weighted, m={})\n",
-            input.display(),
-            out.display(),
-            g.num_edges()
-        ))
+        GraphIo::write(&g, &out, &write_opts)?;
+        if verify {
+            verify_written::<u32>(&out, out_fmt)?;
+        }
+        (g.num_edges(), "weighted, ")
     } else {
         let mut g: Graph = load(&input)?;
         if make_sym {
             g = symmetrize(&g);
         }
-        save(&g, &out)?;
-        Ok(format!(
-            "converted {} -> {} (m={})\n",
-            input.display(),
-            out.display(),
-            g.num_edges()
-        ))
+        GraphIo::write(&g, &out, &write_opts)?;
+        if verify {
+            verify_written::<()>(&out, out_fmt)?;
+        }
+        (g.num_edges(), "")
+    };
+    let mut report = format!(
+        "converted {} -> {} ({kind}format={out_fmt}, m={m})\n",
+        input.display(),
+        out.display(),
+    );
+    if compressed_payload {
+        let _ = writeln!(report, "embedded byte-compressed payload sections");
+    }
+    if verify {
+        let _ = writeln!(report, "verified: output reads back clean");
+    }
+    Ok(report)
+}
+
+/// Re-reads a just-written file. Containers get the full checksum +
+/// structure pass; other formats are simply parsed back.
+fn verify_written<W: julienne_graph::csr::Weight>(
+    out: &Path,
+    out_fmt: Format,
+) -> Result<(), Error> {
+    if out_fmt == Format::Container {
+        MappedGraph::<W>::open(out)?.verify(out)
+    } else {
+        load::<W>(out).map(|_| ())
     }
 }
 
 /// `julienne serve in=<file> [weighted=true] [addr=127.0.0.1:0]
-/// [open_buckets=128] [backend=csr|compressed]`
+/// [open_buckets=128] [backend=csr|compressed|mapped]`
 ///
 /// Loads the graph once, prints `listening on <addr>`, and answers
 /// line-delimited JSON queries until a `{"shutdown": true}` request
 /// arrives (see `julienne query`). All queries share the one immutable
 /// in-memory graph; each carries its own deadline and cancellation token.
+/// With `backend=mapped` and a `.jgr` input the graph is served straight
+/// from the memory-mapped file — the server is listening within
+/// milliseconds regardless of graph size.
 pub fn cmd_serve(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in")?);
     let weighted: bool = a.get_or("weighted", true)?;
@@ -313,11 +369,7 @@ pub fn cmd_serve(a: &Args) -> CmdResult {
     let open_buckets: usize = a.get_or("open_buckets", 0)?;
     let backend = backend_opt(a)?;
     a.finish()?;
-    let store = if weighted {
-        GraphStore::from_weighted(load(&input)?, backend)
-    } else {
-        GraphStore::from_graph(load(&input)?, backend)
-    };
+    let store = GraphStore::open(&input, weighted, backend)?;
     if store.num_vertices() == 0 {
         return Err(runtime_err("graph is empty (0 vertices); nothing to serve"));
     }
@@ -336,7 +388,7 @@ pub fn cmd_serve(a: &Args) -> CmdResult {
     // bound address even when addr=127.0.0.1:0 picked a free port.
     println!(
         "listening on {local} (n={n} m={m} weighted={weighted} backend={})",
-        backend_name(backend)
+        backend.name()
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -450,10 +502,15 @@ pub fn usage() -> String {
 USAGE: julienne <command> [key=value ...]
 
 COMMANDS:
-  gen         kind=<rmat|er|chunglu|grid|regular> out=<file.{adj,el,gr,bin}>
+  gen         kind=<rmat|er|chunglu|grid|regular> out=<file.{adj,el,gr,bin,jgr}>
               [scale=14] [edge_factor=16] [seed=1] [symmetric=true] [weights=none|log|heavy]
   stats       in=<file> [weighted=false]
   convert     in=<file> out=<file> [weighted=false] [symmetrize=false]
+              [compressed_payload=false] [verify=false]
+              output format follows the output extension; out=<file.jgr>
+              writes the mmap-ready container (compressed_payload=true
+              embeds the byte-compressed adjacency; verify=true re-reads
+              the output and checks every section checksum)
   kcore       in=<file> [top=10] [stats=none|json]
   sssp        in=<weighted file> [src=0] [delta=32768] [algo=delta|wbfs|bellman|dijkstra]
               [stats=none|json]
@@ -477,9 +534,13 @@ Options may be written key=value, --key=value, or --key value.
 threads=<n> (any command) sets the process-wide worker-thread count, like
 the JULIENNE_NUM_THREADS environment variable; outputs are identical at
 every thread count.
-backend=<csr|compressed> (graph commands) selects the in-memory graph
-representation: raw CSR arrays (default) or the Ligra+-style byte-coded
-form built after loading. Outputs are identical for both backends.
+backend=<csr|compressed|mapped> (graph commands) selects the graph
+representation: raw CSR arrays (default), the Ligra+-style byte-coded form
+(loaded verbatim from a .jgr compressed payload when present, else built
+after loading), or zero-copy memory-mapping (requires a .jgr input; opening
+does no per-edge work). Outputs are identical for every backend.
+Graph files are detected by extension (.adj/.el/.txt/.gr/.metis/.graph/
+.bin/.jgr), falling back to magic-byte sniffing for unknown extensions.
 stats=json appends one JSON object per run: accumulated counters plus a
 per-round trace (round, bucket, frontier, edges scanned/relaxed,
 sparse-vs-dense choice, elapsed microseconds).
@@ -494,9 +555,9 @@ stops at the next round boundary with a `deadline` error (exit 1).
 /// Two options are global. `threads=` is consumed here (before the
 /// subcommand runs) and sets the process-wide worker-thread count, the same
 /// knob as `JULIENNE_NUM_THREADS`. `backend=` is validated here and
-/// re-read by the graph commands to pick the in-memory representation
-/// (raw CSR vs byte-compressed). Neither affects any output, only speed
-/// and space. Algorithm ids resolve through [`Registry::standard`], the
+/// re-read by the graph commands to pick the graph representation (raw
+/// CSR, byte-compressed, or mmap'd container). Neither affects any
+/// output, only speed and space. Algorithm ids resolve through [`Registry::standard`], the
 /// same table `julienne serve` dispatches from.
 pub fn dispatch(a: &Args) -> CmdResult {
     let threads: usize = a.get_or("threads", 0)?;
@@ -671,9 +732,9 @@ mod tests {
         let f = tmp("empty0.bin");
         let fw = tmp("empty0w.bin");
         let g = julienne_graph::builder::from_pairs(0, &[]);
-        julienne_graph::io::write_binary(&g, std::path::Path::new(&f)).unwrap();
+        save(&g, Path::new(&f)).unwrap();
         let gw: Csr<u32> = julienne_graph::builder::EdgeList::new(0).build(false);
-        julienne_graph::io::write_binary(&gw, std::path::Path::new(&fw)).unwrap();
+        save(&gw, Path::new(&fw)).unwrap();
         // With telemetry requested (the ISSUE's `--stats json` case) and
         // without: the guard fires before any algorithm runs.
         for line in [
@@ -791,6 +852,89 @@ mod tests {
         assert!(e.contains("backend"), "{e}");
         std::fs::remove_file(f).ok();
         std::fs::remove_file(fw).ok();
+    }
+
+    #[test]
+    fn convert_text_to_container_and_back_is_identity() {
+        let f = tmp("cc.el");
+        let j = tmp("cc.jgr");
+        let back = tmp("cc-back.el");
+        run(&format!("gen kind=rmat scale=8 out={f}")).unwrap();
+        let r = run(&format!("convert in={f} out={j} verify=true")).unwrap();
+        assert!(r.contains("format=jgr"), "{r}");
+        assert!(r.contains("verified"), "{r}");
+        run(&format!("convert in={j} out={back}")).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&f).unwrap(),
+            std::fs::read_to_string(&back).unwrap(),
+            "text -> .jgr -> text must be the identity"
+        );
+        for p in [f, j, back] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn convert_options_are_validated() {
+        let f = tmp("cv.el");
+        run(&format!("gen kind=rmat scale=7 out={f}")).unwrap();
+        // compressed_payload only makes sense for container output.
+        let e = run(&format!(
+            "convert in={f} out=/tmp/x.bin compressed_payload=true"
+        ))
+        .unwrap_err();
+        assert!(e.contains("compressed_payload"), "{e}");
+        // Unknown output extension is a usage error naming the options.
+        let e = run_classed(&format!("convert in={f} out=/tmp/x.xyz")).unwrap_err();
+        assert!(matches!(e, CmdError::Usage(_)), "{e:?}");
+        assert!(e.to_string().contains(".jgr"), "{e}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn mapped_backend_requires_a_container() {
+        let f = tmp("mpreq.bin");
+        run(&format!("gen kind=rmat scale=7 out={f}")).unwrap();
+        let e = run_classed(&format!("kcore in={f} backend=mapped")).unwrap_err();
+        assert!(matches!(e, CmdError::Usage(_)), "{e:?}");
+        assert!(e.to_string().contains("convert"), "{e}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn mapped_backend_output_is_byte_identical() {
+        let f = tmp("mb.bin");
+        let j = tmp("mb.jgr");
+        let fw = tmp("mbw.bin");
+        let jw = tmp("mbw.jgr");
+        run(&format!("gen kind=rmat scale=9 out={f}")).unwrap();
+        run(&format!("gen kind=rmat scale=9 weights=log out={fw}")).unwrap();
+        run(&format!("convert in={f} out={j} compressed_payload=true")).unwrap();
+        run(&format!(
+            "convert in={fw} out={jw} weighted=true compressed_payload=true"
+        ))
+        .unwrap();
+        for (csr_cmd, jgr_cmd) in [
+            (format!("kcore in={f}"), format!("kcore in={j}")),
+            (format!("components in={f}"), format!("components in={j}")),
+            (format!("pagerank in={f}"), format!("pagerank in={j}")),
+            (
+                format!("sssp in={fw} algo=delta"),
+                format!("sssp in={jw} algo=delta"),
+            ),
+        ] {
+            let base = run(&csr_cmd).unwrap();
+            // The same container answers all three backends identically:
+            // CSR (materialized), compressed (payload loaded verbatim),
+            // and mapped (zero-copy).
+            for backend in ["csr", "compressed", "mapped"] {
+                let got = run(&format!("{jgr_cmd} backend={backend}")).unwrap();
+                assert_eq!(base, got, "{jgr_cmd} backend={backend}");
+            }
+        }
+        for p in [f, j, fw, jw] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -5,7 +5,6 @@
 
 mod args;
 mod commands;
-mod io_util;
 
 use args::Args;
 

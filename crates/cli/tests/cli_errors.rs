@@ -3,7 +3,7 @@
 //! code distinguishing usage mistakes (2) from runtime failures (1).
 
 use julienne_graph::builder::{from_pairs, EdgeList};
-use julienne_graph::io::write_binary;
+use julienne_graph::io::{GraphIo, IoOptions};
 use julienne_graph::Csr;
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -76,9 +76,12 @@ fn unreadable_graph_file_exits_1_with_usage() {
         1,
         "julienne-no-such-file.bin",
     );
-    // Unknown extension: a usage-class error (the invocation named a file
-    // this tool cannot interpret — knowable from argv alone, exit 2).
-    assert_fails(&["components", "in=graph.xyz"], 2, "extension");
+    // Unknown extension on a real file whose contents sniff to nothing
+    // either: a usage-class error (this tool cannot interpret the file).
+    let p = tmp("mystery.xyz");
+    std::fs::write(&p, b"0 1\n1 2\n").unwrap();
+    assert_fails(&["components", &format!("in={}", p.display())], 2, "format");
+    std::fs::remove_file(p).ok();
 }
 
 #[test]
@@ -90,12 +93,27 @@ fn corrupt_graph_file_exits_1_with_usage() {
 }
 
 #[test]
+fn corrupt_container_exits_1_with_usage() {
+    let p = tmp("corrupt.jgr");
+    // Valid magic, then garbage: header validation must catch it.
+    let mut bytes = b"JGR!\r\n\x1a\n".to_vec();
+    bytes.extend_from_slice(&[0xEE; 8]);
+    std::fs::write(&p, &bytes).unwrap();
+    assert_fails(
+        &["components", &format!("in={}", p.display())],
+        1,
+        "corrupt.jgr",
+    );
+    std::fs::remove_file(p).ok();
+}
+
+#[test]
 fn stats_json_on_empty_graph_exits_1_with_usage() {
     let p = tmp("empty.bin");
-    write_binary(&from_pairs(0, &[]), &p).unwrap();
+    GraphIo::write(&from_pairs(0, &[]), &p, &IoOptions::default()).unwrap();
     let pw = tmp("emptyw.bin");
     let wg: Csr<u32> = EdgeList::new(0).build(false);
-    write_binary(&wg, &pw).unwrap();
+    GraphIo::write(&wg, &pw, &IoOptions::default()).unwrap();
     let (f, fw) = (
         format!("in={}", p.display()),
         format!("in={}", pw.display()),

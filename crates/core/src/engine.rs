@@ -50,10 +50,15 @@ pub enum Backend {
     /// Ligra+-style byte-compressed adjacency (`CompressedGraph` /
     /// `CompressedWGraph`), built by compressing the CSR after load.
     Compressed,
+    /// Zero-copy memory-mapped `.jgr` container (`MappedGraph<W>`): the
+    /// graph is served straight from the mapped file, so opening does no
+    /// per-edge work. Requires the input to be a `.jgr` container; graphs
+    /// from other sources (generators, text files) fall back to CSR.
+    Mapped,
 }
 
 impl Backend {
-    /// Parses the CLI spelling (`csr` or `compressed`).
+    /// Parses the CLI spelling (`csr`, `compressed`, or `mapped`).
     ///
     /// An unknown spelling is an [`Error::Usage`]: the request named a
     /// backend that does not exist, so the CLI exits 2 and the server
@@ -62,8 +67,9 @@ impl Backend {
         match s {
             "csr" => Ok(Backend::Csr),
             "compressed" => Ok(Backend::Compressed),
+            "mapped" => Ok(Backend::Mapped),
             other => Err(Error::usage(format!(
-                "unknown backend '{other}' (expected csr or compressed)"
+                "unknown backend '{other}' (expected csr, compressed, or mapped)"
             ))),
         }
     }
@@ -73,6 +79,7 @@ impl Backend {
         match self {
             Backend::Csr => "csr",
             Backend::Compressed => "compressed",
+            Backend::Mapped => "mapped",
         }
     }
 }
@@ -350,10 +357,12 @@ mod tests {
         assert_eq!(e.backend(), Backend::Compressed);
         assert_eq!(Backend::parse("csr").unwrap(), Backend::Csr);
         assert_eq!(Backend::parse("compressed").unwrap(), Backend::Compressed);
+        assert_eq!(Backend::parse("mapped").unwrap(), Backend::Mapped);
         let err = Backend::parse("mmap").unwrap_err();
         assert!(err.is_usage(), "bad backend spelling is a usage error");
         assert!(err.to_string().contains("mmap"));
         assert_eq!(Backend::Compressed.to_string(), "compressed");
+        assert_eq!(Backend::Mapped.to_string(), "mapped");
     }
 
     #[test]

@@ -296,6 +296,37 @@ impl CompressedGraph {
         })
     }
 
+    /// The raw storage arrays `(offsets, degrees, data)` — what the `.jgr`
+    /// container embeds verbatim as its compressed-payload sections.
+    pub fn raw_parts(&self) -> (&[u64], &[u32], &[u8]) {
+        (&self.offsets, &self.degrees, &self.data)
+    }
+
+    /// Rebuilds a graph from storage arrays produced by
+    /// [`CompressedGraph::raw_parts`] (the `.jgr` load path — the byte
+    /// blocks are copied verbatim, never re-encoded).
+    pub fn from_raw_parts(
+        n: usize,
+        m: usize,
+        offsets: Vec<u64>,
+        degrees: Vec<u32>,
+        data: Vec<u8>,
+        symmetric: bool,
+        in_graph: Option<Box<CompressedGraph>>,
+    ) -> Self {
+        assert_eq!(offsets.len(), n + 1);
+        assert_eq!(degrees.len(), n);
+        CompressedGraph {
+            n,
+            m,
+            offsets,
+            degrees,
+            data,
+            symmetric,
+            in_graph,
+        }
+    }
+
     /// Decompresses back into a CSR.
     pub fn to_csr(&self) -> Csr<()> {
         let mut offsets = Vec::with_capacity(self.n + 1);
@@ -502,6 +533,36 @@ impl CompressedWGraph {
         let mut out = Vec::with_capacity(self.degree(v));
         self.for_each_edge(v, |u, w| out.push((u, w)));
         out
+    }
+
+    /// The raw storage arrays `(offsets, degrees, data)` — what the `.jgr`
+    /// container embeds verbatim as its compressed-payload sections.
+    pub fn raw_parts(&self) -> (&[u64], &[u32], &[u8]) {
+        (&self.offsets, &self.degrees, &self.data)
+    }
+
+    /// Rebuilds a graph from storage arrays produced by
+    /// [`CompressedWGraph::raw_parts`] (the `.jgr` load path).
+    pub fn from_raw_parts(
+        n: usize,
+        m: usize,
+        offsets: Vec<u64>,
+        degrees: Vec<u32>,
+        data: Vec<u8>,
+        symmetric: bool,
+        in_graph: Option<Box<CompressedWGraph>>,
+    ) -> Self {
+        assert_eq!(offsets.len(), n + 1);
+        assert_eq!(degrees.len(), n);
+        CompressedWGraph {
+            n,
+            m,
+            offsets,
+            degrees,
+            data,
+            symmetric,
+            in_graph,
+        }
     }
 
     /// Decompresses back into a weighted CSR.

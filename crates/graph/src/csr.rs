@@ -100,6 +100,56 @@ impl<W: Weight> Csr<W> {
         }
     }
 
+    /// Fallible [`Csr::from_parts`]: returns a description of the first
+    /// violated invariant instead of panicking. The binary and container
+    /// loaders use this so corrupt files surface as typed parse errors
+    /// rather than asserts (or, worse, silently garbage graphs when
+    /// `debug_assert`s are compiled out).
+    pub fn try_from_parts(
+        offsets: Vec<u64>,
+        targets: Vec<VertexId>,
+        weights: Vec<W>,
+        symmetric: bool,
+    ) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("offsets array is empty (must have length n+1)".into());
+        }
+        let n = offsets.len() - 1;
+        let m = targets.len();
+        if offsets[0] != 0 {
+            return Err(format!("offsets must start at 0, found {}", offsets[0]));
+        }
+        if offsets[n] as usize != m {
+            return Err(format!(
+                "offsets end at {} but there are {m} targets",
+                offsets[n]
+            ));
+        }
+        if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
+            return Err(format!("offsets not monotone ({} > {})", w[0], w[1]));
+        }
+        if !(weights.len() == m || (W::IS_UNIT && weights.is_empty())) {
+            return Err(format!("{} weights for {m} edges", weights.len()));
+        }
+        if let Some(&t) = targets.iter().find(|&&t| t as usize >= n) {
+            return Err(format!("target {t} out of range for {n} vertices"));
+        }
+        let weights = if W::IS_UNIT && weights.is_empty() {
+            vec![W::default(); m]
+        } else {
+            weights
+        };
+        Ok(Csr {
+            n,
+            m,
+            offsets,
+            targets,
+            weights,
+            symmetric,
+            in_csr: None,
+        })
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {

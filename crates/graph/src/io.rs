@@ -1,11 +1,23 @@
-//! Graph I/O: Ligra adjacency text format, edge lists, DIMACS `.gr`, and a
-//! fast length-prefixed binary format.
+//! Graph I/O behind one surface: [`GraphIo::read`] / [`GraphIo::write`]
+//! with a [`Format`] enum and auto-detection.
+//!
+//! The supported formats are Ligra adjacency text, whitespace edge lists,
+//! DIMACS `.gr`, METIS, a legacy length-prefixed binary format, and the
+//! zero-copy [`crate::container`] (`.jgr`). Format selection is explicit
+//! via [`IoOptions::format`] or automatic: extension first, then magic
+//! bytes for extensionless/unknown paths (reads only — a write with an
+//! unrecognized extension is a usage error, since there is nothing to
+//! sniff).
 //!
 //! Every reader and writer returns the workspace [`Error`] enum: OS-level
 //! failures surface as [`Error::Io`] with the path attached, malformed
 //! content as [`Error::Parse`] with the path and (for line-oriented
 //! formats) the 1-based line of the offending record. Callers — the CLI,
 //! the query server — render or classify these without re-parsing strings.
+//!
+//! Until PR 6 this module exported ten loose `read_*`/`write_*` free
+//! functions; they survive as private helpers behind [`GraphIo`], which is
+//! the only public entry point.
 
 use crate::builder::EdgeList;
 use crate::csr::{Csr, Weight};
@@ -15,6 +27,221 @@ use julienne_primitives::error::Error;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write as _};
 use std::path::Path;
+
+/// On-disk graph formats [`GraphIo`] can read and write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Ligra `AdjacencyGraph` / `WeightedAdjacencyGraph` text (`.adj`).
+    Adjacency,
+    /// Whitespace edge list, `u v [w]` per line (`.el`, `.txt`).
+    EdgeList,
+    /// DIMACS shortest-path challenge (`.gr`) — weighted only.
+    Dimacs,
+    /// METIS adjacency (`.metis`, `.graph`) — undirected only.
+    Metis,
+    /// Legacy length-prefixed binary (`.bin`).
+    Binary,
+    /// Zero-copy mmap container (`.jgr`); see [`crate::container`].
+    Container,
+}
+
+impl Format {
+    /// The canonical CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Format::Adjacency => "adj",
+            Format::EdgeList => "el",
+            Format::Dimacs => "dimacs",
+            Format::Metis => "metis",
+            Format::Binary => "bin",
+            Format::Container => "jgr",
+        }
+    }
+
+    /// Parses a user-supplied format name (CLI `format=` values).
+    pub fn parse(s: &str) -> Result<Format, Error> {
+        match s {
+            "adj" | "adjacency" => Ok(Format::Adjacency),
+            "el" | "edgelist" | "txt" => Ok(Format::EdgeList),
+            "gr" | "dimacs" => Ok(Format::Dimacs),
+            "metis" | "graph" => Ok(Format::Metis),
+            "bin" | "binary" => Ok(Format::Binary),
+            "jgr" | "container" => Ok(Format::Container),
+            other => Err(Error::usage(format!(
+                "unknown graph format {other:?} (expected adj, el, dimacs, metis, bin, or jgr)"
+            ))),
+        }
+    }
+
+    /// Maps a file extension to a format, if recognized.
+    pub fn from_extension(path: &Path) -> Option<Format> {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("adj") => Some(Format::Adjacency),
+            Some("el") | Some("txt") => Some(Format::EdgeList),
+            Some("gr") => Some(Format::Dimacs),
+            Some("metis") | Some("graph") => Some(Format::Metis),
+            Some("bin") => Some(Format::Binary),
+            Some("jgr") => Some(Format::Container),
+            _ => None,
+        }
+    }
+
+    /// Identifies an existing file by its leading bytes: the `.jgr` and
+    /// binary magics, the Ligra adjacency headers, and DIMACS comment/
+    /// problem lines. Returns `Ok(None)` when nothing matches (edge lists
+    /// and METIS have no reliable signature).
+    pub fn sniff(path: &Path) -> Result<Option<Format>, Error> {
+        let mut head = [0u8; 24];
+        let mut f = File::open(path).map_err(|e| Error::io_at(path, e))?;
+        let got = {
+            let mut filled = 0;
+            loop {
+                match f.read(&mut head[filled..]) {
+                    Ok(0) => break filled,
+                    Ok(k) => filled += k,
+                    Err(e) => return Err(Error::io_at(path, e)),
+                }
+            }
+        };
+        let head = &head[..got];
+        if head.starts_with(&crate::container::MAGIC) {
+            return Ok(Some(Format::Container));
+        }
+        if head.len() >= 8 && head[0..8] == BINARY_MAGIC.to_le_bytes() {
+            return Ok(Some(Format::Binary));
+        }
+        if head.starts_with(b"AdjacencyGraph") || head.starts_with(b"WeightedAdjacencyGraph") {
+            return Ok(Some(Format::Adjacency));
+        }
+        if head.starts_with(b"p sp ") || head.starts_with(b"c ") {
+            return Ok(Some(Format::Dimacs));
+        }
+        Ok(None)
+    }
+
+    /// Detects the format of an existing file: extension first, then magic
+    /// bytes. A usage error when neither recognizes the file.
+    pub fn detect(path: &Path) -> Result<Format, Error> {
+        if let Some(fmt) = Format::from_extension(path) {
+            return Ok(fmt);
+        }
+        if let Some(fmt) = Format::sniff(path)? {
+            return Ok(fmt);
+        }
+        Err(Error::usage(format!(
+            "cannot determine the graph format of {} (use a .adj/.el/.gr/.metis/.bin/.jgr \
+             extension or pass format= explicitly)",
+            path.display()
+        )))
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Options for [`GraphIo`] — a params struct in the registry style, so new
+/// knobs don't churn every call site.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IoOptions {
+    /// Explicit format; `None` auto-detects (extension, then magic bytes).
+    pub format: Option<Format>,
+    /// Edge lists: explicit vertex count (otherwise inferred as
+    /// `1 + max id`, and an empty file is a parse error).
+    pub vertices: Option<usize>,
+    /// Edge lists: symmetrize while building (add both directions).
+    pub symmetric: bool,
+    /// Container writes: also embed the Ligra+ byte-compressed payload so
+    /// `backend=compressed` loads skip re-encoding.
+    pub compressed_payload: bool,
+}
+
+/// The unified graph I/O surface. Stateless — the methods are associated
+/// functions; all knobs live in [`IoOptions`].
+pub struct GraphIo;
+
+impl GraphIo {
+    /// Reads a graph with weight type `W` from `path`, auto-detecting the
+    /// format unless [`IoOptions::format`] is set. Weightedness must match
+    /// `W` for formats that record it; DIMACS is inherently weighted and
+    /// rejects `W = ()` as a usage error.
+    pub fn read<W: Weight>(path: &Path, opts: &IoOptions) -> Result<Csr<W>, Error> {
+        let fmt = match opts.format {
+            Some(f) => f,
+            None => Format::detect(path)?,
+        };
+        match fmt {
+            Format::Adjacency => read_adjacency_graph(path),
+            Format::EdgeList => read_edge_list(path, opts.vertices, opts.symmetric),
+            Format::Metis => read_metis(path),
+            Format::Binary => read_binary(path),
+            Format::Container => {
+                let mg: crate::container::MappedGraph<W> =
+                    crate::container::MappedGraph::open(path)?;
+                Ok(mg.to_csr())
+            }
+            Format::Dimacs => {
+                if W::IS_UNIT {
+                    return Err(Error::usage(
+                        "DIMACS files are weighted; use a weighted command",
+                    ));
+                }
+                // Round-trip through u64 encoding to reuse the typed reader.
+                read_dimacs(path).map(|g| {
+                    Csr::from_parts(
+                        g.offsets().to_vec(),
+                        g.targets().to_vec(),
+                        g.weights().iter().map(|&w| W::from_u64(w as u64)).collect(),
+                        g.is_symmetric(),
+                    )
+                })
+            }
+        }
+    }
+
+    /// Writes `g` to `path`. The format comes from [`IoOptions::format`] or
+    /// the extension; sniffing does not apply to writes, so an unknown
+    /// extension without an explicit format is a usage error.
+    pub fn write<W: Weight>(g: &Csr<W>, path: &Path, opts: &IoOptions) -> Result<(), Error> {
+        let fmt = match opts.format.or_else(|| Format::from_extension(path)) {
+            Some(f) => f,
+            None => {
+                return Err(Error::usage(format!(
+                    "cannot determine the output format of {} (use a .adj/.el/.gr/.metis/.bin/\
+                     .jgr extension or pass format= explicitly)",
+                    path.display()
+                )))
+            }
+        };
+        match fmt {
+            Format::Adjacency => write_adjacency_graph(g, path),
+            Format::EdgeList => write_edge_list(g, path),
+            Format::Metis => write_metis(g, path),
+            Format::Binary => write_binary(g, path),
+            Format::Container => crate::container::write(
+                g,
+                path,
+                &crate::container::ContainerWriteOptions {
+                    compressed_payload: opts.compressed_payload,
+                },
+            ),
+            Format::Dimacs => {
+                if W::IS_UNIT {
+                    return Err(Error::usage("DIMACS output requires a weighted graph"));
+                }
+                let wg: Csr<u32> = Csr::from_parts(
+                    g.offsets().to_vec(),
+                    g.targets().to_vec(),
+                    g.weights().iter().map(|w| w.to_u64() as u32).collect(),
+                    g.is_symmetric(),
+                );
+                write_dimacs(&wg, path)
+            }
+        }
+    }
+}
 
 /// A line source that tracks the 1-based line number for error positioning.
 struct Lines<'p> {
@@ -55,7 +282,7 @@ impl<'p> Lines<'p> {
 
 /// Writes `g` in Ligra's `AdjacencyGraph` / `WeightedAdjacencyGraph` text
 /// format.
-pub fn write_adjacency_graph<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
+fn write_adjacency_graph<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
     let write = || -> io::Result<()> {
         let mut out = BufWriter::new(File::create(path)?);
         if W::IS_UNIT {
@@ -82,7 +309,7 @@ pub fn write_adjacency_graph<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), E
 }
 
 /// Reads a Ligra `AdjacencyGraph` / `WeightedAdjacencyGraph` text file.
-pub fn read_adjacency_graph<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
+fn read_adjacency_graph<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
     let mut src = Lines::open(path)?;
     let header = src.next("header")?;
     let weighted = match header.trim() {
@@ -135,11 +362,12 @@ pub fn read_adjacency_graph<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
             weights.push(W::from_u64(w));
         }
     }
-    Ok(Csr::from_parts(offsets, targets, weights, false))
+    Csr::try_from_parts(offsets, targets, weights, false)
+        .map_err(|msg| Error::parse(format!("inconsistent adjacency data: {msg}")).with_path(path))
 }
 
 /// Writes a whitespace edge list (`u v` or `u v w` per line).
-pub fn write_edge_list<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
+fn write_edge_list<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
     let write = || -> io::Result<()> {
         let mut out = BufWriter::new(File::create(path)?);
         for u in 0..g.num_vertices() as VertexId {
@@ -164,7 +392,7 @@ pub fn write_edge_list<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> 
 /// behaviour silently produced a bogus 1-vertex graph), or if any endpoint
 /// is `>= n` for a user-supplied `n` (those edges previously survived until
 /// an out-of-bounds index deep inside CSR construction).
-pub fn read_edge_list<W: Weight>(
+fn read_edge_list<W: Weight>(
     path: &Path,
     n: Option<usize>,
     symmetric: bool,
@@ -220,7 +448,7 @@ pub fn read_edge_list<W: Weight>(
 }
 
 /// Writes a DIMACS shortest-path challenge `.gr` file (1-indexed, weighted).
-pub fn write_dimacs(g: &Csr<u32>, path: &Path) -> Result<(), Error> {
+fn write_dimacs(g: &Csr<u32>, path: &Path) -> Result<(), Error> {
     let write = || -> io::Result<()> {
         let mut out = BufWriter::new(File::create(path)?);
         writeln!(out, "c generated by julienne-graph")?;
@@ -236,7 +464,7 @@ pub fn write_dimacs(g: &Csr<u32>, path: &Path) -> Result<(), Error> {
 }
 
 /// Reads a DIMACS `.gr` file.
-pub fn read_dimacs(path: &Path) -> Result<Csr<u32>, Error> {
+fn read_dimacs(path: &Path) -> Result<Csr<u32>, Error> {
     let reader = BufReader::new(File::open(path).map_err(|e| Error::io_at(path, e))?);
     let mut n = 0usize;
     let mut edges: Vec<(VertexId, VertexId, u32)> = Vec::new();
@@ -287,7 +515,7 @@ pub fn read_dimacs(path: &Path) -> Result<Csr<u32>, Error> {
 /// `n m [fmt]`, where undirected edges are listed from both endpoints).
 /// Requires a symmetric graph; weighted graphs use fmt `001` (edge
 /// weights).
-pub fn write_metis<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
+fn write_metis<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
     if !g.is_symmetric() {
         return Err(Error::input(
             "METIS files describe undirected graphs; symmetrize first",
@@ -322,7 +550,7 @@ pub fn write_metis<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
 }
 
 /// Reads a METIS graph file (plain or `001` edge-weighted).
-pub fn read_metis<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
+fn read_metis<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
     let reader = BufReader::new(File::open(path).map_err(|e| Error::io_at(path, e))?);
     let mut header: Option<(usize, usize, bool)> = None;
     let mut el = EdgeList::new(0);
@@ -395,11 +623,17 @@ pub fn read_metis<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
 }
 
 const BINARY_MAGIC: u64 = 0x4A55_4C49_454E_4E45; // "JULIENNE"
+/// Legacy binary format version. Version 1 files (pre-PR 6) carried no
+/// version field at all; the u32 that now follows the magic lands on the
+/// low half of what was the vertex count, so old files surface as an
+/// "unsupported version" parse error instead of a garbage graph.
+const BINARY_VERSION: u32 = 2;
 
 /// Writes the fast binary format (little-endian, length-prefixed arrays).
-pub fn write_binary<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
+fn write_binary<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
     let mut buf: Vec<u8> = Vec::with_capacity(32 + 8 * g.num_vertices() + 4 * g.num_edges());
     buf.put_u64_le(BINARY_MAGIC);
+    buf.put_u32_le(BINARY_VERSION);
     buf.put_u64_le(g.num_vertices() as u64);
     buf.put_u64_le(g.num_edges() as u64);
     buf.put_u8(u8::from(g.is_symmetric()));
@@ -424,26 +658,45 @@ pub fn write_binary<W: Weight>(g: &Csr<W>, path: &Path) -> Result<(), Error> {
 }
 
 /// Reads the fast binary format.
-pub fn read_binary<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
+fn read_binary<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
     let mut raw = Vec::new();
     File::open(path)
         .and_then(|mut f| f.read_to_end(&mut raw))
         .map_err(|e| Error::io_at(path, e))?;
     let mut buf: &[u8] = &raw;
-    let bad = |msg: &str| Error::parse(msg).with_path(path);
-    if buf.remaining() < 26 || buf.get_u64_le() != BINARY_MAGIC {
-        return Err(bad("bad magic"));
+    let bad = |msg: String| Error::parse(msg).with_path(path);
+    if buf.remaining() < 8 || buf.get_u64_le() != BINARY_MAGIC {
+        return Err(bad("not a julienne binary graph (bad magic)".into()));
+    }
+    if buf.remaining() < 4 {
+        return Err(bad("truncated file (no version field)".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != BINARY_VERSION {
+        return Err(bad(format!(
+            "unsupported binary version {version} (this build reads version {BINARY_VERSION}; \
+             re-export pre-PR-6 files with `julienne convert`)"
+        )));
+    }
+    if buf.remaining() < 18 {
+        return Err(bad("truncated file (header cut short)".into()));
     }
     let n = buf.get_u64_le() as usize;
     let m = buf.get_u64_le() as usize;
     let symmetric = buf.get_u8() != 0;
     let weighted = buf.get_u8() != 0;
     if weighted == W::IS_UNIT {
-        return Err(bad("weightedness mismatch"));
+        return Err(bad(
+            "weightedness of file does not match requested graph type".into(),
+        ));
     }
-    let need = 8 * (n + 1) + 4 * m + if weighted { 8 * m } else { 0 };
+    let need = n
+        .checked_add(1)
+        .and_then(|o| o.checked_mul(8))
+        .and_then(|o| o.checked_add(m.checked_mul(if weighted { 12 } else { 4 })?))
+        .ok_or_else(|| bad("header sizes overflow".into()))?;
     if buf.remaining() < need {
-        return Err(bad("truncated file"));
+        return Err(bad("truncated file".into()));
     }
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
@@ -459,7 +712,10 @@ pub fn read_binary<W: Weight>(path: &Path) -> Result<Csr<W>, Error> {
             weights.push(W::from_u64(buf.get_u64_le()));
         }
     }
-    Ok(Csr::from_parts(offsets, targets, weights, symmetric))
+    // Corrupt bodies (non-monotone offsets, out-of-range targets) must be
+    // typed parse errors, not asserts or silently-garbage graphs.
+    Csr::try_from_parts(offsets, targets, weights, symmetric)
+        .map_err(|msg| bad(format!("corrupt graph body: {msg}")))
 }
 
 #[cfg(test)]
@@ -666,6 +922,146 @@ mod tests {
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 0);
         std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn graphio_roundtrips_every_extension() {
+        let dir = std::env::temp_dir().join(format!("julienne-graphio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = erdos_renyi(120, 600, 12, false);
+        for name in ["g.adj", "g.el", "g.bin", "g.jgr"] {
+            let p = dir.join(name);
+            GraphIo::write(&g, &p, &IoOptions::default()).unwrap();
+            let h: Csr<()> = GraphIo::read(&p, &IoOptions::default()).unwrap();
+            assert_eq!(h.num_vertices(), g.num_vertices(), "{name}");
+            assert_eq!(h.num_edges(), g.num_edges(), "{name}");
+        }
+        let sym = erdos_renyi(100, 500, 13, true);
+        let p = dir.join("g.metis");
+        GraphIo::write(&sym, &p, &IoOptions::default()).unwrap();
+        let h: Csr<()> = GraphIo::read(&p, &IoOptions::default()).unwrap();
+        assert_eq!(h.num_edges(), sym.num_edges());
+        let wg = assign_weights(&g, 1, 9, 14);
+        let p = dir.join("g.gr");
+        GraphIo::write(&wg, &p, &IoOptions::default()).unwrap();
+        let h: Csr<u32> = GraphIo::read(&p, &IoOptions::default()).unwrap();
+        assert_eq!(h.weights(), wg.weights());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn magic_sniffing_handles_unknown_extensions() {
+        let dir = std::env::temp_dir().join(format!("julienne-sniff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = erdos_renyi(60, 300, 21, false);
+        // Write each self-identifying format under a nonsense extension and
+        // read it back with no format hint at all.
+        for fmt in [Format::Adjacency, Format::Binary, Format::Container] {
+            let p = dir.join(format!("mystery-{fmt}.dat"));
+            GraphIo::write(
+                &g,
+                &p,
+                &IoOptions {
+                    format: Some(fmt),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(Format::sniff(&p).unwrap(), Some(fmt));
+            let h: Csr<()> = GraphIo::read(&p, &IoOptions::default()).unwrap();
+            assert_eq!(h.num_edges(), g.num_edges(), "{fmt}");
+        }
+        // DIMACS sniffs via its comment/problem lines.
+        let wg = assign_weights(&g, 1, 5, 2);
+        let p = dir.join("mystery-gr.dat");
+        GraphIo::write(
+            &wg,
+            &p,
+            &IoOptions {
+                format: Some(Format::Dimacs),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(Format::sniff(&p).unwrap(), Some(Format::Dimacs));
+        // A file with no signature and no known extension is a usage error.
+        let p = dir.join("mystery-none.dat");
+        std::fs::write(&p, "0 1\n1 2\n").unwrap();
+        let err = GraphIo::read::<()>(&p, &IoOptions::default()).unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
+        // ...but an explicit format reads it fine.
+        let h: Csr<()> = GraphIo::read(
+            &p,
+            &IoOptions {
+                format: Some(Format::EdgeList),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(h.num_edges(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn format_parse_names_round_trip() {
+        for fmt in [
+            Format::Adjacency,
+            Format::EdgeList,
+            Format::Dimacs,
+            Format::Metis,
+            Format::Binary,
+            Format::Container,
+        ] {
+            assert_eq!(Format::parse(fmt.name()).unwrap(), fmt);
+        }
+        assert!(Format::parse("zip").unwrap_err().is_usage());
+    }
+
+    #[test]
+    fn graphio_write_unknown_extension_is_usage_error() {
+        let g = erdos_renyi(10, 30, 1, false);
+        let err = GraphIo::write(&g, Path::new("/tmp/x.zip"), &IoOptions::default()).unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
+    }
+
+    #[test]
+    fn binary_rejects_wrong_magic_version_and_corrupt_body() {
+        let g = erdos_renyi(40, 150, 3, false);
+        let p = tmp("bin-corrupt");
+        write_binary(&g, &p).unwrap();
+        let pristine = std::fs::read(&p).unwrap();
+
+        // Wrong magic.
+        let mut bytes = pristine.clone();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&p, &bytes).unwrap();
+        let err = read_binary::<()>(&p).unwrap_err();
+        assert_eq!(err.code(), "parse");
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // Wrong version (also the shape a pre-PR-6 version-less file takes).
+        let mut bytes = pristine.clone();
+        bytes[8] = 77;
+        std::fs::write(&p, &bytes).unwrap();
+        let err = read_binary::<()>(&p).unwrap_err();
+        assert!(err.to_string().contains("version 77"), "{err}");
+
+        // Truncation inside the header.
+        std::fs::write(&p, &pristine[..14]).unwrap();
+        let err = read_binary::<()>(&p).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        // Corrupt body: scribble over the offsets so they are not monotone.
+        let mut bytes = pristine.clone();
+        for b in &mut bytes[30..54] {
+            *b = 0xEE;
+        }
+        std::fs::write(&p, &bytes).unwrap();
+        let err = read_binary::<()>(&p).unwrap_err();
+        assert_eq!(err.code(), "parse");
+        assert!(err.to_string().contains("corrupt graph body"), "{err}");
+
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

@@ -8,8 +8,13 @@
 //! * [`transform`] — symmetrisation, transposition, weight assignment,
 //! * [`generators`] — the synthetic workloads standing in for the paper's
 //!   real-world inputs (see DESIGN.md §3),
-//! * [`io`] — Ligra adjacency text format, edge lists, DIMACS `.gr`, and a
-//!   fast binary format,
+//! * [`io`] — the unified [`io::GraphIo`] loading surface: Ligra adjacency
+//!   text, edge lists, DIMACS `.gr`, METIS, a legacy binary format, and the
+//!   `.jgr` container, with format auto-detection,
+//! * [`container`] — the versioned zero-copy `.jgr` container and the
+//!   memory-mapped [`container::MappedGraph`] that serves graphs straight
+//!   from the mapped file,
+//! * [`mmap`] — the read-only file-mapping primitive under the container,
 //! * [`compress`] — Ligra+-style byte-code delta compression of adjacency
 //!   lists,
 //! * [`packed`] — mutable-adjacency graphs supporting `edgeMapFilter`'s
@@ -17,12 +22,15 @@
 
 pub mod builder;
 pub mod compress;
+pub mod container;
 pub mod csr;
 pub mod generators;
 pub mod io;
+pub mod mmap;
 pub mod packed;
 pub mod transform;
 
+pub use container::MappedGraph;
 pub use csr::{Csr, Graph, WGraph, Weight};
 
 /// Vertex identifier. 32 bits suffice for all laptop-scale inputs and halve

@@ -24,13 +24,16 @@
 //! | `Csr<W>`           | yes        | when symmetric or transpose attached     |
 //! | `CompressedGraph`  | yes        | when symmetric or transpose attached     |
 //! | `CompressedWGraph` | yes        | when symmetric or transpose attached     |
+//! | `MappedGraph<W>`   | yes        | when symmetric or the `.jgr` file        |
+//! |                    |            | carries transpose sections               |
 //! | `PackedGraph`      | yes        | never (`has_in_view` is `false`; packing |
 //! |                    |            | mutates out-lists asymmetrically)        |
 //!
-//! All four implement `GraphRef`; `has_in_view()` gates whether the dense
+//! All five implement `GraphRef`; `has_in_view()` gates whether the dense
 //! path may actually be chosen.
 
 use julienne_graph::compress::{CompressedGraph, CompressedWGraph};
+use julienne_graph::container::MappedGraph;
 use julienne_graph::csr::{Csr, Weight};
 use julienne_graph::packed::PackedGraph;
 use julienne_graph::VertexId;
@@ -300,6 +303,61 @@ impl GraphRef for CompressedWGraph {
 }
 
 // --------------------------------------------------------------------------
+// MappedGraph<W> — traversal directly over the mmap'd .jgr sections
+// --------------------------------------------------------------------------
+
+impl<W: Weight> OutEdges for MappedGraph<W> {
+    type W = W;
+
+    fn num_vertices(&self) -> usize {
+        MappedGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        MappedGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn out_degree(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn for_each_out<F: FnMut(VertexId, W)>(&self, v: VertexId, f: F) {
+        MappedGraph::for_each_out(self, v, f);
+    }
+
+    #[inline]
+    fn for_each_out_until<F: FnMut(VertexId, W) -> bool>(&self, v: VertexId, f: F) {
+        MappedGraph::for_each_out_until(self, v, f);
+    }
+}
+
+impl<W: Weight> InEdges for MappedGraph<W> {
+    #[inline]
+    fn has_in_view(&self) -> bool {
+        MappedGraph::has_in_view(self)
+    }
+
+    #[inline]
+    fn in_degree(&self, v: VertexId) -> usize {
+        MappedGraph::in_degree(self, v)
+    }
+
+    #[inline]
+    fn for_each_in_until<F: FnMut(VertexId, W) -> bool>(&self, v: VertexId, f: F) {
+        MappedGraph::for_each_in_until(self, v, f);
+    }
+}
+
+impl<W: Weight> GraphRef for MappedGraph<W> {
+    #[inline]
+    fn is_symmetric(&self) -> bool {
+        MappedGraph::is_symmetric(self)
+    }
+}
+
+// --------------------------------------------------------------------------
 // PackedGraph
 // --------------------------------------------------------------------------
 
@@ -460,6 +518,38 @@ mod tests {
             b.sort_unstable();
             assert_eq!(b, vec![0, 1]);
         }
+    }
+
+    #[test]
+    fn mapped_backend_agrees_with_csr() {
+        use julienne_graph::container::{self, ContainerWriteOptions};
+        let g = from_pairs_symmetric(6, &[(0, 1), (0, 3), (0, 5), (2, 4), (1, 5)]);
+        let p =
+            std::env::temp_dir().join(format!("julienne-traits-mapped-{}.jgr", std::process::id()));
+        container::write(&g, &p, &ContainerWriteOptions::default()).unwrap();
+        let mg: MappedGraph<()> = MappedGraph::open(&p).unwrap();
+        for v in 0..6u32 {
+            assert_eq!(collect(&mg, v), collect(&g, v), "vertex {v}");
+            assert_eq!(mg.out_degree(v), g.out_degree(v));
+            assert_eq!(InEdges::in_degree(&mg, v), InEdges::in_degree(&g, v));
+            let mut a = Vec::new();
+            mg.for_each_in_until(v, |u, _| {
+                a.push(u);
+                true
+            });
+            let mut b = Vec::new();
+            g.for_each_in_until(v, |u, _| {
+                b.push(u);
+                true
+            });
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "in-edges of {v}");
+        }
+        assert!(GraphRef::is_symmetric(&mg));
+        assert!(InEdges::has_in_view(&mg));
+        assert_eq!(GraphRef::out_degrees_sum(&mg, &[0, 2]), 4);
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

@@ -7,9 +7,11 @@
 
 use julienne_repro::algorithms::stats::graph_stats;
 use julienne_repro::graph::compress::CompressedGraph;
+use julienne_repro::graph::container::MappedGraph;
 use julienne_repro::graph::generators::{chung_lu, erdos_renyi, grid2d, rmat, RmatParams};
+use julienne_repro::graph::io::{GraphIo, IoOptions};
 use julienne_repro::graph::transform::assign_weights;
-use julienne_repro::graph::{io, Csr, Graph};
+use julienne_repro::graph::{Csr, Graph};
 
 fn main() {
     println!("# generator gallery");
@@ -43,15 +45,16 @@ fn main() {
         );
     }
 
-    println!("\n# I/O round-trips (Ligra adjacency, edge list, DIMACS, binary)");
+    println!("\n# I/O round-trips through GraphIo (format from the extension)");
     let dir = std::env::temp_dir().join(format!("julienne-toolkit-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let g = &graphs[1].1;
     let wg = assign_weights(g, 1, 1000, 9);
+    let opts = IoOptions::default();
 
     let adj = dir.join("graph.adj");
-    io::write_adjacency_graph(g, &adj).unwrap();
-    let back: Graph = io::read_adjacency_graph(&adj).unwrap();
+    GraphIo::write(g, &adj, &opts).unwrap();
+    let back: Graph = GraphIo::read(&adj, &opts).unwrap();
     assert_eq!(back.targets(), g.targets());
     println!(
         "  AdjacencyGraph: {} bytes",
@@ -59,8 +62,8 @@ fn main() {
     );
 
     let el = dir.join("graph.el");
-    io::write_edge_list(&wg, &el).unwrap();
-    let back: Csr<u32> = io::read_edge_list(&el, Some(wg.num_vertices()), false).unwrap();
+    GraphIo::write(&wg, &el, &opts).unwrap();
+    let back: Csr<u32> = GraphIo::read(&el, &opts).unwrap();
     assert_eq!(back.num_edges(), wg.num_edges());
     println!(
         "  edge list:      {} bytes",
@@ -68,8 +71,8 @@ fn main() {
     );
 
     let gr = dir.join("graph.gr");
-    io::write_dimacs(&wg, &gr).unwrap();
-    let back = io::read_dimacs(&gr).unwrap();
+    GraphIo::write(&wg, &gr, &opts).unwrap();
+    let back: Csr<u32> = GraphIo::read(&gr, &opts).unwrap();
     assert_eq!(back.weights(), wg.weights());
     println!(
         "  DIMACS .gr:     {} bytes",
@@ -77,12 +80,27 @@ fn main() {
     );
 
     let bin = dir.join("graph.bin");
-    io::write_binary(g, &bin).unwrap();
-    let back: Graph = io::read_binary(&bin).unwrap();
+    GraphIo::write(g, &bin, &opts).unwrap();
+    let back: Graph = GraphIo::read(&bin, &opts).unwrap();
     assert_eq!(back.offsets(), g.offsets());
     println!(
         "  binary:         {} bytes",
         std::fs::metadata(&bin).unwrap().len()
+    );
+
+    println!("\n# .jgr container: write once, mmap forever");
+    let jgr = dir.join("graph.jgr");
+    GraphIo::write(g, &jgr, &opts).unwrap();
+    let mapped: MappedGraph<()> = MappedGraph::open(&jgr).unwrap();
+    mapped.verify(&jgr).unwrap();
+    assert_eq!(mapped.num_edges(), g.num_edges());
+    let mut deg0 = Vec::new();
+    mapped.for_each_out(0, |u, ()| deg0.push(u));
+    assert_eq!(deg0, g.neighbors(0));
+    println!(
+        "  container:      {} bytes, open() maps {} bytes with no per-edge work",
+        std::fs::metadata(&jgr).unwrap().len(),
+        mapped.footprint_bytes()
     );
     std::fs::remove_dir_all(&dir).ok();
 

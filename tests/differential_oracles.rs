@@ -31,7 +31,7 @@ use julienne_repro::algorithms::triangles::{triangle_count, EdgeIndex};
 use julienne_repro::core::query::QueryCtx;
 use julienne_repro::graph::compress::{CompressedGraph, CompressedWGraph};
 use julienne_repro::graph::generators::set_cover_instance;
-use julienne_repro::graph::io::read_edge_list;
+use julienne_repro::graph::io::{Format, GraphIo, IoOptions};
 use julienne_repro::graph::{Graph, WGraph};
 use julienne_repro::ligra::traits::GraphRef;
 use proptest::prelude::*;
@@ -183,10 +183,33 @@ fn check_unweighted_on<G: GraphRef<W = ()>>(name: &str, plain: &Graph, g: &G) {
     );
 }
 
+/// Writes `g` to a scratch `.jgr`, runs `f` on the memory-mapped view, and
+/// removes the file — the third backend for the differential checks.
+fn with_mapped<W: julienne_repro::graph::csr::Weight>(
+    g: &julienne_repro::graph::Csr<W>,
+    f: impl FnOnce(&julienne_repro::graph::container::MappedGraph<W>),
+) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "julienne-oracle-{}-{}.jgr",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    GraphIo::write(g, &path, &IoOptions::default()).unwrap();
+    let mg = julienne_repro::graph::container::MappedGraph::open(&path).unwrap();
+    f(&mg);
+    drop(mg);
+    std::fs::remove_file(&path).ok();
+}
+
 fn check_unweighted(name: &str, g: &Graph) {
     check_unweighted_on(&format!("{name}/csr"), g, g);
     let cg = CompressedGraph::from_csr(g);
     check_unweighted_on(&format!("{name}/compressed"), g, &cg);
+    with_mapped(g, |mg| {
+        check_unweighted_on(&format!("{name}/mapped"), g, mg)
+    });
 }
 
 /// Runs every SSSP implementation on `g` (any backend) and compares against
@@ -217,6 +240,7 @@ fn check_weighted(name: &str, g: &WGraph) {
     check_weighted_on(&format!("{name}/csr"), g, g);
     let cg = CompressedWGraph::from_csr(g);
     check_weighted_on(&format!("{name}/compressed"), g, &cg);
+    with_mapped(g, |mg| check_weighted_on(&format!("{name}/mapped"), g, mg));
 }
 
 #[test]
@@ -228,8 +252,14 @@ fn regression_corpus_matches_oracles() {
         ("two_components.el", Some(7)),
     ];
     for (file, n) in corpus {
+        let opts = IoOptions {
+            format: Some(Format::EdgeList),
+            vertices: n,
+            symmetric: true,
+            ..Default::default()
+        };
         let g: Graph =
-            read_edge_list(&data(file), n, true).unwrap_or_else(|e| panic!("loading {file}: {e}"));
+            GraphIo::read(&data(file), &opts).unwrap_or_else(|e| panic!("loading {file}: {e}"));
         check_unweighted(file, &g);
     }
 }
@@ -239,7 +269,13 @@ fn u32_boundary_weights_match_dijkstra_oracle() {
     // Weights at u32::MAX: any two-edge path overflows u32, so this fails
     // against any implementation that accumulates distances in 32 bits or
     // clamps annulus indices carelessly.
-    let g: WGraph = read_edge_list(&data("u32_boundary.el"), Some(6), true).unwrap();
+    let opts = IoOptions {
+        format: Some(Format::EdgeList),
+        vertices: Some(6),
+        symmetric: true,
+        ..Default::default()
+    };
+    let g: WGraph = GraphIo::read(&data("u32_boundary.el"), &opts).unwrap();
     let want = oracle::sssp::dijkstra_binheap(&g, 0);
     assert_eq!(want[3], 2 * (u32::MAX as u64) - 1, "shortcut 0-4-3");
     assert_eq!(want[5], 2 * (u32::MAX as u64), "chain end");
@@ -249,8 +285,8 @@ fn u32_boundary_weights_match_dijkstra_oracle() {
 #[test]
 fn generator_families_match_oracles() {
     // Tiny instances on purpose: each graph runs ~20 oracle comparisons on
-    // two backends, several of them all-source, and this suite must stay
-    // fast in debug builds.
+    // three backends (CSR, compressed, mapped), several of them all-source,
+    // and this suite must stay fast in debug builds.
     for (name, g) in tiny_graphs() {
         check_unweighted(name, &g);
     }

@@ -1,0 +1,307 @@
+//! Mapped-backend equivalence: every algorithm produces identical output
+//! on the raw CSR backend and the zero-copy memory-mapped `.jgr` backend
+//! (`MappedGraph`), at 1 and 4 worker threads.
+//!
+//! Each family is written to a `.jgr` container once and reopened via
+//! `MappedGraph::open` — the same no-per-edge-work path `julienne serve
+//! backend=mapped` takes — so these tests pin that serving straight from
+//! the file is invisible to results, and that the container round-trip
+//! (CSR -> sections -> mmap) loses nothing.
+
+use julienne_repro::algorithms::bellman_ford::bellman_ford;
+use julienne_repro::algorithms::betweenness::betweenness;
+use julienne_repro::algorithms::bfs::{bfs, bfs_seq};
+use julienne_repro::algorithms::clustering::{closeness, harmonic, local_clustering, transitivity};
+use julienne_repro::algorithms::components::{connected_components, connected_components_seq};
+use julienne_repro::algorithms::degeneracy::{
+    degeneracy_order, densest_subgraph, densest_subgraph_approx, greedy_coloring,
+};
+use julienne_repro::algorithms::delta_stepping::{sssp, wbfs, SsspParams};
+use julienne_repro::algorithms::dial::dial;
+use julienne_repro::algorithms::dijkstra::dijkstra;
+use julienne_repro::algorithms::gap_delta::gap_delta_stepping;
+use julienne_repro::algorithms::kcore::{coreness, coreness_ligra, KcoreParams};
+use julienne_repro::algorithms::ktruss::ktruss_julienne;
+use julienne_repro::algorithms::mis::maximal_independent_set;
+use julienne_repro::algorithms::pagerank::pagerank;
+use julienne_repro::algorithms::stats::{estimate_diameter, graph_stats};
+use julienne_repro::algorithms::triangles::triangle_count;
+use julienne_repro::graph::container::MappedGraph;
+use julienne_repro::graph::csr::Weight;
+use julienne_repro::graph::io::{GraphIo, IoOptions};
+use julienne_repro::graph::Csr;
+
+mod common;
+
+use common::{at, graphs, small_graphs, weighted};
+use julienne_repro::core::query::QueryCtx;
+
+const THREADS: [usize; 2] = [1, 4];
+
+/// A `.jgr` file that removes itself when the test is done with it.
+struct TempJgr(std::path::PathBuf);
+
+impl Drop for TempJgr {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+/// Writes `g` to a container and reopens it memory-mapped.
+fn mapped<W: Weight>(name: &str, g: &Csr<W>) -> (MappedGraph<W>, TempJgr) {
+    let path = std::env::temp_dir().join(format!(
+        "julienne-mapped-it-{}-{name}.jgr",
+        std::process::id()
+    ));
+    GraphIo::write(g, &path, &IoOptions::default()).unwrap();
+    let m = MappedGraph::open(&path).unwrap();
+    (m, TempJgr(path))
+}
+
+/// Asserts `csr()` and `via_map()` agree at 1 and 4 threads.
+fn eq_mapped<T: PartialEq + std::fmt::Debug + Send>(
+    what: &str,
+    csr: impl Fn() -> T + Send + Sync,
+    via_map: impl Fn() -> T + Send + Sync,
+) {
+    for t in THREADS {
+        let a = at(t, &csr);
+        let b = at(t, &via_map);
+        assert_eq!(a, b, "{what}: mapped backend diverged at {t} threads");
+    }
+}
+
+#[test]
+fn frontier_algorithms_match_on_mapped_backend() {
+    for (name, g) in graphs() {
+        let (mg, _file) = mapped(&format!("frontier-{name}"), &g);
+        eq_mapped(
+            &format!("bfs/{name}"),
+            || bfs(&g, 0).level,
+            || bfs(&mg, 0).level,
+        );
+        eq_mapped(
+            &format!("bfs_seq/{name}"),
+            || bfs_seq(&g, 0),
+            || bfs_seq(&mg, 0),
+        );
+        eq_mapped(
+            &format!("components/{name}"),
+            || connected_components(&g).label,
+            || connected_components(&mg).label,
+        );
+        eq_mapped(
+            &format!("components_seq/{name}"),
+            || connected_components_seq(&g),
+            || connected_components_seq(&mg),
+        );
+        eq_mapped(
+            &format!("pagerank/{name}"),
+            || pagerank(&g, 0.85, 1e-9, 50).rank,
+            || pagerank(&mg, 0.85, 1e-9, 50).rank,
+        );
+        eq_mapped(
+            &format!("mis/{name}"),
+            || maximal_independent_set(&g, 3).members,
+            || maximal_independent_set(&mg, 3).members,
+        );
+    }
+}
+
+#[test]
+fn peeling_algorithms_match_on_mapped_backend() {
+    for (name, g) in graphs() {
+        let (mg, _file) = mapped(&format!("peel-{name}"), &g);
+        eq_mapped(
+            &format!("kcore_julienne/{name}"),
+            || {
+                let r = coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
+                (r.coreness, r.rounds)
+            },
+            || {
+                let r = coreness(&mg, &KcoreParams::default(), &QueryCtx::default()).unwrap();
+                (r.coreness, r.rounds)
+            },
+        );
+        eq_mapped(
+            &format!("kcore_ligra/{name}"),
+            || coreness_ligra(&g).coreness,
+            || coreness_ligra(&mg).coreness,
+        );
+        eq_mapped(
+            &format!("degeneracy_order/{name}"),
+            || degeneracy_order(&g).order,
+            || degeneracy_order(&mg).order,
+        );
+        eq_mapped(
+            &format!("densest/{name}"),
+            || densest_subgraph(&g).vertices,
+            || densest_subgraph(&mg).vertices,
+        );
+        eq_mapped(
+            &format!("densest_approx/{name}"),
+            || densest_subgraph_approx(&g, 0.1).vertices,
+            || densest_subgraph_approx(&mg, 0.1).vertices,
+        );
+        eq_mapped(
+            &format!("coloring/{name}"),
+            || greedy_coloring(&g),
+            || greedy_coloring(&mg),
+        );
+    }
+}
+
+#[test]
+fn triangle_family_matches_on_mapped_backend() {
+    for (name, g) in small_graphs() {
+        let (mg, _file) = mapped(&format!("tri-{name}"), &g);
+        eq_mapped(
+            &format!("triangles/{name}"),
+            || triangle_count(&g),
+            || triangle_count(&mg),
+        );
+        eq_mapped(
+            &format!("ktruss/{name}"),
+            || {
+                let r = ktruss_julienne(&g);
+                (r.trussness, r.max_truss)
+            },
+            || {
+                let r = ktruss_julienne(&mg);
+                (r.trussness, r.max_truss)
+            },
+        );
+        eq_mapped(
+            &format!("clustering/{name}"),
+            || (local_clustering(&g), transitivity(&g).to_bits()),
+            || (local_clustering(&mg), transitivity(&mg).to_bits()),
+        );
+    }
+}
+
+#[test]
+fn centrality_and_stats_match_on_mapped_backend() {
+    let sources: Vec<u32> = (0..16).collect();
+    for (name, g) in small_graphs() {
+        let (mg, _file) = mapped(&format!("cent-{name}"), &g);
+        eq_mapped(
+            &format!("betweenness/{name}"),
+            || betweenness(&g, &sources),
+            || betweenness(&mg, &sources),
+        );
+        eq_mapped(
+            &format!("closeness/{name}"),
+            || closeness(&g, &sources),
+            || closeness(&mg, &sources),
+        );
+        eq_mapped(
+            &format!("harmonic/{name}"),
+            || harmonic(&g, &sources),
+            || harmonic(&mg, &sources),
+        );
+        eq_mapped(
+            &format!("graph_stats/{name}"),
+            || {
+                let s = graph_stats(&g);
+                (s.rho, s.k_max, s.max_degree, s.eccentricity_from_zero)
+            },
+            || {
+                let s = graph_stats(&mg);
+                (s.rho, s.k_max, s.max_degree, s.eccentricity_from_zero)
+            },
+        );
+        eq_mapped(
+            &format!("diameter/{name}"),
+            || estimate_diameter(&g, 4, 9),
+            || estimate_diameter(&mg, 4, 9),
+        );
+    }
+}
+
+#[test]
+fn sssp_family_matches_on_mapped_backend() {
+    for heavy in [false, true] {
+        let delta = if heavy { 32_768 } else { 1 };
+        for (name, g) in weighted(heavy) {
+            let (mg, _file) = mapped(&format!("sssp-{name}-{heavy}"), &g);
+            eq_mapped(
+                &format!("delta_stepping/{name}/heavy={heavy}"),
+                || {
+                    let r = sssp(&g, &SsspParams { src: 0, delta }, &QueryCtx::default()).unwrap();
+                    (r.dist, r.rounds)
+                },
+                || {
+                    let r = sssp(&mg, &SsspParams { src: 0, delta }, &QueryCtx::default()).unwrap();
+                    (r.dist, r.rounds)
+                },
+            );
+            eq_mapped(
+                &format!("dijkstra/{name}/heavy={heavy}"),
+                || dijkstra(&g, 0),
+                || dijkstra(&mg, 0),
+            );
+            eq_mapped(
+                &format!("bellman_ford/{name}/heavy={heavy}"),
+                || bellman_ford(&g, 0).dist,
+                || bellman_ford(&mg, 0).dist,
+            );
+            eq_mapped(
+                &format!("gap_delta/{name}/heavy={heavy}"),
+                || gap_delta_stepping(&g, 0, delta.max(1024)).dist,
+                || gap_delta_stepping(&mg, 0, delta.max(1024)).dist,
+            );
+            eq_mapped(
+                &format!("dial/{name}/heavy={heavy}"),
+                || dial(&g, 0),
+                || dial(&mg, 0),
+            );
+            if !heavy {
+                eq_mapped(
+                    &format!("wbfs/{name}"),
+                    || wbfs(&g, 0).dist,
+                    || wbfs(&mg, 0).dist,
+                );
+            }
+        }
+    }
+}
+
+/// A container's embedded compressed payload and a freshly-compressed CSR
+/// are the same graph: all three backends agree on the same file.
+#[test]
+fn all_three_backends_agree_from_one_container() {
+    use julienne_repro::graph::container::read_compressed;
+    let (name, g) = graphs().into_iter().next().unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "julienne-mapped-it-{}-tri-{name}.jgr",
+        std::process::id()
+    ));
+    let opts = IoOptions {
+        compressed_payload: true,
+        ..Default::default()
+    };
+    GraphIo::write(&g, &path, &opts).unwrap();
+    let _file = TempJgr(path.clone());
+    let mg: MappedGraph<()> = MappedGraph::open(&path).unwrap();
+    let cg = read_compressed(&path).unwrap();
+    let csr: julienne_repro::graph::Graph = GraphIo::read(&path, &IoOptions::default()).unwrap();
+
+    let a = bfs(&csr, 0).level;
+    assert_eq!(a, bfs(&mg, 0).level, "csr vs mapped");
+    assert_eq!(a, bfs(&cg, 0).level, "csr vs compressed payload");
+    let k = coreness(&csr, &KcoreParams::default(), &QueryCtx::default())
+        .unwrap()
+        .coreness;
+    assert_eq!(
+        k,
+        coreness(&mg, &KcoreParams::default(), &QueryCtx::default())
+            .unwrap()
+            .coreness
+    );
+    assert_eq!(
+        k,
+        coreness(&cg, &KcoreParams::default(), &QueryCtx::default())
+            .unwrap()
+            .coreness
+    );
+}

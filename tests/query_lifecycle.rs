@@ -59,7 +59,9 @@ fn baseline(backend: Backend) -> &'static Vec<String> {
     static CSR: OnceLock<Vec<String>> = OnceLock::new();
     static COMPRESSED: OnceLock<Vec<String>> = OnceLock::new();
     let cell = match backend {
-        Backend::Csr => &CSR,
+        // In-memory graphs fall back to CSR under Backend::Mapped (there is
+        // no file to map), so the two share one baseline.
+        Backend::Csr | Backend::Mapped => &CSR,
         Backend::Compressed => &COMPRESSED,
     };
     cell.get_or_init(|| {
@@ -78,7 +80,7 @@ fn shared_session(backend: Backend) -> &'static Session<GraphStore> {
     static CSR: OnceLock<Session<GraphStore>> = OnceLock::new();
     static COMPRESSED: OnceLock<Session<GraphStore>> = OnceLock::new();
     let cell = match backend {
-        Backend::Csr => &CSR,
+        Backend::Csr | Backend::Mapped => &CSR,
         Backend::Compressed => &COMPRESSED,
     };
     cell.get_or_init(|| Engine::default().session(Arc::new(store(backend))))
