@@ -221,6 +221,21 @@ fn align_up(x: usize, to: usize) -> usize {
     x.div_ceil(to) * to
 }
 
+/// Checked conversion to the container's on-disk u32 weights. Wider
+/// weights that don't fit are a caller error we surface up front.
+fn weights_to_u32<W: Weight>(ws: &[W]) -> Result<Vec<u32>, Error> {
+    ws.iter()
+        .map(|w| {
+            let x = w.to_u64();
+            u32::try_from(x).map_err(|_| {
+                Error::input(format!(
+                    "weight {x} does not fit the container's u32 weights"
+                ))
+            })
+        })
+        .collect()
+}
+
 /// Writes `g` as a `.jgr` container. Sections always include the CSR
 /// arrays; a transpose is included when `g` is directed with an attached
 /// in-view, and the byte-compressed payload when
@@ -230,26 +245,15 @@ pub fn write<W: Weight>(
     path: &Path,
     opts: &ContainerWriteOptions,
 ) -> Result<(), Error> {
-    // Weights are stored as u32 (the paper's integral weights). Wider
-    // weights that don't fit are a caller error we surface up front.
+    // Weights are stored as u32 (the paper's integral weights).
     let weights_u32: Vec<u32> = if W::IS_UNIT {
         Vec::new()
     } else {
-        g.weights()
-            .iter()
-            .map(|w| {
-                let x = w.to_u64();
-                u32::try_from(x).map_err(|_| {
-                    Error::input(format!(
-                        "weight {x} does not fit the container's u32 weights"
-                    ))
-                })
-            })
-            .collect::<Result<_, _>>()?
+        weights_to_u32(g.weights())?
     };
     let in_view = if g.is_symmetric() { None } else { g.in_view() };
     let in_weights_u32: Vec<u32> = match in_view {
-        Some(t) if !W::IS_UNIT => t.weights().iter().map(|w| w.to_u64() as u32).collect(),
+        Some(t) if !W::IS_UNIT => weights_to_u32(t.weights())?,
         _ => Vec::new(),
     };
     // Optional compressed payload: encode now so the sections can borrow.
@@ -616,19 +620,31 @@ impl<W: Weight> MappedGraph<W> {
         self.buf.len()
     }
 
+    /// One direction's mapped offsets array (length `n + 1`).
+    #[inline]
+    fn adj_offsets(&self, adj: &RawAdj) -> &[u64] {
+        // SAFETY: the section was validated to exactly (n+1)*8 bytes at
+        // open; buf is owned by self and immutable.
+        unsafe { std::slice::from_raw_parts(adj.offsets, self.n + 1) }
+    }
+
+    /// One direction's mapped flat targets array (length `m`).
+    #[inline]
+    fn adj_targets(&self, adj: &RawAdj) -> &[VertexId] {
+        // SAFETY: the section was validated to exactly m*4 bytes at open.
+        unsafe { std::slice::from_raw_parts(adj.targets, self.m) }
+    }
+
     /// The mapped offsets array (length `n + 1`).
     #[inline]
     pub fn offsets(&self) -> &[u64] {
-        // SAFETY: section bounds and alignment validated at open; buf is
-        // owned by self and immutable.
-        unsafe { std::slice::from_raw_parts(self.out.offsets, self.n + 1) }
+        self.adj_offsets(&self.out)
     }
 
     /// The mapped flat targets array.
     #[inline]
     pub fn targets(&self) -> &[VertexId] {
-        // SAFETY: as for `offsets`.
-        unsafe { std::slice::from_raw_parts(self.out.targets, self.m) }
+        self.adj_targets(&self.out)
     }
 
     /// The mapped flat weights array as stored (`u32`); empty when
@@ -657,12 +673,17 @@ impl<W: Weight> MappedGraph<W> {
         &self.targets()[o[v as usize] as usize..o[v as usize + 1] as usize]
     }
 
+    /// Weights for the edge range `lo..hi`. Callers must have established
+    /// `lo <= hi <= m` first (both traversal paths do, by slicing the
+    /// targets section with safe bounds-checked indexing before this).
     #[inline]
     fn adj_weights(&self, adj: &RawAdj, lo: usize, hi: usize) -> &[u32] {
         if adj.weights.is_null() {
             &[]
         } else {
-            // SAFETY: weights section is m entries; lo..hi within it.
+            debug_assert!(lo <= hi && hi <= self.m);
+            // SAFETY: the weights section was validated to m entries at
+            // open, and lo..hi lies within 0..m per the contract above.
             unsafe { std::slice::from_raw_parts(adj.weights.add(lo), hi - lo) }
         }
     }
@@ -719,15 +740,8 @@ impl<W: Weight> MappedGraph<W> {
     /// If [`has_in_view`](Self::has_in_view) is `false`.
     #[inline]
     pub fn in_degree(&self, v: VertexId) -> usize {
-        let adj = self.in_adj();
-        // SAFETY: in-sections were validated to n+1 entries at open.
-        let (lo, hi) = unsafe {
-            (
-                *adj.offsets.add(v as usize),
-                *adj.offsets.add(v as usize + 1),
-            )
-        };
-        (hi - lo) as usize
+        let o = self.adj_offsets(self.in_adj());
+        (o[v as usize + 1] - o[v as usize]) as usize
     }
 
     /// Visits in-edges `(source, weight)` of `v` until `f` returns `false`.
@@ -737,14 +751,11 @@ impl<W: Weight> MappedGraph<W> {
     #[inline]
     pub fn for_each_in_until<F: FnMut(VertexId, W) -> bool>(&self, v: VertexId, mut f: F) {
         let adj = *self.in_adj();
-        // SAFETY: in-sections validated at open (n+1 offsets, m targets).
-        let (lo, hi) = unsafe {
-            (
-                *adj.offsets.add(v as usize) as usize,
-                *adj.offsets.add(v as usize + 1) as usize,
-            )
-        };
-        let ts = unsafe { std::slice::from_raw_parts(adj.targets.add(lo), hi - lo) };
+        let o = self.adj_offsets(&adj);
+        let (lo, hi) = (o[v as usize] as usize, o[v as usize + 1] as usize);
+        // Safe slicing, exactly as the out path: corrupt in-offsets (lo >
+        // hi, or beyond m) panic instead of reading out of bounds.
+        let ts = &self.adj_targets(&adj)[lo..hi];
         if W::IS_UNIT {
             for &t in ts {
                 if !f(t, W::default()) {
@@ -790,11 +801,8 @@ impl<W: Weight> MappedGraph<W> {
         };
         check_adj(self.offsets(), self.targets(), "out")?;
         if !self.symmetric {
-            if let Some(adj) = &self.inn {
-                // SAFETY: validated section lengths at open.
-                let o = unsafe { std::slice::from_raw_parts(adj.offsets, self.n + 1) };
-                let t = unsafe { std::slice::from_raw_parts(adj.targets, self.m) };
-                check_adj(o, t, "in")?;
+            if let Some(adj) = self.inn {
+                check_adj(self.adj_offsets(&adj), self.adj_targets(&adj), "in")?;
             }
         }
         Ok(())
@@ -803,7 +811,11 @@ impl<W: Weight> MappedGraph<W> {
     /// Materializes a heap [`Csr`] copy (used by `convert` when the
     /// destination is another format). Attaches a transpose when the file
     /// carried one, preserving the dense-traversal capability.
-    pub fn to_csr(&self) -> Csr<W> {
+    ///
+    /// The payload is re-validated while materializing (checksums are only
+    /// checked by [`MappedGraph::verify`]), so a corrupt body surfaces as a
+    /// typed parse error here, never a garbage graph.
+    pub fn to_csr(&self) -> Result<Csr<W>, Error> {
         let weights: Vec<W> = if W::IS_UNIT {
             Vec::new()
         } else {
@@ -812,17 +824,18 @@ impl<W: Weight> MappedGraph<W> {
                 .map(|&w| W::from_u64(w as u64))
                 .collect()
         };
-        let g = Csr::from_parts(
+        let g = Csr::try_from_parts(
             self.offsets().to_vec(),
             self.targets().to_vec(),
             weights,
             self.symmetric,
-        );
-        if !self.symmetric && self.inn.is_some() {
+        )
+        .map_err(|msg| Error::parse(format!("corrupt container payload: {msg}")))?;
+        Ok(if !self.symmetric && self.inn.is_some() {
             g.with_transpose()
         } else {
             g
-        }
+        })
     }
 }
 
@@ -1110,7 +1123,7 @@ mod tests {
         let p = tmp("mat");
         write(&g, &p, &ContainerWriteOptions::default()).unwrap();
         let mg: MappedGraph<u32> = MappedGraph::open(&p).unwrap();
-        let h = mg.to_csr();
+        let h = mg.to_csr().unwrap();
         assert_eq!(g.offsets(), h.offsets());
         assert_eq!(g.targets(), h.targets());
         assert_eq!(g.weights(), h.weights());
@@ -1245,6 +1258,63 @@ mod tests {
         let err = mg.verify(&p).unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
 
+        std::fs::remove_file(&p).ok();
+    }
+
+    /// Byte range of a section's payload within a serialized container.
+    fn section_range(bytes: &[u8], want_kind: u32) -> std::ops::Range<usize> {
+        let count = u32::from_le_bytes(bytes[40..44].try_into().unwrap()) as usize;
+        for i in 0..count {
+            let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+            let kind = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            if kind == want_kind {
+                let off = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize;
+                let len = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap()) as usize;
+                return off..off + len;
+            }
+        }
+        panic!("section {want_kind} not found");
+    }
+
+    #[test]
+    fn corrupt_in_offsets_panic_instead_of_reading_out_of_bounds() {
+        let g = rmat(7, 8, RmatParams::default(), 13, false).with_transpose();
+        let p = tmp("badin");
+        write(&g, &p, &ContainerWriteOptions::default()).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let r = section_range(&bytes, kind::IN_OFFSETS);
+        // First in-offset far beyond m. Open still succeeds (payload
+        // checksums are verify-on-demand); the pull traversal must hit a
+        // bounds-check panic, never an out-of-bounds read.
+        bytes[r.start..r.start + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        let mg: MappedGraph<()> = MappedGraph::open(&p).unwrap();
+        assert!(mg.verify(&p).is_err());
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mg.for_each_in_until(0, |_, _| true);
+        }));
+        assert!(res.is_err(), "corrupt in-offsets must panic, not read OOB");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_makes_to_csr_a_parse_error() {
+        let g = erdos_renyi(120, 800, 21, true);
+        let p = tmp("badcsr");
+        write(&g, &p, &ContainerWriteOptions::default()).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let r = section_range(&bytes, kind::OFFSETS);
+        for b in &mut bytes[r] {
+            *b = 0xEE;
+        }
+        std::fs::write(&p, &bytes).unwrap();
+        // Header is intact, so open (O(sections)) succeeds; materializing
+        // must surface a typed error, not a garbage graph or debug-only
+        // assert.
+        let mg: MappedGraph<()> = MappedGraph::open(&p).unwrap();
+        let err = mg.to_csr().unwrap_err();
+        assert_eq!(err.code(), "parse");
+        assert!(err.to_string().contains("corrupt container payload"), "{err}");
         std::fs::remove_file(&p).ok();
     }
 

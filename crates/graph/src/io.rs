@@ -87,9 +87,11 @@ impl Format {
     }
 
     /// Identifies an existing file by its leading bytes: the `.jgr` and
-    /// binary magics, the Ligra adjacency headers, and DIMACS comment/
-    /// problem lines. Returns `Ok(None)` when nothing matches (edge lists
-    /// and METIS have no reliable signature).
+    /// binary magics, the Ligra adjacency headers, and the DIMACS `p sp`
+    /// problem line (scanning past any leading `c` comment lines, since
+    /// plain text starting with a word in 'c' is not DIMACS). Returns
+    /// `Ok(None)` when nothing matches (edge lists and METIS have no
+    /// reliable signature).
     pub fn sniff(path: &Path) -> Result<Option<Format>, Error> {
         let mut head = [0u8; 24];
         let mut f = File::open(path).map_err(|e| Error::io_at(path, e))?;
@@ -113,10 +115,38 @@ impl Format {
         if head.starts_with(b"AdjacencyGraph") || head.starts_with(b"WeightedAdjacencyGraph") {
             return Ok(Some(Format::Adjacency));
         }
-        if head.starts_with(b"p sp ") || head.starts_with(b"c ") {
+        if head.starts_with(b"p sp ") {
             return Ok(Some(Format::Dimacs));
         }
+        if head.starts_with(b"c ") || head.starts_with(b"c\n") || head.starts_with(b"c\r\n") {
+            return Ok(Self::sniff_dimacs_past_comments(f));
+        }
         Ok(None)
+    }
+
+    /// The file opens like a DIMACS comment; it only *is* DIMACS if a
+    /// `p sp` problem line follows the comment block. The scan is bounded
+    /// so a large non-DIMACS text file stays cheap to reject.
+    fn sniff_dimacs_past_comments(mut f: File) -> Option<Format> {
+        use std::io::Seek as _;
+        if f.rewind().is_err() {
+            return None;
+        }
+        let mut lines = BufReader::new(f).lines();
+        for _ in 0..1024 {
+            // Read errors (including non-UTF-8 bytes) mean "not DIMACS",
+            // not a hard failure — detect() falls through to its usage
+            // error.
+            let Some(Ok(line)) = lines.next() else {
+                return None;
+            };
+            let line = line.trim_start();
+            if line.is_empty() || line == "c" || line.starts_with("c ") {
+                continue;
+            }
+            return line.starts_with("p sp ").then_some(Format::Dimacs);
+        }
+        None
     }
 
     /// Detects the format of an existing file: extension first, then magic
@@ -180,7 +210,7 @@ impl GraphIo {
             Format::Container => {
                 let mg: crate::container::MappedGraph<W> =
                     crate::container::MappedGraph::open(path)?;
-                Ok(mg.to_csr())
+                mg.to_csr().map_err(|e| e.with_path(path))
             }
             Format::Dimacs => {
                 if W::IS_UNIT {
@@ -1000,6 +1030,37 @@ mod tests {
         .unwrap();
         assert_eq!(h.num_edges(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sniff_requires_a_problem_line_for_dimacs() {
+        // A plain-text file that merely starts with a word in 'c' must not
+        // misdetect as DIMACS — it falls through to the usage error.
+        let p = tmp("notadimacs");
+        std::fs::write(
+            &p,
+            "c looks like a DIMACS comment\nbut this is prose, not a problem line\n",
+        )
+        .unwrap();
+        assert_eq!(Format::sniff(&p).unwrap(), None);
+        let err = GraphIo::read::<u32>(&p, &IoOptions::default()).unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
+        std::fs::remove_file(&p).ok();
+
+        // Real DIMACS behind several comment lines still sniffs.
+        let p = tmp("realdimacs");
+        std::fs::write(&p, "c one\nc two\n\np sp 2 1\na 1 2 5\n").unwrap();
+        assert_eq!(Format::sniff(&p).unwrap(), Some(Format::Dimacs));
+        let g: Csr<u32> = GraphIo::read(&p, &IoOptions::default()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        std::fs::remove_file(&p).ok();
+
+        // Non-UTF-8 bytes after a 'c ' opener are "not DIMACS", not a hard
+        // error.
+        let p = tmp("bindimacs");
+        std::fs::write(&p, b"c \xFF\xFE\x00garbage").unwrap();
+        assert_eq!(Format::sniff(&p).unwrap(), None);
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]
