@@ -104,6 +104,20 @@ wait "$MSERVE_PID"
 cmp "$SMOKE/direct.el" "$SMOKE/via-jgr.el"
 echo "container smoke test: ok"
 
+# --- decode microbench smoke -------------------------------------------------
+# The table-driven decoder, the bulk window scan, and the chunked layout
+# must all produce identical neighbor checksums (the bench asserts this and
+# aborts otherwise); smoke mode skips artifacts and keeps timings advisory.
+run target/release/decode 9 smoke
+
+# --- corrupt-payload regression ----------------------------------------------
+# Truncated and overlong codewords, bad chunk headers, and malformed raw
+# parts must surface typed errors (or clean panics on the traversal path),
+# never out-of-bounds reads. These filters pin the fail-closed tests.
+run cargo test -q -p julienne-graph corrupt
+run cargo test -q -p julienne-graph truncated
+run cargo test -q --test proptest_decode
+
 # --- telemetry compiled out ------------------------------------------------
 run cargo build --release --workspace --no-default-features
 run cargo test -q --workspace --no-default-features
@@ -123,6 +137,10 @@ run env JULIENNE_NUM_THREADS=4 cargo test -q --workspace
 run env JULIENNE_NUM_THREADS=4 cargo test -q --test chaos_determinism
 run env JULIENNE_CHAOS_SEED=1 JULIENNE_NUM_THREADS=4 cargo test -q -p julienne bucket
 run env JULIENNE_CHAOS_SEED=1 JULIENNE_NUM_THREADS=4 cargo test -q -p rayon
+# The chunked compressed backend's split traversal paths (per-chunk sparse
+# tasks, dense heavy-vertex scan) under the adversarial scheduler: results
+# must stay bit-identical to CSR.
+run env JULIENNE_CHAOS_SEED=1 JULIENNE_NUM_THREADS=4 cargo test -q --test integration_backends tiny_chunk
 
 # --- concurrency stress ------------------------------------------------------
 # Re-run the lock-free kernels (atomics, bucket structure, worker pool) many

@@ -6,11 +6,36 @@
 //! variable-length byte codes. The paper relies on this (via Ligra+) to fit
 //! the 225B-edge Hyperlink graph in 1TB; here it demonstrates the same
 //! neighbor-iteration abstraction on compressed storage.
+//!
+//! Decoding runs on the table-driven cursor in [`crate::decode`] — a
+//! first-byte code table plus a word-at-a-time continuation scan — with the
+//! gap accumulation fused into the traversal loops, so the hot path is one
+//! table lookup per edge for the common 1-byte codeword.
+//!
+//! # Chunked blocks
+//!
+//! A block whose degree exceeds the graph's *chunk size* is split into
+//! fixed-size decode chunks, mirroring how CSR splits giant adjacency
+//! ranges across `num_chunks` sub-tasks: the block begins with the byte
+//! lengths of all-but-the-last chunk body (varints; the last length is
+//! implied by the block end), followed by the bodies, each re-anchored on
+//! its own first edge (zig-zag delta from the vertex id). Chunk `c` covers
+//! local edges `[c·cs, min((c+1)·cs, deg))`, so edgeMap can decode the
+//! chunks of one high-degree vertex in parallel instead of serializing on
+//! the whole block. `chunk_size == 0` is the legacy unchunked layout —
+//! byte-identical to what pre-chunking builds (and `.jgr` payloads) encode.
 
 use crate::csr::Csr;
+use crate::decode::{put_varint, zigzag_decode, zigzag_encode, BlockDecoder};
 use crate::VertexId;
 use julienne_primitives::scan::prefix_sums;
 use rayon::prelude::*;
+
+/// Default edges-per-chunk for freshly encoded graphs. Small enough that a
+/// hub vertex yields many parallel decode tasks, large enough that the
+/// per-chunk header byte and re-anchor cost is noise (<1% size overhead on
+/// power-law graphs).
+pub const DEFAULT_CHUNK_SIZE: u32 = 256;
 
 /// A compressed unweighted graph: per-vertex byte-coded neighbor blocks.
 #[derive(Clone, Debug)]
@@ -23,52 +48,16 @@ pub struct CompressedGraph {
     degrees: Vec<u32>,
     /// Concatenated byte-coded blocks.
     data: Vec<u8>,
+    /// Edges per decode chunk; 0 = legacy unchunked blocks.
+    chunk_size: u32,
     symmetric: bool,
     /// Byte-compressed transpose for dense (pull) traversals of directed
     /// graphs; symmetric graphs are their own in-view and leave this empty.
     in_graph: Option<Box<CompressedGraph>>,
 }
 
-#[inline]
-fn zigzag_encode(x: i64) -> u64 {
-    ((x << 1) ^ (x >> 63)) as u64
-}
-
-#[inline]
-fn zigzag_decode(x: u64) -> i64 {
-    ((x >> 1) as i64) ^ -((x & 1) as i64)
-}
-
-#[inline]
-fn put_varint(buf: &mut Vec<u8>, mut x: u64) {
-    loop {
-        let byte = (x & 0x7F) as u8;
-        x >>= 7;
-        if x == 0 {
-            buf.push(byte);
-            return;
-        }
-        buf.push(byte | 0x80);
-    }
-}
-
-#[inline]
-fn get_varint(data: &[u8], pos: &mut usize) -> u64 {
-    let mut x = 0u64;
-    let mut shift = 0;
-    loop {
-        let byte = data[*pos];
-        *pos += 1;
-        x |= ((byte & 0x7F) as u64) << shift;
-        if byte & 0x80 == 0 {
-            return x;
-        }
-        shift += 7;
-    }
-}
-
-fn encode_block(v: VertexId, neighbors: &[VertexId], out: &mut Vec<u8>) {
-    debug_assert!(neighbors.windows(2).all(|w| w[0] < w[1]), "must be sorted");
+/// Encodes one run of sorted neighbors: zig-zag first delta, then gaps.
+fn encode_run(v: VertexId, neighbors: &[VertexId], out: &mut Vec<u8>) {
     let mut prev = 0u32;
     for (i, &u) in neighbors.iter().enumerate() {
         if i == 0 {
@@ -80,23 +69,330 @@ fn encode_block(v: VertexId, neighbors: &[VertexId], out: &mut Vec<u8>) {
     }
 }
 
+/// Lays out one block, splitting into decode chunks when the degree
+/// exceeds `chunk_size` (see the module docs for the layout).
+fn encode_chunked(
+    deg: usize,
+    chunk_size: usize,
+    out: &mut Vec<u8>,
+    mut encode_range: impl FnMut(usize, usize, &mut Vec<u8>),
+) {
+    if chunk_size == 0 || deg <= chunk_size {
+        encode_range(0, deg, out);
+        return;
+    }
+    let nc = deg.div_ceil(chunk_size);
+    let mut bodies = Vec::with_capacity(deg * 2);
+    let mut lens = Vec::with_capacity(nc);
+    let mut lo = 0;
+    while lo < deg {
+        let hi = (lo + chunk_size).min(deg);
+        let start = bodies.len();
+        encode_range(lo, hi, &mut bodies);
+        lens.push(bodies.len() - start);
+        lo = hi;
+    }
+    for &l in &lens[..nc - 1] {
+        put_varint(out, l as u64);
+    }
+    out.extend_from_slice(&bodies);
+}
+
+fn encode_block(v: VertexId, neighbors: &[VertexId], chunk_size: usize, out: &mut Vec<u8>) {
+    debug_assert!(neighbors.windows(2).all(|w| w[0] < w[1]), "must be sorted");
+    encode_chunked(neighbors.len(), chunk_size, out, |lo, hi, buf| {
+        encode_run(v, &neighbors[lo..hi], buf);
+    });
+}
+
+/// Decodes one neighbor run with the gap accumulation fused in, stopping
+/// when `f` returns `false`. Wrapping adds keep debug and release behavior
+/// identical on (unvalidated, in-memory) corrupt input; validated graphs
+/// never wrap.
+#[inline]
+fn decode_run<F: FnMut(VertexId) -> bool>(
+    v: VertexId,
+    dec: &mut BlockDecoder<'_>,
+    cnt: usize,
+    f: &mut F,
+) -> bool {
+    let mut cur = (v as i64).wrapping_add(zigzag_decode(dec.varint())) as VertexId;
+    if !f(cur) {
+        return false;
+    }
+    for _ in 1..cnt {
+        cur = cur.wrapping_add(dec.varint() as VertexId);
+        if !f(cur) {
+            return false;
+        }
+    }
+    true
+}
+
+/// [`decode_run`] without the early-exit plumbing: the whole run is
+/// decoded unconditionally, keeping the per-edge loop free of the bool
+/// check for the (dominant) full-scan traversals.
+#[inline(always)]
+fn decode_run_all<F: FnMut(VertexId)>(
+    v: VertexId,
+    dec: &mut BlockDecoder<'_>,
+    cnt: usize,
+    f: &mut F,
+) {
+    let cur = (v as i64).wrapping_add(zigzag_decode(dec.varint())) as VertexId;
+    f(cur);
+    // Fused bulk decode: the window scan peels several codewords per
+    // 8-byte load *and* carries the gap accumulation, so uniform windows
+    // produce neighbor ids through a log-depth prefix tree instead of a
+    // serial per-edge add chain.
+    dec.for_each_delta_sum(cur, cnt - 1, f);
+}
+
+/// Weighted twin of [`decode_run`]: gap and weight codewords interleave.
+#[inline]
+fn decode_wrun<F: FnMut(VertexId, u32) -> bool>(
+    v: VertexId,
+    dec: &mut BlockDecoder<'_>,
+    cnt: usize,
+    f: &mut F,
+) -> bool {
+    let mut cur = (v as i64).wrapping_add(zigzag_decode(dec.varint())) as VertexId;
+    let w = dec.varint() as u32;
+    if !f(cur, w) {
+        return false;
+    }
+    for _ in 1..cnt {
+        cur = cur.wrapping_add(dec.varint() as VertexId);
+        let w = dec.varint() as u32;
+        if !f(cur, w) {
+            return false;
+        }
+    }
+    true
+}
+
+/// [`decode_wrun`] without the early-exit plumbing.
+#[inline(always)]
+fn decode_wrun_all<F: FnMut(VertexId, u32)>(
+    v: VertexId,
+    dec: &mut BlockDecoder<'_>,
+    cnt: usize,
+    f: &mut F,
+) {
+    let mut cur = (v as i64).wrapping_add(zigzag_decode(dec.varint())) as VertexId;
+    f(cur, dec.varint() as u32);
+    // Gap and weight codewords alternate, so the remaining run is a flat
+    // sequence of 2*(cnt-1) varints the window scan can decode in bulk;
+    // the toggle tracks which of the pair each value is.
+    let mut gap_next = true;
+    dec.for_each_varint(2 * (cnt - 1), |x| {
+        if gap_next {
+            cur = cur.wrapping_add(x as VertexId);
+        } else {
+            f(cur, x as u32);
+        }
+        gap_next = !gap_next;
+    });
+}
+
+/// Structural checks shared by both compressed graph types: array lengths,
+/// monotone offsets covering `data` exactly, and degrees summing to `m`.
+fn validate_parts(
+    n: usize,
+    m: usize,
+    offsets: &[u64],
+    degrees: &[u32],
+    data_len: usize,
+) -> Result<(), String> {
+    if offsets.len() != n + 1 {
+        return Err(format!(
+            "offsets length {} != n+1 = {}",
+            offsets.len(),
+            n + 1
+        ));
+    }
+    if degrees.len() != n {
+        return Err(format!("degrees length {} != n = {n}", degrees.len()));
+    }
+    if offsets[0] != 0 {
+        return Err(format!("offsets[0] = {} != 0", offsets[0]));
+    }
+    if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
+        return Err(format!("offsets not monotone ({} > {})", w[0], w[1]));
+    }
+    if offsets[n] != data_len as u64 {
+        return Err(format!(
+            "offsets[n] = {} != data length {data_len}",
+            offsets[n]
+        ));
+    }
+    let sum: u64 = degrees.iter().map(|&d| u64::from(d)).sum();
+    if sum != m as u64 {
+        return Err(format!("degree sum {sum} != m = {m}"));
+    }
+    Ok(())
+}
+
+/// Walks every block in parallel with the fallible decoder, proving each
+/// one decodes to exactly its degree within its byte span. `run` validates
+/// one (re-anchored) chunk body of `cnt` edges.
+fn validate_blocks(
+    n: usize,
+    offsets: &[u64],
+    degrees: &[u32],
+    data: &[u8],
+    chunk_size: u32,
+    run: impl Fn(&mut BlockDecoder<'_>, VertexId, usize) -> Result<(), String> + Sync,
+) -> Result<(), String> {
+    let errs: Vec<String> = (0..n as VertexId)
+        .into_par_iter()
+        .filter_map(|v| {
+            validate_block(v, offsets, degrees, data, chunk_size, &run)
+                .err()
+                .map(|e| format!("vertex {v}: {e}"))
+        })
+        .collect();
+    errs.into_iter().next().map_or(Ok(()), Err)
+}
+
+fn validate_block(
+    v: VertexId,
+    offsets: &[u64],
+    degrees: &[u32],
+    data: &[u8],
+    chunk_size: u32,
+    run: &(impl Fn(&mut BlockDecoder<'_>, VertexId, usize) -> Result<(), String> + Sync),
+) -> Result<(), String> {
+    let deg = degrees[v as usize] as usize;
+    let block = &data[offsets[v as usize] as usize..offsets[v as usize + 1] as usize];
+    if deg == 0 {
+        return if block.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} bytes in zero-degree block", block.len()))
+        };
+    }
+    let cs = chunk_size as usize;
+    let mut dec = BlockDecoder::new(block);
+    if cs != 0 && deg > cs {
+        let nc = deg.div_ceil(cs);
+        let mut lens = Vec::with_capacity(nc - 1);
+        for _ in 0..nc - 1 {
+            lens.push(dec.try_varint().map_err(String::from)?);
+        }
+        let mut done = 0;
+        let mut ci = 0;
+        while done < deg {
+            let cnt = cs.min(deg - done);
+            let start = dec.pos();
+            run(&mut dec, v, cnt)?;
+            if ci + 1 < nc && (dec.pos() - start) as u64 != lens[ci] {
+                return Err(format!(
+                    "chunk {ci} body is {} bytes, header says {}",
+                    dec.pos() - start,
+                    lens[ci]
+                ));
+            }
+            done += cnt;
+            ci += 1;
+        }
+    } else {
+        run(&mut dec, v, deg)?;
+    }
+    if dec.pos() != block.len() {
+        return Err(format!(
+            "{} trailing bytes in block",
+            block.len() - dec.pos()
+        ));
+    }
+    Ok(())
+}
+
+/// Validates one unweighted chunk body: in-range first delta, gaps that
+/// stay inside `[0, n)`.
+fn validate_run(
+    n: usize,
+    v: VertexId,
+    dec: &mut BlockDecoder<'_>,
+    cnt: usize,
+) -> Result<(), String> {
+    let first = zigzag_decode(dec.try_varint().map_err(String::from)?);
+    let u0 = (v as i64)
+        .checked_add(first)
+        .filter(|&u| 0 <= u && u < n as i64)
+        .ok_or_else(|| format!("first neighbor delta {first} leaves vertex range"))?;
+    let mut cur = u0 as u64;
+    for _ in 1..cnt {
+        let gap = dec.try_varint().map_err(String::from)?;
+        cur = cur
+            .checked_add(gap)
+            .filter(|&u| u < n as u64)
+            .ok_or_else(|| format!("neighbor gap {gap} leaves vertex range"))?;
+    }
+    Ok(())
+}
+
+/// Weighted twin of [`validate_run`]: each gap is followed by a weight
+/// codeword that must fit `u32`.
+fn validate_wrun(
+    n: usize,
+    v: VertexId,
+    dec: &mut BlockDecoder<'_>,
+    cnt: usize,
+) -> Result<(), String> {
+    let check_weight = |w: u64| {
+        if w > u64::from(u32::MAX) {
+            Err(format!("weight {w} overflows u32"))
+        } else {
+            Ok(())
+        }
+    };
+    let first = zigzag_decode(dec.try_varint().map_err(String::from)?);
+    let u0 = (v as i64)
+        .checked_add(first)
+        .filter(|&u| 0 <= u && u < n as i64)
+        .ok_or_else(|| format!("first neighbor delta {first} leaves vertex range"))?;
+    check_weight(dec.try_varint().map_err(String::from)?)?;
+    let mut cur = u0 as u64;
+    for _ in 1..cnt {
+        let gap = dec.try_varint().map_err(String::from)?;
+        cur = cur
+            .checked_add(gap)
+            .filter(|&u| u < n as u64)
+            .ok_or_else(|| format!("neighbor gap {gap} leaves vertex range"))?;
+        check_weight(dec.try_varint().map_err(String::from)?)?;
+    }
+    Ok(())
+}
+
+/// `.cgr` magic, version 1: unchunked blocks, no chunk-size field.
+const MAGIC_V1: u64 = 0x4A43_4F4D_5052_4753; // "JCOMPRGS"
+/// `.cgr` magic, version 2: adds the chunk size after the symmetric flag.
+const MAGIC_V2: u64 = 0x4A43_4F4D_5052_4732; // "JCOMPRG2"
+
 impl CompressedGraph {
-    /// Compresses `g` (neighbor lists are sorted first if needed). If `g` is
-    /// directed and carries an attached transpose, the transpose is
-    /// compressed too, so the dense (pull) traversal path keeps working on
-    /// the compressed form.
+    /// Compresses `g` with the default chunked layout (neighbor lists are
+    /// sorted first if needed). If `g` is directed and carries an attached
+    /// transpose, the transpose is compressed too, so the dense (pull)
+    /// traversal path keeps working on the compressed form.
     pub fn from_csr(g: &Csr<()>) -> Self {
-        let mut this = Self::encode_out(g);
+        Self::from_csr_with_chunk_size(g, DEFAULT_CHUNK_SIZE)
+    }
+
+    /// Compresses `g` with an explicit decode-chunk size (`0` = legacy
+    /// unchunked blocks, byte-identical to pre-chunking encodes).
+    pub fn from_csr_with_chunk_size(g: &Csr<()>, chunk_size: u32) -> Self {
+        let mut this = Self::encode_out(g, chunk_size);
         if !g.is_symmetric() {
             if let Some(t) = g.in_view() {
-                this.in_graph = Some(Box::new(Self::encode_out(t)));
+                this.in_graph = Some(Box::new(Self::encode_out(t, chunk_size)));
             }
         }
         this
     }
 
     /// Compresses just the out-adjacency of `g` (no transpose handling).
-    fn encode_out(g: &Csr<()>) -> Self {
+    fn encode_out(g: &Csr<()>, chunk_size: u32) -> Self {
         let n = g.num_vertices();
         // Encode every vertex block in parallel into per-vertex buffers.
         let blocks: Vec<Vec<u8>> = (0..n as VertexId)
@@ -105,7 +401,7 @@ impl CompressedGraph {
                 let mut nbrs = g.neighbors(v).to_vec();
                 nbrs.sort_unstable();
                 let mut buf = Vec::with_capacity(nbrs.len() * 2);
-                encode_block(v, &nbrs, &mut buf);
+                encode_block(v, &nbrs, chunk_size as usize, &mut buf);
                 buf
             })
             .collect();
@@ -123,6 +419,7 @@ impl CompressedGraph {
             offsets,
             degrees: g.degrees(),
             data,
+            chunk_size,
             symmetric: g.is_symmetric(),
             in_graph: None,
         }
@@ -133,7 +430,7 @@ impl CompressedGraph {
     pub fn with_transpose(mut self) -> Self {
         if !self.symmetric && self.in_graph.is_none() {
             let t = crate::transform::transpose(&self.to_csr());
-            self.in_graph = Some(Box::new(Self::encode_out(&t)));
+            self.in_graph = Some(Box::new(Self::encode_out(&t, self.chunk_size)));
         }
         self
     }
@@ -169,10 +466,28 @@ impl CompressedGraph {
         self.symmetric
     }
 
+    /// Edges per decode chunk (`0` = legacy unchunked blocks).
+    pub fn chunk_size(&self) -> u32 {
+        self.chunk_size
+    }
+
     /// Out-degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
         self.degrees[v as usize] as usize
+    }
+
+    /// Number of independently decodable chunks of `v`'s block (1 for any
+    /// block at or under the chunk size, and for legacy layouts).
+    #[inline]
+    pub fn num_chunks_of(&self, v: VertexId) -> usize {
+        let deg = self.degrees[v as usize] as usize;
+        let cs = self.chunk_size as usize;
+        if cs == 0 || deg <= cs {
+            1
+        } else {
+            deg.div_ceil(cs)
+        }
     }
 
     /// Total compressed adjacency bytes (for reporting compression ratios).
@@ -192,19 +507,25 @@ impl CompressedGraph {
     }
 
     /// Decodes and visits each out-neighbor of `v` in increasing order.
+    /// Fused full-run decode: no early-exit check per edge.
     #[inline]
     pub fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
-        let deg = self.degrees[v as usize];
+        let deg = self.degrees[v as usize] as usize;
         if deg == 0 {
             return;
         }
-        let mut pos = self.offsets[v as usize] as usize;
-        let first = zigzag_decode(get_varint(&self.data, &mut pos));
-        let mut cur = (v as i64 + first) as u32;
-        f(cur);
-        for _ in 1..deg {
-            cur += get_varint(&self.data, &mut pos) as u32;
-            f(cur);
+        let mut dec = BlockDecoder::new_at(&self.data, self.offsets[v as usize] as usize);
+        let cs = self.chunk_size as usize;
+        if cs != 0 && deg > cs {
+            dec.skip_varints(deg.div_ceil(cs) - 1);
+            let mut done = 0;
+            while done < deg {
+                let cnt = cs.min(deg - done);
+                decode_run_all(v, &mut dec, cnt, &mut f);
+                done += cnt;
+            }
+        } else {
+            decode_run_all(v, &mut dec, deg, &mut f);
         }
     }
 
@@ -213,22 +534,56 @@ impl CompressedGraph {
     /// exit skips the remaining varints entirely.
     #[inline]
     pub fn for_each_neighbor_until<F: FnMut(VertexId) -> bool>(&self, v: VertexId, mut f: F) {
-        let deg = self.degrees[v as usize];
+        let deg = self.degrees[v as usize] as usize;
         if deg == 0 {
             return;
         }
-        let mut pos = self.offsets[v as usize] as usize;
-        let first = zigzag_decode(get_varint(&self.data, &mut pos));
-        let mut cur = (v as i64 + first) as u32;
-        if !f(cur) {
+        let mut dec = BlockDecoder::new_at(&self.data, self.offsets[v as usize] as usize);
+        let cs = self.chunk_size as usize;
+        if cs != 0 && deg > cs {
+            dec.skip_varints(deg.div_ceil(cs) - 1);
+            let mut done = 0;
+            while done < deg {
+                let cnt = cs.min(deg - done);
+                if !decode_run(v, &mut dec, cnt, &mut f) {
+                    return;
+                }
+                done += cnt;
+            }
+        } else {
+            decode_run(v, &mut dec, deg, &mut f);
+        }
+    }
+
+    /// Decodes only chunk `c` of `v`'s block — local edge range
+    /// `[c·cs, min((c+1)·cs, deg))` — jumping straight to its body via the
+    /// block header. Chunks of one vertex may be decoded concurrently.
+    #[inline]
+    pub fn for_each_neighbor_chunk<F: FnMut(VertexId)>(&self, v: VertexId, c: usize, mut f: F) {
+        let deg = self.degrees[v as usize] as usize;
+        if deg == 0 {
+            debug_assert_eq!(c, 0, "chunk {c} of empty block");
             return;
         }
-        for _ in 1..deg {
-            cur += get_varint(&self.data, &mut pos) as u32;
-            if !f(cur) {
-                return;
+        let cs = self.chunk_size as usize;
+        let mut dec = BlockDecoder::new_at(&self.data, self.offsets[v as usize] as usize);
+        if cs == 0 || deg <= cs {
+            assert_eq!(c, 0, "unchunked block has a single chunk");
+            decode_run_all(v, &mut dec, deg, &mut f);
+            return;
+        }
+        let nc = deg.div_ceil(cs);
+        assert!(c < nc, "chunk {c} out of range ({nc} chunks)");
+        let mut skip = 0u64;
+        for i in 0..nc - 1 {
+            let l = dec.varint();
+            if i < c {
+                skip += l;
             }
         }
+        dec.advance(skip as usize);
+        let cnt = cs.min(deg - c * cs);
+        decode_run_all(v, &mut dec, cnt, &mut f);
     }
 
     /// Decodes `v`'s neighbors into a fresh vector (test/debug helper).
@@ -244,10 +599,11 @@ impl CompressedGraph {
         use bytes::BufMut;
         use std::io::Write as _;
         let mut buf: Vec<u8> = Vec::with_capacity(32 + 12 * self.n + self.data.len());
-        buf.put_u64_le(0x4A43_4F4D_5052_4753); // "JCOMPRGS"
+        buf.put_u64_le(MAGIC_V2);
         buf.put_u64_le(self.n as u64);
         buf.put_u64_le(self.m as u64);
         buf.put_u8(u8::from(self.symmetric));
+        buf.put_u32_le(self.chunk_size);
         for &o in &self.offsets {
             buf.put_u64_le(o);
         }
@@ -261,39 +617,48 @@ impl CompressedGraph {
         out.flush()
     }
 
-    /// Reads a graph written by [`CompressedGraph::write_to`].
+    /// Reads a graph written by [`CompressedGraph::write_to`] (either
+    /// version: v1 files decode as legacy unchunked blocks). The payload is
+    /// fully validated — corrupt files fail with `InvalidData`, never a
+    /// traversal-time panic.
     pub fn read_from(path: &std::path::Path) -> std::io::Result<CompressedGraph> {
         use bytes::Buf;
         use std::io::Read as _;
-        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
         let mut raw = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut raw)?;
         let mut buf: &[u8] = &raw;
-        if buf.remaining() < 25 || buf.get_u64_le() != 0x4A43_4F4D_5052_4753 {
-            return Err(bad("bad magic"));
+        if buf.remaining() < 25 {
+            return Err(bad("truncated header".into()));
         }
+        let chunked = match buf.get_u64_le() {
+            MAGIC_V1 => false,
+            MAGIC_V2 => true,
+            _ => return Err(bad("bad magic".into())),
+        };
         let n = buf.get_u64_le() as usize;
         let m = buf.get_u64_le() as usize;
         let symmetric = buf.get_u8() != 0;
+        let chunk_size = if chunked {
+            if buf.remaining() < 4 {
+                return Err(bad("truncated header".into()));
+            }
+            buf.get_u32_le()
+        } else {
+            0
+        };
         if buf.remaining() < 8 * (n + 1) + 4 * n + 8 {
-            return Err(bad("truncated header"));
+            return Err(bad("truncated header".into()));
         }
         let offsets: Vec<u64> = (0..=n).map(|_| buf.get_u64_le()).collect();
         let degrees: Vec<u32> = (0..n).map(|_| buf.get_u32_le()).collect();
         let len = buf.get_u64_le() as usize;
         if buf.remaining() < len {
-            return Err(bad("truncated data"));
+            return Err(bad("truncated data".into()));
         }
         let data = buf[..len].to_vec();
-        Ok(CompressedGraph {
-            n,
-            m,
-            offsets,
-            degrees,
-            data,
-            symmetric,
-            in_graph: None,
-        })
+        Self::try_from_raw_parts(n, m, offsets, degrees, data, symmetric, chunk_size, None)
+            .map_err(bad)
     }
 
     /// The raw storage arrays `(offsets, degrees, data)` — what the `.jgr`
@@ -304,27 +669,44 @@ impl CompressedGraph {
 
     /// Rebuilds a graph from storage arrays produced by
     /// [`CompressedGraph::raw_parts`] (the `.jgr` load path — the byte
-    /// blocks are copied verbatim, never re-encoded).
-    pub fn from_raw_parts(
+    /// blocks are adopted verbatim, never re-encoded), failing closed on
+    /// corrupt input: structural checks on offsets/degrees, then a full
+    /// parallel decode walk proving every block is well-formed, in-range,
+    /// and consistent with its chunk header. After this, traversals cannot
+    /// read out of bounds or decode garbage.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_from_raw_parts(
         n: usize,
         m: usize,
         offsets: Vec<u64>,
         degrees: Vec<u32>,
         data: Vec<u8>,
         symmetric: bool,
+        chunk_size: u32,
         in_graph: Option<Box<CompressedGraph>>,
-    ) -> Self {
-        assert_eq!(offsets.len(), n + 1);
-        assert_eq!(degrees.len(), n);
-        CompressedGraph {
+    ) -> Result<Self, String> {
+        validate_parts(n, m, &offsets, &degrees, data.len())?;
+        validate_blocks(n, &offsets, &degrees, &data, chunk_size, |dec, v, cnt| {
+            validate_run(n, v, dec, cnt)
+        })?;
+        if let Some(ig) = &in_graph {
+            if ig.n != n || ig.m != m {
+                return Err(format!(
+                    "transpose shape ({}, {}) != graph shape ({n}, {m})",
+                    ig.n, ig.m
+                ));
+            }
+        }
+        Ok(CompressedGraph {
             n,
             m,
             offsets,
             degrees,
             data,
+            chunk_size,
             symmetric,
             in_graph,
-        }
+        })
     }
 
     /// Decompresses back into a CSR.
@@ -355,7 +737,8 @@ impl CompressedGraph {
 }
 
 /// A compressed **weighted** graph: neighbor gaps and weights interleaved
-/// per edge, as in Ligra+'s weighted byte codes.
+/// per edge, as in Ligra+'s weighted byte codes. Chunking works exactly as
+/// for [`CompressedGraph`], with chunk boundaries in edges (pairs).
 #[derive(Clone, Debug)]
 pub struct CompressedWGraph {
     n: usize,
@@ -363,27 +746,51 @@ pub struct CompressedWGraph {
     offsets: Vec<u64>,
     degrees: Vec<u32>,
     data: Vec<u8>,
+    /// Edges per decode chunk; 0 = legacy unchunked blocks.
+    chunk_size: u32,
     symmetric: bool,
     /// Compressed transpose for dense pull on directed weighted graphs.
     in_graph: Option<Box<CompressedWGraph>>,
 }
 
+fn encode_wblock(v: VertexId, pairs: &[(VertexId, u32)], chunk_size: usize, out: &mut Vec<u8>) {
+    debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "must be sorted");
+    encode_chunked(pairs.len(), chunk_size, out, |lo, hi, buf| {
+        let mut prev = 0u32;
+        for (i, &(u, w)) in pairs[lo..hi].iter().enumerate() {
+            if i == 0 {
+                put_varint(buf, zigzag_encode(u as i64 - v as i64));
+            } else {
+                put_varint(buf, (u - prev) as u64);
+            }
+            put_varint(buf, w as u64);
+            prev = u;
+        }
+    });
+}
+
 impl CompressedWGraph {
-    /// Compresses a weighted CSR (neighbor lists sorted first). A directed
-    /// graph's attached transpose is compressed too, preserving the dense
-    /// (pull) traversal path.
+    /// Compresses a weighted CSR with the default chunked layout (neighbor
+    /// lists sorted first). A directed graph's attached transpose is
+    /// compressed too, preserving the dense (pull) traversal path.
     pub fn from_csr(g: &Csr<u32>) -> Self {
-        let mut this = Self::encode_out(g);
+        Self::from_csr_with_chunk_size(g, DEFAULT_CHUNK_SIZE)
+    }
+
+    /// Compresses `g` with an explicit decode-chunk size (`0` = legacy
+    /// unchunked blocks).
+    pub fn from_csr_with_chunk_size(g: &Csr<u32>, chunk_size: u32) -> Self {
+        let mut this = Self::encode_out(g, chunk_size);
         if !g.is_symmetric() {
             if let Some(t) = g.in_view() {
-                this.in_graph = Some(Box::new(Self::encode_out(t)));
+                this.in_graph = Some(Box::new(Self::encode_out(t, chunk_size)));
             }
         }
         this
     }
 
     /// Compresses just the out-adjacency (no transpose handling).
-    fn encode_out(g: &Csr<u32>) -> Self {
+    fn encode_out(g: &Csr<u32>, chunk_size: u32) -> Self {
         let n = g.num_vertices();
         let blocks: Vec<Vec<u8>> = (0..n as VertexId)
             .into_par_iter()
@@ -391,16 +798,7 @@ impl CompressedWGraph {
                 let mut pairs: Vec<(VertexId, u32)> = g.edges_of(v).collect();
                 pairs.sort_unstable();
                 let mut buf = Vec::with_capacity(pairs.len() * 3);
-                let mut prev = 0u32;
-                for (i, &(u, w)) in pairs.iter().enumerate() {
-                    if i == 0 {
-                        put_varint(&mut buf, zigzag_encode(u as i64 - v as i64));
-                    } else {
-                        put_varint(&mut buf, (u - prev) as u64);
-                    }
-                    put_varint(&mut buf, w as u64);
-                    prev = u;
-                }
+                encode_wblock(v, &pairs, chunk_size as usize, &mut buf);
                 buf
             })
             .collect();
@@ -418,6 +816,7 @@ impl CompressedWGraph {
             offsets,
             degrees: g.degrees(),
             data,
+            chunk_size,
             symmetric: g.is_symmetric(),
             in_graph: None,
         }
@@ -428,7 +827,7 @@ impl CompressedWGraph {
     pub fn with_transpose(mut self) -> Self {
         if !self.symmetric && self.in_graph.is_none() {
             let t = crate::transform::transpose(&self.to_csr());
-            self.in_graph = Some(Box::new(Self::encode_out(&t)));
+            self.in_graph = Some(Box::new(Self::encode_out(&t, self.chunk_size)));
         }
         self
     }
@@ -462,10 +861,27 @@ impl CompressedWGraph {
         self.symmetric
     }
 
+    /// Edges per decode chunk (`0` = legacy unchunked blocks).
+    pub fn chunk_size(&self) -> u32 {
+        self.chunk_size
+    }
+
     /// Out-degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
         self.degrees[v as usize] as usize
+    }
+
+    /// Number of independently decodable chunks of `v`'s block.
+    #[inline]
+    pub fn num_chunks_of(&self, v: VertexId) -> usize {
+        let deg = self.degrees[v as usize] as usize;
+        let cs = self.chunk_size as usize;
+        if cs == 0 || deg <= cs {
+            1
+        } else {
+            deg.div_ceil(cs)
+        }
     }
 
     /// Total compressed adjacency bytes (gaps and weights interleaved).
@@ -485,22 +901,25 @@ impl CompressedWGraph {
     }
 
     /// Decodes and visits each `(neighbor, weight)` of `v` in increasing
-    /// neighbor order.
+    /// neighbor order. Fused full-run decode: no early-exit check per edge.
     #[inline]
     pub fn for_each_edge<F: FnMut(VertexId, u32)>(&self, v: VertexId, mut f: F) {
-        let deg = self.degrees[v as usize];
+        let deg = self.degrees[v as usize] as usize;
         if deg == 0 {
             return;
         }
-        let mut pos = self.offsets[v as usize] as usize;
-        let first = zigzag_decode(get_varint(&self.data, &mut pos));
-        let mut cur = (v as i64 + first) as u32;
-        let w = get_varint(&self.data, &mut pos) as u32;
-        f(cur, w);
-        for _ in 1..deg {
-            cur += get_varint(&self.data, &mut pos) as u32;
-            let w = get_varint(&self.data, &mut pos) as u32;
-            f(cur, w);
+        let mut dec = BlockDecoder::new_at(&self.data, self.offsets[v as usize] as usize);
+        let cs = self.chunk_size as usize;
+        if cs != 0 && deg > cs {
+            dec.skip_varints(deg.div_ceil(cs) - 1);
+            let mut done = 0;
+            while done < deg {
+                let cnt = cs.min(deg - done);
+                decode_wrun_all(v, &mut dec, cnt, &mut f);
+                done += cnt;
+            }
+        } else {
+            decode_wrun_all(v, &mut dec, deg, &mut f);
         }
     }
 
@@ -508,24 +927,55 @@ impl CompressedWGraph {
     /// order until `f` returns `false` (early decode stop).
     #[inline]
     pub fn for_each_edge_until<F: FnMut(VertexId, u32) -> bool>(&self, v: VertexId, mut f: F) {
-        let deg = self.degrees[v as usize];
+        let deg = self.degrees[v as usize] as usize;
         if deg == 0 {
             return;
         }
-        let mut pos = self.offsets[v as usize] as usize;
-        let first = zigzag_decode(get_varint(&self.data, &mut pos));
-        let mut cur = (v as i64 + first) as u32;
-        let w = get_varint(&self.data, &mut pos) as u32;
-        if !f(cur, w) {
+        let mut dec = BlockDecoder::new_at(&self.data, self.offsets[v as usize] as usize);
+        let cs = self.chunk_size as usize;
+        if cs != 0 && deg > cs {
+            dec.skip_varints(deg.div_ceil(cs) - 1);
+            let mut done = 0;
+            while done < deg {
+                let cnt = cs.min(deg - done);
+                if !decode_wrun(v, &mut dec, cnt, &mut f) {
+                    return;
+                }
+                done += cnt;
+            }
+        } else {
+            decode_wrun(v, &mut dec, deg, &mut f);
+        }
+    }
+
+    /// Decodes only chunk `c` of `v`'s block — local edge range
+    /// `[c·cs, min((c+1)·cs, deg))`.
+    #[inline]
+    pub fn for_each_edge_chunk<F: FnMut(VertexId, u32)>(&self, v: VertexId, c: usize, mut f: F) {
+        let deg = self.degrees[v as usize] as usize;
+        if deg == 0 {
+            debug_assert_eq!(c, 0, "chunk {c} of empty block");
             return;
         }
-        for _ in 1..deg {
-            cur += get_varint(&self.data, &mut pos) as u32;
-            let w = get_varint(&self.data, &mut pos) as u32;
-            if !f(cur, w) {
-                return;
+        let cs = self.chunk_size as usize;
+        let mut dec = BlockDecoder::new_at(&self.data, self.offsets[v as usize] as usize);
+        if cs == 0 || deg <= cs {
+            assert_eq!(c, 0, "unchunked block has a single chunk");
+            decode_wrun_all(v, &mut dec, deg, &mut f);
+            return;
+        }
+        let nc = deg.div_ceil(cs);
+        assert!(c < nc, "chunk {c} out of range ({nc} chunks)");
+        let mut skip = 0u64;
+        for i in 0..nc - 1 {
+            let l = dec.varint();
+            if i < c {
+                skip += l;
             }
         }
+        dec.advance(skip as usize);
+        let cnt = cs.min(deg - c * cs);
+        decode_wrun_all(v, &mut dec, cnt, &mut f);
     }
 
     /// Decodes `v`'s edges into a fresh vector (test/debug helper).
@@ -542,27 +992,42 @@ impl CompressedWGraph {
     }
 
     /// Rebuilds a graph from storage arrays produced by
-    /// [`CompressedWGraph::raw_parts`] (the `.jgr` load path).
-    pub fn from_raw_parts(
+    /// [`CompressedWGraph::raw_parts`] (the `.jgr` load path), failing
+    /// closed on corrupt input exactly like
+    /// [`CompressedGraph::try_from_raw_parts`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_from_raw_parts(
         n: usize,
         m: usize,
         offsets: Vec<u64>,
         degrees: Vec<u32>,
         data: Vec<u8>,
         symmetric: bool,
+        chunk_size: u32,
         in_graph: Option<Box<CompressedWGraph>>,
-    ) -> Self {
-        assert_eq!(offsets.len(), n + 1);
-        assert_eq!(degrees.len(), n);
-        CompressedWGraph {
+    ) -> Result<Self, String> {
+        validate_parts(n, m, &offsets, &degrees, data.len())?;
+        validate_blocks(n, &offsets, &degrees, &data, chunk_size, |dec, v, cnt| {
+            validate_wrun(n, v, dec, cnt)
+        })?;
+        if let Some(ig) = &in_graph {
+            if ig.n != n || ig.m != m {
+                return Err(format!(
+                    "transpose shape ({}, {}) != graph shape ({n}, {m})",
+                    ig.n, ig.m
+                ));
+            }
+        }
+        Ok(CompressedWGraph {
             n,
             m,
             offsets,
             degrees,
             data,
+            chunk_size,
             symmetric,
             in_graph,
-        }
+        })
     }
 
     /// Decompresses back into a weighted CSR.
@@ -603,27 +1068,6 @@ mod tests {
     use crate::generators::{erdos_renyi, rmat, RmatParams};
 
     #[test]
-    fn varint_roundtrip() {
-        let mut buf = Vec::new();
-        let values = [0u64, 1, 127, 128, 300, 1 << 20, u32::MAX as u64, u64::MAX];
-        for &v in &values {
-            put_varint(&mut buf, v);
-        }
-        let mut pos = 0;
-        for &v in &values {
-            assert_eq!(get_varint(&buf, &mut pos), v);
-        }
-        assert_eq!(pos, buf.len());
-    }
-
-    #[test]
-    fn zigzag_roundtrip() {
-        for x in [-5i64, -1, 0, 1, 5, i64::MAX / 2, i64::MIN / 2] {
-            assert_eq!(zigzag_decode(zigzag_encode(x)), x);
-        }
-    }
-
-    #[test]
     fn compress_roundtrip_er() {
         let g = erdos_renyi(2000, 20_000, 42, false);
         let c = CompressedGraph::from_csr(&g);
@@ -658,6 +1102,57 @@ mod tests {
     }
 
     #[test]
+    fn chunked_layouts_decode_identically() {
+        // Every chunk size — including pathological 1 — must decode to the
+        // same neighbor lists as the legacy unchunked layout.
+        let g = rmat(11, 8, RmatParams::default(), 3, true);
+        let legacy = CompressedGraph::from_csr_with_chunk_size(&g, 0);
+        for cs in [1u32, 3, 8, 64, DEFAULT_CHUNK_SIZE] {
+            let c = CompressedGraph::from_csr_with_chunk_size(&g, cs);
+            assert_eq!(c.chunk_size(), cs);
+            for v in 0..g.num_vertices() as VertexId {
+                assert_eq!(c.neighbors_vec(v), legacy.neighbors_vec(v), "cs={cs} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_decode_matches_whole_block() {
+        // Concatenating per-chunk decodes reproduces the full list, and a
+        // star hub splits into the expected number of chunks.
+        let pairs: Vec<(VertexId, VertexId)> = (1..=20).map(|u| (0, u)).collect();
+        let g = crate::builder::from_pairs(21, &pairs);
+        let c = CompressedGraph::from_csr_with_chunk_size(&g, 6);
+        assert_eq!(c.num_chunks_of(0), 4); // 20 edges / 6 per chunk
+        assert_eq!(c.num_chunks_of(5), 1);
+        let mut got = Vec::new();
+        for ch in 0..c.num_chunks_of(0) {
+            let before = got.len();
+            c.for_each_neighbor_chunk(0, ch, |u| got.push(u));
+            let cnt = got.len() - before;
+            assert_eq!(cnt, if ch < 3 { 6 } else { 2 }, "chunk {ch} count");
+        }
+        assert_eq!(got, c.neighbors_vec(0));
+        assert_eq!(got, (1..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_chunk_decode_matches_whole_block() {
+        use crate::transform::assign_weights;
+        let g = assign_weights(&erdos_renyi(600, 24_000, 11, true), 1, 1000, 7);
+        let legacy = CompressedWGraph::from_csr_with_chunk_size(&g, 0);
+        let c = CompressedWGraph::from_csr_with_chunk_size(&g, 8);
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(c.edges_vec(v), legacy.edges_vec(v), "v={v}");
+            let mut got = Vec::new();
+            for ch in 0..c.num_chunks_of(v) {
+                c.for_each_edge_chunk(v, ch, |u, w| got.push((u, w)));
+            }
+            assert_eq!(got, c.edges_vec(v), "chunk concat v={v}");
+        }
+    }
+
+    #[test]
     fn compressed_binary_roundtrip() {
         let g = rmat(11, 8, RmatParams::default(), 2, true);
         let c = CompressedGraph::from_csr(&g);
@@ -667,7 +1162,39 @@ mod tests {
         assert_eq!(back.num_vertices(), c.num_vertices());
         assert_eq!(back.num_edges(), c.num_edges());
         assert_eq!(back.is_symmetric(), c.is_symmetric());
+        assert_eq!(back.chunk_size(), c.chunk_size());
         for v in (0..g.num_vertices() as VertexId).step_by(37) {
+            assert_eq!(back.neighbors_vec(v), c.neighbors_vec(v));
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn legacy_v1_binary_still_loads() {
+        // A v1 file (old magic, no chunk-size field) decodes as the legacy
+        // unchunked layout.
+        use bytes::BufMut;
+        let g = erdos_renyi(300, 3_000, 5, true);
+        let c = CompressedGraph::from_csr_with_chunk_size(&g, 0);
+        let (offsets, degrees, data) = c.raw_parts();
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u64_le(MAGIC_V1);
+        buf.put_u64_le(c.num_vertices() as u64);
+        buf.put_u64_le(c.num_edges() as u64);
+        buf.put_u8(1);
+        for &o in offsets {
+            buf.put_u64_le(o);
+        }
+        for &d in degrees {
+            buf.put_u32_le(d);
+        }
+        buf.put_u64_le(data.len() as u64);
+        buf.extend_from_slice(data);
+        let p = std::env::temp_dir().join(format!("julienne-cgr-v1-{}", std::process::id()));
+        std::fs::write(&p, &buf).unwrap();
+        let back = CompressedGraph::read_from(&p).unwrap();
+        assert_eq!(back.chunk_size(), 0);
+        for v in 0..c.num_vertices() as VertexId {
             assert_eq!(back.neighbors_vec(v), c.neighbors_vec(v));
         }
         std::fs::remove_file(p).ok();
@@ -694,13 +1221,15 @@ mod tests {
     #[test]
     fn neighbor_until_stops_early() {
         let g = crate::builder::from_pairs(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
-        let c = CompressedGraph::from_csr(&g);
-        let mut seen = Vec::new();
-        c.for_each_neighbor_until(0, |u| {
-            seen.push(u);
-            seen.len() < 3
-        });
-        assert_eq!(seen, vec![1, 2, 3]);
+        for cs in [0u32, 2] {
+            let c = CompressedGraph::from_csr_with_chunk_size(&g, cs);
+            let mut seen = Vec::new();
+            c.for_each_neighbor_until(0, |u| {
+                seen.push(u);
+                seen.len() < 3
+            });
+            assert_eq!(seen, vec![1, 2, 3], "cs={cs}");
+        }
     }
 
     #[test]
@@ -763,5 +1292,164 @@ mod tests {
             assert!(c.neighbors_vec(v).is_empty());
             assert_eq!(c.degree(v), 0);
         }
+    }
+
+    /// Clones a valid graph's raw parts for corruption tests.
+    fn parts(c: &CompressedGraph) -> (Vec<u64>, Vec<u32>, Vec<u8>) {
+        let (o, d, b) = c.raw_parts();
+        (o.to_vec(), d.to_vec(), b.to_vec())
+    }
+
+    #[test]
+    fn corrupt_structural_payload_rejected() {
+        let g = erdos_renyi(200, 2_000, 3, true);
+        let c = CompressedGraph::from_csr(&g);
+        let n = c.num_vertices();
+        let m = c.num_edges();
+        let cs = c.chunk_size();
+        let (o, d, b) = parts(&c);
+        // The pristine parts reconstruct fine.
+        assert!(CompressedGraph::try_from_raw_parts(
+            n,
+            m,
+            o.clone(),
+            d.clone(),
+            b.clone(),
+            true,
+            cs,
+            None
+        )
+        .is_ok());
+        // Truncated data: offsets no longer cover it.
+        let err = CompressedGraph::try_from_raw_parts(
+            n,
+            m,
+            o.clone(),
+            d.clone(),
+            b[..b.len() - 1].to_vec(),
+            true,
+            cs,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("data length"), "{err}");
+        // Non-monotone offsets.
+        let mut bad_o = o.clone();
+        bad_o[1] = bad_o[2] + 1;
+        let err =
+            CompressedGraph::try_from_raw_parts(n, m, bad_o, d.clone(), b.clone(), true, cs, None)
+                .unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+        // Degree sum disagrees with m.
+        let mut bad_d = d.clone();
+        bad_d[0] += 1;
+        let err =
+            CompressedGraph::try_from_raw_parts(n, m, o.clone(), bad_d, b.clone(), true, cs, None)
+                .unwrap_err();
+        assert!(err.contains("degree sum"), "{err}");
+        // Wrong offsets length.
+        let err = CompressedGraph::try_from_raw_parts(n, m, o[..n].to_vec(), d, b, true, cs, None)
+            .unwrap_err();
+        assert!(err.contains("offsets length"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_block_bytes_rejected() {
+        // A degree-1 vertex whose block is an overlong codeword (the old
+        // decoder's unbounded-shift hole), a truncated codeword, an
+        // out-of-range neighbor, and trailing garbage — all typed errors.
+        let build = |data: Vec<u8>, deg: u32| {
+            CompressedGraph::try_from_raw_parts(
+                2,
+                deg as usize,
+                vec![0, data.len() as u64, data.len() as u64],
+                vec![deg, 0],
+                data,
+                true,
+                0,
+                None,
+            )
+        };
+        let err = build(vec![0x80; 11], 1).unwrap_err();
+        assert!(err.contains("overlong"), "{err}");
+        let err = build(vec![0x80, 0x80], 1).unwrap_err();
+        assert!(err.contains("mid-codeword"), "{err}");
+        // zigzag(+5) from vertex 0 = neighbor 5 ≥ n = 2.
+        let err = build(vec![0x0A], 1).unwrap_err();
+        assert!(err.contains("vertex range"), "{err}");
+        // Valid neighbor followed by trailing garbage.
+        let err = build(vec![0x02, 0x00], 1).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+        // Gap that runs past n.
+        let err = build(vec![0x02, 0x7F], 2).unwrap_err();
+        assert!(err.contains("vertex range"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_chunk_header_rejected() {
+        // Chunked block whose header length disagrees with the body.
+        let g = crate::builder::from_pairs(10, &(1..=9).map(|u| (0, u)).collect::<Vec<_>>());
+        let c = CompressedGraph::from_csr_with_chunk_size(&g, 4);
+        let (o, d, mut b) = parts(&c);
+        assert!(c.num_chunks_of(0) == 3);
+        // Vertex 0's block starts with two chunk-body lengths; bump the
+        // first so the walk detects the mismatch.
+        b[0] += 1;
+        let err = CompressedGraph::try_from_raw_parts(10, 9, o, d, b, false, 4, None).unwrap_err();
+        assert!(
+            err.contains("length mismatch")
+                || err.contains("header says")
+                || err.contains("trailing"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_weighted_payload_rejected() {
+        use crate::transform::assign_weights;
+        let g = assign_weights(&erdos_renyi(100, 1_000, 4, true), 1, 100, 2);
+        let c = CompressedWGraph::from_csr(&g);
+        let (o, d, b) = c.raw_parts();
+        let (o, d, b) = (o.to_vec(), d.to_vec(), b.to_vec());
+        assert!(CompressedWGraph::try_from_raw_parts(
+            c.num_vertices(),
+            c.num_edges(),
+            o.clone(),
+            d.clone(),
+            b.clone(),
+            true,
+            c.chunk_size(),
+            None
+        )
+        .is_ok());
+        // Truncation surfaces a typed error, not a traversal panic.
+        let err = CompressedWGraph::try_from_raw_parts(
+            c.num_vertices(),
+            c.num_edges(),
+            o,
+            d,
+            b[..b.len() / 2].to_vec(),
+            true,
+            c.chunk_size(),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("data length"), "{err}");
+        // A weight codeword too large for u32 fails closed.
+        let mut data = Vec::new();
+        put_varint(&mut data, zigzag_encode(1)); // neighbor 1
+        put_varint(&mut data, u64::from(u32::MAX) + 1); // weight overflow
+        let err = CompressedWGraph::try_from_raw_parts(
+            2,
+            1,
+            vec![0, data.len() as u64, data.len() as u64],
+            vec![1, 0],
+            data,
+            true,
+            0,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("overflows u32"), "{err}");
     }
 }

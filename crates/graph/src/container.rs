@@ -8,7 +8,7 @@
 //! 8       4     version = 1
 //! 12      4     endian check = 0x0A0B0C0D
 //! 16      8     flags   (bit 0 WEIGHTED, bit 1 SYMMETRIC, bit 2 HAS_IN,
-//!                        bit 3 HAS_COMPRESSED)
+//!                        bit 3 HAS_COMPRESSED, bit 4 COMP_CHUNKED)
 //! 24      8     n  (vertices)
 //! 32      8     m  (directed edges)
 //! 40      4     section count
@@ -27,6 +27,17 @@
 //! Optional sections carry the transpose (dense pull on directed graphs)
 //! and the Ligra+ byte-compressed payload, so `backend=compressed` loads
 //! skip re-encoding too.
+//!
+//! # Compressed-payload versioning
+//!
+//! Payloads written before decode chunking carry no `COMP_META` section and
+//! no `COMP_CHUNKED` flag: they load as the legacy unchunked block layout
+//! (`chunk_size == 0`), so old files keep working unchanged. Files written
+//! with a chunked payload set the flag — old readers, which validate flags
+//! strictly, fail closed on them rather than mis-decoding the chunk
+//! headers as edges. Compressed payloads are fully validated at load
+//! (structure plus a parallel decode walk of every block), so a corrupt
+//! file surfaces a typed parse error, never a traversal-time panic.
 //!
 //! # Integrity and forward compatibility
 //!
@@ -64,7 +75,14 @@ const FLAG_WEIGHTED: u64 = 1 << 0;
 const FLAG_SYMMETRIC: u64 = 1 << 1;
 const FLAG_HAS_IN: u64 = 1 << 2;
 const FLAG_HAS_COMPRESSED: u64 = 1 << 3;
-const KNOWN_FLAGS: u64 = FLAG_WEIGHTED | FLAG_SYMMETRIC | FLAG_HAS_IN | FLAG_HAS_COMPRESSED;
+/// The compressed payload uses the chunked block layout (a `COMP_META`
+/// section carries the chunk size). Deliberately a *flag*, not just a new
+/// section kind: readers that predate chunking skip unknown kinds but
+/// reject unknown flags, so they fail closed instead of decoding chunk
+/// headers as edge data.
+const FLAG_COMP_CHUNKED: u64 = 1 << 4;
+const KNOWN_FLAGS: u64 =
+    FLAG_WEIGHTED | FLAG_SYMMETRIC | FLAG_HAS_IN | FLAG_HAS_COMPRESSED | FLAG_COMP_CHUNKED;
 
 /// Section kinds. Unknown kinds are skipped by readers (forward compat).
 mod kind {
@@ -80,6 +98,11 @@ mod kind {
     pub const COMP_IN_OFFSETS: u32 = 10;
     pub const COMP_IN_DEGREES: u32 = 11;
     pub const COMP_IN_DATA: u32 = 12;
+    /// Chunked-payload metadata for the out-direction: chunk size (u32 LE)
+    /// plus 4 reserved zero bytes. Absent for legacy unchunked payloads.
+    pub const COMP_META: u32 = 13;
+    /// Chunked-payload metadata for the transpose direction.
+    pub const COMP_IN_META: u32 = 14;
 }
 
 /// FNV-1a 64 — the per-section checksum. Cheap, dependency-free, and good
@@ -114,6 +137,9 @@ pub struct ContainerInfo {
     pub has_in: bool,
     /// Whether a byte-compressed payload is present.
     pub has_compressed: bool,
+    /// Whether the compressed payload uses the chunked block layout
+    /// (`COMP_META` sections carry the chunk sizes).
+    pub comp_chunked: bool,
     /// Vertex count.
     pub n: u64,
     /// Directed edge count.
@@ -162,6 +188,7 @@ fn parse_header(path: &Path, head: &[u8]) -> Result<(ContainerInfo, u32), Error>
             symmetric: flags & FLAG_SYMMETRIC != 0,
             has_in: flags & FLAG_HAS_IN != 0,
             has_compressed: flags & FLAG_HAS_COMPRESSED != 0,
+            comp_chunked: flags & FLAG_COMP_CHUNKED != 0,
             n: u64_at(24),
             m: u64_at(32),
         },
@@ -319,6 +346,17 @@ pub fn write<W: Weight>(
         sections.push((kinds[1], Cow::Owned(le_u32_bytes(degrees).into_owned())));
         sections.push((kinds[2], Cow::Owned(data.to_vec())));
     };
+    // Chunked payloads advertise their chunk size in a META section (and
+    // the COMP_CHUNKED flag below); chunk_size 0 writes the legacy layout
+    // with no META, which pre-chunking readers accept.
+    let push_meta = |sections: &mut Vec<(u32, Cow<'_, [u8]>)>, k: u32, chunk_size: u32| {
+        if chunk_size != 0 {
+            let mut payload = [0u8; 8];
+            payload[..4].copy_from_slice(&chunk_size.to_le_bytes());
+            sections.push((k, Cow::Owned(payload.to_vec())));
+        }
+    };
+    let mut comp_chunked = false;
     if let Some(c) = &comp_u {
         let (o, d, b) = c.raw_parts();
         push_comp(
@@ -328,6 +366,8 @@ pub fn write<W: Weight>(
             d,
             b,
         );
+        push_meta(&mut sections, kind::COMP_META, c.chunk_size());
+        comp_chunked |= c.chunk_size() != 0;
     }
     if let Some(c) = &comp_w {
         let (o, d, b) = c.raw_parts();
@@ -338,6 +378,8 @@ pub fn write<W: Weight>(
             d,
             b,
         );
+        push_meta(&mut sections, kind::COMP_META, c.chunk_size());
+        comp_chunked |= c.chunk_size() != 0;
     }
     if let Some(c) = &comp_in_u {
         let (o, d, b) = c.raw_parts();
@@ -352,6 +394,8 @@ pub fn write<W: Weight>(
             d,
             b,
         );
+        push_meta(&mut sections, kind::COMP_IN_META, c.chunk_size());
+        comp_chunked |= c.chunk_size() != 0;
     }
     if let Some(c) = &comp_in_w {
         let (o, d, b) = c.raw_parts();
@@ -366,6 +410,8 @@ pub fn write<W: Weight>(
             d,
             b,
         );
+        push_meta(&mut sections, kind::COMP_IN_META, c.chunk_size());
+        comp_chunked |= c.chunk_size() != 0;
     }
 
     // Lay out the table and compute checksums.
@@ -395,6 +441,9 @@ pub fn write<W: Weight>(
     }
     if comp_u.is_some() || comp_w.is_some() {
         flags |= FLAG_HAS_COMPRESSED;
+    }
+    if comp_chunked {
+        flags |= FLAG_COMP_CHUNKED;
     }
 
     let mut head = [0u8; HEADER_LEN];
@@ -728,6 +777,63 @@ impl<W: Weight> MappedGraph<W> {
         }
     }
 
+    /// Visits out-edges of `v` in the **local** edge range `lo..hi`
+    /// (clamped to the degree) — the ranged access edgeMap uses to split a
+    /// giant adjacency list across parallel chunk tasks.
+    #[inline]
+    pub fn for_each_out_range<F: FnMut(VertexId, W)>(
+        &self,
+        v: VertexId,
+        lo: usize,
+        hi: usize,
+        f: F,
+    ) {
+        let adj = self.out;
+        self.adj_range(&adj, v, lo, hi, f);
+    }
+
+    /// Visits in-edges of `v` in the **local** edge range `lo..hi`.
+    ///
+    /// # Panics
+    /// If [`has_in_view`](Self::has_in_view) is `false`.
+    #[inline]
+    pub fn for_each_in_range<F: FnMut(VertexId, W)>(
+        &self,
+        v: VertexId,
+        lo: usize,
+        hi: usize,
+        f: F,
+    ) {
+        let adj = *self.in_adj();
+        self.adj_range(&adj, v, lo, hi, f);
+    }
+
+    #[inline]
+    fn adj_range<F: FnMut(VertexId, W)>(
+        &self,
+        adj: &RawAdj,
+        v: VertexId,
+        lo_local: usize,
+        hi_local: usize,
+        mut f: F,
+    ) {
+        let o = self.adj_offsets(adj);
+        let (base, end) = (o[v as usize] as usize, o[v as usize + 1] as usize);
+        let lo = base.saturating_add(lo_local).min(end);
+        let hi = base.saturating_add(hi_local).min(end).max(lo);
+        let ts = &self.adj_targets(adj)[lo..hi];
+        if W::IS_UNIT {
+            for &t in ts {
+                f(t, W::default());
+            }
+        } else {
+            let ws = self.adj_weights(adj, lo, hi);
+            for (&t, &w) in ts.iter().zip(ws) {
+                f(t, W::from_u64(w as u64));
+            }
+        }
+    }
+
     fn in_adj(&self) -> &RawAdj {
         self.inn
             .as_ref()
@@ -896,6 +1002,27 @@ fn read_comp_parts(
     Ok((offsets, degrees, payload(b).to_vec()))
 }
 
+/// Chunk size of one compressed-payload direction: 0 (legacy unchunked)
+/// when the META section is absent, its stored u32 otherwise.
+fn comp_chunk_size(
+    path: &Path,
+    bytes: &[u8],
+    sections: &[Section],
+    meta_kind: u32,
+) -> Result<u32, Error> {
+    let Some(s) = sections.iter().find(|s| s.kind == meta_kind) else {
+        return Ok(0);
+    };
+    if s.len != 8 {
+        return Err(bad(
+            path,
+            format!("compressed-payload meta section has length {}", s.len),
+        ));
+    }
+    let p = &bytes[s.offset as usize..s.offset as usize + 4];
+    Ok(u32::from_le_bytes(p.try_into().unwrap()))
+}
+
 fn comp_sections(path: &Path) -> Result<(ContainerInfo, Vec<Section>, MmapBuf), Error> {
     let buf = MmapBuf::open(path)?;
     let (info, count) = parse_header(path, buf.bytes())?;
@@ -949,6 +1076,7 @@ pub fn read_compressed(path: &Path) -> Result<CompressedGraph, Error> {
         n,
         "compressed payload",
     )?;
+    let corrupt = |what: &str, msg: String| bad(path, format!("corrupt {what}: {msg}"));
     let in_graph = if !info.symmetric && sections.iter().any(|s| s.kind == kind::COMP_IN_DATA) {
         let (o, d, b) = read_comp_parts(
             path,
@@ -962,27 +1090,26 @@ pub fn read_compressed(path: &Path) -> Result<CompressedGraph, Error> {
             n,
             "compressed transpose payload",
         )?;
-        Some(Box::new(CompressedGraph::from_raw_parts(
-            n,
-            info.m as usize,
-            o,
-            d,
-            b,
-            false,
-            None,
-        )))
+        let cs = comp_chunk_size(path, bytes, &sections, kind::COMP_IN_META)?;
+        Some(Box::new(
+            CompressedGraph::try_from_raw_parts(n, info.m as usize, o, d, b, false, cs, None)
+                .map_err(|e| corrupt("compressed transpose payload", e))?,
+        ))
     } else {
         None
     };
-    Ok(CompressedGraph::from_raw_parts(
+    let cs = comp_chunk_size(path, bytes, &sections, kind::COMP_META)?;
+    CompressedGraph::try_from_raw_parts(
         n,
         info.m as usize,
         offsets,
         degrees,
         data,
         info.symmetric,
+        cs,
         in_graph,
-    ))
+    )
+    .map_err(|e| corrupt("compressed payload", e))
 }
 
 /// Loads the byte-compressed payload of a **weighted** container.
@@ -1004,6 +1131,7 @@ pub fn read_compressed_weighted(path: &Path) -> Result<CompressedWGraph, Error> 
         n,
         "compressed payload",
     )?;
+    let corrupt = |what: &str, msg: String| bad(path, format!("corrupt {what}: {msg}"));
     let in_graph = if !info.symmetric && sections.iter().any(|s| s.kind == kind::COMP_IN_DATA) {
         let (o, d, b) = read_comp_parts(
             path,
@@ -1017,27 +1145,26 @@ pub fn read_compressed_weighted(path: &Path) -> Result<CompressedWGraph, Error> 
             n,
             "compressed transpose payload",
         )?;
-        Some(Box::new(CompressedWGraph::from_raw_parts(
-            n,
-            info.m as usize,
-            o,
-            d,
-            b,
-            false,
-            None,
-        )))
+        let cs = comp_chunk_size(path, bytes, &sections, kind::COMP_IN_META)?;
+        Some(Box::new(
+            CompressedWGraph::try_from_raw_parts(n, info.m as usize, o, d, b, false, cs, None)
+                .map_err(|e| corrupt("compressed transpose payload", e))?,
+        ))
     } else {
         None
     };
-    Ok(CompressedWGraph::from_raw_parts(
+    let cs = comp_chunk_size(path, bytes, &sections, kind::COMP_META)?;
+    CompressedWGraph::try_from_raw_parts(
         n,
         info.m as usize,
         offsets,
         degrees,
         data,
         info.symmetric,
+        cs,
         in_graph,
-    ))
+    )
+    .map_err(|e| corrupt("compressed payload", e))
 }
 
 #[cfg(test)]
@@ -1314,7 +1441,10 @@ mod tests {
         let mg: MappedGraph<()> = MappedGraph::open(&p).unwrap();
         let err = mg.to_csr().unwrap_err();
         assert_eq!(err.code(), "parse");
-        assert!(err.to_string().contains("corrupt container payload"), "{err}");
+        assert!(
+            err.to_string().contains("corrupt container payload"),
+            "{err}"
+        );
         std::fs::remove_file(&p).ok();
     }
 

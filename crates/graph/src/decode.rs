@@ -1,0 +1,726 @@
+//! Branch-reduced LEB128 varint decoding for the byte-compressed backend.
+//!
+//! The hot loop of every compressed traversal is "decode the next gap
+//! codeword". Three tiers keep that loop short and fail-closed:
+//!
+//! 1. a 256-entry first-byte table ([`FIRST_BYTE`]) that resolves the
+//!    dominant 1-byte-codeword case — value and length — in one lookup;
+//! 2. a word-at-a-time continuation-bit scan (SWAR over 8 little-endian
+//!    bytes) that finds a multi-byte codeword's stop byte in one
+//!    `trailing_zeros` instead of one branch per byte;
+//! 3. a bounded byte-at-a-time tail for codewords near the end of a block,
+//!    with an explicit 10-byte length cap so corrupt input can never
+//!    overflow the shift (the bug class this module retires: the old
+//!    `get_varint` had no end-of-slice guard and an unbounded shift).
+//!
+//! [`BlockDecoder`] is the cursor used by the fused decode loops in
+//! [`compress`](crate::compress); `try_varint` is the `Result` form the
+//! `.jgr` load-time validator uses so corrupt payloads surface typed parse
+//! errors, while `varint` panics with a clear message for in-memory
+//! traversals (which only ever run over validated blocks).
+
+/// Longest legal LEB128 codeword for a `u64`: nine full 7-bit groups plus a
+/// tenth byte that may only carry the final (63rd) bit.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Corrupt-input reason: a block (or chunk) ended in the middle of a
+/// codeword.
+pub const ERR_TRUNCATED: &str = "block ends mid-codeword";
+
+/// Corrupt-input reason: a codeword ran past [`MAX_VARINT_LEN`] bytes or set
+/// payload bits beyond a `u64`.
+pub const ERR_OVERLONG: &str = "codeword overflows u64 (overlong varint)";
+
+/// One entry of the 256-way first-byte code table.
+#[derive(Clone, Copy, Debug)]
+pub struct FirstByte {
+    /// The fully decoded value when `len == 1`; the byte's 7 payload bits
+    /// when the codeword continues.
+    pub value: u8,
+    /// Codeword length resolved by this byte alone: 1 for terminal bytes,
+    /// 0 when the continuation bit says more bytes follow.
+    pub len: u8,
+}
+
+/// The first-byte code table: indexing with any byte value classifies the
+/// codeword (terminal vs continued) and yields its payload bits without
+/// shifts or masks in the hot loop.
+pub static FIRST_BYTE: [FirstByte; 256] = build_first_byte_table();
+
+const fn build_first_byte_table() -> [FirstByte; 256] {
+    let mut t = [FirstByte { value: 0, len: 0 }; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        t[b] = FirstByte {
+            value: (b & 0x7F) as u8,
+            len: if b < 0x80 { 1 } else { 0 },
+        };
+        b += 1;
+    }
+    t
+}
+
+/// Continuation bits of 8 packed codeword bytes.
+const CONT_BITS: u64 = 0x8080_8080_8080_8080;
+
+/// Continuation-bit pattern of a window holding exactly four 2-byte
+/// codewords: set on bytes 0, 2, 4, 6, clear on the terminators.
+const TWO_BYTE_X4: u64 = 0x0080_0080_0080_0080;
+
+/// Keep-masks for a 1..=4-byte codeword inside a little-endian 4-byte
+/// window, indexed by codeword length. Masking with `WINDOW_KEEP[len]`
+/// drops the bytes of the *next* codeword so the branchless collapse in
+/// [`BlockDecoder::varint`] sees only this codeword's bytes.
+static WINDOW_KEEP: [u32; 5] = [0, 0xFF, 0xFFFF, 0x00FF_FFFF, 0xFFFF_FFFF];
+
+#[cold]
+#[inline(never)]
+fn corrupt(why: &str) -> ! {
+    panic!("corrupt compressed block: {why}");
+}
+
+/// A decoding cursor over one vertex's byte-coded block (or a slice of the
+/// concatenated block array).
+pub struct BlockDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BlockDecoder<'a> {
+    /// Starts a cursor at the beginning of `buf`.
+    #[inline]
+    pub fn new(buf: &'a [u8]) -> Self {
+        BlockDecoder { buf, pos: 0 }
+    }
+
+    /// Starts a cursor at byte `pos` of `buf`. Traversals pass the *whole*
+    /// concatenated block array here rather than slicing out one vertex's
+    /// block: runs are count-bounded, so decoding never walks past the
+    /// block's own codewords, and keeping the following blocks' bytes in
+    /// range means the 4/8-byte lookahead windows stay on the fast path
+    /// even for tiny blocks (a sliced 12-byte block would push most of its
+    /// codewords onto the slow end-of-buffer fallback).
+    #[inline]
+    pub fn new_at(buf: &'a [u8], pos: usize) -> Self {
+        BlockDecoder { buf, pos }
+    }
+
+    /// Bytes consumed so far.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Skips `by` bytes (used to jump over chunk bodies via the block
+    /// header's byte lengths). Saturates rather than wrapping so a corrupt
+    /// length turns into a truncation error at the next read, never an
+    /// out-of-bounds position.
+    #[inline]
+    pub fn advance(&mut self, by: usize) {
+        self.pos = self.pos.saturating_add(by);
+    }
+
+    /// Decodes and discards `k` codewords (chunked-block headers).
+    #[inline]
+    pub fn skip_varints(&mut self, k: usize) {
+        for _ in 0..k {
+            let _ = self.varint();
+        }
+    }
+
+    /// Decodes the next codeword, panicking with a clear message on corrupt
+    /// input. Traversal paths use this: they only ever run over blocks that
+    /// were either encoded in-process or validated at `.jgr` load time.
+    ///
+    /// Gap codewords on sorted adjacency are 1–3 bytes at any realistic
+    /// scale, with the length varying codeword to codeword — exactly the
+    /// pattern that makes a branch-per-byte loop mispredict. The inline
+    /// fast path therefore decodes **branchlessly** from a 4-byte window:
+    /// one unaligned load, the continuation-bit scan picks the stop byte
+    /// via `trailing_zeros`, and a masked shift-collapse (using the
+    /// precomputed `WINDOW_KEEP` code table) splices the payload bits —
+    /// no data-dependent branches at all. Codewords of 5+ bytes and
+    /// end-of-block windows fall back to the outlined `varint_multi`.
+    #[inline(always)]
+    pub fn varint(&mut self) -> u64 {
+        let rest = self.buf.get(self.pos..).unwrap_or(&[]);
+        if rest.len() >= 4 {
+            let w = u32::from_le_bytes(rest[..4].try_into().unwrap());
+            // Dedicated 1-byte exit: dense adjacency runs decode long
+            // streaks of sub-128 gaps, so this branch predicts near
+            // perfectly and skips the collapse entirely.
+            if w & 0x80 == 0 {
+                self.pos += 1;
+                return (w & 0x7F) as u64;
+            }
+            let stops = !w & 0x8080_8080;
+            if stops != 0 {
+                let len = (stops.trailing_zeros() >> 3) as usize + 1;
+                let m = w & WINDOW_KEEP[len];
+                self.pos += len;
+                return ((m & 0x7F)
+                    | ((m >> 1) & (0x7F << 7))
+                    | ((m >> 2) & (0x7F << 14))
+                    | ((m >> 3) & (0x7F << 21))) as u64;
+            }
+        }
+        // By-value in/out (not `&mut self`): the cursor's address must not
+        // escape into the outlined call, or the whole decoder gets pinned
+        // to the stack and every codeword pays a store-to-load round trip
+        // on `pos`.
+        let (x, pos) = varint_multi(self.buf, self.pos);
+        self.pos = pos;
+        x
+    }
+
+    /// Decodes `n` consecutive codewords, invoking `f` with each value.
+    ///
+    /// This is the bulk engine behind the fused adjacency loops: it loads
+    /// an 8-byte window **once**, finds every stop byte in it with a single
+    /// continuation-bit scan, then peels the codewords out of the register
+    /// with `s &= s - 1` — so the serial dependency per codeword is a
+    /// 1-cycle bit-clear instead of the load→scan→advance chain a
+    /// codeword-at-a-time loop carries. A window typically yields 4–8
+    /// codewords (gaps on sorted adjacency are 1–3 bytes). Codewords of
+    /// 5+ bytes, windows that end mid-codeword, and the last few bytes of
+    /// a block fall back to the scalar path, which is also the only path
+    /// that validates; like [`varint`](Self::varint), corrupt input panics.
+    #[inline(always)]
+    pub fn for_each_varint<F: FnMut(u64)>(&mut self, n: usize, mut f: F) {
+        let buf = self.buf;
+        let mut pos = self.pos;
+        let mut left = n;
+        // Hoisted window bound: one compare per window entry instead of an
+        // Option subslice plus a length test.
+        let last8 = buf.len().wrapping_sub(8);
+        let has_windows = buf.len() >= 8;
+        'next_window: while left > 0 {
+            if has_windows && pos <= last8 {
+                let w = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+                let c = w & CONT_BITS;
+                // Uniform windows first: adjacency gaps cluster hard by
+                // degree (hubs decode runs of 1-byte gaps, mid-degree
+                // vertices runs of 2-byte gaps), so whole windows of one
+                // codeword length are the common case and decode with
+                // shifts alone — no per-codeword scan at all.
+                if c == 0 && left >= 8 {
+                    // Eight 1-byte codewords.
+                    f(w & 0x7F);
+                    f((w >> 8) & 0x7F);
+                    f((w >> 16) & 0x7F);
+                    f((w >> 24) & 0x7F);
+                    f((w >> 32) & 0x7F);
+                    f((w >> 40) & 0x7F);
+                    f((w >> 48) & 0x7F);
+                    f(w >> 56);
+                    pos += 8;
+                    left -= 8;
+                    continue 'next_window;
+                }
+                if c == TWO_BYTE_X4 && left >= 4 {
+                    // Four 2-byte codewords.
+                    f((w & 0x7F) | ((w >> 1) & 0x3F80));
+                    f(((w >> 16) & 0x7F) | ((w >> 17) & 0x3F80));
+                    f(((w >> 32) & 0x7F) | ((w >> 33) & 0x3F80));
+                    f(((w >> 48) & 0x7F) | ((w >> 49) & 0x3F80));
+                    pos += 8;
+                    left -= 4;
+                    continue 'next_window;
+                }
+                if left < 8 {
+                    // Short remainder: only the first `left` codewords
+                    // matter, so test their continuation bits under a mask
+                    // instead of demanding a uniform window — the lookahead
+                    // bytes past the run can be anything. Low-degree runs
+                    // (and the tail of every longer run) finish here.
+                    let lm = (1u64 << (8 * left)) - 1;
+                    if c & lm == 0 {
+                        // `left` 1-byte codewords end the run.
+                        let mut t = w;
+                        for _ in 0..left {
+                            f(t & 0x7F);
+                            t >>= 8;
+                        }
+                        self.pos = pos + left;
+                        return;
+                    }
+                    if left < 4 {
+                        let lm2 = (1u64 << (16 * left)) - 1;
+                        if c & lm2 == TWO_BYTE_X4 & lm2 {
+                            // `left` 2-byte codewords end the run.
+                            let mut t = w;
+                            for _ in 0..left {
+                                f((t & 0x7F) | ((t >> 1) & 0x3F80));
+                                t >>= 16;
+                            }
+                            self.pos = pos + 2 * left;
+                            return;
+                        }
+                    }
+                }
+                let mut s = c ^ CONT_BITS;
+                if s != 0 {
+                    // Mixed-length window: peel codewords out of the
+                    // register by walking the stop bits. No upfront count —
+                    // `count_ones` is a ~15-op SWAR on baseline x86-64 and
+                    // would be paid at every run tail.
+                    let mut start = 0usize;
+                    let mut long = false;
+                    while left > 0 && s != 0 {
+                        let stop = (s.trailing_zeros() >> 3) as usize;
+                        let len = stop - start + 1;
+                        if len > 4 {
+                            // Rare huge gap: commit the short codewords
+                            // already decoded, scalar-decode the long one.
+                            long = true;
+                            break;
+                        }
+                        let m = ((w >> (8 * start)) as u32) & WINDOW_KEEP[len];
+                        f(((m & 0x7F)
+                            | ((m >> 1) & (0x7F << 7))
+                            | ((m >> 2) & (0x7F << 14))
+                            | ((m >> 3) & (0x7F << 21))) as u64);
+                        start = stop + 1;
+                        left -= 1;
+                        s &= s - 1;
+                    }
+                    pos += start;
+                    if !long {
+                        continue 'next_window;
+                    }
+                }
+            }
+            // Window empty, ends mid-codeword, or a 5+-byte codeword is
+            // next: one scalar (validating) decode, then re-window.
+            let (x, np) = varint_multi(buf, pos);
+            f(x);
+            pos = np;
+            left -= 1;
+        }
+        self.pos = pos;
+    }
+
+    /// Decodes `n` gap codewords and calls `f` with the running neighbor
+    /// sum: `base + g1`, `base + g1 + g2`, … — the fused form of the
+    /// adjacency inner loop (structure mirrors
+    /// [`for_each_varint`](Self::for_each_varint)).
+    ///
+    /// Fusing the accumulation here instead of in a caller closure matters
+    /// for throughput: a closure-side `cur += gap` is an 8-deep serial add
+    /// chain across a uniform window, while in here the eight sums come
+    /// from a log-depth prefix tree and the dependency carried from one
+    /// window to the next is a single add. Partial sums of in-window gaps
+    /// use plain `+` (each gap is < 2^14, so the tree cannot overflow);
+    /// only the add onto `cur` wraps, keeping debug and release behavior
+    /// identical on unvalidated corrupt input.
+    #[inline(always)]
+    pub fn for_each_delta_sum<F: FnMut(u32)>(&mut self, base: u32, n: usize, mut f: F) {
+        let buf = self.buf;
+        let mut pos = self.pos;
+        let mut left = n;
+        let mut cur = base;
+        let last8 = buf.len().wrapping_sub(8);
+        let has_windows = buf.len() >= 8;
+        'next_window: while left > 0 {
+            if has_windows && pos <= last8 {
+                let w = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+                let c = w & CONT_BITS;
+                if c == 0 && left >= 8 {
+                    // Eight 1-byte gaps: prefix-sum tree.
+                    let g0 = (w & 0x7F) as u32;
+                    let g1 = ((w >> 8) & 0x7F) as u32;
+                    let g2 = ((w >> 16) & 0x7F) as u32;
+                    let g3 = ((w >> 24) & 0x7F) as u32;
+                    let g4 = ((w >> 32) & 0x7F) as u32;
+                    let g5 = ((w >> 40) & 0x7F) as u32;
+                    let g6 = ((w >> 48) & 0x7F) as u32;
+                    let g7 = (w >> 56) as u32;
+                    let p01 = g0 + g1;
+                    let p23 = g2 + g3;
+                    let p45 = g4 + g5;
+                    let p03 = p01 + p23;
+                    let b = cur;
+                    f(b.wrapping_add(g0));
+                    f(b.wrapping_add(p01));
+                    f(b.wrapping_add(p01 + g2));
+                    f(b.wrapping_add(p03));
+                    f(b.wrapping_add(p03 + g4));
+                    f(b.wrapping_add(p03 + p45));
+                    f(b.wrapping_add(p03 + p45 + g6));
+                    cur = b.wrapping_add(p03 + p45 + (g6 + g7));
+                    f(cur);
+                    pos += 8;
+                    left -= 8;
+                    continue 'next_window;
+                }
+                if c == TWO_BYTE_X4 && left >= 4 {
+                    // Four 2-byte gaps: prefix-sum tree.
+                    let g0 = ((w & 0x7F) | ((w >> 1) & 0x3F80)) as u32;
+                    let g1 = (((w >> 16) & 0x7F) | ((w >> 17) & 0x3F80)) as u32;
+                    let g2 = (((w >> 32) & 0x7F) | ((w >> 33) & 0x3F80)) as u32;
+                    let g3 = (((w >> 48) & 0x7F) | ((w >> 49) & 0x3F80)) as u32;
+                    let p01 = g0 + g1;
+                    let b = cur;
+                    f(b.wrapping_add(g0));
+                    f(b.wrapping_add(p01));
+                    f(b.wrapping_add(p01 + g2));
+                    cur = b.wrapping_add(p01 + g2 + g3);
+                    f(cur);
+                    pos += 8;
+                    left -= 4;
+                    continue 'next_window;
+                }
+                if left < 8 {
+                    // Short remainder under a continuation-bit mask; see
+                    // `for_each_varint` for the rationale.
+                    let lm = (1u64 << (8 * left)) - 1;
+                    if c & lm == 0 {
+                        let mut t = w;
+                        for _ in 0..left {
+                            cur = cur.wrapping_add((t & 0x7F) as u32);
+                            f(cur);
+                            t >>= 8;
+                        }
+                        self.pos = pos + left;
+                        return;
+                    }
+                    if left < 4 {
+                        let lm2 = (1u64 << (16 * left)) - 1;
+                        if c & lm2 == TWO_BYTE_X4 & lm2 {
+                            let mut t = w;
+                            for _ in 0..left {
+                                cur = cur.wrapping_add(((t & 0x7F) | ((t >> 1) & 0x3F80)) as u32);
+                                f(cur);
+                                t >>= 16;
+                            }
+                            self.pos = pos + 2 * left;
+                            return;
+                        }
+                    }
+                }
+                let mut s = c ^ CONT_BITS;
+                if s != 0 {
+                    let mut start = 0usize;
+                    let mut long = false;
+                    while left > 0 && s != 0 {
+                        let stop = (s.trailing_zeros() >> 3) as usize;
+                        let len = stop - start + 1;
+                        if len > 4 {
+                            long = true;
+                            break;
+                        }
+                        let m = ((w >> (8 * start)) as u32) & WINDOW_KEEP[len];
+                        let g = (m & 0x7F)
+                            | ((m >> 1) & (0x7F << 7))
+                            | ((m >> 2) & (0x7F << 14))
+                            | ((m >> 3) & (0x7F << 21));
+                        cur = cur.wrapping_add(g);
+                        f(cur);
+                        start = stop + 1;
+                        left -= 1;
+                        s &= s - 1;
+                    }
+                    pos += start;
+                    if !long {
+                        continue 'next_window;
+                    }
+                }
+            }
+            let (x, np) = varint_multi(buf, pos);
+            cur = cur.wrapping_add(x as u32);
+            f(cur);
+            pos = np;
+            left -= 1;
+        }
+        self.pos = pos;
+    }
+
+    /// Decodes the next codeword, failing closed on truncated or overlong
+    /// input. This is the load-time validation entry point.
+    #[inline]
+    pub fn try_varint(&mut self) -> Result<u64, &'static str> {
+        let Some(&b) = self.buf.get(self.pos) else {
+            return Err(ERR_TRUNCATED);
+        };
+        let e = FIRST_BYTE[b as usize];
+        self.pos += 1;
+        if e.len == 1 {
+            return Ok(e.value as u64);
+        }
+        self.try_varint_cont(e.value as u64)
+    }
+
+    /// Multi-byte continuation: scan the next 8 bytes as one word for the
+    /// stop byte. A stop within the word means the codeword is ≤ 9 bytes
+    /// total (shifts capped at 56+7 = 63), so this path cannot overflow.
+    #[inline]
+    fn try_varint_cont(&mut self, first: u64) -> Result<u64, &'static str> {
+        let rest = &self.buf[self.pos..];
+        if rest.len() >= 8 {
+            let word = u64::from_le_bytes(rest[..8].try_into().unwrap());
+            let stops = !word & CONT_BITS;
+            if stops != 0 {
+                let tail = (stops.trailing_zeros() >> 3) as usize + 1;
+                let mut x = first;
+                let mut shift = 7u32;
+                for i in 0..tail {
+                    x |= ((word >> (8 * i)) & 0x7F) << shift;
+                    shift += 7;
+                }
+                self.pos += tail;
+                return Ok(x);
+            }
+        }
+        self.try_varint_tail(first)
+    }
+
+    /// Byte-at-a-time tail: blocks too short for a word load, plus the
+    /// 10-byte boundary check that makes overlong codewords an error
+    /// instead of an unbounded shift.
+    fn try_varint_tail(&mut self, first: u64) -> Result<u64, &'static str> {
+        let mut x = first;
+        let mut shift = 7u32;
+        loop {
+            let Some(&b) = self.buf.get(self.pos) else {
+                return Err(ERR_TRUNCATED);
+            };
+            self.pos += 1;
+            if shift == 63 {
+                // 10th byte: only the low bit may carry payload and the
+                // continuation bit must be clear.
+                if b > 1 {
+                    return Err(ERR_OVERLONG);
+                }
+                return Ok(x | ((b as u64) << 63));
+            }
+            x |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(x);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Long-codeword / end-of-buffer continuation of [`BlockDecoder::varint`],
+/// outlined to keep the fast path small. Panics on corrupt input.
+#[inline(never)]
+fn varint_multi(buf: &[u8], pos: usize) -> (u64, usize) {
+    let mut dec = BlockDecoder { buf, pos };
+    match dec.try_varint() {
+        Ok(x) => (x, dec.pos),
+        Err(why) => corrupt(why),
+    }
+}
+
+/// Zig-zag encodes a signed delta (first-neighbor-minus-vertex) so small
+/// magnitudes of either sign get short codewords.
+#[inline]
+pub fn zigzag_encode(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+/// Appends the LEB128 codeword for `x` to `buf`.
+#[inline]
+pub fn put_varint(buf: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// The pre-table decoder, kept verbatim as the microbench baseline
+/// (`bench --bin decode` times it against [`BlockDecoder`]) and as the
+/// proptest oracle for decode equivalence. Inherits the original
+/// semantics: one branch per byte, slice-indexing bounds checks only.
+pub mod reference {
+    /// The original branch-per-byte varint loop this PR replaced.
+    #[inline]
+    pub fn get_varint(data: &[u8], pos: &mut usize) -> u64 {
+        let mut x = 0u64;
+        let mut shift = 0;
+        loop {
+            let byte = data[*pos];
+            *pos += 1;
+            x |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return x;
+            }
+            shift += 7;
+        }
+    }
+
+    /// Decodes one unchunked neighbor run exactly the way the pre-table
+    /// `for_each_neighbor` did.
+    #[inline]
+    pub fn for_each_neighbor_legacy<F: FnMut(crate::VertexId)>(
+        v: crate::VertexId,
+        deg: usize,
+        data: &[u8],
+        start: usize,
+        mut f: F,
+    ) {
+        if deg == 0 {
+            return;
+        }
+        let mut pos = start;
+        let first = super::zigzag_decode(get_varint(data, &mut pos));
+        let mut cur = (v as i64 + first) as u32;
+        f(cur);
+        for _ in 1..deg {
+            cur += get_varint(data, &mut pos) as u32;
+            f(cur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_definition() {
+        for b in 0..=255u8 {
+            let e = FIRST_BYTE[b as usize];
+            assert_eq!(e.value, b & 0x7F);
+            assert_eq!(e.len, u8::from(b & 0x80 == 0));
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip_all_lengths() {
+        let mut buf = Vec::new();
+        let mut values = vec![0u64, 1, 127, 128, 300, (1 << 20) - 3, u32::MAX as u64];
+        for k in 0..64 {
+            values.push(1u64 << k);
+            values.push((1u64 << k).wrapping_sub(1));
+        }
+        values.push(u64::MAX);
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut dec = BlockDecoder::new(&buf);
+        for &v in &values {
+            assert_eq!(dec.varint(), v);
+        }
+        assert_eq!(dec.pos(), buf.len());
+        // The reference decoder agrees on valid input.
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(reference::get_varint(&buf, &mut pos), v);
+        }
+    }
+
+    #[test]
+    fn tail_path_matches_word_path() {
+        // Decode the same multi-byte codeword with and without 8 bytes of
+        // lookahead: pad vs no pad must agree.
+        for &v in &[128u64, 1 << 14, 1 << 21, 1 << 42, u64::MAX] {
+            let mut exact = Vec::new();
+            put_varint(&mut exact, v);
+            let mut padded = exact.clone();
+            padded.extend_from_slice(&[0u8; 8]);
+            assert_eq!(BlockDecoder::new(&exact).varint(), v);
+            assert_eq!(BlockDecoder::new(&padded).varint(), v);
+        }
+    }
+
+    #[test]
+    fn corrupt_truncated_codeword_is_error() {
+        // Continuation bit set on the final byte: every prefix of a
+        // multi-byte codeword must fail closed.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        for cut in 1..buf.len() {
+            let mut dec = BlockDecoder::new(&buf[..cut]);
+            assert_eq!(dec.try_varint(), Err(ERR_TRUNCATED), "cut at {cut}");
+        }
+        assert_eq!(BlockDecoder::new(&[]).try_varint(), Err(ERR_TRUNCATED));
+    }
+
+    #[test]
+    fn corrupt_overlong_codeword_is_error() {
+        // 10 continuation bytes (11-byte codeword): bounded, not a shift
+        // overflow.
+        let buf = [0x80u8; 16];
+        assert_eq!(BlockDecoder::new(&buf).try_varint(), Err(ERR_OVERLONG));
+        // 10th byte with payload beyond bit 63.
+        let mut buf = vec![0xFFu8; 9];
+        buf.push(0x02);
+        assert_eq!(BlockDecoder::new(&buf).try_varint(), Err(ERR_OVERLONG));
+        // 10th byte carrying exactly bit 63 is the legal u64::MAX encoding.
+        let mut buf = vec![0xFFu8; 9];
+        buf.push(0x01);
+        assert_eq!(BlockDecoder::new(&buf).try_varint(), Ok(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt compressed block")]
+    fn corrupt_traversal_panics_cleanly() {
+        let buf = [0x80u8, 0x80];
+        BlockDecoder::new(&buf).varint();
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for x in [-5i64, -1, 0, 1, 5, i64::MAX / 2, i64::MIN / 2, i64::MIN] {
+            assert_eq!(zigzag_decode(zigzag_encode(x)), x);
+        }
+    }
+
+    #[test]
+    fn advance_saturates() {
+        let buf = [0x01u8];
+        let mut dec = BlockDecoder::new(&buf);
+        dec.advance(usize::MAX);
+        assert_eq!(dec.try_varint(), Err(ERR_TRUNCATED));
+    }
+
+    #[test]
+    fn delta_sum_matches_serial_on_every_path() {
+        // Streams picked to route through each fused-decode tier: whole
+        // 1-byte windows (prefix tree), whole 2-byte windows, masked short
+        // remainders of both widths, the mixed-length peel, and the long
+        // (5+-byte) scalar fallback.
+        let streams: Vec<Vec<u64>> = vec![
+            (0..16).map(|i| i as u64 * 7 % 128).collect(),
+            (0..8).map(|i| 128 + i as u64 * 1000).collect(),
+            (0..3).map(|i| i as u64 + 1).collect(),
+            (0..2).map(|i| 200 + i as u64).collect(),
+            vec![1, 300, 2, 70000, 3, u64::MAX, 4, 5, 6, 7, 8, 9, 10, 11],
+            vec![u32::MAX as u64],
+            vec![],
+        ];
+        for vals in &streams {
+            let mut buf = Vec::new();
+            for &v in vals {
+                put_varint(&mut buf, v);
+            }
+            let base = 3u32;
+            let mut acc = base;
+            let want: Vec<u32> = vals
+                .iter()
+                .map(|&v| {
+                    acc = acc.wrapping_add(v as u32);
+                    acc
+                })
+                .collect();
+            let mut dec = BlockDecoder::new(&buf);
+            let mut got = Vec::new();
+            dec.for_each_delta_sum(base, vals.len(), |u| got.push(u));
+            assert_eq!(got, want, "stream {vals:?}");
+            assert_eq!(dec.pos(), buf.len(), "cursor for stream {vals:?}");
+        }
+    }
+}

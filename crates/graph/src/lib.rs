@@ -17,6 +17,9 @@
 //! * [`mmap`] — the read-only file-mapping primitive under the container,
 //! * [`compress`] — Ligra+-style byte-code delta compression of adjacency
 //!   lists,
+//! * [`decode`] — the table-driven, fail-closed varint decoder under the
+//!   compressed backend (first-byte code table + word-at-a-time
+//!   continuation scan),
 //! * [`packed`] — mutable-adjacency graphs supporting `edgeMapFilter`'s
 //!   `Pack` option (needed by approximate set cover).
 
@@ -24,6 +27,7 @@ pub mod builder;
 pub mod compress;
 pub mod container;
 pub mod csr;
+pub mod decode;
 pub mod generators;
 pub mod io;
 pub mod mmap;

@@ -13,6 +13,12 @@
 //!   breaking early once `C(v)` flips; chosen when
 //!   `|U| + Σ out-deg(U) > m / 20` (Ligra's threshold).
 //!
+//! Both directions split **giant adjacency lists** into parallel chunk
+//! tasks when the backend supports it (see [`OutEdges::out_chunk_edges`]):
+//! a hub vertex whose list spans more than two chunks no longer serializes
+//! a round on one worker. Chunk boundaries are a pure function of degrees,
+//! so results stay identical at every thread count.
+//!
 //! The unified entry point is the [`EdgeMap`] builder, which owns the
 //! traversal options and an optional [`Telemetry`] sink recording the
 //! direction decision, edges scanned, and successful updates of every
@@ -288,6 +294,7 @@ where
     const SENTINEL: VertexId = VertexId::MAX;
     let n = g.num_vertices();
     let mut offsets: Vec<usize> = frontier_ids.par_iter().map(|&u| g.out_degree(u)).collect();
+    let max_deg = offsets.par_iter().copied().max().unwrap_or(0);
     let total = prefix_sums(&mut offsets);
 
     let mut out: Vec<VertexId> = vec![SENTINEL; total];
@@ -298,32 +305,89 @@ where
     };
     {
         let writer = DisjointWriter::new(&mut out);
-        frontier_ids
-            .par_iter()
-            .zip(offsets.par_iter())
-            .for_each(|(&u, &base)| {
-                let mut k = base;
-                g.for_each_out(u, |v, w| {
-                    if cond(v) && update(u, v, w) {
-                        let emit = match &dedup {
-                            Some(bs) => bs.set(v as usize),
-                            None => true,
-                        };
-                        if emit {
-                            // SAFETY: slot k lies in u's private range.
-                            unsafe { writer.write(k, v) };
+        let split = g.out_chunk_edges();
+        if split != usize::MAX && max_deg > split.saturating_mul(2) {
+            // A hub vertex dominates the frontier: split giant out-lists
+            // into per-chunk tasks so no single list serializes the round.
+            // Chunk c of u writes slots [base + c·split, ...) — the same
+            // slots the unsplit scan would use, so the output (and its
+            // ordering) is unchanged.
+            split_tasks(g, frontier_ids, &offsets, split)
+                .par_iter()
+                .for_each(|&(u, c, slot)| {
+                    let mut k = slot;
+                    g.for_each_out_chunk(u, c, |v, w| {
+                        if cond(v) && update(u, v, w) {
+                            let emit = match &dedup {
+                                Some(bs) => bs.set(v as usize),
+                                None => true,
+                            };
+                            if emit {
+                                // SAFETY: slot k lies in chunk c's private
+                                // slice of u's range.
+                                unsafe { writer.write(k, v) };
+                            }
                         }
-                    }
-                    k += 1;
+                        k += 1;
+                    });
                 });
-            });
+        } else {
+            frontier_ids
+                .par_iter()
+                .zip(offsets.par_iter())
+                .for_each(|(&u, &base)| {
+                    let mut k = base;
+                    g.for_each_out(u, |v, w| {
+                        if cond(v) && update(u, v, w) {
+                            let emit = match &dedup {
+                                Some(bs) => bs.set(v as usize),
+                                None => true,
+                            };
+                            if emit {
+                                // SAFETY: slot k lies in u's private range.
+                                unsafe { writer.write(k, v) };
+                            }
+                        }
+                        k += 1;
+                    });
+                });
+        }
     }
     let result = filter_map(&out, |&v| if v == SENTINEL { None } else { Some(v) });
     (VertexSubset::from_vertices(n, result), total as u64)
 }
 
+/// Materializes the `(source, chunk, slot base)` task list for a sparse
+/// push whose frontier contains at least one giant out-list. Chunk counts
+/// are a pure function of degrees, so the task set — and therefore the
+/// traversal's output — is identical at every thread count.
+fn split_tasks<G: OutEdges>(
+    g: &G,
+    frontier_ids: &[VertexId],
+    offsets: &[usize],
+    split: usize,
+) -> Vec<(VertexId, usize, usize)> {
+    let mut tasks = Vec::with_capacity(frontier_ids.len());
+    for (i, &u) in frontier_ids.iter().enumerate() {
+        let deg = g.out_degree(u);
+        for c in 0..deg.div_ceil(split) {
+            tasks.push((u, c, offsets[i] + c * split));
+        }
+    }
+    tasks
+}
+
 /// Dense pull kernel; returns the new frontier and the in-edges examined
 /// (the early exit makes this less than the full in-degree sum).
+///
+/// Heavy targets — in-degree above twice the backend's
+/// [`InEdges::in_chunk_edges`] granularity — are pulled out of the main
+/// per-vertex loop and scanned as parallel chunk tasks, so one hub's
+/// in-list no longer serializes the round. Chunk tasks decode in full
+/// (no early exit): the examined-edge count stays a pure function of the
+/// graph, the same trade Ligra+ makes to decode compressed lists in
+/// parallel. Extra `update` calls after `cond` flips are harmless for the
+/// CAS/writeMin updates `edgeMap` requires.
 fn dense_counted<G, Fu, Fc>(
     g: &G,
     frontier: &VertexSubset,
@@ -338,11 +402,15 @@ where
     let n = g.num_vertices();
     let frontier_bits = frontier.to_bitset();
     let out = AtomicBitSet::new(n);
+    let trigger = heavy_trigger(g.in_chunk_edges());
     let scanned: u64 = (0..n as VertexId)
         .into_par_iter()
         .map(|v| {
             if !cond(v) {
                 return 0u64;
+            }
+            if trigger != usize::MAX && g.in_degree(v) > trigger {
+                return 0u64; // handled by the heavy pass below
             }
             let mut examined = 0u64;
             g.for_each_in_until(v, |u, w| {
@@ -357,7 +425,42 @@ where
             examined
         })
         .sum();
-    (VertexSubset::from_bitset(out.into_bitset()), scanned)
+    let mut heavy_scanned = 0u64;
+    if trigger != usize::MAX {
+        let split = g.in_chunk_edges();
+        let heavy: Vec<VertexId> = (0..n as VertexId)
+            .into_par_iter()
+            .filter(|&v| cond(v) && g.in_degree(v) > trigger)
+            .collect();
+        let tasks: Vec<(VertexId, usize)> = heavy
+            .iter()
+            .flat_map(|&v| (0..g.in_degree(v).div_ceil(split)).map(move |c| (v, c)))
+            .collect();
+        tasks.par_iter().for_each(|&(v, c)| {
+            g.for_each_in_chunk(v, c, |u, w| {
+                if frontier_bits.get(u as usize) && cond(v) && update(u, v, w) {
+                    out.set(v as usize);
+                }
+            });
+        });
+        heavy_scanned = heavy.iter().map(|&v| g.in_degree(v) as u64).sum();
+    }
+    (
+        VertexSubset::from_bitset(out.into_bitset()),
+        scanned + heavy_scanned,
+    )
+}
+
+/// In-degree above which a dense target's in-list is scanned as chunk
+/// tasks: twice the chunk granularity, so splitting only kicks in when it
+/// buys at least two-way parallelism. `usize::MAX` (unsplittable backend)
+/// disables the heavy pass entirely.
+fn heavy_trigger(split: usize) -> usize {
+    if split == usize::MAX {
+        usize::MAX
+    } else {
+        split.saturating_mul(2)
+    }
 }
 
 /// Sparse push data kernel; returns the data-subset and edges scanned.
@@ -375,26 +478,48 @@ where
 {
     let n = g.num_vertices();
     let mut offsets: Vec<usize> = frontier_ids.par_iter().map(|&u| g.out_degree(u)).collect();
+    let max_deg = offsets.par_iter().copied().max().unwrap_or(0);
     let total = prefix_sums(&mut offsets);
 
     let mut out: Vec<Option<(VertexId, T)>> = vec![None; total];
     {
         let writer = DisjointWriter::new(&mut out);
-        frontier_ids
-            .par_iter()
-            .zip(offsets.par_iter())
-            .for_each(|(&u, &base)| {
-                let mut k = base;
-                g.for_each_out(u, |v, w| {
-                    if cond(v) {
-                        if let Some(t) = update(u, v, w) {
-                            // SAFETY: slot k lies in u's private range.
-                            unsafe { writer.write(k, Some((v, t))) };
+        let split = g.out_chunk_edges();
+        if split != usize::MAX && max_deg > split.saturating_mul(2) {
+            // Giant out-lists go through per-chunk tasks; slots match the
+            // unsplit scan, so the output ordering is unchanged.
+            split_tasks(g, frontier_ids, &offsets, split)
+                .par_iter()
+                .for_each(|&(u, c, slot)| {
+                    let mut k = slot;
+                    g.for_each_out_chunk(u, c, |v, w| {
+                        if cond(v) {
+                            if let Some(t) = update(u, v, w) {
+                                // SAFETY: slot k lies in chunk c's private
+                                // slice of u's range.
+                                unsafe { writer.write(k, Some((v, t))) };
+                            }
                         }
-                    }
-                    k += 1;
+                        k += 1;
+                    });
                 });
-            });
+        } else {
+            frontier_ids
+                .par_iter()
+                .zip(offsets.par_iter())
+                .for_each(|(&u, &base)| {
+                    let mut k = base;
+                    g.for_each_out(u, |v, w| {
+                        if cond(v) {
+                            if let Some(t) = update(u, v, w) {
+                                // SAFETY: slot k lies in u's private range.
+                                unsafe { writer.write(k, Some((v, t))) };
+                            }
+                        }
+                        k += 1;
+                    });
+                });
+        }
     }
     let entries = filter_map(&out, |slot| *slot);
     (VertexSubsetData::from_entries(n, entries), total as u64)
@@ -415,11 +540,15 @@ where
 {
     let n = g.num_vertices();
     let frontier_bits = frontier.to_bitset();
-    let per_vertex: Vec<(Option<(VertexId, T)>, u64)> = (0..n as VertexId)
+    let trigger = heavy_trigger(g.in_chunk_edges());
+    let mut per_vertex: Vec<(Option<(VertexId, T)>, u64)> = (0..n as VertexId)
         .into_par_iter()
         .map(|v| {
             if !cond(v) {
                 return (None, 0);
+            }
+            if trigger != usize::MAX && g.in_degree(v) > trigger {
+                return (None, 0); // handled by the heavy pass below
             }
             let mut got: Option<(VertexId, T)> = None;
             let mut examined = 0u64;
@@ -435,6 +564,43 @@ where
             (got, examined)
         })
         .collect();
+    if trigger != usize::MAX {
+        let split = g.in_chunk_edges();
+        let heavy: Vec<VertexId> = (0..n as VertexId)
+            .into_par_iter()
+            .filter(|&v| cond(v) && g.in_degree(v) > trigger)
+            .collect();
+        let tasks: Vec<(VertexId, usize)> = heavy
+            .iter()
+            .flat_map(|&v| (0..g.in_degree(v).div_ceil(split)).map(move |c| (v, c)))
+            .collect();
+        let chunk_got: Vec<Option<(VertexId, T)>> = tasks
+            .par_iter()
+            .map(|&(v, c)| {
+                let mut got: Option<(VertexId, T)> = None;
+                g.for_each_in_chunk(v, c, |u, w| {
+                    if frontier_bits.get(u as usize) && cond(v) {
+                        if let Some(t) = update(u, v, w) {
+                            got = Some((v, t));
+                        }
+                    }
+                });
+                got
+            })
+            .collect();
+        // Combine per-chunk results in ascending chunk order so the last
+        // `Some` wins — the serial "last successful update in neighbor
+        // order" rule. Writing into `per_vertex[v]` keeps the final entry
+        // list ordered by vertex id exactly as the unsplit scan emits it.
+        for (&(v, _), got) in tasks.iter().zip(chunk_got) {
+            if got.is_some() {
+                per_vertex[v as usize].0 = got;
+            }
+        }
+        for &v in &heavy {
+            per_vertex[v as usize].1 = g.in_degree(v) as u64;
+        }
+    }
     let scanned = per_vertex.iter().map(|&(_, e)| e).sum();
     let entries = filter_map(&per_vertex, |&(slot, _)| slot);
     (VertexSubsetData::from_entries(n, entries), scanned)
@@ -593,6 +759,100 @@ mod tests {
         assert_eq!(out.len(), 4);
         #[cfg(feature = "telemetry")]
         assert_eq!(sink.get(Counter::DenseTraversals), 1);
+    }
+
+    #[test]
+    fn sparse_split_hub_matches_unsplit() {
+        use julienne_graph::compress::CompressedGraph;
+        // Hub 0 with 40 out-edges, chunk size 3 → the giant-list path
+        // triggers (40 > 2·3) and fans out into 14 chunk tasks.
+        let pairs: Vec<(u32, u32)> = (1..=40).map(|u| (0, u)).collect();
+        let g = from_pairs(64, &pairs);
+        let split = CompressedGraph::from_csr_with_chunk_size(&g, 3);
+        let whole = CompressedGraph::from_csr_with_chunk_size(&g, 0);
+        let run = |c: &CompressedGraph| {
+            let out = EdgeMap::new(c).mode(Mode::Sparse).run(
+                &VertexSubset::single(64, 0),
+                |_, v, _| v % 2 == 0,
+                |v| v != 7,
+            );
+            out.to_vertices() // scatter slots fix the order — compare raw
+        };
+        assert_eq!(run(&split), run(&whole));
+    }
+
+    #[test]
+    fn sparse_data_split_hub_matches_unsplit() {
+        use julienne_graph::compress::CompressedGraph;
+        let pairs: Vec<(u32, u32)> = (1..=30).map(|u| (0, u)).collect();
+        let g = from_pairs(32, &pairs);
+        let split = CompressedGraph::from_csr_with_chunk_size(&g, 4);
+        let whole = CompressedGraph::from_csr_with_chunk_size(&g, 0);
+        let run = |c: &CompressedGraph| {
+            let out = EdgeMap::new(c).mode(Mode::Sparse).run_data(
+                &VertexSubset::single(32, 0),
+                |_, v, _| if v % 3 == 0 { Some(v * 10) } else { None },
+                |_| true,
+            );
+            out.entries().to_vec()
+        };
+        assert_eq!(run(&split), run(&whole));
+    }
+
+    #[test]
+    fn dense_heavy_target_matches_unsplit() {
+        use julienne_graph::compress::CompressedGraph;
+        // Star: every spoke points at hub 31, which has in-degree 31 —
+        // heavy for chunk size 4 (31 > 2·4). BFS-style CAS update keeps
+        // the traversal's output frontier deterministic.
+        let pairs: Vec<(u32, u32)> = (0..31).map(|u| (u, 31)).collect();
+        let g = from_pairs_symmetric(32, &pairs);
+        let run = |c: &CompressedGraph| {
+            let claimed = atomic_u32_filled(32, 0);
+            let frontier = VertexSubset::from_vertices(32, (0..31).collect());
+            let out = EdgeMap::new(c).mode(Mode::Dense).run(
+                &frontier,
+                |_, v, _| cas_u32(&claimed[v as usize], 0, 1),
+                |v| claimed[v as usize].load(Ordering::Relaxed) == 0,
+            );
+            let mut ids = out.to_vertices();
+            ids.sort_unstable();
+            ids
+        };
+        let split = CompressedGraph::from_csr_with_chunk_size(&g, 4);
+        let whole = CompressedGraph::from_csr_with_chunk_size(&g, 0);
+        assert_eq!(run(&split), run(&whole));
+        assert_eq!(run(&split), vec![31]);
+    }
+
+    #[test]
+    fn dense_data_heavy_target_matches_unsplit() {
+        use julienne_graph::compress::CompressedGraph;
+        let pairs: Vec<(u32, u32)> = (0..25).map(|u| (u, 25)).collect();
+        let g = from_pairs_symmetric(26, &pairs);
+        let run = |c: &CompressedGraph| {
+            let flag = atomic_u32_filled(26, 0);
+            let frontier = VertexSubset::from_vertices(26, (0..25).collect());
+            let out = EdgeMap::new(c).mode(Mode::Dense).run_data(
+                &frontier,
+                |u, v, _| {
+                    if cas_u32(&flag[v as usize], 0, 1) {
+                        Some(u)
+                    } else {
+                        None
+                    }
+                },
+                |v| flag[v as usize].load(Ordering::Relaxed) == 0,
+            );
+            out.entries()
+                .iter()
+                .map(|&(v, _)| v)
+                .collect::<Vec<VertexId>>()
+        };
+        let split = CompressedGraph::from_csr_with_chunk_size(&g, 3);
+        let whole = CompressedGraph::from_csr_with_chunk_size(&g, 0);
+        assert_eq!(run(&split), run(&whole));
+        assert_eq!(run(&split), vec![25]);
     }
 
     #[test]

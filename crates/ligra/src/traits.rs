@@ -69,6 +69,26 @@ pub trait OutEdges: Sync {
             }
         });
     }
+
+    /// Degree-aware split granularity: edges per independently scannable
+    /// sub-chunk of one vertex's out-list, or `usize::MAX` when the backend
+    /// cannot split a single list. edgeMap uses this to break giant
+    /// adjacency lists (hub vertices) into parallel chunk tasks instead of
+    /// serializing a whole list on one worker. Must be a pure function of
+    /// the graph — never of the thread count — so chunk task sets are
+    /// deterministic.
+    fn out_chunk_edges(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Visits chunk `c` of `v`'s out-edges — the local edge range
+    /// `[c·sz, min((c+1)·sz, deg))` with `sz = out_chunk_edges()`. Chunks
+    /// of one vertex may be visited concurrently. Backends that cannot
+    /// split (the default) only accept chunk 0 = the whole list.
+    fn for_each_out_chunk<F: FnMut(VertexId, Self::W)>(&self, v: VertexId, c: usize, f: F) {
+        debug_assert_eq!(c, 0, "unsplittable backend asked for out-chunk {c}");
+        self.for_each_out(v, f);
+    }
 }
 
 /// In-edge access for the dense (pull) traversal direction.
@@ -97,6 +117,29 @@ pub trait InEdges: OutEdges {
     /// # Panics
     /// If [`has_in_view`](InEdges::has_in_view) is `false`.
     fn for_each_in_until<F: FnMut(VertexId, Self::W) -> bool>(&self, v: VertexId, f: F);
+
+    /// Split granularity for in-lists — the pull-side twin of
+    /// [`OutEdges::out_chunk_edges`].
+    fn in_chunk_edges(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Visits chunk `c` of `v`'s in-edges — the local edge range
+    /// `[c·sz, min((c+1)·sz, deg))` with `sz = in_chunk_edges()`. Unlike
+    /// [`for_each_in_until`](InEdges::for_each_in_until) there is no early
+    /// exit: chunk tasks of one vertex run concurrently, and decoding each
+    /// chunk in full keeps the scanned-edge count a pure function of the
+    /// graph (Ligra+ makes the same trade for parallel decode).
+    ///
+    /// # Panics
+    /// If [`has_in_view`](InEdges::has_in_view) is `false`.
+    fn for_each_in_chunk<F: FnMut(VertexId, Self::W)>(&self, v: VertexId, c: usize, mut f: F) {
+        debug_assert_eq!(c, 0, "unsplittable backend asked for in-chunk {c}");
+        self.for_each_in_until(v, |u, w| {
+            f(u, w);
+            true
+        });
+    }
 }
 
 /// The umbrella bound for direction-optimized traversal: out-edges,
@@ -118,6 +161,13 @@ pub trait GraphRef: InEdges {
 }
 
 const NO_IN_VIEW: &str = "dense edgeMap requires a symmetric graph or attached transpose";
+
+/// Chunk granularity for the CSR-family backends (`Csr`, `MappedGraph`).
+/// Contiguous slices split at any boundary, so the choice only balances
+/// scheduling overhead against load balance; 4096 edges ≈ one L1-resident
+/// slice per task and mirrors the compressed backend's default of
+/// [`julienne_graph::compress::DEFAULT_CHUNK_SIZE`] × a small factor.
+const CSR_CHUNK_EDGES: usize = 4096;
 
 // --------------------------------------------------------------------------
 // Csr<W>
@@ -154,6 +204,22 @@ impl<W: Weight> OutEdges for Csr<W> {
             }
         }
     }
+
+    fn out_chunk_edges(&self) -> usize {
+        CSR_CHUNK_EDGES
+    }
+
+    #[inline]
+    fn for_each_out_chunk<F: FnMut(VertexId, W)>(&self, v: VertexId, c: usize, mut f: F) {
+        let deg = self.degree(v);
+        let lo = c.saturating_mul(CSR_CHUNK_EDGES).min(deg);
+        let hi = lo.saturating_add(CSR_CHUNK_EDGES).min(deg);
+        let ns = &self.neighbors(v)[lo..hi];
+        let ws = &self.weights_of(v)[lo..hi];
+        for (&u, &w) in ns.iter().zip(ws) {
+            f(u, w);
+        }
+    }
 }
 
 impl<W: Weight> InEdges for Csr<W> {
@@ -175,6 +241,15 @@ impl<W: Weight> InEdges for Csr<W> {
                 break;
             }
         }
+    }
+
+    fn in_chunk_edges(&self) -> usize {
+        CSR_CHUNK_EDGES
+    }
+
+    #[inline]
+    fn for_each_in_chunk<F: FnMut(VertexId, W)>(&self, v: VertexId, c: usize, f: F) {
+        OutEdges::for_each_out_chunk(self.in_view().expect(NO_IN_VIEW), v, c, f);
     }
 }
 
@@ -219,6 +294,18 @@ impl OutEdges for CompressedGraph {
     fn for_each_out_until<F: FnMut(VertexId, ()) -> bool>(&self, v: VertexId, mut f: F) {
         self.for_each_neighbor_until(v, |u| f(u, ()));
     }
+
+    fn out_chunk_edges(&self) -> usize {
+        match self.chunk_size() {
+            0 => usize::MAX,
+            cs => cs as usize,
+        }
+    }
+
+    #[inline]
+    fn for_each_out_chunk<F: FnMut(VertexId, ())>(&self, v: VertexId, c: usize, mut f: F) {
+        self.for_each_neighbor_chunk(v, c, |u| f(u, ()));
+    }
 }
 
 impl InEdges for CompressedGraph {
@@ -237,6 +324,20 @@ impl InEdges for CompressedGraph {
         self.in_view()
             .expect(NO_IN_VIEW)
             .for_each_neighbor_until(v, |u| f(u, ()));
+    }
+
+    fn in_chunk_edges(&self) -> usize {
+        match self.in_view().map(CompressedGraph::chunk_size) {
+            Some(0) | None => usize::MAX,
+            Some(cs) => cs as usize,
+        }
+    }
+
+    #[inline]
+    fn for_each_in_chunk<F: FnMut(VertexId, ())>(&self, v: VertexId, c: usize, mut f: F) {
+        self.in_view()
+            .expect(NO_IN_VIEW)
+            .for_each_neighbor_chunk(v, c, |u| f(u, ()));
     }
 }
 
@@ -276,6 +377,18 @@ impl OutEdges for CompressedWGraph {
     fn for_each_out_until<F: FnMut(VertexId, u32) -> bool>(&self, v: VertexId, f: F) {
         self.for_each_edge_until(v, f);
     }
+
+    fn out_chunk_edges(&self) -> usize {
+        match self.chunk_size() {
+            0 => usize::MAX,
+            cs => cs as usize,
+        }
+    }
+
+    #[inline]
+    fn for_each_out_chunk<F: FnMut(VertexId, u32)>(&self, v: VertexId, c: usize, f: F) {
+        self.for_each_edge_chunk(v, c, f);
+    }
 }
 
 impl InEdges for CompressedWGraph {
@@ -292,6 +405,20 @@ impl InEdges for CompressedWGraph {
     #[inline]
     fn for_each_in_until<F: FnMut(VertexId, u32) -> bool>(&self, v: VertexId, f: F) {
         self.in_view().expect(NO_IN_VIEW).for_each_edge_until(v, f);
+    }
+
+    fn in_chunk_edges(&self) -> usize {
+        match self.in_view().map(CompressedWGraph::chunk_size) {
+            Some(0) | None => usize::MAX,
+            Some(cs) => cs as usize,
+        }
+    }
+
+    #[inline]
+    fn for_each_in_chunk<F: FnMut(VertexId, u32)>(&self, v: VertexId, c: usize, f: F) {
+        self.in_view()
+            .expect(NO_IN_VIEW)
+            .for_each_edge_chunk(v, c, f);
     }
 }
 
@@ -331,6 +458,16 @@ impl<W: Weight> OutEdges for MappedGraph<W> {
     fn for_each_out_until<F: FnMut(VertexId, W) -> bool>(&self, v: VertexId, f: F) {
         MappedGraph::for_each_out_until(self, v, f);
     }
+
+    fn out_chunk_edges(&self) -> usize {
+        CSR_CHUNK_EDGES
+    }
+
+    #[inline]
+    fn for_each_out_chunk<F: FnMut(VertexId, W)>(&self, v: VertexId, c: usize, f: F) {
+        let lo = c.saturating_mul(CSR_CHUNK_EDGES);
+        MappedGraph::for_each_out_range(self, v, lo, lo.saturating_add(CSR_CHUNK_EDGES), f);
+    }
 }
 
 impl<W: Weight> InEdges for MappedGraph<W> {
@@ -347,6 +484,16 @@ impl<W: Weight> InEdges for MappedGraph<W> {
     #[inline]
     fn for_each_in_until<F: FnMut(VertexId, W) -> bool>(&self, v: VertexId, f: F) {
         MappedGraph::for_each_in_until(self, v, f);
+    }
+
+    fn in_chunk_edges(&self) -> usize {
+        CSR_CHUNK_EDGES
+    }
+
+    #[inline]
+    fn for_each_in_chunk<F: FnMut(VertexId, W)>(&self, v: VertexId, c: usize, f: F) {
+        let lo = c.saturating_mul(CSR_CHUNK_EDGES);
+        MappedGraph::for_each_in_range(self, v, lo, lo.saturating_add(CSR_CHUNK_EDGES), f);
     }
 }
 
@@ -570,6 +717,77 @@ mod tests {
             seen < 2
         });
         assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn chunk_concat_matches_whole_list() {
+        // A hub with 11 out-edges, compressed with chunk_size 4 → 3 chunks.
+        let pairs: Vec<(u32, u32)> = (1..=11).map(|u| (0, u)).collect();
+        let g = from_pairs(12, &pairs);
+        let c = CompressedGraph::from_csr_with_chunk_size(&g, 4);
+        assert_eq!(OutEdges::out_chunk_edges(&c), 4);
+        let deg = OutEdges::out_degree(&c, 0);
+        let nc = deg.div_ceil(OutEdges::out_chunk_edges(&c));
+        let mut got = Vec::new();
+        for ch in 0..nc {
+            let before = got.len();
+            c.for_each_out_chunk(0, ch, |u, ()| got.push(u));
+            assert!(got.len() - before <= 4, "chunk {ch} over-sized");
+        }
+        assert_eq!(got, collect(&c, 0), "chunk concat != whole list");
+        // CSR and legacy compressed report "unsplittable or huge" sizes and
+        // serve the whole list as chunk 0.
+        let legacy = CompressedGraph::from_csr_with_chunk_size(&g, 0);
+        assert_eq!(OutEdges::out_chunk_edges(&legacy), usize::MAX);
+        let mut whole = Vec::new();
+        legacy.for_each_out_chunk(0, 0, |u, ()| whole.push(u));
+        assert_eq!(whole, got);
+        assert_eq!(OutEdges::out_chunk_edges(&g), CSR_CHUNK_EDGES);
+        let mut csr_whole = Vec::new();
+        g.for_each_out_chunk(0, 0, |u, w: ()| csr_whole.push((u, w)));
+        assert_eq!(csr_whole.len(), deg);
+    }
+
+    #[test]
+    fn in_chunks_cover_in_list_symmetric() {
+        let pairs: Vec<(u32, u32)> = (0..9).map(|u| (u, 9)).collect();
+        let g = from_pairs_symmetric(10, &pairs);
+        let c = CompressedGraph::from_csr_with_chunk_size(&g, 2);
+        assert_eq!(InEdges::in_chunk_edges(&c), 2);
+        let deg = InEdges::in_degree(&c, 9);
+        let nc = deg.div_ceil(InEdges::in_chunk_edges(&c));
+        let mut got = Vec::new();
+        for ch in 0..nc {
+            c.for_each_in_chunk(9, ch, |u, ()| got.push(u));
+        }
+        let mut want = Vec::new();
+        c.for_each_in_until(9, |u, ()| {
+            want.push(u);
+            true
+        });
+        assert_eq!(got, want);
+        // CSR in-chunks route through the in-view's out-chunks.
+        let mut csr_got = Vec::new();
+        g.for_each_in_chunk(9, 0, |u, _| csr_got.push(u));
+        assert_eq!(csr_got.len(), InEdges::in_degree(&g, 9));
+    }
+
+    #[test]
+    fn mapped_chunks_match_unchunked() {
+        use julienne_graph::container::{self, ContainerWriteOptions};
+        let pairs: Vec<(u32, u32)> = (1..=7).map(|u| (0, u)).collect();
+        let g = from_pairs_symmetric(8, &pairs);
+        let p =
+            std::env::temp_dir().join(format!("julienne-traits-chunk-{}.jgr", std::process::id()));
+        container::write(&g, &p, &ContainerWriteOptions::default()).unwrap();
+        let mg: MappedGraph<()> = MappedGraph::open(&p).unwrap();
+        let mut got = Vec::new();
+        mg.for_each_out_chunk(0, 0, |u, _| got.push(u));
+        assert_eq!(got, collect(&mg, 0));
+        let mut ins = Vec::new();
+        mg.for_each_in_chunk(0, 0, |u, _| ins.push(u));
+        assert_eq!(ins.len(), InEdges::in_degree(&mg, 0));
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

@@ -250,6 +250,63 @@ fn sssp_family_matches_on_compressed_backend() {
 }
 
 #[test]
+fn tiny_chunk_compressed_backend_matches_csr() {
+    // Chunk size 4 forces nearly every vertex into multi-chunk blocks, so
+    // the degree-aware split paths in edge_map (sparse task splitting and
+    // the dense heavy-vertex chunk scan) run on every frontier instead of
+    // only on hubs. Results must still be identical to CSR at 1 and 4
+    // threads.
+    for (name, g) in graphs() {
+        let cg = CompressedGraph::from_csr_with_chunk_size(&g, 4);
+        eq_backends(
+            &format!("tiny-chunk bfs/{name}"),
+            || bfs(&g, 0).level,
+            || bfs(&cg, 0).level,
+        );
+        eq_backends(
+            &format!("tiny-chunk components/{name}"),
+            || connected_components(&g).label,
+            || connected_components(&cg).label,
+        );
+        eq_backends(
+            &format!("tiny-chunk pagerank/{name}"),
+            || pagerank(&g, 0.85, 1e-9, 50).rank,
+            || pagerank(&cg, 0.85, 1e-9, 50).rank,
+        );
+        eq_backends(
+            &format!("tiny-chunk kcore/{name}"),
+            || {
+                let r = coreness(&g, &KcoreParams::default(), &QueryCtx::default()).unwrap();
+                (r.coreness, r.rounds)
+            },
+            || {
+                let r = coreness(&cg, &KcoreParams::default(), &QueryCtx::default()).unwrap();
+                (r.coreness, r.rounds)
+            },
+        );
+    }
+    for (name, g) in weighted(false) {
+        let cg = CompressedWGraph::from_csr_with_chunk_size(&g, 4);
+        eq_backends(
+            &format!("tiny-chunk wbfs/{name}"),
+            || wbfs(&g, 0).dist,
+            || wbfs(&cg, 0).dist,
+        );
+        eq_backends(
+            &format!("tiny-chunk sssp/{name}"),
+            || {
+                let r = sssp(&g, &SsspParams { src: 0, delta: 1 }, &QueryCtx::default()).unwrap();
+                (r.dist, r.rounds)
+            },
+            || {
+                let r = sssp(&cg, &SsspParams { src: 0, delta: 1 }, &QueryCtx::default()).unwrap();
+                (r.dist, r.rounds)
+            },
+        );
+    }
+}
+
+#[test]
 fn setcover_matches_after_compression_round_trip() {
     let inst = set_cover_instance(256, 16_000, 4, 5);
     let mut roundtrip = set_cover_instance(256, 16_000, 4, 5);
