@@ -72,6 +72,72 @@ wait "$SERVE_PID"
 grep -q "server stopped" "$SMOKE/serve.log"
 echo "serve smoke test: ok"
 
+# --- batched serve smoke test ------------------------------------------------
+# The scheduler pipeline over a raw socket (the CLI client hides the wire
+# flags): a homogeneous pipelined burst must coalesce (`"batched": true` on
+# every member) with payloads byte-identical to the solo-served answer
+# captured above, and a repeat on a fresh connection must answer from the
+# result cache (`"cached": true`, same bytes).
+echo "==> batched serve smoke test"
+"$JULIENNE" serve in="$SMOKE/g.bin" addr=127.0.0.1:0 batch_window_ms=200 \
+    cache_bytes=1048576 scheduler=priority >"$SMOKE/bserve.log" &
+BSERVE_PID=$!
+BADDR=""
+for _ in $(seq 1 100); do
+    BADDR=$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$SMOKE/bserve.log")
+    [ -n "$BADDR" ] && break
+    sleep 0.1
+done
+[ -n "$BADDR" ] || { echo "batched smoke: no listening line"; cat "$SMOKE/bserve.log"; exit 1; }
+python3 - "$BADDR" "$SMOKE/q2.out" <<'PY'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+expect = open(sys.argv[2], "r").read()  # solo-served sssp src=1 delta=4096
+
+
+def connect():
+    s = socket.create_connection((host, int(port)), timeout=60)
+    return s, s.makefile("r")
+
+
+# Homogeneous burst: four Δ-stepping queries (three distinct sources plus
+# one duplicate) pipelined on one connection, all inside the batch window.
+srcs = ["1", "2", "3", "1"]
+sock, lines = connect()
+for i, src in enumerate(srcs):
+    req = {"id": "b%d" % i, "algo": "sssp", "params": {"src": src, "delta": "4096"}}
+    sock.sendall((json.dumps(req) + "\n").encode())
+outputs = {}
+for _ in srcs:
+    resp = json.loads(lines.readline())
+    assert resp.get("ok") is True, resp
+    assert resp.get("batched") is True, "burst member missed the batch: %r" % resp
+    outputs[resp["id"]] = resp["output"]
+assert outputs["b0"] == outputs["b3"], "duplicate sources must share one answer"
+assert outputs["b0"] == expect, "batched payload diverged from solo serving:\n%r\nvs\n%r" % (
+    outputs["b0"],
+    expect,
+)
+sock.close()
+
+# Cache round-trip: the burst populated the cache, so a fresh connection
+# repeating the query is answered from it with identical bytes.
+sock, lines = connect()
+req = {"id": "c0", "algo": "sssp", "params": {"src": "1", "delta": "4096"}}
+sock.sendall((json.dumps(req) + "\n").encode())
+resp = json.loads(lines.readline())
+assert resp.get("ok") is True, resp
+assert resp.get("cached") is True, "repeat query missed the cache: %r" % resp
+assert resp["output"] == expect, "cached payload diverged from solo serving"
+sock.close()
+print("batched burst fused and cache hit verified, payloads byte-identical")
+PY
+"$JULIENNE" query addr="$BADDR" shutdown=true >/dev/null
+wait "$BSERVE_PID"
+grep -q "server stopped" "$SMOKE/bserve.log"
+echo "batched serve smoke test: ok"
+
 # --- convert -> mmap -> serve smoke test -------------------------------------
 # The .jgr container end to end: convert (with embedded compressed payload
 # and full checksum verification), serve it zero-copy via backend=mapped,

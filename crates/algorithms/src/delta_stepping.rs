@@ -67,10 +67,10 @@ impl From<DeltaResult> for SsspResult {
 /// `next == current`), so processing that bucket converges to the exact
 /// distances Bellman-Ford-style — it merely loses priority ordering among
 /// those extreme vertices.
-const MAX_ANNULUS: u64 = NULL_BKT as u64 - 1;
+pub(crate) const MAX_ANNULUS: u64 = NULL_BKT as u64 - 1;
 
 #[inline]
-fn annulus(dist: u64, delta: u64) -> BucketId {
+pub(crate) fn annulus(dist: u64, delta: u64) -> BucketId {
     (dist / delta).min(MAX_ANNULUS) as BucketId
 }
 
@@ -116,6 +116,15 @@ pub fn sssp<G: OutEdges<W = u32>>(
     let sp: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     sp[src as usize].store(0, Ordering::SeqCst);
     let flags = AtomicBitSet::new(n);
+    // Round-start snapshot of the frontier's distances. Relaxing with the
+    // snapshot (instead of the live value) makes each round's outcome a
+    // pure function of the frontier *set*: an intra-annulus edge that
+    // improves a frontier member mid-round no longer changes what that
+    // member propagates this round (the improvement reinserts it and
+    // propagates next round instead). That order-independence is what lets
+    // the fused multi-source kernel reproduce solo results bit-for-bit,
+    // and what makes the round count invariant across thread counts.
+    let snap: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
 
     // D: the current annulus of each vertex (nullbkt while unreached).
     let d_fun = |v: u32| {
@@ -143,14 +152,17 @@ pub fn sssp<G: OutEdges<W = u32>>(
         rounds += 1;
         let round_edges = ids.par_iter().map(|&v| g.out_degree(v) as u64).sum::<u64>();
         relaxations += round_edges;
+        ids.par_iter().for_each(|&v| {
+            snap[v as usize].store(sp[v as usize].load(Ordering::SeqCst), Ordering::SeqCst)
+        });
 
-        // Update (Algorithm 2, lines 4–10): relax, with the flag CAS
-        // electing the unique visitor that captures the round-start
-        // distance.
+        // Update (Algorithm 2, lines 4–10): relax from the round-start
+        // snapshot, with the flag CAS electing the unique visitor that
+        // captures the round-start distance.
         let moved = em.run_sparse_data(
             &ids,
             |u, v, w| {
-                let nd = sp[u as usize].load(Ordering::SeqCst) + w as u64;
+                let nd = snap[u as usize].load(Ordering::SeqCst) + w as u64;
                 let od = sp[v as usize].load(Ordering::SeqCst);
                 if nd < od {
                     if flags.set(v as usize) {

@@ -371,6 +371,43 @@ impl ParamMap {
         }
     }
 
+    /// Canonical cache/coalesce rendering of the full map: `key=value`
+    /// pairs joined by a single space, keys sorted (the map is a
+    /// `BTreeMap`, so iteration order is already canonical). Keys named in
+    /// `float_params` have their values parsed as `f64` and re-rendered via
+    /// `Display` (the shortest round-trip form), so `damping=0.850` and
+    /// `damping=0.85` produce one key. A float that parses to NaN is
+    /// rejected with a typed input error — NaN never equals itself, so it
+    /// can neither key a cache nor coalesce a batch. Unparsable float
+    /// values pass through verbatim: they fail later, at parameter
+    /// validation, with the usual usage error.
+    ///
+    /// Does not mark any key as used: canonicalization is an admission
+    /// concern, not parameter consumption.
+    pub fn canonical_key(&self, float_params: &[&str]) -> Result<String, Error> {
+        let mut out = String::new();
+        for (k, v) in &self.map {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(k);
+            out.push('=');
+            match v.parse::<f64>() {
+                Ok(f) if float_params.contains(&k.as_str()) => {
+                    if f.is_nan() {
+                        return Err(Error::input(format!(
+                            "option {k}=NaN is not a number; NaN parameters are rejected at \
+                             admission"
+                        )));
+                    }
+                    let _ = write!(out, "{f}");
+                }
+                _ => out.push_str(v),
+            }
+        }
+        Ok(out)
+    }
+
     /// Rejects any parameters no getter touched.
     pub fn finish(&self, id: &str) -> Result<(), Error> {
         let used = self.used.borrow();
@@ -402,10 +439,53 @@ pub enum GraphNeeds {
     None,
 }
 
+/// Relative cost class of an algorithm, declared per registry entry and
+/// consumed by the serve scheduler's priority policy: cheaper classes are
+/// admitted first so a burst of expensive queries cannot starve cheap ones.
+/// The ordering is the admission order (`Cheap < Moderate < Expensive`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CostClass {
+    /// Near-linear single passes (components, PageRank iterations).
+    Cheap,
+    /// Bucketed traversals over the whole graph (k-core, SSSP).
+    Moderate,
+    /// Super-linear work (triangle counting, trussness, clustering).
+    Expensive,
+}
+
+impl CostClass {
+    /// Lower-case wire/CLI rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CostClass::Cheap => "cheap",
+            CostClass::Moderate => "moderate",
+            CostClass::Expensive => "expensive",
+        }
+    }
+}
+
+/// How the serve-path coalescer may fuse compatible queued queries of one
+/// algorithm (same canonical parameters modulo the batch axis, same graph
+/// epoch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchKind {
+    /// Never fused; every query runs solo.
+    None,
+    /// The result depends only on (params, epoch): one run fans out to all
+    /// waiters with identical pending queries.
+    WholeGraph,
+    /// `sssp` with `algo=delta|wbfs`: queries differing only in `src`
+    /// fuse into one multi-source traversal with per-source frontier
+    /// lanes ([`crate::multi_source::sssp_multi`]). The `bellman` and
+    /// `dijkstra` variants are not lane-fusable and coalesce as
+    /// [`BatchKind::WholeGraph`] does (identical params only).
+    MultiSourceSssp,
+}
+
 type RunFn = fn(&GraphStore, &ParamMap, &QueryCtx) -> Result<String, Error>;
 
-/// One registered algorithm: id, input contract, and the adapter that runs
-/// it from string parameters.
+/// One registered algorithm: id, input contract, scheduling metadata, and
+/// the adapter that runs it from string parameters.
 pub struct AlgorithmSpec {
     /// Registry id (the CLI subcommand and the wire `algo` field).
     pub id: &'static str,
@@ -413,6 +493,14 @@ pub struct AlgorithmSpec {
     pub needs: GraphNeeds,
     /// One-line description.
     pub summary: &'static str,
+    /// Admission cost class for the serve scheduler's priority policy.
+    pub cost: CostClass,
+    /// How the serve coalescer may fuse compatible queued queries.
+    pub batch: BatchKind,
+    /// Parameters holding floats, canonicalized (and NaN-checked) by
+    /// [`ParamMap::canonical_key`] before they key a cache entry or a
+    /// coalesce group.
+    pub float_params: &'static [&'static str],
     run: RunFn,
 }
 
@@ -427,6 +515,13 @@ impl AlgorithmSpec {
         ctx: &QueryCtx,
     ) -> Result<String, Error> {
         (self.run)(store, params, ctx)
+    }
+
+    /// Canonical rendering of `params` for cache keys and coalesce groups,
+    /// with this spec's float parameters normalized and NaN rejected (a
+    /// typed input error).
+    pub fn canonical_params(&self, params: &ParamMap) -> Result<String, Error> {
+        params.canonical_key(self.float_params)
     }
 }
 
@@ -446,54 +541,81 @@ impl Registry {
                     id: "kcore",
                     needs: GraphNeeds::Unweighted,
                     summary: "coreness of every vertex via work-efficient peeling",
+                    cost: CostClass::Moderate,
+                    batch: BatchKind::WholeGraph,
+                    float_params: &[],
                     run: run_kcore,
                 },
                 AlgorithmSpec {
                     id: "sssp",
                     needs: GraphNeeds::Weighted,
                     summary: "single-source shortest paths (delta|wbfs|bellman|dijkstra)",
+                    cost: CostClass::Moderate,
+                    batch: BatchKind::MultiSourceSssp,
+                    float_params: &[],
                     run: run_sssp,
                 },
                 AlgorithmSpec {
                     id: "components",
                     needs: GraphNeeds::Unweighted,
                     summary: "connected components by label propagation",
+                    cost: CostClass::Cheap,
+                    batch: BatchKind::WholeGraph,
+                    float_params: &[],
                     run: run_components,
                 },
                 AlgorithmSpec {
                     id: "densest",
                     needs: GraphNeeds::Unweighted,
                     summary: "Charikar 2-approximate densest subgraph via peeling",
+                    cost: CostClass::Cheap,
+                    batch: BatchKind::WholeGraph,
+                    float_params: &[],
                     run: run_densest,
                 },
                 AlgorithmSpec {
                     id: "triangles",
                     needs: GraphNeeds::Unweighted,
                     summary: "exact triangle count",
+                    cost: CostClass::Expensive,
+                    batch: BatchKind::WholeGraph,
+                    float_params: &[],
                     run: run_triangles,
                 },
                 AlgorithmSpec {
                     id: "truss",
                     needs: GraphNeeds::Unweighted,
                     summary: "k-truss decomposition via edge peeling",
+                    cost: CostClass::Expensive,
+                    batch: BatchKind::WholeGraph,
+                    float_params: &[],
                     run: run_truss,
                 },
                 AlgorithmSpec {
                     id: "clustering",
                     needs: GraphNeeds::Unweighted,
                     summary: "transitivity and average local clustering",
+                    cost: CostClass::Expensive,
+                    batch: BatchKind::WholeGraph,
+                    float_params: &[],
                     run: run_clustering,
                 },
                 AlgorithmSpec {
                     id: "pagerank",
                     needs: GraphNeeds::Unweighted,
                     summary: "PageRank by power iteration",
+                    cost: CostClass::Cheap,
+                    batch: BatchKind::WholeGraph,
+                    float_params: &["damping"],
                     run: run_pagerank,
                 },
                 AlgorithmSpec {
                     id: "setcover",
                     needs: GraphNeeds::None,
                     summary: "bucketed MaNIS set cover on a generated instance",
+                    cost: CostClass::Moderate,
+                    batch: BatchKind::WholeGraph,
+                    float_params: &["eps"],
                     run: run_setcover,
                 },
             ];
@@ -562,7 +684,16 @@ fn run_kcore(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String,
     Ok(out)
 }
 
-fn run_sssp(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, Error> {
+/// Parsed and validated `sssp` parameters, shared by the solo adapter and
+/// the fused batch entry so both reject bad input with byte-identical
+/// errors.
+struct SsspRequest {
+    src: u32,
+    delta: u64,
+    algo: String,
+}
+
+fn parse_sssp(store: &GraphStore, p: &ParamMap) -> Result<SsspRequest, Error> {
     let src: u32 = p.get_or("src", 0)?;
     let delta: u64 = p.get_or("delta", 32768)?;
     if delta == 0 {
@@ -579,6 +710,24 @@ fn run_sssp(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, 
             store.num_vertices()
         )));
     }
+    Ok(SsspRequest { src, delta, algo })
+}
+
+/// The one `sssp` report renderer: solo runs, fused lanes, and cached
+/// bodies all come out of this formatter, so they are byte-comparable.
+fn render_sssp(algo: &str, src: u32, n: usize, dist: &[u64], rounds: u64) -> String {
+    let reached = dist.iter().filter(|&&d| d != u64::MAX).count();
+    let max = dist
+        .iter()
+        .filter(|&&d| d != u64::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    format!("algo={algo} src={src} reached={reached}/{n} max_dist={max} rounds={rounds}\n")
+}
+
+fn run_sssp(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, Error> {
+    let SsspRequest { src, delta, algo } = parse_sssp(store, p)?;
     let (dist, rounds) = weighted_graph!(store, "sssp", |g| match algo.as_str() {
         "delta" => {
             let r = delta_stepping::sssp(g, &SsspParams { src, delta }, ctx)?;
@@ -599,19 +748,90 @@ fn run_sssp(store: &GraphStore, p: &ParamMap, ctx: &QueryCtx) -> Result<String, 
         }
         other => return Err(Error::usage(format!("unknown algo {other:?}"))),
     });
-    let reached = dist.iter().filter(|&&d| d != u64::MAX).count();
-    let max = dist
-        .iter()
-        .filter(|&&d| d != u64::MAX)
-        .max()
-        .copied()
-        .unwrap_or(0);
-    let mut out = format!(
-        "algo={algo} src={src} reached={reached}/{} max_dist={max} rounds={rounds}\n",
-        store.num_vertices()
-    );
+    let mut out = render_sssp(&algo, src, store.num_vertices(), &dist, rounds);
     if ctx.emit_stats() {
         let _ = writeln!(out, "{}", ctx.snapshot().to_json(&format!("sssp_{algo}")));
+    }
+    Ok(out)
+}
+
+/// Runs a coalesced batch of `sssp` queries as **one fused multi-source
+/// traversal** ([`crate::multi_source::sssp_multi`]), one frontier lane per
+/// member. Every member must be an `algo=delta|wbfs` query with the same
+/// effective Δ against the same store; members differ only in `src`.
+///
+/// Returns one slot per member, in order: `Ok(report)` rendered through the
+/// same formatter as [`Registry::run`] (so bodies are byte-identical to
+/// solo runs), or that member's own lifecycle/validation error. The outer
+/// `Err` means the batch as a whole could not be fused — mixed Δ or algo
+/// variants, a non-fusable variant, an unweighted store, or a lane count
+/// that overflows the fused identifier space — and the caller should fall
+/// back to running the members solo.
+///
+/// Members whose parameters fail validation (bad `src`, unknown option)
+/// get their validation error in their slot and do not join the traversal;
+/// they never poison sibling members.
+pub fn run_sssp_batch(
+    store: &GraphStore,
+    members: &[(&ParamMap, &QueryCtx)],
+) -> Result<Vec<Result<String, Error>>, Error> {
+    use crate::multi_source::{sssp_multi, SsspLane};
+    if members.is_empty() {
+        return Ok(Vec::new());
+    }
+    let parsed: Vec<Result<SsspRequest, Error>> =
+        members.iter().map(|(p, _)| parse_sssp(store, p)).collect();
+    let mut fused_delta: Option<(String, u64)> = None;
+    for req in parsed.iter().flatten() {
+        let eff = match req.algo.as_str() {
+            "delta" => req.delta,
+            "wbfs" => 1,
+            other => {
+                return Err(Error::usage(format!(
+                    "sssp algo={other:?} is not lane-fusable"
+                )))
+            }
+        };
+        match &fused_delta {
+            None => fused_delta = Some((req.algo.clone(), eff)),
+            Some((algo, delta)) if *algo == req.algo && *delta == eff => {}
+            Some(_) => {
+                return Err(Error::usage(
+                    "sssp batch members disagree on algo/delta; cannot fuse",
+                ))
+            }
+        }
+    }
+    let Some((algo, delta)) = fused_delta else {
+        // Nothing valid to fuse; report the per-member validation errors.
+        return Ok(parsed
+            .into_iter()
+            .map(|r| r.map(|_| String::new()))
+            .collect());
+    };
+    let lanes_idx: Vec<usize> = (0..members.len()).filter(|&i| parsed[i].is_ok()).collect();
+    let lane_results = weighted_graph!(store, "sssp", |g| {
+        let lanes: Vec<SsspLane<'_>> = lanes_idx
+            .iter()
+            .map(|&i| SsspLane {
+                src: parsed[i].as_ref().unwrap().src,
+                ctx: members[i].1,
+            })
+            .collect();
+        sssp_multi(g, delta, &lanes)?
+    });
+    let srcs: Vec<Option<u32>> = parsed
+        .iter()
+        .map(|r| r.as_ref().ok().map(|q| q.src))
+        .collect();
+    let mut out: Vec<Result<String, Error>> = parsed
+        .into_iter()
+        .map(|r| r.map(|_| String::new()))
+        .collect();
+    let n = store.num_vertices();
+    for (&i, lane) in lanes_idx.iter().zip(lane_results) {
+        let src = srcs[i].expect("lane index points at a validated member");
+        out[i] = lane.map(|r| render_sssp(&algo, src, n, &r.dist, r.rounds));
     }
     Ok(out)
 }
@@ -870,6 +1090,92 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, Error::Cancelled));
+    }
+
+    #[test]
+    fn every_spec_declares_scheduler_metadata() {
+        let reg = Registry::standard();
+        let sssp = reg.get("sssp").unwrap();
+        assert_eq!(sssp.batch, BatchKind::MultiSourceSssp);
+        assert_eq!(sssp.cost, CostClass::Moderate);
+        let pr = reg.get("pagerank").unwrap();
+        assert_eq!(pr.batch, BatchKind::WholeGraph);
+        assert!(pr.float_params.contains(&"damping"));
+        assert!(reg.get("setcover").unwrap().float_params.contains(&"eps"));
+        for id in reg.ids() {
+            let spec = reg.get(id).unwrap();
+            assert!(!spec.cost.as_str().is_empty(), "{id}");
+        }
+    }
+
+    #[test]
+    fn canonical_params_normalize_floats() {
+        let reg = Registry::standard();
+        let a = ParamMap::from_pairs([("damping", "0.850"), ("iters", "10")]);
+        let b = ParamMap::from_pairs([("iters", "10"), ("damping", "0.85")]);
+        let spec = reg.get("pagerank").unwrap();
+        let ka = spec.canonical_params(&a).unwrap();
+        let kb = spec.canonical_params(&b).unwrap();
+        assert_eq!(ka, kb);
+        assert_eq!(ka, "damping=0.85 iters=10");
+        // Non-float params pass through verbatim even if they parse as f64.
+        let k = reg
+            .get("sssp")
+            .unwrap()
+            .canonical_params(&ParamMap::from_pairs([("src", "007")]))
+            .unwrap();
+        assert_eq!(k, "src=007");
+    }
+
+    #[test]
+    fn nan_float_param_is_rejected_at_admission() {
+        let p = ParamMap::from_pairs([("damping", "NaN")]);
+        let err = Registry::standard()
+            .get("pagerank")
+            .unwrap()
+            .canonical_params(&p)
+            .unwrap_err();
+        assert!(matches!(err, Error::Input(_)), "{err:?}");
+        assert!(err.to_string().contains("NaN"), "{err}");
+    }
+
+    #[test]
+    fn sssp_batch_reports_are_byte_identical_to_solo() {
+        let reg = Registry::standard();
+        let ctx = QueryCtx::default();
+        for backend in [Backend::Csr, Backend::Compressed] {
+            let store = weighted_store(backend);
+            let params: Vec<ParamMap> = vec![
+                ParamMap::from_pairs([("algo", "wbfs"), ("src", "0")]),
+                ParamMap::from_pairs([("algo", "wbfs"), ("src", "4000")]), // out of range
+                ParamMap::from_pairs([("algo", "wbfs"), ("src", "7")]),
+                ParamMap::from_pairs([("algo", "wbfs"), ("src", "399")]),
+            ];
+            let members: Vec<(&ParamMap, &QueryCtx)> = params.iter().map(|p| (p, &ctx)).collect();
+            let batched = run_sssp_batch(&store, &members).unwrap();
+            assert_eq!(batched.len(), params.len());
+            for (p, got) in params.iter().zip(&batched) {
+                let solo = reg.run("sssp", &store, p, &ctx);
+                match (got, solo) {
+                    (Ok(b), Ok(s)) => assert_eq!(*b, s),
+                    (Err(b), Err(s)) => assert_eq!(b.to_string(), s.to_string()),
+                    (b, s) => panic!("batched {b:?} vs solo {s:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_batch_refuses_to_fuse_mixed_deltas() {
+        let store = weighted_store(Backend::Csr);
+        let ctx = QueryCtx::default();
+        let a = ParamMap::from_pairs([("algo", "delta"), ("delta", "64")]);
+        let b = ParamMap::from_pairs([("algo", "delta"), ("delta", "128")]);
+        let err = run_sssp_batch(&store, &[(&a, &ctx), (&b, &ctx)]).unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
+        let c = ParamMap::from_pairs([("algo", "bellman")]);
+        let err = run_sssp_batch(&store, &[(&c, &ctx)]).unwrap_err();
+        assert!(err.is_usage(), "{err:?}");
     }
 
     #[test]

@@ -18,9 +18,10 @@
 use julienne_bench::report::Table;
 use julienne_bench::suite::DEFAULT_SCALE;
 use julienne_bench::timing::time_best;
-use julienne_graph::compress::{CompressedGraph, DEFAULT_CHUNK_SIZE};
-use julienne_graph::decode::reference;
+use julienne_graph::compress::{CompressedGraph, CompressedWGraph, DEFAULT_CHUNK_SIZE};
+use julienne_graph::decode::{reference, zigzag_decode, BlockDecoder};
 use julienne_graph::generators::{rmat, RmatParams};
+use julienne_graph::transform::assign_weights;
 use julienne_graph::VertexId;
 use std::hint::black_box;
 
@@ -153,6 +154,86 @@ fn main() {
         ]);
     }
     println!("\noverall table-decode speedup: {overall_speedup:.2}x");
+
+    // Weighted rows: interleaved (gap, weight) blocks. The baseline is the
+    // pre-fusion path — the window scan fed through a closure-side
+    // gap/weight parity toggle — against the paired `for_each_delta_weight`
+    // cursor (column names keep the unweighted schema: reference = toggle,
+    // table = fused pairs, chunked = fused pairs over chunked blocks).
+    let wg = assign_weights(&g, 1, 64, 0xDEC0);
+    let wlegacy = CompressedWGraph::from_csr_with_chunk_size(&wg, 0);
+    let wchunked = CompressedWGraph::from_csr_with_chunk_size(&wg, DEFAULT_CHUNK_SIZE);
+    println!(
+        "\n{:<16} {:>12} {:>12} {:>12} {:>14} {:>8}",
+        "class (weighted)", "edges", "toggle ns/e", "pairs ns/e", "chunked ns/e", "speedup"
+    );
+    for (name, lo, hi) in CLASSES {
+        let vs: Vec<VertexId> = (0..wlegacy.num_vertices() as VertexId)
+            .filter(|&v| wlegacy.degree(v) >= lo && wlegacy.degree(v) < hi)
+            .collect();
+        let edges: u64 = vs.iter().map(|&v| wlegacy.degree(v) as u64).sum();
+        if edges == 0 {
+            continue;
+        }
+        let (offsets, degrees, data) = wlegacy.raw_parts();
+        let old = measure(reps, edges, || {
+            let mut sum = 0u64;
+            for &v in &vs {
+                let deg = degrees[v as usize] as usize;
+                let mut dec = BlockDecoder::new_at(data, offsets[v as usize] as usize);
+                let mut cur = (v as i64).wrapping_add(zigzag_decode(dec.varint())) as VertexId;
+                sum = sum.wrapping_add(cur as u64).wrapping_add(dec.varint());
+                let mut gap_next = true;
+                dec.for_each_varint(2 * (deg - 1), |x| {
+                    if gap_next {
+                        cur = cur.wrapping_add(x as VertexId);
+                        sum = sum.wrapping_add(cur as u64);
+                    } else {
+                        sum = sum.wrapping_add(x);
+                    }
+                    gap_next = !gap_next;
+                });
+            }
+            sum
+        });
+        let new = measure(reps, edges, || {
+            let mut sum = 0u64;
+            for &v in &vs {
+                wlegacy.for_each_edge(v, |u, w| {
+                    sum = sum.wrapping_add(u as u64).wrapping_add(w as u64);
+                });
+            }
+            sum
+        });
+        let chk = measure(reps, edges, || {
+            let mut sum = 0u64;
+            for &v in &vs {
+                wchunked.for_each_edge(v, |u, w| {
+                    sum = sum.wrapping_add(u as u64).wrapping_add(w as u64);
+                });
+            }
+            sum
+        });
+        assert_eq!(old.checksum, new.checksum, "pair decode diverged ({name})");
+        assert_eq!(
+            old.checksum, chk.checksum,
+            "chunked pair decode diverged ({name})"
+        );
+        let speedup = old.per_edge_ns / new.per_edge_ns;
+        let wname = format!("w {name}");
+        println!(
+            "{:<16} {:>12} {:>12.2} {:>12.2} {:>14.2} {:>7.2}x",
+            wname, old.edges, old.per_edge_ns, new.per_edge_ns, chk.per_edge_ns, speedup
+        );
+        table.rowf(&[
+            &wname,
+            &old.edges,
+            &old.per_edge_ns,
+            &new.per_edge_ns,
+            &chk.per_edge_ns,
+            &speedup,
+        ]);
+    }
 
     if smoke {
         // CI smoke: correctness (checksums) is the point; timings on a

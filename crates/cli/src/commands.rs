@@ -21,7 +21,7 @@ use julienne_graph::io::{Format, GraphIo, IoOptions};
 use julienne_graph::transform::{assign_weights, symmetrize, wbfs_weight_range};
 use julienne_graph::{Csr, Graph};
 use julienne_server::json::Json;
-use julienne_server::{query_request, Client, Server};
+use julienne_server::{query_request, Client, SchedPolicy, SchedulerConfig, Server};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -353,7 +353,8 @@ fn verify_written<W: julienne_graph::csr::Weight>(
 }
 
 /// `julienne serve in=<file> [weighted=true] [addr=127.0.0.1:0]
-/// [open_buckets=128] [backend=csr|compressed|mapped]`
+/// [open_buckets=128] [backend=csr|compressed|mapped]
+/// [batch_window_ms=0] [cache_bytes=0] [scheduler=fifo|priority]`
 ///
 /// Loads the graph once, prints `listening on <addr>`, and answers
 /// line-delimited JSON queries until a `{"shutdown": true}` request
@@ -362,13 +363,32 @@ fn verify_written<W: julienne_graph::csr::Weight>(
 /// With `backend=mapped` and a `.jgr` input the graph is served straight
 /// from the memory-mapped file — the server is listening within
 /// milliseconds regardless of graph size.
+///
+/// `batch_window_ms` holds compatible queries for coalescing into one
+/// fused run (responses gain `"batched": true`), `cache_bytes` arms the
+/// result cache (hits answer with `"cached": true`), and `scheduler`
+/// picks the dispatch order (`priority` runs cheap algorithms ahead of
+/// expensive ones). The defaults keep all three features off.
 pub fn cmd_serve(a: &Args) -> CmdResult {
     let input = PathBuf::from(a.require("in")?);
     let weighted: bool = a.get_or("weighted", true)?;
     let addr = a.string_or("addr", "127.0.0.1:0");
     let open_buckets: usize = a.get_or("open_buckets", 0)?;
     let backend = backend_opt(a)?;
+    let batch_window_ms: u64 = a.get_or("batch_window_ms", 0)?;
+    let cache_bytes: usize = a.get_or("cache_bytes", 0)?;
+    let policy_name = a.string_or("scheduler", "fifo");
+    let Some(policy) = SchedPolicy::parse(&policy_name) else {
+        return Err(usage_err(format!(
+            "unknown scheduler {policy_name:?} (expected fifo|priority)"
+        )));
+    };
     a.finish()?;
+    let config = SchedulerConfig {
+        batch_window: Duration::from_millis(batch_window_ms),
+        cache_bytes,
+        policy,
+    };
     let store = GraphStore::open(&input, weighted, backend)?;
     if store.num_vertices() == 0 {
         return Err(runtime_err("graph is empty (0 vertices); nothing to serve"));
@@ -379,7 +399,7 @@ pub fn cmd_serve(a: &Args) -> CmdResult {
         Engine::default()
     };
     let (n, m) = (store.num_vertices(), store.num_edges());
-    let server = Server::bind(&addr, &engine, store)
+    let server = Server::bind_with(&addr, &engine, store, config)
         .map_err(|e| runtime_err(format!("cannot bind {addr}: {e}")))?;
     let local = server
         .local_addr()
@@ -522,8 +542,14 @@ COMMANDS:
   pagerank    in=<file> [damping=0.85] [iters=100]
   setcover    [sets=256] [elements=16384] [mult=4] [eps=0.01] [seed=1] [stats=none|json]
   serve       in=<file> [weighted=true] [addr=127.0.0.1:0] [open_buckets=128]
+              [batch_window_ms=0] [cache_bytes=0] [scheduler=fifo|priority]
               loads the graph once and answers concurrent queries over a local
-              socket (line-delimited JSON; see `query`)
+              socket (line-delimited JSON; see `query`); batch_window_ms>0
+              coalesces compatible queries into one fused run (multi-source
+              sssp lanes, whole-graph fan-out; responses gain \"batched\":true),
+              cache_bytes>0 arms an LRU result cache (hits answer with
+              \"cached\":true), scheduler=priority dispatches cheap algorithms
+              ahead of expensive ones
   query       addr=<host:port> algo=<id> [id=q0] [timeout_ms=<n>] [stats=false]
               [params...] — or addr=... cancel=<id>, or addr=... shutdown=true
               (prefix a param with `param.` if its name collides with an

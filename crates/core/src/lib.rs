@@ -27,6 +27,7 @@
 //! Ligra.
 
 pub mod bucket;
+pub mod cache;
 pub mod engine;
 pub mod query;
 
@@ -52,6 +53,7 @@ pub mod prelude {
         BucketDest, BucketId, BucketStats, Buckets, BucketsBuilder, Identifier, Order, SeqBuckets,
         NULL_BKT,
     };
+    pub use crate::cache::{CacheKey, CacheStats, ResultCache};
     pub use crate::engine::{Backend, Engine, EngineBuilder};
     pub use crate::query::{CancelToken, QueryCtx, Session};
     pub use crate::telemetry::{Counter, RoundRecord, Telemetry, TelemetrySnapshot, TraversalKind};

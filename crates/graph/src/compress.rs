@@ -179,20 +179,12 @@ fn decode_wrun_all<F: FnMut(VertexId, u32)>(
     cnt: usize,
     f: &mut F,
 ) {
-    let mut cur = (v as i64).wrapping_add(zigzag_decode(dec.varint())) as VertexId;
+    let cur = (v as i64).wrapping_add(zigzag_decode(dec.varint())) as VertexId;
     f(cur, dec.varint() as u32);
-    // Gap and weight codewords alternate, so the remaining run is a flat
-    // sequence of 2*(cnt-1) varints the window scan can decode in bulk;
-    // the toggle tracks which of the pair each value is.
-    let mut gap_next = true;
-    dec.for_each_varint(2 * (cnt - 1), |x| {
-        if gap_next {
-            cur = cur.wrapping_add(x as VertexId);
-        } else {
-            f(cur, x as u32);
-        }
-        gap_next = !gap_next;
-    });
+    // Fused pair decode: the window scan peels (gap, weight) pairs with
+    // the accumulation and interleave built in, so uniform runs decode
+    // four pairs per load instead of toggling parity per codeword.
+    dec.for_each_delta_weight(cur, cnt - 1, f);
 }
 
 /// Structural checks shared by both compressed graph types: array lengths,

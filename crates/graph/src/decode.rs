@@ -435,6 +435,158 @@ impl<'a> BlockDecoder<'a> {
         self.pos = pos;
     }
 
+    /// Decodes `n` interleaved (gap, weight) codeword pairs and calls
+    /// `f(neighbor, weight)` with the running neighbor sum — the weighted
+    /// twin of [`for_each_delta_sum`](Self::for_each_delta_sum), fusing the
+    /// gap accumulation *and* the pair interleave into the window scan.
+    ///
+    /// Before this cursor existed the weighted adjacency loop fed
+    /// `for_each_varint(2 * n)` through a closure-side gap/weight toggle:
+    /// every codeword paid a data-dependent parity branch and the gap sums
+    /// formed a serial add chain. Here the dominant layouts decode as whole
+    /// windows — four (1-byte gap, 1-byte weight) pairs per 8-byte load
+    /// with a log-depth prefix tree over the gaps, or two (2-byte gap,
+    /// 1-byte weight) pairs — and the parity is structural, not branched.
+    /// Mixed-length pairs peel out of the register; 5+-byte codewords and
+    /// end-of-block tails fall back to the scalar (validating) path.
+    #[inline(always)]
+    pub fn for_each_delta_weight<F: FnMut(u32, u32)>(&mut self, base: u32, n: usize, mut f: F) {
+        let buf = self.buf;
+        let mut pos = self.pos;
+        let mut left = n;
+        let mut cur = base;
+        let last8 = buf.len().wrapping_sub(8);
+        let has_windows = buf.len() >= 8;
+        'next_window: while left > 0 {
+            if has_windows && pos <= last8 {
+                let w = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+                let c = w & CONT_BITS;
+                if c == 0 && left >= 4 {
+                    // Four (1-byte gap, 1-byte weight) pairs: gaps on even
+                    // bytes, weights on odd; prefix-sum tree over the gaps.
+                    let g0 = (w & 0x7F) as u32;
+                    let g1 = ((w >> 16) & 0x7F) as u32;
+                    let g2 = ((w >> 32) & 0x7F) as u32;
+                    let g3 = ((w >> 48) & 0x7F) as u32;
+                    let p01 = g0 + g1;
+                    let b = cur;
+                    f(b.wrapping_add(g0), ((w >> 8) & 0x7F) as u32);
+                    f(b.wrapping_add(p01), ((w >> 24) & 0x7F) as u32);
+                    f(b.wrapping_add(p01 + g2), ((w >> 40) & 0x7F) as u32);
+                    cur = b.wrapping_add(p01 + g2 + g3);
+                    f(cur, (w >> 56) as u32);
+                    pos += 8;
+                    left -= 4;
+                    continue 'next_window;
+                }
+                // Two (2-byte gap, 1-byte weight) pairs — the mid-degree
+                // layout once gaps outgrow 127: continuation set on the
+                // gap's lead byte, clear on its terminator and the weight.
+                const GAP2_W1_X2: u64 = 0x0000_0000_8000_0080;
+                if left >= 2 && c & 0x0000_FFFF_FFFF_FFFF == GAP2_W1_X2 {
+                    let g0 = ((w & 0x7F) | ((w >> 1) & 0x3F80)) as u32;
+                    let g1 = (((w >> 24) & 0x7F) | ((w >> 25) & 0x3F80)) as u32;
+                    let b = cur;
+                    f(b.wrapping_add(g0), ((w >> 16) & 0x7F) as u32);
+                    cur = b.wrapping_add(g0 + g1);
+                    f(cur, ((w >> 40) & 0x7F) as u32);
+                    pos += 6;
+                    left -= 2;
+                    continue 'next_window;
+                }
+                if left < 4 {
+                    // Short remainder of all-1-byte pairs under a
+                    // continuation-bit mask; see `for_each_varint` for why
+                    // the lookahead bytes past the run may be anything.
+                    let lm = (1u64 << (16 * left)) - 1;
+                    if c & lm == 0 {
+                        let mut t = w;
+                        for _ in 0..left {
+                            cur = cur.wrapping_add((t & 0x7F) as u32);
+                            f(cur, ((t >> 8) & 0x7F) as u32);
+                            t >>= 16;
+                        }
+                        self.pos = pos + 2 * left;
+                        return;
+                    }
+                }
+                let mut s = c ^ CONT_BITS;
+                let mut start = 0usize;
+                // Mixed-length pairs: peel gap and weight codewords out of
+                // the register two stop bits at a time. Pairs that straddle
+                // the window end (or carry a 5+-byte codeword) finish on the
+                // scalar path so the gap/weight parity never leaks across
+                // windows.
+                loop {
+                    if left == 0 {
+                        self.pos = pos + start;
+                        return;
+                    }
+                    if s == 0 {
+                        pos += start;
+                        if start == 0 {
+                            break; // whole window is one long codeword
+                        }
+                        continue 'next_window;
+                    }
+                    let stop = (s.trailing_zeros() >> 3) as usize;
+                    let len = stop - start + 1;
+                    if len > 4 {
+                        pos += start;
+                        break; // long gap: scalar pair below
+                    }
+                    let m = ((w >> (8 * start)) as u32) & WINDOW_KEEP[len];
+                    let g = (m & 0x7F)
+                        | ((m >> 1) & (0x7F << 7))
+                        | ((m >> 2) & (0x7F << 14))
+                        | ((m >> 3) & (0x7F << 21));
+                    let wstart = stop + 1;
+                    s &= s - 1;
+                    if s == 0 {
+                        // Weight straddles (or touches) the window end.
+                        cur = cur.wrapping_add(g);
+                        let (wt, np) = varint_multi(buf, pos + wstart);
+                        f(cur, wt as u32);
+                        pos = np;
+                        left -= 1;
+                        continue 'next_window;
+                    }
+                    let stop2 = (s.trailing_zeros() >> 3) as usize;
+                    let len2 = stop2 - wstart + 1;
+                    if len2 > 4 {
+                        cur = cur.wrapping_add(g);
+                        let (wt, np) = varint_multi(buf, pos + wstart);
+                        f(cur, wt as u32);
+                        pos = np;
+                        left -= 1;
+                        continue 'next_window;
+                    }
+                    let m2 = ((w >> (8 * wstart)) as u32) & WINDOW_KEEP[len2];
+                    cur = cur.wrapping_add(g);
+                    f(
+                        cur,
+                        (m2 & 0x7F)
+                            | ((m2 >> 1) & (0x7F << 7))
+                            | ((m2 >> 2) & (0x7F << 14))
+                            | ((m2 >> 3) & (0x7F << 21)),
+                    );
+                    start = stop2 + 1;
+                    left -= 1;
+                    s &= s - 1;
+                }
+            }
+            // Window empty, ends mid-codeword, or a 5+-byte gap is next:
+            // one scalar (validating) pair, then re-window.
+            let (g, np) = varint_multi(buf, pos);
+            cur = cur.wrapping_add(g as u32);
+            let (wt, np2) = varint_multi(buf, np);
+            f(cur, wt as u32);
+            pos = np2;
+            left -= 1;
+        }
+        self.pos = pos;
+    }
+
     /// Decodes the next codeword, failing closed on truncated or overlong
     /// input. This is the load-time validation entry point.
     #[inline]
@@ -685,6 +837,52 @@ mod tests {
         let mut dec = BlockDecoder::new(&buf);
         dec.advance(usize::MAX);
         assert_eq!(dec.try_varint(), Err(ERR_TRUNCATED));
+    }
+
+    #[test]
+    fn delta_weight_matches_serial_on_every_path() {
+        // Pair streams picked to route through each fused tier: whole
+        // (1,1)-byte windows, whole (2,1)-byte windows, masked short
+        // remainders, the mixed-length pair peel (including weights wider
+        // than gaps), window-straddling weights, and 5+-byte scalar
+        // fallbacks on either half of a pair.
+        let streams: Vec<Vec<(u64, u64)>> = vec![
+            (0..16)
+                .map(|i| (i as u64 * 7 % 128, i as u64 % 64))
+                .collect(),
+            (0..8)
+                .map(|i| (200 + i as u64 * 13, i as u64 % 100))
+                .collect(),
+            (0..3).map(|i| (i as u64 + 1, 2 * i as u64 + 1)).collect(),
+            vec![(1, 1)],
+            vec![(5, 300), (300, 5), (1, 70000), (70000, 1)],
+            vec![(3, u64::MAX), (u64::MAX, 3), (1, 1), (2, 2), (130, 130)],
+            (0..9)
+                .map(|i| (1u64 << (3 * i % 20), 1u64 << (2 * i % 18)))
+                .collect(),
+            vec![],
+        ];
+        for pairs in &streams {
+            let mut buf = Vec::new();
+            for &(g, w) in pairs {
+                put_varint(&mut buf, g);
+                put_varint(&mut buf, w);
+            }
+            let base = 11u32;
+            let mut acc = base;
+            let want: Vec<(u32, u32)> = pairs
+                .iter()
+                .map(|&(g, w)| {
+                    acc = acc.wrapping_add(g as u32);
+                    (acc, w as u32)
+                })
+                .collect();
+            let mut dec = BlockDecoder::new(&buf);
+            let mut got = Vec::new();
+            dec.for_each_delta_weight(base, pairs.len(), |u, w| got.push((u, w)));
+            assert_eq!(got, want, "stream {pairs:?}");
+            assert_eq!(dec.pos(), buf.len(), "cursor for stream {pairs:?}");
+        }
     }
 
     #[test]

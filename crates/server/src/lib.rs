@@ -7,7 +7,8 @@
 //!
 //! * **Query** — `{"id": "q1", "algo": "kcore", "params": {"top": "5"},
 //!   "timeout_ms": 250, "stats": false}`. Runs the algorithm through the
-//!   workspace [`Registry`] under a fresh [`QueryCtx`] carrying the
+//!   workspace [`Registry`](julienne_algorithms::registry::Registry)
+//!   under a fresh [`QueryCtx`](julienne::query::QueryCtx) carrying the
 //!   deadline and a cancellation token. Responds
 //!   `{"id": "q1", "ok": true, "output": "..."}` or
 //!   `{"id": "q1", "ok": false, "error": {"code": "...", "message": "..."}}`
@@ -25,36 +26,44 @@
 //!   server drains: in-flight queries finish (or cancel), connection
 //!   threads join, and [`Server::serve`] returns.
 //!
-//! Queries run on their own OS threads and share the process-wide rayon
-//! pool for their parallel sections; a cancelled or expired query unwinds
-//! at a round boundary, dropping its buckets, and the session keeps
-//! serving. The graph itself is behind an [`Arc`] and never copied per
-//! query.
+//! Queries flow through the [`scheduler`] pipeline: admission on the
+//! connection thread (validation, NaN rejection, result-cache lookup),
+//! optional coalescing of compatible queries into one fused run, then
+//! execution on scheduler worker threads sharing the process-wide rayon
+//! pool. A cancelled or expired query unwinds at a round boundary,
+//! dropping its buckets, and the session keeps serving. The graph itself
+//! is behind an [`Arc`] and never copied per query. With
+//! [`Server::bind`]'s default [`SchedulerConfig`] (no batch window, no
+//! cache) every query dispatches solo immediately and responses carry no
+//! extra fields; [`Server::bind_with`] turns on batching (`"batched":
+//! true` on fused responses) and caching (`"cached": true` on hits).
 
 pub mod json;
+pub mod scheduler;
 
 use json::Json;
-use julienne::prelude::{CancelToken, Engine, QueryCtx, Session};
+use julienne::prelude::{CancelToken, Engine, Session};
 use julienne::Error;
-use julienne_algorithms::registry::{GraphStore, ParamMap, Registry};
+use julienne_algorithms::registry::GraphStore;
+use scheduler::Scheduler;
+pub use scheduler::{SchedPolicy, SchedulerConfig};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
 
 /// State every connection shares with the accept loop: the stop flag, a
 /// registry of live sockets (so shutdown can unblock readers that are
 /// parked in `read` waiting for a client's next request), and the
 /// server-wide map of query ids to cancellation tokens.
-struct Shared {
+pub(crate) struct Shared {
     addr: SocketAddr,
     shutdown: AtomicBool,
     next_conn: AtomicU64,
     conns: Mutex<HashMap<u64, TcpStream>>,
-    inflight: Mutex<HashMap<String, CancelToken>>,
+    pub(crate) inflight: Mutex<HashMap<String, CancelToken>>,
 }
 
 impl Shared {
@@ -70,10 +79,12 @@ impl Shared {
     }
 }
 
-/// The query server: a bound listener plus the shared graph session.
+/// The query server: a bound listener, the shared graph session, and the
+/// admission/batching/caching scheduler every query routes through (see
+/// [`scheduler`]).
 pub struct Server {
     listener: TcpListener,
-    session: Session<GraphStore>,
+    scheduler: Arc<Scheduler>,
     shared: Arc<Shared>,
 }
 
@@ -94,20 +105,37 @@ impl ShutdownHandle {
 
 impl Server {
     /// Binds to `addr` (e.g. `127.0.0.1:0` for an OS-assigned port) and
-    /// prepares a session sharing `store` under `engine`'s options.
+    /// prepares a session sharing `store` under `engine`'s options. Uses
+    /// the default [`SchedulerConfig`]: no batch window, no cache, fifo —
+    /// i.e. the plain one-job-at-a-time pipeline.
     pub fn bind(addr: &str, engine: &Engine, store: GraphStore) -> std::io::Result<Server> {
+        Server::bind_with(addr, engine, store, SchedulerConfig::default())
+    }
+
+    /// [`bind`](Server::bind) with explicit serve-pipeline configuration:
+    /// batch window, result-cache budget, and dispatch policy.
+    pub fn bind_with(
+        addr: &str,
+        engine: &Engine,
+        store: GraphStore,
+        config: SchedulerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            addr,
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+        });
+        let session: Session<GraphStore> = engine
+            .session(Arc::new(store))
+            .with_cache(config.cache_bytes);
         Ok(Server {
             listener,
-            session: engine.session(Arc::new(store)),
-            shared: Arc::new(Shared {
-                addr,
-                shutdown: AtomicBool::new(false),
-                next_conn: AtomicU64::new(0),
-                conns: Mutex::new(HashMap::new()),
-                inflight: Mutex::new(HashMap::new()),
-            }),
+            scheduler: Arc::new(Scheduler::new(session, config, Arc::clone(&shared))),
+            shared,
         })
     }
 
@@ -123,10 +151,15 @@ impl Server {
         }
     }
 
-    /// Serves until a shutdown request arrives, then drains: all
-    /// connection threads (and their query workers) are joined before
-    /// returning, so a clean exit means no work is left behind.
+    /// Serves until a shutdown request arrives, then drains: connection
+    /// threads are joined, the scheduler finishes every admitted job, and
+    /// its dispatcher/executor threads are joined before returning, so a
+    /// clean exit means no work is left behind.
     pub fn serve(self) -> std::io::Result<()> {
+        let dispatcher = {
+            let sched = Arc::clone(&self.scheduler);
+            thread::spawn(move || sched.dispatch_loop())
+        };
         let mut connections = Vec::new();
         for stream in self.listener.incoming() {
             if self.shared.shutdown.load(Ordering::SeqCst) {
@@ -144,27 +177,28 @@ impl Server {
                     .unwrap()
                     .insert(conn_id, registered);
             }
-            let session = self.session.clone();
+            let scheduler = Arc::clone(&self.scheduler);
             let shared = Arc::clone(&self.shared);
             connections.push(thread::spawn(move || {
-                handle_connection(stream, session, &shared);
+                handle_connection(stream, &scheduler, &shared);
                 shared.conns.lock().unwrap().remove(&conn_id);
             }));
         }
         for handle in connections {
             let _ = handle.join();
         }
+        self.scheduler.begin_drain();
+        let _ = dispatcher.join();
         Ok(())
     }
 }
 
-fn handle_connection(stream: TcpStream, session: Session<GraphStore>, shared: &Arc<Shared>) {
+fn handle_connection(stream: TcpStream, scheduler: &Arc<Scheduler>, shared: &Arc<Shared>) {
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
     let writer = Arc::new(Mutex::new(stream));
-    let mut workers = Vec::new();
 
     for line in reader.lines() {
         let Ok(line) = line else { break };
@@ -209,85 +243,19 @@ fn handle_connection(stream: TcpStream, session: Session<GraphStore>, shared: &A
             );
             continue;
         }
-        let writer = Arc::clone(&writer);
-        let session = session.clone();
-        let shared = Arc::clone(shared);
-        workers.push(thread::spawn(move || {
-            let response = answer_query(&request, &session, &shared);
-            respond(&writer, response);
-        }));
-    }
-
-    for worker in workers {
-        let _ = worker.join();
+        // Queries go through the scheduler: admission (validation, NaN
+        // rejection, cache lookup) happens here on the connection thread;
+        // execution happens on the scheduler's worker threads and the
+        // response is written whenever the job completes.
+        scheduler.admit(&request, &writer);
     }
 }
 
-/// Runs one query request to a response object.
-fn answer_query(request: &Json, session: &Session<GraphStore>, shared: &Shared) -> Json {
-    let id = request.get("id").and_then(Json::as_str).map(str::to_string);
-    let Some(algo) = request.get("algo").and_then(Json::as_str) else {
-        return error_response(id.as_deref(), "usage", "request has no \"algo\" field");
-    };
-    let params = match request.get("params") {
-        None => ParamMap::default(),
-        Some(Json::Obj(fields)) => ParamMap::from_pairs(fields.iter().map(|(k, v)| {
-            let value = match v {
-                Json::Str(s) => s.clone(),
-                other => other.to_json(),
-            };
-            (k.clone(), value)
-        })),
-        Some(_) => {
-            return error_response(id.as_deref(), "usage", "\"params\" must be an object");
-        }
-    };
-
-    // Register (or adopt a pre-cancelled) token under the query id.
-    let token = match &id {
-        Some(id) => shared
-            .inflight
-            .lock()
-            .unwrap()
-            .entry(id.clone())
-            .or_default()
-            .clone(),
-        None => CancelToken::new(),
-    };
-
-    let mut ctx: QueryCtx = session.query().with_cancel_token(token);
-    if let Some(ms) = request.get("timeout_ms").and_then(Json::as_u64) {
-        ctx = ctx.with_deadline(Duration::from_millis(ms));
-    }
-    if request.get("stats").and_then(Json::as_bool) == Some(true) {
-        ctx = ctx.with_stats(true);
-    }
-
-    let result = Registry::standard().run(algo, session.graph(), &params, &ctx);
-
-    if let Some(id) = &id {
-        shared.inflight.lock().unwrap().remove(id);
-    }
-
-    match result {
-        Ok(output) => {
-            let mut fields = Vec::new();
-            if let Some(id) = id {
-                fields.push(("id".into(), Json::Str(id)));
-            }
-            fields.push(("ok".into(), Json::Bool(true)));
-            fields.push(("output".into(), Json::Str(output)));
-            Json::Obj(fields)
-        }
-        Err(err) => error_for(id.as_deref(), &err),
-    }
-}
-
-fn error_for(id: Option<&str>, err: &Error) -> Json {
+pub(crate) fn error_for(id: Option<&str>, err: &Error) -> Json {
     error_response(id, err.code(), &err.to_string())
 }
 
-fn error_response(id: Option<&str>, code: &str, message: &str) -> Json {
+pub(crate) fn error_response(id: Option<&str>, code: &str, message: &str) -> Json {
     let mut fields = Vec::new();
     if let Some(id) = id {
         fields.push(("id".into(), Json::Str(id.to_string())));
@@ -303,7 +271,7 @@ fn error_response(id: Option<&str>, code: &str, message: &str) -> Json {
     Json::Obj(fields)
 }
 
-fn respond(writer: &Arc<Mutex<TcpStream>>, response: Json) {
+pub(crate) fn respond(writer: &Arc<Mutex<TcpStream>>, response: Json) {
     let mut w = writer.lock().unwrap();
     let _ = writeln!(w, "{}", response.to_json());
     let _ = w.flush();
